@@ -1,0 +1,90 @@
+//! Bench: Fig. 1 — the partition-graph scenario.
+//!
+//! Regenerates the paper's Fig. 1 narrative (which algorithm serves
+//! which partition at each epoch) at both stack levels and times it.
+//! The shape assertions run once up front, so a timing run is also a
+//! correctness run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynvote_core::{fig1_partition_graph, run_scenario, AlgorithmKind, ReplicaSystem, SiteSet};
+use dynvote_sim::{SimConfig, Simulation};
+use std::hint::black_box;
+
+fn assert_fig1_shape() {
+    let steps = fig1_partition_graph();
+    let expect: [(AlgorithmKind, [Option<&str>; 4]); 4] = [
+        (AlgorithmKind::Voting, [Some("ABC"), None, Some("CDE"), None]),
+        (AlgorithmKind::DynamicVoting, [Some("ABC"), Some("AB"), None, None]),
+        (
+            AlgorithmKind::DynamicLinear,
+            [Some("ABC"), Some("AB"), Some("A"), Some("A")],
+        ),
+        (AlgorithmKind::Hybrid, [Some("ABC"), Some("AB"), None, Some("BC")]),
+    ];
+    for (kind, want) in expect {
+        let mut sys = ReplicaSystem::new(5, kind.instantiate(5));
+        let reports = run_scenario(&mut sys, &steps);
+        for (report, want) in reports.iter().zip(want) {
+            assert_eq!(
+                report.distinguished(),
+                want.map(|s| SiteSet::parse(s).unwrap()),
+                "{kind} at {}",
+                report.label
+            );
+        }
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    assert_fig1_shape();
+    let steps = fig1_partition_graph();
+
+    let mut group = c.benchmark_group("fig1/model");
+    for kind in AlgorithmKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.id()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut sys = ReplicaSystem::new(5, kind.instantiate(5));
+                black_box(run_scenario(&mut sys, &steps))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig1/protocol");
+    group.sample_size(20);
+    for kind in [AlgorithmKind::Voting, AlgorithmKind::Hybrid] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.id()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut sim = Simulation::new(SimConfig {
+                    n: 5,
+                    algorithm: kind,
+                    ..SimConfig::default()
+                });
+                for step in &steps {
+                    sim.impose_partitions(&step.partitions);
+                    for p in &step.partitions {
+                        sim.submit_update(p.first().unwrap());
+                        sim.quiesce();
+                    }
+                }
+                assert!(sim.check_invariants().is_empty());
+                black_box(sim.stats().commits)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Quick statistics: these benches exist to regenerate and
+    // shape-check the paper's tables/figures and to catch gross
+    // performance regressions; tight confidence intervals are not
+    // worth minutes of wall clock per target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_fig1
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench: Figs. 3 and 4 — the normalised-availability sweeps.
+//!
+//! Regenerates both figures' data series (5 sites; hybrid,
+//! dynamic-linear, voting) with shape assertions, then times the sweep
+//! and its per-point building blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynvote_core::AlgorithmKind;
+use dynvote_markov::{availability, sweep};
+use std::hint::black_box;
+
+fn assert_figure_shapes() {
+    for sweep in [sweep::fig3(), sweep::fig4()] {
+        for row in &sweep.rows {
+            let (hybrid, linear, voting) = (row.values[0], row.values[1], row.values[2]);
+            assert!(hybrid > voting && linear > voting, "ratio {}", row.ratio);
+            assert!(row.values.iter().all(|&v| v > 0.0 && v <= 1.0 + 1e-12));
+            if row.ratio > 0.64 {
+                assert!(hybrid >= linear, "ratio {}", row.ratio);
+            }
+        }
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    assert_figure_shapes();
+
+    let mut group = c.benchmark_group("fig3_fig4");
+    group.bench_function("fig3_sweep", |b| b.iter(|| black_box(sweep::fig3())));
+    group.bench_function("fig4_sweep", |b| b.iter(|| black_box(sweep::fig4())));
+    group.finish();
+
+    // Ablation: cost of one availability evaluation per algorithm.
+    let mut group = c.benchmark_group("availability_point");
+    for kind in AlgorithmKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.id()), &kind, |b, &kind| {
+            b.iter(|| black_box(availability(kind, 5, 1.5)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Quick statistics: these benches exist to regenerate and
+    // shape-check the paper's tables/figures and to catch gross
+    // performance regressions; tight confidence intervals are not
+    // worth minutes of wall clock per target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

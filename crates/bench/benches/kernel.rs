@@ -1,0 +1,73 @@
+//! Bench: the decision kernel.
+//!
+//! `Is_Distinguished` runs once per update in a real deployment; its
+//! latency (tens of nanoseconds) is negligible against the message
+//! round-trips, but regressions here would signal accidental
+//! algorithmic fat. Also times `Do_Update` metadata computation and
+//! whole model-level update attempts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynvote_bench::{representative_system, view_of};
+use dynvote_core::{AlgorithmKind, LinearOrder, ReplicaControl, SiteSet};
+use std::hint::black_box;
+
+fn bench_decide(c: &mut Criterion) {
+    let n = 10;
+    let order = LinearOrder::lexicographic(n);
+    let mut group = c.benchmark_group("kernel/decide");
+    group.throughput(Throughput::Elements(1));
+    for kind in AlgorithmKind::ALL {
+        let sys = representative_system(kind, n);
+        let algo = kind.instantiate(n);
+        let view = view_of(&sys, &order, SiteSet::parse("ABDEFH").unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(kind.id()), &view, |b, view| {
+            b.iter(|| black_box(algo.decide(black_box(view))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_commit_meta(c: &mut Criterion) {
+    let n = 10;
+    let order = LinearOrder::lexicographic(n);
+    let mut group = c.benchmark_group("kernel/commit_meta");
+    for kind in AlgorithmKind::ALL {
+        let sys = representative_system(kind, n);
+        let algo = kind.instantiate(n);
+        // A partition every algorithm accepts: everyone.
+        let view = view_of(&sys, &order, SiteSet::all(n));
+        assert!(algo.is_distinguished(&view));
+        group.bench_with_input(BenchmarkId::from_parameter(kind.id()), &view, |b, view| {
+            b.iter(|| black_box(algo.commit_meta(black_box(view))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_attempt_update(c: &mut Criterion) {
+    // Whole model-level update: view assembly + decision + commit +
+    // catch-up, at increasing replication degrees.
+    let mut group = c.benchmark_group("kernel/attempt_update");
+    for n in [3usize, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("hybrid", n), &n, |b, &n| {
+            let mut sys = representative_system(AlgorithmKind::Hybrid, n);
+            let all = SiteSet::all(n);
+            b.iter(|| black_box(sys.attempt_update(all)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Quick statistics: these benches exist to regenerate and
+    // shape-check the paper's tables/figures and to catch gross
+    // performance regressions; tight confidence intervals are not
+    // worth minutes of wall clock per target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_decide, bench_commit_meta, bench_attempt_update
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Bench: the analytic machinery.
+//!
+//! Times (a) steady-state solves of the hand chains as `n` grows (the
+//! dense solver is O(states³)), and (b) the machine derivation of a
+//! chain from the executable kernel (BFS + lumping), which is the
+//! expensive step the `DerivedChain`/`at_ratio` split amortises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynvote_core::{AlgorithmKind, LinearOrder};
+use dynvote_markov::chains::{dynamic_chain, hybrid_chain, linear_chain};
+use dynvote_markov::hetero::{hetero_chain, SiteRates};
+use dynvote_markov::DerivedChain;
+use std::hint::black_box;
+
+fn bench_hand_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov/steady_state");
+    for n in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("hybrid", n), &n, |b, &n| {
+            b.iter(|| black_box(hybrid_chain(n, 1.3).site_availability().unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic", n), &n, |b, &n| {
+            b.iter(|| black_box(dynamic_chain(n, 1.3).site_availability().unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, &n| {
+            b.iter(|| black_box(linear_chain(n, 1.3).site_availability().unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov/derive_chain");
+    group.sample_size(10);
+    for n in [5usize, 10, 15] {
+        group.bench_with_input(BenchmarkId::new("hybrid", n), &n, |b, &n| {
+            b.iter(|| black_box(DerivedChain::build(AlgorithmKind::Hybrid, n)));
+        });
+        group.bench_with_input(BenchmarkId::new("optimal-candidate", n), &n, |b, &n| {
+            b.iter(|| black_box(DerivedChain::build(AlgorithmKind::OptimalCandidate, n)));
+        });
+    }
+    // Re-pricing an already-derived chain at a new ratio must be cheap.
+    let chain = DerivedChain::build(AlgorithmKind::Hybrid, 10);
+    group.bench_function("at_ratio_n10", |b| {
+        b.iter(|| black_box(chain.site_availability(black_box(1.7))));
+    });
+    group.finish();
+}
+
+fn bench_hetero_and_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov/extensions");
+    group.sample_size(10);
+    // Unlumped heterogeneous chain: build + solve.
+    let rates: Vec<SiteRates> = (0..6)
+        .map(|i| SiteRates {
+            failure: 1.0,
+            repair: 0.5 + 0.7 * i as f64,
+        })
+        .collect();
+    group.bench_function("hetero_chain_n6", |b| {
+        b.iter(|| {
+            black_box(
+                hetero_chain(
+                    AlgorithmKind::Hybrid,
+                    black_box(&rates),
+                    LinearOrder::lexicographic(6),
+                )
+                .site_availability()
+                .unwrap(),
+            )
+        });
+    });
+    // Transient availability by uniformization.
+    let chain = DerivedChain::build(AlgorithmKind::Hybrid, 8).at_ratio(1.5);
+    group.bench_function("transient_point_n8", |b| {
+        b.iter(|| black_box(chain.site_availability_at(0, black_box(5.0))));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Quick statistics: these benches exist to regenerate and
+    // shape-check the paper's tables/figures and to catch gross
+    // performance regressions; tight confidence intervals are not
+    // worth minutes of wall clock per target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_hand_chains,
+    bench_derivation,
+    bench_hetero_and_transient
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bench: Monte-Carlo model-simulation throughput.
+//!
+//! The MC path is the repository's slowest evaluation route; this bench
+//! tracks events/second of the core stepping loop and end-to-end cost
+//! of a short availability estimate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynvote_core::AlgorithmKind;
+use dynvote_mc::{simulate, McConfig, ModelSimulator};
+use std::hint::black_box;
+
+fn bench_stepping(c: &mut Criterion) {
+    const STEPS: u64 = 10_000;
+    let mut group = c.benchmark_group("mc/steps");
+    group.throughput(Throughput::Elements(STEPS));
+    group.sample_size(20);
+    for kind in [
+        AlgorithmKind::Voting,
+        AlgorithmKind::DynamicLinear,
+        AlgorithmKind::Hybrid,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.id()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut sim = ModelSimulator::new(5, 1.0, 99, kind.instantiate(5));
+                for _ in 0..STEPS {
+                    black_box(sim.step());
+                }
+                black_box(sim.commits())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc/estimate");
+    group.sample_size(10);
+    group.bench_function("hybrid_5k_tu", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                AlgorithmKind::Hybrid,
+                &McConfig {
+                    n: 5,
+                    ratio: 1.0,
+                    horizon: 5_000.0,
+                    seed: 4,
+                    ..McConfig::default()
+                },
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Quick statistics: these benches exist to regenerate and
+    // shape-check the paper's tables/figures and to catch gross
+    // performance regressions; tight confidence intervals are not
+    // worth minutes of wall clock per target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_stepping, bench_estimate
+}
+criterion_main!(benches);

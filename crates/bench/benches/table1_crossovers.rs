@@ -1,0 +1,50 @@
+//! Bench: Theorem 3 — the crossover table.
+//!
+//! Times the computation of one crossover (n = 5) and of the full
+//! n = 3..=20 table, asserting each entry against the paper's values
+//! before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynvote_markov::{theorem3_crossover, theorem3_table, THEOREM3_PAPER};
+use std::hint::black_box;
+
+fn assert_table_shape() {
+    for c in theorem3_table() {
+        let paper = THEOREM3_PAPER[c.n - 3].1;
+        assert!(
+            (c.ratio - paper).abs() < 0.01,
+            "n={}: computed {:.4} vs paper {paper}",
+            c.n,
+            c.ratio
+        );
+        assert_eq!(c.sign_changes, 1, "n={}", c.n);
+    }
+}
+
+fn bench_crossovers(c: &mut Criterion) {
+    assert_table_shape();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for n in [3usize, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("crossover", n), &n, |b, &n| {
+            b.iter(|| black_box(theorem3_crossover(n)));
+        });
+    }
+    group.bench_function("full_table", |b| b.iter(|| black_box(theorem3_table())));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Quick statistics: these benches exist to regenerate and
+    // shape-check the paper's tables/figures and to catch gross
+    // performance regressions; tight confidence intervals are not
+    // worth minutes of wall clock per target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_crossovers
+}
+criterion_main!(benches);

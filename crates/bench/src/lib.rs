@@ -1,0 +1,65 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! The benches serve two purposes:
+//!
+//! * **reproduction targets** — one bench per paper table/figure
+//!   (`fig1_scenario`, `table1_crossovers`, `fig3_fig4_availability`),
+//!   timing the code that regenerates it and asserting its shape;
+//! * **performance characterisation** — kernel decision latency, Markov
+//!   solve scaling, protocol-simulation and Monte-Carlo throughput.
+
+use dynvote_core::{AlgorithmKind, CopyMeta, LinearOrder, PartitionView, ReplicaSystem, SiteId, SiteSet};
+
+/// Build a reachable `n`-site system state by a fixed partition script,
+/// for decision-kernel benchmarks.
+#[must_use]
+pub fn representative_system(kind: AlgorithmKind, n: usize) -> ReplicaSystem<Box<dyn dynvote_core::ReplicaControl>> {
+    let mut sys = ReplicaSystem::new(n, kind.instantiate(n));
+    // Walk the quorum down and back up once so the metadata is
+    // interesting (trios/singles installed).
+    let mut partition = SiteSet::all(n);
+    sys.attempt_update(partition);
+    for i in (2..n).rev() {
+        partition.remove(SiteId::new(i));
+        sys.attempt_update(partition);
+    }
+    sys.attempt_update(SiteSet::all(n));
+    sys
+}
+
+/// Materialise a partition view against a system (what a coordinator
+/// assembles per update).
+#[must_use]
+pub fn view_of<'a>(
+    sys: &ReplicaSystem<Box<dyn dynvote_core::ReplicaControl>>,
+    order: &'a LinearOrder,
+    partition: SiteSet,
+) -> PartitionView<'a> {
+    let responses: Vec<(SiteId, CopyMeta)> =
+        partition.iter().map(|s| (s, sys.meta(s))).collect();
+    PartitionView::new(sys.n(), order, responses).expect("valid view")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_system_is_current_everywhere() {
+        for kind in AlgorithmKind::ALL {
+            let sys = representative_system(kind, 6);
+            let latest = sys.latest_version();
+            assert!(latest >= 2, "{kind}");
+            assert!(sys.metas().iter().all(|m| m.version == latest), "{kind}");
+        }
+    }
+
+    #[test]
+    fn view_helper_covers_partition() {
+        let order = LinearOrder::lexicographic(6);
+        let sys = representative_system(AlgorithmKind::Hybrid, 6);
+        let p = SiteSet::parse("ACE").unwrap();
+        let view = view_of(&sys, &order, p);
+        assert_eq!(view.members(), p);
+    }
+}

@@ -1,0 +1,154 @@
+//! `dynvote` — the command-line harness.
+//!
+//! ```text
+//! dynvote repro <target>      regenerate a paper table/figure
+//! dynvote avail [...]         availability of one algorithm at (n, ratio)
+//! dynvote sweep [...]         availability sweep as CSV or JSON
+//! dynvote crossover [...]     crossover ratio between two algorithms
+//! dynvote simulate [...]      message-level protocol simulation run
+//! dynvote help                this text
+//! ```
+
+mod opts;
+mod repro;
+mod runs;
+
+use opts::Opts;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+dynvote — dynamic voting replica control (Jajodia & Mutchler)
+
+USAGE:
+    dynvote repro <target>
+        Regenerate a table/figure. Targets:
+            fig1      the Fig. 1 partition graph scenario
+            example4  the Section IV worked example
+            fig2      the hybrid state diagram + machine cross-check
+            theorem2  hybrid vs dynamic voting dominance
+            table1    the Theorem 3 crossover table (n = 3..20)
+            fig3      normalised availability, 5 sites, small ratios (CSV)
+            fig4      normalised availability, 5 sites, big ratios (CSV)
+            sigmod87  dynamic voting vs static voting (the 1987 claims)
+            optimal   the Section VII conjectured-optimal variant
+            mc        Markov vs Monte-Carlo cross-validation
+            hetero / witnesses / joint / votes
+                      the extension experiments (E11–E16), defaults
+            extensions  all four extension experiments
+            all       everything
+
+    dynvote avail --algo <name> --n <sites> --ratio <mu/lambda> [--mc true]
+        Site availability of one algorithm (analytic; --mc adds a
+        Monte-Carlo estimate). Algorithms: voting, dynamic,
+        dynamic-linear, hybrid, modified-hybrid, optimal-candidate.
+
+    dynvote sweep --n <sites> --lo <r> --hi <r> --steps <k>
+                  [--algos a,b,c] [--format csv|json]
+        Normalised-availability sweep over a ratio grid.
+
+    dynvote crossover --first <algo> --second <algo> --n <sites>
+        The ratio where `first` overtakes `second`.
+
+    dynvote chain --algo <name> --n <sites> [--ratio r] [--format text|dot]
+        The algorithm's availability Markov chain (machine-derived).
+        DOT output draws the paper's Fig. 2: pipe into `dot -Tsvg`.
+
+    dynvote hetero [--rates f:r,f:r,...]
+        Heterogeneous per-site rates: availability of every algorithm
+        with the distinguished site placed on the most vs. least
+        reliable site (the Section VII challenge).
+
+    dynvote transient --algo <name> --n <sites> [--ratio r]
+                      [--until t] [--steps k]
+        Availability trajectory from the all-up start (CSV), by
+        uniformization of the derived chain.
+
+    dynvote witnesses --n <sites> --ratio <r>
+        Voting-with-witnesses availability as data copies are traded
+        for witnesses (Paris's scheme).
+
+    dynvote joint [--algos a,b] [--n k] [--ratio r]
+        Joint availability of a transaction touching several files
+        (footnote 2), vs the independence prediction.
+
+    dynvote votes [--rates f:r,...] [--max-vote k]
+        The availability-optimal static vote assignment (exhaustive,
+        exact), compared against the dynamic algorithms.
+
+    dynvote simulate --n <sites> --algo <name> --duration <t>
+                     [--update-rate r] [--fault-rate r] [--link-fault-rate r]
+                     [--drop p] [--seed s]
+        Run the message-level protocol under fault injection and report
+        statistics and invariant checks.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Opts::parse(args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let command = opts.positional.first().map(String::as_str).unwrap_or("help");
+    let result = match command {
+        "repro" => {
+            let target = opts.positional.get(1).map(String::as_str).unwrap_or("all");
+            let defaults = Opts::default();
+            match target {
+                // The extension experiments (E11–E16) run with their
+                // default parameters under `repro`.
+                "hetero" => runs::hetero_cmd(&defaults),
+                "witnesses" => runs::witnesses_cmd(&defaults),
+                "joint" => runs::joint_cmd(&defaults),
+                "votes" => runs::votes_cmd(&defaults),
+                "extensions" | "all" => (|| {
+                    if target == "all" {
+                        repro::run("all");
+                    }
+                    for (name, f) in [
+                        ("hetero (E11)", runs::hetero_cmd as fn(&Opts) -> Result<(), String>),
+                        ("witnesses (E12)", runs::witnesses_cmd),
+                        ("joint (E15)", runs::joint_cmd),
+                        ("votes (E16)", runs::votes_cmd),
+                    ] {
+                        println!("================ repro {name} ================");
+                        f(&defaults)?;
+                        println!();
+                    }
+                    Ok(())
+                })(),
+                _ => {
+                    if repro::run(target) {
+                        Ok(())
+                    } else {
+                        Err(format!("unknown repro target {target:?}"))
+                    }
+                }
+            }
+        }
+        "avail" => runs::avail(&opts),
+        "sweep" => runs::sweep_cmd(&opts),
+        "crossover" => runs::crossover_cmd(&opts),
+        "chain" => runs::chain_cmd(&opts),
+        "hetero" => runs::hetero_cmd(&opts),
+        "transient" => runs::transient_cmd(&opts),
+        "witnesses" => runs::witnesses_cmd(&opts),
+        "joint" => runs::joint_cmd(&opts),
+        "votes" => runs::votes_cmd(&opts),
+        "simulate" => runs::simulate_cmd(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `dynvote help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

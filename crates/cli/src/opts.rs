@@ -1,0 +1,104 @@
+//! A minimal `--key value` argument parser (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand path and `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Opts {
+    /// Positional arguments before the first `--flag`.
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Errors from argument parsing and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// `--flag` without a value.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The offending raw value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::MissingValue(flag) => write!(f, "--{flag} requires a value"),
+            OptError::BadValue { flag, value } => {
+                write!(f, "invalid value {value:?} for --{flag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl Opts {
+    /// Parse an argument list (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, OptError> {
+        let mut opts = Opts::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| OptError::MissingValue(flag.to_owned()))?;
+                opts.flags.insert(flag.to_owned(), value);
+            } else {
+                opts.positional.push(arg);
+            }
+        }
+        Ok(opts)
+    }
+
+    /// A string flag.
+    #[must_use]
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, OptError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| OptError::BadValue {
+                flag: flag.to_owned(),
+                value: raw.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Opts {
+        Opts::parse(args.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let opts = parse(&["repro", "table1", "--n", "5", "--ratio", "2.0"]);
+        assert_eq!(opts.positional, vec!["repro", "table1"]);
+        assert_eq!(opts.get("n"), Some("5"));
+        assert_eq!(opts.get_or("ratio", 1.0).unwrap(), 2.0);
+        assert_eq!(opts.get_or("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Opts::parse(vec!["--n".to_owned()]).unwrap_err();
+        assert_eq!(err, OptError::MissingValue("n".to_owned()));
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let opts = parse(&["--n", "five"]);
+        assert!(opts.get_or::<usize>("n", 0).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Integration tests of the `dynvote` binary: every subcommand runs,
+//! exits cleanly, and prints what it promises.
+
+use std::process::Command;
+
+fn dynvote(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_dynvote"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_every_subcommand() {
+    let (ok, out, _) = dynvote(&["help"]);
+    assert!(ok);
+    for cmd in [
+        "repro", "avail", "sweep", "crossover", "chain", "hetero", "transient", "witnesses",
+        "joint", "votes", "simulate",
+    ] {
+        assert!(out.contains(cmd), "help must mention {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (ok, _, err) = dynvote(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn repro_fig1_prints_the_table() {
+    let (ok, out, _) = dynvote(&["repro", "fig1"]);
+    assert!(ok);
+    for needle in ["time 1", "time 4", "hybrid", "BC"] {
+        assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+    }
+}
+
+#[test]
+fn repro_rejects_unknown_target() {
+    let (ok, _, err) = dynvote(&["repro", "fig99"]);
+    assert!(!ok);
+    assert!(err.contains("unknown repro target"));
+}
+
+#[test]
+fn avail_prints_analytic_value() {
+    let (ok, out, _) = dynvote(&["avail", "--algo", "hybrid", "--n", "5", "--ratio", "2.0"]);
+    assert!(ok);
+    assert!(out.contains("0.6425"), "expected hybrid@5,2.0 ≈ 0.6425:\n{out}");
+}
+
+#[test]
+fn avail_validates_arguments() {
+    let (ok, _, err) = dynvote(&["avail", "--n", "99"]);
+    assert!(!ok && err.contains("--n"));
+    let (ok, _, err) = dynvote(&["avail", "--algo", "quorumtron"]);
+    assert!(!ok && err.contains("unknown algorithm"));
+}
+
+#[test]
+fn sweep_emits_csv_and_json() {
+    let (ok, out, _) = dynvote(&["sweep", "--n", "4", "--lo", "1", "--hi", "2", "--steps", "2"]);
+    assert!(ok);
+    assert!(out.starts_with("ratio,hybrid,dynamic-linear,voting"));
+    assert_eq!(out.lines().count(), 4);
+
+    let (ok, out, _) = dynvote(&[
+        "sweep", "--n", "4", "--lo", "1", "--hi", "2", "--steps", "2", "--format", "json",
+    ]);
+    assert!(ok);
+    let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert_eq!(parsed["n"], 4);
+    assert_eq!(parsed["rows"].as_array().unwrap().len(), 3);
+}
+
+#[test]
+fn crossover_finds_the_headline_number() {
+    let (ok, out, _) = dynvote(&[
+        "crossover", "--first", "hybrid", "--second", "dynamic-linear", "--n", "5",
+    ]);
+    assert!(ok);
+    assert!(out.contains("overtakes"), "{out}");
+    assert!(out.contains("0.629") || out.contains("0.63"), "expected ~0.63:\n{out}");
+}
+
+#[test]
+fn chain_dot_output_is_graphviz() {
+    let (ok, out, _) = dynvote(&["chain", "--algo", "hybrid", "--n", "3", "--format", "dot"]);
+    assert!(ok);
+    assert!(out.starts_with("digraph chain {"));
+    assert!(out.contains("doublecircle"));
+    assert!(out.trim_end().ends_with('}'));
+}
+
+#[test]
+fn hetero_prints_the_order_study() {
+    let (ok, out, _) = dynvote(&["hetero", "--rates", "1:1,1:2,1:4"]);
+    assert!(ok);
+    assert!(out.contains("reliable-first"));
+    assert!(out.contains("dynamic-linear"));
+}
+
+#[test]
+fn transient_starts_at_one_and_reports_steady_state() {
+    let (ok, out, _) = dynvote(&[
+        "transient", "--algo", "hybrid", "--n", "4", "--ratio", "1", "--until", "4", "--steps", "4",
+    ]);
+    assert!(ok);
+    assert!(out.contains("0.0000,1.00000000"));
+    assert!(out.contains("# steady state:"));
+}
+
+#[test]
+fn witnesses_table_is_monotone() {
+    let (ok, out, _) = dynvote(&["witnesses", "--n", "4", "--ratio", "2"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("4 of 4"));
+    assert!(out.contains("1 of 4"));
+}
+
+#[test]
+fn joint_reports_marginals_and_product() {
+    let (ok, out, _) = dynvote(&[
+        "joint", "--horizon", "4000", "--n", "4", "--algos", "hybrid,dynamic",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("independence would predict"));
+    assert!(out.contains("marginal hybrid"));
+}
+
+#[test]
+fn votes_reports_optimal_assignment() {
+    let (ok, out, _) = dynvote(&["votes", "--rates", "1:0.5,1:2,1:8", "--max-vote", "2"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("assignment"));
+    assert!(out.contains("uniform votes"));
+}
+
+#[test]
+fn simulate_reports_consistency_ok() {
+    let (ok, out, _) = dynvote(&[
+        "simulate", "--n", "5", "--algo", "hybrid", "--duration", "30", "--seed", "3",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("consistency         OK"));
+    assert!(out.contains("commits"));
+}

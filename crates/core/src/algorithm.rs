@@ -1,0 +1,287 @@
+//! The replica-control abstraction shared by every algorithm in the family.
+//!
+//! A replica control algorithm, in the sense of this crate, is a pure
+//! decision kernel with two operations:
+//!
+//! * [`ReplicaControl::decide`] — the `Is_Distinguished` routine of
+//!   Section V-B: given the coordinator's [`PartitionView`], is the
+//!   partition the distinguished one, and by which rule?
+//! * [`ReplicaControl::commit_meta`] — the metadata part of the
+//!   `Do_Update` routine: the `(VN, SC, DS)` triple installed at every
+//!   participant by a successful commit.
+//!
+//! The kernel is deliberately free of I/O, clocks and randomness: the
+//! message-level protocol (`dynvote-sim`), the Markov analysis
+//! (`dynvote-markov`) and the Monte-Carlo model simulator (`dynvote-mc`)
+//! all drive these same two functions, so the three evaluation paths
+//! cross-validate the kernel.
+
+use crate::meta::CopyMeta;
+use crate::site::SiteId;
+use crate::view::PartitionView;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which rule of `Is_Distinguished` admitted the partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcceptRule {
+    /// `card(I) > N/2` — step 3 of `Is_Distinguished` (all dynamic
+    /// algorithms), or the plain majority of static voting.
+    Majority,
+    /// `card(I) = N/2` and the distinguished site lies in `I` — step 4
+    /// (dynamic-linear tie-break).
+    TieBreak,
+    /// `N = 3` and the partition holds two or more of the trio on the
+    /// distinguished sites list — step 5 (the hybrid's static phase).
+    TrioQuorum,
+    /// Static voting: the members hold strictly more than half the votes.
+    VoteQuorum,
+    /// `SC = 2` and both current copies are in the partition (modified
+    /// hybrid / optimal candidate, Section VII case 2).
+    PairBothCurrent,
+    /// `SC = 2`, exactly one current copy present, plus the named
+    /// distinguished (down) site — modified hybrid, Section VII case 2.
+    PairTieBreak,
+    /// `SC = 2`, one current copy present, plus more than half of all `n`
+    /// sites — the "optimal candidate" of Section VII, footnote 6.
+    PairNetworkMajority,
+}
+
+impl fmt::Display for AcceptRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            AcceptRule::Majority => "majority of current copies",
+            AcceptRule::TieBreak => "half of current copies incl. distinguished site",
+            AcceptRule::TrioQuorum => "two of the three distinguished sites",
+            AcceptRule::VoteQuorum => "static vote quorum",
+            AcceptRule::PairBothCurrent => "both current copies",
+            AcceptRule::PairTieBreak => "one current copy plus distinguished site",
+            AcceptRule::PairNetworkMajority => "one current copy plus network majority",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Outcome of `Is_Distinguished` for one partition view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The partition is distinguished; updates may commit.
+    Accepted(AcceptRule),
+    /// The partition is not distinguished; the update must abort.
+    Rejected,
+}
+
+impl Verdict {
+    /// True if the partition was found distinguished.
+    #[must_use]
+    pub fn is_accepted(self) -> bool {
+        matches!(self, Verdict::Accepted(_))
+    }
+
+    /// The admitting rule, if accepted.
+    #[must_use]
+    pub fn rule(self) -> Option<AcceptRule> {
+        match self {
+            Verdict::Accepted(rule) => Some(rule),
+            Verdict::Rejected => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Accepted(rule) => write!(f, "distinguished ({rule})"),
+            Verdict::Rejected => write!(f, "not distinguished"),
+        }
+    }
+}
+
+/// A pessimistic replica control algorithm: the pure decision kernel.
+///
+/// # Contract
+///
+/// * `decide` must be a pure function of the view.
+/// * `commit_meta` may only be called on a view for which `decide`
+///   returned [`Verdict::Accepted`]; implementations `debug_assert` this.
+/// * For a fixed per-version metadata state, the set of site sets that
+///   `decide` accepts must be a *coterie-dominating* family: any two
+///   accepted partitions for the same maximum version intersect. This is
+///   the pessimism requirement of Theorem 1 and is checked by property
+///   tests in this crate.
+pub trait ReplicaControl: fmt::Debug + Send + Sync {
+    /// Short stable identifier, e.g. `"hybrid"`.
+    fn name(&self) -> &'static str;
+
+    /// The `Is_Distinguished` routine.
+    fn decide(&self, view: &PartitionView<'_>) -> Verdict;
+
+    /// The metadata installed by `Do_Update` at all participants.
+    ///
+    /// # Panics (debug)
+    ///
+    /// If the view is not distinguished.
+    fn commit_meta(&self, view: &PartitionView<'_>) -> CopyMeta;
+
+    /// Convenience wrapper over [`ReplicaControl::decide`].
+    fn is_distinguished(&self, view: &PartitionView<'_>) -> bool {
+        self.decide(view).is_accepted()
+    }
+}
+
+impl<T: ReplicaControl + ?Sized> ReplicaControl for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn decide(&self, view: &PartitionView<'_>) -> Verdict {
+        (**self).decide(view)
+    }
+    fn commit_meta(&self, view: &PartitionView<'_>) -> CopyMeta {
+        (**self).commit_meta(view)
+    }
+}
+
+impl<T: ReplicaControl + ?Sized> ReplicaControl for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn decide(&self, view: &PartitionView<'_>) -> Verdict {
+        (**self).decide(view)
+    }
+    fn commit_meta(&self, view: &PartitionView<'_>) -> CopyMeta {
+        (**self).commit_meta(view)
+    }
+}
+
+/// Every algorithm implemented by this crate, for CLI/bench selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// Static majority voting (Gifford/Thomas), uniform one-vote-per-site.
+    Voting,
+    /// Dynamic voting (Jajodia–Mutchler, SIGMOD 1987).
+    DynamicVoting,
+    /// Dynamic voting with linearly ordered copies (VLDB 1987).
+    DynamicLinear,
+    /// The hybrid algorithm (this paper's contribution).
+    Hybrid,
+    /// Section VII modified hybrid (Changes 1 and 2).
+    ModifiedHybrid,
+    /// Section VII, footnote 6: the conjectured-optimal variant.
+    OptimalCandidate,
+}
+
+impl AlgorithmKind {
+    /// All algorithm kinds, in presentation order.
+    pub const ALL: [AlgorithmKind; 6] = [
+        AlgorithmKind::Voting,
+        AlgorithmKind::DynamicVoting,
+        AlgorithmKind::DynamicLinear,
+        AlgorithmKind::Hybrid,
+        AlgorithmKind::ModifiedHybrid,
+        AlgorithmKind::OptimalCandidate,
+    ];
+
+    /// Instantiate the algorithm for an `n`-site file with uniform votes.
+    #[must_use]
+    pub fn instantiate(self, n: usize) -> Box<dyn ReplicaControl> {
+        use crate::algorithms::*;
+        match self {
+            AlgorithmKind::Voting => Box::new(StaticVoting::uniform(n)),
+            AlgorithmKind::DynamicVoting => Box::new(DynamicVoting::new()),
+            AlgorithmKind::DynamicLinear => Box::new(DynamicLinear::new()),
+            AlgorithmKind::Hybrid => Box::new(Hybrid::new()),
+            AlgorithmKind::ModifiedHybrid => Box::new(ModifiedHybrid::new()),
+            AlgorithmKind::OptimalCandidate => Box::new(OptimalCandidate::new()),
+        }
+    }
+
+    /// Short stable identifier used by the CLI and output tables.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            AlgorithmKind::Voting => "voting",
+            AlgorithmKind::DynamicVoting => "dynamic",
+            AlgorithmKind::DynamicLinear => "dynamic-linear",
+            AlgorithmKind::Hybrid => "hybrid",
+            AlgorithmKind::ModifiedHybrid => "modified-hybrid",
+            AlgorithmKind::OptimalCandidate => "optimal-candidate",
+        }
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Error returned when parsing an unknown algorithm name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAlgorithm(pub String);
+
+impl fmt::Display for UnknownAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown algorithm {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownAlgorithm {}
+
+impl FromStr for AlgorithmKind {
+    type Err = UnknownAlgorithm;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AlgorithmKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.id() == s)
+            .ok_or_else(|| UnknownAlgorithm(s.to_owned()))
+    }
+}
+
+/// Helper shared by the dynamic algorithms: look up the single
+/// distinguished site of the current copies, if one is recorded.
+pub(crate) fn current_single_ds(view: &PartitionView<'_>) -> Option<SiteId> {
+    view.current_meta().distinguished.single()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in AlgorithmKind::ALL {
+            assert_eq!(kind.id().parse::<AlgorithmKind>().unwrap(), kind);
+        }
+        assert!("nonsense".parse::<AlgorithmKind>().is_err());
+    }
+
+    #[test]
+    fn instantiate_produces_matching_names() {
+        for kind in AlgorithmKind::ALL {
+            let algo = kind.instantiate(5);
+            assert_eq!(algo.name(), kind.id());
+        }
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        assert!(Verdict::Accepted(AcceptRule::Majority).is_accepted());
+        assert!(!Verdict::Rejected.is_accepted());
+        assert_eq!(
+            Verdict::Accepted(AcceptRule::TieBreak).rule(),
+            Some(AcceptRule::TieBreak)
+        );
+        assert_eq!(Verdict::Rejected.rule(), None);
+    }
+
+    #[test]
+    fn display_strings_are_informative() {
+        let text = Verdict::Accepted(AcceptRule::TrioQuorum).to_string();
+        assert!(text.contains("distinguished"));
+        assert!(text.contains("trio") || text.contains("three"));
+        assert_eq!(Verdict::Rejected.to_string(), "not distinguished");
+    }
+}

@@ -1,0 +1,152 @@
+//! Generalized static replica control from an arbitrary coterie.
+//!
+//! Section VII observes that "the members of a distinguished partition
+//! may convert to any vote reassignment they choose (or more generally,
+//! any valid coterie)". This algorithm is the static end of that
+//! observation: the distinguished partition is any superset of a quorum
+//! of a fixed [`Coterie`] — majority voting, tree quorums, grid
+//! quorums, primary copy, and every other intersecting antichain are
+//! instances. Pessimism is the coterie's intersection property itself.
+
+use crate::algorithm::{AcceptRule, ReplicaControl, Verdict};
+use crate::meta::CopyMeta;
+use crate::quorum::Coterie;
+use crate::view::PartitionView;
+
+/// Static replica control by an arbitrary coterie.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoterieControl {
+    coterie: Coterie,
+}
+
+impl CoterieControl {
+    /// Use the given coterie (its intersection property was validated
+    /// at construction of the [`Coterie`] itself).
+    #[must_use]
+    pub fn new(coterie: Coterie) -> Self {
+        CoterieControl { coterie }
+    }
+
+    /// The coterie in force.
+    #[must_use]
+    pub fn coterie(&self) -> &Coterie {
+        &self.coterie
+    }
+}
+
+impl ReplicaControl for CoterieControl {
+    fn name(&self) -> &'static str {
+        "coterie"
+    }
+
+    fn decide(&self, view: &PartitionView<'_>) -> Verdict {
+        if self.coterie.is_quorum(view.members()) {
+            Verdict::Accepted(AcceptRule::VoteQuorum)
+        } else {
+            Verdict::Rejected
+        }
+    }
+
+    fn commit_meta(&self, view: &PartitionView<'_>) -> CopyMeta {
+        debug_assert!(self.decide(view).is_accepted());
+        CopyMeta {
+            version: view.max_version() + 1,
+            ..view.current_meta()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::Distinguished;
+    use crate::quorum::VoteAssignment;
+    use crate::site::{LinearOrder, SiteSet};
+
+    fn view<'a>(order: &'a LinearOrder, n: usize, members: &str) -> PartitionView<'a> {
+        let responses = SiteSet::parse(members)
+            .unwrap()
+            .iter()
+            .map(|s| {
+                (
+                    s,
+                    CopyMeta {
+                        version: 1,
+                        cardinality: n as u32,
+                        distinguished: Distinguished::Irrelevant,
+                    },
+                )
+            })
+            .collect();
+        PartitionView::new(n, order, responses).unwrap()
+    }
+
+    #[test]
+    fn majority_coterie_equals_static_voting() {
+        let order = LinearOrder::lexicographic(5);
+        let coterie = VoteAssignment::uniform(5).coterie();
+        let algo = CoterieControl::new(coterie);
+        let voting = crate::algorithms::StaticVoting::uniform(5);
+        for bits in 1u64..(1 << 5) {
+            let members: String = SiteSet::from_bits(bits).to_string();
+            let v = view(&order, 5, &members);
+            assert_eq!(
+                algo.is_distinguished(&v),
+                voting.is_distinguished(&v),
+                "{members}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_coterie_has_logarithmic_best_quorums() {
+        // 7 sites in 3 levels: the root-to-leaf paths are 3-site
+        // quorums (vs 4 for a 7-site majority).
+        let coterie = Coterie::binary_tree(3);
+        let smallest = coterie.quorums().iter().map(|q| q.len()).min().unwrap();
+        assert_eq!(smallest, 3);
+        assert!(coterie.intersecting());
+        assert!(coterie.is_antichain());
+        // Root + left child + its left leaf is a quorum.
+        let order = LinearOrder::lexicographic(7);
+        let algo = CoterieControl::new(coterie);
+        assert!(algo.is_distinguished(&view(&order, 7, "ABD")));
+        // Three leaves alone are not.
+        assert!(!algo.is_distinguished(&view(&order, 7, "DEF")));
+        // But the root can be bypassed through both children's paths.
+        assert!(algo.is_distinguished(&view(&order, 7, "BCDF")));
+    }
+
+    #[test]
+    fn grid_coterie_shape() {
+        // 2×3 grid: a quorum is a full row (3) + one per other row (1).
+        let coterie = Coterie::grid(2, 3);
+        assert!(coterie.intersecting());
+        assert!(coterie.is_antichain());
+        let order = LinearOrder::lexicographic(6);
+        let algo = CoterieControl::new(coterie);
+        // Row 0 = ABC, plus D from row 1.
+        assert!(algo.is_distinguished(&view(&order, 6, "ABCD")));
+        // A row alone is not a quorum.
+        assert!(!algo.is_distinguished(&view(&order, 6, "ABC")));
+    }
+
+    #[test]
+    fn primary_copy_as_a_coterie() {
+        let coterie = Coterie::try_new(vec![SiteSet::parse("A").unwrap()]).unwrap();
+        let order = LinearOrder::lexicographic(3);
+        let algo = CoterieControl::new(coterie);
+        assert!(algo.is_distinguished(&view(&order, 3, "A")));
+        assert!(!algo.is_distinguished(&view(&order, 3, "BC")));
+    }
+
+    #[test]
+    fn commit_only_bumps_version() {
+        let order = LinearOrder::lexicographic(3);
+        let algo = CoterieControl::new(VoteAssignment::uniform(3).coterie());
+        let v = view(&order, 3, "AB");
+        let meta = algo.commit_meta(&v);
+        assert_eq!(meta.version, 2);
+        assert_eq!(meta.cardinality, 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Dynamic voting — the SIGMOD 1987 algorithm (the paper's ref \[21\]).
+//!
+//! Each copy carries a version number and an *update sites cardinality*
+//! `SC`; the distinguished partition is the one containing **more than
+//! half of the up-to-date copies**: with `M` the largest version in the
+//! partition, `I` the member sites holding `M`, and `N` the cardinality
+//! recorded by those sites, the partition is distinguished iff
+//! `card(I) > N/2`. A commit resets `SC` at every participant to the
+//! number of participants, dynamically shrinking (or growing) the quorum
+//! base.
+
+use crate::algorithm::{AcceptRule, ReplicaControl, Verdict};
+use crate::meta::{CopyMeta, Distinguished};
+use crate::view::PartitionView;
+
+/// Dynamic voting (no tie-breaking; `DS` is never consulted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DynamicVoting;
+
+impl DynamicVoting {
+    /// Create the algorithm (stateless).
+    #[must_use]
+    pub fn new() -> Self {
+        DynamicVoting
+    }
+}
+
+impl ReplicaControl for DynamicVoting {
+    fn name(&self) -> &'static str {
+        "dynamic"
+    }
+
+    fn decide(&self, view: &PartitionView<'_>) -> Verdict {
+        let current = view.current_count() as u64;
+        let n = u64::from(view.cardinality());
+        if 2 * current > n {
+            Verdict::Accepted(AcceptRule::Majority)
+        } else {
+            Verdict::Rejected
+        }
+    }
+
+    fn commit_meta(&self, view: &PartitionView<'_>) -> CopyMeta {
+        debug_assert!(self.decide(view).is_accepted());
+        CopyMeta {
+            version: view.max_version() + 1,
+            cardinality: view.member_count() as u32,
+            distinguished: Distinguished::Irrelevant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{LinearOrder, SiteId};
+
+    fn meta(version: u64, cardinality: u32) -> CopyMeta {
+        CopyMeta {
+            version,
+            cardinality,
+            distinguished: Distinguished::Irrelevant,
+        }
+    }
+
+    fn view<'a>(
+        order: &'a LinearOrder,
+        n: usize,
+        entries: &[(u8, u64, u32)],
+    ) -> PartitionView<'a> {
+        PartitionView::new(
+            n,
+            order,
+            entries
+                .iter()
+                .map(|&(s, v, c)| (SiteId(s), meta(v, c)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn majority_of_current_copies_wins() {
+        let order = LinearOrder::lexicographic(5);
+        // 3 of the 5 version-9 copies present: distinguished.
+        let v = view(&order, 5, &[(0, 9, 5), (1, 9, 5), (2, 9, 5)]);
+        assert!(DynamicVoting.is_distinguished(&v));
+        // Only 2 of 5: not distinguished.
+        let v = view(&order, 5, &[(3, 9, 5), (4, 9, 5)]);
+        assert!(!DynamicVoting.is_distinguished(&v));
+    }
+
+    #[test]
+    fn exactly_half_is_rejected() {
+        let order = LinearOrder::lexicographic(4);
+        let v = view(&order, 4, &[(0, 3, 4), (1, 3, 4)]);
+        assert!(!DynamicVoting.is_distinguished(&v));
+    }
+
+    #[test]
+    fn stale_members_do_not_count_toward_the_quorum() {
+        let order = LinearOrder::lexicographic(5);
+        // One current copy (SC=3) plus two stale ones: 1 of 3 is blocked,
+        // no matter how many stale members are reachable.
+        let v = view(&order, 5, &[(0, 9, 3), (3, 2, 5), (4, 2, 5)]);
+        assert!(!DynamicVoting.is_distinguished(&v));
+    }
+
+    #[test]
+    fn commit_installs_partition_cardinality() {
+        let order = LinearOrder::lexicographic(5);
+        // 2 of 3 current plus 2 stale members: commit resets SC to 4.
+        let v = view(&order, 5, &[(0, 9, 3), (1, 9, 3), (3, 2, 5), (4, 2, 5)]);
+        assert!(DynamicVoting.is_distinguished(&v));
+        let meta = DynamicVoting.commit_meta(&v);
+        assert_eq!(meta.version, 10);
+        assert_eq!(meta.cardinality, 4);
+        assert_eq!(meta.distinguished, Distinguished::Irrelevant);
+    }
+
+    #[test]
+    fn quorum_can_shrink_to_two_but_not_below() {
+        let order = LinearOrder::lexicographic(5);
+        // SC=2: both copies present -> distinguished.
+        let v = view(&order, 5, &[(0, 12, 2), (1, 12, 2)]);
+        assert!(DynamicVoting.is_distinguished(&v));
+        // SC=2: one copy is exactly half -> blocked. This is precisely the
+        // case dynamic-linear's distinguished site was invented for.
+        let v = view(&order, 5, &[(0, 12, 2)]);
+        assert!(!DynamicVoting.is_distinguished(&v));
+    }
+}

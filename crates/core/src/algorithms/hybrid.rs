@@ -1,0 +1,263 @@
+//! The hybrid replica control algorithm — the paper's primary
+//! contribution (Sections III–V).
+//!
+//! The hybrid acts exactly like dynamic-linear, except:
+//!
+//! 1. When a **three-site** partition commits an update, the
+//!    distinguished-site entry is expanded to *list* the three
+//!    participants ([`Distinguished::Trio`]). The algorithm thereby
+//!    switches from dynamic quorum adjustment to a **static**, three-site
+//!    voting scheme.
+//! 2. While the recorded cardinality `N` is 3, a partition is
+//!    distinguished iff it contains **two of the three listed sites** —
+//!    counted over the whole partition `P`, *not* just the current copies
+//!    `I` (step 5 of `Is_Distinguished`: "we do not require that these
+//!    sites be in `I`, but only that they be in `P`"). If the partition
+//!    contains *only* those two sites, the commit leaves `SC` and `DS`
+//!    unchanged (the static phase); with any extra site the algorithm
+//!    re-enters its dynamic phase and re-installs the partition as the
+//!    new quorum base.
+
+use crate::algorithm::{AcceptRule, ReplicaControl, Verdict};
+use crate::algorithms::linear::{dynamic_linear_commit, majority_or_tiebreak};
+use crate::meta::{CopyMeta, Distinguished};
+use crate::view::PartitionView;
+
+/// The hybrid algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hybrid;
+
+impl Hybrid {
+    /// Create the algorithm (stateless).
+    #[must_use]
+    pub fn new() -> Self {
+        Hybrid
+    }
+}
+
+impl ReplicaControl for Hybrid {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn decide(&self, view: &PartitionView<'_>) -> Verdict {
+        // Steps 3 and 4: the dynamic-linear rules.
+        let dynamic = majority_or_tiebreak(view);
+        if dynamic.is_accepted() {
+            return dynamic;
+        }
+        // Step 5: the static trio rule. Applies only when the recorded
+        // cardinality is 3 and the current copies carry a trio list.
+        if view.cardinality() == 3 {
+            if let Some(trio) = view.current_meta().distinguished.trio() {
+                if view.members().intersection(trio).len() >= 2 {
+                    return Verdict::Accepted(AcceptRule::TrioQuorum);
+                }
+            }
+        }
+        Verdict::Rejected
+    }
+
+    fn commit_meta(&self, view: &PartitionView<'_>) -> CopyMeta {
+        debug_assert!(self.decide(view).is_accepted());
+        let members = view.members();
+        // The static phase: "if N = 3 and card(P) = 2, then there is no
+        // change made to SC_i and DS_i" (Do_Update). Only the version
+        // number advances; the potential distinguished partitions stay
+        // pinned to pairs from the recorded trio.
+        if view.cardinality() == 3 && members.len() == 2 {
+            return CopyMeta {
+                version: view.max_version() + 1,
+                ..view.current_meta()
+            };
+        }
+        // Dynamic phase: `DS = P` if card(P) = 3, else the dynamic-linear
+        // rule (greatest participant when card(P) is even).
+        if members.len() == 3 {
+            CopyMeta {
+                version: view.max_version() + 1,
+                cardinality: 3,
+                distinguished: Distinguished::Trio(members),
+            }
+        } else {
+            dynamic_linear_commit(view)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{LinearOrder, SiteId, SiteSet};
+
+    fn view<'a>(
+        order: &'a LinearOrder,
+        n: usize,
+        entries: &[(u8, u64, u32, Distinguished)],
+    ) -> PartitionView<'a> {
+        PartitionView::new(
+            n,
+            order,
+            entries
+                .iter()
+                .map(|&(s, version, cardinality, distinguished)| {
+                    (
+                        SiteId(s),
+                        CopyMeta {
+                            version,
+                            cardinality,
+                            distinguished,
+                        },
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn trio(s: &str) -> Distinguished {
+        Distinguished::Trio(SiteSet::parse(s).unwrap())
+    }
+
+    #[test]
+    fn three_site_commit_installs_the_trio() {
+        let order = LinearOrder::lexicographic(5);
+        // ABC, all current at version 9 with SC=5 (the Section IV opening).
+        let v = view(
+            &order,
+            5,
+            &[
+                (0, 9, 5, Distinguished::Irrelevant),
+                (1, 9, 5, Distinguished::Irrelevant),
+                (2, 9, 5, Distinguished::Irrelevant),
+            ],
+        );
+        assert_eq!(Hybrid.decide(&v), Verdict::Accepted(AcceptRule::Majority));
+        let meta = Hybrid.commit_meta(&v);
+        assert_eq!(meta.version, 10);
+        assert_eq!(meta.cardinality, 3);
+        assert_eq!(meta.distinguished, trio("ABC"));
+    }
+
+    #[test]
+    fn static_phase_two_of_trio_commits_without_metadata_change() {
+        let order = LinearOrder::lexicographic(5);
+        // A and C hold version 10 with SC=3 DS=ABC (Section IV step 2).
+        let v = view(&order, 5, &[(0, 10, 3, trio("ABC")), (2, 10, 3, trio("ABC"))]);
+        assert_eq!(Hybrid.decide(&v), Verdict::Accepted(AcceptRule::Majority));
+        let meta = Hybrid.commit_meta(&v);
+        assert_eq!(meta.version, 11);
+        assert_eq!(meta.cardinality, 3, "static phase keeps SC=3");
+        assert_eq!(meta.distinguished, trio("ABC"), "static phase keeps DS");
+    }
+
+    #[test]
+    fn stale_trio_members_count_toward_the_trio_quorum() {
+        let order = LinearOrder::lexicographic(5);
+        // Section IV step 3: D reaches B, C, E. Only C is current (v11);
+        // B is stale (v10) but is on the trio list, so BC is a trio
+        // majority. Neither dynamic voting nor dynamic-linear permits this.
+        let v = view(
+            &order,
+            5,
+            &[
+                (1, 10, 3, trio("ABC")),
+                (2, 11, 3, trio("ABC")),
+                (3, 9, 5, Distinguished::Irrelevant),
+                (4, 9, 5, Distinguished::Irrelevant),
+            ],
+        );
+        assert_eq!(Hybrid.decide(&v), Verdict::Accepted(AcceptRule::TrioQuorum));
+        // Four sites participate: dynamic phase resumes, SC=4, DS=B
+        // (greatest of BCDE under the lexicographic convention).
+        let meta = Hybrid.commit_meta(&v);
+        assert_eq!(meta.version, 12);
+        assert_eq!(meta.cardinality, 4);
+        assert_eq!(meta.distinguished, Distinguished::Single(SiteId(1)));
+    }
+
+    #[test]
+    fn one_trio_member_is_not_enough() {
+        let order = LinearOrder::lexicographic(5);
+        let v = view(
+            &order,
+            5,
+            &[(2, 11, 3, trio("ABC")), (3, 9, 5, Distinguished::Irrelevant)],
+        );
+        assert_eq!(Hybrid.decide(&v), Verdict::Rejected);
+    }
+
+    #[test]
+    fn even_cardinality_tie_break_still_works() {
+        let order = LinearOrder::lexicographic(5);
+        // Section IV final step: B and E current at v12, SC=4, DS=B.
+        // E reaches only B: exactly half of SC=4 present... no wait, B and
+        // E are both current: card(I)=2 = SC/2, and DS=B ∈ I.
+        let ds = Distinguished::Single(SiteId(1));
+        let v = view(&order, 5, &[(1, 12, 4, ds), (4, 12, 4, ds)]);
+        assert_eq!(Hybrid.decide(&v), Verdict::Accepted(AcceptRule::TieBreak));
+        let meta = Hybrid.commit_meta(&v);
+        assert_eq!(meta.version, 13);
+        assert_eq!(meta.cardinality, 2);
+        assert_eq!(meta.distinguished, Distinguished::Single(SiteId(1)));
+    }
+
+    #[test]
+    fn trio_rule_does_not_fire_for_other_cardinalities() {
+        let order = LinearOrder::lexicographic(5);
+        // SC=5 with a (corrupt) trio entry: step 5 must not apply.
+        let v = view(&order, 5, &[(0, 9, 5, trio("ABC")), (1, 9, 5, trio("ABC"))]);
+        assert_eq!(Hybrid.decide(&v), Verdict::Rejected);
+    }
+
+    #[test]
+    fn all_three_trio_members_re_enter_dynamic_phase() {
+        let order = LinearOrder::lexicographic(5);
+        // The full trio reconvenes: card(P)=3 so DS is re-installed as the
+        // same trio (dynamic phase, but the commit rule card(P)=3 => trio).
+        let v = view(
+            &order,
+            5,
+            &[
+                (0, 11, 3, trio("ABC")),
+                (1, 10, 3, trio("ABC")),
+                (2, 11, 3, trio("ABC")),
+            ],
+        );
+        assert!(Hybrid.is_distinguished(&v));
+        let meta = Hybrid.commit_meta(&v);
+        assert_eq!(meta.cardinality, 3);
+        assert_eq!(meta.distinguished, trio("ABC"));
+    }
+
+    #[test]
+    fn five_site_commit_behaves_like_dynamic_linear() {
+        let order = LinearOrder::lexicographic(8);
+        let entries: Vec<_> = SiteSet::parse("ABCDE")
+            .unwrap()
+            .iter()
+            .map(|s| (s.0, 4u64, 8u32, Distinguished::Single(SiteId(0))))
+            .collect();
+        let v = view(&order, 8, &entries);
+        // 5 of 8 is a majority.
+        assert!(Hybrid.is_distinguished(&v));
+        let meta = Hybrid.commit_meta(&v);
+        assert_eq!(meta.cardinality, 5);
+        assert_eq!(meta.distinguished, Distinguished::Irrelevant);
+    }
+
+    #[test]
+    fn four_site_commit_records_greatest_site() {
+        let order = LinearOrder::lexicographic(6);
+        let entries: Vec<_> = SiteSet::parse("CDEF")
+            .unwrap()
+            .iter()
+            .map(|s| (s.0, 4u64, 6u32, Distinguished::Irrelevant))
+            .collect();
+        let v = view(&order, 6, &entries);
+        assert!(Hybrid.is_distinguished(&v));
+        let meta = Hybrid.commit_meta(&v);
+        assert_eq!(meta.cardinality, 4);
+        assert_eq!(meta.distinguished, Distinguished::Single(SiteId(2)));
+    }
+}

@@ -1,0 +1,203 @@
+//! Dynamic voting with linearly ordered copies ("dynamic-linear",
+//! the paper's ref \[22\]).
+//!
+//! Extends dynamic voting with a per-copy *distinguished site*: whenever
+//! an **even** number `SC` of sites participates in an update, every
+//! participant records the greatest participant (in the file's a-priori
+//! linear order) as `DS`. A partition holding exactly `SC/2` of the
+//! up-to-date copies is distinguished iff those copies include `DS` —
+//! the distinguished site "breaks the tie", letting the quorum shrink all
+//! the way to a single site.
+
+use crate::algorithm::{current_single_ds, AcceptRule, ReplicaControl, Verdict};
+use crate::meta::{CopyMeta, Distinguished};
+use crate::view::PartitionView;
+
+/// Dynamic voting with linearly ordered copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DynamicLinear;
+
+impl DynamicLinear {
+    /// Create the algorithm (stateless).
+    #[must_use]
+    pub fn new() -> Self {
+        DynamicLinear
+    }
+}
+
+/// Shared by `DynamicLinear` and the dynamic phase of the hybrid: steps 3
+/// and 4 of `Is_Distinguished`.
+pub(crate) fn majority_or_tiebreak(view: &PartitionView<'_>) -> Verdict {
+    let current = view.current_count() as u64;
+    let n = u64::from(view.cardinality());
+    if 2 * current > n {
+        return Verdict::Accepted(AcceptRule::Majority);
+    }
+    if 2 * current == n {
+        if let Some(ds) = current_single_ds(view) {
+            if view.current_sites().contains(ds) {
+                return Verdict::Accepted(AcceptRule::TieBreak);
+            }
+        }
+    }
+    Verdict::Rejected
+}
+
+/// The `Do_Update` metadata rule shared by dynamic-linear and the dynamic
+/// phase of the hybrid (minus the hybrid's trio special case): `SC`
+/// becomes `card(P)`; `DS` names the greatest participant when `card(P)`
+/// is even.
+pub(crate) fn dynamic_linear_commit(view: &PartitionView<'_>) -> CopyMeta {
+    let members = view.members();
+    let distinguished = if members.len() % 2 == 0 {
+        Distinguished::Single(
+            view.order()
+                .max_of(members)
+                .expect("distinguished partition is non-empty"),
+        )
+    } else {
+        Distinguished::Irrelevant
+    };
+    CopyMeta {
+        version: view.max_version() + 1,
+        cardinality: members.len() as u32,
+        distinguished,
+    }
+}
+
+impl ReplicaControl for DynamicLinear {
+    fn name(&self) -> &'static str {
+        "dynamic-linear"
+    }
+
+    fn decide(&self, view: &PartitionView<'_>) -> Verdict {
+        majority_or_tiebreak(view)
+    }
+
+    fn commit_meta(&self, view: &PartitionView<'_>) -> CopyMeta {
+        debug_assert!(self.decide(view).is_accepted());
+        dynamic_linear_commit(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{LinearOrder, SiteId, SiteSet};
+
+    fn view<'a>(
+        order: &'a LinearOrder,
+        n: usize,
+        entries: &[(u8, u64, u32, Distinguished)],
+    ) -> PartitionView<'a> {
+        PartitionView::new(
+            n,
+            order,
+            entries
+                .iter()
+                .map(|&(s, version, cardinality, distinguished)| {
+                    (
+                        SiteId(s),
+                        CopyMeta {
+                            version,
+                            cardinality,
+                            distinguished,
+                        },
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tie_break_requires_the_distinguished_site() {
+        let order = LinearOrder::lexicographic(5);
+        let ds = Distinguished::Single(SiteId(0)); // A
+        // Half of SC=2 present, and it is A (the DS): distinguished.
+        let v = view(&order, 5, &[(0, 11, 2, ds)]);
+        assert_eq!(
+            DynamicLinear.decide(&v),
+            Verdict::Accepted(AcceptRule::TieBreak)
+        );
+        // Half present but it is B, not the DS: blocked.
+        let v = view(&order, 5, &[(1, 11, 2, ds)]);
+        assert_eq!(DynamicLinear.decide(&v), Verdict::Rejected);
+    }
+
+    #[test]
+    fn ds_must_be_current_not_merely_reachable() {
+        let order = LinearOrder::lexicographic(5);
+        let ds = Distinguished::Single(SiteId(0));
+        // B holds the current copy; A (the DS) is reachable but stale.
+        // Step 4 demands DS ∈ I, so this is blocked.
+        let v = view(
+            &order,
+            5,
+            &[(1, 11, 2, ds), (0, 9, 5, Distinguished::Irrelevant)],
+        );
+        assert_eq!(DynamicLinear.decide(&v), Verdict::Rejected);
+    }
+
+    #[test]
+    fn quorum_shrinks_to_one_site() {
+        let order = LinearOrder::lexicographic(5);
+        let ds = Distinguished::Single(SiteId(0));
+        let v = view(&order, 5, &[(0, 11, 2, ds)]);
+        let meta = DynamicLinear.commit_meta(&v);
+        assert_eq!(meta.version, 12);
+        assert_eq!(meta.cardinality, 1);
+        assert_eq!(meta.distinguished, Distinguished::Irrelevant);
+    }
+
+    #[test]
+    fn even_commit_records_greatest_participant() {
+        let order = LinearOrder::lexicographic(5);
+        // Partition BCDE updates: DS must be B (lexicographic convention,
+        // matching the Section IV example).
+        let entries: Vec<_> = SiteSet::parse("BCDE")
+            .unwrap()
+            .iter()
+            .map(|s| (s.0, 11u64, 3u32, Distinguished::Irrelevant))
+            .collect();
+        let v = view(&order, 5, &entries);
+        assert!(DynamicLinear.is_distinguished(&v));
+        let meta = DynamicLinear.commit_meta(&v);
+        assert_eq!(meta.cardinality, 4);
+        assert_eq!(meta.distinguished, Distinguished::Single(SiteId(1)));
+    }
+
+    #[test]
+    fn odd_commit_leaves_ds_irrelevant() {
+        let order = LinearOrder::lexicographic(5);
+        let entries: Vec<_> = SiteSet::parse("ABC")
+            .unwrap()
+            .iter()
+            .map(|s| (s.0, 9u64, 5u32, Distinguished::Irrelevant))
+            .collect();
+        let v = view(&order, 5, &entries);
+        let meta = DynamicLinear.commit_meta(&v);
+        assert_eq!(meta.cardinality, 3);
+        assert_eq!(meta.distinguished, Distinguished::Irrelevant);
+    }
+
+    #[test]
+    fn majority_rule_is_still_primary() {
+        let order = LinearOrder::lexicographic(5);
+        let ds = Distinguished::Single(SiteId(4));
+        // 3 of SC=4 present without the DS: majority suffices.
+        let v = view(&order, 5, &[(0, 7, 4, ds), (1, 7, 4, ds), (2, 7, 4, ds)]);
+        assert_eq!(
+            DynamicLinear.decide(&v),
+            Verdict::Accepted(AcceptRule::Majority)
+        );
+    }
+
+    #[test]
+    fn no_ties_possible_with_odd_cardinality() {
+        let order = LinearOrder::lexicographic(5);
+        // SC=3 with one copy present: 2*1 < 3, and no tie-break applies.
+        let v = view(&order, 5, &[(0, 7, 3, Distinguished::Irrelevant)]);
+        assert_eq!(DynamicLinear.decide(&v), Verdict::Rejected);
+    }
+}

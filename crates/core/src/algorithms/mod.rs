@@ -1,0 +1,30 @@
+//! The six replica control algorithms of the paper's family.
+//!
+//! | Algorithm | Source | Data used |
+//! |---|---|---|
+//! | [`StaticVoting`] | Gifford'79 / Thomas'79 (refs \[19\],\[32\],\[35\]) | vote assignment |
+//! | [`DynamicVoting`] | Jajodia–Mutchler, SIGMOD 1987 (ref \[21\]) | `VN`, `SC` |
+//! | [`DynamicLinear`] | Jajodia–Mutchler, VLDB 1987 (ref \[22\]) | `VN`, `SC`, single `DS` |
+//! | [`Hybrid`] | this paper, Sections III–V | `VN`, `SC`, `DS` list |
+//! | [`ModifiedHybrid`] | this paper, Section VII Changes 1–2 | `VN`, `SC`, single `DS` |
+//! | [`OptimalCandidate`] | this paper, Section VII footnote 6 | `VN`, `SC`, single/implicit `DS` |
+//! | [`VotingWithWitnesses`] | Pâris 1986 (refs \[28\],\[29\]) | votes, `VN` (witnesses hold no data) |
+//! | [`CoterieControl`] | Section VII's "any valid coterie"; refs \[5\],\[18\],\[26\] | a fixed coterie |
+
+mod coterie;
+mod dynamic;
+mod hybrid;
+mod linear;
+mod modified_hybrid;
+mod optimal;
+mod voting;
+mod witnesses;
+
+pub use coterie::CoterieControl;
+pub use dynamic::DynamicVoting;
+pub use hybrid::Hybrid;
+pub use linear::DynamicLinear;
+pub use modified_hybrid::ModifiedHybrid;
+pub use optimal::OptimalCandidate;
+pub use voting::StaticVoting;
+pub use witnesses::VotingWithWitnesses;

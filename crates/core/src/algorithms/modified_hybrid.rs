@@ -1,0 +1,310 @@
+//! The modified hybrid algorithm — Section VII, Changes 1 and 2.
+//!
+//! The paper observes that the hybrid's trio list can be avoided: keep
+//! dynamic-linear's data structures (a *single* distinguished site) and
+//! apply two changes.
+//!
+//! * **Change 1.** When exactly two sites perform an update, set
+//!   `SC = 2` and set `DS` to name a site that is *down* — "say, the site
+//!   that most recently failed". (The original hybrid leaves `SC`/`DS`
+//!   unchanged here.)
+//! * **Change 2.** With `SC ≥ 3` use dynamic-linear's rule. With
+//!   `SC = 2`, the partition is distinguished iff it contains both
+//!   version-`M` sites, or exactly one of them **plus the site named by
+//!   `DS`** (which need only be in `P`, not current).
+//!
+//! ## On the paper's equivalence claim
+//!
+//! The paper asserts the modified algorithm "permits exactly the same
+//! updates as the unmodified hybrid". Our analysis (verified by tests)
+//! sharpens this:
+//!
+//! * **Exact accept-set equivalence** holds when the down site chosen at
+//!   each two-site commit is the *absent holder of the updated version's
+//!   predecessor* — i.e. the third member of the hybrid's conceptual
+//!   trio. The literal heuristic "most recently failed" coincides with
+//!   that site in the canonical failure sequence but can diverge when
+//!   unrelated sites fail and recover in between (demonstrated in
+//!   `tests/`), after which the two algorithms accept different
+//!   partitions.
+//! * **Stochastic equivalence** (identical availability) holds for *any*
+//!   down-site choice: under the homogeneous memoryless model every down
+//!   site is exchangeable — the same argument the paper's Theorem 2 uses
+//!   for its oracle algorithm X.
+//!
+//! The commit therefore chooses the replacement distinguished site by
+//! preference: (1) the unique absent member of the previous
+//! pair-plus-guard trio, derivable locally from `I ∪ {old DS}` when the
+//! update is performed by both current sites; (2) the protocol-supplied
+//! [`PartitionView::guard_hint`] (the absent version-`M` holder, or the
+//! most recently failed site — whichever the deployment tracks); (3) the
+//! greatest non-participant in the file's linear order.
+
+use crate::algorithm::{current_single_ds, AcceptRule, ReplicaControl, Verdict};
+use crate::algorithms::linear::{dynamic_linear_commit, majority_or_tiebreak};
+use crate::meta::{CopyMeta, Distinguished};
+use crate::site::SiteSet;
+use crate::view::PartitionView;
+
+/// The Section VII modified hybrid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModifiedHybrid;
+
+impl ModifiedHybrid {
+    /// Create the algorithm (stateless).
+    #[must_use]
+    pub fn new() -> Self {
+        ModifiedHybrid
+    }
+}
+
+/// Decide a view whose recorded cardinality is 2 (Change 2, case 2).
+pub(crate) fn decide_pair(view: &PartitionView<'_>) -> Verdict {
+    match view.current_count() {
+        2.. => Verdict::Accepted(AcceptRule::PairBothCurrent),
+        1 => match current_single_ds(view) {
+            Some(ds) if view.members().contains(ds) => {
+                Verdict::Accepted(AcceptRule::PairTieBreak)
+            }
+            _ => Verdict::Rejected,
+        },
+        _ => Verdict::Rejected,
+    }
+}
+
+/// Change 1's commit for a two-site update: `SC = 2` and `DS` names an
+/// absent site (see the module docs for the choice order).
+fn pair_commit(view: &PartitionView<'_>) -> CopyMeta {
+    let members = view.members();
+    debug_assert_eq!(members.len(), 2);
+    // (1) The previous guard trio is I plus (when SC was 2) the old DS;
+    // when both current sites perform the update its absent member is
+    // derivable locally.
+    let mut guard = view.current_sites();
+    if view.cardinality() == 2 {
+        if let Some(ds) = current_single_ds(view) {
+            guard.insert(ds);
+        }
+    }
+    let replacement = view
+        .order()
+        .max_of(guard.difference(members))
+        // (2) the protocol layer's nomination;
+        .or(view.guard_hint())
+        // (3) any absent site (greatest in the order).
+        .or_else(|| {
+            view.order()
+                .max_of(SiteSet::all(view.n()).difference(members))
+        });
+    let distinguished = match replacement {
+        Some(site) => Distinguished::Single(site),
+        // n = 2: no third site exists to guard the pair.
+        None => Distinguished::Irrelevant,
+    };
+    CopyMeta {
+        version: view.max_version() + 1,
+        cardinality: 2,
+        distinguished,
+    }
+}
+
+impl ReplicaControl for ModifiedHybrid {
+    fn name(&self) -> &'static str {
+        "modified-hybrid"
+    }
+
+    fn decide(&self, view: &PartitionView<'_>) -> Verdict {
+        if view.cardinality() == 2 {
+            decide_pair(view)
+        } else {
+            majority_or_tiebreak(view)
+        }
+    }
+
+    fn commit_meta(&self, view: &PartitionView<'_>) -> CopyMeta {
+        debug_assert!(self.decide(view).is_accepted());
+        if view.member_count() == 2 {
+            pair_commit(view)
+        } else {
+            dynamic_linear_commit(view)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{LinearOrder, SiteId};
+
+    fn view<'a>(
+        order: &'a LinearOrder,
+        n: usize,
+        entries: &[(u8, u64, u32, Distinguished)],
+    ) -> PartitionView<'a> {
+        PartitionView::new(
+            n,
+            order,
+            entries
+                .iter()
+                .map(|&(s, version, cardinality, distinguished)| {
+                    (
+                        SiteId(s),
+                        CopyMeta {
+                            version,
+                            cardinality,
+                            distinguished,
+                        },
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn single(s: u8) -> Distinguished {
+        Distinguished::Single(SiteId(s))
+    }
+
+    #[test]
+    fn pair_rule_accepts_both_current() {
+        let order = LinearOrder::lexicographic(5);
+        let v = view(&order, 5, &[(0, 12, 2, single(2)), (1, 12, 2, single(2))]);
+        assert_eq!(
+            ModifiedHybrid.decide(&v),
+            Verdict::Accepted(AcceptRule::PairBothCurrent)
+        );
+    }
+
+    #[test]
+    fn pair_rule_accepts_one_current_plus_named_site() {
+        let order = LinearOrder::lexicographic(5);
+        // A current (SC=2, DS=C); C reachable but stale: accepted.
+        let v = view(
+            &order,
+            5,
+            &[(0, 12, 2, single(2)), (2, 10, 3, Distinguished::Irrelevant)],
+        );
+        assert_eq!(
+            ModifiedHybrid.decide(&v),
+            Verdict::Accepted(AcceptRule::PairTieBreak)
+        );
+    }
+
+    #[test]
+    fn pair_rule_rejects_one_current_without_named_site() {
+        let order = LinearOrder::lexicographic(5);
+        // A current (SC=2, DS=C); only D reachable: blocked.
+        let v = view(
+            &order,
+            5,
+            &[(0, 12, 2, single(2)), (3, 10, 3, Distinguished::Irrelevant)],
+        );
+        assert_eq!(ModifiedHybrid.decide(&v), Verdict::Rejected);
+    }
+
+    #[test]
+    fn both_current_pair_commit_keeps_the_old_guard() {
+        let order = LinearOrder::lexicographic(5);
+        // Current pair {A, B}, guard C; both update. The absent guard is
+        // derivable locally and must be retained.
+        let v = view(&order, 5, &[(0, 12, 2, single(2)), (1, 12, 2, single(2))]);
+        let meta = ModifiedHybrid.commit_meta(&v);
+        assert_eq!(meta.cardinality, 2);
+        assert_eq!(meta.distinguished, single(2));
+    }
+
+    #[test]
+    fn tie_break_pair_commit_uses_the_guard_hint() {
+        let order = LinearOrder::lexicographic(5);
+        // Current pair was {A, B}; guard C. Partition {A, C}: one current
+        // plus the guard. The hybrid-equivalent new guard is B (the absent
+        // version-M holder), which the protocol layer supplies as a hint.
+        let v = view(
+            &order,
+            5,
+            &[(0, 12, 2, single(2)), (2, 11, 2, single(4))],
+        )
+        .with_guard_hint(Some(SiteId(1)));
+        assert!(ModifiedHybrid.is_distinguished(&v));
+        let meta = ModifiedHybrid.commit_meta(&v);
+        assert_eq!(meta.distinguished, single(1));
+    }
+
+    #[test]
+    fn hint_naming_a_member_is_ignored() {
+        let order = LinearOrder::lexicographic(5);
+        let v = view(&order, 5, &[(0, 12, 2, single(2)), (2, 11, 2, single(4))])
+            .with_guard_hint(Some(SiteId(0)));
+        assert_eq!(v.guard_hint(), None);
+    }
+
+    #[test]
+    fn pair_commit_falls_back_to_greatest_absent_site() {
+        let order = LinearOrder::lexicographic(5);
+        // After a 3-site update ({A,B,D} current, SC=3), A and B update as
+        // a pair. The absent version-M holder D is not derivable locally
+        // and no hint is supplied: the fallback picks the greatest absent
+        // site (C under the lexicographic convention).
+        let v = view(
+            &order,
+            5,
+            &[
+                (0, 10, 3, Distinguished::Irrelevant),
+                (1, 10, 3, Distinguished::Irrelevant),
+            ],
+        );
+        assert!(ModifiedHybrid.is_distinguished(&v));
+        let meta = ModifiedHybrid.commit_meta(&v);
+        assert_eq!(meta.cardinality, 2);
+        assert_eq!(meta.distinguished, single(2));
+    }
+
+    #[test]
+    fn sc_three_or_more_uses_dynamic_linear_rules() {
+        let order = LinearOrder::lexicographic(5);
+        // SC=3: a single current copy is blocked even with stale company —
+        // the modified hybrid has no trio list to consult.
+        let v = view(
+            &order,
+            5,
+            &[
+                (2, 11, 3, Distinguished::Irrelevant),
+                (1, 10, 3, Distinguished::Irrelevant),
+            ],
+        );
+        assert_eq!(ModifiedHybrid.decide(&v), Verdict::Rejected);
+        // SC=4 tie-break with DS current works as in dynamic-linear.
+        let v = view(&order, 5, &[(1, 12, 4, single(1)), (4, 12, 4, single(1))]);
+        assert_eq!(
+            ModifiedHybrid.decide(&v),
+            Verdict::Accepted(AcceptRule::TieBreak)
+        );
+    }
+
+    #[test]
+    fn three_site_commit_resets_cardinality() {
+        let order = LinearOrder::lexicographic(5);
+        let v = view(
+            &order,
+            5,
+            &[
+                (0, 12, 2, single(2)),
+                (2, 10, 3, Distinguished::Irrelevant),
+                (3, 10, 3, Distinguished::Irrelevant),
+            ],
+        );
+        assert!(ModifiedHybrid.is_distinguished(&v));
+        let meta = ModifiedHybrid.commit_meta(&v);
+        assert_eq!(meta.cardinality, 3);
+        assert_eq!(meta.distinguished, Distinguished::Irrelevant);
+    }
+
+    #[test]
+    fn two_site_network_has_no_guard() {
+        let order = LinearOrder::lexicographic(2);
+        let v = view(&order, 2, &[(0, 5, 2, single(1)), (1, 5, 2, single(1))]);
+        assert!(ModifiedHybrid.is_distinguished(&v));
+        let meta = ModifiedHybrid.commit_meta(&v);
+        assert_eq!(meta.distinguished, Distinguished::Irrelevant);
+    }
+}

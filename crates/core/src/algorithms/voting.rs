@@ -1,0 +1,148 @@
+//! Static (weighted) majority voting — the baseline the paper compares
+//! against.
+//!
+//! "For voting in its simplest form, the distinguished partition is the
+//! partition, if any, that contains more than half of the sites"
+//! (Section III). With weighted votes this generalises to: more than half
+//! of the total votes. The algorithm is *static*: the set of possible
+//! distinguished partitions is fixed in advance, so a commit changes only
+//! the version number.
+
+use crate::algorithm::{AcceptRule, ReplicaControl, Verdict};
+use crate::meta::CopyMeta;
+use crate::quorum::VoteAssignment;
+use crate::view::PartitionView;
+
+/// Static voting with an arbitrary vote assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticVoting {
+    votes: VoteAssignment,
+}
+
+impl StaticVoting {
+    /// Uniform one-vote-per-site voting over `n` sites (the configuration
+    /// used in all of the paper's comparisons).
+    #[must_use]
+    pub fn uniform(n: usize) -> Self {
+        StaticVoting {
+            votes: VoteAssignment::uniform(n),
+        }
+    }
+
+    /// Weighted voting.
+    #[must_use]
+    pub fn weighted(votes: VoteAssignment) -> Self {
+        StaticVoting { votes }
+    }
+
+    /// The vote assignment in force.
+    #[must_use]
+    pub fn votes(&self) -> &VoteAssignment {
+        &self.votes
+    }
+}
+
+impl ReplicaControl for StaticVoting {
+    fn name(&self) -> &'static str {
+        "voting"
+    }
+
+    fn decide(&self, view: &PartitionView<'_>) -> Verdict {
+        debug_assert_eq!(
+            self.votes.len(),
+            view.n(),
+            "vote assignment must cover all replica sites"
+        );
+        if self.votes.is_majority(view.members()) {
+            Verdict::Accepted(AcceptRule::VoteQuorum)
+        } else {
+            Verdict::Rejected
+        }
+    }
+
+    fn commit_meta(&self, view: &PartitionView<'_>) -> CopyMeta {
+        debug_assert!(self.decide(view).is_accepted());
+        // Static algorithm: only the version number advances. Any two vote
+        // quorums intersect, so the quorum always holds a globally current
+        // copy; SC/DS are dead weight carried along unchanged.
+        CopyMeta {
+            version: view.max_version() + 1,
+            ..view.current_meta()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::Distinguished;
+    use crate::site::{LinearOrder, SiteId, SiteSet};
+
+    fn view_of<'a>(
+        n: usize,
+        order: &'a LinearOrder,
+        members: &str,
+        version_of: impl Fn(SiteId) -> u64,
+    ) -> PartitionView<'a> {
+        let responses = SiteSet::parse(members)
+            .unwrap()
+            .iter()
+            .map(|s| {
+                (
+                    s,
+                    CopyMeta {
+                        version: version_of(s),
+                        cardinality: n as u32,
+                        distinguished: Distinguished::Irrelevant,
+                    },
+                )
+            })
+            .collect();
+        PartitionView::new(n, order, responses).unwrap()
+    }
+
+    #[test]
+    fn majority_of_five_is_three() {
+        let order = LinearOrder::lexicographic(5);
+        let algo = StaticVoting::uniform(5);
+        assert!(algo.is_distinguished(&view_of(5, &order, "ABC", |_| 4)));
+        assert!(!algo.is_distinguished(&view_of(5, &order, "DE", |_| 4)));
+    }
+
+    #[test]
+    fn exactly_half_is_rejected() {
+        let order = LinearOrder::lexicographic(4);
+        let algo = StaticVoting::uniform(4);
+        assert!(!algo.is_distinguished(&view_of(4, &order, "AB", |_| 0)));
+        assert!(algo.is_distinguished(&view_of(4, &order, "ABC", |_| 0)));
+    }
+
+    #[test]
+    fn commit_only_bumps_version() {
+        let order = LinearOrder::lexicographic(5);
+        let algo = StaticVoting::uniform(5);
+        let view = view_of(5, &order, "ABC", |s| if s == SiteId(0) { 7 } else { 5 });
+        let meta = algo.commit_meta(&view);
+        assert_eq!(meta.version, 8);
+        assert_eq!(meta.cardinality, 5);
+    }
+
+    #[test]
+    fn weighted_primary_site_can_update_alone() {
+        let order = LinearOrder::lexicographic(3);
+        // A holds 3 of 5 votes: "voting with a primary site" flavour.
+        let algo = StaticVoting::weighted(VoteAssignment::new(vec![3, 1, 1]));
+        assert!(algo.is_distinguished(&view_of(3, &order, "A", |_| 0)));
+        assert!(!algo.is_distinguished(&view_of(3, &order, "BC", |_| 0)));
+    }
+
+    #[test]
+    fn verdict_reports_vote_quorum_rule() {
+        let order = LinearOrder::lexicographic(3);
+        let algo = StaticVoting::uniform(3);
+        assert_eq!(
+            algo.decide(&view_of(3, &order, "AB", |_| 0)),
+            Verdict::Accepted(AcceptRule::VoteQuorum)
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Voting with witnesses — Pâris's scheme (the paper's refs \[28\],\[29\]).
+//!
+//! The paper borrows the first four assumptions of its stochastic model
+//! from Pâris's analysis of *voting with witnesses*: a static voting
+//! scheme where some sites hold **witnesses** — they carry a version
+//! number and a vote, but no data. Witnesses make quorums cheaper (a
+//! witness is a few bytes of state) while preserving safety: any two
+//! vote majorities intersect.
+//!
+//! Decision rule: the partition is distinguished iff its members hold a
+//! strict majority of the votes **and** some *data copy* in the
+//! partition holds the partition's newest version number — otherwise
+//! there is nothing to read the current file contents from. The version
+//! bookkeeping is exactly why witnesses work: a witness's `VN`
+//! participates in establishing which version is newest, vetoing any
+//! quorum whose copies are all stale.
+//!
+//! Like plain voting the scheme is static (`SC`/`DS` never change); it
+//! is included here as the natural third baseline and because the
+//! asymmetric site roles exercise the unlumped analysis path
+//! (`dynvote_markov::hetero::hetero_chain_for`).
+
+use crate::algorithm::{AcceptRule, ReplicaControl, Verdict};
+use crate::meta::CopyMeta;
+use crate::quorum::VoteAssignment;
+use crate::site::SiteSet;
+use crate::view::PartitionView;
+
+/// Static voting over data copies plus witnesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VotingWithWitnesses {
+    copies: SiteSet,
+    votes: VoteAssignment,
+}
+
+impl VotingWithWitnesses {
+    /// One vote per site; `copies` hold data, all other sites of the
+    /// `n`-site system are witnesses.
+    ///
+    /// # Panics
+    ///
+    /// If `copies` is empty or names sites outside `0..n`.
+    #[must_use]
+    pub fn uniform(n: usize, copies: SiteSet) -> Self {
+        assert!(!copies.is_empty(), "at least one data copy is required");
+        assert!(
+            copies.is_subset(SiteSet::all(n)),
+            "copies must be replica sites"
+        );
+        VotingWithWitnesses {
+            copies,
+            votes: VoteAssignment::uniform(n),
+        }
+    }
+
+    /// Weighted votes (witness votes may differ from copy votes).
+    #[must_use]
+    pub fn weighted(copies: SiteSet, votes: VoteAssignment) -> Self {
+        assert!(!copies.is_empty());
+        assert!(copies.is_subset(SiteSet::all(votes.len())));
+        VotingWithWitnesses { copies, votes }
+    }
+
+    /// The sites holding real data.
+    #[must_use]
+    pub fn copies(&self) -> SiteSet {
+        self.copies
+    }
+
+    /// The witness sites.
+    #[must_use]
+    pub fn witnesses(&self) -> SiteSet {
+        SiteSet::all(self.votes.len()).difference(self.copies)
+    }
+}
+
+impl ReplicaControl for VotingWithWitnesses {
+    fn name(&self) -> &'static str {
+        "witnesses"
+    }
+
+    fn decide(&self, view: &PartitionView<'_>) -> Verdict {
+        debug_assert_eq!(self.votes.len(), view.n());
+        if !self.votes.is_majority(view.members()) {
+            return Verdict::Rejected;
+        }
+        // A current *data* copy must be present: witnesses can vouch for
+        // the version number but cannot supply the file contents.
+        if view.current_sites().intersection(self.copies).is_empty() {
+            return Verdict::Rejected;
+        }
+        Verdict::Accepted(AcceptRule::VoteQuorum)
+    }
+
+    fn commit_meta(&self, view: &PartitionView<'_>) -> CopyMeta {
+        debug_assert!(self.decide(view).is_accepted());
+        // Static: only the version number advances (at copies and
+        // witnesses alike — a witness's fresh VN is its entire job).
+        CopyMeta {
+            version: view.max_version() + 1,
+            ..view.current_meta()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::Distinguished;
+    use crate::site::{LinearOrder, SiteId};
+
+    fn view<'a>(
+        order: &'a LinearOrder,
+        n: usize,
+        entries: &[(u8, u64)],
+    ) -> PartitionView<'a> {
+        PartitionView::new(
+            n,
+            order,
+            entries
+                .iter()
+                .map(|&(s, version)| {
+                    (
+                        SiteId(s),
+                        CopyMeta {
+                            version,
+                            cardinality: n as u32,
+                            distinguished: Distinguished::Irrelevant,
+                        },
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn set(s: &str) -> SiteSet {
+        SiteSet::parse(s).unwrap()
+    }
+
+    #[test]
+    fn majority_with_current_copy_is_accepted() {
+        let order = LinearOrder::lexicographic(3);
+        // Copies A, B; witness C.
+        let algo = VotingWithWitnesses::uniform(3, set("AB"));
+        assert_eq!(algo.witnesses(), set("C"));
+        // A (current copy) + C (witness): majority with data.
+        let v = view(&order, 3, &[(0, 5), (2, 5)]);
+        assert!(algo.is_distinguished(&v));
+    }
+
+    #[test]
+    fn witness_majority_without_current_copy_is_rejected() {
+        let order = LinearOrder::lexicographic(3);
+        let algo = VotingWithWitnesses::uniform(3, set("AB"));
+        // B (stale copy, v4) + C (witness at v5): a majority, but the
+        // only member knowing version 5 is the witness — no data source.
+        let v = view(&order, 3, &[(1, 4), (2, 5)]);
+        assert!(!algo.is_distinguished(&v));
+    }
+
+    #[test]
+    fn stale_copy_plus_witness_confirming_it_is_fine() {
+        let order = LinearOrder::lexicographic(3);
+        let algo = VotingWithWitnesses::uniform(3, set("AB"));
+        // B and C agree on v5 (B *is* current; the witness confirms no
+        // newer version exists in this partition).
+        let v = view(&order, 3, &[(1, 5), (2, 5)]);
+        assert!(algo.is_distinguished(&v));
+    }
+
+    #[test]
+    fn minority_is_rejected() {
+        let order = LinearOrder::lexicographic(3);
+        let algo = VotingWithWitnesses::uniform(3, set("AB"));
+        let v = view(&order, 3, &[(0, 5)]);
+        assert!(!algo.is_distinguished(&v));
+    }
+
+    #[test]
+    fn commit_bumps_version_only() {
+        let order = LinearOrder::lexicographic(3);
+        let algo = VotingWithWitnesses::uniform(3, set("AB"));
+        let v = view(&order, 3, &[(0, 5), (2, 5)]);
+        let meta = algo.commit_meta(&v);
+        assert_eq!(meta.version, 6);
+        assert_eq!(meta.cardinality, 3);
+    }
+
+    #[test]
+    fn weighted_witness_can_be_tie_breaker_only() {
+        // Copies A, B with 2 votes each; witness C with 1: total 5.
+        // A alone (2 of 5) is a minority; A + C (3 of 5) is quorate.
+        let order = LinearOrder::lexicographic(3);
+        let algo =
+            VotingWithWitnesses::weighted(set("AB"), VoteAssignment::new(vec![2, 2, 1]));
+        assert!(!algo.is_distinguished(&view(&order, 3, &[(0, 5)])));
+        assert!(algo.is_distinguished(&view(&order, 3, &[(0, 5), (2, 5)])));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data copy")]
+    fn no_copies_is_rejected_at_construction() {
+        let _ = VotingWithWitnesses::uniform(3, SiteSet::EMPTY);
+    }
+}

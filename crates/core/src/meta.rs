@@ -1,0 +1,170 @@
+//! Per-copy replica metadata: the `(VN, SC, DS)` triple of Section V-A.
+//!
+//! Every copy `f_i` of the replicated file carries three variables:
+//!
+//! * **version number** `VN_i` — counts successful updates (Definition 1);
+//! * **update sites cardinality** `SC_i` — (almost always) the number of
+//!   sites that participated in the most recent update (Definition 2);
+//! * **distinguished sites list** `DS_i` — meaningful when `SC_i` is even
+//!   (a single tie-breaking site) or, under the hybrid algorithm, when
+//!   `SC_i = 3` (the static trio) (Definition 3).
+
+use crate::site::{SiteId, SiteSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The distinguished-sites entry `DS_i` attached to a copy.
+///
+/// Different algorithms populate this differently; the variants make the
+/// intent explicit and let each decision rule state exactly what it needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Distinguished {
+    /// The entry is irrelevant for the current cardinality (e.g. odd `SC`
+    /// under dynamic-linear). Decision rules must not read it.
+    Irrelevant,
+    /// A single tie-breaking site (dynamic-linear; hybrid with even `SC`;
+    /// modified hybrid with `SC = 2`).
+    Single(SiteId),
+    /// The hybrid algorithm's static trio: the three sites from which a
+    /// majority (two) is required to form a distinguished partition.
+    Trio(SiteSet),
+    /// A general site set (the Section VII "optimal candidate" sets `DS`
+    /// to the complement of the two updating sites).
+    Set(SiteSet),
+}
+
+impl Distinguished {
+    /// The sites named by the entry (empty for [`Distinguished::Irrelevant`]).
+    #[must_use]
+    pub fn sites(self) -> SiteSet {
+        match self {
+            Distinguished::Irrelevant => SiteSet::EMPTY,
+            Distinguished::Single(s) => SiteSet::singleton(s),
+            Distinguished::Trio(set) | Distinguished::Set(set) => set,
+        }
+    }
+
+    /// The single site, if this is a [`Distinguished::Single`] entry.
+    #[must_use]
+    pub fn single(self) -> Option<SiteId> {
+        match self {
+            Distinguished::Single(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The trio, if this is a [`Distinguished::Trio`] entry.
+    #[must_use]
+    pub fn trio(self) -> Option<SiteSet> {
+        match self {
+            Distinguished::Trio(set) => Some(set),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Distinguished {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distinguished::Irrelevant => write!(f, "—"),
+            Distinguished::Single(s) => write!(f, "{s}"),
+            Distinguished::Trio(set) => write!(f, "{set}"),
+            Distinguished::Set(set) => write!(f, "{{{set}}}"),
+        }
+    }
+}
+
+/// The `(VN, SC, DS)` metadata triple carried by one copy of the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CopyMeta {
+    /// Version number `VN_i`: number of successful updates to this copy.
+    pub version: u64,
+    /// Update sites cardinality `SC_i`.
+    pub cardinality: u32,
+    /// Distinguished sites entry/list `DS_i`.
+    pub distinguished: Distinguished,
+}
+
+impl CopyMeta {
+    /// The initial metadata of Definition 1/2: `VN = 0`, `SC = n`, `DS`
+    /// chosen for a full-network update (the greatest site if `n` is even,
+    /// the trio if `n = 3`, irrelevant otherwise).
+    ///
+    /// The `DS` initialisation mirrors what a first full-partition update
+    /// would install, so a fresh system behaves as if update 0 had been
+    /// performed by all `n` sites.
+    #[must_use]
+    pub fn initial(n: usize, order: &crate::site::LinearOrder) -> Self {
+        let all = SiteSet::all(n);
+        let distinguished = if n == 3 {
+            Distinguished::Trio(all)
+        } else if n % 2 == 0 {
+            Distinguished::Single(order.max_of(all).expect("n > 0"))
+        } else {
+            Distinguished::Irrelevant
+        };
+        CopyMeta {
+            version: 0,
+            cardinality: n as u32,
+            distinguished,
+        }
+    }
+}
+
+impl fmt::Display for CopyMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VN={} SC={} DS={}",
+            self.version, self.cardinality, self.distinguished
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::LinearOrder;
+
+    #[test]
+    fn initial_meta_for_odd_n() {
+        let order = LinearOrder::lexicographic(5);
+        let meta = CopyMeta::initial(5, &order);
+        assert_eq!(meta.version, 0);
+        assert_eq!(meta.cardinality, 5);
+        assert_eq!(meta.distinguished, Distinguished::Irrelevant);
+    }
+
+    #[test]
+    fn initial_meta_for_even_n_names_greatest_site() {
+        let order = LinearOrder::lexicographic(4);
+        let meta = CopyMeta::initial(4, &order);
+        // Lexicographic convention: A is greatest.
+        assert_eq!(meta.distinguished, Distinguished::Single(SiteId(0)));
+    }
+
+    #[test]
+    fn initial_meta_for_three_sites_is_a_trio() {
+        let order = LinearOrder::lexicographic(3);
+        let meta = CopyMeta::initial(3, &order);
+        assert_eq!(meta.distinguished, Distinguished::Trio(SiteSet::all(3)));
+    }
+
+    #[test]
+    fn distinguished_accessors() {
+        let trio = SiteSet::parse("ABC").unwrap();
+        assert_eq!(Distinguished::Trio(trio).trio(), Some(trio));
+        assert_eq!(Distinguished::Trio(trio).single(), None);
+        assert_eq!(Distinguished::Single(SiteId(1)).single(), Some(SiteId(1)));
+        assert_eq!(Distinguished::Irrelevant.sites(), SiteSet::EMPTY);
+        assert_eq!(Distinguished::Set(trio).sites(), trio);
+    }
+
+    #[test]
+    fn display_formats() {
+        let order = LinearOrder::lexicographic(3);
+        let meta = CopyMeta::initial(3, &order);
+        assert_eq!(meta.to_string(), "VN=0 SC=3 DS=ABC");
+        assert_eq!(Distinguished::Irrelevant.to_string(), "—");
+    }
+}

@@ -1,0 +1,400 @@
+//! Static quorum machinery: weighted vote assignments and coteries.
+//!
+//! Static voting ([Gifford 1979], [Thomas 1979]) assigns each site a
+//! number of votes; a partition may update the file when its members hold
+//! strictly more than half of the total votes. The set of minimal such
+//! partitions forms a *coterie* ([Garcia-Molina & Barbara 1985], the
+//! paper's refs \[5\], \[18\], \[26\]): a family of pairwise-intersecting,
+//! mutually non-containing site sets. Section VII of the paper frames
+//! every algorithm in the family as a (dynamically re-assigned) coterie;
+//! this module provides the static building blocks and the predicates the
+//! property tests use to certify pessimism.
+
+use crate::site::{SiteId, SiteSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A weighted vote assignment over `n` sites.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoteAssignment {
+    votes: Vec<u64>,
+}
+
+impl VoteAssignment {
+    /// One vote per site (the assignment used throughout the paper's
+    /// evaluation).
+    #[must_use]
+    pub fn uniform(n: usize) -> Self {
+        VoteAssignment { votes: vec![1; n] }
+    }
+
+    /// An explicit assignment; zero-vote sites (witness-less copies) are
+    /// permitted.
+    #[must_use]
+    pub fn new(votes: Vec<u64>) -> Self {
+        assert!(!votes.is_empty(), "vote assignment must cover >= 1 site");
+        assert!(
+            votes.iter().any(|&v| v > 0),
+            "at least one site must hold votes"
+        );
+        VoteAssignment { votes }
+    }
+
+    /// Number of sites covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// True if no sites are covered (never true for a valid assignment).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.votes.is_empty()
+    }
+
+    /// Votes held by one site.
+    #[must_use]
+    pub fn votes_of(&self, site: SiteId) -> u64 {
+        self.votes[site.index()]
+    }
+
+    /// Total votes in the system.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.votes.iter().sum()
+    }
+
+    /// Votes held collectively by `set`.
+    #[must_use]
+    pub fn tally(&self, set: SiteSet) -> u64 {
+        set.iter().map(|s| self.votes_of(s)).sum()
+    }
+
+    /// True if `set` holds strictly more than half of all votes — the
+    /// static-voting distinguished-partition test.
+    #[must_use]
+    pub fn is_majority(&self, set: SiteSet) -> bool {
+        2 * self.tally(set) > self.total()
+    }
+
+    /// Enumerate the coterie induced by this assignment: all *minimal*
+    /// majorities.
+    ///
+    /// Exponential in `n`; intended for tests and small `n` (≤ ~20).
+    #[must_use]
+    pub fn coterie(&self) -> Coterie {
+        let n = self.len();
+        let mut quorums: Vec<SiteSet> = Vec::new();
+        for bits in 1u64..(1u64 << n) {
+            let set = SiteSet::from_bits(bits);
+            if self.is_majority(set) {
+                quorums.push(set);
+            }
+        }
+        Coterie::minimalize(quorums)
+    }
+}
+
+impl fmt::Display for VoteAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.votes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}:{v}", SiteId::new(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A coterie: an antichain of pairwise-intersecting quorums.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coterie {
+    quorums: Vec<SiteSet>,
+}
+
+impl Coterie {
+    /// Build a coterie from a quorum family by dropping non-minimal
+    /// members. Panics if the remaining family violates the intersection
+    /// property.
+    #[must_use]
+    pub fn minimalize(mut quorums: Vec<SiteSet>) -> Self {
+        quorums.sort_by_key(|q| (q.len(), q.bits()));
+        quorums.dedup();
+        let mut minimal: Vec<SiteSet> = Vec::new();
+        for q in quorums {
+            if !minimal.iter().any(|m| m.is_subset(q)) {
+                minimal.push(q);
+            }
+        }
+        let coterie = Coterie { quorums: minimal };
+        assert!(
+            coterie.intersecting(),
+            "quorum family violates the coterie intersection property"
+        );
+        coterie
+    }
+
+    /// Build from already-minimal quorums, returning `None` if the family
+    /// is not an intersecting antichain.
+    #[must_use]
+    pub fn try_new(quorums: Vec<SiteSet>) -> Option<Self> {
+        let coterie = Coterie { quorums };
+        if coterie.is_antichain() && coterie.intersecting() {
+            Some(coterie)
+        } else {
+            None
+        }
+    }
+
+    /// The minimal quorums.
+    #[must_use]
+    pub fn quorums(&self) -> &[SiteSet] {
+        &self.quorums
+    }
+
+    /// True if `set` contains some quorum.
+    #[must_use]
+    pub fn is_quorum(&self, set: SiteSet) -> bool {
+        self.quorums.iter().any(|q| q.is_subset(set))
+    }
+
+    /// Intersection property: every pair of quorums shares a site. This
+    /// is precisely what forbids two simultaneous distinguished
+    /// partitions.
+    #[must_use]
+    pub fn intersecting(&self) -> bool {
+        for (i, a) in self.quorums.iter().enumerate() {
+            for b in &self.quorums[i + 1..] {
+                if a.is_disjoint(*b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Minimality: no quorum contains another.
+    #[must_use]
+    pub fn is_antichain(&self) -> bool {
+        for (i, a) in self.quorums.iter().enumerate() {
+            for (j, b) in self.quorums.iter().enumerate() {
+                if i != j && a.is_subset(*b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True if this coterie *dominates* `other`: every quorum of `other`
+    /// contains a quorum of `self`. Non-dominated coteries maximise
+    /// availability ([Garcia-Molina & Barbara 1985]).
+    #[must_use]
+    pub fn dominates(&self, other: &Coterie) -> bool {
+        other.quorums.iter().all(|q| self.is_quorum(*q))
+    }
+}
+
+impl Coterie {
+    /// The binary-tree quorum coterie (Agrawal–El Abbadi): sites are the
+    /// nodes of a complete binary tree; a quorum is a root-to-leaf path,
+    /// with a failed node replaced by paths through *both* its children.
+    /// Quorums have logarithmic size in the best case yet still pairwise
+    /// intersect.
+    ///
+    /// `levels` complete levels, so `2^levels − 1` sites.
+    ///
+    /// # Panics
+    ///
+    /// If `levels` is 0 or the tree exceeds [`crate::MAX_SITES`] sites.
+    #[must_use]
+    pub fn binary_tree(levels: u32) -> Self {
+        assert!((1..=6).contains(&levels), "1..=6 levels (<= 63 sites)");
+        let n = (1usize << levels) - 1;
+        // Recursive quorum enumeration: quorums(v) = {v} × quorums(left)
+        // ∪ {v} × quorums(right) for the path rule, plus (v failed):
+        // quorums(left) × quorums(right).
+        fn quorums_of(v: usize, n: usize) -> Vec<SiteSet> {
+            let (l, r) = (2 * v + 1, 2 * v + 2);
+            let me = SiteId::new(v);
+            if l >= n {
+                return vec![SiteSet::singleton(me)];
+            }
+            let left = quorums_of(l, n);
+            let right = quorums_of(r, n);
+            let mut result = Vec::new();
+            for q in left.iter().chain(right.iter()) {
+                let mut with_me = *q;
+                with_me.insert(me);
+                result.push(with_me);
+            }
+            for ql in &left {
+                for qr in &right {
+                    result.push(ql.union(*qr));
+                }
+            }
+            result
+        }
+        Coterie::minimalize(quorums_of(0, n))
+    }
+
+    /// The grid quorum coterie (Cheung–Ammar–Ahamad / Maekawa-style):
+    /// sites form a `rows × cols` grid; a quorum is one full row plus
+    /// one representative from every other row, guaranteeing pairwise
+    /// intersection.
+    ///
+    /// # Panics
+    ///
+    /// If the grid is degenerate or exceeds [`crate::MAX_SITES`] sites.
+    #[must_use]
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1 && rows * cols <= crate::MAX_SITES);
+        let site = |r: usize, c: usize| SiteId::new(r * cols + c);
+        let mut quorums = Vec::new();
+        // Choose the full row, then a representative per other row.
+        let mut reps = vec![0usize; rows];
+        for full in 0..rows {
+            loop {
+                let mut q = SiteSet::EMPTY;
+                for c in 0..cols {
+                    q.insert(site(full, c));
+                }
+                for (r, &rep) in reps.iter().enumerate() {
+                    if r != full {
+                        q.insert(site(r, rep));
+                    }
+                }
+                quorums.push(q);
+                // Odometer over representatives of the other rows.
+                let mut carried = true;
+                for (r, rep) in reps.iter_mut().enumerate() {
+                    if r == full {
+                        continue;
+                    }
+                    *rep += 1;
+                    if *rep < cols {
+                        carried = false;
+                        break;
+                    }
+                    *rep = 0;
+                }
+                if carried {
+                    break;
+                }
+            }
+            reps.iter_mut().for_each(|r| *r = 0);
+        }
+        Coterie::minimalize(quorums)
+    }
+}
+
+impl fmt::Display for Coterie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, q) in self.quorums.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(s: &str) -> SiteSet {
+        SiteSet::parse(s).unwrap()
+    }
+
+    #[test]
+    fn uniform_majority() {
+        let votes = VoteAssignment::uniform(5);
+        assert_eq!(votes.total(), 5);
+        assert!(votes.is_majority(set("ABC")));
+        assert!(!votes.is_majority(set("AB")));
+        assert_eq!(votes.tally(set("AD")), 2);
+    }
+
+    #[test]
+    fn even_n_has_no_half_majority() {
+        let votes = VoteAssignment::uniform(4);
+        assert!(!votes.is_majority(set("AB")));
+        assert!(votes.is_majority(set("ABC")));
+    }
+
+    #[test]
+    fn weighted_votes_shift_the_quorum() {
+        // A holds 3 votes, the rest 1 each: total 6, majority needs > 3.
+        let votes = VoteAssignment::new(vec![3, 1, 1, 1]);
+        assert!(votes.is_majority(set("AB")));
+        assert!(!votes.is_majority(set("A"))); // exactly half is not enough
+        assert!(!votes.is_majority(set("BCD")));
+    }
+
+    #[test]
+    fn zero_vote_sites_are_witnesses() {
+        let votes = VoteAssignment::new(vec![1, 1, 1, 0]);
+        assert!(votes.is_majority(set("AB")));
+        assert!(!votes.is_majority(set("AD")));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn all_zero_votes_rejected() {
+        let _ = VoteAssignment::new(vec![0, 0]);
+    }
+
+    #[test]
+    fn coterie_of_uniform_three() {
+        let coterie = VoteAssignment::uniform(3).coterie();
+        assert_eq!(coterie.quorums().len(), 3);
+        assert!(coterie.is_quorum(set("AB")));
+        assert!(coterie.is_quorum(set("ABC")));
+        assert!(!coterie.is_quorum(set("C")));
+        assert!(coterie.intersecting());
+        assert!(coterie.is_antichain());
+    }
+
+    #[test]
+    fn coterie_of_uniform_five_is_all_triples() {
+        let coterie = VoteAssignment::uniform(5).coterie();
+        assert_eq!(coterie.quorums().len(), 10); // C(5,3)
+        assert!(coterie.quorums().iter().all(|q| q.len() == 3));
+    }
+
+    #[test]
+    fn minimalize_drops_supersets() {
+        let coterie = Coterie::minimalize(vec![set("AB"), set("ABC"), set("AC"), set("BC")]);
+        assert_eq!(coterie.quorums().len(), 3);
+        assert!(coterie.is_antichain());
+    }
+
+    #[test]
+    fn try_new_rejects_disjoint_quorums() {
+        assert!(Coterie::try_new(vec![set("AB"), set("CD")]).is_none());
+        assert!(Coterie::try_new(vec![set("AB"), set("BC"), set("AC")]).is_some());
+    }
+
+    #[test]
+    fn try_new_rejects_non_antichain() {
+        assert!(Coterie::try_new(vec![set("AB"), set("ABC")]).is_none());
+    }
+
+    #[test]
+    fn primary_site_coterie_dominates_nothing_unusual() {
+        // Primary-copy: the singleton {A} is a valid coterie and dominates
+        // the majority coterie on {A,B,C} restricted to quorums through A?
+        // No: majority quorum BC does not contain {A}; domination fails.
+        let primary = Coterie::try_new(vec![set("A")]).unwrap();
+        let majority = VoteAssignment::uniform(3).coterie();
+        assert!(!primary.dominates(&majority));
+        // But it does dominate the coterie {AB, AC}:
+        let through_a = Coterie::try_new(vec![set("AB"), set("AC")]).unwrap();
+        assert!(primary.dominates(&through_a));
+    }
+}

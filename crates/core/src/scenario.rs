@@ -1,0 +1,479 @@
+//! A model-level executable replica system and a partition-graph scenario
+//! runner.
+//!
+//! [`ReplicaSystem`] keeps one `(VN, SC, DS)` triple per site and applies
+//! the paper's protocol *semantics* (voting → catch-up → commit) to
+//! explicit partitions, without messages or clocks. It is the shared
+//! executable substrate of:
+//!
+//! * the Section IV worked example and the Fig. 1 partition graph;
+//! * the Monte-Carlo model simulator (`dynvote-mc`);
+//! * the automatic state-space derivation (`dynvote-markov`).
+//!
+//! The message-level protocol with locks, 2PC and failure handling lives
+//! in `dynvote-sim`; its committed states must agree with this model (an
+//! invariant its tests check).
+
+use crate::algorithm::{ReplicaControl, Verdict};
+use crate::meta::CopyMeta;
+use crate::site::{LinearOrder, SiteId, SiteSet};
+use crate::view::PartitionView;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of one update attempt in one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateOutcome {
+    /// The `Is_Distinguished` verdict.
+    pub verdict: Verdict,
+    /// The version committed, if the partition was distinguished.
+    pub committed_version: Option<u64>,
+    /// Number of sites that participated (committed) — `card(P)`.
+    pub participants: u32,
+}
+
+impl UpdateOutcome {
+    /// True if the update committed.
+    #[must_use]
+    pub fn committed(&self) -> bool {
+        self.committed_version.is_some()
+    }
+}
+
+/// A replica system: one metadata triple per site, driven by a replica
+/// control algorithm.
+#[derive(Debug, Clone)]
+pub struct ReplicaSystem<A> {
+    algo: A,
+    order: LinearOrder,
+    metas: Vec<CopyMeta>,
+}
+
+impl<A: ReplicaControl> ReplicaSystem<A> {
+    /// A fresh `n`-site system at version 0 with the paper's lexicographic
+    /// site ordering.
+    #[must_use]
+    pub fn new(n: usize, algo: A) -> Self {
+        Self::with_order(LinearOrder::lexicographic(n), algo)
+    }
+
+    /// A fresh system with an explicit site ordering.
+    #[must_use]
+    pub fn with_order(order: LinearOrder, algo: A) -> Self {
+        let n = order.len();
+        assert!(n >= 2, "a replicated file needs at least two sites");
+        let metas = vec![CopyMeta::initial(n, &order); n];
+        ReplicaSystem { algo, order, metas }
+    }
+
+    /// Number of replica sites.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// The algorithm driving the system.
+    #[must_use]
+    pub fn algorithm(&self) -> &A {
+        &self.algo
+    }
+
+    /// The site ordering.
+    #[must_use]
+    pub fn order(&self) -> &LinearOrder {
+        &self.order
+    }
+
+    /// The metadata currently held at `site`.
+    #[must_use]
+    pub fn meta(&self, site: SiteId) -> CopyMeta {
+        self.metas[site.index()]
+    }
+
+    /// All metadata, indexed by site.
+    #[must_use]
+    pub fn metas(&self) -> &[CopyMeta] {
+        &self.metas
+    }
+
+    /// Overwrite the metadata at `site` (for test-harness construction of
+    /// specific states; the protocol itself only writes through
+    /// [`ReplicaSystem::attempt_update`]).
+    pub fn set_meta(&mut self, site: SiteId, meta: CopyMeta) {
+        self.metas[site.index()] = meta;
+    }
+
+    /// The globally largest version number.
+    #[must_use]
+    pub fn latest_version(&self) -> u64 {
+        self.metas.iter().map(|m| m.version).max().unwrap_or(0)
+    }
+
+    /// Build the coordinator's view for an update arriving in `partition`.
+    fn view_of(&self, partition: SiteSet) -> Option<PartitionView<'_>> {
+        let responses: Vec<(SiteId, CopyMeta)> = partition
+            .iter()
+            .filter(|s| s.index() < self.n())
+            .map(|s| (s, self.metas[s.index()]))
+            .collect();
+        if responses.is_empty() {
+            return None;
+        }
+        let view = PartitionView::new(self.n(), &self.order, responses)
+            .expect("system metadata is well-formed");
+        // Guard hint: the greatest absent holder of the partition's
+        // maximum version, if any (see `algorithms::modified_hybrid`).
+        let max_version = view.max_version();
+        let absent_current = SiteSet::from_sites(
+            (0..self.n())
+                .map(SiteId::new)
+                .filter(|s| !partition.contains(*s) && self.metas[s.index()].version == max_version),
+        );
+        let hint = self.order.max_of(absent_current);
+        Some(view.with_guard_hint(hint))
+    }
+
+    /// Would an update arriving in `partition` succeed? (Pure query; also
+    /// the answer for read requests, per the paper's footnote 5.)
+    #[must_use]
+    pub fn can_update(&self, partition: SiteSet) -> bool {
+        self.view_of(partition)
+            .is_some_and(|view| self.algo.is_distinguished(&view))
+    }
+
+    /// The verdict an update arriving in `partition` would receive.
+    #[must_use]
+    pub fn decide(&self, partition: SiteSet) -> Verdict {
+        match self.view_of(partition) {
+            Some(view) => self.algo.decide(&view),
+            None => Verdict::Rejected,
+        }
+    }
+
+    /// Process one update arriving at a site of `partition`.
+    ///
+    /// If the partition is distinguished, all members catch up and commit
+    /// the new metadata (the voting, catch-up and commit phases collapsed
+    /// to their end state); otherwise nothing changes.
+    pub fn attempt_update(&mut self, partition: SiteSet) -> UpdateOutcome {
+        let Some(view) = self.view_of(partition) else {
+            return UpdateOutcome {
+                verdict: Verdict::Rejected,
+                committed_version: None,
+                participants: 0,
+            };
+        };
+        let verdict = self.algo.decide(&view);
+        if !verdict.is_accepted() {
+            return UpdateOutcome {
+                verdict,
+                committed_version: None,
+                participants: 0,
+            };
+        }
+        let meta = self.algo.commit_meta(&view);
+        let members = view.members();
+        drop(view);
+        for site in members.iter() {
+            self.metas[site.index()] = meta;
+        }
+        UpdateOutcome {
+            verdict,
+            committed_version: Some(meta.version),
+            participants: members.len() as u32,
+        }
+    }
+
+    /// Render the per-site state as in the paper's Section IV tables.
+    #[must_use]
+    pub fn state_table(&self) -> String {
+        let mut out = String::new();
+        for (i, meta) in self.metas.iter().enumerate() {
+            out.push_str(&format!("{}: {}\n", SiteId::new(i), meta));
+        }
+        out
+    }
+}
+
+/// One step of a partition-graph scenario: the network is split into the
+/// given partitions (every site appears in exactly one) and an update
+/// arrives in each partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioStep {
+    /// Label for reporting (e.g. the "time" of the paper's Fig. 1).
+    pub label: String,
+    /// The partitions in effect.
+    pub partitions: Vec<SiteSet>,
+}
+
+impl ScenarioStep {
+    /// Build a step from compact partition strings, e.g. `["ABC", "DE"]`.
+    #[must_use]
+    pub fn parse(label: &str, partitions: &[&str]) -> Self {
+        ScenarioStep {
+            label: label.to_owned(),
+            partitions: partitions
+                .iter()
+                .map(|p| SiteSet::parse(p).expect("valid partition string"))
+                .collect(),
+        }
+    }
+
+    /// Check the step is a true partition of `0..n`.
+    #[must_use]
+    pub fn is_partition_of(&self, n: usize) -> bool {
+        let mut seen = SiteSet::EMPTY;
+        for p in &self.partitions {
+            if p.is_empty() || !seen.is_disjoint(*p) {
+                return false;
+            }
+            seen = seen.union(*p);
+        }
+        seen == SiteSet::all(n)
+    }
+}
+
+/// Report for one step: which partitions accepted an update.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// The step's label.
+    pub label: String,
+    /// Outcome per partition, in step order.
+    pub outcomes: Vec<(SiteSet, UpdateOutcome)>,
+}
+
+impl StepReport {
+    /// The distinguished partition of this step, if any. Pessimism
+    /// guarantees at most one.
+    #[must_use]
+    pub fn distinguished(&self) -> Option<SiteSet> {
+        self.outcomes
+            .iter()
+            .find(|(_, o)| o.committed())
+            .map(|(p, _)| *p)
+    }
+}
+
+impl fmt::Display for StepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.label)?;
+        match self.distinguished() {
+            Some(p) => write!(f, "distinguished partition {p}"),
+            None => write!(f, "no distinguished partition"),
+        }
+    }
+}
+
+/// Run a partition-graph scenario against one algorithm, processing one
+/// update per partition per step.
+pub fn run_scenario<A: ReplicaControl>(
+    system: &mut ReplicaSystem<A>,
+    steps: &[ScenarioStep],
+) -> Vec<StepReport> {
+    steps
+        .iter()
+        .map(|step| {
+            debug_assert!(step.is_partition_of(system.n()), "malformed step");
+            let outcomes = step
+                .partitions
+                .iter()
+                .map(|&p| (p, system.attempt_update(p)))
+                .collect();
+            StepReport {
+                label: step.label.clone(),
+                outcomes,
+            }
+        })
+        .collect()
+}
+
+/// The partition graph of the paper's Fig. 1: five sites, four epochs.
+///
+/// * time 1: `ABC | DE`
+/// * time 2: `AB | C | DE`
+/// * time 3: `A | B | CDE`
+/// * time 4: `A | BC | DE`
+///
+/// (Times 2–4 are inferred from Section VI-A's narrative: partition ABC
+/// fragments into AB and C at time 2; C joins DE at time 3 while AB
+/// splits; at time 4 B and C form a partition.)
+#[must_use]
+pub fn fig1_partition_graph() -> Vec<ScenarioStep> {
+    vec![
+        ScenarioStep::parse("time 1", &["ABC", "DE"]),
+        ScenarioStep::parse("time 2", &["AB", "C", "DE"]),
+        ScenarioStep::parse("time 3", &["A", "B", "CDE"]),
+        ScenarioStep::parse("time 4", &["A", "BC", "DE"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{DynamicLinear, DynamicVoting, Hybrid, StaticVoting};
+    use crate::meta::Distinguished;
+
+    fn set(s: &str) -> SiteSet {
+        SiteSet::parse(s).unwrap()
+    }
+
+    #[test]
+    fn fresh_system_updates_in_full_partition() {
+        let mut sys = ReplicaSystem::new(5, Hybrid::new());
+        let outcome = sys.attempt_update(SiteSet::all(5));
+        assert!(outcome.committed());
+        assert_eq!(outcome.committed_version, Some(1));
+        assert_eq!(outcome.participants, 5);
+        assert!(sys.metas().iter().all(|m| m.version == 1));
+    }
+
+    #[test]
+    fn minority_partition_is_rejected_without_state_change() {
+        let mut sys = ReplicaSystem::new(5, DynamicVoting::new());
+        let before = sys.metas().to_vec();
+        let outcome = sys.attempt_update(set("AB"));
+        assert!(!outcome.committed());
+        assert_eq!(sys.metas(), &before[..]);
+    }
+
+    #[test]
+    fn catch_up_brings_stale_members_current() {
+        let mut sys = ReplicaSystem::new(5, DynamicVoting::new());
+        sys.attempt_update(set("ABCD")); // v1, SC=4
+        sys.attempt_update(set("ABC")); // v2, SC=3 (D, E stale)
+        let out = sys.attempt_update(set("ABDE")); // 2 of 3 current + stale D, E
+        assert!(out.committed());
+        assert_eq!(sys.meta(SiteId(3)).version, 3);
+        assert_eq!(sys.meta(SiteId(3)).cardinality, 4);
+        // E caught up too; C is the one left behind.
+        assert_eq!(sys.meta(SiteId(4)).version, 3);
+        assert_eq!(sys.meta(SiteId(2)).version, 2);
+    }
+
+    #[test]
+    fn scenario_step_partition_validation() {
+        assert!(ScenarioStep::parse("t", &["ABC", "DE"]).is_partition_of(5));
+        assert!(!ScenarioStep::parse("t", &["ABC", "CE"]).is_partition_of(5)); // overlap
+        assert!(!ScenarioStep::parse("t", &["ABC"]).is_partition_of(5)); // missing sites
+    }
+
+    #[test]
+    fn at_most_one_distinguished_partition_per_step() {
+        // Pessimism sanity check over the Fig. 1 scenario for all kinds.
+        for kind in crate::algorithm::AlgorithmKind::ALL {
+            let mut sys = ReplicaSystem::new(5, kind.instantiate(5));
+            let reports = run_scenario(&mut sys, &fig1_partition_graph());
+            for report in reports {
+                let committed: usize = report
+                    .outcomes
+                    .iter()
+                    .filter(|(_, o)| o.committed())
+                    .count();
+                assert!(committed <= 1, "{kind}: {}", report.label);
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_voting_behaviour() {
+        let mut sys = ReplicaSystem::new(5, StaticVoting::uniform(5));
+        let reports = run_scenario(&mut sys, &fig1_partition_graph());
+        assert_eq!(reports[0].distinguished(), Some(set("ABC")));
+        assert_eq!(reports[1].distinguished(), None);
+        assert_eq!(reports[2].distinguished(), Some(set("CDE")));
+        assert_eq!(reports[3].distinguished(), None);
+    }
+
+    #[test]
+    fn fig1_dynamic_voting_behaviour() {
+        let mut sys = ReplicaSystem::new(5, DynamicVoting::new());
+        let reports = run_scenario(&mut sys, &fig1_partition_graph());
+        assert_eq!(reports[0].distinguished(), Some(set("ABC")));
+        assert_eq!(reports[1].distinguished(), Some(set("AB")));
+        assert_eq!(reports[2].distinguished(), None);
+        assert_eq!(reports[3].distinguished(), None);
+    }
+
+    #[test]
+    fn fig1_dynamic_linear_behaviour() {
+        let mut sys = ReplicaSystem::new(5, DynamicLinear::new());
+        let reports = run_scenario(&mut sys, &fig1_partition_graph());
+        assert_eq!(reports[0].distinguished(), Some(set("ABC")));
+        assert_eq!(reports[1].distinguished(), Some(set("AB")));
+        assert_eq!(reports[2].distinguished(), Some(set("A")));
+        assert_eq!(reports[3].distinguished(), Some(set("A")));
+    }
+
+    #[test]
+    fn fig1_hybrid_behaviour() {
+        let mut sys = ReplicaSystem::new(5, Hybrid::new());
+        let reports = run_scenario(&mut sys, &fig1_partition_graph());
+        assert_eq!(reports[0].distinguished(), Some(set("ABC")));
+        assert_eq!(reports[1].distinguished(), Some(set("AB")));
+        assert_eq!(reports[2].distinguished(), None);
+        assert_eq!(reports[3].distinguished(), Some(set("BC")));
+    }
+
+    #[test]
+    fn section_iv_worked_example() {
+        // The full worked example of Section IV, state by state.
+        let mut sys = ReplicaSystem::new(5, Hybrid::new());
+        // Bring the system to version 9 as in the paper's opening table.
+        for _ in 0..9 {
+            assert!(sys.attempt_update(SiteSet::all(5)).committed());
+        }
+        for meta in sys.metas() {
+            assert_eq!(meta.version, 9);
+            assert_eq!(meta.cardinality, 5);
+        }
+        // Update at A, reaching B and C only: version 10, SC=3, DS=ABC.
+        assert!(sys.attempt_update(set("ABC")).committed());
+        for s in set("ABC").iter() {
+            assert_eq!(sys.meta(s).version, 10);
+            assert_eq!(sys.meta(s).cardinality, 3);
+            assert_eq!(sys.meta(s).distinguished, Distinguished::Trio(set("ABC")));
+        }
+        assert_eq!(sys.meta(SiteId(3)).version, 9);
+        // Update at A reaching C only: static phase, SC/DS unchanged.
+        assert!(sys.attempt_update(set("AC")).committed());
+        for s in set("AC").iter() {
+            assert_eq!(sys.meta(s).version, 11);
+            assert_eq!(sys.meta(s).cardinality, 3);
+            assert_eq!(sys.meta(s).distinguished, Distinguished::Trio(set("ABC")));
+        }
+        assert_eq!(sys.meta(SiteId(1)).version, 10);
+        // Update at D reaching B, C, E: B and C are two of the trio, so
+        // the update proceeds and the dynamic phase resumes with SC=4,
+        // DS=B. (Neither dynamic voting nor dynamic-linear permits this.)
+        assert!(sys.attempt_update(set("BCDE")).committed());
+        for s in set("BCDE").iter() {
+            assert_eq!(sys.meta(s).version, 12);
+            assert_eq!(sys.meta(s).cardinality, 4);
+            assert_eq!(sys.meta(s).distinguished, Distinguished::Single(SiteId(1)));
+        }
+        // Update at E reaching B only: half of four, including DS=B.
+        assert!(sys.attempt_update(set("BE")).committed());
+        for s in set("BE").iter() {
+            assert_eq!(sys.meta(s).version, 13);
+            assert_eq!(sys.meta(s).cardinality, 2);
+            assert_eq!(sys.meta(s).distinguished, Distinguished::Single(SiteId(1)));
+        }
+        assert_eq!(sys.meta(SiteId(0)).version, 11);
+    }
+
+    #[test]
+    fn empty_partition_is_rejected() {
+        let mut sys = ReplicaSystem::new(3, Hybrid::new());
+        let out = sys.attempt_update(SiteSet::EMPTY);
+        assert_eq!(out.verdict, Verdict::Rejected);
+    }
+
+    #[test]
+    fn state_table_mentions_every_site() {
+        let sys = ReplicaSystem::new(3, Hybrid::new());
+        let table = sys.state_table();
+        for s in ["A:", "B:", "C:"] {
+            assert!(table.contains(s));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Exhaustive model checking for small networks.
+//!
+//! The property tests sample random histories; here we enumerate *every*
+//! reachable metadata state under *every* partition sequence up to a
+//! depth bound, for n = 3 and n = 4, and check the safety invariants at
+//! each state. Within the bound this is a proof, not a test: any
+//! counterexample to pessimism reachable in `DEPTH` update rounds would
+//! be found.
+//!
+//! States are deduplicated after rebasing version numbers against the
+//! maximum (only relative currency matters to the algorithms), so the
+//! search closes quickly despite the exponential set of histories.
+
+use dynvote_core::{AlgorithmKind, CopyMeta, ReplicaControl, ReplicaSystem, SiteId, SiteSet};
+use std::collections::HashSet;
+
+const DEPTH: usize = 7;
+
+type System = ReplicaSystem<Box<dyn ReplicaControl>>;
+
+/// A hashable, rebased snapshot of the per-site metadata (key only).
+fn canonical(metas: &[CopyMeta]) -> Vec<CopyMeta> {
+    let max = metas.iter().map(|m| m.version).max().unwrap_or(0);
+    metas
+        .iter()
+        .map(|m| CopyMeta {
+            // Rebase so the newest version maps to a fixed value; cap
+            // staleness depth at 8 (beyond DEPTH) so the key stays
+            // finite.
+            version: 8u64.saturating_sub((max - m.version).min(8)),
+            ..*m
+        })
+        .collect()
+}
+
+/// Overwrite a system's metadata with a snapshot.
+fn load(sys: &mut System, metas: &[CopyMeta]) {
+    for (i, m) in metas.iter().enumerate() {
+        sys.set_meta(SiteId::new(i), *m);
+    }
+}
+
+/// All non-empty subsets of `0..n`.
+fn partitions(n: usize) -> Vec<SiteSet> {
+    (1u64..(1 << n)).map(SiteSet::from_bits).collect()
+}
+
+/// Check the per-state safety invariants.
+fn check_state(kind: AlgorithmKind, sys: &System, n: usize) {
+    let accepted: Vec<SiteSet> = partitions(n)
+        .into_iter()
+        .filter(|&p| sys.can_update(p))
+        .collect();
+    // Pessimism: accepted partitions pairwise intersect.
+    for (i, &a) in accepted.iter().enumerate() {
+        for &b in &accepted[i + 1..] {
+            assert!(
+                !a.is_disjoint(b),
+                "{kind}: disjoint accepted partitions {a}, {b}\n{}",
+                sys.state_table()
+            );
+        }
+    }
+    // Stale partitions never win (dynamic algorithms only).
+    if kind != AlgorithmKind::Voting {
+        let latest = sys.latest_version();
+        for &p in &accepted {
+            assert!(
+                p.iter().any(|s| sys.meta(s).version == latest),
+                "{kind}: stale partition {p} accepted\n{}",
+                sys.state_table()
+            );
+        }
+    }
+    // Upward closure: the full partition extends any accepted one.
+    if !accepted.is_empty() {
+        assert!(
+            sys.can_update(SiteSet::all(n)),
+            "{kind}: full partition rejected while {} accepted",
+            accepted[0]
+        );
+    }
+}
+
+/// Exhaustive BFS over all partition sequences up to DEPTH. Returns the
+/// number of distinct states visited.
+fn exhaust(kind: AlgorithmKind, n: usize) -> usize {
+    let mut sys: System = ReplicaSystem::new(n, kind.instantiate(n));
+    let root: Vec<CopyMeta> = sys.metas().to_vec();
+    check_state(kind, &sys, n);
+
+    let mut visited: HashSet<Vec<CopyMeta>> = HashSet::new();
+    visited.insert(canonical(&root));
+    let mut frontier = vec![root];
+    let parts = partitions(n);
+
+    for _ in 0..DEPTH {
+        let mut next = Vec::new();
+        for metas in &frontier {
+            for &p in &parts {
+                load(&mut sys, metas);
+                if !sys.attempt_update(p).committed() {
+                    continue; // rejected updates do not change state
+                }
+                let child: Vec<CopyMeta> = sys.metas().to_vec();
+                if visited.insert(canonical(&child)) {
+                    check_state(kind, &sys, n);
+                    next.push(child);
+                }
+            }
+        }
+        if next.is_empty() {
+            break; // state space closed before the depth bound
+        }
+        frontier = next;
+    }
+    visited.len()
+}
+
+#[test]
+fn exhaustive_three_sites_all_algorithms() {
+    for kind in AlgorithmKind::ALL {
+        let states = exhaust(kind, 3);
+        assert!(states >= 2, "{kind}: explored only {states} states");
+    }
+}
+
+#[test]
+fn exhaustive_four_sites_all_algorithms() {
+    for kind in AlgorithmKind::ALL {
+        let states = exhaust(kind, 4);
+        assert!(states >= 2, "{kind}: explored only {states} states");
+    }
+}
+
+/// Exhaustive check of the hybrid ≡ modified-hybrid accept-set
+/// equivalence over *model* histories (one failure/repair at a time,
+/// update attempted after each event), to a depth bound — Section VII's
+/// equivalence claim checked against every event sequence rather than a
+/// random sample.
+#[test]
+fn exhaustive_hybrid_equivalence_on_model_histories() {
+    for n in 3..=5 {
+        let mut hybrid: System = ReplicaSystem::new(n, AlgorithmKind::Hybrid.instantiate(n));
+        let mut modified: System =
+            ReplicaSystem::new(n, AlgorithmKind::ModifiedHybrid.instantiate(n));
+        let up = SiteSet::all(n);
+        hybrid.attempt_update(up);
+        modified.attempt_update(up);
+
+        type Joint = (SiteSet, Vec<CopyMeta>, Vec<CopyMeta>);
+        let root: Joint = (up, hybrid.metas().to_vec(), modified.metas().to_vec());
+        let mut visited: HashSet<Joint> = HashSet::new();
+        visited.insert((root.0, canonical(&root.1), canonical(&root.2)));
+        let mut frontier = vec![root];
+
+        for _ in 0..8 {
+            let mut next = Vec::new();
+            for (up, h_metas, m_metas) in &frontier {
+                for i in 0..n {
+                    let site = SiteId::new(i);
+                    let mut up2 = *up;
+                    if up2.contains(site) {
+                        up2.remove(site);
+                    } else {
+                        up2.insert(site);
+                    }
+                    load(&mut hybrid, h_metas);
+                    load(&mut modified, m_metas);
+                    let (hc, mc) = if up2.is_empty() {
+                        (false, false)
+                    } else {
+                        (
+                            hybrid.attempt_update(up2).committed(),
+                            modified.attempt_update(up2).committed(),
+                        )
+                    };
+                    assert_eq!(
+                        hc, mc,
+                        "n={n}: divergence at up-set {up2}\nhybrid:\n{}\nmodified:\n{}",
+                        hybrid.state_table(),
+                        modified.state_table()
+                    );
+                    let child: Joint =
+                        (up2, hybrid.metas().to_vec(), modified.metas().to_vec());
+                    let key = (up2, canonical(&child.1), canonical(&child.2));
+                    if visited.insert(key) {
+                        next.push(child);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        assert!(
+            visited.len() > n,
+            "n={n}: explored only {} joint states",
+            visited.len()
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Property-based tests of the decision kernel's safety invariants.
+//!
+//! The heart of Theorem 1 is *pessimism*: from any reachable system
+//! state, no two disjoint partitions may both be judged distinguished.
+//! These tests drive each algorithm through random reachable histories
+//! and check that property (and several structural invariants) at every
+//! step.
+
+use dynvote_core::algorithms::{DynamicLinear, DynamicVoting, Hybrid};
+use dynvote_core::quorum::VoteAssignment;
+use dynvote_core::{
+    AlgorithmKind, CopyMeta, LinearOrder, PartitionView, ReplicaControl, ReplicaSystem, SiteId,
+    SiteSet,
+};
+use proptest::prelude::*;
+
+/// Strategy: a site count in the paper's range.
+fn site_count() -> impl Strategy<Value = usize> {
+    2usize..=8
+}
+
+/// Strategy: a random history of partitions (as raw bitmasks; masked to
+/// the site count at use).
+fn history(len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 1..=len)
+}
+
+fn mask(bits: u64, n: usize) -> SiteSet {
+    SiteSet::from_bits(bits & SiteSet::all(n).bits())
+}
+
+/// Drive a system through a history of update attempts; returns the
+/// system in its final state.
+fn evolve(kind: AlgorithmKind, n: usize, hist: &[u64]) -> ReplicaSystem<Box<dyn ReplicaControl>> {
+    let mut sys = ReplicaSystem::new(n, kind.instantiate(n));
+    for &bits in hist {
+        let partition = mask(bits, n);
+        if !partition.is_empty() {
+            sys.attempt_update(partition);
+        }
+    }
+    sys
+}
+
+/// Enumerate all non-empty subsets of `0..n`.
+fn subsets(n: usize) -> impl Iterator<Item = SiteSet> {
+    (1u64..(1u64 << n)).map(SiteSet::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pessimism: in any reachable state, accepted partitions pairwise
+    /// intersect. (Two disjoint distinguished partitions would allow
+    /// divergent updates — the catastrophe pessimistic algorithms exist
+    /// to prevent.)
+    #[test]
+    fn no_two_disjoint_partitions_are_both_accepted(
+        n in site_count(),
+        hist in history(12),
+        kind in proptest::sample::select(&AlgorithmKind::ALL[..]),
+    ) {
+        let sys = evolve(kind, n, &hist);
+        let accepted: Vec<SiteSet> =
+            subsets(n).filter(|&p| sys.can_update(p)).collect();
+        for (i, &a) in accepted.iter().enumerate() {
+            for &b in &accepted[i + 1..] {
+                prop_assert!(
+                    !a.is_disjoint(b),
+                    "{kind}: disjoint partitions {a} and {b} both accepted\nstate:\n{}",
+                    sys.state_table()
+                );
+            }
+        }
+    }
+
+    /// Monotonicity: growing a distinguished partition never revokes it.
+    /// (Every rule counts favourable members positively.)
+    #[test]
+    fn accepted_partitions_are_upward_closed(
+        n in site_count(),
+        hist in history(10),
+        kind in proptest::sample::select(&AlgorithmKind::ALL[..]),
+    ) {
+        let sys = evolve(kind, n, &hist);
+        for p in subsets(n) {
+            if sys.can_update(p) {
+                for q in subsets(n) {
+                    if p.is_subset(q) {
+                        prop_assert!(
+                            sys.can_update(q),
+                            "{kind}: {p} accepted but superset {q} rejected"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every committed update advances the version by exactly one and
+    /// leaves all participants with identical metadata.
+    #[test]
+    fn commits_are_atomic_and_sequential(
+        n in site_count(),
+        hist in history(16),
+        kind in proptest::sample::select(&AlgorithmKind::ALL[..]),
+    ) {
+        let mut sys = ReplicaSystem::new(n, kind.instantiate(n));
+        let mut last_committed = 0u64;
+        for &bits in &hist {
+            let partition = mask(bits, n);
+            if partition.is_empty() {
+                continue;
+            }
+            let before = sys.latest_version();
+            let out = sys.attempt_update(partition);
+            if let Some(v) = out.committed_version {
+                prop_assert_eq!(v, before + 1, "{}: version skipped", kind);
+                prop_assert!(v > last_committed);
+                last_committed = v;
+                let metas: Vec<CopyMeta> =
+                    partition.iter().map(|s| sys.meta(s)).collect();
+                prop_assert!(
+                    metas.windows(2).all(|w| w[0] == w[1]),
+                    "{}: participants disagree after commit",
+                    kind
+                );
+            } else {
+                prop_assert_eq!(sys.latest_version(), before);
+            }
+        }
+    }
+
+    /// The full partition is always distinguished, whatever happened
+    /// before (total recovery restores service).
+    #[test]
+    fn full_partition_is_always_distinguished(
+        n in site_count(),
+        hist in history(12),
+        kind in proptest::sample::select(&AlgorithmKind::ALL[..]),
+    ) {
+        let mut sys = evolve(kind, n, &hist);
+        prop_assert!(sys.attempt_update(SiteSet::all(n)).committed());
+    }
+
+    /// Pointwise dominance on identical views: dynamic-linear accepts
+    /// whatever dynamic voting accepts, and the hybrid accepts whatever
+    /// dynamic-linear accepts.
+    #[test]
+    fn pointwise_rule_dominance(
+        n in site_count(),
+        hist in history(10),
+        probe in any::<u64>(),
+    ) {
+        // Build a reachable *hybrid* state (richest metadata: trios,
+        // singles and irrelevant entries all occur), then compare the
+        // three decision rules on the same views.
+        let sys = evolve(AlgorithmKind::Hybrid, n, &hist);
+        let order = LinearOrder::lexicographic(n);
+        let partition = mask(probe, n);
+        if !partition.is_empty() {
+            let responses: Vec<(SiteId, CopyMeta)> =
+                partition.iter().map(|s| (s, sys.meta(s))).collect();
+            let view = PartitionView::new(n, &order, responses).unwrap();
+            if DynamicVoting::new().is_distinguished(&view) {
+                prop_assert!(DynamicLinear::new().is_distinguished(&view));
+            }
+            if DynamicLinear::new().is_distinguished(&view) {
+                prop_assert!(Hybrid::new().is_distinguished(&view));
+            }
+        }
+    }
+
+    /// The modified hybrid tracks the unmodified hybrid exactly over
+    /// *model-reachable* histories: starting from the full network, one
+    /// site fails or recovers at a time, and after every event an update
+    /// is attempted in the up-set (the paper's "frequent updates"
+    /// assumption). Both algorithms must render identical verdicts
+    /// forever.
+    #[test]
+    fn modified_hybrid_matches_hybrid_on_model_histories(
+        n in 3usize..=8,
+        flips in proptest::collection::vec(0usize..8, 1..40),
+    ) {
+        let mut hybrid = ReplicaSystem::new(n, Hybrid::new());
+        let mut modified =
+            ReplicaSystem::new(n, dynvote_core::algorithms::ModifiedHybrid::new());
+        let mut up = SiteSet::all(n);
+        // Initial update so both systems leave the artificial initial
+        // metadata.
+        hybrid.attempt_update(up);
+        modified.attempt_update(up);
+        for &f in &flips {
+            let site = SiteId::new(f % n);
+            if up.contains(site) {
+                if up.len() == 1 {
+                    continue; // keep at least one site up
+                }
+                up.remove(site);
+            } else {
+                up.insert(site);
+            }
+            let h = hybrid.attempt_update(up);
+            let m = modified.attempt_update(up);
+            prop_assert_eq!(
+                h.committed(),
+                m.committed(),
+                "divergence at up-set {}:\nhybrid:\n{}\nmodified:\n{}",
+                up,
+                hybrid.state_table(),
+                modified.state_table()
+            );
+        }
+    }
+
+    /// Stale partitions never win: a partition containing no holder of
+    /// the *globally* newest version is never judged distinguished (for
+    /// the dynamic algorithms, whose quorums are version-anchored).
+    ///
+    /// This is the inductive heart of Theorem 1 — after an update from
+    /// version M, "the conditions needed for a second update from
+    /// version M cannot occur" — and it licenses the state-space
+    /// abstraction used by `dynvote-markov` (stale metadata is
+    /// behaviourally inert).
+    #[test]
+    fn stale_partitions_are_never_distinguished(
+        n in site_count(),
+        hist in history(14),
+        kind in proptest::sample::select(
+            &AlgorithmKind::ALL[1..] // all but static voting
+        ),
+    ) {
+        let sys = evolve(kind, n, &hist);
+        let latest = sys.latest_version();
+        for p in subsets(n) {
+            let holds_latest = p.iter().any(|s| sys.meta(s).version == latest);
+            if !holds_latest {
+                prop_assert!(
+                    !sys.can_update(p),
+                    "{kind}: stale partition {p} accepted\nstate:\n{}",
+                    sys.state_table()
+                );
+            }
+        }
+    }
+
+    /// Static voting coteries: for any random vote assignment, the
+    /// derived coterie is an intersecting antichain and reproduces the
+    /// majority predicate.
+    #[test]
+    fn coteries_are_sound(
+        votes in proptest::collection::vec(0u64..5, 1..8),
+    ) {
+        prop_assume!(votes.iter().any(|&v| v > 0));
+        let n = votes.len();
+        let assignment = VoteAssignment::new(votes);
+        let coterie = assignment.coterie();
+        prop_assert!(coterie.intersecting());
+        prop_assert!(coterie.is_antichain());
+        for set in subsets(n) {
+            prop_assert_eq!(coterie.is_quorum(set), assignment.is_majority(set));
+        }
+    }
+}

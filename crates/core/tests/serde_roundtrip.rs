@@ -1,0 +1,76 @@
+//! Serde round-trip tests for the public metadata types (used by the
+//! CLI's JSON emission and available to downstream persistence layers).
+
+use dynvote_core::{
+    AlgorithmKind, CopyMeta, Distinguished, LinearOrder, SiteId, SiteSet, Verdict,
+};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn site_types_round_trip() {
+    let site = SiteId(4);
+    assert_eq!(round_trip(&site), site);
+    let set = SiteSet::parse("ACE").unwrap();
+    assert_eq!(round_trip(&set), set);
+    let order = LinearOrder::lexicographic(5);
+    assert_eq!(round_trip(&order), order);
+}
+
+#[test]
+fn metadata_round_trips_for_every_ds_variant() {
+    for distinguished in [
+        Distinguished::Irrelevant,
+        Distinguished::Single(SiteId(2)),
+        Distinguished::Trio(SiteSet::parse("ABC").unwrap()),
+        Distinguished::Set(SiteSet::parse("CDE").unwrap()),
+    ] {
+        let meta = CopyMeta {
+            version: 42,
+            cardinality: 3,
+            distinguished,
+        };
+        assert_eq!(round_trip(&meta), meta);
+    }
+}
+
+#[test]
+fn algorithm_kind_round_trips() {
+    for kind in AlgorithmKind::ALL {
+        assert_eq!(round_trip(&kind), kind);
+    }
+}
+
+#[test]
+fn verdicts_round_trip() {
+    use dynvote_core::AcceptRule;
+    for verdict in [
+        Verdict::Rejected,
+        Verdict::Accepted(AcceptRule::Majority),
+        Verdict::Accepted(AcceptRule::TrioQuorum),
+        Verdict::Accepted(AcceptRule::PairNetworkMajority),
+    ] {
+        assert_eq!(round_trip(&verdict), verdict);
+    }
+}
+
+#[test]
+fn serialized_form_is_stable_for_persistence() {
+    // A spot check that the wire shape is what a downstream schema
+    // would expect (field names, not positional).
+    let meta = CopyMeta {
+        version: 7,
+        cardinality: 3,
+        distinguished: Distinguished::Single(SiteId(1)),
+    };
+    let json = serde_json::to_value(meta).unwrap();
+    assert_eq!(json["version"], 7);
+    assert_eq!(json["cardinality"], 3);
+    assert!(json["distinguished"].get("Single").is_some());
+}

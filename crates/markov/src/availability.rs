@@ -1,0 +1,173 @@
+//! Availability measures over an annotated CTMC.
+//!
+//! Section VI-C defines two measures:
+//!
+//! * the **traditional** measure — the steady-state probability that a
+//!   distinguished partition exists;
+//! * the **alternative (site) measure** — the steady-state probability
+//!   that an update arriving at a uniformly random site succeeds, i.e.
+//!   `Σ_s π_s · (k_s / n)` over accepting states `s` with `k_s` sites up.
+//!
+//! The paper uses the alternative measure throughout; so do we, with the
+//! traditional one available for comparison. *Normalised* availability
+//! (Figs. 3–4) divides by `p = μ/(λ+μ)`, the probability that an
+//! arbitrary site is up — "no algorithm can have availability higher
+//! than the probability that an arbitrary site is up".
+
+use crate::ctmc::{Ctmc, SteadyStateError};
+
+/// Descriptive annotation for one chain state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateInfo {
+    /// Human-readable label, e.g. `"A4 = (4,4,0)"`.
+    pub label: String,
+    /// Number of sites up in this state.
+    pub up: u32,
+    /// True if an update arriving at a functioning site succeeds here.
+    pub accepting: bool,
+}
+
+/// A CTMC annotated with per-state up-counts and acceptance.
+#[derive(Debug, Clone)]
+pub struct AvailabilityChain {
+    /// The chain.
+    pub ctmc: Ctmc,
+    /// Annotation per state (same indexing as the chain).
+    pub states: Vec<StateInfo>,
+    /// Number of replica sites `n`.
+    pub n: usize,
+}
+
+impl AvailabilityChain {
+    /// Solve for the steady state.
+    pub fn steady_state(&self) -> Result<Vec<f64>, SteadyStateError> {
+        assert_eq!(self.ctmc.len(), self.states.len());
+        self.ctmc.steady_state()
+    }
+
+    /// The paper's (alternative) site-weighted availability.
+    pub fn site_availability(&self) -> Result<f64, SteadyStateError> {
+        let pi = self.steady_state()?;
+        Ok(self
+            .states
+            .iter()
+            .zip(&pi)
+            .filter(|(s, _)| s.accepting)
+            .map(|(s, &p)| p * f64::from(s.up) / self.n as f64)
+            .sum())
+    }
+
+    /// The traditional availability: probability a distinguished
+    /// partition exists.
+    pub fn system_availability(&self) -> Result<f64, SteadyStateError> {
+        let pi = self.steady_state()?;
+        Ok(self
+            .states
+            .iter()
+            .zip(&pi)
+            .filter(|(s, _)| s.accepting)
+            .map(|(_, &p)| p)
+            .sum())
+    }
+
+    /// Render the chain as Graphviz DOT (states as nodes — accepting
+    /// states doubled-circled, labelled with up-counts; transitions as
+    /// rate-labelled edges). Feed to `dot -Tsvg` to draw Fig. 2.
+    #[must_use]
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str("digraph chain {\n");
+        out.push_str("  rankdir=LR;\n");
+        out.push_str(&format!("  label={:?};\n", title));
+        out.push_str("  node [fontname=\"Helvetica\"];\n");
+        for (i, s) in self.states.iter().enumerate() {
+            let shape = if s.accepting { "doublecircle" } else { "circle" };
+            out.push_str(&format!(
+                "  s{i} [shape={shape} label=\"{}\\nup={}\"];\n",
+                s.label, s.up
+            ));
+        }
+        // Merge parallel edges for readability.
+        let mut merged: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        for &(from, to, rate) in self.ctmc.transitions() {
+            *merged.entry((from, to)).or_insert(0.0) += rate;
+        }
+        for ((from, to), rate) in merged {
+            out.push_str(&format!("  s{from} -> s{to} [label=\"{rate:.3}\"];\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Expected number of up sites (sanity: must equal `n·p`).
+    pub fn expected_up(&self) -> Result<f64, SteadyStateError> {
+        let pi = self.steady_state()?;
+        Ok(self
+            .states
+            .iter()
+            .zip(&pi)
+            .map(|(s, &p)| p * f64::from(s.up))
+            .sum())
+    }
+}
+
+/// `p = μ/(λ+μ)` — the steady-state probability one site is up, for
+/// repair/failure ratio `ratio = μ/λ`.
+#[must_use]
+pub fn site_up_probability(ratio: f64) -> f64 {
+    ratio / (1.0 + ratio)
+}
+
+/// Normalise a site availability by `p` (the Figs. 3–4 y-axis).
+#[must_use]
+pub fn normalized(availability: f64, ratio: f64) -> f64 {
+    availability / site_up_probability(ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single site: up (accepting) or down.
+    fn one_site(ratio: f64) -> AvailabilityChain {
+        let mut ctmc = Ctmc::new(2);
+        ctmc.add(0, 1, 1.0);
+        ctmc.add(1, 0, ratio);
+        AvailabilityChain {
+            ctmc,
+            states: vec![
+                StateInfo {
+                    label: "up".into(),
+                    up: 1,
+                    accepting: true,
+                },
+                StateInfo {
+                    label: "down".into(),
+                    up: 0,
+                    accepting: false,
+                },
+            ],
+            n: 1,
+        }
+    }
+
+    #[test]
+    fn single_site_availability_is_p() {
+        for ratio in [0.1, 1.0, 5.0] {
+            let chain = one_site(ratio);
+            let a = chain.site_availability().unwrap();
+            assert!((a - site_up_probability(ratio)).abs() < 1e-12);
+            // Both measures coincide for one site with k/n = 1.
+            assert!((chain.system_availability().unwrap() - a).abs() < 1e-12);
+            // Normalised availability of the perfect algorithm is 1.
+            assert!((normalized(a, ratio) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_up_matches_p() {
+        let chain = one_site(3.0);
+        assert!((chain.expected_up().unwrap() - site_up_probability(3.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! The dynamic-voting state diagram (SIGMOD 1987).
+//!
+//! Dynamic voting walks its cardinality down to 2 and blocks when only
+//! one of the final pair remains up. States (3n − 3 in total):
+//!
+//! * `A_k = (k, k, 0)` for `k = 2..=n`: accepting;
+//! * `B_z = (1, 2, z)` for `z = 0..=n-2`: one of the final pair up,
+//!   `z` outsiders up, blocked;
+//! * `C_z = (0, 2, z)`: both of the final pair down, blocked.
+
+use crate::availability::{AvailabilityChain, StateInfo};
+use crate::ctmc::Ctmc;
+
+/// Build the dynamic-voting chain for `n ≥ 2` sites.
+#[must_use]
+pub fn dynamic_chain(n: usize, ratio: f64) -> AvailabilityChain {
+    assert!(n >= 2);
+    assert!(ratio > 0.0 && ratio.is_finite());
+    let (lambda, mu) = (1.0, ratio);
+
+    let a = |k: usize| k - 2;
+    let b = |z: usize| (n - 1) + z;
+    let c = |z: usize| (n - 1) + (n - 1) + z;
+    let total = 3 * n - 3;
+
+    let mut ctmc = Ctmc::new(total);
+    let mut states = vec![
+        StateInfo {
+            label: String::new(),
+            up: 0,
+            accepting: false,
+        };
+        total
+    ];
+
+    for k in 2..=n {
+        states[a(k)] = StateInfo {
+            label: format!("A{k} = ({k},{k},0)"),
+            up: k as u32,
+            accepting: true,
+        };
+        if k > 2 {
+            ctmc.add(a(k), a(k - 1), k as f64 * lambda);
+        }
+        if k < n {
+            ctmc.add(a(k), a(k + 1), (n - k) as f64 * mu);
+        }
+    }
+    // A_2's failures leave one of the pair up.
+    ctmc.add(a(2), b(0), 2.0 * lambda);
+
+    for z in 0..=n - 2 {
+        states[b(z)] = StateInfo {
+            label: format!("B{z} = (1,2,{z})"),
+            up: (1 + z) as u32,
+            accepting: false,
+        };
+        states[c(z)] = StateInfo {
+            label: format!("C{z} = (0,2,{z})"),
+            up: z as u32,
+            accepting: false,
+        };
+
+        // B_z: the other pair member repairs -> both current copies up,
+        // forming a distinguished partition with the z outsiders.
+        ctmc.add(b(z), a(z + 2), mu);
+        if z < n - 2 {
+            ctmc.add(b(z), b(z + 1), (n - 2 - z) as f64 * mu);
+        }
+        ctmc.add(b(z), c(z), lambda);
+        if z > 0 {
+            ctmc.add(b(z), b(z - 1), z as f64 * lambda);
+        }
+
+        // C_z: either pair member repairs -> one pair member up.
+        ctmc.add(c(z), b(z), 2.0 * mu);
+        if z < n - 2 {
+            ctmc.add(c(z), c(z + 1), (n - 2 - z) as f64 * mu);
+        }
+        if z > 0 {
+            ctmc.add(c(z), c(z - 1), z as f64 * lambda);
+        }
+    }
+
+    AvailabilityChain { ctmc, states, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::site_up_probability;
+    use crate::chains::hybrid_chain;
+
+    #[test]
+    fn state_count_is_3n_minus_3() {
+        for n in 2..=20 {
+            assert_eq!(dynamic_chain(n, 1.0).ctmc.len(), 3 * n - 3, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn expected_up_sites_equals_np() {
+        for n in [2usize, 4, 7] {
+            for ratio in [0.4, 3.0] {
+                let chain = dynamic_chain(n, ratio);
+                let expected = chain.expected_up().unwrap();
+                let np = n as f64 * site_up_probability(ratio);
+                assert!((expected - np).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_2_hybrid_dominates_dynamic_voting() {
+        // "The availability of the hybrid algorithm is greater than the
+        // availability of dynamic voting" — for every ratio.
+        for n in 3..=12 {
+            for i in 1..=60 {
+                let ratio = 0.25 * f64::from(i);
+                let hybrid = hybrid_chain(n, ratio).site_availability().unwrap();
+                let dynamic = dynamic_chain(n, ratio).site_availability().unwrap();
+                assert!(
+                    hybrid > dynamic - 1e-12,
+                    "n={n} ratio={ratio}: hybrid {hybrid} < dynamic {dynamic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn availability_limits() {
+        assert!(dynamic_chain(5, 1e4).site_availability().unwrap() > 0.999);
+        assert!(dynamic_chain(5, 1e-3).site_availability().unwrap() < 0.02);
+    }
+}

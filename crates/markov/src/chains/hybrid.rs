@@ -1,0 +1,220 @@
+//! The hybrid algorithm's state diagram — Fig. 2 of the paper, verbatim.
+//!
+//! States (3n − 5 in total):
+//!
+//! * top row `A_k`: accepting. `A_k = (k, k, 0)` for `k = 3..=n` and the
+//!   static-phase state `A_2 = (2, 3, 0)`;
+//! * middle row `B_z = (1, 3, z)` for `z = 0..=n-3`: one trio site up,
+//!   `z` outsiders up, blocked;
+//! * bottom row `C_z = (0, 3, z)`: no trio site up, blocked.
+//!
+//! Transition structure (λ = 1, μ = ratio):
+//!
+//! * `A_k --kλ--> A_{k-1}` (k ≥ 3), `A_k --(n-k)μ--> A_{k+1}`;
+//! * `A_2 --2λ--> B_0`, `A_2 --(n-2)μ--> A_3` (any repair — the third
+//!   trio site or an outsider — yields three up sites, re-entering the
+//!   dynamic phase at cardinality 3);
+//! * `B_z --2μ--> A_2` (z = 0) or `A_{z+2}` (z > 0): a second trio site
+//!   repairs and the pair, plus any outsiders, forms the distinguished
+//!   partition;
+//! * `B_z --λ--> C_z`, `B_z --(n-3-z)μ--> B_{z+1}`, `B_z --zλ--> B_{z-1}`;
+//! * `C_z --3μ--> B_z`, `C_z --(n-3-z)μ--> C_{z+1}`, `C_z --zλ--> C_{z-1}`.
+
+use crate::availability::{AvailabilityChain, StateInfo};
+use crate::ctmc::Ctmc;
+
+/// Build the Fig. 2 chain for `n ≥ 3` sites at repair/failure `ratio`.
+#[must_use]
+pub fn hybrid_chain(n: usize, ratio: f64) -> AvailabilityChain {
+    assert!(n >= 3, "the hybrid's static phase requires n >= 3");
+    assert!(ratio > 0.0 && ratio.is_finite());
+    let (lambda, mu) = (1.0, ratio);
+
+    // Index layout: A_2..A_n at 0..n-1, B_0..B_{n-3} next, C_0..C_{n-3}.
+    let a = |k: usize| k - 2;
+    let b = |z: usize| (n - 1) + z;
+    let c = |z: usize| (n - 1) + (n - 2) + z;
+    let total = 3 * n - 5;
+
+    let mut ctmc = Ctmc::new(total);
+    let mut states = vec![
+        StateInfo {
+            label: String::new(),
+            up: 0,
+            accepting: false,
+        };
+        total
+    ];
+
+    // Top row.
+    states[a(2)] = StateInfo {
+        label: "A2 = (2,3,0)".into(),
+        up: 2,
+        accepting: true,
+    };
+    for k in 3..=n {
+        states[a(k)] = StateInfo {
+            label: format!("A{k} = ({k},{k},0)"),
+            up: k as u32,
+            accepting: true,
+        };
+    }
+    // A_k, k >= 3: k failures step left; n-k repairs step right.
+    for k in 3..=n {
+        ctmc.add(a(k), a(k - 1), k as f64 * lambda);
+        if k < n {
+            ctmc.add(a(k), a(k + 1), (n - k) as f64 * mu);
+        }
+    }
+    // A_2: two up sites can fail; n-2 down sites can repair.
+    ctmc.add(a(2), b(0), 2.0 * lambda);
+    ctmc.add(a(2), a(3), (n - 2) as f64 * mu);
+
+    // Middle and bottom rows.
+    for z in 0..=n - 3 {
+        states[b(z)] = StateInfo {
+            label: format!("B{z} = (1,3,{z})"),
+            up: (1 + z) as u32,
+            accepting: false,
+        };
+        states[c(z)] = StateInfo {
+            label: format!("C{z} = (0,3,{z})"),
+            up: z as u32,
+            accepting: false,
+        };
+
+        // B_z: a second trio repair re-forms the distinguished partition.
+        let target = if z == 0 { a(2) } else { a(z + 2) };
+        ctmc.add(b(z), target, 2.0 * mu);
+        if z < n - 3 {
+            ctmc.add(b(z), b(z + 1), (n - 3 - z) as f64 * mu);
+        }
+        ctmc.add(b(z), c(z), lambda);
+        if z > 0 {
+            ctmc.add(b(z), b(z - 1), z as f64 * lambda);
+        }
+
+        // C_z: any trio repair climbs to B_z.
+        ctmc.add(c(z), b(z), 3.0 * mu);
+        if z < n - 3 {
+            ctmc.add(c(z), c(z + 1), (n - 3 - z) as f64 * mu);
+        }
+        if z > 0 {
+            ctmc.add(c(z), c(z - 1), z as f64 * lambda);
+        }
+    }
+
+    AvailabilityChain { ctmc, states, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::site_up_probability;
+
+    #[test]
+    fn state_count_is_3n_minus_5() {
+        for n in 3..=20 {
+            assert_eq!(hybrid_chain(n, 1.0).ctmc.len(), 3 * n - 5, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn reproduces_the_papers_sample_balance_equation() {
+        // "2*mu*B[1] + 3*lambda*A[3] = ((n-2)*mu + 2*lambda)*A[2]".
+        // (The paper names the middle row B[1]..B[n-2]; our B_0 is its
+        // B[1].) Verify flow-in = flow-out at A2 under the solved steady
+        // state.
+        for n in [4usize, 5, 7] {
+            for ratio in [0.3, 1.0, 4.0] {
+                let chain = hybrid_chain(n, ratio);
+                let pi = chain.steady_state().unwrap();
+                let a2 = 0;
+                let a3 = 1;
+                let b0 = n - 1;
+                let lhs = 2.0 * ratio * pi[b0] + 3.0 * pi[a3];
+                let rhs = ((n - 2) as f64 * ratio + 2.0) * pi[a2];
+                assert!(
+                    (lhs - rhs).abs() < 1e-12,
+                    "n={n} ratio={ratio}: {lhs} != {rhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_up_sites_equals_np() {
+        // The chain tracks every failure/repair, so the marginal number
+        // of up sites must be Binomial(n, p) in expectation regardless of
+        // the metadata structure.
+        for n in [3usize, 5, 9] {
+            for ratio in [0.5, 2.0] {
+                let chain = hybrid_chain(n, ratio);
+                let expected = chain.expected_up().unwrap();
+                let np = n as f64 * site_up_probability(ratio);
+                assert!(
+                    (expected - np).abs() < 1e-9,
+                    "n={n} ratio={ratio}: {expected} vs {np}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn availability_tends_to_one_with_fast_repair() {
+        let a = hybrid_chain(5, 1e4).site_availability().unwrap();
+        assert!(a > 0.999, "{a}");
+    }
+
+    #[test]
+    fn availability_tends_to_zero_with_slow_repair() {
+        let a = hybrid_chain(5, 1e-3).site_availability().unwrap();
+        assert!(a < 0.02, "{a}");
+    }
+
+    #[test]
+    fn availability_is_monotone_in_ratio() {
+        let mut last = 0.0;
+        for i in 1..=40 {
+            let ratio = 0.25 * f64::from(i);
+            let a = hybrid_chain(6, ratio).site_availability().unwrap();
+            assert!(a > last, "ratio {ratio}: {a} <= {last}");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn three_site_hybrid_equals_three_site_voting() {
+        // With n = 3 the trio list names all three sites forever, so the
+        // hybrid *is* static majority voting — which is exactly why it
+        // repairs dynamic-linear's known weakness at three sites
+        // ("ordinary voting is superior if the number of sites is
+        // exactly three").
+        for ratio in [0.2, 0.82, 1.0, 2.0, 7.5] {
+            let hybrid = hybrid_chain(3, ratio).site_availability().unwrap();
+            let voting = crate::chains::voting_availability(3, ratio);
+            assert!(
+                (hybrid - voting).abs() < 1e-12,
+                "ratio {ratio}: {hybrid} vs {voting}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_site_chain_by_hand() {
+        // n = 3: states A2=(2,3,0), A3=(3,3,0), B0=(1,3,0), C0=(0,3,0).
+        // Balance gives (with λ=1, μ=r):
+        //   A3: 3·A3 = r·A2
+        //   A2: (2 + r)·A2 = 3·A3 + 2r·B0
+        //   B0: (1 + 2r)·B0 = 2·A2 + 3r·C0
+        //   C0: 3r·C0 = B0
+        let r = 1.7;
+        let chain = hybrid_chain(3, r);
+        let pi = chain.steady_state().unwrap();
+        let (a2, a3, b0, c0) = (pi[0], pi[1], pi[2], pi[3]);
+        assert!((3.0 * a3 - r * a2).abs() < 1e-12);
+        assert!(((2.0 + r) * a2 - 3.0 * a3 - 2.0 * r * b0).abs() < 1e-12);
+        assert!(((1.0 + 2.0 * r) * b0 - 2.0 * a2 - 3.0 * r * c0).abs() < 1e-12);
+        assert!((3.0 * r * c0 - b0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! The dynamic-linear state diagram (VLDB 1987), lumped.
+//!
+//! Dynamic-linear's quorum can shrink to a single site. In the raw chain
+//! the blocked states distinguish which of the final pair (the
+//! distinguished site or the other) is down; because rates are
+//! homogeneous and the process memoryless, those states lump exactly
+//! (DESIGN.md gives the bisimulation `(1,2,z) ≅ T_{z+1}`,
+//! `(0,2,z) ≅ T_z`; the machine-derived chain of [`crate::statespace`]
+//! is the unlumped version, and the equality of the two availabilities
+//! is asserted in tests). The lumped chain has 2n states:
+//!
+//! * `A_k = (k, k, 0)` for `k = 1..=n`: accepting;
+//! * `T_z` for `z = 0..=n-1`: blocked; the one *key* site whose repair
+//!   re-forms the distinguished partition is down and `z` other sites
+//!   are up.
+//!
+//! From `A_2`, the two failures differ: losing the non-distinguished
+//! site leaves the distinguished site alone and still serving (`A_1`);
+//! losing the distinguished site blocks the survivor (`T_1` — the
+//! survivor counts among the `z` others).
+
+use crate::availability::{AvailabilityChain, StateInfo};
+use crate::ctmc::Ctmc;
+
+/// Build the (lumped) dynamic-linear chain for `n ≥ 2` sites.
+#[must_use]
+pub fn linear_chain(n: usize, ratio: f64) -> AvailabilityChain {
+    assert!(n >= 2);
+    assert!(ratio > 0.0 && ratio.is_finite());
+    let (lambda, mu) = (1.0, ratio);
+
+    let a = |k: usize| k - 1;
+    let t = |z: usize| n + z;
+    let total = 2 * n;
+
+    let mut ctmc = Ctmc::new(total);
+    let mut states = vec![
+        StateInfo {
+            label: String::new(),
+            up: 0,
+            accepting: false,
+        };
+        total
+    ];
+
+    for k in 1..=n {
+        states[a(k)] = StateInfo {
+            label: format!("A{k} = ({k},{k},0)"),
+            up: k as u32,
+            accepting: true,
+        };
+        if k < n {
+            ctmc.add(a(k), a(k + 1), (n - k) as f64 * mu);
+        }
+        match k {
+            1 => ctmc.add(a(1), t(0), lambda),
+            2 => {
+                // The distinguished site fails (blocked, survivor counts
+                // as an up outsider)...
+                ctmc.add(a(2), t(1), lambda);
+                // ...or the other site fails (DS survives and serves).
+                ctmc.add(a(2), a(1), lambda);
+            }
+            _ => ctmc.add(a(k), a(k - 1), k as f64 * lambda),
+        }
+    }
+
+    for z in 0..=n - 1 {
+        states[t(z)] = StateInfo {
+            label: format!("T{z} (key down, {z} up)"),
+            up: z as u32,
+            accepting: false,
+        };
+        // The key site repairs: distinguished partition of z+1 sites.
+        ctmc.add(t(z), a(z + 1), mu);
+        if z < n - 1 {
+            ctmc.add(t(z), t(z + 1), (n - 1 - z) as f64 * mu);
+        }
+        if z > 0 {
+            ctmc.add(t(z), t(z - 1), z as f64 * lambda);
+        }
+    }
+
+    AvailabilityChain { ctmc, states, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::site_up_probability;
+    use crate::chains::{dynamic_chain, voting_availability};
+
+    #[test]
+    fn state_count_is_2n() {
+        for n in 2..=20 {
+            assert_eq!(linear_chain(n, 1.0).ctmc.len(), 2 * n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn expected_up_sites_equals_np() {
+        for n in [2usize, 5, 8] {
+            for ratio in [0.7, 2.5] {
+                let chain = linear_chain(n, ratio);
+                let expected = chain.expected_up().unwrap();
+                let np = n as f64 * site_up_probability(ratio);
+                assert!((expected - np).abs() < 1e-9, "n={n} ratio={ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn dominates_dynamic_voting() {
+        // Dynamic-linear accepts strictly more histories than dynamic
+        // voting, so its availability is at least as large everywhere.
+        for n in 3..=12 {
+            for i in 1..=40 {
+                let ratio = 0.3 * f64::from(i);
+                let linear = linear_chain(n, ratio).site_availability().unwrap();
+                let dynamic = dynamic_chain(n, ratio).site_availability().unwrap();
+                assert!(
+                    linear > dynamic - 1e-12,
+                    "n={n} ratio={ratio}: {linear} < {dynamic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beats_voting_for_five_sites_at_reasonable_ratios() {
+        // The papers: dynamic-linear has greater availability than voting
+        // when the file is replicated at four or more sites.
+        for i in 2..=40 {
+            let ratio = 0.5 * f64::from(i);
+            let linear = linear_chain(5, ratio).site_availability().unwrap();
+            let voting = voting_availability(5, ratio);
+            assert!(linear > voting, "ratio={ratio}: {linear} <= {voting}");
+        }
+    }
+
+    #[test]
+    fn availability_limits() {
+        assert!(linear_chain(5, 1e4).site_availability().unwrap() > 0.999);
+        assert!(linear_chain(5, 1e-3).site_availability().unwrap() < 0.03);
+    }
+}

@@ -1,0 +1,31 @@
+//! Hand-derived availability chains, transcribed from the papers.
+//!
+//! These are the chains the authors solved in Maple:
+//!
+//! * [`hybrid_chain`] — Fig. 2 of the hybrid paper (3n−5 states);
+//! * [`dynamic_chain`] — the dynamic-voting chain of SIGMOD 1987
+//!   (3n−3 states in our formulation);
+//! * [`linear_chain`] — the dynamic-linear chain of VLDB 1987, lumped to
+//!   2n states (see DESIGN.md for the exactness argument);
+//! * [`voting_availability`] / [`primary_site_availability`] — closed
+//!   forms for the static baselines.
+//!
+//! Each chain is cross-validated in three independent ways: against the
+//! machine-derived chain of [`crate::statespace`] (built by BFS over the
+//! executable decision kernel), against Monte-Carlo simulation
+//! (`dynvote-mc`), and — for the hybrid — against the sample balance
+//! equation printed in the paper.
+//!
+//! Throughout, rates are normalised to `λ = 1`, `μ = ratio`; state
+//! `(X, Y, Z)` means: the current copies record cardinality `Y`, `X` of
+//! those `Y` sites are up, and `Z` of the remaining `n − Y` sites are up.
+
+mod dynamic;
+mod hybrid;
+mod linear;
+mod voting;
+
+pub use dynamic::dynamic_chain;
+pub use hybrid::hybrid_chain;
+pub use linear::linear_chain;
+pub use voting::{binomial, primary_site_availability, voting_availability, voting_chain};

@@ -1,0 +1,143 @@
+//! Closed forms for the static baselines.
+//!
+//! Static algorithms do not react to failure history, so each site is an
+//! independent two-state chain and availability reduces to binomial
+//! sums. A redundant explicit chain ([`voting_chain`]) is provided to
+//! exercise the CTMC machinery against the closed form.
+
+use crate::availability::{site_up_probability, AvailabilityChain, StateInfo};
+use crate::ctmc::Ctmc;
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact for the small `n`
+/// used here).
+#[must_use]
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0;
+    for i in 0..k {
+        result = result * (n - i) as f64 / (i + 1) as f64;
+    }
+    result
+}
+
+/// Site availability of uniform majority voting over `n` sites:
+/// `Σ_{2k>n} C(n,k) p^k (1−p)^{n−k} · k/n` with `p = μ/(λ+μ)`.
+#[must_use]
+pub fn voting_availability(n: usize, ratio: f64) -> f64 {
+    let p = site_up_probability(ratio);
+    let q = 1.0 - p;
+    (0..=n)
+        .filter(|&k| 2 * k > n)
+        .map(|k| binomial(n, k) * p.powi(k as i32) * q.powi((n - k) as i32) * k as f64 / n as f64)
+        .sum()
+}
+
+/// Site availability of "voting with a primary site": only the partition
+/// containing the primary may update. An update succeeds iff it arrives
+/// at an up site while the primary is up; with independent sites that is
+/// `p · (1 + (n−1)p)/n`.
+#[must_use]
+pub fn primary_site_availability(n: usize, ratio: f64) -> f64 {
+    let p = site_up_probability(ratio);
+    p * (1.0 + (n as f64 - 1.0) * p) / n as f64
+}
+
+/// An explicit birth–death chain for uniform voting: state `k` = number
+/// of up sites. Redundant with [`voting_availability`]; used to
+/// cross-check the CTMC solver.
+#[must_use]
+pub fn voting_chain(n: usize, ratio: f64) -> AvailabilityChain {
+    assert!(n >= 1);
+    let (lambda, mu) = (1.0, ratio);
+    let mut ctmc = Ctmc::new(n + 1);
+    let mut states = Vec::with_capacity(n + 1);
+    for k in 0..=n {
+        states.push(StateInfo {
+            label: format!("{k} sites up"),
+            up: k as u32,
+            accepting: 2 * k > n,
+        });
+        if k > 0 {
+            ctmc.add(k, k - 1, k as f64 * lambda);
+        }
+        if k < n {
+            ctmc.add(k, k + 1, (n - k) as f64 * mu);
+        }
+    }
+    AvailabilityChain { ctmc, states, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(20, 10), 184_756.0);
+        assert_eq!(binomial(3, 4), 0.0);
+    }
+
+    #[test]
+    fn chain_matches_closed_form() {
+        for n in [3usize, 4, 5, 8, 13] {
+            for ratio in [0.2, 1.0, 5.0] {
+                let chain = voting_chain(n, ratio).site_availability().unwrap();
+                let closed = voting_availability(n, ratio);
+                assert!(
+                    (chain - closed).abs() < 1e-12,
+                    "n={n} ratio={ratio}: {chain} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_site_voting_closed_form_by_hand() {
+        // n=3: majority needs 2 or 3 up.
+        // A = [C(3,2) p² q · 2/3] + [p³ · 1] = 2p²q + p³.
+        let ratio = 2.0;
+        let p = site_up_probability(ratio);
+        let by_hand = 2.0 * p * p * (1.0 - p) + p * p * p;
+        assert!((voting_availability(3, ratio) - by_hand).abs() < 1e-15);
+    }
+
+    #[test]
+    fn even_n_is_weaker_than_odd_n_below() {
+        // A classic voting fact: adding a 4th copy to 3 *hurts*
+        // (majority of 4 is 3, while majority of 3 is 2).
+        for ratio in [0.5, 1.0, 3.0, 10.0] {
+            assert!(voting_availability(4, ratio) < voting_availability(3, ratio));
+        }
+    }
+
+    #[test]
+    fn primary_site_crosses_voting() {
+        // At reasonable ratios majority voting beats the primary site;
+        // at very small ratios (sites mostly down) the primary site wins
+        // because a single-site quorum is all one can hope for.
+        for ratio in [1.0, 4.0, 10.0] {
+            assert!(
+                primary_site_availability(5, ratio) < voting_availability(5, ratio),
+                "ratio={ratio}"
+            );
+        }
+        assert!(primary_site_availability(5, 0.3) > voting_availability(5, 0.3));
+    }
+
+    #[test]
+    fn availability_bounds() {
+        for ratio in [0.1, 1.0, 9.0] {
+            let p = site_up_probability(ratio);
+            for n in [3usize, 5, 7] {
+                let a = voting_availability(n, ratio);
+                assert!(a > 0.0 && a < p, "availability must lie in (0, p)");
+            }
+        }
+    }
+}

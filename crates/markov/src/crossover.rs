@@ -1,0 +1,212 @@
+//! Crossover analysis — the mechanically-aided proof of Theorem 3,
+//! re-done numerically.
+//!
+//! The paper formed the difference of the two availability polynomials
+//! symbolically in Maple, found its zeros with `fsolve`, and certified
+//! uniqueness with Descartes' rule of sign. Our replacement: a dense
+//! sign scan of the (continuous, bounded) difference over the ratio axis
+//! certifies how many crossings exist in the scanned interval, and
+//! bisection pins each one down far beyond the paper's two quoted
+//! decimals. (The inputs come from exact rational rate coefficients
+//! solved in `f64`; the achievable precision, ~1e−12, is ten orders
+//! beyond what Theorem 3 states.)
+
+/// A bracketed root of a scalar function: `f(lo)` and `f(hi)` have
+/// opposite signs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bracket {
+    /// Lower end of the bracket.
+    pub lo: f64,
+    /// Upper end of the bracket.
+    pub hi: f64,
+}
+
+/// Scan `[lo, hi]` in `steps` uniform increments and return every
+/// sign-change bracket of `f`. An exact zero at a grid point yields a
+/// degenerate bracket (`lo == hi`).
+pub fn sign_scan(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, steps: usize) -> Vec<Bracket> {
+    assert!(steps >= 1 && hi > lo);
+    let mut brackets = Vec::new();
+    let dx = (hi - lo) / steps as f64;
+    let mut x_prev = lo;
+    let mut f_prev = f(lo);
+    if f_prev == 0.0 {
+        brackets.push(Bracket { lo, hi: lo });
+    }
+    for i in 1..=steps {
+        let x = lo + dx * i as f64;
+        let fx = f(x);
+        if fx == 0.0 {
+            brackets.push(Bracket { lo: x, hi: x });
+        } else if f_prev != 0.0 && (f_prev < 0.0) != (fx < 0.0) {
+            brackets.push(Bracket { lo: x_prev, hi: x });
+        }
+        x_prev = x;
+        f_prev = fx;
+    }
+    brackets
+}
+
+/// Bisection to absolute tolerance `tol` within a bracket.
+pub fn bisect(mut f: impl FnMut(f64) -> f64, bracket: Bracket, tol: f64) -> f64 {
+    let (mut lo, mut hi) = (bracket.lo, bracket.hi);
+    if lo == hi {
+        return lo; // degenerate bracket: exact zero at a grid point
+    }
+    let mut f_lo = f(lo);
+    if f_lo == 0.0 {
+        return lo;
+    }
+    for _ in 0..200 {
+        if hi - lo <= tol {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(mid);
+        if f_mid == 0.0 {
+            return mid;
+        }
+        if (f_lo < 0.0) == (f_mid < 0.0) {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Result of a crossover search for one `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crossover {
+    /// Number of replica sites.
+    pub n: usize,
+    /// The crossover ratio `c`: the first algorithm wins above it.
+    pub ratio: f64,
+    /// Number of sign changes observed in the scanned interval (1 means
+    /// the crossing is unique there, the analogue of the paper's
+    /// Descartes'-rule certificate).
+    pub sign_changes: usize,
+}
+
+/// Sign changes with both endpoint magnitudes below this are artefacts
+/// of `f64` round-off (both availabilities → 1 at large ratios and their
+/// difference underflows the solver's precision), not real crossings.
+pub const NOISE_FLOOR: f64 = 1e-12;
+
+/// Find the crossovers of `f(ratio) = a_first(ratio) − a_second(ratio)`
+/// over `[lo, hi]`, discarding round-off artefacts below
+/// [`NOISE_FLOOR`].
+pub fn find_crossovers(
+    n: usize,
+    mut diff: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+) -> Vec<Crossover> {
+    let brackets: Vec<Bracket> = sign_scan(&mut diff, lo, hi, 2_000)
+        .into_iter()
+        .filter(|b| diff(b.lo).abs().max(diff(b.hi).abs()) > NOISE_FLOOR)
+        .collect();
+    let count = brackets.len();
+    brackets
+        .into_iter()
+        .map(|b| Crossover {
+            n,
+            ratio: bisect(&mut diff, b, 1e-10),
+            sign_changes: count,
+        })
+        .collect()
+}
+
+/// The crossover points Theorem 3 reports, for regression testing:
+/// `(n, c)` such that hybrid beats dynamic-linear iff `μ/λ ≥ c`.
+pub const THEOREM3_PAPER: [(usize, f64); 18] = [
+    (3, 0.82),
+    (4, 0.67),
+    (5, 0.63),
+    (6, 0.64),
+    (7, 0.66),
+    (8, 0.70),
+    (9, 0.75),
+    (10, 0.81),
+    (11, 0.86),
+    (12, 0.92),
+    (13, 0.97),
+    (14, 1.01),
+    (15, 1.05),
+    (16, 1.08),
+    (17, 1.11),
+    (18, 1.14),
+    (19, 1.16),
+    (20, 1.19),
+];
+
+/// Compute the Theorem 3 crossover (hybrid vs dynamic-linear) for one
+/// `n`, scanning ratios in `[0.05, 5]` (the paper's crossings all fall
+/// below 1.2; beyond ~5 the difference is positive but shrinks towards
+/// the round-off floor as both availabilities approach 1).
+#[must_use]
+pub fn theorem3_crossover(n: usize) -> Crossover {
+    use crate::chains::{hybrid_chain, linear_chain};
+    let diff = |ratio: f64| {
+        hybrid_chain(n, ratio).site_availability().unwrap()
+            - linear_chain(n, ratio).site_availability().unwrap()
+    };
+    let mut found = find_crossovers(n, diff, 0.05, 5.0);
+    assert_eq!(
+        found.len(),
+        1,
+        "Theorem 3 expects a unique crossover for n={n}, found {}",
+        found.len()
+    );
+    found.pop().expect("one crossover")
+}
+
+/// The full Theorem 3 table for `n = 3..=20`.
+#[must_use]
+pub fn theorem3_table() -> Vec<Crossover> {
+    (3..=20).map(theorem3_crossover).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_scan_finds_simple_roots() {
+        // f(x) = (x-1)(x-3): roots at 1 and 3.
+        let f = |x: f64| (x - 1.0) * (x - 3.0);
+        let brackets = sign_scan(f, 0.0, 4.0, 100);
+        assert_eq!(brackets.len(), 2);
+        let r0 = bisect(f, brackets[0], 1e-12);
+        let r1 = bisect(f, brackets[1], 1e-12);
+        assert!((r0 - 1.0).abs() < 1e-10);
+        assert!((r1 - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sign_scan_handles_no_roots() {
+        assert!(sign_scan(|x| x * x + 1.0, -5.0, 5.0, 50).is_empty());
+    }
+
+    #[test]
+    fn bisect_honours_tolerance() {
+        let f = |x: f64| x - std::f64::consts::PI;
+        let root = bisect(f, Bracket { lo: 3.0, hi: 4.0 }, 1e-9);
+        assert!((root - std::f64::consts::PI).abs() < 1e-8);
+    }
+
+    #[test]
+    fn theorem3_crossover_for_five_sites() {
+        // The paper: n = 5 crosses at ~0.63.
+        let c = theorem3_crossover(5);
+        assert!((c.ratio - 0.63).abs() < 0.01, "got {}", c.ratio);
+        assert_eq!(c.sign_changes, 1, "crossing must be unique");
+    }
+
+    #[test]
+    fn theorem3_crossover_for_three_sites() {
+        let c = theorem3_crossover(3);
+        assert!((c.ratio - 0.82).abs() < 0.01, "got {}", c.ratio);
+    }
+}

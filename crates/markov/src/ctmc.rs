@@ -1,0 +1,241 @@
+//! Continuous-time Markov chains and their steady-state distributions.
+//!
+//! The paper's stochastic model (Section VI-B) yields, for each
+//! algorithm, a finite CTMC whose states describe which sites are up and
+//! what metadata the copies carry. Availability is a weighted sum of
+//! steady-state probabilities. This module provides the generic chain
+//! representation and the balance-equation solver; the chains themselves
+//! come from [`crate::chains`] (hand-derived, as in the paper) and
+//! [`crate::statespace`] (machine-derived from the executable kernel).
+
+use crate::linalg::{self, LinalgError, Matrix};
+use std::fmt;
+
+/// A finite CTMC given by transition rates between indexed states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctmc {
+    n_states: usize,
+    /// `(from, to, rate)` with `rate > 0`, `from != to`. Parallel
+    /// transitions are allowed and add.
+    transitions: Vec<(usize, usize, f64)>,
+}
+
+impl Ctmc {
+    /// An empty chain over `n_states` states.
+    #[must_use]
+    pub fn new(n_states: usize) -> Self {
+        Ctmc {
+            n_states,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n_states
+    }
+
+    /// True if the chain has no states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n_states == 0
+    }
+
+    /// Add a transition `from → to` at `rate`.
+    ///
+    /// # Panics
+    ///
+    /// If indices are out of range, `from == to`, or `rate` is not
+    /// strictly positive and finite.
+    pub fn add(&mut self, from: usize, to: usize, rate: f64) {
+        assert!(from < self.n_states && to < self.n_states, "state index");
+        assert_ne!(from, to, "self-loops are meaningless in a CTMC");
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        self.transitions.push((from, to, rate));
+    }
+
+    /// The registered transitions.
+    #[must_use]
+    pub fn transitions(&self) -> &[(usize, usize, f64)] {
+        &self.transitions
+    }
+
+    /// Total exit rate of a state.
+    #[must_use]
+    pub fn exit_rate(&self, state: usize) -> f64 {
+        self.transitions
+            .iter()
+            .filter(|(f, _, _)| *f == state)
+            .map(|(_, _, r)| r)
+            .sum()
+    }
+
+    /// The infinitesimal generator `Q` (`Q[i][j]` = rate `i → j`,
+    /// `Q[i][i] = −Σ_j rate(i→j)`).
+    #[must_use]
+    pub fn generator(&self) -> Matrix {
+        let mut q = Matrix::zeros(self.n_states, self.n_states);
+        for &(from, to, rate) in &self.transitions {
+            q[(from, to)] += rate;
+            q[(from, from)] -= rate;
+        }
+        q
+    }
+
+    /// Solve the balance equations `πQ = 0`, `Σπ = 1`.
+    ///
+    /// One balance equation is redundant (exactly as the paper notes:
+    /// "one of the 3n−5 equations thus obtained is redundant and can be
+    /// replaced by the equation that says the probabilities sum to 1");
+    /// we replace the last row of `Qᵀ` with the normalisation row.
+    pub fn steady_state(&self) -> Result<Vec<f64>, SteadyStateError> {
+        if self.n_states == 0 {
+            return Err(SteadyStateError::Empty);
+        }
+        if self.n_states == 1 {
+            return Ok(vec![1.0]);
+        }
+        let q = self.generator();
+        let n = self.n_states;
+        // A = Qᵀ with the last row replaced by 1s; b = e_{n-1}.
+        let a = Matrix::from_fn(n, n, |r, c| if r == n - 1 { 1.0 } else { q[(c, r)] });
+        let mut b = vec![0.0; n];
+        b[n - 1] = 1.0;
+        let pi = linalg::solve(&a, &b).map_err(SteadyStateError::Solver)?;
+        // Validate: probabilities must be (numerically) non-negative and
+        // satisfy the full balance system.
+        for (i, &p) in pi.iter().enumerate() {
+            if !p.is_finite() || p < -1e-9 {
+                return Err(SteadyStateError::NotAProbability { state: i, value: p });
+            }
+        }
+        let pi: Vec<f64> = pi.iter().map(|&p| p.max(0.0)).collect();
+        Ok(pi)
+    }
+}
+
+/// Failure modes of the steady-state computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SteadyStateError {
+    /// The chain has no states.
+    Empty,
+    /// The linear solve failed — with a redundant balance row replaced
+    /// by normalisation this indicates a *reducible* chain (more than
+    /// one closed communicating class).
+    Solver(LinalgError),
+    /// The solution contains a negative or non-finite entry.
+    NotAProbability {
+        /// Offending state index.
+        state: usize,
+        /// The value computed for it.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SteadyStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SteadyStateError::Empty => write!(f, "chain has no states"),
+            SteadyStateError::Solver(e) => write!(f, "balance equations unsolvable: {e}"),
+            SteadyStateError::NotAProbability { state, value } => {
+                write!(f, "state {state} received non-probability {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SteadyStateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_state_birth_death() {
+        // up --λ--> down, down --μ--> up: π_up = μ/(λ+μ).
+        let (lambda, mu) = (1.0, 4.0);
+        let mut chain = Ctmc::new(2);
+        chain.add(0, 1, lambda);
+        chain.add(1, 0, mu);
+        let pi = chain.steady_state().unwrap();
+        assert!((pi[0] - mu / (lambda + mu)).abs() < 1e-12);
+        assert!((pi[1] - lambda / (lambda + mu)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn birth_death_chain_matches_closed_form() {
+        // M/M/1/K queue: π_k ∝ ρ^k.
+        let k = 6;
+        let (lambda, mu) = (2.0, 3.0);
+        let mut chain = Ctmc::new(k + 1);
+        for i in 0..k {
+            chain.add(i, i + 1, lambda);
+            chain.add(i + 1, i, mu);
+        }
+        let pi = chain.steady_state().unwrap();
+        let rho: f64 = lambda / mu;
+        let z: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        for (i, &p) in pi.iter().enumerate() {
+            assert!((p - rho.powi(i as i32) / z).abs() < 1e-12, "state {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_transitions_add() {
+        let mut chain = Ctmc::new(2);
+        chain.add(0, 1, 1.0);
+        chain.add(0, 1, 1.0); // same edge again: total rate 2
+        chain.add(1, 0, 2.0);
+        let pi = chain.steady_state().unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-12);
+        assert_eq!(chain.exit_rate(0), 2.0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut chain = Ctmc::new(5);
+        for i in 0..4 {
+            chain.add(i, i + 1, 1.0 + i as f64);
+            chain.add(i + 1, i, 2.0);
+        }
+        chain.add(0, 4, 0.5);
+        let pi = chain.steady_state().unwrap();
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // And the generator is actually balanced: πQ ≈ 0.
+        let q = chain.generator();
+        for j in 0..5 {
+            let flow: f64 = (0..5).map(|i| pi[i] * q[(i, j)]).sum();
+            assert!(flow.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reducible_chain_is_rejected() {
+        // Two disconnected 2-cycles: steady state is not unique.
+        let mut chain = Ctmc::new(4);
+        chain.add(0, 1, 1.0);
+        chain.add(1, 0, 1.0);
+        chain.add(2, 3, 1.0);
+        chain.add(3, 2, 1.0);
+        assert!(chain.steady_state().is_err());
+    }
+
+    #[test]
+    fn absorbing_state_gets_all_mass() {
+        // 0 -> 1 with no way back: π = (0, 1).
+        let mut chain = Ctmc::new(2);
+        chain.add(0, 1, 3.0);
+        let pi = chain.steady_state().unwrap();
+        assert!(pi[0].abs() < 1e-12);
+        assert!((pi[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut chain = Ctmc::new(1);
+        chain.add(0, 0, 1.0);
+    }
+}

@@ -1,0 +1,432 @@
+//! Heterogeneous availability analysis — the paper's closing challenge.
+//!
+//! Section VII ends: "These are models which lack symmetry in
+//! communication links and uniformity in repair/failure ratios. The
+//! existence of practical dynamic algorithms provides a greater
+//! challenge: what is the optimal *dynamic* assignment of votes in such
+//! heterogeneous models...?"
+//!
+//! This module takes the first step the paper calls for: exact
+//! availability of every algorithm in the family under **per-site
+//! failure and repair rates**. Site symmetry is gone, so the lumped
+//! chains of [`crate::statespace`] do not apply; instead we build the
+//! *unlumped* chain over `(up-set, current-set, SC, DS)` states — still
+//! exact, because stale metadata remains behaviourally inert (the same
+//! invariant that licenses the lumped abstraction, certified by the
+//! exhaustive and property tests in `dynvote-core`).
+//!
+//! The interesting design question it unlocks: dynamic-linear and the
+//! hybrid choose their distinguished site by the file's *a-priori
+//! linear order* — so under heterogeneous reliability, **which order is
+//! best?** [`order_study`] compares ranking the reliable sites first
+//! vs. last; see `EXPERIMENTS.md` (E11) for results.
+
+use crate::availability::{AvailabilityChain, StateInfo};
+use crate::ctmc::Ctmc;
+use dynvote_core::{
+    AlgorithmKind, CopyMeta, Distinguished, LinearOrder, ReplicaControl, ReplicaSystem, SiteId,
+    SiteSet,
+};
+use std::collections::HashMap;
+
+/// Per-site failure and repair rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteRates {
+    /// Failure rate `λ_i` while up.
+    pub failure: f64,
+    /// Repair rate `μ_i` while down.
+    pub repair: f64,
+}
+
+impl SiteRates {
+    /// The homogeneous rates of the paper's model: `λ = 1`, `μ = ratio`.
+    #[must_use]
+    pub fn homogeneous(ratio: f64) -> Self {
+        SiteRates {
+            failure: 1.0,
+            repair: ratio,
+        }
+    }
+
+    /// Steady-state probability this site is up.
+    #[must_use]
+    pub fn up_probability(self) -> f64 {
+        self.repair / (self.failure + self.repair)
+    }
+}
+
+/// Sentinel cardinality for materialised stale copies (cannot form any
+/// quorum).
+const STALE_SC: u32 = u32::MAX;
+
+/// Unlumped canonical state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    up: SiteSet,
+    current: SiteSet,
+    sc: u32,
+    ds: Distinguished,
+}
+
+fn snapshot<A: ReplicaControl>(sys: &ReplicaSystem<A>, up: SiteSet) -> State {
+    let latest = sys.latest_version();
+    let current = SiteSet::from_sites(
+        (0..sys.n())
+            .map(SiteId::new)
+            .filter(|s| sys.meta(*s).version == latest),
+    );
+    let meta = sys.meta(current.first().expect("some copy is current"));
+    State {
+        up,
+        current,
+        sc: meta.cardinality,
+        ds: meta.distinguished,
+    }
+}
+
+fn materialize<A: ReplicaControl>(state: &State, sys: &mut ReplicaSystem<A>) {
+    let stale = CopyMeta {
+        version: 0,
+        cardinality: STALE_SC,
+        distinguished: Distinguished::Irrelevant,
+    };
+    let current_meta = CopyMeta {
+        version: 1,
+        cardinality: state.sc,
+        distinguished: state.ds,
+    };
+    for i in 0..sys.n() {
+        let site = SiteId::new(i);
+        sys.set_meta(
+            site,
+            if state.current.contains(site) {
+                current_meta
+            } else {
+                stale
+            },
+        );
+    }
+}
+
+/// Build the exact heterogeneous chain for `kind` with the given
+/// per-site rates and linear order.
+#[must_use]
+pub fn hetero_chain(
+    kind: AlgorithmKind,
+    rates: &[SiteRates],
+    order: LinearOrder,
+) -> AvailabilityChain {
+    hetero_chain_for(kind.instantiate(rates.len()), rates, order)
+}
+
+/// Build the exact heterogeneous chain for an arbitrary algorithm
+/// instance — this also serves asymmetric algorithms the lumped builder
+/// cannot handle, such as voting with witnesses, where site *roles*
+/// break exchangeability.
+///
+/// # Panics
+///
+/// If rates are non-positive, lengths disagree, or the state space
+/// exceeds an internal cap (it cannot for the algorithms here).
+#[must_use]
+pub fn hetero_chain_for(
+    algo: Box<dyn ReplicaControl>,
+    rates: &[SiteRates],
+    order: LinearOrder,
+) -> AvailabilityChain {
+    let n = rates.len();
+    assert!(n >= 2, "need at least two sites");
+    assert_eq!(order.len(), n, "order must cover all sites");
+    assert!(
+        rates.iter().all(|r| r.failure > 0.0 && r.repair > 0.0),
+        "rates must be positive"
+    );
+    const MAX_STATES: usize = 500_000;
+
+    let mut sys = ReplicaSystem::with_order(order, algo);
+    let root = snapshot(&sys, SiteSet::all(n));
+
+    let mut index: HashMap<State, usize> = HashMap::new();
+    let mut order_of_discovery: Vec<State> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+    let mut ctmc_edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+
+    index.insert(root, 0);
+    order_of_discovery.push(root);
+    accepting.push({
+        materialize(&root, &mut sys);
+        sys.can_update(root.up)
+    });
+    queue.push_back(root);
+
+    while let Some(state) = queue.pop_front() {
+        let from = index[&state];
+        for (i, site_rates) in rates.iter().enumerate() {
+            let site = SiteId::new(i);
+            let mut up2 = state.up;
+            let rate = if state.up.contains(site) {
+                up2.remove(site);
+                site_rates.failure
+            } else {
+                up2.insert(site);
+                site_rates.repair
+            };
+            materialize(&state, &mut sys);
+            if !up2.is_empty() {
+                sys.attempt_update(up2);
+            }
+            let next = snapshot(&sys, up2);
+            let to = *index.entry(next).or_insert_with(|| {
+                let id = order_of_discovery.len();
+                assert!(id < MAX_STATES, "state space exploded");
+                order_of_discovery.push(next);
+                accepting.push(!up2.is_empty() && sys.can_update(up2));
+                queue.push_back(next);
+                id
+            });
+            if to != from {
+                ctmc_edges.push((from, to, rate));
+            }
+        }
+    }
+
+    let mut ctmc = Ctmc::new(order_of_discovery.len());
+    for (from, to, rate) in ctmc_edges {
+        ctmc.add(from, to, rate);
+    }
+    let states = order_of_discovery
+        .iter()
+        .zip(&accepting)
+        .map(|(s, &acc)| StateInfo {
+            label: format!("up={} current={} sc={}", s.up, s.current, s.sc),
+            up: s.up.len() as u32,
+            accepting: acc,
+        })
+        .collect();
+    AvailabilityChain { ctmc, states, n }
+}
+
+/// Site availability under heterogeneous rates.
+#[must_use]
+pub fn hetero_availability(kind: AlgorithmKind, rates: &[SiteRates], order: LinearOrder) -> f64 {
+    hetero_chain(kind, rates, order)
+        .site_availability()
+        .expect("hetero chains are irreducible")
+}
+
+/// Result of the distinguished-site ordering study for one algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderStudy {
+    /// Availability when the *most reliable* site ranks greatest (and so
+    /// is preferred as the distinguished site).
+    pub reliable_first: f64,
+    /// Availability when the *least reliable* site ranks greatest.
+    pub reliable_last: f64,
+}
+
+/// Compare linear orders for a dynamic algorithm under heterogeneous
+/// rates: does preferring reliable sites as the distinguished site pay?
+#[must_use]
+pub fn order_study(kind: AlgorithmKind, rates: &[SiteRates]) -> OrderStudy {
+    let n = rates.len();
+    // Rank by up-probability: greatest rank = preferred DS.
+    let mut by_reliability: Vec<usize> = (0..n).collect();
+    by_reliability.sort_by(|&a, &b| {
+        rates[a]
+            .up_probability()
+            .total_cmp(&rates[b].up_probability())
+    });
+    // by_reliability is ascending; rank = position.
+    let mut asc_rank = vec![0u32; n];
+    for (pos, &site) in by_reliability.iter().enumerate() {
+        asc_rank[site] = pos as u32; // least reliable gets rank 0
+    }
+    let desc_rank: Vec<u32> = asc_rank.iter().map(|&r| (n as u32 - 1) - r).collect();
+    OrderStudy {
+        reliable_first: hetero_availability(kind, rates, LinearOrder::new(asc_rank)),
+        reliable_last: hetero_availability(kind, rates, LinearOrder::new(desc_rank)),
+    }
+}
+
+/// Exhaustively search all `n!` linear orders for the one maximising an
+/// algorithm's availability under the given rates. Feasible for
+/// `n ≤ 7`; returns the best order and its availability.
+///
+/// # Panics
+///
+/// If `n` is outside `2..=7`.
+#[must_use]
+pub fn optimal_order(kind: AlgorithmKind, rates: &[SiteRates]) -> (LinearOrder, f64) {
+    let n = rates.len();
+    assert!((2..=7).contains(&n), "n! search is feasible for n <= 7");
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut best: Option<(LinearOrder, f64)> = None;
+    // Heap's algorithm over rank permutations.
+    fn heaps(k: usize, perm: &mut Vec<u32>, visit: &mut impl FnMut(&[u32])) {
+        if k == 1 {
+            visit(perm);
+            return;
+        }
+        for i in 0..k {
+            heaps(k - 1, perm, visit);
+            if k % 2 == 0 {
+                perm.swap(i, k - 1);
+            } else {
+                perm.swap(0, k - 1);
+            }
+        }
+    }
+    let mut visit = |ranks: &[u32]| {
+        let order = LinearOrder::new(ranks.to_vec());
+        let availability = hetero_availability(kind, rates, order.clone());
+        if best.as_ref().map_or(true, |(_, b)| availability > *b) {
+            best = Some((order, availability));
+        }
+    };
+    heaps(n, &mut perm, &mut visit);
+    best.expect("n >= 2 visits at least one order")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statespace::DerivedChain;
+
+    fn homogeneous(n: usize, ratio: f64) -> Vec<SiteRates> {
+        vec![SiteRates::homogeneous(ratio); n]
+    }
+
+    #[test]
+    fn homogeneous_hetero_chain_matches_lumped_chain() {
+        // With equal rates, the unlumped chain must agree exactly with
+        // the symmetry-lumped one — a strong mutual validation.
+        for kind in AlgorithmKind::ALL {
+            for n in [3usize, 4, 5] {
+                let lumped = DerivedChain::build(kind, n);
+                for ratio in [0.5, 1.0, 3.0] {
+                    let hetero = hetero_availability(
+                        kind,
+                        &homogeneous(n, ratio),
+                        LinearOrder::lexicographic(n),
+                    );
+                    let reference = lumped.site_availability(ratio);
+                    assert!(
+                        (hetero - reference).abs() < 1e-10,
+                        "{kind} n={n} ratio={ratio}: {hetero} vs {reference}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn up_probability_marginals_hold_heterogeneously() {
+        // E[#up] must equal Σ_i p_i whatever the algorithm.
+        let rates = vec![
+            SiteRates { failure: 1.0, repair: 0.5 },
+            SiteRates { failure: 1.0, repair: 2.0 },
+            SiteRates { failure: 0.5, repair: 1.0 },
+            SiteRates { failure: 2.0, repair: 4.0 },
+        ];
+        let expected: f64 = rates.iter().map(|r| r.up_probability()).sum();
+        for kind in [AlgorithmKind::Voting, AlgorithmKind::Hybrid] {
+            let chain = hetero_chain(kind, &rates, LinearOrder::lexicographic(4));
+            let measured = chain.expected_up().unwrap();
+            assert!(
+                (measured - expected).abs() < 1e-9,
+                "{kind}: {measured} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn voting_is_order_insensitive() {
+        // Static voting never reads the linear order; the study must be
+        // a wash.
+        let rates = vec![
+            SiteRates { failure: 1.0, repair: 0.8 },
+            SiteRates { failure: 1.0, repair: 1.5 },
+            SiteRates { failure: 1.0, repair: 3.0 },
+            SiteRates { failure: 1.0, repair: 5.0 },
+            SiteRates { failure: 1.0, repair: 9.0 },
+        ];
+        let study = order_study(AlgorithmKind::Voting, &rates);
+        assert!((study.reliable_first - study.reliable_last).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliable_distinguished_site_helps_dynamic_linear_but_not_hybrid() {
+        let rates = vec![
+            SiteRates { failure: 1.0, repair: 0.6 },
+            SiteRates { failure: 1.0, repair: 1.0 },
+            SiteRates { failure: 1.0, repair: 2.0 },
+            SiteRates { failure: 1.0, repair: 4.0 },
+            SiteRates { failure: 1.0, repair: 8.0 },
+        ];
+        // Dynamic-linear gambles its tie-break on the distinguished
+        // site, so it should be placed on the site most likely to be up.
+        let study = order_study(AlgorithmKind::DynamicLinear, &rates);
+        assert!(
+            study.reliable_first > study.reliable_last,
+            "dynamic-linear: {study:?}"
+        );
+        // The hybrid, by contrast, is *exactly* order-insensitive under
+        // the model: one-at-a-time failures mean a strict majority
+        // always decides while SC >= 4, and at SC = 3 the trio list (a
+        // function of which sites were up, not of the order) takes
+        // over — the single-site DS entry is never consulted. A
+        // reproduction finding; see EXPERIMENTS.md E11.
+        let study = order_study(AlgorithmKind::Hybrid, &rates);
+        assert!(
+            (study.reliable_first - study.reliable_last).abs() < 1e-12,
+            "hybrid: {study:?}"
+        );
+    }
+
+    #[test]
+    fn reliable_first_is_the_globally_optimal_order() {
+        // Not just better than reliable-last: among ALL 4! orders, the
+        // one ranking the most reliable site greatest is optimal for
+        // dynamic-linear (up to ties among orders agreeing on the top).
+        let rates = vec![
+            SiteRates { failure: 1.0, repair: 0.5 },
+            SiteRates { failure: 1.0, repair: 1.2 },
+            SiteRates { failure: 1.0, repair: 3.0 },
+            SiteRates { failure: 1.0, repair: 7.0 },
+        ];
+        let (best_order, best) = optimal_order(AlgorithmKind::DynamicLinear, &rates);
+        let study = order_study(AlgorithmKind::DynamicLinear, &rates);
+        assert!(
+            (best - study.reliable_first).abs() < 1e-12,
+            "exhaustive best {best} vs reliable-first {}",
+            study.reliable_first
+        );
+        // The best order ranks the most reliable site (index 3) on top.
+        let top = (0..4)
+            .map(SiteId::new)
+            .max_by_key(|s| best_order.rank(*s))
+            .unwrap();
+        assert_eq!(top, SiteId(3), "{best_order:?}");
+    }
+
+    #[test]
+    fn a_dead_weight_site_barely_moves_the_needle() {
+        // One site that is almost never up: availability with it should
+        // approach the (n-1)-site homogeneous value from below... for
+        // voting it actually *hurts* (it raises the majority threshold).
+        let mut rates = homogeneous(4, 2.0);
+        rates.push(SiteRates { failure: 100.0, repair: 0.01 });
+        let with_dead = hetero_availability(
+            AlgorithmKind::Voting,
+            &rates,
+            LinearOrder::lexicographic(5),
+        );
+        let four_site = crate::chains::voting_availability(4, 2.0);
+        // Majority of 5 needs 3 of the 4 live sites: worse than majority
+        // of 4 (also 3) relative to... compare against the 5-site value.
+        let five_site = crate::chains::voting_availability(5, 2.0);
+        assert!(with_dead < five_site, "{with_dead} vs {five_site}");
+        assert!(with_dead < four_site, "{with_dead} vs {four_site}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Dense linear algebra: just enough to solve balance equations.
+//!
+//! The paper solved its balance equations in Maple. Our replacement is a
+//! dense LU solve with partial pivoting — the systems are tiny (at most
+//! a few hundred states) and well-conditioned for the repair/failure
+//! ratios of interest, so `f64` reproduces the paper's two-decimal
+//! crossover points with orders of magnitude to spare (verified against
+//! the Monte-Carlo and hand-derived paths).
+
+use std::fmt;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zero `rows × cols` matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `self · x`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                self.data[r * self.cols..(r + 1) * self.cols]
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>12.6} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Failure modes of the linear solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not square.
+    NotSquare,
+    /// Dimension mismatch between the matrix and the right-hand side.
+    DimensionMismatch,
+    /// A pivot vanished: the system is singular (to machine precision).
+    Singular {
+        /// Elimination step at which the zero pivot appeared.
+        step: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare => write!(f, "matrix is not square"),
+            LinalgError::DimensionMismatch => write!(f, "rhs length does not match matrix"),
+            LinalgError::Singular { step } => {
+                write!(f, "matrix is singular (zero pivot at step {step})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// Consumes a copy of `A` internally; `A` and `b` are unchanged.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if a.rows != a.cols {
+        return Err(LinalgError::NotSquare);
+    }
+    if b.len() != a.rows {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let n = a.rows;
+    let mut m = a.clone();
+    let mut x = b.to_vec();
+
+    for k in 0..n {
+        // Partial pivoting: bring the largest |entry| of column k up.
+        let pivot_row = (k..n)
+            .max_by(|&i, &j| {
+                m[(i, k)]
+                    .abs()
+                    .partial_cmp(&m[(j, k)].abs())
+                    .expect("no NaNs in balance equations")
+            })
+            .expect("non-empty range");
+        if m[(pivot_row, k)].abs() < f64::EPSILON * 1e3 {
+            return Err(LinalgError::Singular { step: k });
+        }
+        if pivot_row != k {
+            for c in 0..n {
+                let tmp = m[(k, c)];
+                m[(k, c)] = m[(pivot_row, c)];
+                m[(pivot_row, c)] = tmp;
+            }
+            x.swap(k, pivot_row);
+        }
+        for i in k + 1..n {
+            let factor = m[(i, k)] / m[(k, k)];
+            if factor == 0.0 {
+                continue;
+            }
+            m[(i, k)] = 0.0;
+            for c in k + 1..n {
+                let delta = factor * m[(k, c)];
+                m[(i, c)] -= delta;
+            }
+            x[i] -= factor * x[k];
+        }
+    }
+
+    // Back substitution.
+    for k in (0..n).rev() {
+        let mut sum = x[k];
+        for c in k + 1..n {
+            sum -= m[(k, c)] * x[c];
+        }
+        x[k] = sum / m[(k, k)];
+    }
+    Ok(x)
+}
+
+/// Maximum absolute residual `|A x − b|∞`, for solution verification.
+#[must_use]
+pub fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    a.mul_vec(x)
+        .iter()
+        .zip(b)
+        .map(|(ax, bi)| (ax - bi).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let x = solve(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_small_system() {
+        // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+        let a = Matrix::from_fn(2, 2, |r, c| [[2.0, 1.0], [1.0, 3.0]][r][c]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Without pivoting this system fails at step 0.
+        let a = Matrix::from_fn(2, 2, |r, c| [[0.0, 1.0], [1.0, 0.0]][r][c]);
+        let x = solve(&a, &[2.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_fn(2, 2, |r, c| [[1.0, 2.0], [2.0, 4.0]][r][c]);
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(solve(&a, &[0.0, 0.0]), Err(LinalgError::NotSquare));
+        let a = Matrix::zeros(2, 2);
+        assert_eq!(solve(&a, &[0.0]), Err(LinalgError::DimensionMismatch));
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_tiny() {
+        let n = 30;
+        // A diagonally dominant random-ish matrix (deterministic fill).
+        let a = Matrix::from_fn(n, n, |r, c| {
+            if r == c {
+                10.0 + r as f64
+            } else {
+                ((r * 31 + c * 17) % 7) as f64 / 7.0
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+}

@@ -1,0 +1,458 @@
+//! Machine-derived availability chains: BFS over the executable kernel.
+//!
+//! The paper hand-derived a state diagram per algorithm (Fig. 2) and
+//! solved its balance equations in Maple. Hand derivation is exactly
+//! where subtle modelling errors creep in, so this module *derives* the
+//! chain mechanically from the same decision kernel the protocol runs:
+//!
+//! 1. A system configuration under the stochastic model is abstracted to
+//!    site-symmetry classes. Because failure/repair rates are
+//!    homogeneous and the model memoryless, two sites are exchangeable
+//!    whenever they agree on three bits: **up?**, **current?** (holds
+//!    the globally newest version) and **named by the current copy's
+//!    `DS` entry?**. Stale metadata beyond those bits is behaviourally
+//!    inert — a stale partition is never distinguished (the
+//!    `stale_partitions_are_never_distinguished` property test in
+//!    `dynvote-core` certifies this for every algorithm), and catch-up
+//!    overwrites stale copies wholesale on the next commit.
+//! 2. Starting from the all-up state, BFS explores one failure/repair
+//!    event at a time; after each event the paper's "frequent updates"
+//!    assumption fires an update in the up partition, which we execute
+//!    with the real [`ReplicaSystem`] code.
+//! 3. The resulting lumped CTMC is solved exactly like the hand chains.
+//!
+//! Agreement between this chain, the hand-derived chain, and Monte-Carlo
+//! simulation is the repository's core cross-validation (see
+//! `tests/cross_validation.rs`).
+
+use crate::availability::{AvailabilityChain, StateInfo};
+use crate::ctmc::Ctmc;
+use dynvote_core::{
+    AlgorithmKind, CopyMeta, Distinguished, ReplicaControl, ReplicaSystem, SiteId, SiteSet,
+};
+use std::collections::HashMap;
+
+/// Safety cap on the explored state space.
+const MAX_STATES: usize = 200_000;
+
+/// Sentinel cardinality materialised into stale copies: large enough
+/// that no decision rule can treat a stale version as quorate.
+const STALE_SC: u32 = u32::MAX;
+
+/// The kind of `DS` entry carried by the current version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum DsKind {
+    Irrelevant,
+    Single,
+    Trio,
+    Set,
+}
+
+/// A site-symmetry class: (up, current, named-in-DS).
+fn class_of(up: bool, current: bool, in_ds: bool) -> usize {
+    (up as usize) << 2 | (current as usize) << 1 | (in_ds as usize)
+}
+
+/// Canonical lumped state: the current version's cardinality and `DS`
+/// kind, plus the number of sites in each of the eight symmetry classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct AbstractState {
+    sc: u32,
+    ds_kind: DsKind,
+    counts: [u8; 8],
+}
+
+impl AbstractState {
+    fn up_count(&self) -> u32 {
+        (0..8)
+            .filter(|c| c & 0b100 != 0)
+            .map(|c| u32::from(self.counts[c]))
+            .sum()
+    }
+
+    fn label(&self) -> String {
+        let up: u32 = self.up_count();
+        let current_up = self.counts[class_of(true, true, false)]
+            + self.counts[class_of(true, true, true)];
+        let current_down = self.counts[class_of(false, true, false)]
+            + self.counts[class_of(false, true, true)];
+        format!(
+            "sc={} ds={:?} current {}/{} up, {} up total",
+            self.sc,
+            self.ds_kind,
+            current_up,
+            current_up as u32 + current_down as u32,
+            up
+        )
+    }
+}
+
+/// Abstract a concrete configuration.
+fn abstract_state<A: ReplicaControl>(sys: &ReplicaSystem<A>, up: SiteSet) -> AbstractState {
+    let latest = sys.latest_version();
+    let current_meta = sys
+        .metas()
+        .iter()
+        .find(|m| m.version == latest)
+        .expect("some copy holds the newest version");
+    let ds_sites = current_meta.distinguished.sites();
+    let ds_kind = match current_meta.distinguished {
+        Distinguished::Irrelevant => DsKind::Irrelevant,
+        Distinguished::Single(_) => DsKind::Single,
+        Distinguished::Trio(_) => DsKind::Trio,
+        Distinguished::Set(_) => DsKind::Set,
+    };
+    let mut counts = [0u8; 8];
+    for i in 0..sys.n() {
+        let site = SiteId::new(i);
+        let meta = sys.meta(site);
+        counts[class_of(
+            up.contains(site),
+            meta.version == latest,
+            ds_sites.contains(site),
+        )] += 1;
+    }
+    AbstractState {
+        sc: current_meta.cardinality,
+        ds_kind,
+        counts,
+    }
+}
+
+/// Materialise a representative concrete configuration.
+///
+/// Returns the system and its up-set. Site identities are assigned
+/// deterministically per class; by symmetry any assignment represents
+/// the class equally (the kernel's only identity-sensitivity — linear
+/// order maxima — moves sites between classes identically regardless of
+/// labels).
+fn materialize<A: ReplicaControl>(
+    state: &AbstractState,
+    n: usize,
+    algo: A,
+) -> (ReplicaSystem<A>, SiteSet, [Vec<SiteId>; 8]) {
+    let mut sys = ReplicaSystem::new(n, algo);
+    let mut up = SiteSet::EMPTY;
+    let mut members: [Vec<SiteId>; 8] = Default::default();
+    let mut next = 0usize;
+    let mut ds_sites = SiteSet::EMPTY;
+    for (class, &count) in state.counts.iter().enumerate() {
+        for _ in 0..count {
+            let site = SiteId::new(next);
+            next += 1;
+            members[class].push(site);
+            if class & 0b100 != 0 {
+                up.insert(site);
+            }
+            if class & 0b001 != 0 {
+                ds_sites.insert(site);
+            }
+        }
+    }
+    debug_assert_eq!(next, n, "class counts must cover all sites");
+    let distinguished = match state.ds_kind {
+        DsKind::Irrelevant => Distinguished::Irrelevant,
+        DsKind::Single => Distinguished::Single(ds_sites.first().expect("single DS site")),
+        DsKind::Trio => Distinguished::Trio(ds_sites),
+        DsKind::Set => Distinguished::Set(ds_sites),
+    };
+    let stale = CopyMeta {
+        version: 0,
+        cardinality: STALE_SC,
+        distinguished: Distinguished::Irrelevant,
+    };
+    for (class, sites) in members.iter().enumerate() {
+        let is_current = class & 0b010 != 0;
+        for &site in sites {
+            sys.set_meta(
+                site,
+                if is_current {
+                    CopyMeta {
+                        version: 1,
+                        cardinality: state.sc,
+                        distinguished,
+                    }
+                } else {
+                    stale
+                },
+            );
+        }
+    }
+    (sys, up, members)
+}
+
+/// One ratio-independent transition of the derived chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Transition {
+    from: usize,
+    to: usize,
+    /// Multiplicity (number of exchangeable sites triggering it).
+    multiplicity: u32,
+    /// True for a repair (rate `multiplicity·μ`), false for a failure
+    /// (rate `multiplicity·λ`).
+    repair: bool,
+}
+
+/// A ratio-independent derived chain; instantiate per ratio with
+/// [`DerivedChain::at_ratio`].
+#[derive(Debug, Clone)]
+pub struct DerivedChain {
+    kind: AlgorithmKind,
+    n: usize,
+    states: Vec<StateInfo>,
+    transitions: Vec<Transition>,
+}
+
+impl DerivedChain {
+    /// Explore the model's reachable state space for `kind` over `n`
+    /// sites.
+    ///
+    /// # Panics
+    ///
+    /// If the exploration exceeds an internal safety cap (it cannot for
+    /// the algorithms in this crate: the spaces are `O(n²)`).
+    #[must_use]
+    pub fn build(kind: AlgorithmKind, n: usize) -> Self {
+        let initial = {
+            let sys = ReplicaSystem::new(n, kind.instantiate(n));
+            abstract_state(&sys, SiteSet::all(n))
+        };
+        let mut index: HashMap<AbstractState, usize> = HashMap::new();
+        let mut order: Vec<AbstractState> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut transitions: Vec<Transition> = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+
+        index.insert(initial, 0);
+        order.push(initial);
+        queue.push_back(initial);
+        // Acceptance of the initial state, computed on materialisation.
+        {
+            let (sys, up, _) = materialize(&initial, n, kind.instantiate(n));
+            accepting.push(sys.can_update(up));
+        }
+
+        while let Some(state) = queue.pop_front() {
+            let from = index[&state];
+            for class in 0..8usize {
+                if state.counts[class] == 0 {
+                    continue;
+                }
+                let is_up = class & 0b100 != 0;
+                // Event: one site of this class fails (if up) or repairs
+                // (if down).
+                let (mut sys, mut up, members) =
+                    materialize(&state, n, kind.instantiate(n));
+                let site = members[class][0];
+                if is_up {
+                    up.remove(site);
+                } else {
+                    up.insert(site);
+                }
+                // "Frequent updates": an update is processed in the up
+                // partition before the next event.
+                if !up.is_empty() {
+                    sys.attempt_update(up);
+                }
+                let next = abstract_state(&sys, up);
+                let to = *index.entry(next).or_insert_with(|| {
+                    let id = order.len();
+                    assert!(id < MAX_STATES, "state space exploded");
+                    order.push(next);
+                    accepting.push(!up.is_empty() && sys.can_update(up));
+                    queue.push_back(next);
+                    id
+                });
+                if to != from {
+                    transitions.push(Transition {
+                        from,
+                        to,
+                        multiplicity: u32::from(state.counts[class]),
+                        repair: !is_up,
+                    });
+                }
+            }
+        }
+
+        let states = order
+            .iter()
+            .zip(&accepting)
+            .map(|(s, &acc)| StateInfo {
+                label: s.label(),
+                up: s.up_count(),
+                accepting: acc,
+            })
+            .collect();
+        DerivedChain {
+            kind,
+            n,
+            states,
+            transitions,
+        }
+    }
+
+    /// The algorithm this chain models.
+    #[must_use]
+    pub fn kind(&self) -> AlgorithmKind {
+        self.kind
+    }
+
+    /// Number of replica sites.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of lumped states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the chain has no states (never happens).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Instantiate the CTMC at a repair/failure ratio (`λ = 1`,
+    /// `μ = ratio`).
+    #[must_use]
+    pub fn at_ratio(&self, ratio: f64) -> AvailabilityChain {
+        assert!(ratio > 0.0 && ratio.is_finite());
+        let mut ctmc = Ctmc::new(self.states.len());
+        for t in &self.transitions {
+            let rate = f64::from(t.multiplicity) * if t.repair { ratio } else { 1.0 };
+            ctmc.add(t.from, t.to, rate);
+        }
+        AvailabilityChain {
+            ctmc,
+            states: self.states.clone(),
+            n: self.n,
+        }
+    }
+
+    /// Convenience: site availability at one ratio.
+    #[must_use]
+    pub fn site_availability(&self, ratio: f64) -> f64 {
+        self.at_ratio(ratio)
+            .site_availability()
+            .expect("derived chains are irreducible")
+    }
+}
+
+/// One-shot helper: the machine-derived site availability of `kind`.
+#[must_use]
+pub fn derived_availability(kind: AlgorithmKind, n: usize, ratio: f64) -> f64 {
+    DerivedChain::build(kind, n).site_availability(ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::site_up_probability;
+    use crate::chains::{dynamic_chain, hybrid_chain, linear_chain, voting_availability};
+
+    #[test]
+    fn derived_voting_matches_closed_form() {
+        for n in [3usize, 4, 5, 6] {
+            let chain = DerivedChain::build(AlgorithmKind::Voting, n);
+            for ratio in [0.3, 1.0, 4.0] {
+                let derived = chain.site_availability(ratio);
+                let closed = voting_availability(n, ratio);
+                assert!(
+                    (derived - closed).abs() < 1e-10,
+                    "n={n} ratio={ratio}: {derived} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derived_hybrid_matches_fig2_chain() {
+        for n in [3usize, 4, 5, 7] {
+            let chain = DerivedChain::build(AlgorithmKind::Hybrid, n);
+            for ratio in [0.2, 0.82, 1.0, 5.0] {
+                let derived = chain.site_availability(ratio);
+                let hand = hybrid_chain(n, ratio).site_availability().unwrap();
+                assert!(
+                    (derived - hand).abs() < 1e-10,
+                    "n={n} ratio={ratio}: {derived} vs {hand}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derived_dynamic_matches_hand_chain() {
+        for n in [3usize, 5, 6] {
+            let chain = DerivedChain::build(AlgorithmKind::DynamicVoting, n);
+            for ratio in [0.4, 1.0, 3.0] {
+                let derived = chain.site_availability(ratio);
+                let hand = dynamic_chain(n, ratio).site_availability().unwrap();
+                assert!(
+                    (derived - hand).abs() < 1e-10,
+                    "n={n} ratio={ratio}: {derived} vs {hand}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derived_linear_matches_lumped_hand_chain() {
+        // The hand chain is the *lumped* dynamic-linear chain; the
+        // machine-derived chain is the unlumped one. Equality of the two
+        // availabilities proves the lumping argument of DESIGN.md.
+        for n in [3usize, 4, 5, 7] {
+            let chain = DerivedChain::build(AlgorithmKind::DynamicLinear, n);
+            for ratio in [0.2, 1.0, 2.7] {
+                let derived = chain.site_availability(ratio);
+                let hand = linear_chain(n, ratio).site_availability().unwrap();
+                assert!(
+                    (derived - hand).abs() < 1e-10,
+                    "n={n} ratio={ratio}: {derived} vs {hand}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modified_hybrid_availability_equals_hybrid() {
+        // Section VII claims the modified hybrid permits the same updates
+        // as the hybrid; its derived chain must therefore have the same
+        // availability.
+        for n in [3usize, 4, 5, 6] {
+            let modified = DerivedChain::build(AlgorithmKind::ModifiedHybrid, n);
+            for ratio in [0.3, 1.0, 2.0] {
+                let a = modified.site_availability(ratio);
+                let h = hybrid_chain(n, ratio).site_availability().unwrap();
+                assert!(
+                    (a - h).abs() < 1e-10,
+                    "n={n} ratio={ratio}: modified {a} vs hybrid {h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_up_is_np_for_all_kinds() {
+        for kind in AlgorithmKind::ALL {
+            let chain = DerivedChain::build(kind, 5).at_ratio(1.3);
+            let expected = chain.expected_up().unwrap();
+            let np = 5.0 * site_up_probability(1.3);
+            assert!((expected - np).abs() < 1e-9, "{kind}");
+        }
+    }
+
+    #[test]
+    fn state_spaces_stay_small() {
+        for kind in AlgorithmKind::ALL {
+            let chain = DerivedChain::build(kind, 10);
+            assert!(
+                chain.len() <= 250,
+                "{kind}: {} states for n=10",
+                chain.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Parameter sweeps producing the paper's figures as data series.
+//!
+//! Figs. 3 and 4 plot *normalised* availability (availability divided by
+//! the probability `p` that an arbitrary site is up) against the
+//! repair/failure ratio, for five sites, with one curve per algorithm.
+//! [`figure_series`] reproduces those series for any `n` and ratio grid;
+//! the CLI and benches print them as CSV.
+
+use crate::availability::normalized;
+use crate::chains::{hybrid_chain, linear_chain, voting_availability};
+use crate::statespace::DerivedChain;
+use dynvote_core::AlgorithmKind;
+
+/// One row of a figure: the ratio and the normalised availability of
+/// each requested algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Repair/failure ratio `μ/λ`.
+    pub ratio: f64,
+    /// Normalised availability per algorithm, in request order.
+    pub values: Vec<f64>,
+}
+
+/// A complete sweep: header plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Number of replica sites.
+    pub n: usize,
+    /// The algorithms, in column order.
+    pub algorithms: Vec<AlgorithmKind>,
+    /// The data rows.
+    pub rows: Vec<SweepRow>,
+}
+
+impl Sweep {
+    /// Render as CSV (`ratio,<algo1>,<algo2>,...`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("ratio");
+        for kind in &self.algorithms {
+            out.push(',');
+            out.push_str(kind.id());
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:.4}", row.ratio));
+            for v in &row.values {
+                out.push_str(&format!(",{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A uniform ratio grid `lo..=hi` with `steps` intervals.
+#[must_use]
+pub fn ratio_grid(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(steps >= 1 && hi >= lo && lo > 0.0);
+    (0..=steps)
+        .map(|i| lo + (hi - lo) * i as f64 / steps as f64)
+        .collect()
+}
+
+/// Site availability of `kind` at `(n, ratio)`, via the fastest exact
+/// path available: closed form for static voting, the hand-derived
+/// chains for the three paper algorithms, and the machine-derived chain
+/// for the Section VII variants.
+#[must_use]
+pub fn availability(kind: AlgorithmKind, n: usize, ratio: f64) -> f64 {
+    match kind {
+        AlgorithmKind::Voting => voting_availability(n, ratio),
+        AlgorithmKind::DynamicVoting => crate::chains::dynamic_chain(n, ratio)
+            .site_availability()
+            .expect("irreducible"),
+        AlgorithmKind::DynamicLinear => linear_chain(n, ratio)
+            .site_availability()
+            .expect("irreducible"),
+        AlgorithmKind::Hybrid => hybrid_chain(n, ratio)
+            .site_availability()
+            .expect("irreducible"),
+        AlgorithmKind::ModifiedHybrid | AlgorithmKind::OptimalCandidate => {
+            DerivedChain::build(kind, n).site_availability(ratio)
+        }
+    }
+}
+
+/// Build a normalised-availability sweep over `ratios` for the given
+/// algorithms (reusing one derived chain per algorithm across the grid).
+#[must_use]
+pub fn figure_series(n: usize, algorithms: &[AlgorithmKind], ratios: &[f64]) -> Sweep {
+    let derived: Vec<Option<DerivedChain>> = algorithms
+        .iter()
+        .map(|&kind| {
+            matches!(
+                kind,
+                AlgorithmKind::ModifiedHybrid | AlgorithmKind::OptimalCandidate
+            )
+            .then(|| DerivedChain::build(kind, n))
+        })
+        .collect();
+    let rows = ratios
+        .iter()
+        .map(|&ratio| SweepRow {
+            ratio,
+            values: algorithms
+                .iter()
+                .zip(&derived)
+                .map(|(&kind, chain)| {
+                    let a = match chain {
+                        Some(c) => c.site_availability(ratio),
+                        None => availability(kind, n, ratio),
+                    };
+                    normalized(a, ratio)
+                })
+                .collect(),
+        })
+        .collect();
+    Sweep {
+        n,
+        algorithms: algorithms.to_vec(),
+        rows,
+    }
+}
+
+/// The three curves of Figs. 3 and 4: hybrid, dynamic-linear, voting.
+pub const FIGURE_ALGOS: [AlgorithmKind; 3] = [
+    AlgorithmKind::Hybrid,
+    AlgorithmKind::DynamicLinear,
+    AlgorithmKind::Voting,
+];
+
+/// Fig. 3: five sites, small ratios (0.1 to 2.0).
+#[must_use]
+pub fn fig3() -> Sweep {
+    figure_series(5, &FIGURE_ALGOS, &ratio_grid(0.1, 2.0, 19))
+}
+
+/// Fig. 4: five sites, big ratios (2.0 to 10.0).
+#[must_use]
+pub fn fig4() -> Sweep {
+    figure_series(5, &FIGURE_ALGOS, &ratio_grid(2.0, 10.0, 16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_endpoints() {
+        let g = ratio_grid(0.1, 2.0, 19);
+        assert_eq!(g.len(), 20);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[19] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig3_shape_matches_the_paper() {
+        // In Fig. 3 (five sites, small ratios) the hybrid curve lies
+        // above dynamic-linear from the crossover (~0.63) on, and
+        // everything dominates voting.
+        let sweep = fig3();
+        for row in &sweep.rows {
+            let (hybrid, linear, voting) = (row.values[0], row.values[1], row.values[2]);
+            assert!(hybrid > voting, "ratio {}", row.ratio);
+            assert!(linear > voting, "ratio {}", row.ratio);
+            if row.ratio > 0.64 {
+                assert!(hybrid >= linear, "ratio {}", row.ratio);
+            }
+            if row.ratio < 0.62 {
+                assert!(linear >= hybrid, "ratio {}", row.ratio);
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_hybrid_dominates_at_big_ratios() {
+        let sweep = fig4();
+        for row in &sweep.rows {
+            let (hybrid, linear, voting) = (row.values[0], row.values[1], row.values[2]);
+            assert!(hybrid >= linear && linear > voting, "ratio {}", row.ratio);
+            // Normalised availability lives in (0, 1].
+            for &v in &row.values {
+                assert!(v > 0.0 && v <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = figure_series(
+            4,
+            &[AlgorithmKind::Hybrid, AlgorithmKind::Voting],
+            &[0.5, 1.0],
+        )
+        .to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("ratio,hybrid,voting"));
+        assert_eq!(lines.count(), 2);
+    }
+
+    #[test]
+    fn availability_helper_is_consistent_across_paths() {
+        // The helper's fast paths must agree with the derived chains.
+        for kind in [
+            AlgorithmKind::Voting,
+            AlgorithmKind::DynamicVoting,
+            AlgorithmKind::DynamicLinear,
+            AlgorithmKind::Hybrid,
+        ] {
+            let fast = availability(kind, 5, 1.5);
+            let derived = crate::statespace::derived_availability(kind, 5, 1.5);
+            assert!((fast - derived).abs() < 1e-10, "{kind}");
+        }
+    }
+}

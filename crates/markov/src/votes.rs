@@ -1,0 +1,212 @@
+//! Optimal static vote assignment — the other half of the paper's
+//! closing challenge.
+//!
+//! "There has been much work recently to establish the optimal *static*
+//! assignment of votes or coteries in various heterogeneous models and
+//! to find heuristics that approach this optimum \[1\], \[2\], \[4\],
+//! \[5\], \[18\]." For a *static* weighted-voting scheme the
+//! availability has a closed form — acceptance depends only on which
+//! sites are up — so the optimum over a bounded vote grid can be found
+//! by exact exhaustive search, giving the baseline against which the
+//! *dynamic* algorithms' advantage can be quantified (EXPERIMENTS.md
+//! E16).
+
+use crate::hetero::SiteRates;
+use dynvote_core::quorum::VoteAssignment;
+use dynvote_core::{SiteId, SiteSet};
+
+/// Exact site availability of *any static* scheme — one whose
+/// acceptance is a function of the up-set alone — under per-site rates:
+/// `Σ_U P(U) · [accept(U)] · |U|/n`.
+///
+/// (No Markov chain needed: the up-set's stationary distribution is a
+/// product of independent two-state chains. Applies to weighted voting
+/// and to arbitrary coteries; it does *not* apply to the dynamic
+/// algorithms or to witnesses, whose acceptance reads metadata.)
+#[must_use]
+pub fn static_availability(
+    rates: &[SiteRates],
+    mut accept: impl FnMut(SiteSet) -> bool,
+) -> f64 {
+    let n = rates.len();
+    assert!((1..=20).contains(&n));
+    let p: Vec<f64> = rates.iter().map(|r| r.up_probability()).collect();
+    let mut total = 0.0;
+    for bits in 0u64..(1 << n) {
+        let up = SiteSet::from_bits(bits);
+        if !accept(up) {
+            continue;
+        }
+        let mut prob = 1.0;
+        for (i, &p_up) in p.iter().enumerate() {
+            prob *= if up.contains(SiteId::new(i)) {
+                p_up
+            } else {
+                1.0 - p_up
+            };
+        }
+        total += prob * up.len() as f64 / n as f64;
+    }
+    total
+}
+
+/// Exact site availability of static weighted voting under per-site
+/// rates (see [`static_availability`]).
+#[must_use]
+pub fn static_voting_availability(votes: &VoteAssignment, rates: &[SiteRates]) -> f64 {
+    assert_eq!(votes.len(), rates.len());
+    static_availability(rates, |up| votes.is_majority(up))
+}
+
+/// The result of an exhaustive vote-assignment search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalVotes {
+    /// The best assignment found.
+    pub votes: VoteAssignment,
+    /// Its exact availability.
+    pub availability: f64,
+    /// Availability of the uniform one-vote-per-site baseline.
+    pub uniform_availability: f64,
+}
+
+/// Exhaustively search vote assignments with per-site votes in
+/// `0..=max_vote` for the availability-optimal static scheme.
+///
+/// Exponential in `n` (grid size `(max_vote+1)^n`, each evaluated over
+/// `2^n` up-sets); intended for `n ≤ 8`, `max_vote ≤ 4`, where it runs
+/// in well under a second in release builds.
+///
+/// # Panics
+///
+/// If `rates` is empty, `n > 12`, or `max_vote` is 0.
+#[must_use]
+pub fn optimal_vote_assignment(rates: &[SiteRates], max_vote: u64) -> OptimalVotes {
+    let n = rates.len();
+    assert!((1..=12).contains(&n), "n must be 1..=12");
+    assert!(max_vote >= 1);
+    let uniform = VoteAssignment::uniform(n);
+    let uniform_availability = static_voting_availability(&uniform, rates);
+
+    let mut best_votes = uniform;
+    let mut best = uniform_availability;
+    let mut assignment = vec![0u64; n];
+    loop {
+        // Odometer step.
+        let mut done = true;
+        for slot in assignment.iter_mut() {
+            *slot += 1;
+            if *slot <= max_vote {
+                done = false;
+                break;
+            }
+            *slot = 0;
+        }
+        if done {
+            break;
+        }
+        if assignment.iter().all(|&v| v == 0) {
+            continue;
+        }
+        let candidate = VoteAssignment::new(assignment.clone());
+        let availability = static_voting_availability(&candidate, rates);
+        if availability > best + 1e-15 {
+            best = availability;
+            best_votes = candidate;
+        }
+    }
+    OptimalVotes {
+        votes: best_votes,
+        availability: best,
+        uniform_availability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chains::voting_availability;
+
+    fn homogeneous(n: usize, ratio: f64) -> Vec<SiteRates> {
+        vec![SiteRates::homogeneous(ratio); n]
+    }
+
+    #[test]
+    fn closed_form_matches_the_binomial_formula() {
+        for n in [3usize, 5, 7] {
+            for ratio in [0.5, 2.0] {
+                let a = static_voting_availability(
+                    &VoteAssignment::uniform(n),
+                    &homogeneous(n, ratio),
+                );
+                let b = voting_availability(n, ratio);
+                assert!((a - b).abs() < 1e-12, "n={n} ratio={ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_homogeneous_uniform_is_already_optimal() {
+        let result = optimal_vote_assignment(&homogeneous(5, 2.0), 3);
+        assert!(
+            (result.availability - result.uniform_availability).abs() < 1e-12,
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn even_homogeneous_benefits_from_a_tie_breaker() {
+        // The classic fact: with 4 equal sites, uniform voting wastes
+        // the 2-2 ties. Breaking the symmetry — an extra vote for one
+        // site (2,1,1,1) or, equivalently, a zero-vote witness
+        // (1,1,1,0) — strictly improves availability.
+        let result = optimal_vote_assignment(&homogeneous(4, 2.0), 2);
+        assert!(
+            result.availability > result.uniform_availability + 1e-6,
+            "{result:?}"
+        );
+        // The winner must be asymmetric.
+        let votes: Vec<u64> = (0..4).map(|i| result.votes.votes_of(SiteId::new(i))).collect();
+        assert!(votes.windows(2).any(|w| w[0] != w[1]), "{votes:?}");
+    }
+
+    #[test]
+    fn heterogeneous_optimum_weights_reliable_sites() {
+        let rates = vec![
+            SiteRates { failure: 1.0, repair: 0.5 },
+            SiteRates { failure: 1.0, repair: 1.0 },
+            SiteRates { failure: 1.0, repair: 8.0 },
+        ];
+        let result = optimal_vote_assignment(&rates, 3);
+        assert!(result.availability >= result.uniform_availability - 1e-15);
+        // The most reliable site must carry at least as many votes as
+        // the flakiest.
+        assert!(
+            result.votes.votes_of(SiteId(2)) >= result.votes.votes_of(SiteId(0)),
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn dynamic_algorithms_beat_the_optimal_static_assignment() {
+        // E16: even the *best possible* static votes lose to the dynamic
+        // family under heterogeneity — quantifying what adaptivity buys.
+        let rates = vec![
+            SiteRates { failure: 1.0, repair: 0.6 },
+            SiteRates { failure: 1.0, repair: 1.0 },
+            SiteRates { failure: 1.0, repair: 2.0 },
+            SiteRates { failure: 1.0, repair: 4.0 },
+            SiteRates { failure: 1.0, repair: 8.0 },
+        ];
+        let optimal_static = optimal_vote_assignment(&rates, 3);
+        let hybrid = crate::hetero::hetero_availability(
+            dynvote_core::AlgorithmKind::Hybrid,
+            &rates,
+            dynvote_core::LinearOrder::lexicographic(5),
+        );
+        assert!(
+            hybrid > optimal_static.availability,
+            "hybrid {hybrid} vs optimal static {:?}",
+            optimal_static
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the numerical substrate: the linear solver,
+//! the steady-state machinery and the transient analysis must be
+//! robust over randomly generated well-posed inputs, not just the
+//! hand-picked cases of the unit tests.
+
+use dynvote_markov::linalg::{residual, solve, Matrix};
+use dynvote_markov::transient::transient_distribution;
+use dynvote_markov::Ctmc;
+use proptest::prelude::*;
+
+/// Strategy: a strictly diagonally dominant matrix (guaranteed
+/// non-singular) plus a right-hand side.
+fn dominant_system() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let row = proptest::collection::vec(-1.0f64..1.0, n);
+        let matrix = proptest::collection::vec(row, n);
+        let rhs = proptest::collection::vec(-10.0f64..10.0, n);
+        (matrix, rhs).prop_map(|(mut m, b)| {
+            let n = m.len();
+            for (i, row) in m.iter_mut().enumerate() {
+                let off: f64 = row
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, v)| v.abs())
+                    .sum();
+                row[i] = off + 1.0; // strict dominance
+            }
+            let _ = n;
+            (m, b)
+        })
+    })
+}
+
+/// Strategy: a random strongly connected CTMC (a directed cycle through
+/// all states plus random extra edges).
+fn irreducible_chain() -> impl Strategy<Value = Ctmc> {
+    (2usize..12).prop_flat_map(|n| {
+        let cycle_rates = proptest::collection::vec(0.1f64..5.0, n);
+        let extras = proptest::collection::vec((0..n, 0..n, 0.1f64..5.0), 0..20);
+        (cycle_rates, extras).prop_map(move |(cycle, extras)| {
+            let mut ctmc = Ctmc::new(n);
+            for (i, &rate) in cycle.iter().enumerate() {
+                ctmc.add(i, (i + 1) % n, rate);
+            }
+            for (from, to, rate) in extras {
+                if from != to {
+                    ctmc.add(from, to, rate);
+                }
+            }
+            ctmc
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The solver's answer always satisfies the system it was given.
+    #[test]
+    fn solve_has_tiny_residual((matrix, rhs) in dominant_system()) {
+        let n = matrix.len();
+        let a = Matrix::from_fn(n, n, |r, c| matrix[r][c]);
+        let x = solve(&a, &rhs).expect("dominant systems are solvable");
+        let res = residual(&a, &x, &rhs);
+        prop_assert!(res < 1e-8, "residual {res}");
+    }
+
+    /// Steady states of irreducible chains are genuine stationary
+    /// distributions: non-negative, normalised, and flow-balanced.
+    #[test]
+    fn steady_states_are_stationary(ctmc in irreducible_chain()) {
+        let pi = ctmc.steady_state().expect("irreducible chain");
+        let total: f64 = pi.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(pi.iter().all(|&p| p >= 0.0));
+        let q = ctmc.generator();
+        for j in 0..ctmc.len() {
+            let flow: f64 = (0..ctmc.len()).map(|i| pi[i] * q[(i, j)]).sum();
+            prop_assert!(flow.abs() < 1e-9, "state {j}: net flow {flow}");
+        }
+    }
+
+    /// The transient distribution is a distribution at every time and
+    /// converges to the steady state.
+    #[test]
+    fn transient_is_normalised_and_convergent(
+        ctmc in irreducible_chain(),
+        t in 0.01f64..20.0,
+    ) {
+        let n = ctmc.len();
+        let mut initial = vec![0.0; n];
+        initial[0] = 1.0;
+        let dist = transient_distribution(&ctmc, &initial, t);
+        let total: f64 = dist.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "t={t}: Σ={total}");
+        prop_assert!(dist.iter().all(|&p| p >= -1e-10));
+
+        // Far horizon ≈ steady state (scaled to the chain's slowest
+        // plausible mixing: total rates are >= 0.1, so 400 time units is
+        // deep in equilibrium for these small chains).
+        let far = transient_distribution(&ctmc, &initial, 400.0);
+        let steady = ctmc.steady_state().expect("irreducible");
+        for (i, (&a, &b)) in far.iter().zip(&steady).enumerate() {
+            prop_assert!((a - b).abs() < 1e-5, "state {i}: {a} vs {b}");
+        }
+    }
+
+    /// Chapman–Kolmogorov: evolving t then s equals evolving t + s.
+    #[test]
+    fn transient_composes(
+        ctmc in irreducible_chain(),
+        t in 0.05f64..5.0,
+        s in 0.05f64..5.0,
+    ) {
+        let n = ctmc.len();
+        let mut initial = vec![0.0; n];
+        initial[n - 1] = 1.0;
+        let two_step = {
+            let mid = transient_distribution(&ctmc, &initial, t);
+            transient_distribution(&ctmc, &mid, s)
+        };
+        let one_step = transient_distribution(&ctmc, &initial, t + s);
+        for (a, b) in two_step.iter().zip(&one_step) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Availability of voting with witnesses (Pâris), via the unlumped
+//! chain builder — the classic claim being that replacing a data copy
+//! with a cheap witness costs almost no availability.
+
+use dynvote_core::algorithms::VotingWithWitnesses;
+use dynvote_core::{LinearOrder, SiteSet};
+use dynvote_markov::chains::voting_availability;
+use dynvote_markov::hetero::{hetero_chain_for, SiteRates};
+
+fn witnesses_availability(n: usize, copies: &str, ratio: f64) -> f64 {
+    let algo = VotingWithWitnesses::uniform(n, SiteSet::parse(copies).unwrap());
+    hetero_chain_for(
+        Box::new(algo),
+        &vec![SiteRates::homogeneous(ratio); n],
+        LinearOrder::lexicographic(n),
+    )
+    .site_availability()
+    .expect("irreducible")
+}
+
+#[test]
+fn all_copies_equals_plain_voting() {
+    // With every site holding data, the witness rule degenerates to
+    // plain majority voting.
+    for (n, copies) in [(3usize, "ABC"), (5, "ABCDE")] {
+        for ratio in [0.5, 1.0, 4.0] {
+            let w = witnesses_availability(n, copies, ratio);
+            let v = voting_availability(n, ratio);
+            assert!((w - v).abs() < 1e-10, "n={n} ratio={ratio}: {w} vs {v}");
+        }
+    }
+}
+
+#[test]
+fn a_witness_costs_little_against_a_third_copy() {
+    // Pâris's headline: two copies plus a witness track three copies
+    // closely (while storing one-third less data).
+    for ratio in [1.0, 2.0, 4.0, 8.0] {
+        let three_copies = voting_availability(3, ratio);
+        let with_witness = witnesses_availability(3, "AB", ratio);
+        assert!(
+            with_witness <= three_copies + 1e-12,
+            "a witness cannot beat a copy"
+        );
+        let loss = three_copies - with_witness;
+        assert!(
+            loss < 0.05,
+            "ratio={ratio}: witness loses too much ({loss:.4})"
+        );
+    }
+}
+
+#[test]
+fn witnesses_beat_fewer_bare_copies() {
+    // Two copies + witness must beat two copies alone (which can never
+    // survive a single failure under majority-of-2 voting... in fact
+    // uniform 2-site voting needs both sites). The witness adds real
+    // availability, not just bookkeeping.
+    for ratio in [1.0, 3.0] {
+        let two_copies = voting_availability(2, ratio);
+        let with_witness = witnesses_availability(3, "AB", ratio);
+        assert!(
+            with_witness > two_copies,
+            "ratio={ratio}: {with_witness} vs {two_copies}"
+        );
+    }
+}
+
+#[test]
+fn witness_placement_is_rate_sensitive() {
+    // Heterogeneous rates: the witness should sit on the *least*
+    // reliable site (data copies want reliable homes).
+    let order = LinearOrder::lexicographic(3);
+    let rates = [
+        SiteRates { failure: 1.0, repair: 8.0 }, // A: reliable
+        SiteRates { failure: 1.0, repair: 8.0 }, // B: reliable
+        SiteRates { failure: 1.0, repair: 0.7 }, // C: flaky
+    ];
+    let witness_on_flaky = hetero_chain_for(
+        Box::new(VotingWithWitnesses::uniform(3, SiteSet::parse("AB").unwrap())),
+        &rates,
+        order.clone(),
+    )
+    .site_availability()
+    .unwrap();
+    let witness_on_reliable = hetero_chain_for(
+        Box::new(VotingWithWitnesses::uniform(3, SiteSet::parse("BC").unwrap())),
+        &rates,
+        order,
+    )
+    .site_availability()
+    .unwrap();
+    assert!(
+        witness_on_flaky > witness_on_reliable,
+        "{witness_on_flaky} vs {witness_on_reliable}"
+    );
+}
+
+#[test]
+fn five_sites_two_witnesses() {
+    // 3 copies + 2 witnesses vs 5 full copies: small, quantified gap.
+    for ratio in [1.0, 4.0] {
+        let five_copies = voting_availability(5, ratio);
+        let mixed = witnesses_availability(5, "ABC", ratio);
+        assert!(mixed <= five_copies + 1e-12);
+        assert!(
+            five_copies - mixed < 0.06,
+            "ratio={ratio}: gap {:.4}",
+            five_copies - mixed
+        );
+    }
+}

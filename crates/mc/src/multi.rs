@@ -1,0 +1,228 @@
+//! Joint availability of multi-file transactions (footnote 2).
+//!
+//! A transaction touching `k` files needs a distinguished partition for
+//! *every* file. If files failed independently, the probability that
+//! all `k` partitions exist would be the product of the per-file
+//! probabilities — but all files share the same up-set, so their
+//! distinguished partitions are highly **positively correlated**: when
+//! the network is healthy everyone serves, and the same failures starve
+//! everyone at once. The joint availability therefore sits far above
+//! the independence product, close to the *minimum* of the marginals.
+//! This simulator measures all three.
+
+use crate::{exponential, BatchMeans};
+use dynvote_core::{AlgorithmKind, ReplicaControl, ReplicaSystem, SiteId, SiteSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a joint-availability simulation.
+#[derive(Debug, Clone)]
+pub struct MultiMcConfig {
+    /// One algorithm per file (all replicated at all `n` sites).
+    pub files: Vec<AlgorithmKind>,
+    /// Number of sites.
+    pub n: usize,
+    /// Repair/failure ratio `μ/λ`.
+    pub ratio: f64,
+    /// Measured horizon (after burn-in).
+    pub horizon: f64,
+    /// Burn-in time.
+    pub burn_in: f64,
+    /// Batch count for the confidence interval.
+    pub batches: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultiMcConfig {
+    fn default() -> Self {
+        MultiMcConfig {
+            files: vec![AlgorithmKind::Hybrid, AlgorithmKind::Hybrid],
+            n: 5,
+            ratio: 1.0,
+            horizon: 50_000.0,
+            burn_in: 500.0,
+            batches: 20,
+            seed: 0xFEED,
+        }
+    }
+}
+
+/// Joint and marginal availability estimates.
+///
+/// `joint_system` and `marginals` use the traditional (partition-exists)
+/// measure, which makes the independence comparison clean;
+/// `joint_site` additionally weights by the `k/n` chance that the
+/// transaction arrives at an up site (the paper's measure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiMcResult {
+    /// P(every file has a distinguished partition), site-weighted.
+    pub joint_site: f64,
+    /// P(every file has a distinguished partition).
+    pub joint_system: f64,
+    /// 95% half-width for `joint_system` (batch means).
+    pub joint_half_width: f64,
+    /// P(file i has a distinguished partition), per file.
+    pub marginals: Vec<f64>,
+    /// Π marginals — what independence would predict for `joint_system`.
+    pub independence_product: f64,
+}
+
+/// Measure joint transaction availability under the stochastic model.
+#[must_use]
+pub fn simulate_joint(config: &MultiMcConfig) -> MultiMcResult {
+    assert!(!config.files.is_empty());
+    let n = config.n;
+    let mut systems: Vec<ReplicaSystem<Box<dyn ReplicaControl>>> = config
+        .files
+        .iter()
+        .map(|kind| ReplicaSystem::new(n, kind.instantiate(n)))
+        .collect();
+    let mut up = SiteSet::all(n);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut clock = 0.0;
+
+    let advance = |up: &mut SiteSet,
+                       systems: &mut Vec<ReplicaSystem<Box<dyn ReplicaControl>>>,
+                       rng: &mut StdRng|
+     -> f64 {
+        let fail_rate = up.len() as f64;
+        let repair_rate = (n - up.len()) as f64 * config.ratio;
+        let total = fail_rate + repair_rate;
+        let dt = exponential(rng, total);
+        let fail = rng.gen::<f64>() * total < fail_rate;
+        let pool: Vec<SiteId> = (0..n)
+            .map(SiteId::new)
+            .filter(|s| up.contains(*s) == fail)
+            .collect();
+        let site = pool[rng.gen_range(0..pool.len())];
+        if fail {
+            up.remove(site);
+        } else {
+            up.insert(site);
+        }
+        if !up.is_empty() {
+            for sys in systems.iter_mut() {
+                sys.attempt_update(*up);
+            }
+        }
+        dt
+    };
+
+    // Burn-in.
+    while clock < config.burn_in {
+        clock += advance(&mut up, &mut systems, &mut rng);
+    }
+
+    // Measure.
+    let mut joint_system = BatchMeans::new(config.batches, config.horizon);
+    let mut joint_site_integral = 0.0f64;
+    let mut marginal_integrals = vec![0.0f64; systems.len()];
+    let mut elapsed = 0.0f64;
+    while elapsed < config.horizon {
+        let k = up.len() as f64 / n as f64;
+        let per_file: Vec<bool> = systems
+            .iter()
+            .map(|sys| !up.is_empty() && sys.can_update(up))
+            .collect();
+        let all = per_file.iter().all(|&b| b);
+        let dt = advance(&mut up, &mut systems, &mut rng);
+        let t1 = (elapsed + dt).min(config.horizon);
+        let weight = t1 - elapsed;
+        elapsed = t1;
+        joint_system.add(t1, weight * f64::from(u8::from(all)));
+        joint_site_integral += weight * if all { k } else { 0.0 };
+        for (integral, &served) in marginal_integrals.iter_mut().zip(&per_file) {
+            *integral += weight * f64::from(u8::from(served));
+        }
+    }
+
+    let summary = joint_system.summary();
+    let marginals: Vec<f64> = marginal_integrals
+        .iter()
+        .map(|v| v / config.horizon)
+        .collect();
+    MultiMcResult {
+        joint_site: joint_site_integral / config.horizon,
+        joint_system: summary.mean,
+        joint_half_width: summary.half_width,
+        independence_product: marginals.iter().product(),
+        marginals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_files_have_identical_marginals_and_joint() {
+        // Two hybrid files evolve through the same up-set history and
+        // the same update schedule: their metadata stays identical, so
+        // the joint equals each marginal exactly (perfect correlation).
+        let result = simulate_joint(&MultiMcConfig {
+            horizon: 20_000.0,
+            ..MultiMcConfig::default()
+        });
+        assert_eq!(result.marginals.len(), 2);
+        assert!((result.marginals[0] - result.marginals[1]).abs() < 1e-12);
+        assert!((result.joint_system - result.marginals[0]).abs() < 1e-12);
+        // And far above the independence product.
+        assert!(result.joint_system > result.independence_product + 0.05);
+    }
+
+    #[test]
+    fn mixed_files_joint_lies_between_product_and_minimum() {
+        let result = simulate_joint(&MultiMcConfig {
+            files: vec![AlgorithmKind::Hybrid, AlgorithmKind::Voting],
+            ratio: 1.0,
+            horizon: 30_000.0,
+            seed: 11,
+            ..MultiMcConfig::default()
+        });
+        let min = result
+            .marginals
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            result.joint_system <= min + 1e-9,
+            "joint {} above min marginal {min}",
+            result.joint_system
+        );
+        assert!(
+            result.joint_system > result.independence_product,
+            "joint {} vs product {}",
+            result.joint_system,
+            result.independence_product
+        );
+        // Site-weighted joint is below the unweighted joint.
+        assert!(result.joint_site < result.joint_system);
+    }
+
+    #[test]
+    fn joint_matches_single_file_marginal_against_markov_value() {
+        // One file: the "joint" is just the traditional availability.
+        let result = simulate_joint(&MultiMcConfig {
+            files: vec![AlgorithmKind::Voting],
+            ratio: 2.0,
+            horizon: 30_000.0,
+            seed: 3,
+            ..MultiMcConfig::default()
+        });
+        // Closed form: P(majority of 5 up) at p = 2/3.
+        let p: f64 = 2.0 / 3.0;
+        let q = 1.0 - p;
+        let expected: f64 = (3..=5)
+            .map(|k| {
+                let c = [10.0, 5.0, 1.0][k - 3];
+                c * p.powi(k as i32) * q.powi(5 - k as i32)
+            })
+            .sum();
+        assert!(
+            (result.joint_system - expected).abs() < 3.0 * result.joint_half_width + 0.01,
+            "{} vs {expected}",
+            result.joint_system
+        );
+    }
+}

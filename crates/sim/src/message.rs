@@ -1,0 +1,217 @@
+//! Protocol messages — the wire vocabulary of Section V-B/V-C.
+//!
+//! The three-phase protocol exchanges: `VOTE_REQUEST`s carrying a
+//! transaction id, vote replies carrying `(VN, SC, DS)`, catch-up
+//! requests/replies carrying missing log entries, and `COMMIT`/`ABORT`
+//! decisions. The cooperative termination protocol (invoked when a
+//! prepared subordinate times out) adds status queries and replies.
+
+use dynvote_core::{CopyMeta, SiteId, SiteSet};
+use std::fmt;
+
+/// Globally unique transaction identifier: originating site plus a
+/// per-site sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId {
+    /// The coordinator that started the transaction.
+    pub coordinator: SiteId,
+    /// Per-coordinator sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.coordinator, self.seq)
+    }
+}
+
+/// One entry of a site's update log: a committed version and its
+/// payload (an opaque update identifier — contents are irrelevant to
+/// replica control, identity is what the consistency invariants check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The version this update produced.
+    pub version: u64,
+    /// Identifies the update's content.
+    pub payload: u64,
+}
+
+/// Outcome carried by a termination-protocol status reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatusOutcome {
+    /// The responder knows the transaction committed **and the inquirer
+    /// was a counted participant**; it ships the committed metadata and
+    /// the log entries the inquirer reported missing.
+    ///
+    /// A committed transaction is `Committed` only towards members of
+    /// its counted participant set: a site whose vote arrived after the
+    /// coordinator decided is prepared but *uncounted* — handing it the
+    /// commit would grow the version-M holder set beyond `SC` and void
+    /// the quorum-intersection argument (a divergence this crate's
+    /// empirical-availability harness caught in an earlier revision).
+    /// Uncounted inquirers receive [`StatusOutcome::Aborted`], which
+    /// releases them without applying: they remain ordinary stale
+    /// sites.
+    Committed {
+        /// Metadata installed by the commit.
+        meta: CopyMeta,
+        /// Log suffix above the inquirer's version.
+        entries: Vec<LogEntry>,
+        /// The counted participant set of the commit.
+        participants: SiteSet,
+    },
+    /// The responder knows the transaction cannot bind the inquirer:
+    /// it aborted (coordinator without a commit record — presumed
+    /// abort), or it committed without counting the inquirer.
+    Aborted,
+    /// The responder cannot determine the outcome.
+    Unknown,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Phase one: the coordinator asks every site for its `(VN, SC, DS)`.
+    VoteRequest {
+        /// The transaction being voted on.
+        txn: TxnId,
+    },
+    /// A subordinate grants its lock and reports its metadata.
+    VoteGranted {
+        /// The transaction.
+        txn: TxnId,
+        /// The subordinate's metadata triple.
+        meta: CopyMeta,
+        /// The responding site.
+        from: SiteId,
+    },
+    /// A subordinate's copy is locked by another transaction; it cannot
+    /// participate. (Treated as absence from the partition `P`.)
+    VoteBusy {
+        /// The transaction.
+        txn: TxnId,
+        /// The responding site.
+        from: SiteId,
+    },
+    /// Catch-up phase: a stale coordinator requests the log entries
+    /// above `after_version` from a current subordinate.
+    CatchUpRequest {
+        /// The transaction.
+        txn: TxnId,
+        /// The requester's newest version.
+        after_version: u64,
+    },
+    /// The requested log suffix.
+    CatchUpReply {
+        /// The transaction.
+        txn: TxnId,
+        /// Entries with versions above the requested point.
+        entries: Vec<LogEntry>,
+    },
+    /// Commit decision: new metadata, plus per-recipient missing log
+    /// entries (including the new update itself).
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+        /// Metadata every participant installs.
+        meta: CopyMeta,
+        /// Log suffix for this recipient (its missing versions plus the
+        /// new one).
+        entries: Vec<LogEntry>,
+        /// The counted participant set `P` (recorded durably so the
+        /// termination protocol can distinguish counted members from
+        /// uncounted late voters).
+        participants: SiteSet,
+    },
+    /// Abort decision.
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Termination protocol: a blocked participant asks whether `txn`
+    /// committed; `after_version` lets the responder ship what the
+    /// inquirer is missing.
+    StatusQuery {
+        /// The transaction in doubt.
+        txn: TxnId,
+        /// The inquirer's newest version.
+        after_version: u64,
+        /// The inquiring site.
+        from: SiteId,
+    },
+    /// Termination protocol reply.
+    StatusReply {
+        /// The transaction in doubt.
+        txn: TxnId,
+        /// What the responder knows.
+        outcome: StatusOutcome,
+    },
+}
+
+impl Message {
+    /// The transaction this message belongs to.
+    #[must_use]
+    pub fn txn(&self) -> TxnId {
+        match self {
+            Message::VoteRequest { txn }
+            | Message::VoteGranted { txn, .. }
+            | Message::VoteBusy { txn, .. }
+            | Message::CatchUpRequest { txn, .. }
+            | Message::CatchUpReply { txn, .. }
+            | Message::Commit { txn, .. }
+            | Message::Abort { txn }
+            | Message::StatusQuery { txn, .. }
+            | Message::StatusReply { txn, .. } => *txn,
+        }
+    }
+
+    /// Short tag for tracing.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::VoteRequest { .. } => "VOTE_REQUEST",
+            Message::VoteGranted { .. } => "VOTE_GRANTED",
+            Message::VoteBusy { .. } => "VOTE_BUSY",
+            Message::CatchUpRequest { .. } => "CATCHUP_REQUEST",
+            Message::CatchUpReply { .. } => "CATCHUP_REPLY",
+            Message::Commit { .. } => "COMMIT",
+            Message::Abort { .. } => "ABORT",
+            Message::StatusQuery { .. } => "STATUS_QUERY",
+            Message::StatusReply { .. } => "STATUS_REPLY",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_display() {
+        let txn = TxnId {
+            coordinator: SiteId(2),
+            seq: 7,
+        };
+        assert_eq!(txn.to_string(), "C#7");
+    }
+
+    #[test]
+    fn message_txn_extraction() {
+        let txn = TxnId {
+            coordinator: SiteId(0),
+            seq: 1,
+        };
+        let messages = [
+            Message::VoteRequest { txn },
+            Message::Abort { txn },
+            Message::CatchUpRequest {
+                txn,
+                after_version: 3,
+            },
+        ];
+        for m in &messages {
+            assert_eq!(m.txn(), txn);
+            assert!(!m.kind().is_empty());
+        }
+    }
+}

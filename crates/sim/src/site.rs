@@ -1,0 +1,1279 @@
+//! The per-site protocol state machine.
+//!
+//! Each site runs three roles from Section V:
+//!
+//! * **coordinator** of updates arriving locally — the three-phase
+//!   protocol (voting → catch-up → commit) of Section V-B;
+//! * **subordinate** in other sites' updates — vote, hold the lock,
+//!   await the decision; if the decision never arrives, run the
+//!   cooperative **termination protocol** (query peers; stay blocked if
+//!   nobody knows — the unavoidable blocking window of two-phase
+//!   commit);
+//! * **restarter** after recovery — the `Make_Current` protocol of
+//!   Section V-C, implemented as a coordinated no-op update that
+//!   increments the version ("we treat this operation like an update").
+//!
+//! Durability follows the classic 2PC discipline: a subordinate
+//! force-writes a *prepare record* before granting its vote (so a crash
+//! cannot silently release a lock that guards an in-doubt update), and a
+//! coordinator force-writes its *commit record* before announcing
+//! `COMMIT` (so recovery can presume abort when no record exists).
+//! Both records live in [`DurableState`] and survive [`SiteActor::crash`].
+
+use crate::message::{LogEntry, Message, StatusOutcome, TxnId};
+use dynvote_core::{CopyMeta, LinearOrder, PartitionView, ReplicaControl, SiteId, SiteSet};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Protocol tracing, enabled by setting `DV_TRACE` in the environment.
+/// Lines go to stderr; intended for debugging failing chaos seeds.
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if *TRACE_ENABLED.get_or_init(|| std::env::var_os("DV_TRACE").is_some()) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+static TRACE_ENABLED: OnceLock<bool> = OnceLock::new();
+
+/// Why a transaction finished, for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolveReason {
+    /// Commit succeeded.
+    Committed,
+    /// A read-only request was served (footnote 5: no metadata change).
+    ReadServed,
+    /// The partition was not distinguished.
+    NotDistinguished,
+    /// The local copy was locked by another transaction.
+    LockBusy,
+    /// Vote collection or catch-up timed out before a quorum assembled.
+    Timeout,
+}
+
+/// Timers a site can request from the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// Coordinator: stop waiting for votes and decide.
+    VoteDeadline,
+    /// Coordinator: catch-up reply is overdue; abort.
+    CatchUpDeadline,
+    /// Prepared subordinate: decision overdue; run the termination
+    /// protocol (and re-arm).
+    PreparedRetry,
+}
+
+/// Effects a site hands back to the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Send a message to one site.
+    Send {
+        /// Destination site.
+        to: SiteId,
+        /// The message.
+        msg: Message,
+    },
+    /// Send a message to every *other* site.
+    Broadcast {
+        /// The message.
+        msg: Message,
+    },
+    /// Arm a timer; the engine calls back [`SiteActor::timer_fired`].
+    SetTimer {
+        /// The transaction the timer guards.
+        txn: TxnId,
+        /// Which deadline.
+        kind: TimerKind,
+    },
+    /// A transaction coordinated here finished (for statistics).
+    Resolved {
+        /// The transaction.
+        txn: TxnId,
+        /// How it ended.
+        reason: ResolveReason,
+    },
+    /// Group mode: the voting (and catch-up) phases finished; the
+    /// transaction manager must now call [`SiteActor::finalize_group`].
+    DecisionReady {
+        /// The per-file transaction.
+        txn: TxnId,
+        /// True if this file's partition is distinguished (and the
+        /// coordinator's copy is current).
+        distinguished: bool,
+    },
+    /// A new version was committed here as coordinator — the engine's
+    /// omniscient ledger checks it against every other commit.
+    CommitRecorded {
+        /// The committed version.
+        version: u64,
+        /// Its payload.
+        payload: u64,
+        /// The committing transaction.
+        txn: TxnId,
+    },
+}
+
+/// A durable commit record: what the transaction installed and whom it
+/// counted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitRecord {
+    /// Metadata the commit installed.
+    pub meta: CopyMeta,
+    /// The counted participant set `P`.
+    pub participants: SiteSet,
+}
+
+/// State that survives crashes (force-written before the corresponding
+/// message leaves the site).
+#[derive(Debug, Clone)]
+pub struct DurableState {
+    /// The copy's `(VN, SC, DS)` triple.
+    pub meta: CopyMeta,
+    /// Committed updates, in version order (always a gapless prefix of
+    /// the global chain — an invariant the engine verifies).
+    pub log: Vec<LogEntry>,
+    /// Commit records: transactions known locally to have committed,
+    /// with the metadata each installed and the counted participant
+    /// set. Storing the *per-transaction* metadata (not just a flag)
+    /// matters: the termination protocol must hand a blocked counted
+    /// participant exactly the commit it missed. Shipping the
+    /// responder's newest metadata instead — or shipping the commit to
+    /// a prepared site whose vote arrived too late to be counted —
+    /// would promote a site to a version whose cardinality never
+    /// counted it, growing the set of version-M holders beyond SC and
+    /// breaking the quorum intersection argument of Theorem 1 (two
+    /// distinct divergences this crate's chaos and empirical harnesses
+    /// caught in earlier revisions).
+    pub commits: HashMap<TxnId, CommitRecord>,
+    /// Prepare record: the in-doubt transaction whose lock must be
+    /// re-acquired after a crash, with its coordinator.
+    pub prepared: Option<(TxnId, SiteId)>,
+    /// Transaction sequence counter. Durable so a recovered coordinator
+    /// never reuses an id — reuse would let an old commit record answer
+    /// status queries for a new transaction.
+    pub next_seq: u64,
+}
+
+/// Coordinator progress.
+#[derive(Debug, Clone)]
+enum CoordPhase {
+    /// Collecting `(VN, SC, DS)` replies; `replies` includes the
+    /// coordinator's own triple.
+    Voting {
+        replies: Vec<(SiteId, CopyMeta)>,
+        responded: usize,
+    },
+    /// Waiting for missing log entries from a current subordinate.
+    CatchingUp {
+        members: Vec<(SiteId, CopyMeta)>,
+    },
+    /// Group mode only: voting and catch-up are done; awaiting the
+    /// transaction manager's global commit/abort verdict.
+    Decided {
+        distinguished: bool,
+        members: Vec<(SiteId, CopyMeta)>,
+    },
+}
+
+/// A transaction coordinated by this site.
+#[derive(Debug, Clone)]
+struct CoordTxn {
+    txn: TxnId,
+    payload: u64,
+    /// Read-only request: needs a distinguished partition and a current
+    /// local copy, but commits no new version (paper footnote 5).
+    read_only: bool,
+    /// Group (multi-file) mode: stop after the decision and await
+    /// [`SiteActor::finalize_group`] instead of committing unilaterally.
+    group: bool,
+    phase: CoordPhase,
+}
+
+/// Volatile (crash-lost) state.
+#[derive(Debug, Clone, Default)]
+struct Volatile {
+    /// The single file lock: `None` = free.
+    lock: Option<TxnId>,
+    coordinating: Option<CoordTxn>,
+    /// Prepared as subordinate for this transaction of this coordinator.
+    prepared: Option<(TxnId, SiteId)>,
+}
+
+/// One replica site.
+pub struct SiteActor {
+    id: SiteId,
+    n: usize,
+    order: LinearOrder,
+    algo: Box<dyn ReplicaControl>,
+    durable: DurableState,
+    volatile: Volatile,
+}
+
+impl std::fmt::Debug for SiteActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiteActor")
+            .field("id", &self.id)
+            .field("meta", &self.durable.meta)
+            .field("lock", &self.volatile.lock)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SiteActor {
+    /// A fresh site with version-0 metadata.
+    #[must_use]
+    pub fn new(id: SiteId, n: usize, algo: Box<dyn ReplicaControl>) -> Self {
+        let order = LinearOrder::lexicographic(n);
+        let meta = CopyMeta::initial(n, &order);
+        SiteActor {
+            id,
+            n,
+            order,
+            algo,
+            durable: DurableState {
+                meta,
+                log: Vec::new(),
+                commits: HashMap::new(),
+                prepared: None,
+                next_seq: 0,
+            },
+            volatile: Volatile::default(),
+        }
+    }
+
+    /// The site's id.
+    #[must_use]
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// The current durable metadata.
+    #[must_use]
+    pub fn meta(&self) -> CopyMeta {
+        self.durable.meta
+    }
+
+    /// The committed log.
+    #[must_use]
+    pub fn log(&self) -> &[LogEntry] {
+        &self.durable.log
+    }
+
+    /// True if the file lock is currently held.
+    #[must_use]
+    pub fn is_locked(&self) -> bool {
+        self.volatile.lock.is_some()
+    }
+
+    /// True if the site holds a durable prepare record (in-doubt txn).
+    #[must_use]
+    pub fn is_in_doubt(&self) -> bool {
+        self.durable.prepared.is_some()
+    }
+
+    fn fresh_txn(&mut self) -> TxnId {
+        // Force-written: id reuse after a crash would be unsound.
+        self.durable.next_seq += 1;
+        TxnId {
+            coordinator: self.id,
+            seq: self.durable.next_seq,
+        }
+    }
+
+    /// An update (or `Make_Current` no-op) arrives at this site.
+    pub fn start_update(&mut self, payload: u64) -> Vec<Action> {
+        self.start_transaction(payload, false, false).1
+    }
+
+    /// Start this file's leg of a multi-file transaction (paper
+    /// footnote 2). The protocol runs through voting and catch-up, then
+    /// pauses with [`Action::DecisionReady`]; the cross-file transaction
+    /// manager calls [`SiteActor::finalize_group`] once every file has
+    /// decided. Returns `None` if the local copy is locked.
+    pub fn start_group_update(&mut self, payload: u64) -> (Option<TxnId>, Vec<Action>) {
+        let (txn, actions) = self.start_transaction(payload, false, true);
+        (txn, actions)
+    }
+
+    /// A read-only request arrives at this site (paper footnote 5:
+    /// "Read-only requests may be handled as if they were updates,
+    /// except that the version number, update sites cardinality, and
+    /// distinguished sites list need not be modified"). The coordinator
+    /// still votes (to learn whether it sits in the distinguished
+    /// partition) and still catches up (to read current data), but
+    /// commits nothing.
+    pub fn start_read(&mut self) -> Vec<Action> {
+        self.start_transaction(0, true, false).1
+    }
+
+    fn start_transaction(
+        &mut self,
+        payload: u64,
+        read_only: bool,
+        group: bool,
+    ) -> (Option<TxnId>, Vec<Action>) {
+        if self.volatile.lock.is_some() {
+            // Step i) failed: the local lock manager cannot grant the
+            // lock now. The submission is refused (a real system would
+            // queue or retry; retries are the workload driver's job).
+            let txn = self.fresh_txn();
+            return (
+                None,
+                vec![Action::Resolved {
+                    txn,
+                    reason: ResolveReason::LockBusy,
+                }],
+            );
+        }
+        let txn = self.fresh_txn();
+        self.volatile.lock = Some(txn);
+        self.volatile.coordinating = Some(CoordTxn {
+            txn,
+            payload,
+            read_only,
+            group,
+            phase: CoordPhase::Voting {
+                replies: vec![(self.id, self.durable.meta)],
+                responded: 0,
+            },
+        });
+        (
+            Some(txn),
+            vec![
+                Action::Broadcast {
+                    msg: Message::VoteRequest { txn },
+                },
+                Action::SetTimer {
+                    txn,
+                    kind: TimerKind::VoteDeadline,
+                },
+            ],
+        )
+    }
+
+    /// Crash: all volatile state is lost. Durable prepare/commit records
+    /// survive.
+    pub fn crash(&mut self) {
+        self.volatile = Volatile::default();
+    }
+
+    /// Recovery (Section V-C): restore the in-doubt lock from the
+    /// prepare record and resume the termination protocol; otherwise run
+    /// `Make_Current` as a coordinated no-op update.
+    ///
+    /// `restart_payload` identifies the no-op update `Make_Current`
+    /// commits if it finds a distinguished partition.
+    pub fn recover(&mut self, restart_payload: u64) -> Vec<Action> {
+        if let Some((txn, coordinator)) = self.durable.prepared {
+            // Re-acquire the lock the prepare record guards and go
+            // straight to the termination protocol.
+            self.volatile.lock = Some(txn);
+            self.volatile.prepared = Some((txn, coordinator));
+            return self.termination_round(txn);
+        }
+        self.start_update(restart_payload)
+    }
+
+    /// A message arrives.
+    pub fn handle_message(&mut self, from: SiteId, msg: Message) -> Vec<Action> {
+        match msg {
+            Message::VoteRequest { txn } => self.on_vote_request(from, txn),
+            Message::VoteGranted { txn, meta, from } => self.on_vote(txn, Some((from, meta))),
+            Message::VoteBusy { txn, .. } => self.on_vote(txn, None),
+            Message::CatchUpRequest { txn, after_version } => {
+                self.on_catchup_request(from, txn, after_version)
+            }
+            Message::CatchUpReply { txn, entries } => self.on_catchup_reply(txn, entries),
+            Message::Commit {
+                txn,
+                meta,
+                entries,
+                participants,
+            } => self.on_commit(txn, meta, entries, participants),
+            Message::Abort { txn } => self.on_abort(txn),
+            Message::StatusQuery {
+                txn,
+                after_version,
+                from,
+            } => self.on_status_query(from, txn, after_version),
+            Message::StatusReply { txn, outcome } => self.on_status_reply(txn, outcome),
+        }
+    }
+
+    /// A timer fires.
+    pub fn timer_fired(&mut self, txn: TxnId, kind: TimerKind) -> Vec<Action> {
+        match kind {
+            TimerKind::VoteDeadline => self.decide(txn),
+            TimerKind::CatchUpDeadline => {
+                // Catch-up source unreachable: abort the update (or, in
+                // group mode, report a negative decision and let the
+                // transaction manager abort the whole group).
+                let relevant = self.volatile.coordinating.as_ref().is_some_and(|c| {
+                    c.txn == txn && matches!(c.phase, CoordPhase::CatchingUp { .. })
+                });
+                if !relevant {
+                    Vec::new()
+                } else if self
+                    .volatile
+                    .coordinating
+                    .as_ref()
+                    .is_some_and(|c| c.group)
+                {
+                    self.group_decision(txn, false, Vec::new())
+                } else {
+                    self.abort_coordinated(txn, ResolveReason::Timeout)
+                }
+            }
+            TimerKind::PreparedRetry => {
+                if self.volatile.prepared.is_some_and(|(t, _)| t == txn) {
+                    self.termination_round(txn)
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    // ----- subordinate paths -------------------------------------------
+
+    fn on_vote_request(&mut self, from: SiteId, txn: TxnId) -> Vec<Action> {
+        match self.volatile.lock {
+            Some(holder) if holder != txn => {
+                return vec![Action::Send {
+                    to: from,
+                    msg: Message::VoteBusy { txn, from: self.id },
+                }];
+            }
+            _ => {}
+        }
+        trace!("VOTE {} grant by {} meta={}", txn, self.id, self.durable.meta);
+        // Grant (idempotently re-grant) the lock; force the prepare
+        // record before the vote leaves the site.
+        self.volatile.lock = Some(txn);
+        self.volatile.prepared = Some((txn, from));
+        self.durable.prepared = Some((txn, from));
+        vec![
+            Action::Send {
+                to: from,
+                msg: Message::VoteGranted {
+                    txn,
+                    meta: self.durable.meta,
+                    from: self.id,
+                },
+            },
+            Action::SetTimer {
+                txn,
+                kind: TimerKind::PreparedRetry,
+            },
+        ]
+    }
+
+    fn on_commit(
+        &mut self,
+        txn: TxnId,
+        meta: CopyMeta,
+        entries: Vec<LogEntry>,
+        participants: SiteSet,
+    ) -> Vec<Action> {
+        self.apply_commit(txn, meta, &entries, participants);
+        if self.volatile.prepared.is_some_and(|(t, _)| t == txn) {
+            self.volatile.prepared = None;
+        }
+        if self.durable.prepared.is_some_and(|(t, _)| t == txn) {
+            self.durable.prepared = None;
+        }
+        if self.volatile.lock == Some(txn) {
+            self.volatile.lock = None;
+        }
+        Vec::new()
+    }
+
+    fn on_abort(&mut self, txn: TxnId) -> Vec<Action> {
+        if self.volatile.prepared.is_some_and(|(t, _)| t == txn) {
+            self.volatile.prepared = None;
+        }
+        if self.durable.prepared.is_some_and(|(t, _)| t == txn) {
+            self.durable.prepared = None;
+        }
+        if self.volatile.lock == Some(txn) {
+            self.volatile.lock = None;
+        }
+        Vec::new()
+    }
+
+    /// Apply a commit's effects monotonically (idempotent under
+    /// duplicated or reordered delivery).
+    fn apply_commit(
+        &mut self,
+        txn: TxnId,
+        meta: CopyMeta,
+        entries: &[LogEntry],
+        participants: SiteSet,
+    ) {
+        let mut newest = self.durable.log.last().map_or(0, |e| e.version);
+        for entry in entries {
+            if entry.version == newest + 1 {
+                self.durable.log.push(*entry);
+                newest = entry.version;
+            }
+        }
+        if meta.version > self.durable.meta.version {
+            debug_assert_eq!(
+                meta.version, newest,
+                "site {}: commit meta v{} but log reaches v{newest}",
+                self.id, meta.version
+            );
+            self.durable.meta = meta;
+        }
+        self.durable
+            .commits
+            .insert(txn, CommitRecord { meta, participants });
+    }
+
+    /// One round of the cooperative termination protocol: ask everyone
+    /// whether the in-doubt transaction committed, and re-arm the retry
+    /// timer. "If the coordinator is down and no one knows, stay
+    /// blocked."
+    fn termination_round(&mut self, txn: TxnId) -> Vec<Action> {
+        let after_version = self.durable.log.last().map_or(0, |e| e.version);
+        vec![
+            Action::Broadcast {
+                msg: Message::StatusQuery {
+                    txn,
+                    after_version,
+                    from: self.id,
+                },
+            },
+            Action::SetTimer {
+                txn,
+                kind: TimerKind::PreparedRetry,
+            },
+        ]
+    }
+
+    fn on_status_query(&mut self, from: SiteId, txn: TxnId, after_version: u64) -> Vec<Action> {
+        let outcome = if let Some(&record) = self.durable.commits.get(&txn) {
+            if record.participants.contains(from) {
+                // Ship exactly the transaction's own commit: its entries
+                // up to *its* version and the metadata *it* installed —
+                // precisely the COMMIT message the counted participant
+                // missed. Newer versions must not ride along: the
+                // inquirer was not counted in their cardinalities.
+                StatusOutcome::Committed {
+                    meta: record.meta,
+                    entries: self
+                        .durable
+                        .log
+                        .iter()
+                        .filter(|e| {
+                            e.version > after_version && e.version <= record.meta.version
+                        })
+                        .copied()
+                        .collect(),
+                    participants: record.participants,
+                }
+            } else {
+                // The transaction committed but the inquirer's vote was
+                // not counted (it arrived after the decision). Release
+                // it without the commit: handing an uncounted site the
+                // new version would inflate the holder set beyond SC.
+                StatusOutcome::Aborted
+            }
+        } else if txn.coordinator == self.id
+            && !self
+                .volatile
+                .coordinating
+                .as_ref()
+                .is_some_and(|c| c.txn == txn)
+        {
+            // Presumed abort: we are the coordinator, the transaction is
+            // not in flight, and we hold no commit record — so it can
+            // never commit. (While it is still in flight the outcome is
+            // genuinely undecided and we must answer Unknown: answering
+            // Aborted here would release a prepared subordinate that our
+            // own later commit still counts in its quorum — a divergence
+            // this crate's chaos tests caught in an earlier revision.)
+            StatusOutcome::Aborted
+        } else {
+            StatusOutcome::Unknown
+        };
+        vec![Action::Send {
+            to: from,
+            msg: Message::StatusReply { txn, outcome },
+        }]
+    }
+
+    fn on_status_reply(&mut self, txn: TxnId, outcome: StatusOutcome) -> Vec<Action> {
+        if !self.volatile.prepared.is_some_and(|(t, _)| t == txn) {
+            return Vec::new();
+        }
+        match outcome {
+            StatusOutcome::Committed {
+                meta,
+                entries,
+                participants,
+            } => self.on_commit(txn, meta, entries, participants),
+            StatusOutcome::Aborted => {
+                trace!("RELEASE-ABORT {} at {}", txn, self.id);
+                self.on_abort(txn)
+            }
+            StatusOutcome::Unknown => Vec::new(),
+        }
+    }
+
+    // ----- coordinator paths -------------------------------------------
+
+    fn on_vote(&mut self, txn: TxnId, vote: Option<(SiteId, CopyMeta)>) -> Vec<Action> {
+        let n = self.n;
+        let Some(coord) = self.volatile.coordinating.as_mut() else {
+            return Vec::new();
+        };
+        if coord.txn != txn {
+            return Vec::new();
+        }
+        let CoordPhase::Voting { replies, responded } = &mut coord.phase else {
+            return Vec::new();
+        };
+        if let Some((from, meta)) = vote {
+            if !replies.iter().any(|(s, _)| *s == from) {
+                replies.push((from, meta));
+                *responded += 1;
+            }
+        } else {
+            *responded += 1;
+        }
+        if *responded >= n - 1 {
+            // Everyone answered: no need to wait for the deadline.
+            self.decide(txn)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// End of the voting phase: run `Is_Distinguished` on the collected
+    /// replies and move to catch-up or commit (or abort).
+    fn decide(&mut self, txn: TxnId) -> Vec<Action> {
+        let Some(coord) = self.volatile.coordinating.as_ref() else {
+            return Vec::new();
+        };
+        if coord.txn != txn {
+            return Vec::new();
+        }
+        let CoordPhase::Voting { replies, .. } = &coord.phase else {
+            return Vec::new();
+        };
+        let members = replies.clone();
+        let group = coord.group;
+        let view = PartitionView::new(self.n, &self.order, members.clone())
+            .expect("vote replies form a valid view");
+        if !self.algo.is_distinguished(&view) {
+            if group {
+                return self.group_decision(txn, false, Vec::new());
+            }
+            return self.abort_coordinated(txn, ResolveReason::NotDistinguished);
+        }
+        let my_version = self.durable.meta.version;
+        if my_version < view.max_version() {
+            // Catch-up phase: fetch missing updates from a current
+            // subordinate.
+            let source = view
+                .current_sites()
+                .iter()
+                .find(|s| *s != self.id)
+                .expect("a current subordinate exists when the coordinator is stale");
+            if let Some(coord) = self.volatile.coordinating.as_mut() {
+                coord.phase = CoordPhase::CatchingUp { members };
+            }
+            return vec![
+                Action::Send {
+                    to: source,
+                    msg: Message::CatchUpRequest {
+                        txn,
+                        after_version: my_version,
+                    },
+                },
+                Action::SetTimer {
+                    txn,
+                    kind: TimerKind::CatchUpDeadline,
+                },
+            ];
+        }
+        if group {
+            return self.group_decision(txn, true, members);
+        }
+        self.commit_coordinated(txn, members)
+    }
+
+    fn on_catchup_request(&mut self, from: SiteId, txn: TxnId, after_version: u64) -> Vec<Action> {
+        // Served from the durable log; the copy is locked for `txn`, so
+        // the suffix is stable.
+        let entries: Vec<LogEntry> = self
+            .durable
+            .log
+            .iter()
+            .filter(|e| e.version > after_version)
+            .copied()
+            .collect();
+        vec![Action::Send {
+            to: from,
+            msg: Message::CatchUpReply { txn, entries },
+        }]
+    }
+
+    fn on_catchup_reply(&mut self, txn: TxnId, entries: Vec<LogEntry>) -> Vec<Action> {
+        let Some(coord) = self.volatile.coordinating.as_ref() else {
+            return Vec::new();
+        };
+        if coord.txn != txn {
+            return Vec::new();
+        }
+        let CoordPhase::CatchingUp { members } = &coord.phase else {
+            return Vec::new();
+        };
+        let members = members.clone();
+        let group = coord.group;
+        if coord.read_only {
+            // The fetched entries carry the value the read needs; the
+            // local copy stays untouched (applying them here would grow
+            // the version-M holder set beyond SC — see DESIGN.md).
+            let _ = entries;
+            return self.finish_read(txn);
+        }
+        // Absorb the missing updates (metadata still advances only at
+        // commit).
+        let mut newest = self.durable.log.last().map_or(0, |e| e.version);
+        for entry in &entries {
+            if entry.version == newest + 1 {
+                self.durable.log.push(*entry);
+                newest = entry.version;
+            }
+        }
+        if group {
+            return self.group_decision(txn, true, members);
+        }
+        self.commit_coordinated(txn, members)
+    }
+
+    /// Group mode: park in the `Decided` phase and notify the manager.
+    fn group_decision(
+        &mut self,
+        txn: TxnId,
+        distinguished: bool,
+        members: Vec<(SiteId, CopyMeta)>,
+    ) -> Vec<Action> {
+        if let Some(coord) = self.volatile.coordinating.as_mut() {
+            debug_assert!(coord.group && coord.txn == txn);
+            coord.phase = CoordPhase::Decided {
+                distinguished,
+                members,
+            };
+        }
+        vec![Action::DecisionReady { txn, distinguished }]
+    }
+
+    /// The members recorded by a group decision (for the manager's
+    /// durable group record).
+    #[must_use]
+    pub fn decided_members(&self, txn: TxnId) -> Option<Vec<(SiteId, CopyMeta)>> {
+        let coord = self.volatile.coordinating.as_ref()?;
+        if coord.txn != txn {
+            return None;
+        }
+        match &coord.phase {
+            CoordPhase::Decided { members, .. } => Some(members.clone()),
+            _ => None,
+        }
+    }
+
+    /// The transaction manager's verdict for a group leg: commit (only
+    /// valid if this file decided `distinguished`) or abort.
+    pub fn finalize_group(&mut self, txn: TxnId, commit: bool) -> Vec<Action> {
+        let Some(coord) = self.volatile.coordinating.as_ref() else {
+            return Vec::new();
+        };
+        if coord.txn != txn {
+            return Vec::new();
+        }
+        if commit {
+            let CoordPhase::Decided {
+                distinguished,
+                members,
+            } = &coord.phase
+            else {
+                debug_assert!(false, "commit verdict before decision");
+                return self.abort_coordinated(txn, ResolveReason::Timeout);
+            };
+            debug_assert!(*distinguished, "commit verdict on a refused file");
+            let members = members.clone();
+            self.commit_coordinated(txn, members)
+        } else {
+            self.abort_coordinated(txn, ResolveReason::NotDistinguished)
+        }
+    }
+
+    /// Crash-recovery redo: re-perform a group commit from the durable
+    /// group record (idempotent — a no-op if the commit record already
+    /// exists locally).
+    pub fn commit_from_record(
+        &mut self,
+        txn: TxnId,
+        payload: u64,
+        members: Vec<(SiteId, CopyMeta)>,
+    ) -> Vec<Action> {
+        if self.durable.commits.contains_key(&txn) {
+            return Vec::new();
+        }
+        debug_assert!(
+            self.volatile.coordinating.is_none(),
+            "redo runs before new work starts"
+        );
+        self.volatile.coordinating = Some(CoordTxn {
+            txn,
+            payload,
+            read_only: false,
+            group: true,
+            phase: CoordPhase::Decided {
+                distinguished: true,
+                members: members.clone(),
+            },
+        });
+        self.volatile.lock = Some(txn);
+        self.commit_coordinated(txn, members)
+    }
+
+    /// Release everyone after a served read: no metadata changes, so an
+    /// `ABORT` doubles as the unlock message.
+    fn finish_read(&mut self, txn: TxnId) -> Vec<Action> {
+        let Some(coord) = self.volatile.coordinating.take() else {
+            return Vec::new();
+        };
+        debug_assert!(coord.read_only && coord.txn == txn);
+        if self.volatile.lock == Some(txn) {
+            self.volatile.lock = None;
+        }
+        vec![
+            Action::Broadcast {
+                msg: Message::Abort { txn },
+            },
+            Action::Resolved {
+                txn,
+                reason: ResolveReason::ReadServed,
+            },
+        ]
+    }
+
+    /// The commit phase (`Do_Update`): force the commit record, apply
+    /// locally, ship `COMMIT` plus each subordinate's missing updates.
+    fn commit_coordinated(&mut self, txn: TxnId, members: Vec<(SiteId, CopyMeta)>) -> Vec<Action> {
+        let Some(coord) = self.volatile.coordinating.take() else {
+            return Vec::new();
+        };
+        debug_assert_eq!(coord.txn, txn);
+        if coord.read_only {
+            self.volatile.coordinating = Some(coord);
+            return self.finish_read(txn);
+        }
+        let view = PartitionView::new(self.n, &self.order, members.clone())
+            .expect("members form a valid view");
+        let meta = self.algo.commit_meta(&view);
+        let new_version = meta.version;
+        debug_assert_eq!(
+            new_version,
+            self.durable.log.last().map_or(0, |e| e.version) + 1,
+            "coordinator must be current before committing"
+        );
+        let participants: SiteSet = members.iter().map(|(s, _)| *s).collect();
+        // Force-write commit record + log entry + metadata, atomically
+        // ("an update operation at a site is atomic", Section V-B).
+        self.durable.log.push(LogEntry {
+            version: new_version,
+            payload: coord.payload,
+        });
+        self.durable.meta = meta;
+        self.durable
+            .commits
+            .insert(txn, CommitRecord { meta, participants });
+        self.volatile.lock = None;
+
+        trace!(
+            "COMMIT {} v{} by {} P={:?}",
+            txn,
+            new_version,
+            self.id,
+            members
+                .iter()
+                .map(|(s, m)| format!("{s}@v{}", m.version))
+                .collect::<Vec<_>>()
+        );
+        let mut actions = vec![
+            Action::CommitRecorded {
+                version: new_version,
+                payload: coord.payload,
+                txn,
+            },
+            Action::Resolved {
+                txn,
+                reason: ResolveReason::Committed,
+            },
+        ];
+        for (site, site_meta) in members {
+            if site == self.id {
+                continue;
+            }
+            let entries: Vec<LogEntry> = self
+                .durable
+                .log
+                .iter()
+                .filter(|e| e.version > site_meta.version)
+                .copied()
+                .collect();
+            actions.push(Action::Send {
+                to: site,
+                msg: Message::Commit {
+                    txn,
+                    meta,
+                    entries,
+                    participants,
+                },
+            });
+        }
+        actions
+    }
+
+    fn abort_coordinated(&mut self, txn: TxnId, reason: ResolveReason) -> Vec<Action> {
+        let Some(coord) = self.volatile.coordinating.take() else {
+            return Vec::new();
+        };
+        debug_assert_eq!(coord.txn, txn);
+        if self.volatile.lock == Some(txn) {
+            self.volatile.lock = None;
+        }
+        vec![
+            Action::Broadcast {
+                msg: Message::Abort { txn },
+            },
+            Action::Resolved { txn, reason },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynvote_core::AlgorithmKind;
+
+    fn site(id: u8, n: usize) -> SiteActor {
+        SiteActor::new(SiteId(id), n, AlgorithmKind::Hybrid.instantiate(n))
+    }
+
+    fn txn(c: u8, seq: u64) -> TxnId {
+        TxnId {
+            coordinator: SiteId(c),
+            seq,
+        }
+    }
+
+    #[test]
+    fn start_update_broadcasts_vote_request_and_locks() {
+        let mut a = site(0, 3);
+        let actions = a.start_update(100);
+        assert!(a.is_locked());
+        assert!(matches!(
+            &actions[0],
+            Action::Broadcast {
+                msg: Message::VoteRequest { .. }
+            }
+        ));
+        assert!(matches!(
+            &actions[1],
+            Action::SetTimer {
+                kind: TimerKind::VoteDeadline,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn second_local_update_is_refused_while_locked() {
+        let mut a = site(0, 3);
+        a.start_update(100);
+        let actions = a.start_update(101);
+        assert!(matches!(
+            actions[..],
+            [Action::Resolved {
+                reason: ResolveReason::LockBusy,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn vote_request_grants_and_persists_prepare_record() {
+        let mut b = site(1, 3);
+        let t = txn(0, 1);
+        let actions = b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+        assert!(b.is_locked());
+        assert!(b.is_in_doubt());
+        assert!(matches!(
+            &actions[0],
+            Action::Send {
+                to: SiteId(0),
+                msg: Message::VoteGranted { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn busy_subordinate_votes_busy() {
+        let mut b = site(1, 3);
+        b.handle_message(SiteId(0), Message::VoteRequest { txn: txn(0, 1) });
+        let actions = b.handle_message(SiteId(2), Message::VoteRequest { txn: txn(2, 1) });
+        assert!(matches!(
+            &actions[0],
+            Action::Send {
+                msg: Message::VoteBusy { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn prepare_record_survives_crash_and_restores_lock() {
+        let mut b = site(1, 3);
+        b.handle_message(SiteId(0), Message::VoteRequest { txn: txn(0, 1) });
+        b.crash();
+        assert!(!b.is_locked(), "volatile lock lost");
+        assert!(b.is_in_doubt(), "prepare record is durable");
+        let actions = b.recover(999);
+        assert!(b.is_locked(), "recovery re-acquires the in-doubt lock");
+        // Recovery resumes the termination protocol, not Make_Current.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast { msg: Message::StatusQuery { .. } })));
+    }
+
+    #[test]
+    fn recovery_without_doubt_runs_make_current() {
+        let mut b = site(1, 3);
+        b.crash();
+        let actions = b.recover(999);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast { msg: Message::VoteRequest { .. } })));
+    }
+
+    #[test]
+    fn commit_applies_entries_and_releases() {
+        let mut b = site(1, 3);
+        let t = txn(0, 1);
+        b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+        let meta = CopyMeta {
+            version: 1,
+            cardinality: 3,
+            distinguished: dynvote_core::Distinguished::Trio(dynvote_core::SiteSet::all(3)),
+        };
+        b.handle_message(
+            SiteId(0),
+            Message::Commit {
+                txn: t,
+                meta,
+                entries: vec![LogEntry {
+                    version: 1,
+                    payload: 100,
+                }],
+                participants: dynvote_core::SiteSet::all(3),
+            },
+        );
+        assert!(!b.is_locked());
+        assert!(!b.is_in_doubt());
+        assert_eq!(b.meta().version, 1);
+        assert_eq!(b.log().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_commit_is_idempotent() {
+        let mut b = site(1, 3);
+        let t = txn(0, 1);
+        b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+        let meta = CopyMeta {
+            version: 1,
+            cardinality: 3,
+            distinguished: dynvote_core::Distinguished::Irrelevant,
+        };
+        let commit = Message::Commit {
+            txn: t,
+            meta,
+            entries: vec![LogEntry {
+                version: 1,
+                payload: 100,
+            }],
+            participants: dynvote_core::SiteSet::all(3),
+        };
+        b.handle_message(SiteId(0), commit.clone());
+        b.handle_message(SiteId(0), commit);
+        assert_eq!(b.log().len(), 1);
+        assert_eq!(b.meta().version, 1);
+    }
+
+    #[test]
+    fn coordinator_answers_status_query_with_presumed_abort() {
+        let mut a = site(0, 3);
+        let unknown = txn(0, 77); // never started (e.g. lost to a crash)
+        let actions = a.handle_message(
+            SiteId(1),
+            Message::StatusQuery {
+                txn: unknown,
+                after_version: 0,
+                from: SiteId(1),
+            },
+        );
+        assert!(matches!(
+            &actions[0],
+            Action::Send {
+                msg: Message::StatusReply {
+                    outcome: StatusOutcome::Aborted,
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bystander_answers_status_query_with_unknown() {
+        let mut c = site(2, 3);
+        let actions = c.handle_message(
+            SiteId(1),
+            Message::StatusQuery {
+                txn: txn(0, 1),
+                after_version: 0,
+                from: SiteId(1),
+            },
+        );
+        assert!(matches!(
+            &actions[0],
+            Action::Send {
+                msg: Message::StatusReply {
+                    outcome: StatusOutcome::Unknown,
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn group_leg_parks_at_decision_and_finalizes_on_command() {
+        let mut a = site(0, 3);
+        let (txn, actions) = a.start_group_update(500);
+        let txn = txn.expect("lock free");
+        assert!(matches!(
+            &actions[0],
+            Action::Broadcast {
+                msg: Message::VoteRequest { .. }
+            }
+        ));
+        // Both subordinates grant.
+        for sub in [1u8, 2] {
+            let granted = a.handle_message(
+                SiteId(sub),
+                Message::VoteGranted {
+                    txn,
+                    meta: a.meta(),
+                    from: SiteId(sub),
+                },
+            );
+            if sub == 2 {
+                // All votes in: the leg must park with DecisionReady,
+                // not commit.
+                assert!(
+                    granted
+                        .iter()
+                        .any(|act| matches!(
+                            act,
+                            Action::DecisionReady {
+                                distinguished: true,
+                                ..
+                            }
+                        )),
+                    "{granted:?}"
+                );
+            }
+        }
+        assert!(a.is_locked(), "lock held until the manager's verdict");
+        assert_eq!(a.meta().version, 0, "nothing committed yet");
+        assert_eq!(a.decided_members(txn).map(|m| m.len()), Some(3));
+        // Manager says commit.
+        let actions = a.finalize_group(txn, true);
+        assert!(actions
+            .iter()
+            .any(|act| matches!(act, Action::CommitRecorded { version: 1, .. })));
+        assert_eq!(a.meta().version, 1);
+        assert!(!a.is_locked());
+    }
+
+    #[test]
+    fn group_leg_abort_releases_everything() {
+        let mut a = site(0, 3);
+        let (txn, _) = a.start_group_update(500);
+        let txn = txn.unwrap();
+        for sub in [1u8, 2] {
+            a.handle_message(
+                SiteId(sub),
+                Message::VoteGranted {
+                    txn,
+                    meta: a.meta(),
+                    from: SiteId(sub),
+                },
+            );
+        }
+        let actions = a.finalize_group(txn, false);
+        assert!(actions
+            .iter()
+            .any(|act| matches!(act, Action::Broadcast { msg: Message::Abort { .. } })));
+        assert!(!a.is_locked());
+        assert_eq!(a.meta().version, 0);
+    }
+
+    #[test]
+    fn commit_from_record_is_idempotent() {
+        let mut a = site(0, 3);
+        let (txn, _) = a.start_group_update(500);
+        let txn = txn.unwrap();
+        for sub in [1u8, 2] {
+            a.handle_message(
+                SiteId(sub),
+                Message::VoteGranted {
+                    txn,
+                    meta: CopyMeta {
+                        version: 0,
+                        cardinality: 3,
+                        distinguished: dynvote_core::Distinguished::Trio(
+                            dynvote_core::SiteSet::all(3),
+                        ),
+                    },
+                    from: SiteId(sub),
+                },
+            );
+        }
+        let members = a.decided_members(txn).unwrap();
+        a.finalize_group(txn, true);
+        assert_eq!(a.meta().version, 1);
+        // Redo after the fact: a no-op.
+        let redo = a.commit_from_record(txn, 500, members);
+        assert!(redo.is_empty());
+        assert_eq!(a.meta().version, 1);
+        assert_eq!(a.log().len(), 1);
+    }
+
+    #[test]
+    fn abort_releases_prepared_subordinate() {
+        let mut b = site(1, 3);
+        let t = txn(0, 1);
+        b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+        b.handle_message(SiteId(0), Message::Abort { txn: t });
+        assert!(!b.is_locked());
+        assert!(!b.is_in_doubt());
+    }
+}

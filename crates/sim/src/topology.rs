@@ -1,0 +1,215 @@
+//! Network topology: site liveness, link liveness, partitions.
+//!
+//! Site or communication-link failures "may separate the sites into more
+//! than one connected component of communicating sites. We call each
+//! connected component a *partition*" (Section II). The topology tracks
+//! both failure kinds; a message is deliverable iff its endpoints are up
+//! and connected through up sites and up links.
+
+use dynvote_core::{SiteId, SiteSet, MAX_SITES};
+
+/// The mutable network state of a simulation.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    n: usize,
+    up: SiteSet,
+    /// `links[a][b]`: the (bidirectional) link between `a` and `b` is up.
+    links: Vec<Vec<bool>>,
+}
+
+impl Topology {
+    /// A fully connected network of `n` up sites.
+    #[must_use]
+    pub fn fully_connected(n: usize) -> Self {
+        assert!((2..=MAX_SITES).contains(&n));
+        Topology {
+            n,
+            up: SiteSet::all(n),
+            links: vec![vec![true; n]; n],
+        }
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The set of up sites.
+    #[must_use]
+    pub fn up_sites(&self) -> SiteSet {
+        self.up
+    }
+
+    /// True if `site` is up.
+    #[must_use]
+    pub fn is_up(&self, site: SiteId) -> bool {
+        self.up.contains(site)
+    }
+
+    /// Crash a site.
+    pub fn crash(&mut self, site: SiteId) {
+        self.up.remove(site);
+    }
+
+    /// Recover a site.
+    pub fn recover(&mut self, site: SiteId) {
+        assert!(site.index() < self.n);
+        self.up.insert(site);
+    }
+
+    /// Fail the link between `a` and `b`.
+    pub fn fail_link(&mut self, a: SiteId, b: SiteId) {
+        assert_ne!(a, b);
+        self.links[a.index()][b.index()] = false;
+        self.links[b.index()][a.index()] = false;
+    }
+
+    /// Repair the link between `a` and `b`.
+    pub fn repair_link(&mut self, a: SiteId, b: SiteId) {
+        assert_ne!(a, b);
+        self.links[a.index()][b.index()] = true;
+        self.links[b.index()][a.index()] = true;
+    }
+
+    /// True if the direct link between `a` and `b` is up.
+    #[must_use]
+    pub fn link_up(&self, a: SiteId, b: SiteId) -> bool {
+        self.links[a.index()][b.index()]
+    }
+
+    /// The partition (connected component of up sites over up links)
+    /// containing `site`; empty if the site is down.
+    #[must_use]
+    pub fn partition_of(&self, site: SiteId) -> SiteSet {
+        if !self.is_up(site) {
+            return SiteSet::EMPTY;
+        }
+        let mut component = SiteSet::singleton(site);
+        let mut frontier = vec![site];
+        while let Some(current) = frontier.pop() {
+            for next in self.up.iter() {
+                if !component.contains(next) && self.link_up(current, next) {
+                    component.insert(next);
+                    frontier.push(next);
+                }
+            }
+        }
+        component
+    }
+
+    /// True if `a` can exchange messages with `b` right now.
+    #[must_use]
+    pub fn connected(&self, a: SiteId, b: SiteId) -> bool {
+        if a == b {
+            return self.is_up(a);
+        }
+        self.is_up(a) && self.is_up(b) && self.partition_of(a).contains(b)
+    }
+
+    /// Every partition, as a list of disjoint site sets covering the up
+    /// sites.
+    #[must_use]
+    pub fn partitions(&self) -> Vec<SiteSet> {
+        let mut seen = SiteSet::EMPTY;
+        let mut result = Vec::new();
+        for site in self.up.iter() {
+            if !seen.contains(site) {
+                let part = self.partition_of(site);
+                seen = seen.union(part);
+                result.push(part);
+            }
+        }
+        result
+    }
+
+    /// Impose an explicit partition layout: all links inside each given
+    /// set are repaired, all links across sets are failed. Sets must be
+    /// disjoint; sites not mentioned keep their liveness but lose links
+    /// to everyone else.
+    pub fn impose_partitions(&mut self, parts: &[SiteSet]) {
+        for i in 0..self.n {
+            for j in i + 1..self.n {
+                let (a, b) = (SiteId::new(i), SiteId::new(j));
+                let same = parts.iter().any(|p| p.contains(a) && p.contains(b));
+                if same {
+                    self.repair_link(a, b);
+                } else {
+                    self.fail_link(a, b);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(s: &str) -> SiteSet {
+        SiteSet::parse(s).unwrap()
+    }
+
+    #[test]
+    fn fully_connected_is_one_partition() {
+        let topo = Topology::fully_connected(5);
+        assert_eq!(topo.partitions(), vec![SiteSet::all(5)]);
+        assert!(topo.connected(SiteId(0), SiteId(4)));
+    }
+
+    #[test]
+    fn crash_removes_site_from_partitions() {
+        let mut topo = Topology::fully_connected(3);
+        topo.crash(SiteId(1));
+        assert_eq!(topo.partitions(), vec![set("AC")]);
+        assert!(!topo.connected(SiteId(0), SiteId(1)));
+        assert!(topo.connected(SiteId(0), SiteId(2)));
+        topo.recover(SiteId(1));
+        assert!(topo.connected(SiteId(0), SiteId(1)));
+    }
+
+    #[test]
+    fn link_failures_split_partitions() {
+        let mut topo = Topology::fully_connected(4);
+        // Cut AB|CD.
+        topo.impose_partitions(&[set("AB"), set("CD")]);
+        let mut parts = topo.partitions();
+        parts.sort();
+        assert_eq!(parts, vec![set("AB"), set("CD")]);
+        assert!(!topo.connected(SiteId(0), SiteId(2)));
+        assert!(topo.connected(SiteId(0), SiteId(1)));
+    }
+
+    #[test]
+    fn transitive_connectivity_through_relay() {
+        let mut topo = Topology::fully_connected(3);
+        // Only links A-B and B-C are up: A reaches C through B.
+        topo.fail_link(SiteId(0), SiteId(2));
+        assert!(topo.connected(SiteId(0), SiteId(2)));
+        // If B crashes, the relay disappears.
+        topo.crash(SiteId(1));
+        assert!(!topo.connected(SiteId(0), SiteId(2)));
+    }
+
+    #[test]
+    fn down_site_has_empty_partition() {
+        let mut topo = Topology::fully_connected(3);
+        topo.crash(SiteId(0));
+        assert_eq!(topo.partition_of(SiteId(0)), SiteSet::EMPTY);
+        assert!(!topo.connected(SiteId(0), SiteId(0)));
+        assert!(topo.connected(SiteId(1), SiteId(1)));
+    }
+
+    #[test]
+    fn fig1_partition_sequence() {
+        let mut topo = Topology::fully_connected(5);
+        for step in dynvote_core::fig1_partition_graph() {
+            topo.impose_partitions(&step.partitions);
+            let mut got = topo.partitions();
+            got.sort();
+            let mut want = step.partitions.clone();
+            want.sort();
+            assert_eq!(got, want, "{}", step.label);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Read-only transactions (paper footnote 5): served exactly where
+//! updates are, with no metadata movement.
+
+use dynvote_core::{AlgorithmKind, SiteId, SiteSet};
+use dynvote_sim::{SimConfig, Simulation};
+
+fn set(s: &str) -> SiteSet {
+    SiteSet::parse(s).unwrap()
+}
+
+#[test]
+fn reads_are_served_in_the_distinguished_partition() {
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.submit_update(SiteId(0));
+    sim.quiesce();
+    assert!(sim.submit_read(SiteId(1)));
+    sim.quiesce();
+    assert_eq!(sim.stats().reads_served, 1);
+    assert_eq!(sim.stats().commits, 1, "reads commit nothing");
+    // No metadata moved anywhere.
+    for i in 0..5 {
+        assert_eq!(sim.site(SiteId(i)).meta().version, 1);
+    }
+    assert!(sim.check_invariants().is_empty());
+}
+
+#[test]
+fn reads_are_refused_in_minority_partitions() {
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.submit_update(SiteId(0));
+    sim.quiesce();
+    sim.impose_partitions(&[set("AB"), set("CDE")]);
+    sim.submit_read(SiteId(0)); // in the AB minority
+    sim.quiesce();
+    assert_eq!(sim.stats().reads_served, 0);
+    assert_eq!(sim.stats().rejected, 1);
+    // The majority side still reads.
+    sim.submit_read(SiteId(3));
+    sim.quiesce();
+    assert_eq!(sim.stats().reads_served, 1);
+}
+
+#[test]
+fn stale_reader_serves_without_catching_up() {
+    // A reader whose local copy is stale fetches the value remotely but
+    // must NOT promote its own copy into the current-version holder set
+    // (that would inflate the holder set past SC — the E4 bug class).
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.submit_update(SiteId(0));
+    sim.quiesce();
+    sim.impose_partitions(&[set("ABC"), set("DE")]);
+    sim.submit_update(SiteId(0)); // v2 at ABC only
+    sim.quiesce();
+    sim.impose_partitions(&[set("ABCDE")]);
+    assert_eq!(sim.site(SiteId(3)).meta().version, 1);
+    sim.submit_read(SiteId(3)); // stale coordinator
+    sim.quiesce();
+    assert_eq!(sim.stats().reads_served, 1);
+    assert_eq!(
+        sim.site(SiteId(3)).meta().version,
+        1,
+        "the read must not move D's metadata"
+    );
+    assert_eq!(sim.site(SiteId(3)).log().len(), 1);
+    assert!(sim.check_invariants().is_empty());
+}
+
+#[test]
+fn reads_release_all_locks() {
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.submit_update(SiteId(0));
+    sim.quiesce();
+    sim.submit_read(SiteId(2));
+    sim.quiesce();
+    for i in 0..5 {
+        assert!(!sim.site(SiteId(i)).is_locked(), "site {i}");
+        assert!(!sim.site(SiteId(i)).is_in_doubt(), "site {i}");
+    }
+    // And the system still writes afterwards.
+    sim.submit_update(SiteId(4));
+    sim.quiesce();
+    assert_eq!(sim.stats().commits, 2);
+}
+
+#[test]
+fn interleaved_reads_and_writes_under_faults_stay_safe() {
+    for kind in [AlgorithmKind::Hybrid, AlgorithmKind::DynamicLinear] {
+        let mut sim = Simulation::new(SimConfig {
+            algorithm: kind,
+            drop_probability: 0.1,
+            seed: 77,
+            ..SimConfig::default()
+        });
+        sim.submit_update(SiteId(0));
+        sim.quiesce();
+        for round in 0..40u64 {
+            let site = SiteId::new((round % 5) as usize);
+            if round % 3 == 0 {
+                sim.submit_read(site);
+            } else {
+                sim.submit_update(site);
+            }
+            if round % 7 == 0 {
+                sim.crash_site(SiteId::new(((round / 7) % 5) as usize));
+            }
+            if round % 11 == 0 {
+                for i in 0..5 {
+                    sim.recover_site(SiteId::new(i));
+                }
+            }
+            sim.quiesce();
+        }
+        for i in 0..5 {
+            sim.recover_site(SiteId::new(i));
+        }
+        sim.quiesce();
+        assert!(
+            sim.check_invariants().is_empty(),
+            "{kind}: {:?}",
+            sim.check_invariants()
+        );
+        assert!(sim.stats().reads_served > 0, "{kind}");
+        assert!(sim.stats().commits > 0, "{kind}");
+    }
+}

@@ -1,0 +1,71 @@
+//! An availability study: regenerate the data behind Figs. 3 and 4 and
+//! cross-check the analysis with Monte-Carlo simulation.
+//!
+//! ```text
+//! cargo run --release --example availability_study
+//! ```
+//!
+//! Three independent machines answer the same question — "how often
+//! does an update arriving at a random site succeed?":
+//!
+//! 1. the hand-derived Markov chains of the papers (Fig. 2 et al.);
+//! 2. Markov chains *derived mechanically* from the executable kernel;
+//! 3. discrete-event Monte-Carlo simulation of the stochastic model.
+
+use dynvote::markov::statespace::DerivedChain;
+use dynvote::markov::{self, normalized, sweep};
+use dynvote::mc::{simulate, McConfig};
+use dynvote::AlgorithmKind;
+
+fn main() {
+    // ---- Figs. 3/4: normalised availability curves, five sites ------
+    println!("Fig. 3 data (n=5, small ratios):");
+    print!("{}", sweep::fig3().to_csv());
+    println!("\nFig. 4 data (n=5, big ratios):");
+    print!("{}", sweep::fig4().to_csv());
+
+    // ---- Three-way cross-validation at a single point ---------------
+    let (n, ratio) = (5, 1.5);
+    println!("\nthree-way cross-validation at n={n}, ratio={ratio}:");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12}",
+        "algorithm", "hand-chain", "derived", "monte-carlo"
+    );
+    for kind in AlgorithmKind::ALL {
+        let fast = sweep::availability(kind, n, ratio);
+        let derived = DerivedChain::build(kind, n).site_availability(ratio);
+        let mc = simulate(
+            kind,
+            &McConfig {
+                n,
+                ratio,
+                horizon: 30_000.0,
+                seed: 99,
+                ..McConfig::default()
+            },
+        );
+        println!(
+            "{:<18} {fast:>12.6} {derived:>12.6} {:>12.6}",
+            kind.id(),
+            mc.site_availability
+        );
+    }
+
+    // ---- The crossover structure over n ------------------------------
+    println!("\nTheorem 3 crossovers (hybrid vs dynamic-linear):");
+    for c in markov::theorem3_table() {
+        let bar_len = (c.ratio * 40.0) as usize;
+        println!("  n={:<3} c={:<7.4} {}", c.n, c.ratio, "#".repeat(bar_len));
+    }
+    println!("\nthe dip-then-rise shape (minimum near n=5) is the paper's key");
+    println!("structural finding: the static trio phase helps most at moderate scale.");
+
+    // ---- Where does normalisation matter? ----------------------------
+    let a = sweep::availability(AlgorithmKind::Hybrid, 5, 0.5);
+    println!(
+        "\nat ratio 0.5: raw availability {:.4}, normalised {:.4} of the",
+        a,
+        normalized(a, 0.5)
+    );
+    println!("theoretical ceiling p = mu/(lambda+mu) = 1/3.");
+}

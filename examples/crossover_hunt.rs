@@ -1,0 +1,97 @@
+//! Crossover hunting: map where each algorithm overtakes another, and
+//! test the paper's Section VII conjecture about the "optimal"
+//! algorithm.
+//!
+//! ```text
+//! cargo run --release --example crossover_hunt
+//! ```
+//!
+//! Theorem 3 locates the hybrid/dynamic-linear crossovers; this example
+//! extends the same machinery to every pair in the family, and then
+//! evaluates the footnote-6 candidate the authors conjectured to beat
+//! the hybrid ("Preliminary evidence suggests that the hybrid algorithm
+//! is in turn bested by...").
+
+use dynvote::markov::statespace::DerivedChain;
+use dynvote::markov::{crossover, sweep};
+use dynvote::AlgorithmKind;
+
+fn pairwise(n: usize, first: AlgorithmKind, second: AlgorithmKind) {
+    let a = DerivedChain::build(first, n);
+    let b = DerivedChain::build(second, n);
+    let diff = |r: f64| a.site_availability(r) - b.site_availability(r);
+    let found = crossover::find_crossovers(n, diff, 0.05, 5.0);
+    match found.as_slice() {
+        [] => {
+            let sample = diff(1.0);
+            println!(
+                "  {:<18} vs {:<18} no crossover in [0.05, 5]; {} dominates",
+                first.id(),
+                second.id(),
+                if sample > 0.0 { first.id() } else { second.id() }
+            );
+        }
+        list => {
+            for c in list {
+                println!(
+                    "  {:<18} vs {:<18} crossover at ratio {:.4}",
+                    first.id(),
+                    second.id(),
+                    c.ratio
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    let n = 5;
+    println!("pairwise crossovers at n = {n} (who wins above the ratio):");
+    let contenders = [
+        AlgorithmKind::Voting,
+        AlgorithmKind::DynamicVoting,
+        AlgorithmKind::DynamicLinear,
+        AlgorithmKind::Hybrid,
+        AlgorithmKind::OptimalCandidate,
+    ];
+    for (i, &first) in contenders.iter().enumerate() {
+        for &second in &contenders[i + 1..] {
+            pairwise(n, first, second);
+        }
+    }
+
+    // ---- The Section VII conjecture -----------------------------------
+    println!("\nSection VII conjecture: candidate >= hybrid everywhere?");
+    let mut worst = f64::INFINITY;
+    let mut worst_at = (0usize, 0.0f64);
+    for n in 3..=10 {
+        let candidate = DerivedChain::build(AlgorithmKind::OptimalCandidate, n);
+        for i in 1..=50 {
+            let ratio = 0.2 * f64::from(i);
+            let margin =
+                candidate.site_availability(ratio) - sweep::availability(AlgorithmKind::Hybrid, n, ratio);
+            if margin < worst {
+                worst = margin;
+                worst_at = (n, ratio);
+            }
+        }
+    }
+    println!(
+        "  minimum margin over n=3..10, ratio=0.2..10: {worst:+.3e} at n={}, ratio={:.1}",
+        worst_at.0, worst_at.1
+    );
+    if worst >= -1e-12 {
+        println!("  the conjecture HOLDS on the grid: the candidate never loses.");
+    } else {
+        println!("  counterexample found — see EXPERIMENTS.md for discussion.");
+    }
+
+    // ---- How big is the win? ------------------------------------------
+    println!("\nhybrid's edge over dynamic-linear by n (ratio = 2):");
+    for n in 3..=12 {
+        let h = sweep::availability(AlgorithmKind::Hybrid, n, 2.0);
+        let l = sweep::availability(AlgorithmKind::DynamicLinear, n, 2.0);
+        let bar = "#".repeat(((h - l) * 20_000.0) as usize);
+        println!("  n={n:<3} +{:.5} {bar}", h - l);
+    }
+}

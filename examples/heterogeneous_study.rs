@@ -1,0 +1,109 @@
+//! The Section VII challenge, explored: heterogeneous reliability, the
+//! placement of the distinguished site, and witness placement.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_study
+//! ```
+//!
+//! The paper closes by asking for the optimal *dynamic* vote assignment
+//! "in heterogeneous models … which lack uniformity in repair/failure
+//! ratios". This example measures the knobs the algorithm family
+//! actually exposes when sites differ in reliability.
+
+use dynvote::algorithms::VotingWithWitnesses;
+use dynvote::markov::hetero::{
+    hetero_availability, hetero_chain_for, optimal_order, order_study, SiteRates,
+};
+use dynvote::{AlgorithmKind, LinearOrder, SiteSet};
+
+fn main() {
+    // Five sites from flaky to rock-solid.
+    let rates = [
+        SiteRates { failure: 1.0, repair: 0.6 },
+        SiteRates { failure: 1.0, repair: 1.0 },
+        SiteRates { failure: 1.0, repair: 2.0 },
+        SiteRates { failure: 1.0, repair: 4.0 },
+        SiteRates { failure: 1.0, repair: 8.0 },
+    ];
+    println!("per-site up-probabilities:");
+    for (i, r) in rates.iter().enumerate() {
+        println!(
+            "  site {i}: p = {:.3}  (fails ~1/day, repairs in ~{:.1} h)",
+            r.up_probability(),
+            24.0 / r.repair
+        );
+    }
+
+    // --- Knob 1: where does the distinguished site belong? ----------
+    println!("\ndistinguished-site placement (site availability):");
+    println!(
+        "{:<18} {:>16} {:>16} {:>10}",
+        "algorithm", "reliable-first", "reliable-last", "gain"
+    );
+    for kind in AlgorithmKind::ALL {
+        let study = order_study(kind, &rates);
+        println!(
+            "{:<18} {:>16.6} {:>16.6} {:>+10.4}",
+            kind.id(),
+            study.reliable_first,
+            study.reliable_last,
+            study.reliable_first - study.reliable_last
+        );
+    }
+    println!("\nonly dynamic-linear responds: its tie-break gamble belongs on the");
+    println!("most reliable site — and so placed, it overtakes the hybrid, whose");
+    println!("trio mechanism provably never consults the ordering.");
+
+    // Exhaustive confirmation over all 5! = 120 orders.
+    let (best_order, best) = optimal_order(AlgorithmKind::DynamicLinear, &rates);
+    let top = (0..5)
+        .map(dynvote::SiteId::new)
+        .max_by_key(|s| best_order.rank(*s))
+        .unwrap();
+    println!(
+        "exhaustive search over all 120 orders: best availability {best:.6}, top-ranked site {top} (the most reliable) — reliable-first is globally optimal."
+    );
+
+    // --- Knob 2: where does a witness belong? ------------------------
+    println!("\nwitness placement (two copies + one witness, three sites):");
+    let three = [
+        SiteRates { failure: 1.0, repair: 8.0 },
+        SiteRates { failure: 1.0, repair: 2.0 },
+        SiteRates { failure: 1.0, repair: 0.7 },
+    ];
+    for witness in 0..3usize {
+        let copies: SiteSet = (0..3)
+            .filter(|&i| i != witness)
+            .map(dynvote::SiteId::new)
+            .collect();
+        let a = hetero_chain_for(
+            Box::new(VotingWithWitnesses::uniform(3, copies)),
+            &three,
+            LinearOrder::lexicographic(3),
+        )
+        .site_availability()
+        .expect("irreducible");
+        println!(
+            "  witness on site {witness} (p={:.3}): availability {a:.6}",
+            three[witness].up_probability()
+        );
+    }
+    println!("  -> data copies want reliable homes; the witness takes the flaky one.");
+
+    // --- How big is heterogeneity's effect overall? -------------------
+    println!("\nhybrid availability: heterogeneous vs matched homogeneous mean:");
+    let hetero = hetero_availability(
+        AlgorithmKind::Hybrid,
+        &rates,
+        LinearOrder::lexicographic(5),
+    );
+    let mean_p: f64 = rates.iter().map(|r| r.up_probability()).sum::<f64>() / 5.0;
+    let matched_ratio = mean_p / (1.0 - mean_p);
+    let homo = dynvote::markov::availability(AlgorithmKind::Hybrid, 5, matched_ratio);
+    println!("  heterogeneous:         {hetero:.6}");
+    println!("  homogeneous (same p̄):  {homo:.6}");
+    println!("  -> here heterogeneity *helps* the dynamic algorithm: its");
+    println!("     shrinking quorum gravitates towards whichever sites stay up,");
+    println!("     so a few very reliable sites beat uniformly mediocre ones in");
+    println!("     this configuration — the opposite of static voting folklore.");
+}

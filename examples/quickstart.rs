@@ -1,0 +1,56 @@
+//! Quickstart: manage a replicated file with the hybrid algorithm.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks through the crate's three levels: the pure decision kernel, the
+//! model-level replica system, and the analytic availability machinery.
+
+use dynvote::algorithms::Hybrid;
+use dynvote::{markov, AlgorithmKind, ReplicaSystem, SiteSet};
+
+fn main() {
+    // --- Level 1: a replica system under explicit partitions ---------
+    // A file replicated at five sites A..E, managed by the hybrid
+    // algorithm of Jajodia & Mutchler.
+    let mut system = ReplicaSystem::new(5, Hybrid::new());
+
+    println!("fresh system:\n{}", system.state_table());
+
+    // The whole network is connected: updates flow.
+    let outcome = system.attempt_update(SiteSet::all(5));
+    println!("update in ABCDE: {}", outcome.verdict);
+
+    // The network partitions into ABC | DE. The majority side still
+    // serves updates...
+    let abc = SiteSet::parse("ABC").unwrap();
+    let de = SiteSet::parse("DE").unwrap();
+    println!("update in ABC:   {}", system.attempt_update(abc).verdict);
+    // ...and the minority side is refused, keeping the copies
+    // consistent.
+    println!("update in DE:    {}", system.attempt_update(de).verdict);
+
+    // Dynamic voting's trick: the quorum base shrank to ABC, so losing
+    // yet another site still leaves a quorum — 2 of 3 current copies —
+    // where static voting (needing 3 of 5) would already be stuck.
+    let ab = SiteSet::parse("AB").unwrap();
+    println!("update in AB:    {}", system.attempt_update(ab).verdict);
+    println!("\nstate after the partitions:\n{}", system.state_table());
+
+    // --- Level 2: exact availability numbers -------------------------
+    // How much availability does each algorithm offer at a
+    // repair/failure ratio of 2 (sites up two thirds of the time)?
+    println!("site availability at n=5, mu/lambda = 2:");
+    for kind in AlgorithmKind::ALL {
+        let a = markov::availability(kind, 5, 2.0);
+        println!("  {:<18} {a:.6}", kind.id());
+    }
+
+    // --- Level 3: the paper's headline number -------------------------
+    let c = markov::theorem3_crossover(5);
+    println!(
+        "\nthe hybrid overtakes dynamic-linear at mu/lambda = {:.3} (paper: 0.63)",
+        c.ratio
+    );
+}

@@ -1,0 +1,113 @@
+//! Integration test: the Fig. 1 partition graph, at both stack levels,
+//! for all six algorithms.
+
+use dynvote::sim::{SimConfig, Simulation};
+use dynvote::{fig1_partition_graph, run_scenario, AlgorithmKind, ReplicaSystem, SiteSet};
+
+fn set(s: &str) -> SiteSet {
+    SiteSet::parse(s).unwrap()
+}
+
+/// The distinguished partition per epoch, per the Section VI-A
+/// narrative (None = all updates denied).
+fn expected(kind: AlgorithmKind) -> [Option<SiteSet>; 4] {
+    match kind {
+        AlgorithmKind::Voting => [Some(set("ABC")), None, Some(set("CDE")), None],
+        AlgorithmKind::DynamicVoting => [Some(set("ABC")), Some(set("AB")), None, None],
+        AlgorithmKind::DynamicLinear => {
+            [Some(set("ABC")), Some(set("AB")), Some(set("A")), Some(set("A"))]
+        }
+        // The modified hybrid accepts exactly the hybrid's histories.
+        AlgorithmKind::Hybrid | AlgorithmKind::ModifiedHybrid => {
+            [Some(set("ABC")), Some(set("AB")), None, Some(set("BC"))]
+        }
+        // The footnote-6 candidate rejects BC at time 4: its pair rule
+        // demands a *network majority* alongside the surviving current
+        // copy, trading the hybrid's narrow two-of-trio path for many
+        // wider ones (which is why it still wins on availability).
+        AlgorithmKind::OptimalCandidate => [Some(set("ABC")), Some(set("AB")), None, None],
+    }
+}
+
+#[test]
+fn model_level_matches_the_paper_narrative() {
+    for kind in AlgorithmKind::ALL {
+        let mut sys = ReplicaSystem::new(5, kind.instantiate(5));
+        let reports = run_scenario(&mut sys, &fig1_partition_graph());
+        let want = expected(kind);
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(
+                report.distinguished(),
+                want[i],
+                "{kind} at {}",
+                report.label
+            );
+        }
+    }
+}
+
+#[test]
+fn protocol_level_matches_the_model_level() {
+    // Replay the same partition graph through real messages: every
+    // partition gets one update submission, and the set of successful
+    // commits must match the model exactly.
+    for kind in AlgorithmKind::ALL {
+        let mut sim = Simulation::new(SimConfig {
+            n: 5,
+            algorithm: kind,
+            ..SimConfig::default()
+        });
+        let want = expected(kind);
+        let mut committed = Vec::new();
+        for (i, step) in fig1_partition_graph().iter().enumerate() {
+            sim.impose_partitions(&step.partitions);
+            let before = sim.stats().commits;
+            let mut winner = None;
+            for p in &step.partitions {
+                sim.submit_update(p.first().unwrap());
+                sim.quiesce();
+                if sim.stats().commits > before && winner.is_none() {
+                    winner = Some(*p);
+                }
+            }
+            committed.push(winner);
+            assert_eq!(winner, want[i], "{kind} at epoch {}", i + 1);
+        }
+        assert!(sim.check_invariants().is_empty(), "{kind}");
+    }
+}
+
+#[test]
+fn per_partition_verdicts_are_exclusive() {
+    // Within each epoch at most one partition commits, for every
+    // algorithm — the pessimism property observed at scenario level.
+    for kind in AlgorithmKind::ALL {
+        let mut sys = ReplicaSystem::new(5, kind.instantiate(5));
+        for report in run_scenario(&mut sys, &fig1_partition_graph()) {
+            let committed = report
+                .outcomes
+                .iter()
+                .filter(|(_, o)| o.committed())
+                .count();
+            assert!(committed <= 1, "{kind} at {}", report.label);
+        }
+    }
+}
+
+#[test]
+fn fig1_shows_the_size_tradeoff_the_paper_highlights() {
+    // "voting's distinguished partition (CDE) is three times as large as
+    // dynamic-linear's distinguished partition (A)" at time 3; the
+    // hybrid's BC at time 4 is larger than dynamic-linear's A.
+    let steps = fig1_partition_graph();
+    let mut voting = ReplicaSystem::new(5, AlgorithmKind::Voting.instantiate(5));
+    let mut linear = ReplicaSystem::new(5, AlgorithmKind::DynamicLinear.instantiate(5));
+    let mut hybrid = ReplicaSystem::new(5, AlgorithmKind::Hybrid.instantiate(5));
+    let v = run_scenario(&mut voting, &steps);
+    let l = run_scenario(&mut linear, &steps);
+    let h = run_scenario(&mut hybrid, &steps);
+    assert_eq!(v[2].distinguished().unwrap().len(), 3);
+    assert_eq!(l[2].distinguished().unwrap().len(), 1);
+    assert_eq!(h[3].distinguished().unwrap().len(), 2);
+    assert_eq!(l[3].distinguished().unwrap().len(), 1);
+}

@@ -1,0 +1,124 @@
+//! Integration test: the Section IV worked example, executed at *both*
+//! levels of the stack — the model-level replica system and the
+//! message-level protocol simulator — and checked against the paper's
+//! printed state tables.
+
+use dynvote::sim::{SimConfig, Simulation};
+use dynvote::{AlgorithmKind, CopyMeta, Distinguished, ReplicaSystem, SiteId, SiteSet};
+
+fn set(s: &str) -> SiteSet {
+    SiteSet::parse(s).unwrap()
+}
+
+/// The expected `(VN, SC, DS)` at each site after each step, with the
+/// paper's version numbers shifted so the opening state is version 9.
+struct Expectation {
+    partition: &'static str,
+    version: u64,
+    cardinality: u32,
+    distinguished: Distinguished,
+}
+
+fn expectations() -> Vec<Expectation> {
+    vec![
+        Expectation {
+            partition: "ABC",
+            version: 10,
+            cardinality: 3,
+            distinguished: Distinguished::Trio(set("ABC")),
+        },
+        Expectation {
+            partition: "AC",
+            version: 11,
+            cardinality: 3,
+            distinguished: Distinguished::Trio(set("ABC")),
+        },
+        Expectation {
+            partition: "BCDE",
+            version: 12,
+            cardinality: 4,
+            distinguished: Distinguished::Single(SiteId(1)),
+        },
+        Expectation {
+            partition: "BE",
+            version: 13,
+            cardinality: 2,
+            distinguished: Distinguished::Single(SiteId(1)),
+        },
+    ]
+}
+
+#[test]
+fn section_iv_at_the_model_level() {
+    let mut sys = ReplicaSystem::new(5, AlgorithmKind::Hybrid.instantiate(5));
+    for _ in 0..9 {
+        assert!(sys.attempt_update(SiteSet::all(5)).committed());
+    }
+    for exp in expectations() {
+        let p = set(exp.partition);
+        let outcome = sys.attempt_update(p);
+        assert!(outcome.committed(), "partition {p} must commit");
+        for site in p.iter() {
+            let meta = sys.meta(site);
+            assert_eq!(meta.version, exp.version, "{p}: version at {site}");
+            assert_eq!(meta.cardinality, exp.cardinality, "{p}: SC at {site}");
+            assert_eq!(meta.distinguished, exp.distinguished, "{p}: DS at {site}");
+        }
+    }
+    // The paper's final table: A left behind at version 11, C and D at 12.
+    assert_eq!(sys.meta(SiteId(0)).version, 11);
+    assert_eq!(sys.meta(SiteId(2)).version, 12);
+    assert_eq!(sys.meta(SiteId(3)).version, 12);
+}
+
+#[test]
+fn section_iv_at_the_protocol_level() {
+    // The same story through real messages: impose each partition with
+    // link failures, submit the update at the site the paper names, and
+    // let the three-phase protocol do the rest.
+    let mut sim = Simulation::new(SimConfig {
+        n: 5,
+        algorithm: AlgorithmKind::Hybrid,
+        ..SimConfig::default()
+    });
+    for _ in 0..9 {
+        assert!(sim.submit_update(SiteId(0)));
+        sim.quiesce();
+    }
+    let submitters = [SiteId(0), SiteId(0), SiteId(3), SiteId(4)];
+    for (exp, submitter) in expectations().iter().zip(submitters) {
+        sim.impose_partitions(&[set(exp.partition)]);
+        assert!(sim.submit_update(submitter));
+        sim.quiesce();
+        for site in set(exp.partition).iter() {
+            let meta: CopyMeta = sim.site(site).meta();
+            assert_eq!(meta.version, exp.version, "{}: version at {site}", exp.partition);
+            assert_eq!(meta.cardinality, exp.cardinality, "{}: SC at {site}", exp.partition);
+            assert_eq!(
+                meta.distinguished, exp.distinguished,
+                "{}: DS at {site}",
+                exp.partition
+            );
+        }
+    }
+    assert_eq!(sim.stats().commits, 13);
+    assert!(sim.check_invariants().is_empty());
+}
+
+#[test]
+fn updates_the_paper_says_are_hybrid_only() {
+    // "Note that neither dynamic voting nor dynamic-linear would permit
+    // this update" — the BCDE step after the static-phase AC update.
+    for kind in [AlgorithmKind::DynamicVoting, AlgorithmKind::DynamicLinear] {
+        let mut sys = ReplicaSystem::new(5, kind.instantiate(5));
+        for _ in 0..9 {
+            sys.attempt_update(SiteSet::all(5));
+        }
+        assert!(sys.attempt_update(set("ABC")).committed(), "{kind}");
+        assert!(sys.attempt_update(set("AC")).committed(), "{kind}");
+        assert!(
+            !sys.attempt_update(set("BCDE")).committed(),
+            "{kind} must reject BCDE (only the hybrid's trio rule admits it)"
+        );
+    }
+}
