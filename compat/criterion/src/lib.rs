@@ -1,0 +1,319 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! A minimal wall-clock harness behind the subset of the criterion 0.5
+//! API this workspace's benches use: [`criterion_group!`] /
+//! [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! [`Throughput`], and the builder knobs `warm_up_time`,
+//! `measurement_time`, `sample_size`.
+//!
+//! No statistics, plots, or saved baselines: each benchmark warms up,
+//! then runs timed samples and prints the median per-iteration time.
+//! The numbers are honest but unsophisticated — good for spotting
+//! order-of-magnitude regressions, not for publication.
+//!
+//! Passing `--test` (as `cargo test` does for `harness = false` bench
+//! targets) runs every benchmark body exactly once, so `cargo test`
+//! stays fast while still executing the bench code paths.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle (stand-in for `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration before timed samples.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Set the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn configure_from_args(mut self) -> Self {
+        // `cargo test` invokes harness=false bench binaries with
+        // `--test`; run each body once and skip timing in that mode.
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+}
+
+/// A named benchmark identifier (stand-in for `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, `name/param`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation (accepted, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Record the work per iteration (echoed, not used in statistics).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.run(&label, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (kept for API parity; settings die with the value).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, mut body: impl FnMut(&mut Bencher)) {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher {
+            mode: if self.criterion.test_mode {
+                Mode::TestOnce
+            } else {
+                Mode::Measure {
+                    warm_up: self.criterion.warm_up_time,
+                    budget: self.criterion.measurement_time,
+                    samples,
+                }
+            },
+            median: None,
+        };
+        body(&mut bencher);
+        match bencher.median {
+            Some(median) => println!("{label:<50} {}", format_duration(median)),
+            None => println!("{label:<50} ok (test mode)"),
+        }
+    }
+}
+
+enum Mode {
+    TestOnce,
+    Measure {
+        warm_up: Duration,
+        budget: Duration,
+        samples: usize,
+    },
+}
+
+/// Per-benchmark timing driver (stand-in for `criterion::Bencher`).
+pub struct Bencher {
+    mode: Mode,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time the routine. In test mode it runs exactly once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::TestOnce => {
+                std::hint::black_box(routine());
+            }
+            Mode::Measure {
+                warm_up,
+                budget,
+                samples,
+            } => {
+                // Warm up and size one sample so that `samples` samples
+                // roughly fill the measurement budget.
+                let warm_start = Instant::now();
+                let mut iters_per_sample: u64 = 0;
+                while warm_start.elapsed() < warm_up || iters_per_sample == 0 {
+                    std::hint::black_box(routine());
+                    iters_per_sample += 1;
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / iters_per_sample as f64;
+                let per_sample = budget.as_secs_f64() / samples as f64;
+                let iters = ((per_sample / per_iter).ceil() as u64).max(1);
+
+                let mut times: Vec<Duration> = (0..samples)
+                    .map(|_| {
+                        let start = Instant::now();
+                        for _ in 0..iters {
+                            std::hint::black_box(routine());
+                        }
+                        start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX)
+                    })
+                    .collect();
+                times.sort_unstable();
+                self.median = Some(times[times.len() / 2]);
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns/iter")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs/iter", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms/iter", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions with a shared [`Criterion`] config
+/// (stand-in for `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("solve", 8).to_string(), "solve/8");
+        assert_eq!(BenchmarkId::from_parameter("hybrid").to_string(), "hybrid");
+    }
+
+    #[test]
+    fn groups_run_bodies() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("t");
+            group.bench_function("noop", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::new("inp", 3), &3u32, |b, &x| b.iter(|| x * 2));
+            group.finish();
+        }
+        assert!(ran > 0);
+    }
+}

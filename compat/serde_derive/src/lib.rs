@@ -1,0 +1,471 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored
+//! `serde` crate's `Value`-tree data model. Because the build
+//! environment cannot fetch `syn`/`quote`, the input item is parsed by
+//! hand from the raw `TokenStream` and the impl is emitted as a source
+//! string. Supported shapes (everything this workspace derives):
+//!
+//! * non-generic named-field structs → JSON objects;
+//! * non-generic newtype structs → transparent (the inner value);
+//! * non-generic tuple structs → JSON arrays;
+//! * non-generic enums with unit / newtype / tuple / struct variants →
+//!   `"Variant"` strings and externally tagged `{"Variant": ...}`
+//!   objects, matching upstream serde's default representation.
+//!
+//! `#[serde(...)]` attributes and generic types are rejected with a
+//! compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: optional name (named structs/variants only).
+struct Field {
+    name: Option<String>,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize` for the annotated item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => {
+            let body = serialize_struct_body(name, shape);
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Serialize): generated code parses")
+}
+
+/// Derive `serde::Deserialize` for the annotated item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => {
+            let body = deserialize_struct_body(name, shape);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("derive(Deserialize): generated code parses")
+}
+
+// ----- code generation: Serialize ----------------------------------------
+
+fn serialize_struct_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+        Shape::Newtype => "::serde::Serialize::serialize(&self.0)".to_owned(),
+        Shape::Tuple(fields) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let fname = f.name.as_deref().unwrap_or_else(|| {
+                        panic!("derive(Serialize) on {name}: unnamed field in named shape")
+                    });
+                    format!(
+                        "(\"{fname}\".to_string(), ::serde::Serialize::serialize(&self.{fname}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+    }
+}
+
+fn serialize_variant_arm(ty: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        Shape::Unit => format!("{ty}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"),
+        Shape::Newtype => format!(
+            "{ty}::{v}(inner) => ::serde::Value::Object(vec![\
+                 (\"{v}\".to_string(), ::serde::Serialize::serialize(inner))]),\n"
+        ),
+        Shape::Tuple(fields) => {
+            let binds: Vec<String> = (0..fields.len()).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                .collect();
+            format!(
+                "{ty}::{v}({binds}) => ::serde::Value::Object(vec![\
+                     (\"{v}\".to_string(), ::serde::Value::Array(vec![{items}]))]),\n",
+                binds = binds.join(", "),
+                items = items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let names: Vec<&str> = fields
+                .iter()
+                .map(|f| f.name.as_deref().expect("named variant field"))
+                .collect();
+            let pairs: Vec<String> = names
+                .iter()
+                .map(|n| format!("(\"{n}\".to_string(), ::serde::Serialize::serialize({n}))"))
+                .collect();
+            format!(
+                "{ty}::{v} {{ {names} }} => ::serde::Value::Object(vec![\
+                     (\"{v}\".to_string(), ::serde::Value::Object(vec![{pairs}]))]),\n",
+                names = names.join(", "),
+                pairs = pairs.join(", ")
+            )
+        }
+    }
+}
+
+// ----- code generation: Deserialize --------------------------------------
+
+fn deserialize_struct_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!(
+            "match value {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 _ => Err(::serde::Error::custom(\"expected null for {name}\")),\n\
+             }}"
+        ),
+        Shape::Newtype => format!("Ok({name}(::serde::Deserialize::deserialize(value)?))"),
+        Shape::Tuple(fields) => {
+            let n = fields.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array()\
+                     .ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::Error::custom(\"wrong arity for {name}\"));\n\
+                 }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let fname = f.name.as_deref().expect("named struct field");
+                    format!(
+                        "{fname}: ::serde::Deserialize::deserialize(\
+                             ::serde::field(fields, \"{fname}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = value.as_object()\
+                     .ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {inits} }})",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                // Accept the {"Variant": null} spelling too, so hand-written
+                // JSON stays forgiving.
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => match inner {{\n\
+                         ::serde::Value::Null => Ok({name}::{vn}),\n\
+                         _ => Err(::serde::Error::custom(\
+                             \"unit variant {name}::{vn} takes no payload\")),\n\
+                     }},\n"
+                ));
+            }
+            Shape::Newtype => tagged_arms.push_str(&format!(
+                "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::deserialize(inner)?)),\n"
+            )),
+            Shape::Tuple(fields) => {
+                let n = fields.len();
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let items = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                         if items.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(\
+                                 \"wrong arity for {name}::{vn}\"));\n\
+                         }}\n\
+                         Ok({name}::{vn}({items}))\n\
+                     }},\n",
+                    items = items.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let fname = f.name.as_deref().expect("named variant field");
+                        format!(
+                            "{fname}: ::serde::Deserialize::deserialize(\
+                                 ::serde::field(fields, \"{fname}\", \"{name}::{vn}\")?)?"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let fields = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                         Ok({name}::{vn} {{ {inits} }})\n\
+                     }},\n",
+                    inits = inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                     ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(::serde::Error::custom(format!(\n\
+                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(::serde::Error::custom(format!(\n\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => Err(::serde::Error::custom(\n\
+                         \"expected string or single-key object for {name}\")),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ----- token-stream parsing ----------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut pos, "type name");
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive on {name}: generic types are not supported by the vendored serde_derive");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_fields(g.stream(), true, &name))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let fields = parse_fields(g.stream(), false, &name);
+                    if fields.len() == 1 {
+                        Shape::Newtype
+                    } else {
+                        Shape::Tuple(fields)
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("derive on {name}: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("derive on {name}: expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                variants: parse_variants(body, &name),
+                name,
+            }
+        }
+        other => panic!("derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Skip outer attributes (including doc comments, which arrive as
+/// `#[doc = ...]`) and a `pub` / `pub(...)` visibility prefix.
+fn skip_attributes_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Bracket)
+                {
+                    if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                        reject_serde_attr(&g.stream());
+                    }
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn reject_serde_attr(attr: &TokenStream) {
+    let mut iter = attr.clone().into_iter();
+    if let Some(TokenTree::Ident(id)) = iter.next() {
+        if id.to_string() == "serde" {
+            panic!("#[serde(...)] attributes are not supported by the vendored serde_derive");
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize, what: &str) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Split a field list on top-level commas, tracking `<`/`>` depth so
+/// commas inside generic arguments (`HashMap<K, V>`) don't split.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut groups: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth: i64 = 0;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                groups.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    groups
+}
+
+fn parse_fields(stream: TokenStream, named: bool, ty: &str) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut pos = 0;
+            skip_attributes_and_vis(&tokens, &mut pos);
+            if named {
+                let name = expect_ident(&tokens, &mut pos, "field name");
+                match tokens.get(pos) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("derive on {ty}: expected `:` after `{name}`, got {other:?}"),
+                }
+                Field { name: Some(name) }
+            } else {
+                Field { name: None }
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream, ty: &str) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut pos = 0;
+            skip_attributes_and_vis(&tokens, &mut pos);
+            let name = expect_ident(&tokens, &mut pos, "variant name");
+            let shape = match tokens.get(pos) {
+                None => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let fields = parse_fields(g.stream(), false, ty);
+                    if fields.len() == 1 {
+                        Shape::Newtype
+                    } else {
+                        Shape::Tuple(fields)
+                    }
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_fields(g.stream(), true, ty))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    panic!("derive on {ty}: explicit discriminants are not supported")
+                }
+                other => panic!("derive on {ty}: unexpected variant body {other:?}"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}

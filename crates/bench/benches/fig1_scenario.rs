@@ -13,13 +13,22 @@ use std::hint::black_box;
 fn assert_fig1_shape() {
     let steps = fig1_partition_graph();
     let expect: [(AlgorithmKind, [Option<&str>; 4]); 4] = [
-        (AlgorithmKind::Voting, [Some("ABC"), None, Some("CDE"), None]),
-        (AlgorithmKind::DynamicVoting, [Some("ABC"), Some("AB"), None, None]),
+        (
+            AlgorithmKind::Voting,
+            [Some("ABC"), None, Some("CDE"), None],
+        ),
+        (
+            AlgorithmKind::DynamicVoting,
+            [Some("ABC"), Some("AB"), None, None],
+        ),
         (
             AlgorithmKind::DynamicLinear,
             [Some("ABC"), Some("AB"), Some("A"), Some("A")],
         ),
-        (AlgorithmKind::Hybrid, [Some("ABC"), Some("AB"), None, Some("BC")]),
+        (
+            AlgorithmKind::Hybrid,
+            [Some("ABC"), Some("AB"), None, Some("BC")],
+        ),
     ];
     for (kind, want) in expect {
         let mut sys = ReplicaSystem::new(5, kind.instantiate(5));

@@ -8,12 +8,17 @@
 //! * **performance characterisation** — kernel decision latency, Markov
 //!   solve scaling, protocol-simulation and Monte-Carlo throughput.
 
-use dynvote_core::{AlgorithmKind, CopyMeta, LinearOrder, PartitionView, ReplicaSystem, SiteId, SiteSet};
+use dynvote_core::{
+    AlgorithmKind, CopyMeta, LinearOrder, PartitionView, ReplicaSystem, SiteId, SiteSet,
+};
 
 /// Build a reachable `n`-site system state by a fixed partition script,
 /// for decision-kernel benchmarks.
 #[must_use]
-pub fn representative_system(kind: AlgorithmKind, n: usize) -> ReplicaSystem<Box<dyn dynvote_core::ReplicaControl>> {
+pub fn representative_system(
+    kind: AlgorithmKind,
+    n: usize,
+) -> ReplicaSystem<Box<dyn dynvote_core::ReplicaControl>> {
     let mut sys = ReplicaSystem::new(n, kind.instantiate(n));
     // Walk the quorum down and back up once so the metadata is
     // interesting (trios/singles installed).
@@ -35,8 +40,7 @@ pub fn view_of<'a>(
     order: &'a LinearOrder,
     partition: SiteSet,
 ) -> PartitionView<'a> {
-    let responses: Vec<(SiteId, CopyMeta)> =
-        partition.iter().map(|s| (s, sys.meta(s))).collect();
+    let responses: Vec<(SiteId, CopyMeta)> = partition.iter().map(|s| (s, sys.meta(s))).collect();
     PartitionView::new(sys.n(), order, responses).expect("valid view")
 }
 

@@ -6,6 +6,7 @@
 //! dynvote sweep [...]         availability sweep as CSV or JSON
 //! dynvote crossover [...]     crossover ratio between two algorithms
 //! dynvote simulate [...]      message-level protocol simulation run
+//! dynvote chaos [...]         nemesis schedules: run, replay, minimize
 //! dynvote help                this text
 //! ```
 
@@ -80,6 +81,15 @@ USAGE:
                      [--drop p] [--seed s]
         Run the message-level protocol under fault injection and report
         statistics and invariant checks.
+
+    dynvote chaos [--algo <name|all>] [--n k] [--seed s] [--duration t]
+                  [--update-rate r] [--drop p] [--schedule in.json]
+                  [--out file.json] [--minimize true] [--min-out file.json]
+        Generate (or replay, with --schedule) a serialized nemesis fault
+        schedule — crashes, rolling and one-way partitions, lossy bursts,
+        duplication, reordering — run it against one or all algorithms,
+        and on a violation optionally delta-debug the schedule down to a
+        minimal reproducer.
 ";
 
 fn main() -> ExitCode {
@@ -91,7 +101,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let command = opts.positional.first().map(String::as_str).unwrap_or("help");
+    let command = opts
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
     let result = match command {
         "repro" => {
             let target = opts.positional.get(1).map(String::as_str).unwrap_or("all");
@@ -108,7 +122,10 @@ fn main() -> ExitCode {
                         repro::run("all");
                     }
                     for (name, f) in [
-                        ("hetero (E11)", runs::hetero_cmd as fn(&Opts) -> Result<(), String>),
+                        (
+                            "hetero (E11)",
+                            runs::hetero_cmd as fn(&Opts) -> Result<(), String>,
+                        ),
                         ("witnesses (E12)", runs::witnesses_cmd),
                         ("joint (E15)", runs::joint_cmd),
                         ("votes (E16)", runs::votes_cmd),
@@ -138,6 +155,7 @@ fn main() -> ExitCode {
         "joint" => runs::joint_cmd(&opts),
         "votes" => runs::votes_cmd(&opts),
         "simulate" => runs::simulate_cmd(&opts),
+        "chaos" => runs::chaos_cmd(&opts),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())

@@ -3,9 +3,7 @@
 //! Each reproduction prints (a) what the paper reports and (b) what this
 //! implementation computes, so the comparison is self-contained.
 
-use dynvote_core::{
-    fig1_partition_graph, run_scenario, AlgorithmKind, ReplicaSystem, SiteSet,
-};
+use dynvote_core::{fig1_partition_graph, run_scenario, AlgorithmKind, ReplicaSystem, SiteSet};
 use dynvote_markov::chains::{hybrid_chain, voting_availability};
 use dynvote_markov::{statespace::DerivedChain, sweep, theorem3_table, THEOREM3_PAPER};
 use dynvote_mc::{simulate, McConfig};
@@ -82,11 +80,20 @@ fn example4() {
     }
     let steps: [(&str, &str); 4] = [
         ("update at A, partition ABC", "ABC"),
-        ("update at A, partition AC (static phase: SC, DS unchanged)", "AC"),
-        ("update at D, partition BCDE (trio majority B,C; dynamic again)", "BCDE"),
+        (
+            "update at A, partition AC (static phase: SC, DS unchanged)",
+            "AC",
+        ),
+        (
+            "update at D, partition BCDE (trio majority B,C; dynamic again)",
+            "BCDE",
+        ),
         ("update at E, partition BE (half of four incl. DS=B)", "BE"),
     ];
-    println!("initial state (nine updates by all five sites):\n{}", sys.state_table());
+    println!(
+        "initial state (nine updates by all five sites):\n{}",
+        sys.state_table()
+    );
     for (label, partition) in steps {
         let p = SiteSet::parse(partition).expect("valid partition");
         let outcome = sys.attempt_update(p);
@@ -116,7 +123,9 @@ fn fig2() {
     }
     println!("\ncross-check: machine-derived chain from the executable kernel");
     for n in 3..=8 {
-        let hand = hybrid_chain(n, 1.3).site_availability().expect("irreducible");
+        let hand = hybrid_chain(n, 1.3)
+            .site_availability()
+            .expect("irreducible");
         let derived = DerivedChain::build(AlgorithmKind::Hybrid, n).site_availability(1.3);
         println!(
             "  n={n}: hand chain {hand:.12}  derived {derived:.12}  |diff| {:.2e}",
@@ -128,7 +137,10 @@ fn fig2() {
 /// Theorem 2: hybrid availability strictly exceeds dynamic voting.
 fn theorem2() {
     println!("Theorem 2 — hybrid > dynamic voting for every repair/failure ratio\n");
-    println!("{:<4} {:>10} {:>14} {:>14} {:>12}", "n", "ratio", "hybrid", "dynamic", "margin");
+    println!(
+        "{:<4} {:>10} {:>14} {:>14} {:>12}",
+        "n", "ratio", "hybrid", "dynamic", "margin"
+    );
     let mut min_margin = f64::INFINITY;
     for n in [3usize, 5, 10, 20] {
         for ratio in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
@@ -216,7 +228,11 @@ fn sigmod87() {
     }
     println!(
         "  dynamic-linear > voting for n >= 4:          {}",
-        if dl_beats_voting_n4plus { "HOLDS" } else { "FAILS" }
+        if dl_beats_voting_n4plus {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
     );
     println!(
         "  voting > dynamic-linear for n = 3 (μ/λ >= 1): {}",

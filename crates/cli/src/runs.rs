@@ -6,7 +6,7 @@ use dynvote_core::{AlgorithmKind, SiteId};
 use dynvote_markov::hetero::{order_study, SiteRates};
 use dynvote_markov::{crossover, statespace::DerivedChain, sweep};
 use dynvote_mc::{simulate, McConfig};
-use dynvote_sim::{SimConfig, Simulation};
+use dynvote_sim::{minimize, FaultSchedule, NemesisProfile, SimConfig, Simulation};
 use serde::Serialize;
 
 fn parse_algo(name: &str) -> Result<AlgorithmKind, String> {
@@ -75,10 +75,7 @@ pub fn sweep_cmd(opts: &Opts) -> Result<(), String> {
     }
     let algos: Vec<AlgorithmKind> = match opts.get("algos") {
         None => sweep::FIGURE_ALGOS.to_vec(),
-        Some(list) => list
-            .split(',')
-            .map(parse_algo)
-            .collect::<Result<_, _>>()?,
+        Some(list) => list.split(',').map(parse_algo).collect::<Result<_, _>>()?,
     };
     let result = sweep::figure_series(n, &algos, &sweep::ratio_grid(lo, hi, steps));
     match opts.get("format").unwrap_or("csv") {
@@ -86,7 +83,11 @@ pub fn sweep_cmd(opts: &Opts) -> Result<(), String> {
         "json" => {
             let json = SweepJson {
                 n: result.n,
-                algorithms: result.algorithms.iter().map(|a| a.id().to_owned()).collect(),
+                algorithms: result
+                    .algorithms
+                    .iter()
+                    .map(|a| a.id().to_owned())
+                    .collect(),
                 rows: result
                     .rows
                     .iter()
@@ -190,10 +191,7 @@ fn parse_rates(text: &str) -> Result<Vec<SiteRates>, String> {
 /// distinguished-site ordering study (the paper's Section VII
 /// challenge).
 pub fn hetero_cmd(opts: &Opts) -> Result<(), String> {
-    let rates = parse_rates(
-        opts.get("rates")
-            .unwrap_or("1:0.6,1:1,1:2,1:4,1:8"),
-    )?;
+    let rates = parse_rates(opts.get("rates").unwrap_or("1:0.6,1:1,1:2,1:4,1:8"))?;
     let n = rates.len();
     if !(2..=12).contains(&n) {
         return Err("need 2..=12 sites".into());
@@ -241,7 +239,10 @@ pub fn witnesses_cmd(opts: &Opts) -> Result<(), String> {
         return Err("need 2 <= n <= 8 and a positive ratio".into());
     }
     println!("voting with witnesses at n={n}, ratio={ratio}:");
-    println!("{:<12} {:>16} {:>12}", "data copies", "availability", "vs all-copies");
+    println!(
+        "{:<12} {:>16} {:>12}",
+        "data copies", "availability", "vs all-copies"
+    );
     let rates = vec![SiteRates::homogeneous(ratio); n];
     let full = dynvote_markov::chains::voting_availability(n, ratio);
     for copies in (1..=n).rev() {
@@ -272,7 +273,9 @@ pub fn joint_cmd(opts: &Opts) -> Result<(), String> {
 
     let ratio: f64 = opts.get_or("ratio", 1.0).map_err(|e| e.to_string())?;
     let n: usize = opts.get_or("n", 5).map_err(|e| e.to_string())?;
-    let horizon: f64 = opts.get_or("horizon", 40_000.0).map_err(|e| e.to_string())?;
+    let horizon: f64 = opts
+        .get_or("horizon", 40_000.0)
+        .map_err(|e| e.to_string())?;
     let seed: u64 = opts.get_or("seed", 0xFEED).map_err(|e| e.to_string())?;
     let algos: Vec<AlgorithmKind> = match opts.get("algos") {
         None => vec![AlgorithmKind::Hybrid, AlgorithmKind::Voting],
@@ -294,8 +297,14 @@ pub fn joint_cmd(opts: &Opts) -> Result<(), String> {
     for (kind, marginal) in algos.iter().zip(&result.marginals) {
         println!("  marginal {:<18} {marginal:.4}", kind.id());
     }
-    println!("  joint (measured)            {:.4} ± {:.4}", result.joint_system, result.joint_half_width);
-    println!("  independence would predict  {:.4}", result.independence_product);
+    println!(
+        "  joint (measured)            {:.4} ± {:.4}",
+        result.joint_system, result.joint_half_width
+    );
+    println!(
+        "  independence would predict  {:.4}",
+        result.independence_product
+    );
     println!("  joint, site-weighted        {:.4}", result.joint_site);
     println!("\nshared failures correlate the files: the joint sits near the");
     println!("weakest marginal, far above the independence product.");
@@ -420,4 +429,122 @@ pub fn simulate_cmd(opts: &Opts) -> Result<(), String> {
         }
         Err("consistency violations detected".into())
     }
+}
+
+/// `dynvote chaos`: generate (or replay) a serialized nemesis fault
+/// schedule, run it against one or all algorithms, and on failure
+/// optionally delta-debug the schedule down to a minimal reproducer.
+pub fn chaos_cmd(opts: &Opts) -> Result<(), String> {
+    let algo = opts.get("algo").unwrap_or("all");
+    let kinds: Vec<AlgorithmKind> = if algo == "all" {
+        AlgorithmKind::ALL.to_vec()
+    } else {
+        vec![parse_algo(algo)?]
+    };
+    let n: usize = opts.get_or("n", 5).map_err(|e| e.to_string())?;
+    let seed: u64 = opts.get_or("seed", 7).map_err(|e| e.to_string())?;
+    let duration: f64 = opts.get_or("duration", 60.0).map_err(|e| e.to_string())?;
+    let update_rate: f64 = opts.get_or("update-rate", 3.0).map_err(|e| e.to_string())?;
+    let drop: f64 = opts.get_or("drop", 0.0).map_err(|e| e.to_string())?;
+    if !(2..=20).contains(&n) || duration <= 0.0 || update_rate <= 0.0 {
+        return Err("need 2 <= n <= 20, positive duration and update-rate".into());
+    }
+    let config = SimConfig {
+        n,
+        drop_probability: drop,
+        seed,
+        ..SimConfig::default()
+    };
+    config.validate().map_err(|e| e.to_string())?;
+
+    let schedule = match opts.get("schedule") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read schedule {path}: {e}"))?;
+            FaultSchedule::from_json(&text)?
+        }
+        None => FaultSchedule::generate(n, duration, seed, &NemesisProfile::default()),
+    };
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, schedule.to_json())
+            .map_err(|e| format!("cannot write schedule {path}: {e}"))?;
+        println!("# schedule written to {path}");
+    }
+    println!(
+        "nemesis schedule    {} events, horizon {:.1}",
+        schedule.len(),
+        schedule.end_time()
+    );
+
+    // One deterministic run: healthy prologue, schedule + workload,
+    // heal, then let every in-doubt transaction resolve.
+    let run_one = |kind: AlgorithmKind, schedule: &FaultSchedule| -> Simulation {
+        let mut sim = Simulation::new(SimConfig {
+            algorithm: kind,
+            ..config.clone()
+        });
+        sim.submit_update(SiteId(0));
+        sim.quiesce();
+        sim.apply_schedule(schedule);
+        sim.schedule_poisson_arrivals(update_rate, duration);
+        sim.run_until(duration.max(schedule.end_time()) * 1.25);
+        sim.heal();
+        sim.quiesce();
+        sim
+    };
+
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8} {:>8}  verdict",
+        "algorithm", "commits", "rejects", "dropped", "dups", "crashes"
+    );
+    let mut first_failing = None;
+    for &kind in &kinds {
+        let sim = run_one(kind, &schedule);
+        let stats = sim.stats();
+        let violations = sim.check_invariants();
+        let verdict = if violations.is_empty() {
+            "OK".to_string()
+        } else {
+            format!("{} VIOLATION(S)", violations.len())
+        };
+        println!(
+            "{:<18} {:>8} {:>8} {:>8} {:>8} {:>8}  {verdict}",
+            kind.id(),
+            stats.commits,
+            stats.rejected,
+            stats.messages_dropped,
+            stats.messages_duplicated,
+            stats.site_crashes
+        );
+        for v in &violations {
+            println!("    VIOLATION: {v}");
+        }
+        if !violations.is_empty() && first_failing.is_none() {
+            first_failing = Some(kind);
+        }
+    }
+
+    let Some(failing) = first_failing else {
+        println!("consistency         OK for every algorithm (one-copy serializable)");
+        return Ok(());
+    };
+    if opts.get_or("minimize", false).map_err(|e| e.to_string())? {
+        println!("minimizing against {} ...", failing.id());
+        let minimal = minimize(&schedule, |candidate| {
+            !run_one(failing, candidate).check_invariants().is_empty()
+        });
+        println!(
+            "minimal reproducer  {} of {} events",
+            minimal.len(),
+            schedule.len()
+        );
+        if let Some(path) = opts.get("min-out") {
+            std::fs::write(path, minimal.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("# minimal schedule written to {path}");
+        } else {
+            println!("{}", minimal.to_json());
+        }
+    }
+    Err("consistency violations detected".into())
 }

@@ -20,8 +20,18 @@ fn help_lists_every_subcommand() {
     let (ok, out, _) = dynvote(&["help"]);
     assert!(ok);
     for cmd in [
-        "repro", "avail", "sweep", "crossover", "chain", "hetero", "transient", "witnesses",
-        "joint", "votes", "simulate",
+        "repro",
+        "avail",
+        "sweep",
+        "crossover",
+        "chain",
+        "hetero",
+        "transient",
+        "witnesses",
+        "joint",
+        "votes",
+        "simulate",
+        "chaos",
     ] {
         assert!(out.contains(cmd), "help must mention {cmd}");
     }
@@ -54,7 +64,10 @@ fn repro_rejects_unknown_target() {
 fn avail_prints_analytic_value() {
     let (ok, out, _) = dynvote(&["avail", "--algo", "hybrid", "--n", "5", "--ratio", "2.0"]);
     assert!(ok);
-    assert!(out.contains("0.6425"), "expected hybrid@5,2.0 ≈ 0.6425:\n{out}");
+    assert!(
+        out.contains("0.6425"),
+        "expected hybrid@5,2.0 ≈ 0.6425:\n{out}"
+    );
 }
 
 #[test]
@@ -67,7 +80,9 @@ fn avail_validates_arguments() {
 
 #[test]
 fn sweep_emits_csv_and_json() {
-    let (ok, out, _) = dynvote(&["sweep", "--n", "4", "--lo", "1", "--hi", "2", "--steps", "2"]);
+    let (ok, out, _) = dynvote(&[
+        "sweep", "--n", "4", "--lo", "1", "--hi", "2", "--steps", "2",
+    ]);
     assert!(ok);
     assert!(out.starts_with("ratio,hybrid,dynamic-linear,voting"));
     assert_eq!(out.lines().count(), 4);
@@ -84,11 +99,20 @@ fn sweep_emits_csv_and_json() {
 #[test]
 fn crossover_finds_the_headline_number() {
     let (ok, out, _) = dynvote(&[
-        "crossover", "--first", "hybrid", "--second", "dynamic-linear", "--n", "5",
+        "crossover",
+        "--first",
+        "hybrid",
+        "--second",
+        "dynamic-linear",
+        "--n",
+        "5",
     ]);
     assert!(ok);
     assert!(out.contains("overtakes"), "{out}");
-    assert!(out.contains("0.629") || out.contains("0.63"), "expected ~0.63:\n{out}");
+    assert!(
+        out.contains("0.629") || out.contains("0.63"),
+        "expected ~0.63:\n{out}"
+    );
 }
 
 #[test]
@@ -111,7 +135,17 @@ fn hetero_prints_the_order_study() {
 #[test]
 fn transient_starts_at_one_and_reports_steady_state() {
     let (ok, out, _) = dynvote(&[
-        "transient", "--algo", "hybrid", "--n", "4", "--ratio", "1", "--until", "4", "--steps", "4",
+        "transient",
+        "--algo",
+        "hybrid",
+        "--n",
+        "4",
+        "--ratio",
+        "1",
+        "--until",
+        "4",
+        "--steps",
+        "4",
     ]);
     assert!(ok);
     assert!(out.contains("0.0000,1.00000000"));
@@ -129,7 +163,13 @@ fn witnesses_table_is_monotone() {
 #[test]
 fn joint_reports_marginals_and_product() {
     let (ok, out, _) = dynvote(&[
-        "joint", "--horizon", "4000", "--n", "4", "--algos", "hybrid,dynamic",
+        "joint",
+        "--horizon",
+        "4000",
+        "--n",
+        "4",
+        "--algos",
+        "hybrid,dynamic",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("independence would predict"));
@@ -147,9 +187,104 @@ fn votes_reports_optimal_assignment() {
 #[test]
 fn simulate_reports_consistency_ok() {
     let (ok, out, _) = dynvote(&[
-        "simulate", "--n", "5", "--algo", "hybrid", "--duration", "30", "--seed", "3",
+        "simulate",
+        "--n",
+        "5",
+        "--algo",
+        "hybrid",
+        "--duration",
+        "30",
+        "--seed",
+        "3",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("consistency         OK"));
     assert!(out.contains("commits"));
+}
+
+#[test]
+fn chaos_runs_every_algorithm_clean() {
+    let (ok, out, _) = dynvote(&["chaos", "--n", "5", "--seed", "3", "--duration", "25"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("nemesis schedule"));
+    for algo in [
+        "voting",
+        "dynamic",
+        "dynamic-linear",
+        "hybrid",
+        "modified-hybrid",
+        "optimal-candidate",
+    ] {
+        assert!(out.contains(algo), "missing {algo} row:\n{out}");
+    }
+    assert!(out.contains("OK for every algorithm"), "{out}");
+}
+
+#[test]
+fn chaos_saved_schedule_replays_identically() {
+    let dir = std::env::temp_dir().join(format!("dynvote-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("schedule.json");
+    let path = path.to_str().unwrap();
+
+    let (ok, first, _) = dynvote(&[
+        "chaos",
+        "--algo",
+        "hybrid",
+        "--n",
+        "5",
+        "--seed",
+        "11",
+        "--duration",
+        "20",
+        "--drop",
+        "0.05",
+        "--out",
+        path,
+    ]);
+    assert!(ok, "{first}");
+    assert!(std::fs::metadata(path).is_ok(), "schedule file written");
+
+    // Replaying the saved schedule (same engine seed) must reproduce the
+    // exact statistics table — determinism is what makes schedules
+    // shareable bug reports.
+    let replay_args = [
+        "chaos",
+        "--algo",
+        "hybrid",
+        "--n",
+        "5",
+        "--seed",
+        "11",
+        "--duration",
+        "20",
+        "--drop",
+        "0.05",
+        "--schedule",
+        path,
+    ];
+    let (ok, second, _) = dynvote(&replay_args);
+    assert!(ok, "{second}");
+    let table = |s: &str| {
+        s.lines()
+            .filter(|l| l.starts_with("hybrid"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(table(&first), table(&second), "replay diverged");
+
+    let (ok, third, _) = dynvote(&replay_args);
+    assert!(ok);
+    assert_eq!(second, third, "byte-identical output on re-replay");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_rejects_bad_input() {
+    let (ok, _, err) = dynvote(&["chaos", "--n", "99"]);
+    assert!(!ok && err.contains("2 <= n"), "{err}");
+    let (ok, _, err) = dynvote(&["chaos", "--schedule", "/nonexistent/schedule.json"]);
+    assert!(!ok && err.contains("cannot read"), "{err}");
+    let (ok, _, err) = dynvote(&["chaos", "--algo", "quorumtron"]);
+    assert!(!ok && err.contains("unknown algorithm"), "{err}");
 }

@@ -63,11 +63,7 @@ mod tests {
         }
     }
 
-    fn view<'a>(
-        order: &'a LinearOrder,
-        n: usize,
-        entries: &[(u8, u64, u32)],
-    ) -> PartitionView<'a> {
+    fn view<'a>(order: &'a LinearOrder, n: usize, entries: &[(u8, u64, u32)]) -> PartitionView<'a> {
         PartitionView::new(
             n,
             order,

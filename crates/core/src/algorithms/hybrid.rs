@@ -143,7 +143,11 @@ mod tests {
     fn static_phase_two_of_trio_commits_without_metadata_change() {
         let order = LinearOrder::lexicographic(5);
         // A and C hold version 10 with SC=3 DS=ABC (Section IV step 2).
-        let v = view(&order, 5, &[(0, 10, 3, trio("ABC")), (2, 10, 3, trio("ABC"))]);
+        let v = view(
+            &order,
+            5,
+            &[(0, 10, 3, trio("ABC")), (2, 10, 3, trio("ABC"))],
+        );
         assert_eq!(Hybrid.decide(&v), Verdict::Accepted(AcceptRule::Majority));
         let meta = Hybrid.commit_meta(&v);
         assert_eq!(meta.version, 11);
@@ -182,7 +186,10 @@ mod tests {
         let v = view(
             &order,
             5,
-            &[(2, 11, 3, trio("ABC")), (3, 9, 5, Distinguished::Irrelevant)],
+            &[
+                (2, 11, 3, trio("ABC")),
+                (3, 9, 5, Distinguished::Irrelevant),
+            ],
         );
         assert_eq!(Hybrid.decide(&v), Verdict::Rejected);
     }

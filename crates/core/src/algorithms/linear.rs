@@ -114,7 +114,7 @@ mod tests {
     fn tie_break_requires_the_distinguished_site() {
         let order = LinearOrder::lexicographic(5);
         let ds = Distinguished::Single(SiteId(0)); // A
-        // Half of SC=2 present, and it is A (the DS): distinguished.
+                                                   // Half of SC=2 present, and it is A (the DS): distinguished.
         let v = view(&order, 5, &[(0, 11, 2, ds)]);
         assert_eq!(
             DynamicLinear.decide(&v),

@@ -63,9 +63,7 @@ pub(crate) fn decide_pair(view: &PartitionView<'_>) -> Verdict {
     match view.current_count() {
         2.. => Verdict::Accepted(AcceptRule::PairBothCurrent),
         1 => match current_single_ds(view) {
-            Some(ds) if view.members().contains(ds) => {
-                Verdict::Accepted(AcceptRule::PairTieBreak)
-            }
+            Some(ds) if view.members().contains(ds) => Verdict::Accepted(AcceptRule::PairTieBreak),
             _ => Verdict::Rejected,
         },
         _ => Verdict::Rejected,
@@ -219,12 +217,8 @@ mod tests {
         // Current pair was {A, B}; guard C. Partition {A, C}: one current
         // plus the guard. The hybrid-equivalent new guard is B (the absent
         // version-M holder), which the protocol layer supplies as a hint.
-        let v = view(
-            &order,
-            5,
-            &[(0, 12, 2, single(2)), (2, 11, 2, single(4))],
-        )
-        .with_guard_hint(Some(SiteId(1)));
+        let v = view(&order, 5, &[(0, 12, 2, single(2)), (2, 11, 2, single(4))])
+            .with_guard_hint(Some(SiteId(1)));
         assert!(ModifiedHybrid.is_distinguished(&v));
         let meta = ModifiedHybrid.commit_meta(&v);
         assert_eq!(meta.distinguished, single(1));

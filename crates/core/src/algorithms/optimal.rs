@@ -67,9 +67,7 @@ impl ReplicaControl for OptimalCandidate {
             CopyMeta {
                 version: view.max_version() + 1,
                 cardinality: 2,
-                distinguished: Distinguished::Set(
-                    SiteSet::all(view.n()).difference(members),
-                ),
+                distinguished: Distinguished::Set(SiteSet::all(view.n()).difference(members)),
             }
         } else {
             dynamic_linear_commit(view)

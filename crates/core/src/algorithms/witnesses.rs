@@ -109,11 +109,7 @@ mod tests {
     use crate::meta::Distinguished;
     use crate::site::{LinearOrder, SiteId};
 
-    fn view<'a>(
-        order: &'a LinearOrder,
-        n: usize,
-        entries: &[(u8, u64)],
-    ) -> PartitionView<'a> {
+    fn view<'a>(order: &'a LinearOrder, n: usize, entries: &[(u8, u64)]) -> PartitionView<'a> {
         PartitionView::new(
             n,
             order,
@@ -192,8 +188,7 @@ mod tests {
         // Copies A, B with 2 votes each; witness C with 1: total 5.
         // A alone (2 of 5) is a minority; A + C (3 of 5) is quorate.
         let order = LinearOrder::lexicographic(3);
-        let algo =
-            VotingWithWitnesses::weighted(set("AB"), VoteAssignment::new(vec![2, 2, 1]));
+        let algo = VotingWithWitnesses::weighted(set("AB"), VoteAssignment::new(vec![2, 2, 1]));
         assert!(!algo.is_distinguished(&view(&order, 3, &[(0, 5)])));
         assert!(algo.is_distinguished(&view(&order, 3, &[(0, 5), (2, 5)])));
     }

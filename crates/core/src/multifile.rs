@@ -108,7 +108,10 @@ impl fmt::Debug for MultiFileSystem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MultiFileSystem")
             .field("n_sites", &self.n_sites)
-            .field("files", &self.files.iter().map(|e| &e.name).collect::<Vec<_>>())
+            .field(
+                "files",
+                &self.files.iter().map(|e| &e.name).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -316,12 +319,14 @@ mod tests {
         let (mut db, inventory, _) = two_files();
         // Shrink inventory's quorum to ABC, then to AB (hybrid trio
         // phase) while orders is untouched.
-        assert!(db
-            .attempt_transaction(set("ABC"), &Transaction::write(&[inventory]))
-            .committed);
-        assert!(db
-            .attempt_transaction(set("AB"), &Transaction::write(&[inventory]))
-            .committed);
+        assert!(
+            db.attempt_transaction(set("ABC"), &Transaction::write(&[inventory]))
+                .committed
+        );
+        assert!(
+            db.attempt_transaction(set("AB"), &Transaction::write(&[inventory]))
+                .committed
+        );
         // DE alone can no longer write inventory...
         assert!(!db.can_access(inventory, set("DE")));
         // ...and CDEFG still writes orders (a static majority there).
@@ -337,9 +342,10 @@ mod tests {
             .collect();
         // ABC writes everything (majority in every scheme, fresh state).
         for &f in &files {
-            assert!(db
-                .attempt_transaction(set("ABC"), &Transaction::write(&[f]))
-                .committed);
+            assert!(
+                db.attempt_transaction(set("ABC"), &Transaction::write(&[f]))
+                    .committed
+            );
         }
         // AB now: dynamic algorithms (quorum shrank to ABC) accept;
         // static voting refuses (2 of 5).
@@ -362,10 +368,11 @@ mod tests {
         assert_eq!(db.replication_sites(f), set("CEG"));
         assert_eq!(db.version_at(f, SiteId(2)), Some(0)); // C
         assert_eq!(db.version_at(f, SiteId(0)), None); // A: no copy
-        // Two of its three replicas form a quorum.
-        assert!(db
-            .attempt_transaction(set("CE"), &Transaction::write(&[f]))
-            .committed);
+                                                       // Two of its three replicas form a quorum.
+        assert!(
+            db.attempt_transaction(set("CE"), &Transaction::write(&[f]))
+                .committed
+        );
     }
 
     #[test]

@@ -124,11 +124,10 @@ impl<A: ReplicaControl> ReplicaSystem<A> {
         // Guard hint: the greatest absent holder of the partition's
         // maximum version, if any (see `algorithms::modified_hybrid`).
         let max_version = view.max_version();
-        let absent_current = SiteSet::from_sites(
-            (0..self.n())
-                .map(SiteId::new)
-                .filter(|s| !partition.contains(*s) && self.metas[s.index()].version == max_version),
-        );
+        let absent_current =
+            SiteSet::from_sites((0..self.n()).map(SiteId::new).filter(|s| {
+                !partition.contains(*s) && self.metas[s.index()].version == max_version
+            }));
         let hint = self.order.max_of(absent_current);
         Some(view.with_guard_hint(hint))
     }

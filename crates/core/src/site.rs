@@ -48,7 +48,9 @@ impl fmt::Display for SiteId {
 ///
 /// `SiteSet` is the universal currency of the crate: partitions, quorums,
 /// distinguished-sites lists and vote tallies are all site sets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SiteSet(u64);
 
 impl SiteSet {

@@ -88,7 +88,11 @@ impl<'a> PartitionView<'a> {
             }
             members.insert(site);
         }
-        let max_version = responses.iter().map(|(_, m)| m.version).max().expect("nonempty");
+        let max_version = responses
+            .iter()
+            .map(|(_, m)| m.version)
+            .max()
+            .expect("nonempty");
         let mut current = SiteSet::EMPTY;
         let mut current_meta: Option<(SiteId, CopyMeta)> = None;
         for &(site, meta) in &responses {
@@ -244,8 +248,14 @@ mod tests {
             5,
             &order,
             vec![
-                (SiteId(0), meta(10, 3, Distinguished::Trio(SiteSet::parse("ABC").unwrap()))),
-                (SiteId(2), meta(10, 3, Distinguished::Trio(SiteSet::parse("ABC").unwrap()))),
+                (
+                    SiteId(0),
+                    meta(10, 3, Distinguished::Trio(SiteSet::parse("ABC").unwrap())),
+                ),
+                (
+                    SiteId(2),
+                    meta(10, 3, Distinguished::Trio(SiteSet::parse("ABC").unwrap())),
+                ),
                 (SiteId(3), meta(9, 5, Distinguished::Irrelevant)),
             ],
         )

@@ -176,13 +176,13 @@ fn exhaustive_hybrid_equivalence_on_model_histories() {
                         )
                     };
                     assert_eq!(
-                        hc, mc,
+                        hc,
+                        mc,
                         "n={n}: divergence at up-set {up2}\nhybrid:\n{}\nmodified:\n{}",
                         hybrid.state_table(),
                         modified.state_table()
                     );
-                    let child: Joint =
-                        (up2, hybrid.metas().to_vec(), modified.metas().to_vec());
+                    let child: Joint = (up2, hybrid.metas().to_vec(), modified.metas().to_vec());
                     let key = (up2, canonical(&child.1), canonical(&child.2));
                     if visited.insert(key) {
                         next.push(child);

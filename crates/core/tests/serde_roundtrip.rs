@@ -1,9 +1,7 @@
 //! Serde round-trip tests for the public metadata types (used by the
 //! CLI's JSON emission and available to downstream persistence layers).
 
-use dynvote_core::{
-    AlgorithmKind, CopyMeta, Distinguished, LinearOrder, SiteId, SiteSet, Verdict,
-};
+use dynvote_core::{AlgorithmKind, CopyMeta, Distinguished, LinearOrder, SiteId, SiteSet, Verdict};
 
 fn round_trip<T>(value: &T) -> T
 where

@@ -81,7 +81,11 @@ impl AvailabilityChain {
         out.push_str(&format!("  label={:?};\n", title));
         out.push_str("  node [fontname=\"Helvetica\"];\n");
         for (i, s) in self.states.iter().enumerate() {
-            let shape = if s.accepting { "doublecircle" } else { "circle" };
+            let shape = if s.accepting {
+                "doublecircle"
+            } else {
+                "circle"
+            };
             out.push_str(&format!(
                 "  s{i} [shape={shape} label=\"{}\\nup={}\"];\n",
                 s.label, s.up

@@ -324,10 +324,22 @@ mod tests {
     fn up_probability_marginals_hold_heterogeneously() {
         // E[#up] must equal Σ_i p_i whatever the algorithm.
         let rates = vec![
-            SiteRates { failure: 1.0, repair: 0.5 },
-            SiteRates { failure: 1.0, repair: 2.0 },
-            SiteRates { failure: 0.5, repair: 1.0 },
-            SiteRates { failure: 2.0, repair: 4.0 },
+            SiteRates {
+                failure: 1.0,
+                repair: 0.5,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 2.0,
+            },
+            SiteRates {
+                failure: 0.5,
+                repair: 1.0,
+            },
+            SiteRates {
+                failure: 2.0,
+                repair: 4.0,
+            },
         ];
         let expected: f64 = rates.iter().map(|r| r.up_probability()).sum();
         for kind in [AlgorithmKind::Voting, AlgorithmKind::Hybrid] {
@@ -345,11 +357,26 @@ mod tests {
         // Static voting never reads the linear order; the study must be
         // a wash.
         let rates = vec![
-            SiteRates { failure: 1.0, repair: 0.8 },
-            SiteRates { failure: 1.0, repair: 1.5 },
-            SiteRates { failure: 1.0, repair: 3.0 },
-            SiteRates { failure: 1.0, repair: 5.0 },
-            SiteRates { failure: 1.0, repair: 9.0 },
+            SiteRates {
+                failure: 1.0,
+                repair: 0.8,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 1.5,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 3.0,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 5.0,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 9.0,
+            },
         ];
         let study = order_study(AlgorithmKind::Voting, &rates);
         assert!((study.reliable_first - study.reliable_last).abs() < 1e-12);
@@ -358,11 +385,26 @@ mod tests {
     #[test]
     fn reliable_distinguished_site_helps_dynamic_linear_but_not_hybrid() {
         let rates = vec![
-            SiteRates { failure: 1.0, repair: 0.6 },
-            SiteRates { failure: 1.0, repair: 1.0 },
-            SiteRates { failure: 1.0, repair: 2.0 },
-            SiteRates { failure: 1.0, repair: 4.0 },
-            SiteRates { failure: 1.0, repair: 8.0 },
+            SiteRates {
+                failure: 1.0,
+                repair: 0.6,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 1.0,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 2.0,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 4.0,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 8.0,
+            },
         ];
         // Dynamic-linear gambles its tie-break on the distinguished
         // site, so it should be placed on the site most likely to be up.
@@ -390,10 +432,22 @@ mod tests {
         // one ranking the most reliable site greatest is optimal for
         // dynamic-linear (up to ties among orders agreeing on the top).
         let rates = vec![
-            SiteRates { failure: 1.0, repair: 0.5 },
-            SiteRates { failure: 1.0, repair: 1.2 },
-            SiteRates { failure: 1.0, repair: 3.0 },
-            SiteRates { failure: 1.0, repair: 7.0 },
+            SiteRates {
+                failure: 1.0,
+                repair: 0.5,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 1.2,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 3.0,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 7.0,
+            },
         ];
         let (best_order, best) = optimal_order(AlgorithmKind::DynamicLinear, &rates);
         let study = order_study(AlgorithmKind::DynamicLinear, &rates);
@@ -416,12 +470,12 @@ mod tests {
         // approach the (n-1)-site homogeneous value from below... for
         // voting it actually *hurts* (it raises the majority threshold).
         let mut rates = homogeneous(4, 2.0);
-        rates.push(SiteRates { failure: 100.0, repair: 0.01 });
-        let with_dead = hetero_availability(
-            AlgorithmKind::Voting,
-            &rates,
-            LinearOrder::lexicographic(5),
-        );
+        rates.push(SiteRates {
+            failure: 100.0,
+            repair: 0.01,
+        });
+        let with_dead =
+            hetero_availability(AlgorithmKind::Voting, &rates, LinearOrder::lexicographic(5));
         let four_site = crate::chains::voting_availability(4, 2.0);
         // Majority of 5 needs 3 of the 4 live sites: worse than majority
         // of 4 (also 3) relative to... compare against the 5-site value.

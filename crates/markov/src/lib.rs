@@ -38,23 +38,25 @@
 
 pub mod availability;
 pub mod chains;
-pub mod hetero;
 pub mod crossover;
 pub mod ctmc;
+pub mod hetero;
 pub mod linalg;
 pub mod statespace;
+pub mod sweep;
 pub mod transient;
 pub mod votes;
-pub mod sweep;
 
 pub use availability::{normalized, site_up_probability, AvailabilityChain, StateInfo};
 pub use crossover::{theorem3_crossover, theorem3_table, Crossover, THEOREM3_PAPER};
+pub use ctmc::{Ctmc, SteadyStateError};
 pub use hetero::{
     hetero_availability, hetero_chain, hetero_chain_for, optimal_order, order_study, OrderStudy,
     SiteRates,
 };
-pub use ctmc::{Ctmc, SteadyStateError};
 pub use statespace::{derived_availability, DerivedChain};
 pub use sweep::{availability, figure_series, ratio_grid, Sweep, SweepRow};
 pub use transient::transient_distribution;
-pub use votes::{optimal_vote_assignment, static_availability, static_voting_availability, OptimalVotes};
+pub use votes::{
+    optimal_vote_assignment, static_availability, static_voting_availability, OptimalVotes,
+};

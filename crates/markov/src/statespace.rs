@@ -72,10 +72,10 @@ impl AbstractState {
 
     fn label(&self) -> String {
         let up: u32 = self.up_count();
-        let current_up = self.counts[class_of(true, true, false)]
-            + self.counts[class_of(true, true, true)];
-        let current_down = self.counts[class_of(false, true, false)]
-            + self.counts[class_of(false, true, true)];
+        let current_up =
+            self.counts[class_of(true, true, false)] + self.counts[class_of(true, true, true)];
+        let current_down =
+            self.counts[class_of(false, true, false)] + self.counts[class_of(false, true, true)];
         format!(
             "sc={} ds={:?} current {}/{} up, {} up total",
             self.sc,
@@ -241,8 +241,7 @@ impl DerivedChain {
                 let is_up = class & 0b100 != 0;
                 // Event: one site of this class fails (if up) or repairs
                 // (if down).
-                let (mut sys, mut up, members) =
-                    materialize(&state, n, kind.instantiate(n));
+                let (mut sys, mut up, members) = materialize(&state, n, kind.instantiate(n));
                 let site = members[class][0];
                 if is_up {
                     up.remove(site);

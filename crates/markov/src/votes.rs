@@ -24,10 +24,7 @@ use dynvote_core::{SiteId, SiteSet};
 /// and to arbitrary coteries; it does *not* apply to the dynamic
 /// algorithms or to witnesses, whose acceptance reads metadata.)
 #[must_use]
-pub fn static_availability(
-    rates: &[SiteRates],
-    mut accept: impl FnMut(SiteSet) -> bool,
-) -> f64 {
+pub fn static_availability(rates: &[SiteRates], mut accept: impl FnMut(SiteSet) -> bool) -> f64 {
     let n = rates.len();
     assert!((1..=20).contains(&n));
     let p: Vec<f64> = rates.iter().map(|r| r.up_probability()).collect();
@@ -134,10 +131,8 @@ mod tests {
     fn closed_form_matches_the_binomial_formula() {
         for n in [3usize, 5, 7] {
             for ratio in [0.5, 2.0] {
-                let a = static_voting_availability(
-                    &VoteAssignment::uniform(n),
-                    &homogeneous(n, ratio),
-                );
+                let a =
+                    static_voting_availability(&VoteAssignment::uniform(n), &homogeneous(n, ratio));
                 let b = voting_availability(n, ratio);
                 assert!((a - b).abs() < 1e-12, "n={n} ratio={ratio}");
             }
@@ -165,16 +160,27 @@ mod tests {
             "{result:?}"
         );
         // The winner must be asymmetric.
-        let votes: Vec<u64> = (0..4).map(|i| result.votes.votes_of(SiteId::new(i))).collect();
+        let votes: Vec<u64> = (0..4)
+            .map(|i| result.votes.votes_of(SiteId::new(i)))
+            .collect();
         assert!(votes.windows(2).any(|w| w[0] != w[1]), "{votes:?}");
     }
 
     #[test]
     fn heterogeneous_optimum_weights_reliable_sites() {
         let rates = vec![
-            SiteRates { failure: 1.0, repair: 0.5 },
-            SiteRates { failure: 1.0, repair: 1.0 },
-            SiteRates { failure: 1.0, repair: 8.0 },
+            SiteRates {
+                failure: 1.0,
+                repair: 0.5,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 1.0,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 8.0,
+            },
         ];
         let result = optimal_vote_assignment(&rates, 3);
         assert!(result.availability >= result.uniform_availability - 1e-15);
@@ -191,11 +197,26 @@ mod tests {
         // E16: even the *best possible* static votes lose to the dynamic
         // family under heterogeneity — quantifying what adaptivity buys.
         let rates = vec![
-            SiteRates { failure: 1.0, repair: 0.6 },
-            SiteRates { failure: 1.0, repair: 1.0 },
-            SiteRates { failure: 1.0, repair: 2.0 },
-            SiteRates { failure: 1.0, repair: 4.0 },
-            SiteRates { failure: 1.0, repair: 8.0 },
+            SiteRates {
+                failure: 1.0,
+                repair: 0.6,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 1.0,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 2.0,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 4.0,
+            },
+            SiteRates {
+                failure: 1.0,
+                repair: 8.0,
+            },
         ];
         let optimal_static = optimal_vote_assignment(&rates, 3);
         let hybrid = crate::hetero::hetero_availability(

@@ -104,11 +104,8 @@ fn dynamic_algorithms_beat_every_static_coterie_tested() {
     // The SIGMOD'87 thesis, extended: at n=7, ratio=2 the dynamic
     // family clears majority, tree, and grid alike.
     let ratio = 2.0;
-    let dynamic = dynvote_markov::availability(
-        dynvote_core::AlgorithmKind::DynamicLinear,
-        7,
-        ratio,
-    );
+    let dynamic =
+        dynvote_markov::availability(dynvote_core::AlgorithmKind::DynamicLinear, 7, ratio);
     for (label, coterie) in [
         ("majority", VoteAssignment::uniform(7).coterie()),
         ("tree", Coterie::binary_tree(3)),

@@ -72,19 +72,34 @@ fn witness_placement_is_rate_sensitive() {
     // reliable site (data copies want reliable homes).
     let order = LinearOrder::lexicographic(3);
     let rates = [
-        SiteRates { failure: 1.0, repair: 8.0 }, // A: reliable
-        SiteRates { failure: 1.0, repair: 8.0 }, // B: reliable
-        SiteRates { failure: 1.0, repair: 0.7 }, // C: flaky
+        SiteRates {
+            failure: 1.0,
+            repair: 8.0,
+        }, // A: reliable
+        SiteRates {
+            failure: 1.0,
+            repair: 8.0,
+        }, // B: reliable
+        SiteRates {
+            failure: 1.0,
+            repair: 0.7,
+        }, // C: flaky
     ];
     let witness_on_flaky = hetero_chain_for(
-        Box::new(VotingWithWitnesses::uniform(3, SiteSet::parse("AB").unwrap())),
+        Box::new(VotingWithWitnesses::uniform(
+            3,
+            SiteSet::parse("AB").unwrap(),
+        )),
         &rates,
         order.clone(),
     )
     .site_availability()
     .unwrap();
     let witness_on_reliable = hetero_chain_for(
-        Box::new(VotingWithWitnesses::uniform(3, SiteSet::parse("BC").unwrap())),
+        Box::new(VotingWithWitnesses::uniform(
+            3,
+            SiteSet::parse("BC").unwrap(),
+        )),
         &rates,
         order,
     )

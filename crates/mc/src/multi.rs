@@ -83,8 +83,8 @@ pub fn simulate_joint(config: &MultiMcConfig) -> MultiMcResult {
     let mut clock = 0.0;
 
     let advance = |up: &mut SiteSet,
-                       systems: &mut Vec<ReplicaSystem<Box<dyn ReplicaControl>>>,
-                       rng: &mut StdRng|
+                   systems: &mut Vec<ReplicaSystem<Box<dyn ReplicaControl>>>,
+                   rng: &mut StdRng|
      -> f64 {
         let fail_rate = up.len() as f64;
         let repair_rate = (n - up.len()) as f64 * config.ratio;

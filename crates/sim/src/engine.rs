@@ -11,9 +11,10 @@
 //! may be lost or delivered out of order", Section II).
 
 use crate::message::{LogEntry, Message, TxnId};
+use crate::nemesis::{FaultSchedule, NemesisEvent};
 use crate::site::{Action, ResolveReason, SiteActor, TimerKind};
 use crate::topology::Topology;
-use dynvote_core::{AlgorithmKind, SiteId, SiteSet};
+use dynvote_core::{AlgorithmKind, SiteId, SiteSet, MAX_SITES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -28,16 +29,33 @@ pub struct SimConfig {
     pub algorithm: AlgorithmKind,
     /// One-way message latency.
     pub latency: f64,
+    /// Baseline per-message extra latency: each delivery adds a uniform
+    /// draw from `[0, latency_jitter)`. Values above `latency` let
+    /// later messages overtake earlier ones (reordering). Nemesis
+    /// `Reorder` windows raise this temporarily.
+    pub latency_jitter: f64,
     /// Coordinator's wait for votes before deciding with whoever
     /// answered.
     pub vote_timeout: f64,
     /// Coordinator's wait for a catch-up reply before aborting.
     pub catchup_timeout: f64,
-    /// Prepared subordinate's interval between termination-protocol
-    /// rounds.
-    pub prepared_retry: f64,
-    /// Probability an individual message is lost in transit.
+    /// Prepared subordinate's delay before its *first*
+    /// termination-protocol round; each further round doubles the delay
+    /// (exponential backoff) up to [`SimConfig::max_backoff`].
+    pub initial_backoff: f64,
+    /// Upper bound on the termination-protocol retry delay.
+    pub max_backoff: f64,
+    /// Timer jitter fraction in `[0, 1)`: every timer delay is scaled
+    /// by a uniform factor in `[1 - jitter, 1 + jitter)` so that retry
+    /// storms from simultaneously blocked sites de-correlate.
+    pub jitter: f64,
+    /// Probability an individual message is lost in transit. Nemesis
+    /// `Lossy` windows raise the effective probability temporarily.
     pub drop_probability: f64,
+    /// Probability an individual message is delivered twice (the copy
+    /// arrives after an independent extra delay). Nemesis `Duplicate`
+    /// windows raise this temporarily.
+    pub duplicate_probability: f64,
     /// PRNG seed (runs are deterministic given the seed and the
     /// scripted/driven events).
     pub seed: u64,
@@ -49,12 +67,147 @@ impl Default for SimConfig {
             n: 5,
             algorithm: AlgorithmKind::Hybrid,
             latency: 0.01,
+            latency_jitter: 0.0,
             vote_timeout: 0.05,
             catchup_timeout: 0.05,
-            prepared_retry: 0.25,
+            initial_backoff: 0.25,
+            max_backoff: 2.0,
+            jitter: 0.0,
             drop_probability: 0.0,
+            duplicate_probability: 0.0,
             seed: 7,
         }
+    }
+}
+
+/// A rejected [`SimConfig`] or [`crate::multi::MultiConfig`] field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `n` outside the supported `2..=MAX_SITES` range.
+    SiteCount {
+        /// The offending site count.
+        n: usize,
+    },
+    /// A duration/timeout field that must be strictly positive was not.
+    NotPositive {
+        /// The field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability field outside `[0, 1]` (or non-finite).
+    NotProbability {
+        /// The field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A non-negative field (jitter magnitudes) was negative or
+    /// non-finite.
+    Negative {
+        /// The field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `max_backoff` below `initial_backoff`.
+    BackoffRange {
+        /// Configured initial backoff.
+        initial: f64,
+        /// Configured maximum backoff.
+        max: f64,
+    },
+    /// A multi-file configuration with an empty file list.
+    NoFiles,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::SiteCount { n } => {
+                write!(f, "n = {n} is outside the supported range 2..={MAX_SITES}")
+            }
+            ConfigError::NotPositive { field, value } => {
+                write!(f, "{field} = {value} must be strictly positive")
+            }
+            ConfigError::NotProbability { field, value } => {
+                write!(f, "{field} = {value} is not a probability in [0, 1]")
+            }
+            ConfigError::Negative { field, value } => {
+                write!(f, "{field} = {value} must be finite and non-negative")
+            }
+            ConfigError::BackoffRange { initial, max } => {
+                write!(
+                    f,
+                    "max_backoff = {max} is below initial_backoff = {initial}"
+                )
+            }
+            ConfigError::NoFiles => write!(f, "the file list must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+pub(crate) fn check_positive(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::NotPositive { field, value })
+    }
+}
+
+pub(crate) fn check_probability(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(ConfigError::NotProbability { field, value })
+    }
+}
+
+pub(crate) fn check_non_negative(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::Negative { field, value })
+    }
+}
+
+pub(crate) fn check_site_count(n: usize) -> Result<(), ConfigError> {
+    if (2..=MAX_SITES).contains(&n) {
+        Ok(())
+    } else {
+        Err(ConfigError::SiteCount { n })
+    }
+}
+
+impl SimConfig {
+    /// Validate every field; [`Simulation::new`] refuses (panics on) a
+    /// configuration this rejects, so callers accepting untrusted
+    /// parameters (the CLI) should call it first and surface the error.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        check_site_count(self.n)?;
+        check_positive("latency", self.latency)?;
+        check_non_negative("latency_jitter", self.latency_jitter)?;
+        check_positive("vote_timeout", self.vote_timeout)?;
+        check_positive("catchup_timeout", self.catchup_timeout)?;
+        check_positive("initial_backoff", self.initial_backoff)?;
+        check_positive("max_backoff", self.max_backoff)?;
+        if self.max_backoff < self.initial_backoff {
+            return Err(ConfigError::BackoffRange {
+                initial: self.initial_backoff,
+                max: self.max_backoff,
+            });
+        }
+        if !(self.jitter.is_finite() && (0.0..1.0).contains(&self.jitter)) {
+            return Err(ConfigError::NotProbability {
+                field: "jitter",
+                value: self.jitter,
+            });
+        }
+        check_probability("drop_probability", self.drop_probability)?;
+        check_probability("duplicate_probability", self.duplicate_probability)?;
+        Ok(())
     }
 }
 
@@ -81,6 +234,8 @@ pub struct SimStats {
     pub messages_sent: u64,
     /// Messages lost (disconnection or random drop).
     pub messages_dropped: u64,
+    /// Messages delivered twice (duplication injection).
+    pub messages_duplicated: u64,
     /// Site crash events applied.
     pub site_crashes: u64,
     /// Site recovery events applied.
@@ -107,9 +262,7 @@ enum Event {
         kind: TimerKind,
     },
     /// Workload: an update arrives at `site`.
-    Arrival {
-        site: SiteId,
-    },
+    Arrival { site: SiteId },
     /// Fault injection: crash a random up site, or recover a random
     /// down one (chosen at execution time for determinism under a fixed
     /// seed).
@@ -117,13 +270,33 @@ enum Event {
     /// Fault injection: flip the state of a random link.
     ToggleRandomLink,
     /// Scripted fault: crash this site (no-op if already down).
-    CrashSite {
-        site: SiteId,
-    },
+    CrashSite { site: SiteId },
     /// Scripted fault: recover this site (no-op if already up).
-    RecoverSite {
-        site: SiteId,
-    },
+    RecoverSite { site: SiteId },
+    /// Nemesis: sever one direction of a link.
+    FailOneWay { from: SiteId, to: SiteId },
+    /// Nemesis: restore one direction of a link.
+    RepairOneWay { from: SiteId, to: SiteId },
+    /// Nemesis: impose an explicit partition layout.
+    ImposePartition { parts: Vec<SiteSet> },
+    /// Nemesis: repair every link (liveness untouched).
+    HealLinks,
+    /// Nemesis: set the windowed extra message-loss probability.
+    SetLoss { p: f64 },
+    /// Nemesis: set the windowed message-duplication probability.
+    SetDuplication { p: f64 },
+    /// Nemesis: set the windowed extra-latency bound (reordering).
+    SetReorder { extra: f64 },
+}
+
+/// Windowed channel perturbations currently in force (driven by
+/// [`FaultSchedule`] events; each combines with the corresponding
+/// baseline [`SimConfig`] knob by `max`).
+#[derive(Debug, Clone, Copy, Default)]
+struct NemesisKnobs {
+    loss: f64,
+    duplication: f64,
+    reorder_extra: f64,
 }
 
 /// Heap key: time, then insertion sequence (deterministic tie-break).
@@ -192,7 +365,11 @@ pub enum ConsistencyViolation {
 impl std::fmt::Display for ConsistencyViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConsistencyViolation::DivergentCommit { version, first, second } => write!(
+            ConsistencyViolation::DivergentCommit {
+                version,
+                first,
+                second,
+            } => write!(
                 f,
                 "version {version} committed twice: by {} and {}",
                 first.txn, second.txn
@@ -227,6 +404,10 @@ pub struct Simulation {
     /// Transactions started by the restart protocol, so their outcomes
     /// are booked separately from workload statistics.
     restart_txns: HashSet<TxnId>,
+    nemesis: NemesisKnobs,
+    /// Test-only: crashing this site fabricates a consistency violation
+    /// (see [`Simulation::set_divergence_trap`]).
+    divergence_trap: Option<SiteId>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -240,8 +421,15 @@ impl std::fmt::Debug for Simulation {
 
 impl Simulation {
     /// Build a simulation with all sites up and connected.
+    ///
+    /// # Panics
+    ///
+    /// If [`SimConfig::validate`] rejects the configuration.
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
         let sites = (0..config.n)
             .map(|i| {
                 SiteActor::new(
@@ -264,6 +452,8 @@ impl Simulation {
             stats: SimStats::default(),
             next_payload: 0,
             restart_txns: HashSet::new(),
+            nemesis: NemesisKnobs::default(),
+            divergence_trap: None,
             config,
         }
     }
@@ -351,7 +541,32 @@ impl Simulation {
             self.topology.crash(site);
             self.sites[site.index()].crash();
             self.stats.site_crashes += 1;
+            if self.divergence_trap == Some(site) {
+                // Fabricate the divergence the armed trap promises; the
+                // sentinel payload/txn make the fake origin obvious.
+                let entry = LedgerEntry {
+                    payload: u64::MAX,
+                    txn: TxnId {
+                        coordinator: site,
+                        seq: u64::MAX,
+                    },
+                };
+                self.violations.push(ConsistencyViolation::DivergentCommit {
+                    version: 1,
+                    first: entry,
+                    second: entry,
+                });
+            }
         }
+    }
+
+    /// Arm a deliberate consistency violation on the next crash of
+    /// `site`. This exists solely so tests (and the CLI's minimizer
+    /// self-check) can exercise [`crate::nemesis::minimize`] against a
+    /// deterministic failing oracle without a real protocol bug.
+    #[doc(hidden)]
+    pub fn set_divergence_trap(&mut self, site: SiteId) {
+        self.divergence_trap = Some(site);
     }
 
     /// Recover a site; it runs the restart protocol of Section V-C.
@@ -385,6 +600,28 @@ impl Simulation {
         self.topology.repair_link(a, b);
     }
 
+    /// Sever only the `from → to` direction of a link (asymmetric
+    /// failure: replies still flow, requests do not — or vice versa).
+    pub fn fail_link_one_way(&mut self, from: SiteId, to: SiteId) {
+        self.topology.fail_link_one_way(from, to);
+    }
+
+    /// Restore one direction of a link.
+    pub fn repair_link_one_way(&mut self, from: SiteId, to: SiteId) {
+        self.topology.repair_link_one_way(from, to);
+    }
+
+    /// Heal the world: recover every site, repair every link direction,
+    /// and clear the windowed nemesis channel perturbations. (Pending
+    /// duplicated/ jittered deliveries already in flight still arrive.)
+    pub fn heal(&mut self) {
+        for i in 0..self.config.n {
+            self.recover_site(SiteId::new(i));
+        }
+        self.topology.heal_links();
+        self.nemesis = NemesisKnobs::default();
+    }
+
     /// Impose an explicit partition layout (see
     /// [`Topology::impose_partitions`]).
     pub fn impose_partitions(&mut self, parts: &[SiteSet]) {
@@ -404,11 +641,16 @@ impl Simulation {
                     }
                 }
                 Action::SetTimer { txn, kind } => {
-                    let delay = match kind {
+                    let base = match kind {
                         TimerKind::VoteDeadline => self.config.vote_timeout,
                         TimerKind::CatchUpDeadline => self.config.catchup_timeout,
-                        TimerKind::PreparedRetry => self.config.prepared_retry,
+                        TimerKind::PreparedRetry => backoff_delay(
+                            self.config.initial_backoff,
+                            self.config.max_backoff,
+                            self.sites[site.index()].prepared_rounds(),
+                        ),
                     };
+                    let delay = self.jittered(base);
                     self.schedule(delay, Event::Timer { site, txn, kind });
                 }
                 Action::Resolved { txn, reason } => {
@@ -455,15 +697,57 @@ impl Simulation {
         }
     }
 
+    /// Scale a timer delay by the configured jitter fraction. The RNG is
+    /// only consulted when jitter is on, so default-config runs replay
+    /// the exact event streams of jitter-free builds.
+    fn jittered(&mut self, base: f64) -> f64 {
+        if self.config.jitter > 0.0 {
+            let u: f64 = self.rng.gen();
+            base * (1.0 - self.config.jitter + 2.0 * self.config.jitter * u)
+        } else {
+            base
+        }
+    }
+
+    /// One delivery's transit time: base latency plus a uniform draw
+    /// from the widest extra-latency window currently in force.
+    fn delivery_delay(&mut self) -> f64 {
+        let extra = self.config.latency_jitter.max(self.nemesis.reorder_extra);
+        if extra > 0.0 {
+            self.config.latency + self.rng.gen::<f64>() * extra
+        } else {
+            self.config.latency
+        }
+    }
+
     fn send(&mut self, from: SiteId, to: SiteId, msg: Message) {
         self.stats.messages_sent += 1;
-        if self.config.drop_probability > 0.0
-            && self.rng.gen::<f64>() < self.config.drop_probability
-        {
+        let drop_p = self.config.drop_probability.max(self.nemesis.loss);
+        if drop_p > 0.0 && self.rng.gen::<f64>() < drop_p {
             self.stats.messages_dropped += 1;
             return;
         }
-        self.schedule(self.config.latency, Event::Deliver { from, to, msg });
+        let delay = self.delivery_delay();
+        let dup_p = self
+            .config
+            .duplicate_probability
+            .max(self.nemesis.duplication);
+        if dup_p > 0.0 && self.rng.gen::<f64>() < dup_p {
+            // The copy takes its own (independently jittered) transit
+            // time on top of the original's, so duplicates also arrive
+            // out of order relative to later traffic.
+            let copy_delay = delay + self.delivery_delay();
+            self.stats.messages_duplicated += 1;
+            self.schedule(
+                copy_delay,
+                Event::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+        self.schedule(delay, Event::Deliver { from, to, msg });
     }
 
     /// Process one event. Returns false when the queue is empty.
@@ -510,6 +794,13 @@ impl Simulation {
             }
             Event::CrashSite { site } => self.crash_site(site),
             Event::RecoverSite { site } => self.recover_site(site),
+            Event::FailOneWay { from, to } => self.topology.fail_link_one_way(from, to),
+            Event::RepairOneWay { from, to } => self.topology.repair_link_one_way(from, to),
+            Event::ImposePartition { parts } => self.topology.impose_partitions(&parts),
+            Event::HealLinks => self.topology.heal_links(),
+            Event::SetLoss { p } => self.nemesis.loss = p,
+            Event::SetDuplication { p } => self.nemesis.duplication = p,
+            Event::SetReorder { extra } => self.nemesis.reorder_extra = extra,
             Event::ToggleRandomLink => {
                 let a = self.rng.gen_range(0..self.config.n);
                 let mut b = self.rng.gen_range(0..self.config.n - 1);
@@ -542,7 +833,7 @@ impl Simulation {
     pub fn quiesce(&mut self) {
         // Timers re-arm (prepared retries), so bound by a generous
         // horizon rather than literal emptiness.
-        let deadline = self.clock + 10_000.0 * self.config.prepared_retry;
+        let deadline = self.clock + 10_000.0 * self.config.max_backoff;
         let mut guard = 0u64;
         while let Some(Reverse((key, _))) = self.queue.peek() {
             if key.time > deadline {
@@ -599,6 +890,75 @@ impl Simulation {
                     break;
                 }
                 self.schedule(t, make.clone());
+            }
+        }
+    }
+
+    /// Install a [`FaultSchedule`]: every behavior's `at`/`duration`
+    /// are offsets from the current clock. Each windowed behavior
+    /// expands into a begin event and an end event (restart, heal,
+    /// repair, knob reset), so schedules compose with the Poisson
+    /// workload and with each other; overlapping windows of the same
+    /// channel knob resolve last-writer-wins. Replaying the same
+    /// schedule with the same seed and workload reproduces the run
+    /// event-for-event — this is what makes serialized schedules
+    /// replayable and [`crate::nemesis::minimize`] sound.
+    ///
+    /// Site ids outside `0..n` are ignored (a hand-edited schedule
+    /// should not crash the engine), negative times clamp to now.
+    pub fn apply_schedule(&mut self, schedule: &FaultSchedule) {
+        let n = self.config.n;
+        let site_ok = |s: usize| s < n;
+        for event in &schedule.events {
+            let at = event.at().max(0.0);
+            let end = at + event.duration().max(0.0);
+            match event {
+                NemesisEvent::Crash { site, .. } => {
+                    if site_ok(*site) {
+                        let site = SiteId::new(*site);
+                        self.schedule(at, Event::CrashSite { site });
+                        self.schedule(end, Event::RecoverSite { site });
+                    }
+                }
+                NemesisEvent::Partition { groups, .. } => {
+                    let parts: Vec<SiteSet> = groups
+                        .iter()
+                        .map(|group| {
+                            let mut set = SiteSet::EMPTY;
+                            for &s in group.iter().filter(|&&s| site_ok(s)) {
+                                set.insert(SiteId::new(s));
+                            }
+                            set
+                        })
+                        .filter(|set| !set.is_empty())
+                        .collect();
+                    if !parts.is_empty() {
+                        self.schedule(at, Event::ImposePartition { parts });
+                        self.schedule(end, Event::HealLinks);
+                    }
+                }
+                NemesisEvent::OneWay { from, to, .. } => {
+                    if site_ok(*from) && site_ok(*to) && from != to {
+                        let (from, to) = (SiteId::new(*from), SiteId::new(*to));
+                        self.schedule(at, Event::FailOneWay { from, to });
+                        self.schedule(end, Event::RepairOneWay { from, to });
+                    }
+                }
+                NemesisEvent::Lossy { p, .. } => {
+                    let p = p.clamp(0.0, 1.0);
+                    self.schedule(at, Event::SetLoss { p });
+                    self.schedule(end, Event::SetLoss { p: 0.0 });
+                }
+                NemesisEvent::Duplicate { p, .. } => {
+                    let p = p.clamp(0.0, 1.0);
+                    self.schedule(at, Event::SetDuplication { p });
+                    self.schedule(end, Event::SetDuplication { p: 0.0 });
+                }
+                NemesisEvent::Reorder { extra, .. } => {
+                    let extra = extra.max(0.0);
+                    self.schedule(at, Event::SetReorder { extra });
+                    self.schedule(end, Event::SetReorder { extra: 0.0 });
+                }
             }
         }
     }
@@ -678,6 +1038,13 @@ impl LogEntry {
     pub fn version_of(&self) -> u64 {
         self.version
     }
+}
+
+/// Exponential backoff: `initial · 2^rounds`, capped at `max`.
+fn backoff_delay(initial: f64, max: f64, rounds: u32) -> f64 {
+    // 2^62 already dwarfs any sane max_backoff/initial_backoff ratio.
+    let factor = f64::powi(2.0, rounds.min(62) as i32);
+    (initial * factor).min(max)
 }
 
 #[cfg(test)]
@@ -808,6 +1175,161 @@ mod tests {
         // Hybrid accepts at: t1 (ABC), t2 (AB), t4 (BC) — plus the
         // initial update: 4 commits.
         assert_eq!(s.stats().commits, 4);
+        assert!(s.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff_delay(0.25, 2.0, 0), 0.25);
+        assert_eq!(backoff_delay(0.25, 2.0, 1), 0.5);
+        assert_eq!(backoff_delay(0.25, 2.0, 2), 1.0);
+        assert_eq!(backoff_delay(0.25, 2.0, 3), 2.0);
+        assert_eq!(backoff_delay(0.25, 2.0, 40), 2.0);
+        assert_eq!(
+            backoff_delay(0.02, 0.02, 5),
+            0.02,
+            "flat when max == initial"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fields() {
+        let ok = SimConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+        let cases: Vec<(SimConfig, ConfigError)> = vec![
+            (
+                SimConfig { n: 0, ..ok.clone() },
+                ConfigError::SiteCount { n: 0 },
+            ),
+            (
+                SimConfig { n: 1, ..ok.clone() },
+                ConfigError::SiteCount { n: 1 },
+            ),
+            (
+                SimConfig {
+                    latency: 0.0,
+                    ..ok.clone()
+                },
+                ConfigError::NotPositive {
+                    field: "latency",
+                    value: 0.0,
+                },
+            ),
+            (
+                SimConfig {
+                    vote_timeout: -1.0,
+                    ..ok.clone()
+                },
+                ConfigError::NotPositive {
+                    field: "vote_timeout",
+                    value: -1.0,
+                },
+            ),
+            (
+                SimConfig {
+                    drop_probability: 1.5,
+                    ..ok.clone()
+                },
+                ConfigError::NotProbability {
+                    field: "drop_probability",
+                    value: 1.5,
+                },
+            ),
+            (
+                SimConfig {
+                    duplicate_probability: -0.1,
+                    ..ok.clone()
+                },
+                ConfigError::NotProbability {
+                    field: "duplicate_probability",
+                    value: -0.1,
+                },
+            ),
+            (
+                SimConfig {
+                    latency_jitter: f64::NAN,
+                    ..ok.clone()
+                },
+                ConfigError::Negative {
+                    field: "latency_jitter",
+                    value: f64::NAN,
+                },
+            ),
+            (
+                SimConfig {
+                    initial_backoff: 0.5,
+                    max_backoff: 0.25,
+                    ..ok.clone()
+                },
+                ConfigError::BackoffRange {
+                    initial: 0.5,
+                    max: 0.25,
+                },
+            ),
+            (
+                SimConfig {
+                    jitter: 1.0,
+                    ..ok.clone()
+                },
+                ConfigError::NotProbability {
+                    field: "jitter",
+                    value: 1.0,
+                },
+            ),
+        ];
+        for (config, expected) in cases {
+            let got = config.validate().unwrap_err();
+            // NaN != NaN, so compare the rendered error for that case.
+            assert_eq!(format!("{got}"), format!("{expected}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimConfig")]
+    fn new_refuses_invalid_config() {
+        let _ = Simulation::new(SimConfig {
+            drop_probability: 2.0,
+            ..SimConfig::default()
+        });
+    }
+
+    #[test]
+    fn exponential_backoff_thins_retry_storms() {
+        // Coordinator crashes mid-vote; subordinates stay blocked for 60
+        // time units. Exponential backoff must cut the termination-
+        // protocol traffic by far more than half vs. flat retries.
+        let run = |max_backoff: f64| {
+            let mut s = Simulation::new(SimConfig {
+                initial_backoff: 0.25,
+                max_backoff,
+                ..SimConfig::default()
+            });
+            s.submit_update(SiteId(0));
+            s.run_until(0.015);
+            s.crash_site(SiteId(0));
+            s.run_until(60.0);
+            s.stats().messages_sent
+        };
+        let flat = run(0.25);
+        let exponential = run(8.0);
+        assert!(
+            exponential < flat / 2,
+            "flat retries sent {flat}, exponential sent {exponential}"
+        );
+    }
+
+    #[test]
+    fn timer_jitter_keeps_the_protocol_live_and_safe() {
+        let mut s = Simulation::new(SimConfig {
+            jitter: 0.3,
+            latency_jitter: 0.002,
+            ..SimConfig::default()
+        });
+        for i in 0..10u8 {
+            s.submit_update(SiteId(i % 5));
+            s.quiesce();
+        }
+        assert_eq!(s.stats().commits, 10);
         assert!(s.check_invariants().is_empty());
     }
 

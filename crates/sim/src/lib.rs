@@ -19,7 +19,12 @@
 //!   any violation of one-copy serializability the instant it happens;
 //! * [`MultiFileSimulation`] — several files with **atomic cross-file
 //!   transactions** (paper footnote 2): per-site transaction managers,
-//!   durable group commit records, crash redo, and an atomicity audit.
+//!   durable group commit records, crash redo, and an atomicity audit;
+//! * [`FaultSchedule`] — the nemesis layer: a serde-serializable DSL of
+//!   windowed fault behaviors (crash storms, rolling and asymmetric
+//!   one-way partitions, lossy bursts, duplication, reordering) that
+//!   replays bit-for-bit from JSON, plus [`nemesis::minimize`], which
+//!   delta-debugs a failing schedule to a minimal reproducer.
 //!
 //! ```
 //! use dynvote_core::{AlgorithmKind, SiteId, SiteSet};
@@ -51,11 +56,13 @@
 mod engine;
 mod message;
 pub mod multi;
+pub mod nemesis;
 mod site;
 mod topology;
 
-pub use engine::{ConsistencyViolation, LedgerEntry, SimConfig, SimStats, Simulation};
-pub use multi::{GroupId, MultiConfig, MultiFileSimulation, MultiStats};
+pub use engine::{ConfigError, ConsistencyViolation, LedgerEntry, SimConfig, SimStats, Simulation};
 pub use message::{LogEntry, Message, StatusOutcome, TxnId};
+pub use multi::{GroupId, MultiConfig, MultiFileSimulation, MultiStats};
+pub use nemesis::{minimize, FaultSchedule, NemesisEvent, NemesisProfile};
 pub use site::{Action, DurableState, ResolveReason, SiteActor, TimerKind};
 pub use topology::Topology;

@@ -25,7 +25,10 @@
 //! serializability, cross-file **atomicity**: every durably committed
 //! group has all of its legs in the corresponding file ledgers.
 
-use crate::engine::{ConsistencyViolation, LedgerEntry};
+use crate::engine::{
+    check_positive, check_probability, check_site_count, ConfigError, ConsistencyViolation,
+    LedgerEntry,
+};
 use crate::message::{Message, TxnId};
 use crate::site::{Action, SiteActor, TimerKind};
 use crate::topology::Topology;
@@ -87,6 +90,24 @@ impl Default for MultiConfig {
             drop_probability: 0.0,
             seed: 7,
         }
+    }
+}
+
+impl MultiConfig {
+    /// Validate every field; [`MultiFileSimulation::new`] refuses
+    /// (panics on) a configuration this rejects, so callers accepting
+    /// untrusted parameters should call it first and surface the error.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        check_site_count(self.n)?;
+        if self.files.is_empty() {
+            return Err(ConfigError::NoFiles);
+        }
+        check_positive("latency", self.latency)?;
+        check_positive("vote_timeout", self.vote_timeout)?;
+        check_positive("catchup_timeout", self.catchup_timeout)?;
+        check_positive("prepared_retry", self.prepared_retry)?;
+        check_probability("drop_probability", self.drop_probability)?;
+        Ok(())
     }
 }
 
@@ -208,9 +229,15 @@ impl std::fmt::Debug for MultiFileSimulation {
 
 impl MultiFileSimulation {
     /// Build a simulation with all sites up.
+    ///
+    /// # Panics
+    ///
+    /// If [`MultiConfig::validate`] rejects the configuration.
     #[must_use]
     pub fn new(config: MultiConfig) -> Self {
-        assert!(!config.files.is_empty(), "at least one file");
+        if let Err(e) = config.validate() {
+            panic!("invalid MultiConfig: {e}");
+        }
         let actors = config
             .files
             .iter()
@@ -279,7 +306,15 @@ impl MultiFileSimulation {
             self.stats.messages_dropped += 1;
             return;
         }
-        self.schedule(self.config.latency, MEvent::Deliver { file, from, to, msg });
+        self.schedule(
+            self.config.latency,
+            MEvent::Deliver {
+                file,
+                from,
+                to,
+                msg,
+            },
+        );
     }
 
     /// Submit an atomic update to `files` at `site`. Returns the group
@@ -358,7 +393,15 @@ impl MultiFileSimulation {
                         TimerKind::CatchUpDeadline => self.config.catchup_timeout,
                         TimerKind::PreparedRetry => self.config.prepared_retry,
                     };
-                    self.schedule(delay, MEvent::Timer { file, site, txn, kind });
+                    self.schedule(
+                        delay,
+                        MEvent::Timer {
+                            file,
+                            site,
+                            txn,
+                            kind,
+                        },
+                    );
                 }
                 Action::DecisionReady { txn, distinguished } => {
                     self.on_decision(site, file, txn, distinguished);
@@ -519,7 +562,12 @@ impl MultiFileSimulation {
         let event = self.events.remove(&id).expect("event body");
         self.clock = key.time;
         match event {
-            MEvent::Deliver { file, from, to, msg } => {
+            MEvent::Deliver {
+                file,
+                from,
+                to,
+                msg,
+            } => {
                 if self.topology.connected(from, to) {
                     let actions = self.actors[file][to.index()].handle_message(from, msg);
                     self.apply_actions(file, to, actions);
@@ -527,7 +575,12 @@ impl MultiFileSimulation {
                     self.stats.messages_dropped += 1;
                 }
             }
-            MEvent::Timer { file, site, txn, kind } => {
+            MEvent::Timer {
+                file,
+                site,
+                txn,
+                kind,
+            } => {
                 if self.topology.is_up(site) {
                     let actions = self.actors[file][site.index()].timer_fired(txn, kind);
                     self.apply_actions(file, site, actions);
@@ -627,7 +680,11 @@ mod tests {
         assert_eq!(s.stats().group_commits, 1);
         for file in 0..2 {
             for i in 0..5 {
-                assert_eq!(s.actor(file, SiteId(i)).meta().version, 1, "file {file} site {i}");
+                assert_eq!(
+                    s.actor(file, SiteId(i)).meta().version,
+                    1,
+                    "file {file} site {i}"
+                );
             }
         }
         assert!(s.check_invariants().is_empty());
@@ -771,8 +828,11 @@ mod tests {
                         }
                     }
                     _ => {
-                        let files: &[FileIdx] =
-                            if rng.gen_bool(0.5) { &[0, 1] } else { &[rng.gen_range(0..2)] };
+                        let files: &[FileIdx] = if rng.gen_bool(0.5) {
+                            &[0, 1]
+                        } else {
+                            &[rng.gen_range(0..2)]
+                        };
                         s.submit_group(site, files);
                     }
                 }

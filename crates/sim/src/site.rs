@@ -165,9 +165,7 @@ enum CoordPhase {
         responded: usize,
     },
     /// Waiting for missing log entries from a current subordinate.
-    CatchingUp {
-        members: Vec<(SiteId, CopyMeta)>,
-    },
+    CatchingUp { members: Vec<(SiteId, CopyMeta)> },
     /// Group mode only: voting and catch-up are done; awaiting the
     /// transaction manager's global commit/abort verdict.
     Decided {
@@ -198,6 +196,10 @@ struct Volatile {
     coordinating: Option<CoordTxn>,
     /// Prepared as subordinate for this transaction of this coordinator.
     prepared: Option<(TxnId, SiteId)>,
+    /// Termination-protocol rounds already run for the prepared
+    /// transaction; drives the engine's exponential retry backoff.
+    /// Volatile on purpose: a restarted site probes eagerly again.
+    prepared_rounds: u32,
 }
 
 /// One replica site.
@@ -270,6 +272,15 @@ impl SiteActor {
     #[must_use]
     pub fn is_in_doubt(&self) -> bool {
         self.durable.prepared.is_some()
+    }
+
+    /// Termination-protocol rounds already run for the currently
+    /// prepared transaction (0 right after preparing or restarting).
+    /// The engine feeds this into its backoff computation when a
+    /// [`TimerKind::PreparedRetry`] timer is armed.
+    #[must_use]
+    pub fn prepared_rounds(&self) -> u32 {
+        self.volatile.prepared_rounds
     }
 
     fn fresh_txn(&mut self) -> TxnId {
@@ -414,12 +425,7 @@ impl SiteActor {
                 });
                 if !relevant {
                     Vec::new()
-                } else if self
-                    .volatile
-                    .coordinating
-                    .as_ref()
-                    .is_some_and(|c| c.group)
-                {
+                } else if self.volatile.coordinating.as_ref().is_some_and(|c| c.group) {
                     self.group_decision(txn, false, Vec::new())
                 } else {
                     self.abort_coordinated(txn, ResolveReason::Timeout)
@@ -447,11 +453,17 @@ impl SiteActor {
             }
             _ => {}
         }
-        trace!("VOTE {} grant by {} meta={}", txn, self.id, self.durable.meta);
+        trace!(
+            "VOTE {} grant by {} meta={}",
+            txn,
+            self.id,
+            self.durable.meta
+        );
         // Grant (idempotently re-grant) the lock; force the prepare
         // record before the vote leaves the site.
         self.volatile.lock = Some(txn);
         self.volatile.prepared = Some((txn, from));
+        self.volatile.prepared_rounds = 0;
         self.durable.prepared = Some((txn, from));
         vec![
             Action::Send {
@@ -536,6 +548,7 @@ impl SiteActor {
     /// timer. "If the coordinator is down and no one knows, stay
     /// blocked."
     fn termination_round(&mut self, txn: TxnId) -> Vec<Action> {
+        self.volatile.prepared_rounds = self.volatile.prepared_rounds.saturating_add(1);
         let after_version = self.durable.log.last().map_or(0, |e| e.version);
         vec![
             Action::Broadcast {
@@ -566,9 +579,7 @@ impl SiteActor {
                         .durable
                         .log
                         .iter()
-                        .filter(|e| {
-                            e.version > after_version && e.version <= record.meta.version
-                        })
+                        .filter(|e| e.version > after_version && e.version <= record.meta.version)
                         .copied()
                         .collect(),
                     participants: record.participants,
@@ -1048,9 +1059,12 @@ mod tests {
         let actions = b.recover(999);
         assert!(b.is_locked(), "recovery re-acquires the in-doubt lock");
         // Recovery resumes the termination protocol, not Make_Current.
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Broadcast { msg: Message::StatusQuery { .. } })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Broadcast {
+                msg: Message::StatusQuery { .. }
+            }
+        )));
     }
 
     #[test]
@@ -1058,9 +1072,12 @@ mod tests {
         let mut b = site(1, 3);
         b.crash();
         let actions = b.recover(999);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Broadcast { msg: Message::VoteRequest { .. } })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Broadcast {
+                msg: Message::VoteRequest { .. }
+            }
+        )));
     }
 
     #[test]
@@ -1188,15 +1205,13 @@ mod tests {
                 // All votes in: the leg must park with DecisionReady,
                 // not commit.
                 assert!(
-                    granted
-                        .iter()
-                        .any(|act| matches!(
-                            act,
-                            Action::DecisionReady {
-                                distinguished: true,
-                                ..
-                            }
-                        )),
+                    granted.iter().any(|act| matches!(
+                        act,
+                        Action::DecisionReady {
+                            distinguished: true,
+                            ..
+                        }
+                    )),
                     "{granted:?}"
                 );
             }
@@ -1229,9 +1244,12 @@ mod tests {
             );
         }
         let actions = a.finalize_group(txn, false);
-        assert!(actions
-            .iter()
-            .any(|act| matches!(act, Action::Broadcast { msg: Message::Abort { .. } })));
+        assert!(actions.iter().any(|act| matches!(
+            act,
+            Action::Broadcast {
+                msg: Message::Abort { .. }
+            }
+        )));
         assert!(!a.is_locked());
         assert_eq!(a.meta().version, 0);
     }

@@ -5,6 +5,15 @@
 //! connected component a *partition*" (Section II). The topology tracks
 //! both failure kinds; a message is deliverable iff its endpoints are up
 //! and connected through up sites and up links.
+//!
+//! Links are stored *per direction*: the ordinary [`Topology::fail_link`]
+//! / [`Topology::repair_link`] pair acts on both directions at once (the
+//! paper's symmetric link failures), while
+//! [`Topology::fail_link_one_way`] models the asymmetric failures real
+//! networks exhibit — `a` hears `b` but not vice versa. With asymmetric
+//! failures "partition" means *strongly connected component*: the set of
+//! sites that can each reach the other; with symmetric links this
+//! coincides with the paper's connected components.
 
 use dynvote_core::{SiteId, SiteSet, MAX_SITES};
 
@@ -13,7 +22,7 @@ use dynvote_core::{SiteId, SiteSet, MAX_SITES};
 pub struct Topology {
     n: usize,
     up: SiteSet,
-    /// `links[a][b]`: the (bidirectional) link between `a` and `b` is up.
+    /// `links[a][b]`: the `a → b` direction of the link is up.
     links: Vec<Vec<bool>>,
 }
 
@@ -58,53 +67,90 @@ impl Topology {
         self.up.insert(site);
     }
 
-    /// Fail the link between `a` and `b`.
+    /// Fail the link between `a` and `b` (both directions).
     pub fn fail_link(&mut self, a: SiteId, b: SiteId) {
         assert_ne!(a, b);
         self.links[a.index()][b.index()] = false;
         self.links[b.index()][a.index()] = false;
     }
 
-    /// Repair the link between `a` and `b`.
+    /// Repair the link between `a` and `b` (both directions).
     pub fn repair_link(&mut self, a: SiteId, b: SiteId) {
         assert_ne!(a, b);
         self.links[a.index()][b.index()] = true;
         self.links[b.index()][a.index()] = true;
     }
 
-    /// True if the direct link between `a` and `b` is up.
+    /// Fail only the `from → to` direction of a link: `to` still reaches
+    /// `from` directly, but not vice versa (asymmetric failure).
+    pub fn fail_link_one_way(&mut self, from: SiteId, to: SiteId) {
+        assert_ne!(from, to);
+        self.links[from.index()][to.index()] = false;
+    }
+
+    /// Repair only the `from → to` direction of a link.
+    pub fn repair_link_one_way(&mut self, from: SiteId, to: SiteId) {
+        assert_ne!(from, to);
+        self.links[from.index()][to.index()] = true;
+    }
+
+    /// True if the `a → b` direction of the direct link is up.
     #[must_use]
     pub fn link_up(&self, a: SiteId, b: SiteId) -> bool {
         self.links[a.index()][b.index()]
     }
 
-    /// The partition (connected component of up sites over up links)
-    /// containing `site`; empty if the site is down.
+    /// Up sites reachable from `site` following links in the given
+    /// direction (`forward`: edges out of the frontier; `!forward`:
+    /// edges into it).
+    fn reach(&self, site: SiteId, forward: bool) -> SiteSet {
+        let mut seen = SiteSet::singleton(site);
+        let mut frontier = vec![site];
+        while let Some(current) = frontier.pop() {
+            for next in self.up.iter() {
+                let edge = if forward {
+                    self.link_up(current, next)
+                } else {
+                    self.link_up(next, current)
+                };
+                if !seen.contains(next) && edge {
+                    seen.insert(next);
+                    frontier.push(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The partition containing `site`: the up sites it can reach *and*
+    /// that can reach it (a strongly connected component; with symmetric
+    /// links, the plain connected component). Empty if the site is down.
     #[must_use]
     pub fn partition_of(&self, site: SiteId) -> SiteSet {
         if !self.is_up(site) {
             return SiteSet::EMPTY;
         }
-        let mut component = SiteSet::singleton(site);
-        let mut frontier = vec![site];
-        while let Some(current) = frontier.pop() {
-            for next in self.up.iter() {
-                if !component.contains(next) && self.link_up(current, next) {
-                    component.insert(next);
-                    frontier.push(next);
-                }
+        let forward = self.reach(site, true);
+        let backward = self.reach(site, false);
+        let mut component = SiteSet::EMPTY;
+        for s in forward.iter() {
+            if backward.contains(s) {
+                component.insert(s);
             }
         }
         component
     }
 
-    /// True if `a` can exchange messages with `b` right now.
+    /// True if a message sent by `a` can reach `b` right now (through up
+    /// sites and up link directions). Asymmetric link failures make this
+    /// relation asymmetric: `connected(a, b)` may hold while
+    /// `connected(b, a)` does not.
     #[must_use]
     pub fn connected(&self, a: SiteId, b: SiteId) -> bool {
         if a == b {
             return self.is_up(a);
         }
-        self.is_up(a) && self.is_up(b) && self.partition_of(a).contains(b)
+        self.is_up(a) && self.is_up(b) && self.reach(a, true).contains(b)
     }
 
     /// Every partition, as a list of disjoint site sets covering the up
@@ -121,6 +167,15 @@ impl Topology {
             }
         }
         result
+    }
+
+    /// Repair every link in both directions (sites keep their liveness).
+    pub fn heal_links(&mut self) {
+        for row in &mut self.links {
+            for cell in row.iter_mut() {
+                *cell = true;
+            }
+        }
     }
 
     /// Impose an explicit partition layout: all links inside each given
@@ -198,6 +253,41 @@ mod tests {
         assert_eq!(topo.partition_of(SiteId(0)), SiteSet::EMPTY);
         assert!(!topo.connected(SiteId(0), SiteId(0)));
         assert!(topo.connected(SiteId(1), SiteId(1)));
+    }
+
+    #[test]
+    fn one_way_failures_are_asymmetric() {
+        let mut topo = Topology::fully_connected(2);
+        topo.fail_link_one_way(SiteId(0), SiteId(1));
+        assert!(!topo.connected(SiteId(0), SiteId(1)));
+        assert!(topo.connected(SiteId(1), SiteId(0)));
+        // Mutual reachability is gone, so they are separate partitions.
+        assert_eq!(topo.partition_of(SiteId(0)), set("A"));
+        assert_eq!(topo.partition_of(SiteId(1)), set("B"));
+        topo.repair_link_one_way(SiteId(0), SiteId(1));
+        assert!(topo.connected(SiteId(0), SiteId(1)));
+        assert_eq!(topo.partition_of(SiteId(0)), set("AB"));
+    }
+
+    #[test]
+    fn one_way_routing_uses_directed_paths() {
+        let mut topo = Topology::fully_connected(3);
+        // Cut A→C directly; A still reaches C through B.
+        topo.fail_link_one_way(SiteId(0), SiteId(2));
+        assert!(topo.connected(SiteId(0), SiteId(2)));
+        // Cut the relay direction too: now only C→A survives.
+        topo.fail_link_one_way(SiteId(1), SiteId(2));
+        assert!(!topo.connected(SiteId(0), SiteId(2)));
+        assert!(topo.connected(SiteId(2), SiteId(0)));
+    }
+
+    #[test]
+    fn heal_links_restores_full_connectivity() {
+        let mut topo = Topology::fully_connected(4);
+        topo.impose_partitions(&[set("AB"), set("CD")]);
+        topo.fail_link_one_way(SiteId(0), SiteId(1));
+        topo.heal_links();
+        assert_eq!(topo.partitions(), vec![SiteSet::all(4)]);
     }
 
     #[test]

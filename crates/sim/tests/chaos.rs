@@ -2,16 +2,20 @@
 //!
 //! The correctness claim of a pessimistic replica control algorithm is
 //! that *no* interleaving of failures, recoveries, partitions, message
-//! losses and racing coordinators can ever commit two different updates
-//! at the same version, skip a version, or leave a copy whose log
-//! disagrees with the global chain. These tests hammer the
-//! message-level protocol with randomized fault scripts for every
+//! losses, duplications and reorderings can ever commit two different
+//! updates at the same version, skip a version, or leave a copy whose
+//! log disagrees with the global chain. These tests hammer the
+//! message-level protocol with nemesis fault schedules for every
 //! algorithm and assert exactly that, via the engine's omniscient
 //! ledger.
 
 use dynvote_core::{AlgorithmKind, SiteId};
-use dynvote_sim::{SimConfig, Simulation};
+use dynvote_sim::{FaultSchedule, NemesisEvent, NemesisProfile, SimConfig, Simulation};
 
+/// Run `kind` under a generated nemesis schedule (crashes, rolling and
+/// one-way partitions, lossy bursts, duplication, reordering) plus a
+/// Poisson workload, then heal and let every blocked transaction
+/// resolve.
 fn chaos_run(kind: AlgorithmKind, n: usize, seed: u64, drop: f64) -> Simulation {
     let mut sim = Simulation::new(SimConfig {
         n,
@@ -24,19 +28,13 @@ fn chaos_run(kind: AlgorithmKind, n: usize, seed: u64, drop: f64) -> Simulation 
     sim.submit_update(SiteId(0));
     sim.quiesce();
 
+    let schedule = FaultSchedule::generate(n, 80.0, seed, &NemesisProfile::default());
+    sim.apply_schedule(&schedule);
     sim.schedule_poisson_arrivals(3.0, 80.0);
-    sim.schedule_random_faults(0.5, 0.8, 80.0);
-    sim.run_until(90.0);
+    sim.run_until(100.0);
 
-    // Heal the network and let every in-doubt transaction resolve.
-    for i in 0..n {
-        sim.recover_site(SiteId::new(i));
-    }
-    for i in 0..n {
-        for j in i + 1..n {
-            sim.repair_link(SiteId::new(i), SiteId::new(j));
-        }
-    }
+    // Heal the world and let every in-doubt transaction resolve.
+    sim.heal();
     sim.quiesce();
     sim
 }
@@ -47,11 +45,11 @@ fn no_algorithm_ever_diverges_under_chaos() {
         for seed in 0..4 {
             let sim = chaos_run(kind, 5, seed, 0.0);
             let violations = sim.check_invariants();
+            assert!(violations.is_empty(), "{kind} seed {seed}: {violations:?}");
             assert!(
-                violations.is_empty(),
-                "{kind} seed {seed}: {violations:?}"
+                sim.stats().commits > 0,
+                "{kind} seed {seed}: nothing committed"
             );
-            assert!(sim.stats().commits > 0, "{kind} seed {seed}: nothing committed");
         }
     }
 }
@@ -95,6 +93,101 @@ fn after_healing_every_site_converges() {
     assert!(sim.check_invariants().is_empty());
 }
 
+/// Every algorithm, with every *channel* adversary at once: heavy
+/// duplication, reordering windows wider than the base latency, and
+/// asymmetric one-way link failures — while sites crash and restart.
+#[test]
+fn duplication_reordering_and_asymmetry_for_every_algorithm() {
+    let schedule = FaultSchedule::new(vec![
+        NemesisEvent::Duplicate {
+            p: 0.35,
+            at: 0.0,
+            duration: 60.0,
+        },
+        NemesisEvent::Reorder {
+            extra: 0.08, // 8× base latency: rampant reordering
+            at: 0.0,
+            duration: 60.0,
+        },
+        NemesisEvent::OneWay {
+            from: 1,
+            to: 0,
+            at: 5.0,
+            duration: 20.0,
+        },
+        NemesisEvent::OneWay {
+            from: 3,
+            to: 4,
+            at: 15.0,
+            duration: 25.0,
+        },
+        NemesisEvent::Crash {
+            site: 2,
+            at: 10.0,
+            duration: 12.0,
+        },
+        NemesisEvent::Crash {
+            site: 4,
+            at: 30.0,
+            duration: 10.0,
+        },
+    ]);
+    for kind in AlgorithmKind::ALL {
+        let mut sim = Simulation::new(SimConfig {
+            n: 5,
+            algorithm: kind,
+            seed: 21,
+            ..SimConfig::default()
+        });
+        sim.submit_update(SiteId(0));
+        sim.quiesce();
+        sim.apply_schedule(&schedule);
+        sim.schedule_poisson_arrivals(3.0, 60.0);
+        sim.run_until(70.0);
+        sim.heal();
+        sim.quiesce();
+        let violations = sim.check_invariants();
+        assert!(violations.is_empty(), "{kind}: {violations:?}");
+        assert!(sim.stats().commits > 0, "{kind}: nothing committed");
+        assert!(
+            sim.stats().messages_duplicated > 0,
+            "{kind}: duplication window never fired"
+        );
+    }
+}
+
+/// Same seed + same schedule ⇒ byte-identical ledger and statistics,
+/// even with duplication and randomized reordering in play. This is the
+/// property that makes serialized schedules replayable and the
+/// minimizer's oracle meaningful.
+#[test]
+fn replay_with_same_seed_and_schedule_is_deterministic() {
+    let schedule = FaultSchedule::generate(5, 60.0, 42, &NemesisProfile::default());
+    let run = |schedule: &FaultSchedule| {
+        let mut sim = Simulation::new(SimConfig {
+            n: 5,
+            algorithm: AlgorithmKind::Hybrid,
+            drop_probability: 0.05,
+            seed: 9,
+            ..SimConfig::default()
+        });
+        sim.submit_update(SiteId(0));
+        sim.quiesce();
+        sim.apply_schedule(schedule);
+        sim.schedule_poisson_arrivals(3.0, 60.0);
+        sim.run_until(75.0);
+        sim.heal();
+        sim.quiesce();
+        (format!("{:?}", sim.ledger()), sim.stats().clone())
+    };
+    // One run from the in-memory schedule, one from its JSON round-trip.
+    let replayed = FaultSchedule::from_json(&schedule.to_json()).unwrap();
+    let (ledger_a, stats_a) = run(&schedule);
+    let (ledger_b, stats_b) = run(&replayed);
+    assert_eq!(ledger_a, ledger_b, "ledgers diverged on replay");
+    assert_eq!(stats_a, stats_b, "statistics diverged on replay");
+}
+
 #[test]
 fn blocked_transactions_resolve_after_coordinator_recovery() {
     // A focused regression for the 2PC blocking window: coordinator
@@ -127,4 +220,64 @@ fn blocked_transactions_resolve_after_coordinator_recovery() {
     sim.quiesce();
     assert!(sim.stats().commits >= 2, "service resumed after recovery");
     assert!(sim.check_invariants().is_empty());
+}
+
+/// Regression for the uncounted-participant termination path (see the
+/// `StatusOutcome` docs): site C grants its vote, but an asymmetric
+/// outbound failure loses the `VoteGranted`; the coordinator decides
+/// with {A,B,D,E}, so C is *not* among the counted participants. When
+/// the network heals, C's status queries must come back `Aborted` — C
+/// is released and stays stale; handing it the new version would
+/// inflate the holder set beyond the recorded cardinality SC.
+#[test]
+fn uncounted_late_voter_is_released_without_the_commit() {
+    let c = SiteId(2);
+    let mut sim = Simulation::new(SimConfig {
+        n: 5,
+        algorithm: AlgorithmKind::Hybrid,
+        seed: 1,
+        ..SimConfig::default()
+    });
+    sim.submit_update(SiteId(0));
+    sim.quiesce();
+    // Sever every outbound direction from C: it hears the vote request,
+    // grants and prepares, but its vote (and its status queries) vanish.
+    for i in 0..5 {
+        if SiteId(i) != c {
+            sim.fail_link_one_way(c, SiteId(i));
+        }
+    }
+    sim.submit_update(SiteId(0));
+    sim.run_until(sim.clock() + 1.0);
+    assert!(
+        sim.site(c).is_in_doubt(),
+        "C granted its vote and must hold a prepare record"
+    );
+    assert_eq!(sim.ledger().len(), 2, "quorum {{A,B,D,E}} committed v2");
+    assert_eq!(sim.site(c).meta().version, 1, "C was not counted");
+    // Heal the asymmetry; C's next termination round reaches the others,
+    // whose commit records do not list C as a participant.
+    for i in 0..5 {
+        if SiteId(i) != c {
+            sim.repair_link_one_way(c, SiteId(i));
+        }
+    }
+    sim.quiesce();
+    assert!(
+        !sim.site(c).is_in_doubt(),
+        "C released by the Aborted reply"
+    );
+    assert!(!sim.site(c).is_locked(), "C's lock freed");
+    assert_eq!(
+        sim.site(c).meta().version,
+        1,
+        "C stays stale — it must NOT receive the commit it was not counted in"
+    );
+    let violations = sim.check_invariants();
+    assert!(violations.is_empty(), "{violations:?}");
+    // The stale copy rejoins the next quorum and catches up normally.
+    sim.submit_update(SiteId(0));
+    sim.quiesce();
+    assert!(sim.check_invariants().is_empty());
+    assert_eq!(sim.ledger().len(), 3);
 }

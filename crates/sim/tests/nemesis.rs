@@ -1,0 +1,173 @@
+//! End-to-end nemesis-layer tests: schedule replay through the engine
+//! and automatic minimization of failing schedules.
+
+use dynvote_core::{AlgorithmKind, SiteId};
+use dynvote_sim::{minimize, FaultSchedule, NemesisEvent, NemesisProfile, SimConfig, Simulation};
+
+/// The minimizer, driven by a real simulation oracle. A test-only
+/// divergence trap turns "site X crashes" into a consistency violation,
+/// so the oracle is deterministic without needing a protocol bug; the
+/// minimizer must strip the generated schedule down to exactly the
+/// crash events of the trapped site, then shrink their windows.
+#[test]
+fn minimizer_reduces_a_failing_schedule_to_the_guilty_crash() {
+    let schedule = FaultSchedule::generate(5, 40.0, 7, &NemesisProfile::default());
+    let trap = schedule
+        .events
+        .iter()
+        .find_map(|e| match e {
+            NemesisEvent::Crash { site, .. } => Some(*site),
+            _ => None,
+        })
+        .expect("generated schedules contain crashes");
+    let mut failing = |candidate: &FaultSchedule| {
+        let mut sim = Simulation::new(SimConfig {
+            n: 5,
+            algorithm: AlgorithmKind::Hybrid,
+            seed: 3,
+            ..SimConfig::default()
+        });
+        sim.set_divergence_trap(SiteId::new(trap));
+        sim.submit_update(SiteId(0));
+        sim.quiesce();
+        sim.apply_schedule(candidate);
+        sim.schedule_poisson_arrivals(2.0, 40.0);
+        sim.run_until(50.0);
+        sim.heal();
+        sim.quiesce();
+        !sim.check_invariants().is_empty()
+    };
+    assert!(
+        failing(&schedule),
+        "the full schedule must trigger the trap"
+    );
+
+    let minimal = minimize(&schedule, &mut failing);
+
+    assert!(
+        minimal.len() < schedule.len(),
+        "minimizer must return a strictly smaller schedule ({} vs {})",
+        minimal.len(),
+        schedule.len()
+    );
+    assert!(failing(&minimal), "the reproducer still fails");
+    assert!(
+        minimal
+            .events
+            .iter()
+            .all(|e| matches!(e, NemesisEvent::Crash { site, .. } if *site == trap)),
+        "only crashes of the trapped site survive: {minimal:?}"
+    );
+    assert_eq!(minimal.len(), 1, "1-minimal: a single guilty event");
+    let original_crash_duration = schedule
+        .events
+        .iter()
+        .find_map(|e| match e {
+            NemesisEvent::Crash { site, duration, .. } if *site == trap => Some(*duration),
+            _ => None,
+        })
+        .unwrap();
+    assert!(
+        minimal.events[0].duration() < original_crash_duration,
+        "the surviving window was shrunk"
+    );
+}
+
+/// A minimized schedule serializes, replays from JSON, and still fails.
+#[test]
+fn minimized_schedule_replays_from_json() {
+    let original = FaultSchedule::new(vec![
+        NemesisEvent::Crash {
+            site: 1,
+            at: 2.0,
+            duration: 6.0,
+        },
+        NemesisEvent::Lossy {
+            p: 0.2,
+            at: 0.0,
+            duration: 10.0,
+        },
+        NemesisEvent::Reorder {
+            extra: 0.05,
+            at: 0.0,
+            duration: 10.0,
+        },
+    ]);
+    let mut failing = |candidate: &FaultSchedule| {
+        let mut sim = Simulation::new(SimConfig::default());
+        sim.set_divergence_trap(SiteId(1));
+        sim.apply_schedule(candidate);
+        sim.run_until(15.0);
+        !sim.check_invariants().is_empty()
+    };
+    let minimal = minimize(&original, &mut failing);
+    assert_eq!(minimal.len(), 1);
+
+    let replayed = FaultSchedule::from_json(&minimal.to_json()).unwrap();
+    assert_eq!(replayed, minimal);
+    assert!(failing(&replayed), "the JSON round-trip still reproduces");
+}
+
+/// A nemesis schedule that triggers no violation minimizes to itself
+/// (nothing to shrink) — the API contract for a green run.
+#[test]
+fn healthy_runs_do_not_minimize() {
+    let schedule = FaultSchedule::generate(5, 30.0, 5, &NemesisProfile::default());
+    let mut failing = |candidate: &FaultSchedule| {
+        let mut sim = Simulation::new(SimConfig {
+            seed: 5,
+            ..SimConfig::default()
+        });
+        sim.submit_update(SiteId(0));
+        sim.quiesce();
+        sim.apply_schedule(candidate);
+        sim.schedule_poisson_arrivals(2.0, 30.0);
+        sim.run_until(40.0);
+        sim.heal();
+        sim.quiesce();
+        !sim.check_invariants().is_empty()
+    };
+    assert!(!failing(&schedule), "the protocol survives this schedule");
+    let out = minimize(&schedule, &mut failing);
+    assert_eq!(out, schedule);
+}
+
+/// Applying a schedule twice (or one with out-of-range sites) must not
+/// wedge the engine — hand-edited JSON is part of the threat model.
+#[test]
+fn hostile_schedules_do_not_wedge_the_engine() {
+    let schedule = FaultSchedule::new(vec![
+        NemesisEvent::Crash {
+            site: 99,
+            at: 1.0,
+            duration: 5.0,
+        },
+        NemesisEvent::OneWay {
+            from: 0,
+            to: 0,
+            at: 1.0,
+            duration: 5.0,
+        },
+        NemesisEvent::Partition {
+            groups: vec![vec![0, 1, 2, 3, 4, 77], vec![]],
+            at: -3.0,
+            duration: 5.0,
+        },
+        NemesisEvent::Lossy {
+            p: 7.5,
+            at: 2.0,
+            duration: -4.0,
+        },
+    ]);
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.submit_update(SiteId(0));
+    sim.quiesce();
+    sim.apply_schedule(&schedule);
+    sim.apply_schedule(&schedule);
+    sim.schedule_poisson_arrivals(2.0, 10.0);
+    sim.run_until(20.0);
+    sim.heal();
+    sim.quiesce();
+    assert!(sim.check_invariants().is_empty());
+    assert!(sim.stats().commits > 0);
+}

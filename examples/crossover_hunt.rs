@@ -28,7 +28,11 @@ fn pairwise(n: usize, first: AlgorithmKind, second: AlgorithmKind) {
                 "  {:<18} vs {:<18} no crossover in [0.05, 5]; {} dominates",
                 first.id(),
                 second.id(),
-                if sample > 0.0 { first.id() } else { second.id() }
+                if sample > 0.0 {
+                    first.id()
+                } else {
+                    second.id()
+                }
             );
         }
         list => {
@@ -68,8 +72,8 @@ fn main() {
         let candidate = DerivedChain::build(AlgorithmKind::OptimalCandidate, n);
         for i in 1..=50 {
             let ratio = 0.2 * f64::from(i);
-            let margin =
-                candidate.site_availability(ratio) - sweep::availability(AlgorithmKind::Hybrid, n, ratio);
+            let margin = candidate.site_availability(ratio)
+                - sweep::availability(AlgorithmKind::Hybrid, n, ratio);
             if margin < worst {
                 worst = margin;
                 worst_at = (n, ratio);

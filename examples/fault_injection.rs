@@ -12,7 +12,7 @@
 //! omniscient ledger confirms that no interleaving ever commits two
 //! different updates at the same version.
 
-use dynvote::sim::{SimConfig, Simulation};
+use dynvote::sim::{FaultSchedule, NemesisProfile, SimConfig, Simulation};
 use dynvote::{AlgorithmKind, SiteId};
 
 fn main() {
@@ -25,7 +25,10 @@ fn main() {
     });
     sim.submit_update(SiteId(0));
     sim.quiesce();
-    println!("v1 committed everywhere; chain length {}", sim.ledger().len());
+    println!(
+        "v1 committed everywhere; chain length {}",
+        sim.ledger().len()
+    );
 
     // A starts an update and crashes while the votes are in flight.
     sim.submit_update(SiteId(0));
@@ -59,8 +62,11 @@ fn main() {
         sim.check_invariants()
     );
 
-    // ---- Act 2: sustained chaos --------------------------------------
-    println!("\n=== Act 2: 200 time units of random crashes, cuts and losses ===");
+    // ---- Act 2: a nemesis schedule -----------------------------------
+    // The chaos is no longer ad-hoc: it is a serializable FaultSchedule,
+    // so the exact same adversary can be saved, shared and replayed
+    // (`sim.apply_schedule` is deterministic per engine seed).
+    println!("\n=== Act 2: 200 time units under a generated nemesis schedule ===");
     let mut sim = Simulation::new(SimConfig {
         n: 5,
         algorithm: AlgorithmKind::Hybrid,
@@ -70,17 +76,22 @@ fn main() {
     });
     sim.submit_update(SiteId(0));
     sim.quiesce();
+
+    let schedule = FaultSchedule::generate(5, 200.0, 42, &NemesisProfile::default());
+    println!(
+        "schedule: {} events (crashes, partitions, one-way cuts, lossy/",
+        schedule.len()
+    );
+    println!(
+        "duplicating/reordering bursts), horizon {:.0}",
+        schedule.end_time()
+    );
+    sim.apply_schedule(&schedule);
     sim.schedule_poisson_arrivals(4.0, 200.0);
-    sim.schedule_random_faults(0.4, 0.6, 200.0);
     sim.run_until(220.0);
 
     // Heal the world and let every blocked transaction resolve.
-    for i in 0..5 {
-        sim.recover_site(SiteId::new(i));
-        for j in i + 1..5 {
-            sim.repair_link(SiteId::new(i), SiteId::new(j));
-        }
-    }
+    sim.heal();
     sim.quiesce();
 
     let stats = sim.stats();
@@ -88,13 +99,23 @@ fn main() {
     println!("commits             {}", stats.commits);
     println!("rejected (quorum)   {}", stats.rejected);
     println!("rejected (locked)   {}", stats.lock_busy);
-    println!("messages dropped    {}/{}", stats.messages_dropped, stats.messages_sent);
+    println!(
+        "messages dropped    {}/{}",
+        stats.messages_dropped, stats.messages_sent
+    );
+    println!("messages duplicated {}", stats.messages_duplicated);
     println!("site crashes        {}", stats.site_crashes);
 
     let violations = sim.check_invariants();
-    assert!(violations.is_empty(), "consistency violated: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "consistency violated: {violations:?}"
+    );
     println!("\nconsistency: OK — the committed history is a single chain of");
-    println!("{} versions, and every site's log is a prefix of it.", sim.ledger().len());
+    println!(
+        "{} versions, and every site's log is a prefix of it.",
+        sim.ledger().len()
+    );
 
     // Final updates prove the healed system converges. (The channel
     // still drops 10% of messages, so a site can miss a vote request
@@ -105,7 +126,10 @@ fn main() {
         sim.quiesce();
         let versions: Vec<u64> = (0..5).map(|i| sim.site(SiteId(i)).meta().version).collect();
         if versions.iter().all(|&v| v == versions[0]) {
-            println!("converged after {round} round(s): all sites at v{}", versions[0]);
+            println!(
+                "converged after {round} round(s): all sites at v{}",
+                versions[0]
+            );
             break;
         }
         println!("round {round}: versions {versions:?} (a vote request was dropped)");

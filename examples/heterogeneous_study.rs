@@ -19,11 +19,26 @@ use dynvote::{AlgorithmKind, LinearOrder, SiteSet};
 fn main() {
     // Five sites from flaky to rock-solid.
     let rates = [
-        SiteRates { failure: 1.0, repair: 0.6 },
-        SiteRates { failure: 1.0, repair: 1.0 },
-        SiteRates { failure: 1.0, repair: 2.0 },
-        SiteRates { failure: 1.0, repair: 4.0 },
-        SiteRates { failure: 1.0, repair: 8.0 },
+        SiteRates {
+            failure: 1.0,
+            repair: 0.6,
+        },
+        SiteRates {
+            failure: 1.0,
+            repair: 1.0,
+        },
+        SiteRates {
+            failure: 1.0,
+            repair: 2.0,
+        },
+        SiteRates {
+            failure: 1.0,
+            repair: 4.0,
+        },
+        SiteRates {
+            failure: 1.0,
+            repair: 8.0,
+        },
     ];
     println!("per-site up-probabilities:");
     for (i, r) in rates.iter().enumerate() {
@@ -67,9 +82,18 @@ fn main() {
     // --- Knob 2: where does a witness belong? ------------------------
     println!("\nwitness placement (two copies + one witness, three sites):");
     let three = [
-        SiteRates { failure: 1.0, repair: 8.0 },
-        SiteRates { failure: 1.0, repair: 2.0 },
-        SiteRates { failure: 1.0, repair: 0.7 },
+        SiteRates {
+            failure: 1.0,
+            repair: 8.0,
+        },
+        SiteRates {
+            failure: 1.0,
+            repair: 2.0,
+        },
+        SiteRates {
+            failure: 1.0,
+            repair: 0.7,
+        },
     ];
     for witness in 0..3usize {
         let copies: SiteSet = (0..3)
@@ -92,11 +116,7 @@ fn main() {
 
     // --- How big is heterogeneity's effect overall? -------------------
     println!("\nhybrid availability: heterogeneous vs matched homogeneous mean:");
-    let hetero = hetero_availability(
-        AlgorithmKind::Hybrid,
-        &rates,
-        LinearOrder::lexicographic(5),
-    );
+    let hetero = hetero_availability(AlgorithmKind::Hybrid, &rates, LinearOrder::lexicographic(5));
     let mean_p: f64 = rates.iter().map(|r| r.up_probability()).sum::<f64>() / 5.0;
     let matched_ratio = mean_p / (1.0 - mean_p);
     let homo = dynvote::markov::availability(AlgorithmKind::Hybrid, 5, matched_ratio);

@@ -19,7 +19,11 @@ fn set(s: &str) -> SiteSet {
 fn report(label: &str, out: &dynvote::TransactionOutcome) {
     println!(
         "{label}: {}",
-        if out.committed { "COMMITTED" } else { "aborted" }
+        if out.committed {
+            "COMMITTED"
+        } else {
+            "aborted"
+        }
     );
     for (file, verdict) in &out.verdicts {
         println!("    file #{}: {verdict}", file.index());
@@ -45,13 +49,19 @@ fn main() {
         reads: vec![inventory],
         writes: vec![orders],
     };
-    report("place order from ABCDEFG", &db.attempt_transaction(set("ABCDEFG"), &place_order));
+    report(
+        "place order from ABCDEFG",
+        &db.attempt_transaction(set("ABCDEFG"), &place_order),
+    );
 
     // The network splits west/east: ABCD | EFG.
     println!("\n-- partition ABCD | EFG --");
     // The west side holds 4 of inventory's 5 copies but only 2 of
     // orders' 5: the cross-file transaction aborts atomically...
-    report("place order from ABCD", &db.attempt_transaction(set("ABCD"), &place_order));
+    report(
+        "place order from ABCD",
+        &db.attempt_transaction(set("ABCD"), &place_order),
+    );
     // ...while a pure inventory restock commits.
     report(
         "restock from ABCD",

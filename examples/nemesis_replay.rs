@@ -1,0 +1,104 @@
+//! Nemesis schedules as shareable bug reports: serialize, replay,
+//! minimize.
+//!
+//! ```text
+//! cargo run --example nemesis_replay
+//! ```
+//!
+//! A `FaultSchedule` is a plain data value — a list of time-stamped
+//! crash / partition / one-way-cut / lossy / duplicate / reorder
+//! windows — so a failing chaos run can be written to JSON, attached to
+//! a bug report, and replayed bit-for-bit (the engine draws all its
+//! randomness from the seeded RNG; same seed + same schedule means the
+//! same event stream). When a schedule *does* trigger a violation, the
+//! delta-debugging minimizer strips it down to a 1-minimal reproducer.
+
+use dynvote::sim::{minimize, FaultSchedule, NemesisProfile, SimConfig, Simulation};
+use dynvote::{AlgorithmKind, SiteId};
+
+/// One deterministic chaos run; returns the sim for inspection.
+fn run(schedule: &FaultSchedule, trap: Option<SiteId>) -> Simulation {
+    let mut sim = Simulation::new(SimConfig {
+        n: 5,
+        algorithm: AlgorithmKind::Hybrid,
+        seed: 9,
+        ..SimConfig::default()
+    });
+    if let Some(site) = trap {
+        sim.set_divergence_trap(site);
+    }
+    sim.submit_update(SiteId(0));
+    sim.quiesce();
+    sim.apply_schedule(schedule);
+    sim.schedule_poisson_arrivals(3.0, 60.0);
+    sim.run_until(75.0);
+    sim.heal();
+    sim.quiesce();
+    sim
+}
+
+fn main() {
+    // ---- Serialize and replay ----------------------------------------
+    println!("=== A schedule is data: JSON round-trip, identical replay ===");
+    let schedule = FaultSchedule::generate(5, 60.0, 7, &NemesisProfile::default());
+    let json = schedule.to_json();
+    println!(
+        "generated {} events; first lines of the JSON:",
+        schedule.len()
+    );
+    for line in json.lines().take(8) {
+        println!("    {line}");
+    }
+    println!("    ...");
+
+    let replayed = FaultSchedule::from_json(&json).expect("round-trips");
+    let (a, b) = (run(&schedule, None), run(&replayed, None));
+    assert_eq!(
+        format!("{:?}", a.ledger()),
+        format!("{:?}", b.ledger()),
+        "replay must reproduce the exact committed history"
+    );
+    println!(
+        "replayed: {} commits, {} drops, {} duplicates — ledger identical",
+        b.stats().commits,
+        b.stats().messages_dropped,
+        b.stats().messages_duplicated
+    );
+    assert!(a.check_invariants().is_empty());
+
+    // ---- Minimize a failing schedule ---------------------------------
+    // The protocol has no known divergence bug, so we plant one: a
+    // test-only trap that fabricates a violation whenever one chosen
+    // site crashes. The minimizer only sees a black-box oracle
+    // ("does this schedule still fail?") — exactly what it would see
+    // chasing a real bug.
+    println!("\n=== Delta-debugging a failing schedule ===");
+    let trap = schedule
+        .events
+        .iter()
+        .find_map(|e| match e {
+            dynvote::sim::NemesisEvent::Crash { site, .. } => Some(SiteId::new(*site)),
+            _ => None,
+        })
+        .expect("generated schedules contain crashes");
+    println!("planted bug: any crash of site {trap:?} corrupts the ledger");
+
+    let mut oracle_calls = 0u32;
+    let minimal = minimize(&schedule, |candidate| {
+        oracle_calls += 1;
+        !run(candidate, Some(trap)).check_invariants().is_empty()
+    });
+    println!(
+        "minimized {} events -> {} in {} oracle runs:",
+        schedule.len(),
+        minimal.len(),
+        oracle_calls
+    );
+    print!("{}", minimal.to_json());
+    assert!(minimal.len() < schedule.len());
+    assert!(
+        !run(&minimal, Some(trap)).check_invariants().is_empty(),
+        "the minimal schedule still reproduces the failure"
+    );
+    println!("\nthe reproducer still fails — attach that JSON to the bug report.");
+}

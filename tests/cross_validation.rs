@@ -167,7 +167,10 @@ fn footnote6_conjecture_holds_for_odd_n_at_reasonable_ratios_only() {
         for ratio in [2.0, 5.0, 10.0] {
             let c = candidate.site_availability(ratio);
             let h = hybrid.site_availability(ratio);
-            assert!(c > h, "odd n={n} ratio={ratio}: candidate {c} <= hybrid {h}");
+            assert!(
+                c > h,
+                "odd n={n} ratio={ratio}: candidate {c} <= hybrid {h}"
+            );
         }
     }
     for n in [4usize, 6, 10] {
@@ -176,7 +179,10 @@ fn footnote6_conjecture_holds_for_odd_n_at_reasonable_ratios_only() {
         for ratio in [0.5, 2.0, 10.0] {
             let c = candidate.site_availability(ratio);
             let h = hybrid.site_availability(ratio);
-            assert!(c < h, "even n={n} ratio={ratio}: candidate {c} >= hybrid {h}");
+            assert!(
+                c < h,
+                "even n={n} ratio={ratio}: candidate {c} >= hybrid {h}"
+            );
         }
     }
     // And at small ratios the hybrid wins even for odd n >= 7.

@@ -14,9 +14,12 @@ fn expected(kind: AlgorithmKind) -> [Option<SiteSet>; 4] {
     match kind {
         AlgorithmKind::Voting => [Some(set("ABC")), None, Some(set("CDE")), None],
         AlgorithmKind::DynamicVoting => [Some(set("ABC")), Some(set("AB")), None, None],
-        AlgorithmKind::DynamicLinear => {
-            [Some(set("ABC")), Some(set("AB")), Some(set("A")), Some(set("A"))]
-        }
+        AlgorithmKind::DynamicLinear => [
+            Some(set("ABC")),
+            Some(set("AB")),
+            Some(set("A")),
+            Some(set("A")),
+        ],
         // The modified hybrid accepts exactly the hybrid's histories.
         AlgorithmKind::Hybrid | AlgorithmKind::ModifiedHybrid => {
             [Some(set("ABC")), Some(set("AB")), None, Some(set("BC"))]

@@ -92,8 +92,16 @@ fn section_iv_at_the_protocol_level() {
         sim.quiesce();
         for site in set(exp.partition).iter() {
             let meta: CopyMeta = sim.site(site).meta();
-            assert_eq!(meta.version, exp.version, "{}: version at {site}", exp.partition);
-            assert_eq!(meta.cardinality, exp.cardinality, "{}: SC at {site}", exp.partition);
+            assert_eq!(
+                meta.version, exp.version,
+                "{}: version at {site}",
+                exp.partition
+            );
+            assert_eq!(
+                meta.cardinality, exp.cardinality,
+                "{}: SC at {site}",
+                exp.partition
+            );
             assert_eq!(
                 meta.distinguished, exp.distinguished,
                 "{}: DS at {site}",
