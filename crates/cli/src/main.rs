@@ -7,9 +7,12 @@
 //! dynvote crossover [...]     crossover ratio between two algorithms
 //! dynvote simulate [...]      message-level protocol simulation run
 //! dynvote chaos [...]         nemesis schedules: run, replay, minimize
+//! dynvote serve [...]         boot a live TCP loopback cluster
+//! dynvote loadgen [...]       closed-loop load against a served cluster
 //! dynvote help                this text
 //! ```
 
+mod live;
 mod opts;
 mod repro;
 mod runs;
@@ -90,6 +93,24 @@ USAGE:
         duplication, reordering — run it against one or all algorithms,
         and on a violation optionally delta-debug the schedule down to a
         minimal reproducer.
+
+    dynvote serve [--n k] [--algo <name>] [--port-base p] [--duration secs]
+        Boot a live n-node cluster on loopback TCP, node i listening on
+        127.0.0.1:(port-base + i). With --duration 0 (default) it runs
+        until killed; otherwise it audits consistency at the deadline
+        and exits non-zero on a violation.
+
+    dynvote loadgen [--n k] [--host h] [--port-base p] [--concurrency c]
+                    [--duration secs] [--read-fraction f] [--seed s]
+                    [--crash <site>] [--crash-after secs] [--restart-after secs]
+                    [--min-commits k] [--algo <label>]
+        Closed-loop workload against a served cluster: c workers issue
+        updates/reads round-robin over the nodes, optionally crashing
+        and restarting one site mid-run. Prints a JSON report with
+        throughput and p50/p95/p99 commit latency, audits every node,
+        and exits non-zero on a serializability violation or if fewer
+        than --min-commits updates committed. --algo only labels the
+        report (the wire protocol is algorithm-agnostic).
 ";
 
 fn main() -> ExitCode {
@@ -156,6 +177,8 @@ fn main() -> ExitCode {
         "votes" => runs::votes_cmd(&opts),
         "simulate" => runs::simulate_cmd(&opts),
         "chaos" => runs::chaos_cmd(&opts),
+        "serve" => live::serve_cmd(&opts),
+        "loadgen" => live::loadgen_cmd(&opts),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())

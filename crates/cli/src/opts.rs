@@ -22,6 +22,8 @@ pub enum OptError {
         /// The offending raw value.
         value: String,
     },
+    /// A flag the subcommand does not recognize.
+    UnknownFlag(String),
 }
 
 impl std::fmt::Display for OptError {
@@ -31,6 +33,7 @@ impl std::fmt::Display for OptError {
             OptError::BadValue { flag, value } => {
                 write!(f, "invalid value {value:?} for --{flag}")
             }
+            OptError::UnknownFlag(flag) => write!(f, "unrecognized flag --{flag}"),
         }
     }
 }
@@ -59,6 +62,22 @@ impl Opts {
     #[must_use]
     pub fn get(&self, flag: &str) -> Option<&str> {
         self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Reject any flag outside `allowed` — a typo'd flag must fail loudly,
+    /// not silently launch the subcommand with defaults.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), OptError> {
+        let mut unknown: Vec<&str> = self
+            .flags
+            .keys()
+            .map(String::as_str)
+            .filter(|flag| !allowed.contains(flag))
+            .collect();
+        unknown.sort_unstable();
+        match unknown.first() {
+            Some(flag) => Err(OptError::UnknownFlag((*flag).to_owned())),
+            None => Ok(()),
+        }
     }
 
     /// A parsed flag with a default.
@@ -100,5 +119,15 @@ mod tests {
     fn bad_value_is_an_error() {
         let opts = parse(&["--n", "five"]);
         assert!(opts.get_or::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let opts = parse(&["--n", "5", "--prot-base", "7700"]);
+        assert_eq!(
+            opts.reject_unknown(&["n", "port-base"]),
+            Err(OptError::UnknownFlag("prot-base".to_owned()))
+        );
+        assert_eq!(opts.reject_unknown(&["n", "prot-base"]), Ok(()));
     }
 }

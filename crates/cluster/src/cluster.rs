@@ -1,0 +1,489 @@
+//! Booting and steering a whole cluster: N node threads, a transport
+//! mesh, clients, and fault injection.
+
+use crate::node::{AuditOutcome, ClusterLedger, Node, NodeConfig, NodeEvent, ReplySink};
+use crate::transport::{ChannelTransport, TcpTransport, Transport};
+use crate::wire::{self, ClientOp, ClientReply, HELLO_CLIENT, HELLO_PEER};
+use dynvote_core::{AlgorithmKind, SiteId, SiteSet, MAX_SITES};
+use dynvote_sim::ConfigError;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Which transport carries inter-site messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process `mpsc` channels (no serialization).
+    Channel,
+    /// Loopback TCP with the [`crate::wire`] framing.
+    Tcp,
+}
+
+/// Everything needed to boot a cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of sites (`1..=MAX_SITES`).
+    pub n: usize,
+    /// The replica-control algorithm every site runs.
+    pub algorithm: AlgorithmKind,
+    /// Inter-site transport.
+    pub transport: TransportKind,
+    /// TCP only: bind node `i` to `127.0.0.1:(port_base + i)` instead
+    /// of an ephemeral port, so out-of-process clients (`dynvote
+    /// loadgen`) can find the nodes.
+    pub port_base: Option<u16>,
+    /// Per-node wall-clock deadlines.
+    pub node: NodeConfig,
+}
+
+impl ClusterConfig {
+    /// A channel-transport cluster of `n` sites with default deadlines.
+    #[must_use]
+    pub fn new(n: usize, algorithm: AlgorithmKind) -> Self {
+        ClusterConfig {
+            n,
+            algorithm,
+            transport: TransportKind::Channel,
+            port_base: None,
+            node: NodeConfig::default(),
+        }
+    }
+
+    /// Same configuration over a different transport.
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Bind TCP listeners at fixed loopback ports starting here.
+    #[must_use]
+    pub fn with_port_base(mut self, port_base: u16) -> Self {
+        self.port_base = Some(port_base);
+        self
+    }
+
+    /// Reject impossible parameters through the same typed error path
+    /// the simulator uses — booting never panics on bad input.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n == 0 || self.n > MAX_SITES {
+            return Err(ConfigError::OutOfRange {
+                field: "n",
+                value: self.n as u64,
+                lo: 1,
+                hi: MAX_SITES as u64,
+            });
+        }
+        if self.node.vote_deadline.is_zero() {
+            return Err(ConfigError::NotPositive {
+                field: "vote_deadline",
+                value: 0.0,
+            });
+        }
+        if self.node.catchup_deadline.is_zero() {
+            return Err(ConfigError::NotPositive {
+                field: "catchup_deadline",
+                value: 0.0,
+            });
+        }
+        if !self.node.backoff.is_valid() {
+            return Err(ConfigError::BackoffRange {
+                initial: self.node.backoff.initial,
+                max: self.node.backoff.max,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A request through [`LocalClient`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestError {
+    /// The node's inbox is closed (cluster shut down).
+    NodeGone,
+    /// No reply arrived within the client timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::NodeGone => write!(f, "node shut down"),
+            RequestError::Timeout => write!(f, "client request timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// An in-process client bound to one node's inbox. Requests are
+/// synchronous: send, then block for the correlated reply.
+pub struct LocalClient {
+    inbox: Sender<NodeEvent>,
+    tx: Sender<(u64, ClientReply)>,
+    rx: Receiver<(u64, ClientReply)>,
+    next_id: u64,
+    timeout: Duration,
+}
+
+impl LocalClient {
+    fn new(inbox: Sender<NodeEvent>) -> Self {
+        let (tx, rx) = mpsc::channel();
+        LocalClient {
+            inbox,
+            tx,
+            rx,
+            next_id: 0,
+            timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// Issue one operation and wait for its reply.
+    pub fn request(&mut self, op: ClientOp) -> Result<ClientReply, RequestError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.inbox
+            .send(NodeEvent::Client {
+                id,
+                op,
+                reply: ReplySink::Channel(self.tx.clone()),
+            })
+            .map_err(|_| RequestError::NodeGone)?;
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(left) {
+                Ok((rid, reply)) if rid == id => return Ok(reply),
+                Ok(_) => continue, // stale reply from a timed-out request
+                Err(mpsc::RecvTimeoutError::Timeout) => return Err(RequestError::Timeout),
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Err(RequestError::NodeGone),
+            }
+        }
+    }
+
+    /// Submit an update coordinated by this node.
+    pub fn update(&mut self) -> Result<ClientReply, RequestError> {
+        self.request(ClientOp::Update)
+    }
+
+    /// Submit a read-only request.
+    pub fn read(&mut self) -> Result<ClientReply, RequestError> {
+        self.request(ClientOp::Read)
+    }
+}
+
+/// A TCP client speaking the [`crate::wire`] client framing — what
+/// `dynvote loadgen` uses against `dynvote serve`.
+pub struct TcpClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl TcpClient {
+    /// Connect to a node's listen address and identify as a client.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+        stream.write_all(&[HELLO_CLIENT])?;
+        Ok(TcpClient { stream, next_id: 0 })
+    }
+
+    /// Issue one operation and wait for its reply.
+    pub fn request(&mut self, op: &ClientOp) -> io::Result<ClientReply> {
+        self.next_id += 1;
+        let id = self.next_id;
+        wire::write_frame(&mut self.stream, &wire::encode_request(id, op))?;
+        loop {
+            let body = wire::read_frame(&mut self.stream)?;
+            let (rid, reply) = wire::decode_reply(&body)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            if rid == id {
+                return Ok(reply);
+            }
+        }
+    }
+}
+
+/// A running cluster: `n` node threads plus their transport mesh.
+pub struct Cluster {
+    n: usize,
+    senders: Vec<Sender<NodeEvent>>,
+    handles: Vec<JoinHandle<()>>,
+    ledger: Arc<ClusterLedger>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl Cluster {
+    /// Boot all nodes. With [`TransportKind::Tcp`] each node also gets
+    /// a loopback listener (ephemeral port) and an acceptor thread.
+    pub fn boot(config: &ClusterConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let n = config.n;
+        let ledger = Arc::new(ClusterLedger::new());
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let mut addrs = Vec::new();
+        let mut listeners = Vec::new();
+        if config.transport == TransportKind::Tcp {
+            for i in 0..n {
+                let port = config.port_base.map_or(0, |base| base + i as u16);
+                let listener = TcpListener::bind(("127.0.0.1", port))
+                    .unwrap_or_else(|e| panic!("bind 127.0.0.1:{port}: {e}"));
+                addrs.push(listener.local_addr().expect("listener address"));
+                listeners.push(listener);
+            }
+        }
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let id = SiteId(i as u8);
+            let transport: Box<dyn Transport> = match config.transport {
+                TransportKind::Channel => Box::new(ChannelTransport::new(id, senders.clone())),
+                TransportKind::Tcp => Box::new(TcpTransport::new(id, addrs.clone())),
+            };
+            if config.transport == TransportKind::Tcp {
+                spawn_acceptor(listeners.remove(0), senders[i].clone());
+            }
+            let node = Node::new(
+                id,
+                n,
+                config.algorithm,
+                config.node,
+                transport,
+                rx,
+                Arc::clone(&ledger),
+            );
+            let handle = thread::Builder::new()
+                .name(format!("dynvote-node-{i}"))
+                .spawn(move || node.run())
+                .expect("spawn node thread");
+            handles.push(handle);
+        }
+
+        Ok(Cluster {
+            n,
+            senders,
+            handles,
+            ledger,
+            addrs,
+        })
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// A node's TCP listen address (TCP transport only).
+    #[must_use]
+    pub fn addr(&self, site: SiteId) -> Option<SocketAddr> {
+        self.addrs.get(site.index()).copied()
+    }
+
+    /// An in-process client bound to `site`.
+    #[must_use]
+    pub fn client(&self, site: SiteId) -> LocalClient {
+        LocalClient::new(self.senders[site.index()].clone())
+    }
+
+    /// The shared commit ledger (for divergence checks).
+    #[must_use]
+    pub fn ledger(&self) -> &Arc<ClusterLedger> {
+        &self.ledger
+    }
+
+    fn control(&self, site: SiteId, op: ClientOp) -> Result<ClientReply, RequestError> {
+        self.client(site).request(op)
+    }
+
+    /// Crash one site (volatile state lost, durable records kept).
+    pub fn crash(&self, site: SiteId) -> Result<(), RequestError> {
+        self.control(site, ClientOp::Crash).map(|_| ())
+    }
+
+    /// Recover one site; it runs the `Make_Current` restart protocol.
+    pub fn recover(&self, site: SiteId) -> Result<(), RequestError> {
+        self.control(site, ClientOp::Recover).map(|_| ())
+    }
+
+    /// Impose a partition: each site may only exchange messages within
+    /// its group; sites in no group are isolated.
+    pub fn set_partition(&self, groups: &[SiteSet]) -> Result<(), RequestError> {
+        for i in 0..self.n {
+            let site = SiteId(i as u8);
+            let reachable = groups
+                .iter()
+                .copied()
+                .find(|g| g.contains(site))
+                .unwrap_or_else(|| SiteSet::singleton(site));
+            self.control(site, ClientOp::SetReachable(reachable))?;
+        }
+        Ok(())
+    }
+
+    /// Repair all links (crashed sites stay crashed — the counterpart
+    /// of the simulator's `impose_partitions(&[all])`).
+    pub fn heal_links(&self) -> Result<(), RequestError> {
+        let all = SiteSet::all(self.n);
+        for i in 0..self.n {
+            self.control(SiteId(i as u8), ClientOp::SetReachable(all))?;
+        }
+        Ok(())
+    }
+
+    /// Probe one site's protocol state.
+    pub fn probe(&self, site: SiteId) -> Result<ClientReply, RequestError> {
+        self.control(site, ClientOp::Probe)
+    }
+
+    /// Wait until no live site holds a lock or an in-doubt prepare
+    /// record (in-flight protocol work has drained). Returns `false` on
+    /// timeout.
+    pub fn await_quiescence(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut quiet = true;
+            for i in 0..self.n {
+                match self.probe(SiteId(i as u8)) {
+                    Ok(ClientReply::Probe {
+                        locked,
+                        in_doubt,
+                        down,
+                        ..
+                    }) => {
+                        if !down && (locked || in_doubt) {
+                            quiet = false;
+                        }
+                    }
+                    _ => quiet = false,
+                }
+            }
+            if quiet {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Cluster-wide consistency audit: per-site log checks against the
+    /// shared ledger, plus any divergence flagged at commit time.
+    pub fn audit(&self) -> Result<AuditOutcome, RequestError> {
+        let mut commits = 0;
+        let mut consistent = true;
+        for i in 0..self.n {
+            match self.control(SiteId(i as u8), ClientOp::Audit)? {
+                ClientReply::Audit {
+                    commits: c,
+                    consistent: ok,
+                    ..
+                } => {
+                    commits += c;
+                    consistent &= ok;
+                }
+                _ => consistent = false,
+            }
+        }
+        let violations = self.ledger.violations();
+        consistent &= violations.is_empty();
+        Ok(AuditOutcome {
+            commits,
+            chain_len: self.ledger.chain_len(),
+            consistent,
+            violations,
+        })
+    }
+
+    /// Stop every node thread and join them. TCP acceptor threads are
+    /// parked in `accept()` and intentionally left to the process exit.
+    pub fn shutdown(self) {
+        for tx in &self.senders {
+            let _ = tx.send(NodeEvent::Shutdown);
+        }
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn spawn_acceptor(listener: TcpListener, inbox: Sender<NodeEvent>) {
+    thread::Builder::new()
+        .name("dynvote-acceptor".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                let inbox = inbox.clone();
+                thread::Builder::new()
+                    .name("dynvote-conn".into())
+                    .spawn(move || serve_connection(stream, inbox))
+                    .ok();
+            }
+        })
+        .expect("spawn acceptor thread");
+}
+
+/// One inbound TCP connection: read the hello byte, then pump frames
+/// into the node's inbox until the peer hangs up or the node stops.
+fn serve_connection(mut stream: TcpStream, inbox: Sender<NodeEvent>) {
+    let _ = stream.set_nodelay(true);
+    let mut hello = [0u8; 1];
+    if stream.read_exact(&mut hello).is_err() {
+        return;
+    }
+    match hello[0] {
+        HELLO_PEER => {
+            let mut id = [0u8; 1];
+            if stream.read_exact(&mut id).is_err() {
+                return;
+            }
+            let from = SiteId(id[0]);
+            loop {
+                let Ok(body) = wire::read_frame(&mut stream) else {
+                    return;
+                };
+                let Ok(msg) = wire::decode_message(&body) else {
+                    return; // corrupt peer; drop the link
+                };
+                if inbox.send(NodeEvent::Peer { from, msg }).is_err() {
+                    return;
+                }
+            }
+        }
+        HELLO_CLIENT => {
+            let Ok(write_half) = stream.try_clone() else {
+                return;
+            };
+            let write_half = Arc::new(Mutex::new(write_half));
+            loop {
+                let Ok(body) = wire::read_frame(&mut stream) else {
+                    return;
+                };
+                let Ok((id, op)) = wire::decode_request(&body) else {
+                    return;
+                };
+                let event = NodeEvent::Client {
+                    id,
+                    op,
+                    reply: ReplySink::Tcp(Arc::clone(&write_half)),
+                };
+                if inbox.send(event).is_err() {
+                    return;
+                }
+            }
+        }
+        _ => {} // unknown preamble; drop the connection
+    }
+}

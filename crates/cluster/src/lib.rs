@@ -1,0 +1,56 @@
+//! # dynvote-cluster — a live multi-threaded dynamic-voting cluster
+//!
+//! The simulator in `dynvote-sim` drives the protocol kernel
+//! ([`dynvote_sim::SiteActor`]) under a virtual clock and an omniscient
+//! in-memory network. This crate runs the *same kernel* against wall
+//! clocks and real byte streams: one OS thread per site, a pluggable
+//! [`Transport`] for inter-site messages, and a closed-loop
+//! [`LoadGen`] that measures throughput and latency percentiles of the
+//! resulting system.
+//!
+//! The layering is strictly sans-IO:
+//!
+//! ```text
+//! dynvote-core   PartitionView / ReplicaControl   (pure decision rules)
+//! dynvote-sim    SiteActor: Message -> Vec<Action> (pure protocol kernel)
+//! this crate     Node: Action -> transport sends + wall-clock timers
+//!                Transport: in-process channels, or framed TCP loopback
+//!                Cluster / LoadGen: boot, fault injection, measurement
+//! ```
+//!
+//! Because the kernel is shared, a scripted scenario executed on the
+//! simulator, on the channel transport, and on the TCP transport must
+//! reach byte-identical per-site `(VN, SC, DS)` metadata — the
+//! conformance suite in `tests/conformance.rs` pins exactly that for
+//! all six algorithms.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dynvote_cluster::{Cluster, ClusterConfig, TransportKind};
+//! use dynvote_core::AlgorithmKind;
+//!
+//! let config = ClusterConfig::new(5, AlgorithmKind::Hybrid);
+//! let cluster = Cluster::boot(&config).unwrap();
+//! let mut client = cluster.client(dynvote_core::SiteId(0));
+//! let reply = client.update().unwrap();
+//! assert!(matches!(reply, dynvote_cluster::ClientReply::Committed { version: 1 }));
+//! cluster.shutdown();
+//! # let _ = TransportKind::Channel;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod cluster;
+mod loadgen;
+mod node;
+pub mod scenario;
+mod transport;
+pub mod wire;
+
+pub use cluster::{Cluster, ClusterConfig, LocalClient, RequestError, TcpClient, TransportKind};
+pub use loadgen::{Histogram, LoadGen, LoadGenConfig, LoadReport, WorkloadTarget};
+pub use node::{AuditOutcome, ClusterLedger, Node, NodeConfig, NodeEvent, ReplySink};
+pub use transport::{ChannelTransport, TcpTransport, Transport};
+pub use wire::{ClientOp, ClientReply, WireError};

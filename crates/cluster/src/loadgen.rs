@@ -1,0 +1,413 @@
+//! Closed-loop load generation and measurement.
+//!
+//! Each worker thread owns one [`WorkloadTarget`] (an in-process or TCP
+//! client bound to some node) and issues one request at a time —
+//! classic closed-loop load, so offered load self-paces to what the
+//! cluster sustains. Commit latencies land in a log-bucketed
+//! [`Histogram`] (64 power-of-two nanosecond buckets: the full range
+//! from sub-microsecond channel hops to multi-second stalls in 64
+//! counters), and the run is summarized as a machine-readable
+//! [`LoadReport`].
+
+use crate::cluster::{LocalClient, TcpClient};
+use crate::wire::{ClientOp, ClientReply};
+use dynvote_sim::ConfigError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Anything a load-generation worker can aim at. `None` means the
+/// request could not even be delivered (transport failure) — distinct
+/// from the protocol refusing it.
+pub trait WorkloadTarget: Send {
+    /// Issue one operation and wait for the outcome.
+    fn submit(&mut self, op: &ClientOp) -> Option<ClientReply>;
+}
+
+impl WorkloadTarget for LocalClient {
+    fn submit(&mut self, op: &ClientOp) -> Option<ClientReply> {
+        self.request(op.clone()).ok()
+    }
+}
+
+impl WorkloadTarget for TcpClient {
+    fn submit(&mut self, op: &ClientOp) -> Option<ClientReply> {
+        self.request(op).ok()
+    }
+}
+
+/// Bounds on the load generator's knobs, enforced by
+/// [`LoadGenConfig::validate`].
+pub const MAX_CONCURRENCY: usize = 1024;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGenConfig {
+    /// Number of closed-loop worker threads (`1..=MAX_CONCURRENCY`).
+    pub concurrency: usize,
+    /// How long to keep offering load.
+    pub duration: Duration,
+    /// Fraction of requests that are read-only (`0..=1`).
+    pub read_fraction: f64,
+    /// Seed for the per-worker operation-mix RNGs.
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            concurrency: 4,
+            duration: Duration::from_secs(5),
+            read_fraction: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+impl LoadGenConfig {
+    /// Reject absurd parameters through the shared typed error path.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.concurrency == 0 || self.concurrency > MAX_CONCURRENCY {
+            return Err(ConfigError::OutOfRange {
+                field: "concurrency",
+                value: self.concurrency as u64,
+                lo: 1,
+                hi: MAX_CONCURRENCY as u64,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.read_fraction) || !self.read_fraction.is_finite() {
+            return Err(ConfigError::NotProbability {
+                field: "read_fraction",
+                value: self.read_fraction,
+            });
+        }
+        if self.duration.is_zero() {
+            return Err(ConfigError::NotPositive {
+                field: "duration",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A log-bucketed latency histogram: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            total: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, ns: u64) {
+        let idx = 63 - (ns | 1).leading_zeros() as usize;
+        self.buckets[idx] += 1;
+        self.total += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile in milliseconds, estimated as the upper bound
+    /// of the bucket holding the `ceil(q * total)`-th sample (a
+    /// conservative, at-most-2x estimate by construction). Zero when
+    /// empty.
+    #[must_use]
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let upper_ns = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                return upper_ns.min(self.max_ns.max(1)) as f64 / 1e6;
+            }
+        }
+        self.max_ns as f64 / 1e6
+    }
+
+    /// The largest sample, in milliseconds.
+    #[must_use]
+    pub fn max_ms(&self) -> f64 {
+        self.max_ns as f64 / 1e6
+    }
+}
+
+/// Latency percentiles of committed updates, in milliseconds.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+}
+
+/// Machine-readable summary of one load-generation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Replica-control algorithm under test (caller-supplied context).
+    pub algorithm: String,
+    /// Transport under test (caller-supplied context).
+    pub transport: String,
+    /// Cluster size (caller-supplied context).
+    pub sites: usize,
+    /// Closed-loop worker count.
+    pub workers: usize,
+    /// Wall-clock measurement window in seconds.
+    pub duration_secs: f64,
+    /// Updates that committed.
+    pub committed: u64,
+    /// Reads served from a distinguished partition.
+    pub reads_served: u64,
+    /// Aborted: partition not distinguished.
+    pub rejected: u64,
+    /// Refused: copy locked by a concurrent transaction.
+    pub busy: u64,
+    /// Aborted: protocol deadline expired.
+    pub timed_out: u64,
+    /// Refused: target site was crashed.
+    pub down: u64,
+    /// Requests that could not be delivered at all.
+    pub transport_errors: u64,
+    /// Committed updates per second of wall-clock time.
+    pub throughput_per_sec: f64,
+    /// Commit-latency percentiles.
+    pub update_latency: LatencyStats,
+    /// The underlying commit-latency histogram.
+    pub histogram: Histogram,
+}
+
+impl LoadReport {
+    /// Serialize as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    committed: u64,
+    reads_served: u64,
+    rejected: u64,
+    busy: u64,
+    timed_out: u64,
+    down: u64,
+    transport_errors: u64,
+    latency: Histogram,
+}
+
+/// The closed-loop driver. Stateless: [`LoadGen::run`] does everything.
+pub struct LoadGen;
+
+impl LoadGen {
+    /// Run `config.concurrency` workers, each against the target built
+    /// for its index, for `config.duration`. Context fields of the
+    /// returned report (`algorithm`, `transport`, `sites`) are left
+    /// empty for the caller to fill.
+    pub fn run<F>(config: &LoadGenConfig, mut make_target: F) -> Result<LoadReport, ConfigError>
+    where
+        F: FnMut(usize) -> Box<dyn WorkloadTarget>,
+    {
+        config.validate()?;
+        let targets: Vec<Box<dyn WorkloadTarget>> =
+            (0..config.concurrency).map(&mut make_target).collect();
+        let start = Instant::now();
+        let workers: Vec<_> = targets
+            .into_iter()
+            .enumerate()
+            .map(|(w, target)| {
+                let cfg = *config;
+                thread::Builder::new()
+                    .name(format!("dynvote-loadgen-{w}"))
+                    .spawn(move || worker_loop(cfg, w, target))
+                    .expect("spawn loadgen worker")
+            })
+            .collect();
+        let mut tally = Tally::default();
+        for worker in workers {
+            let t = worker.join().expect("loadgen worker panicked");
+            tally.committed += t.committed;
+            tally.reads_served += t.reads_served;
+            tally.rejected += t.rejected;
+            tally.busy += t.busy;
+            tally.timed_out += t.timed_out;
+            tally.down += t.down;
+            tally.transport_errors += t.transport_errors;
+            tally.latency.merge(&t.latency);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        Ok(LoadReport {
+            algorithm: String::new(),
+            transport: String::new(),
+            sites: 0,
+            workers: config.concurrency,
+            duration_secs: elapsed,
+            committed: tally.committed,
+            reads_served: tally.reads_served,
+            rejected: tally.rejected,
+            busy: tally.busy,
+            timed_out: tally.timed_out,
+            down: tally.down,
+            transport_errors: tally.transport_errors,
+            throughput_per_sec: tally.committed as f64 / elapsed.max(f64::EPSILON),
+            update_latency: LatencyStats {
+                p50_ms: tally.latency.quantile_ms(0.50),
+                p95_ms: tally.latency.quantile_ms(0.95),
+                p99_ms: tally.latency.quantile_ms(0.99),
+                max_ms: tally.latency.max_ms(),
+            },
+            histogram: tally.latency,
+        })
+    }
+}
+
+fn worker_loop(cfg: LoadGenConfig, index: usize, mut target: Box<dyn WorkloadTarget>) -> Tally {
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut tally = Tally::default();
+    let deadline = Instant::now() + cfg.duration;
+    while Instant::now() < deadline {
+        let op = if cfg.read_fraction > 0.0 && rng.gen_bool(cfg.read_fraction) {
+            ClientOp::Read
+        } else {
+            ClientOp::Update
+        };
+        let t0 = Instant::now();
+        let reply = target.submit(&op);
+        let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        match reply {
+            Some(ClientReply::Committed { .. }) => {
+                tally.committed += 1;
+                tally.latency.record(ns);
+            }
+            Some(ClientReply::ReadServed) => tally.reads_served += 1,
+            Some(ClientReply::Rejected) => tally.rejected += 1,
+            Some(ClientReply::Busy) => tally.busy += 1,
+            Some(ClientReply::TimedOut) => tally.timed_out += 1,
+            Some(ClientReply::Down) => {
+                tally.down += 1;
+                // The target site is crashed; don't spin on it.
+                thread::sleep(Duration::from_millis(2));
+            }
+            Some(_) => tally.transport_errors += 1,
+            None => {
+                tally.transport_errors += 1;
+                thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_brackets_quantiles_within_a_factor_of_two() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.record(1_000_000); // 1 ms
+        }
+        for _ in 0..10 {
+            h.record(64_000_000); // 64 ms
+        }
+        let p50 = h.quantile_ms(0.50);
+        assert!((1.0..=2.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ms(0.99);
+        assert!((64.0..=128.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.max_ms(), 64.0);
+        assert_eq!(h.total(), 100);
+    }
+
+    #[test]
+    fn histogram_merge_is_additive_and_empty_is_zero() {
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile_ms(0.99), 0.0);
+        let mut a = Histogram::default();
+        a.record(500);
+        let mut b = Histogram::default();
+        b.record(2_000_000_000);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.max_ms(), 2000.0);
+    }
+
+    #[test]
+    fn config_rejects_absurd_values_with_typed_errors() {
+        let cfg = LoadGenConfig {
+            concurrency: 0,
+            ..LoadGenConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::OutOfRange {
+                field: "concurrency",
+                ..
+            })
+        ));
+        let cfg = LoadGenConfig {
+            concurrency: MAX_CONCURRENCY + 1,
+            ..LoadGenConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::OutOfRange {
+                field: "concurrency",
+                ..
+            })
+        ));
+        let cfg = LoadGenConfig {
+            read_fraction: 1.5,
+            ..LoadGenConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::NotProbability { .. })
+        ));
+        let cfg = LoadGenConfig {
+            duration: Duration::ZERO,
+            ..LoadGenConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::NotPositive { .. })
+        ));
+        assert!(LoadGenConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,642 @@
+//! The per-site node runtime: one OS thread driving one [`SiteActor`].
+//!
+//! A node owns the protocol kernel for its site and translates the
+//! kernel's [`Action`]s into the outside world: sends go to the
+//! [`Transport`], `SetTimer` becomes an entry in a wall-clock timer
+//! heap, and `Resolved` completes the client request that started the
+//! transaction. Everything arrives through one `mpsc` inbox
+//! ([`NodeEvent`]) — peer frames, client requests, and shutdown — so
+//! the kernel is only ever touched from its own thread and needs no
+//! locking.
+//!
+//! Fault injection mirrors the simulator's model exactly:
+//!
+//! * **crash** wipes the kernel's volatile state (durable
+//!   prepare/commit records survive), cancels pending wall-clock timers
+//!   (they guard volatile transactions) and fails parked clients with
+//!   [`ClientReply::Down`]. The thread itself stays up so control
+//!   traffic keeps working.
+//! * **recover** runs the Section V-C restart protocol
+//!   (`Make_Current`); its transaction is tagged so a resulting commit
+//!   is booked as restart traffic, not workload.
+//! * **partitions** are emulated at the node boundary by a
+//!   [`SiteSet`] of reachable sites, filtering both inbound and
+//!   outbound messages — transport-agnostic, and equivalent to the
+//!   simulator's link topology once in-flight traffic has drained.
+
+use crate::transport::Transport;
+use crate::wire::{self, ClientOp, ClientReply};
+use dynvote_core::{AlgorithmKind, BackoffPolicy, SiteId, SiteSet};
+use dynvote_sim::{Action, LogEntry, Message, ResolveReason, SiteActor, TimerKind, TxnId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::net::TcpStream;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a client reply should go.
+#[derive(Debug, Clone)]
+pub enum ReplySink {
+    /// In-process client: replies land on an `mpsc` channel as
+    /// `(correlation id, reply)` pairs.
+    Channel(Sender<(u64, ClientReply)>),
+    /// Remote client: replies are framed onto its TCP connection (the
+    /// mutex serializes replies racing from different transactions).
+    Tcp(Arc<Mutex<TcpStream>>),
+    /// Discard the reply (fire-and-forget control operations).
+    Null,
+}
+
+impl ReplySink {
+    /// Deliver a reply, best-effort — a vanished client is not an
+    /// error.
+    pub fn send(&self, id: u64, reply: ClientReply) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send((id, reply));
+            }
+            ReplySink::Tcp(stream) => {
+                let body = wire::encode_reply(id, &reply);
+                if let Ok(mut stream) = stream.lock() {
+                    let _ = wire::write_frame(&mut *stream, &body);
+                }
+            }
+            ReplySink::Null => {}
+        }
+    }
+}
+
+/// Everything that can arrive on a node's inbox.
+#[derive(Debug)]
+pub enum NodeEvent {
+    /// A protocol message from another site.
+    Peer {
+        /// The sending site.
+        from: SiteId,
+        /// The message.
+        msg: Message,
+    },
+    /// A client request with a correlation id and a reply path.
+    Client {
+        /// Client-chosen correlation id, echoed in the reply.
+        id: u64,
+        /// The requested operation.
+        op: ClientOp,
+        /// Where the reply goes.
+        reply: ReplySink,
+    },
+    /// Stop the node thread (parked clients are failed with `Down`).
+    Shutdown,
+}
+
+/// Wall-clock protocol deadlines for one node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Coordinator: how long to wait for votes before deciding with
+    /// whatever arrived. Only ever waited out when sites are down or
+    /// partitioned away — with all peers reachable the coordinator
+    /// decides on the last reply.
+    pub vote_deadline: Duration,
+    /// Coordinator: how long to wait for a catch-up reply before
+    /// aborting.
+    pub catchup_deadline: Duration,
+    /// Prepared-subordinate retry schedule, in **milliseconds** (shared
+    /// with the simulator via [`BackoffPolicy`]).
+    pub backoff: BackoffPolicy,
+    /// Seed for the jitter RNG (combined with the site id, so nodes
+    /// jitter independently).
+    pub seed: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            vote_deadline: Duration::from_millis(25),
+            catchup_deadline: Duration::from_millis(50),
+            backoff: BackoffPolicy::new(5.0, 80.0).with_jitter(0.1),
+            seed: 0x00D1_5C0D,
+        }
+    }
+}
+
+/// The cluster-wide omniscient commit ledger: every coordinator records
+/// its commits here, and divergence (two different payloads claiming
+/// the same version number) or version gaps are flagged immediately.
+/// This is the live-cluster analogue of the simulator's ledger — a
+/// checking device, not part of the protocol.
+#[derive(Debug, Default)]
+pub struct ClusterLedger {
+    inner: Mutex<LedgerInner>,
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    /// Payload committed at each version; index `v - 1` holds version
+    /// `v`.
+    chain: Vec<u64>,
+    violations: Vec<String>,
+}
+
+impl ClusterLedger {
+    /// A fresh, empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        ClusterLedger::default()
+    }
+
+    fn record(&self, site: SiteId, version: u64, payload: u64) {
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        let next = inner.chain.len() as u64 + 1;
+        match version.cmp(&next) {
+            Ordering::Equal => inner.chain.push(payload),
+            Ordering::Less => {
+                let existing = inner.chain[(version - 1) as usize];
+                inner.violations.push(format!(
+                    "site {site} re-committed version {version} \
+                     (payload {payload:#x}, chain has {existing:#x})"
+                ));
+            }
+            Ordering::Greater => {
+                inner.violations.push(format!(
+                    "site {site} committed version {version} but the chain \
+                     only reaches {}",
+                    next - 1
+                ));
+            }
+        }
+    }
+
+    /// Number of versions committed cluster-wide (including
+    /// `Make_Current` restart commits).
+    #[must_use]
+    pub fn chain_len(&self) -> u64 {
+        self.inner.lock().expect("ledger poisoned").chain.len() as u64
+    }
+
+    /// All violations flagged so far (empty on a correct run).
+    #[must_use]
+    pub fn violations(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .expect("ledger poisoned")
+            .violations
+            .clone()
+    }
+
+    /// True if `log` is a gapless prefix of the global chain and
+    /// `meta_version` matches its length — the paper's invariant for
+    /// every copy.
+    #[must_use]
+    pub fn check_log(&self, log: &[LogEntry], meta_version: u64) -> bool {
+        let inner = self.inner.lock().expect("ledger poisoned");
+        meta_version == log.len() as u64
+            && log
+                .iter()
+                .enumerate()
+                .all(|(i, e)| e.version == (i + 1) as u64 && inner.chain.get(i) == Some(&e.payload))
+    }
+}
+
+/// The verdict of a cluster-wide audit (see [`crate::Cluster::audit`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditOutcome {
+    /// Workload updates committed, summed over all coordinators
+    /// (`Make_Current` restart commits excluded).
+    pub commits: u64,
+    /// Length of the global version chain (restart commits included).
+    pub chain_len: u64,
+    /// True if every site's durable log is a gapless prefix of the
+    /// chain and no ledger violation was flagged.
+    pub consistent: bool,
+    /// Human-readable ledger violations (empty on a correct run).
+    pub violations: Vec<String>,
+}
+
+/// One wall-clock timer. Ordered by deadline, ties broken by arming
+/// order.
+struct TimerEntry {
+    when: Instant,
+    seq: u64,
+    epoch: u64,
+    txn: TxnId,
+    kind: TimerKind,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.when
+            .cmp(&other.when)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+struct PendingClient {
+    id: u64,
+    reply: ReplySink,
+}
+
+/// A live protocol site: the kernel plus its wall-clock surroundings.
+/// Consume with [`Node::run`] on a dedicated thread.
+pub struct Node {
+    id: SiteId,
+    n: usize,
+    actor: SiteActor,
+    transport: Box<dyn Transport>,
+    rx: Receiver<NodeEvent>,
+    config: NodeConfig,
+    ledger: Arc<ClusterLedger>,
+    down: bool,
+    reachable: SiteSet,
+    /// Bumped on every crash so timers armed before the crash are
+    /// recognizably stale (volatile state they guard is gone).
+    epoch: u64,
+    timers: BinaryHeap<std::cmp::Reverse<TimerEntry>>,
+    timer_seq: u64,
+    pending: HashMap<TxnId, PendingClient>,
+    restart_txns: HashSet<TxnId>,
+    payload_seq: u64,
+    commits: u64,
+    rng: StdRng,
+}
+
+impl Node {
+    /// Build the runtime for site `id` of an `n`-site cluster running
+    /// `algorithm`, reading events from `rx` and sending through
+    /// `transport`.
+    #[must_use]
+    pub fn new(
+        id: SiteId,
+        n: usize,
+        algorithm: AlgorithmKind,
+        config: NodeConfig,
+        transport: Box<dyn Transport>,
+        rx: Receiver<NodeEvent>,
+        ledger: Arc<ClusterLedger>,
+    ) -> Self {
+        let actor = SiteActor::new(id, n, algorithm.instantiate(n));
+        let rng = StdRng::seed_from_u64(config.seed ^ (0x9E37 + u64::from(id.0)));
+        Node {
+            id,
+            n,
+            actor,
+            transport,
+            rx,
+            config,
+            ledger,
+            down: false,
+            reachable: SiteSet::all(n),
+            epoch: 0,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            pending: HashMap::new(),
+            restart_txns: HashSet::new(),
+            payload_seq: 0,
+            commits: 0,
+            rng,
+        }
+    }
+
+    /// The event loop: block on the inbox up to the next timer
+    /// deadline, fire due timers, repeat until [`NodeEvent::Shutdown`].
+    pub fn run(mut self) {
+        loop {
+            let timeout = self
+                .next_timer_in()
+                .unwrap_or(Duration::from_millis(50))
+                .min(Duration::from_millis(50));
+            match self.rx.recv_timeout(timeout) {
+                Ok(NodeEvent::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+                Ok(event) => self.handle_event(event),
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            self.fire_due_timers();
+        }
+        for (_, client) in self.pending.drain() {
+            client.reply.send(client.id, ClientReply::Down);
+        }
+    }
+
+    fn handle_event(&mut self, event: NodeEvent) {
+        match event {
+            NodeEvent::Peer { from, msg } => {
+                // A crashed site hears nothing; a partitioned-away
+                // sender's frames are dropped at the boundary.
+                if self.down || !self.reachable.contains(from) {
+                    return;
+                }
+                let actions = self.actor.handle_message(from, msg);
+                self.apply(actions);
+            }
+            NodeEvent::Client { id, op, reply } => self.handle_client(id, op, reply),
+            NodeEvent::Shutdown => {}
+        }
+    }
+
+    fn handle_client(&mut self, id: u64, op: ClientOp, reply: ReplySink) {
+        match op {
+            ClientOp::Update => {
+                if self.down {
+                    reply.send(id, ClientReply::Down);
+                    return;
+                }
+                let payload = self.fresh_payload();
+                let actions = self.actor.start_update(payload);
+                self.register_client(&actions, id, reply);
+                self.apply(actions);
+            }
+            ClientOp::Read => {
+                if self.down {
+                    reply.send(id, ClientReply::Down);
+                    return;
+                }
+                let actions = self.actor.start_read();
+                self.register_client(&actions, id, reply);
+                self.apply(actions);
+            }
+            ClientOp::Crash => {
+                if !self.down {
+                    self.down = true;
+                    self.epoch += 1;
+                    self.timers.clear();
+                    self.actor.crash();
+                    for (_, client) in self.pending.drain() {
+                        client.reply.send(client.id, ClientReply::Down);
+                    }
+                }
+                reply.send(id, ClientReply::Ok);
+            }
+            ClientOp::Recover => {
+                if self.down {
+                    self.down = false;
+                    let payload = self.fresh_payload();
+                    let actions = self.actor.recover(payload);
+                    // Tag the Make_Current transaction (if one started)
+                    // so its commit is booked as restart traffic.
+                    for action in &actions {
+                        if let Action::Broadcast {
+                            msg: Message::VoteRequest { txn },
+                        } = action
+                        {
+                            self.restart_txns.insert(*txn);
+                        }
+                    }
+                    self.apply(actions);
+                }
+                reply.send(id, ClientReply::Ok);
+            }
+            ClientOp::SetReachable(set) => {
+                self.reachable = set;
+                reply.send(id, ClientReply::Ok);
+            }
+            ClientOp::Probe => {
+                reply.send(
+                    id,
+                    ClientReply::Probe {
+                        meta: self.actor.meta(),
+                        locked: self.actor.is_locked(),
+                        in_doubt: self.actor.is_in_doubt(),
+                        down: self.down,
+                    },
+                );
+            }
+            ClientOp::Audit => {
+                // Consistency seen from this node: its own log is a
+                // gapless chain prefix AND no commit anywhere was
+                // flagged divergent — so remote auditors (the loadgen
+                // CLI) learn about ledger violations too.
+                let consistent = self.ledger.violations().is_empty()
+                    && self
+                        .ledger
+                        .check_log(self.actor.log(), self.actor.meta().version);
+                reply.send(
+                    id,
+                    ClientReply::Audit {
+                        commits: self.commits,
+                        log_len: self.actor.log().len() as u64,
+                        consistent,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Park the client on the transaction its request started, found by
+    /// scanning the kernel's first action batch (the kernel does not
+    /// return the `TxnId` directly).
+    fn register_client(&mut self, actions: &[Action], id: u64, reply: ReplySink) {
+        let txn = actions.iter().find_map(|action| match action {
+            Action::Broadcast {
+                msg: Message::VoteRequest { txn },
+            }
+            | Action::Resolved { txn, .. }
+            | Action::SetTimer { txn, .. } => Some(*txn),
+            _ => None,
+        });
+        match txn {
+            Some(txn) => {
+                self.pending.insert(txn, PendingClient { id, reply });
+            }
+            // The kernel refused to start anything — treat as busy.
+            None => reply.send(id, ClientReply::Busy),
+        }
+    }
+
+    fn apply(&mut self, actions: Vec<Action>) {
+        // Ledger bookkeeping first: a commit must be globally recorded
+        // before the Commit fan-out below can trigger a dependent
+        // commit (version + 1) on another thread, or the ledger would
+        // flag a spurious gap.
+        let mut committed: HashMap<TxnId, u64> = HashMap::new();
+        for action in &actions {
+            if let Action::CommitRecorded {
+                version,
+                payload,
+                txn,
+            } = action
+            {
+                self.ledger.record(self.id, *version, *payload);
+                committed.insert(*txn, *version);
+                if !self.restart_txns.contains(txn) {
+                    self.commits += 1;
+                }
+            }
+        }
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.send(to, msg),
+                Action::Broadcast { msg } => {
+                    for i in 0..self.n {
+                        let to = SiteId(i as u8);
+                        if to != self.id {
+                            self.send(to, msg.clone());
+                        }
+                    }
+                }
+                Action::SetTimer { txn, kind } => self.arm_timer(txn, kind),
+                Action::Resolved { txn, reason } => {
+                    self.restart_txns.remove(&txn);
+                    if let Some(client) = self.pending.remove(&txn) {
+                        let reply = match reason {
+                            ResolveReason::Committed => ClientReply::Committed {
+                                version: committed
+                                    .get(&txn)
+                                    .copied()
+                                    .unwrap_or_else(|| self.actor.meta().version),
+                            },
+                            ResolveReason::ReadServed => ClientReply::ReadServed,
+                            ResolveReason::NotDistinguished => ClientReply::Rejected,
+                            ResolveReason::LockBusy => ClientReply::Busy,
+                            ResolveReason::Timeout => ClientReply::TimedOut,
+                        };
+                        client.reply.send(client.id, reply);
+                    }
+                }
+                // Group mode is a multi-file transaction-manager hook;
+                // the live cluster runs single-file updates only.
+                Action::DecisionReady { .. } => {}
+                Action::CommitRecorded { .. } => {} // handled above
+            }
+        }
+    }
+
+    fn send(&mut self, to: SiteId, msg: Message) {
+        if self.down || !self.reachable.contains(to) {
+            return;
+        }
+        self.transport.send(to, &msg);
+    }
+
+    fn arm_timer(&mut self, txn: TxnId, kind: TimerKind) {
+        let delay = match kind {
+            TimerKind::VoteDeadline => self.config.vote_deadline,
+            TimerKind::CatchUpDeadline => self.config.catchup_deadline,
+            TimerKind::PreparedRetry => {
+                let u: f64 = self.rng.gen();
+                let ms = self.config.backoff.delay(self.actor.prepared_rounds(), u);
+                Duration::from_secs_f64(ms / 1000.0)
+            }
+        };
+        self.timer_seq += 1;
+        self.timers.push(std::cmp::Reverse(TimerEntry {
+            when: Instant::now() + delay,
+            seq: self.timer_seq,
+            epoch: self.epoch,
+            txn,
+            kind,
+        }));
+    }
+
+    fn next_timer_in(&self) -> Option<Duration> {
+        self.timers
+            .peek()
+            .map(|std::cmp::Reverse(e)| e.when.saturating_duration_since(Instant::now()))
+    }
+
+    fn fire_due_timers(&mut self) {
+        while let Some(std::cmp::Reverse(entry)) = self.timers.peek() {
+            if entry.when > Instant::now() {
+                return;
+            }
+            let std::cmp::Reverse(entry) = self.timers.pop().expect("peeked");
+            // Timers from before the last crash guard volatile state
+            // that no longer exists.
+            if entry.epoch != self.epoch || self.down {
+                continue;
+            }
+            let actions = self.actor.timer_fired(entry.txn, entry.kind);
+            self.apply(actions);
+        }
+    }
+
+    /// A cluster-unique payload: site in the top bits, a local counter
+    /// below, so divergence checks can attribute every committed value.
+    fn fresh_payload(&mut self) -> u64 {
+        self.payload_seq += 1;
+        ((u64::from(self.id.0) + 1) << 48) | self.payload_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accepts_the_chain_and_flags_divergence() {
+        let ledger = ClusterLedger::new();
+        ledger.record(SiteId(0), 1, 0x10);
+        ledger.record(SiteId(1), 2, 0x20);
+        assert_eq!(ledger.chain_len(), 2);
+        assert!(ledger.violations().is_empty());
+
+        ledger.record(SiteId(2), 2, 0x99); // divergent re-commit
+        ledger.record(SiteId(3), 9, 0x30); // gap
+        let violations = ledger.violations();
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].contains("re-committed version 2"));
+        assert!(violations[1].contains("committed version 9"));
+    }
+
+    #[test]
+    fn ledger_checks_logs_as_gapless_prefixes() {
+        let ledger = ClusterLedger::new();
+        ledger.record(SiteId(0), 1, 0x10);
+        ledger.record(SiteId(0), 2, 0x20);
+        let full = [
+            LogEntry {
+                version: 1,
+                payload: 0x10,
+            },
+            LogEntry {
+                version: 2,
+                payload: 0x20,
+            },
+        ];
+        assert!(ledger.check_log(&full, 2));
+        assert!(ledger.check_log(&full[..1], 1)); // stale prefix is fine
+        assert!(!ledger.check_log(&full, 1)); // meta out of step
+        let diverged = [LogEntry {
+            version: 1,
+            payload: 0x99,
+        }];
+        assert!(!ledger.check_log(&diverged, 1));
+    }
+
+    #[test]
+    fn timer_entries_order_by_deadline_then_arming_order() {
+        let now = Instant::now();
+        let entry = |when, seq| TimerEntry {
+            when,
+            seq,
+            epoch: 0,
+            txn: TxnId {
+                coordinator: SiteId(0),
+                seq: 0,
+            },
+            kind: TimerKind::VoteDeadline,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(std::cmp::Reverse(entry(now + Duration::from_millis(9), 1)));
+        heap.push(std::cmp::Reverse(entry(now + Duration::from_millis(1), 2)));
+        heap.push(std::cmp::Reverse(entry(now + Duration::from_millis(1), 3)));
+        let order: Vec<u64> =
+            std::iter::from_fn(|| heap.pop().map(|std::cmp::Reverse(e)| e.seq)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+}

@@ -1,0 +1,732 @@
+//! The hand-rolled wire codec: protocol and client frames over bytes.
+//!
+//! Frames are length-prefixed: a little-endian `u32` byte count
+//! followed by the body. The body is a tagged binary encoding — one tag
+//! byte per enum variant, little-endian fixed-width integers for every
+//! field, no padding and no self-description. The format is the same in
+//! both directions and shared by peer links and client connections; the
+//! two are told apart by a one-byte connection preamble
+//! ([`HELLO_PEER`] / [`HELLO_CLIENT`]) written immediately after
+//! connecting.
+//!
+//! The codec is deliberately bincode-free: the container builds offline
+//! and the repo's compat `serde` is a tree-walking stand-in, so the
+//! cluster's hot path gets a purpose-built encoder whose cost is a
+//! handful of `extend_from_slice` calls per message.
+
+use dynvote_core::{CopyMeta, Distinguished, SiteId, SiteSet};
+use dynvote_sim::{LogEntry, Message, StatusOutcome, TxnId};
+use std::io::{self, Read, Write};
+
+/// Connection preamble byte announcing a peer (protocol) link; the next
+/// byte is the sending site's id.
+pub const HELLO_PEER: u8 = b'P';
+/// Connection preamble byte announcing a client connection.
+pub const HELLO_CLIENT: u8 = b'C';
+
+/// Upper bound on an accepted frame body, guarding against corrupt
+/// length prefixes.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// A malformed frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended before the decoder was done.
+    Truncated,
+    /// An unknown variant tag.
+    BadTag(u8),
+    /// Bytes left over after a complete decode.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame body truncated"),
+            WireError::BadTag(tag) => write!(f, "unknown wire tag {tag:#04x}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame body"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A request a client sends to one node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientOp {
+    /// Submit an update coordinated by the receiving node.
+    Update,
+    /// Submit a read-only request (paper footnote 5).
+    Read,
+    /// Fault injection: crash the site (volatile state lost; durable
+    /// prepare/commit records survive). The node process stays up and
+    /// keeps answering control traffic.
+    Crash,
+    /// Fault injection: recover the site; it runs the Section V-C
+    /// restart protocol (`Make_Current`).
+    Recover,
+    /// Fault injection: restrict the site's connectivity to `0` —
+    /// messages to and from sites outside the set are dropped, emulating
+    /// a network partition at the node boundary (transport-agnostic).
+    SetReachable(SiteSet),
+    /// Inspect the node's current protocol state.
+    Probe,
+    /// Ask the node to audit its durable log against the cluster's
+    /// shared omniscient ledger.
+    Audit,
+}
+
+/// A node's reply to a [`ClientOp`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientReply {
+    /// The update committed; the node's new version number.
+    Committed {
+        /// Version installed by the commit.
+        version: u64,
+    },
+    /// The read was served from a distinguished partition.
+    ReadServed,
+    /// Refused: the partition was not distinguished.
+    Rejected,
+    /// Refused: the local copy was locked by another transaction.
+    Busy,
+    /// Aborted: vote collection or catch-up timed out.
+    TimedOut,
+    /// Refused: the site is crashed (or crashed while coordinating the
+    /// request).
+    Down,
+    /// Control acknowledged (crash/recover/set-reachable).
+    Ok,
+    /// Probe result.
+    Probe {
+        /// The durable `(VN, SC, DS)` triple.
+        meta: CopyMeta,
+        /// True if the file lock is held.
+        locked: bool,
+        /// True if a durable prepare record exists (in-doubt txn).
+        in_doubt: bool,
+        /// True if the site is crashed.
+        down: bool,
+    },
+    /// Audit result.
+    Audit {
+        /// Updates committed here as coordinator (workload only;
+        /// `Make_Current` restart commits are excluded).
+        commits: u64,
+        /// Durable log length.
+        log_len: u64,
+        /// True if the log is a gapless prefix of the shared ledger and
+        /// the metadata version matches the log.
+        consistent: bool,
+    },
+}
+
+// ----- primitive encoders ------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_txn(out: &mut Vec<u8>, txn: TxnId) {
+    put_u8(out, txn.coordinator.0);
+    put_u64(out, txn.seq);
+}
+
+fn put_site_set(out: &mut Vec<u8>, set: SiteSet) {
+    put_u64(out, set.bits());
+}
+
+fn put_meta(out: &mut Vec<u8>, meta: CopyMeta) {
+    put_u64(out, meta.version);
+    put_u32(out, meta.cardinality);
+    match meta.distinguished {
+        Distinguished::Irrelevant => put_u8(out, 0),
+        Distinguished::Single(s) => {
+            put_u8(out, 1);
+            put_u8(out, s.0);
+        }
+        Distinguished::Trio(set) => {
+            put_u8(out, 2);
+            put_site_set(out, set);
+        }
+        Distinguished::Set(set) => {
+            put_u8(out, 3);
+            put_site_set(out, set);
+        }
+    }
+}
+
+fn put_entries(out: &mut Vec<u8>, entries: &[LogEntry]) {
+    put_u32(out, entries.len() as u32);
+    for e in entries {
+        put_u64(out, e.version);
+        put_u64(out, e.payload);
+    }
+}
+
+// ----- primitive decoders ------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn txn(&mut self) -> Result<TxnId, WireError> {
+        let coordinator = SiteId(self.u8()?);
+        let seq = self.u64()?;
+        Ok(TxnId { coordinator, seq })
+    }
+
+    fn site_set(&mut self) -> Result<SiteSet, WireError> {
+        Ok(SiteSet::from_bits(self.u64()?))
+    }
+
+    fn meta(&mut self) -> Result<CopyMeta, WireError> {
+        let version = self.u64()?;
+        let cardinality = self.u32()?;
+        let distinguished = match self.u8()? {
+            0 => Distinguished::Irrelevant,
+            1 => Distinguished::Single(SiteId(self.u8()?)),
+            2 => Distinguished::Trio(self.site_set()?),
+            3 => Distinguished::Set(self.site_set()?),
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        Ok(CopyMeta {
+            version,
+            cardinality,
+            distinguished,
+        })
+    }
+
+    fn entries(&mut self) -> Result<Vec<LogEntry>, WireError> {
+        let count = self.u32()? as usize;
+        // Guard: each entry is 16 bytes, so a valid count is bounded by
+        // the remaining body.
+        if count > (self.buf.len() - self.pos) / 16 {
+            return Err(WireError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let version = self.u64()?;
+            let payload = self.u64()?;
+            entries.push(LogEntry { version, payload });
+        }
+        Ok(entries)
+    }
+
+    fn finish<T>(self, value: T) -> Result<T, WireError> {
+        if self.pos == self.buf.len() {
+            Ok(value)
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+// ----- protocol messages -------------------------------------------------
+
+/// Encode a protocol [`Message`] into a frame body.
+#[must_use]
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match msg {
+        Message::VoteRequest { txn } => {
+            put_u8(&mut out, 1);
+            put_txn(&mut out, *txn);
+        }
+        Message::VoteGranted { txn, meta, from } => {
+            put_u8(&mut out, 2);
+            put_txn(&mut out, *txn);
+            put_meta(&mut out, *meta);
+            put_u8(&mut out, from.0);
+        }
+        Message::VoteBusy { txn, from } => {
+            put_u8(&mut out, 3);
+            put_txn(&mut out, *txn);
+            put_u8(&mut out, from.0);
+        }
+        Message::CatchUpRequest { txn, after_version } => {
+            put_u8(&mut out, 4);
+            put_txn(&mut out, *txn);
+            put_u64(&mut out, *after_version);
+        }
+        Message::CatchUpReply { txn, entries } => {
+            put_u8(&mut out, 5);
+            put_txn(&mut out, *txn);
+            put_entries(&mut out, entries);
+        }
+        Message::Commit {
+            txn,
+            meta,
+            entries,
+            participants,
+        } => {
+            put_u8(&mut out, 6);
+            put_txn(&mut out, *txn);
+            put_meta(&mut out, *meta);
+            put_entries(&mut out, entries);
+            put_site_set(&mut out, *participants);
+        }
+        Message::Abort { txn } => {
+            put_u8(&mut out, 7);
+            put_txn(&mut out, *txn);
+        }
+        Message::StatusQuery {
+            txn,
+            after_version,
+            from,
+        } => {
+            put_u8(&mut out, 8);
+            put_txn(&mut out, *txn);
+            put_u64(&mut out, *after_version);
+            put_u8(&mut out, from.0);
+        }
+        Message::StatusReply { txn, outcome } => {
+            put_u8(&mut out, 9);
+            put_txn(&mut out, *txn);
+            match outcome {
+                StatusOutcome::Committed {
+                    meta,
+                    entries,
+                    participants,
+                } => {
+                    put_u8(&mut out, 0);
+                    put_meta(&mut out, *meta);
+                    put_entries(&mut out, entries);
+                    put_site_set(&mut out, *participants);
+                }
+                StatusOutcome::Aborted => put_u8(&mut out, 1),
+                StatusOutcome::Unknown => put_u8(&mut out, 2),
+            }
+        }
+    }
+    out
+}
+
+/// Decode a protocol [`Message`] from a frame body.
+pub fn decode_message(body: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(body);
+    let msg = match r.u8()? {
+        1 => Message::VoteRequest { txn: r.txn()? },
+        2 => Message::VoteGranted {
+            txn: r.txn()?,
+            meta: r.meta()?,
+            from: SiteId(r.u8()?),
+        },
+        3 => Message::VoteBusy {
+            txn: r.txn()?,
+            from: SiteId(r.u8()?),
+        },
+        4 => Message::CatchUpRequest {
+            txn: r.txn()?,
+            after_version: r.u64()?,
+        },
+        5 => Message::CatchUpReply {
+            txn: r.txn()?,
+            entries: r.entries()?,
+        },
+        6 => Message::Commit {
+            txn: r.txn()?,
+            meta: r.meta()?,
+            entries: r.entries()?,
+            participants: r.site_set()?,
+        },
+        7 => Message::Abort { txn: r.txn()? },
+        8 => Message::StatusQuery {
+            txn: r.txn()?,
+            after_version: r.u64()?,
+            from: SiteId(r.u8()?),
+        },
+        9 => {
+            let txn = r.txn()?;
+            let outcome = match r.u8()? {
+                0 => StatusOutcome::Committed {
+                    meta: r.meta()?,
+                    entries: r.entries()?,
+                    participants: r.site_set()?,
+                },
+                1 => StatusOutcome::Aborted,
+                2 => StatusOutcome::Unknown,
+                tag => return Err(WireError::BadTag(tag)),
+            };
+            Message::StatusReply { txn, outcome }
+        }
+        tag => return Err(WireError::BadTag(tag)),
+    };
+    r.finish(msg)
+}
+
+// ----- client frames -----------------------------------------------------
+
+/// Encode a client request (correlation id + operation).
+#[must_use]
+pub fn encode_request(id: u64, op: &ClientOp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    put_u64(&mut out, id);
+    match op {
+        ClientOp::Update => put_u8(&mut out, 0),
+        ClientOp::Read => put_u8(&mut out, 1),
+        ClientOp::Crash => put_u8(&mut out, 2),
+        ClientOp::Recover => put_u8(&mut out, 3),
+        ClientOp::SetReachable(set) => {
+            put_u8(&mut out, 4);
+            put_site_set(&mut out, *set);
+        }
+        ClientOp::Probe => put_u8(&mut out, 5),
+        ClientOp::Audit => put_u8(&mut out, 6),
+    }
+    out
+}
+
+/// Decode a client request.
+pub fn decode_request(body: &[u8]) -> Result<(u64, ClientOp), WireError> {
+    let mut r = Reader::new(body);
+    let id = r.u64()?;
+    let op = match r.u8()? {
+        0 => ClientOp::Update,
+        1 => ClientOp::Read,
+        2 => ClientOp::Crash,
+        3 => ClientOp::Recover,
+        4 => ClientOp::SetReachable(r.site_set()?),
+        5 => ClientOp::Probe,
+        6 => ClientOp::Audit,
+        tag => return Err(WireError::BadTag(tag)),
+    };
+    r.finish((id, op))
+}
+
+/// Encode a client reply (correlation id + outcome).
+#[must_use]
+pub fn encode_reply(id: u64, reply: &ClientReply) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    put_u64(&mut out, id);
+    match reply {
+        ClientReply::Committed { version } => {
+            put_u8(&mut out, 0);
+            put_u64(&mut out, *version);
+        }
+        ClientReply::ReadServed => put_u8(&mut out, 1),
+        ClientReply::Rejected => put_u8(&mut out, 2),
+        ClientReply::Busy => put_u8(&mut out, 3),
+        ClientReply::TimedOut => put_u8(&mut out, 4),
+        ClientReply::Down => put_u8(&mut out, 5),
+        ClientReply::Ok => put_u8(&mut out, 6),
+        ClientReply::Probe {
+            meta,
+            locked,
+            in_doubt,
+            down,
+        } => {
+            put_u8(&mut out, 7);
+            put_meta(&mut out, *meta);
+            put_u8(&mut out, u8::from(*locked));
+            put_u8(&mut out, u8::from(*in_doubt));
+            put_u8(&mut out, u8::from(*down));
+        }
+        ClientReply::Audit {
+            commits,
+            log_len,
+            consistent,
+        } => {
+            put_u8(&mut out, 8);
+            put_u64(&mut out, *commits);
+            put_u64(&mut out, *log_len);
+            put_u8(&mut out, u8::from(*consistent));
+        }
+    }
+    out
+}
+
+/// Decode a client reply.
+pub fn decode_reply(body: &[u8]) -> Result<(u64, ClientReply), WireError> {
+    let mut r = Reader::new(body);
+    let id = r.u64()?;
+    let reply = match r.u8()? {
+        0 => ClientReply::Committed { version: r.u64()? },
+        1 => ClientReply::ReadServed,
+        2 => ClientReply::Rejected,
+        3 => ClientReply::Busy,
+        4 => ClientReply::TimedOut,
+        5 => ClientReply::Down,
+        6 => ClientReply::Ok,
+        7 => ClientReply::Probe {
+            meta: r.meta()?,
+            locked: r.u8()? != 0,
+            in_doubt: r.u8()? != 0,
+            down: r.u8()? != 0,
+        },
+        8 => ClientReply::Audit {
+            commits: r.u64()?,
+            log_len: r.u64()?,
+            consistent: r.u8()? != 0,
+        },
+        tag => return Err(WireError::BadTag(tag)),
+    };
+    r.finish((id, reply))
+}
+
+// ----- frame transport ---------------------------------------------------
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `UnexpectedEof` when the
+/// connection closes cleanly between frames.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(c: u8, seq: u64) -> TxnId {
+        TxnId {
+            coordinator: SiteId(c),
+            seq,
+        }
+    }
+
+    fn sample_meta() -> CopyMeta {
+        CopyMeta {
+            version: 42,
+            cardinality: 3,
+            distinguished: Distinguished::Trio(SiteSet::parse("ABC").unwrap()),
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let entries = vec![
+            LogEntry {
+                version: 1,
+                payload: 100,
+            },
+            LogEntry {
+                version: 2,
+                payload: u64::MAX,
+            },
+        ];
+        let messages = vec![
+            Message::VoteRequest { txn: txn(0, 1) },
+            Message::VoteGranted {
+                txn: txn(1, 2),
+                meta: sample_meta(),
+                from: SiteId(1),
+            },
+            Message::VoteBusy {
+                txn: txn(2, 3),
+                from: SiteId(2),
+            },
+            Message::CatchUpRequest {
+                txn: txn(3, 4),
+                after_version: 7,
+            },
+            Message::CatchUpReply {
+                txn: txn(4, 5),
+                entries: entries.clone(),
+            },
+            Message::Commit {
+                txn: txn(0, 6),
+                meta: CopyMeta {
+                    version: 9,
+                    cardinality: 4,
+                    distinguished: Distinguished::Single(SiteId(3)),
+                },
+                entries: entries.clone(),
+                participants: SiteSet::parse("ABCD").unwrap(),
+            },
+            Message::Abort { txn: txn(1, 7) },
+            Message::StatusQuery {
+                txn: txn(2, 8),
+                after_version: 3,
+                from: SiteId(4),
+            },
+            Message::StatusReply {
+                txn: txn(3, 9),
+                outcome: StatusOutcome::Committed {
+                    meta: CopyMeta {
+                        version: 5,
+                        cardinality: 5,
+                        distinguished: Distinguished::Irrelevant,
+                    },
+                    entries,
+                    participants: SiteSet::all(5),
+                },
+            },
+            Message::StatusReply {
+                txn: txn(4, 10),
+                outcome: StatusOutcome::Aborted,
+            },
+            Message::StatusReply {
+                txn: txn(0, 11),
+                outcome: StatusOutcome::Unknown,
+            },
+        ];
+        for msg in messages {
+            let bytes = encode_message(&msg);
+            assert_eq!(decode_message(&bytes).unwrap(), msg, "{}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn every_distinguished_variant_round_trips() {
+        for ds in [
+            Distinguished::Irrelevant,
+            Distinguished::Single(SiteId(7)),
+            Distinguished::Trio(SiteSet::parse("BDE").unwrap()),
+            Distinguished::Set(SiteSet::parse("AE").unwrap()),
+        ] {
+            let msg = Message::VoteGranted {
+                txn: txn(0, 1),
+                meta: CopyMeta {
+                    version: 1,
+                    cardinality: 2,
+                    distinguished: ds,
+                },
+                from: SiteId(0),
+            };
+            let bytes = encode_message(&msg);
+            assert_eq!(decode_message(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn every_client_frame_round_trips() {
+        let ops = vec![
+            ClientOp::Update,
+            ClientOp::Read,
+            ClientOp::Crash,
+            ClientOp::Recover,
+            ClientOp::SetReachable(SiteSet::parse("ACE").unwrap()),
+            ClientOp::Probe,
+            ClientOp::Audit,
+        ];
+        for (i, op) in ops.into_iter().enumerate() {
+            let bytes = encode_request(i as u64, &op);
+            assert_eq!(decode_request(&bytes).unwrap(), (i as u64, op));
+        }
+        let replies = vec![
+            ClientReply::Committed { version: 12 },
+            ClientReply::ReadServed,
+            ClientReply::Rejected,
+            ClientReply::Busy,
+            ClientReply::TimedOut,
+            ClientReply::Down,
+            ClientReply::Ok,
+            ClientReply::Probe {
+                meta: sample_meta(),
+                locked: true,
+                in_doubt: false,
+                down: true,
+            },
+            ClientReply::Audit {
+                commits: 9,
+                log_len: 13,
+                consistent: true,
+            },
+        ];
+        for (i, reply) in replies.into_iter().enumerate() {
+            let bytes = encode_reply(i as u64, &reply);
+            assert_eq!(decode_reply(&bytes).unwrap(), (i as u64, reply));
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected_not_panicked() {
+        assert_eq!(decode_message(&[]), Err(WireError::Truncated));
+        assert_eq!(decode_message(&[0xEE]), Err(WireError::BadTag(0xEE)));
+        // VoteRequest with a truncated txn.
+        assert_eq!(decode_message(&[1, 0]), Err(WireError::Truncated));
+        // Valid VoteRequest with junk appended.
+        let mut bytes = encode_message(&Message::VoteRequest { txn: txn(0, 1) });
+        bytes.push(0);
+        assert_eq!(decode_message(&bytes), Err(WireError::TrailingBytes(1)));
+        // Entry count far beyond the body length must not allocate.
+        let mut reply = Vec::new();
+        put_u8(&mut reply, 5);
+        put_txn(&mut reply, txn(0, 1));
+        put_u32(&mut reply, u32::MAX);
+        assert_eq!(decode_message(&reply), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_byte_stream() {
+        let mut stream = Vec::new();
+        let a = encode_message(&Message::Abort { txn: txn(1, 2) });
+        let b = encode_request(7, &ClientOp::Probe);
+        write_frame(&mut stream, &a).unwrap();
+        write_frame(&mut stream, &b).unwrap();
+        let mut cursor = &stream[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), a);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b);
+        assert!(read_frame(&mut cursor).is_err(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = &stream[..];
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

@@ -52,6 +52,7 @@
 
 mod algorithm;
 pub mod algorithms;
+mod backoff;
 mod meta;
 pub mod multifile;
 pub mod quorum;
@@ -60,6 +61,7 @@ mod site;
 mod view;
 
 pub use algorithm::{AcceptRule, AlgorithmKind, ReplicaControl, UnknownAlgorithm, Verdict};
+pub use backoff::BackoffPolicy;
 pub use meta::{CopyMeta, Distinguished};
 pub use multifile::{FileId, MultiFileSystem, Transaction, TransactionOutcome};
 pub use scenario::{

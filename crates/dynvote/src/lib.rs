@@ -14,6 +14,9 @@
 //! * [`sim`] — a message-level discrete-event distributed
 //!   database running the full three-phase protocol under fault
 //!   injection;
+//! * [`cluster`] — a live multi-threaded cluster: the same protocol
+//!   kernel on wall clocks and real transports (in-process channels or
+//!   loopback TCP), plus a closed-loop load generator;
 //! * [`markov`] — exact availability analysis via
 //!   hand-derived and machine-derived Markov chains;
 //! * [`mc`] — Monte-Carlo simulation of the stochastic
@@ -27,6 +30,7 @@
 //! | "What would algorithm X do in partition Y?" | [`ReplicaSystem`] |
 //! | Exact availability numbers | [`markov::availability`](dynvote_markov::sweep::availability) |
 //! | Protocol behaviour under crashes and partitions | [`sim::Simulation`] |
+//! | Run a real multi-threaded cluster and load it | [`cluster::Cluster`], [`cluster::LoadGen`] |
 //! | Reproduce the paper | the `dynvote` CLI (`crates/cli`) and `EXPERIMENTS.md` |
 //!
 //! ```
@@ -46,6 +50,8 @@
 
 pub use dynvote_core::*;
 
+/// Live multi-threaded cluster runtime (re-export of `dynvote-cluster`).
+pub use dynvote_cluster as cluster;
 /// Analytic availability (re-export of `dynvote-markov`).
 pub use dynvote_markov as markov;
 /// Monte-Carlo model simulation (re-export of `dynvote-mc`).

@@ -14,7 +14,7 @@ use crate::message::{LogEntry, Message, TxnId};
 use crate::nemesis::{FaultSchedule, NemesisEvent};
 use crate::site::{Action, ResolveReason, SiteActor, TimerKind};
 use crate::topology::Topology;
-use dynvote_core::{AlgorithmKind, SiteId, SiteSet, MAX_SITES};
+use dynvote_core::{AlgorithmKind, BackoffPolicy, SiteId, SiteSet, MAX_SITES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -119,6 +119,18 @@ pub enum ConfigError {
     },
     /// A multi-file configuration with an empty file list.
     NoFiles,
+    /// An integer field outside its supported range (e.g. the cluster
+    /// load generator's concurrency).
+    OutOfRange {
+        /// The field name.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+        /// Smallest accepted value.
+        lo: u64,
+        /// Largest accepted value.
+        hi: u64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -143,6 +155,17 @@ impl std::fmt::Display for ConfigError {
                 )
             }
             ConfigError::NoFiles => write!(f, "the file list must not be empty"),
+            ConfigError::OutOfRange {
+                field,
+                value,
+                lo,
+                hi,
+            } => {
+                write!(
+                    f,
+                    "{field} = {value} is outside the supported range {lo}..={hi}"
+                )
+            }
         }
     }
 }
@@ -208,6 +231,13 @@ impl SimConfig {
         check_probability("drop_probability", self.drop_probability)?;
         check_probability("duplicate_probability", self.duplicate_probability)?;
         Ok(())
+    }
+
+    /// The termination-protocol retry policy these settings describe
+    /// (shared with the live cluster runtime via [`BackoffPolicy`]).
+    #[must_use]
+    pub fn backoff(&self) -> BackoffPolicy {
+        BackoffPolicy::new(self.initial_backoff, self.max_backoff).with_jitter(self.jitter)
     }
 }
 
@@ -644,11 +674,10 @@ impl Simulation {
                     let base = match kind {
                         TimerKind::VoteDeadline => self.config.vote_timeout,
                         TimerKind::CatchUpDeadline => self.config.catchup_timeout,
-                        TimerKind::PreparedRetry => backoff_delay(
-                            self.config.initial_backoff,
-                            self.config.max_backoff,
-                            self.sites[site.index()].prepared_rounds(),
-                        ),
+                        TimerKind::PreparedRetry => self
+                            .config
+                            .backoff()
+                            .base_delay(self.sites[site.index()].prepared_rounds()),
                     };
                     let delay = self.jittered(base);
                     self.schedule(delay, Event::Timer { site, txn, kind });
@@ -697,13 +726,14 @@ impl Simulation {
         }
     }
 
-    /// Scale a timer delay by the configured jitter fraction. The RNG is
-    /// only consulted when jitter is on, so default-config runs replay
-    /// the exact event streams of jitter-free builds.
+    /// Scale a timer delay by the configured jitter fraction (via the
+    /// shared [`BackoffPolicy`]). The RNG is only consulted when jitter
+    /// is on, so default-config runs replay the exact event streams of
+    /// jitter-free builds.
     fn jittered(&mut self, base: f64) -> f64 {
         if self.config.jitter > 0.0 {
             let u: f64 = self.rng.gen();
-            base * (1.0 - self.config.jitter + 2.0 * self.config.jitter * u)
+            self.config.backoff().scale(base, u)
         } else {
             base
         }
@@ -1040,13 +1070,6 @@ impl LogEntry {
     }
 }
 
-/// Exponential backoff: `initial · 2^rounds`, capped at `max`.
-fn backoff_delay(initial: f64, max: f64, rounds: u32) -> f64 {
-    // 2^62 already dwarfs any sane max_backoff/initial_backoff ratio.
-    let factor = f64::powi(2.0, rounds.min(62) as i32);
-    (initial * factor).min(max)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1179,17 +1202,22 @@ mod tests {
     }
 
     #[test]
-    fn backoff_doubles_and_caps() {
-        assert_eq!(backoff_delay(0.25, 2.0, 0), 0.25);
-        assert_eq!(backoff_delay(0.25, 2.0, 1), 0.5);
-        assert_eq!(backoff_delay(0.25, 2.0, 2), 1.0);
-        assert_eq!(backoff_delay(0.25, 2.0, 3), 2.0);
-        assert_eq!(backoff_delay(0.25, 2.0, 40), 2.0);
+    fn config_backoff_matches_the_shared_policy() {
+        let config = SimConfig {
+            initial_backoff: 0.25,
+            max_backoff: 2.0,
+            jitter: 0.3,
+            ..SimConfig::default()
+        };
+        let policy = config.backoff();
         assert_eq!(
-            backoff_delay(0.02, 0.02, 5),
-            0.02,
-            "flat when max == initial"
+            policy,
+            BackoffPolicy::new(0.25, 2.0).with_jitter(0.3),
+            "the engine arms PreparedRetry timers from the shared policy"
         );
+        assert_eq!(policy.base_delay(0), 0.25);
+        assert_eq!(policy.base_delay(3), 2.0);
+        assert_eq!(policy.base_delay(40), 2.0);
     }
 
     #[test]
