@@ -1,0 +1,178 @@
+//! Bench: raw kernel dispatch throughput.
+//!
+//! Unlike `protocol_sim` (which times the discrete-event engine around
+//! the kernel), this measures [`SiteActor::handle_message`] itself: a
+//! synchronous in-process router delivers every `Send`/`Broadcast`
+//! action immediately, so the numbers are messages dispatched per
+//! second through the pure state machine with zero harness overhead.
+//!
+//! Two workloads bracket the protocol's cost spectrum:
+//!
+//! * `commit_heavy` — healthy five-site commits: vote round, quorum,
+//!   commit fan-out, force-writes at every subordinate;
+//! * `abort_heavy` — every subordinate holds its own lock, so each
+//!   update collects four `VoteBusy` denials and aborts.
+//!
+//! The measurements land in `BENCH_kernel.json` next to the bench's
+//! working directory as a machine-readable perf baseline.
+
+use dynvote_core::{AlgorithmKind, SiteId};
+use dynvote_protocol::{Action, Message, SiteActor, TimerKind, TxnId};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+const SITES: usize = 5;
+const ROUNDS: u64 = 20_000;
+
+/// A zero-latency router: every action is interpreted immediately,
+/// timers fire only at quiescence (mirroring the simulator's quiesce
+/// loop, minus the event heap).
+struct Router {
+    actors: Vec<SiteActor>,
+    queue: VecDeque<(SiteId, SiteId, Message)>,
+    timers: Vec<(SiteId, TxnId, TimerKind)>,
+    dispatched: u64,
+}
+
+impl Router {
+    fn new(kind: AlgorithmKind) -> Router {
+        Router {
+            actors: (0..SITES)
+                .map(|i| SiteActor::new(SiteId(i as u8), SITES, kind.instantiate(SITES)))
+                .collect(),
+            queue: VecDeque::new(),
+            timers: Vec::new(),
+            dispatched: 0,
+        }
+    }
+
+    fn apply(&mut self, site: SiteId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.queue.push_back((site, to, msg)),
+                Action::Broadcast { msg } => {
+                    for i in 0..SITES {
+                        let to = SiteId(i as u8);
+                        if to != site {
+                            self.queue.push_back((site, to, msg.clone()));
+                        }
+                    }
+                }
+                Action::SetTimer { txn, kind } => self.timers.push((site, txn, kind)),
+                _ => {}
+            }
+        }
+    }
+
+    fn run_to_quiescence(&mut self) {
+        loop {
+            while let Some((from, to, msg)) = self.queue.pop_front() {
+                self.dispatched += 1;
+                let actions = self.actors[to.index()].handle_message(from, msg);
+                self.apply(to, actions);
+            }
+            if self.timers.is_empty() {
+                break;
+            }
+            for (site, txn, kind) in std::mem::take(&mut self.timers) {
+                let actions = self.actors[site.index()].timer_fired(txn, kind);
+                self.apply(site, actions);
+            }
+        }
+    }
+}
+
+struct Measurement {
+    workload: &'static str,
+    rounds: u64,
+    messages: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn msgs_per_sec(&self) -> f64 {
+        self.messages as f64 / self.seconds
+    }
+}
+
+/// Healthy commits: every site up, round-robin coordinators.
+fn commit_heavy() -> Measurement {
+    let mut router = Router::new(AlgorithmKind::Hybrid);
+    let start = Instant::now();
+    for i in 0..ROUNDS {
+        let coordinator = SiteId((i % SITES as u64) as u8);
+        let actions = router.actors[coordinator.index()].start_update(i);
+        router.apply(coordinator, actions);
+        router.run_to_quiescence();
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let version = router.actors[0].meta().version;
+    assert_eq!(
+        version, ROUNDS,
+        "commit-heavy workload must commit every round"
+    );
+    Measurement {
+        workload: "commit_heavy",
+        rounds: ROUNDS,
+        messages: router.dispatched,
+        seconds,
+    }
+}
+
+/// Denied votes: sites B..E each hold their own never-resolving lock,
+/// so site A's updates collect four `VoteBusy` replies and abort.
+fn abort_heavy() -> Measurement {
+    let mut router = Router::new(AlgorithmKind::Hybrid);
+    for i in 1..SITES {
+        // Lock the subordinate with a local coordination attempt whose
+        // vote requests are never delivered: the lock is held forever.
+        let _ = router.actors[i].start_update(u64::MAX);
+    }
+    let start = Instant::now();
+    for i in 0..ROUNDS {
+        let actions = router.actors[0].start_update(i);
+        router.apply(SiteId(0), actions);
+        router.run_to_quiescence();
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(
+        router.actors[0].meta().version,
+        0,
+        "abort-heavy workload must never commit"
+    );
+    Measurement {
+        workload: "abort_heavy",
+        rounds: ROUNDS,
+        messages: router.dispatched,
+        seconds,
+    }
+}
+
+fn main() {
+    let results = [commit_heavy(), abort_heavy()];
+    let mut json = String::from("{\n  \"bench\": \"protocol_kernel\",\n  \"workloads\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        println!(
+            "{:<14} {:>8} rounds  {:>9} msgs  {:>8.3} s  {:>12.0} msgs/sec",
+            m.workload,
+            m.rounds,
+            m.messages,
+            m.seconds,
+            m.msgs_per_sec()
+        );
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rounds\": {}, \"messages\": {}, \
+             \"seconds\": {:.6}, \"msgs_per_sec\": {:.0}}}{}\n",
+            m.workload,
+            m.rounds,
+            m.messages,
+            m.seconds,
+            m.msgs_per_sec(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_kernel.json";
+    std::fs::write(path, &json).expect("write BENCH_kernel.json");
+    println!("baseline written to {path}");
+}

@@ -11,9 +11,11 @@
 use crate::opts::Opts;
 use dynvote_cluster::wire::{ClientOp, ClientReply};
 use dynvote_cluster::{
-    Cluster, ClusterConfig, LoadGen, LoadGenConfig, TcpClient, TransportKind, WorkloadTarget,
+    Cluster, ClusterConfig, EventCountEntry, LoadGen, LoadGenConfig, TcpClient, TransportKind,
+    WorkloadTarget,
 };
 use dynvote_core::{AlgorithmKind, SiteId};
+use dynvote_protocol::EventKind;
 use std::net::SocketAddr;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -32,7 +34,7 @@ fn secs(value: f64, flag: &str) -> Result<Duration, String> {
 
 /// `dynvote serve`.
 pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
-    opts.reject_unknown(&["algo", "n", "port-base", "duration"])
+    opts.reject_unknown(&["algo", "n", "port-base", "duration", "trace"])
         .map_err(|e| format!("{e}; see `dynvote help`"))?;
     let algorithm = parse_algo(opts.get("algo").unwrap_or("hybrid"))?;
     let n: usize = opts.get_or("n", 5).map_err(|e| e.to_string())?;
@@ -41,10 +43,12 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
         opts.get_or("duration", 0.0).map_err(|e| e.to_string())?,
         "duration",
     )?;
+    let trace: bool = opts.get_or("trace", false).map_err(|e| e.to_string())?;
 
     let config = ClusterConfig::new(n, algorithm)
         .with_transport(TransportKind::Tcp)
-        .with_port_base(port_base);
+        .with_port_base(port_base)
+        .with_trace(trace);
     // Typed validation up front (satellite: no panics on absurd input).
     config.validate().map_err(|e| e.to_string())?;
     let cluster = Cluster::boot(&config).map_err(|e| e.to_string())?;
@@ -198,7 +202,7 @@ pub fn loadgen_cmd(opts: &Opts) -> Result<(), String> {
     thread::sleep(Duration::from_millis(200));
     let mut audited_commits = 0u64;
     let mut consistent = true;
-    for addr in &addrs {
+    for (site, addr) in addrs.iter().enumerate() {
         let mut client =
             TcpClient::connect(*addr).map_err(|e| format!("audit connect {addr}: {e}"))?;
         match client
@@ -214,6 +218,25 @@ pub fn loadgen_cmd(opts: &Opts) -> Result<(), String> {
                 consistent &= ok;
             }
             other => return Err(format!("unexpected audit reply {other:?}")),
+        }
+        // Pull this node's protocol event tallies into the JSON report
+        // (zero counts are omitted to keep the report readable).
+        match client
+            .request(&ClientOp::Events)
+            .map_err(|e| format!("events request {addr}: {e}"))?
+        {
+            ClientReply::Events { counts } => {
+                for (kind, &count) in EventKind::ALL.iter().zip(&counts) {
+                    if count > 0 {
+                        report.events.push(EventCountEntry {
+                            site,
+                            event: kind.name().to_owned(),
+                            count,
+                        });
+                    }
+                }
+            }
+            other => return Err(format!("unexpected events reply {other:?}")),
         }
     }
 

@@ -81,9 +81,11 @@ USAGE:
 
     dynvote simulate --n <sites> --algo <name> --duration <t>
                      [--update-rate r] [--fault-rate r] [--link-fault-rate r]
-                     [--drop p] [--seed s]
+                     [--drop p] [--seed s] [--trace true]
         Run the message-level protocol under fault injection and report
-        statistics and invariant checks.
+        statistics, per-kind protocol event tallies, and invariant
+        checks. --trace true prints every structured protocol event
+        (votes, quorums, force-writes, termination rounds) to stderr.
 
     dynvote chaos [--algo <name|all>] [--n k] [--seed s] [--duration t]
                   [--update-rate r] [--drop p] [--schedule in.json]
@@ -95,10 +97,12 @@ USAGE:
         minimal reproducer.
 
     dynvote serve [--n k] [--algo <name>] [--port-base p] [--duration secs]
+                  [--trace true]
         Boot a live n-node cluster on loopback TCP, node i listening on
         127.0.0.1:(port-base + i). With --duration 0 (default) it runs
         until killed; otherwise it audits consistency at the deadline
-        and exits non-zero on a violation.
+        and exits non-zero on a violation. --trace true renders every
+        protocol event to stderr as it happens.
 
     dynvote loadgen [--n k] [--host h] [--port-base p] [--concurrency c]
                     [--duration secs] [--read-fraction f] [--seed s]
@@ -107,10 +111,11 @@ USAGE:
         Closed-loop workload against a served cluster: c workers issue
         updates/reads round-robin over the nodes, optionally crashing
         and restarting one site mid-run. Prints a JSON report with
-        throughput and p50/p95/p99 commit latency, audits every node,
-        and exits non-zero on a serializability violation or if fewer
-        than --min-commits updates committed. --algo only labels the
-        report (the wire protocol is algorithm-agnostic).
+        throughput, p50/p95/p99 commit latency and per-site protocol
+        event tallies, audits every node, and exits non-zero on a
+        serializability violation or if fewer than --min-commits
+        updates committed. --algo only labels the report (the wire
+        protocol is algorithm-agnostic).
 ";
 
 fn main() -> ExitCode {

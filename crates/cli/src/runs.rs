@@ -379,6 +379,7 @@ pub fn simulate_cmd(opts: &Opts) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let drop: f64 = opts.get_or("drop", 0.0).map_err(|e| e.to_string())?;
     let seed: u64 = opts.get_or("seed", 7).map_err(|e| e.to_string())?;
+    let trace: bool = opts.get_or("trace", false).map_err(|e| e.to_string())?;
     if !(2..=20).contains(&n) || duration <= 0.0 || update_rate <= 0.0 {
         return Err("need 2 <= n <= 20, positive duration and update-rate".into());
     }
@@ -390,6 +391,9 @@ pub fn simulate_cmd(opts: &Opts) -> Result<(), String> {
         seed,
         ..SimConfig::default()
     });
+    if trace {
+        sim.enable_trace();
+    }
     sim.submit_update(SiteId(0));
     sim.quiesce();
     sim.schedule_poisson_arrivals(update_rate, duration);
@@ -419,6 +423,7 @@ pub fn simulate_cmd(opts: &Opts) -> Result<(), String> {
     println!("site crashes        {}", stats.site_crashes);
     println!("site recoveries     {}", stats.site_recoveries);
     println!("chain length        {}", sim.ledger().len());
+    println!("protocol events     {}", sim.event_tallies());
     let violations = sim.check_invariants();
     if violations.is_empty() {
         println!("consistency         OK (one-copy serializable)");

@@ -4,8 +4,8 @@
 use crate::node::{AuditOutcome, ClusterLedger, Node, NodeConfig, NodeEvent, ReplySink};
 use crate::transport::{ChannelTransport, TcpTransport, Transport};
 use crate::wire::{self, ClientOp, ClientReply, HELLO_CLIENT, HELLO_PEER};
-use dynvote_core::{AlgorithmKind, SiteId, SiteSet, MAX_SITES};
-use dynvote_sim::ConfigError;
+use dynvote_core::{AlgorithmKind, ConfigError, SiteId, SiteSet, MAX_SITES};
+use dynvote_protocol::{CountingSink, EventTallies};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -35,6 +35,9 @@ pub struct ClusterConfig {
     /// of an ephemeral port, so out-of-process clients (`dynvote
     /// loadgen`) can find the nodes.
     pub port_base: Option<u16>,
+    /// Render every protocol event to stderr as it happens (events are
+    /// always counted; this adds the human-readable stream).
+    pub trace: bool,
     /// Per-node wall-clock deadlines.
     pub node: NodeConfig,
 }
@@ -48,6 +51,7 @@ impl ClusterConfig {
             algorithm,
             transport: TransportKind::Channel,
             port_base: None,
+            trace: false,
             node: NodeConfig::default(),
         }
     }
@@ -63,6 +67,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_port_base(mut self, port_base: u16) -> Self {
         self.port_base = Some(port_base);
+        self
+    }
+
+    /// Mirror every protocol event to stderr as it happens.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -214,6 +225,7 @@ pub struct Cluster {
     senders: Vec<Sender<NodeEvent>>,
     handles: Vec<JoinHandle<()>>,
     ledger: Arc<ClusterLedger>,
+    events: Arc<CountingSink>,
     addrs: Vec<SocketAddr>,
 }
 
@@ -224,6 +236,7 @@ impl Cluster {
         config.validate()?;
         let n = config.n;
         let ledger = Arc::new(ClusterLedger::new());
+        let events = Arc::new(CountingSink::new());
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -254,7 +267,7 @@ impl Cluster {
             if config.transport == TransportKind::Tcp {
                 spawn_acceptor(listeners.remove(0), senders[i].clone());
             }
-            let node = Node::new(
+            let mut node = Node::new(
                 id,
                 n,
                 config.algorithm,
@@ -263,6 +276,7 @@ impl Cluster {
                 rx,
                 Arc::clone(&ledger),
             );
+            node.set_event_sink(Arc::clone(&events), config.trace);
             let handle = thread::Builder::new()
                 .name(format!("dynvote-node-{i}"))
                 .spawn(move || node.run())
@@ -275,6 +289,7 @@ impl Cluster {
             senders,
             handles,
             ledger,
+            events,
             addrs,
         })
     }
@@ -301,6 +316,12 @@ impl Cluster {
     #[must_use]
     pub fn ledger(&self) -> &Arc<ClusterLedger> {
         &self.ledger
+    }
+
+    /// Per-site tallies of every protocol event emitted so far.
+    #[must_use]
+    pub fn event_tallies(&self) -> EventTallies {
+        self.events.tallies()
     }
 
     fn control(&self, site: SiteId, op: ClientOp) -> Result<ClientReply, RequestError> {

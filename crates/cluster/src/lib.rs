@@ -1,21 +1,21 @@
 //! # dynvote-cluster — a live multi-threaded dynamic-voting cluster
 //!
 //! The simulator in `dynvote-sim` drives the protocol kernel
-//! ([`dynvote_sim::SiteActor`]) under a virtual clock and an omniscient
-//! in-memory network. This crate runs the *same kernel* against wall
-//! clocks and real byte streams: one OS thread per site, a pluggable
-//! [`Transport`] for inter-site messages, and a closed-loop
+//! ([`dynvote_protocol::SiteActor`]) under a virtual clock and an
+//! omniscient in-memory network. This crate runs the *same kernel*
+//! against wall clocks and real byte streams: one OS thread per site, a
+//! pluggable [`Transport`] for inter-site messages, and a closed-loop
 //! [`LoadGen`] that measures throughput and latency percentiles of the
 //! resulting system.
 //!
 //! The layering is strictly sans-IO:
 //!
 //! ```text
-//! dynvote-core   PartitionView / ReplicaControl   (pure decision rules)
-//! dynvote-sim    SiteActor: Message -> Vec<Action> (pure protocol kernel)
-//! this crate     Node: Action -> transport sends + wall-clock timers
-//!                Transport: in-process channels, or framed TCP loopback
-//!                Cluster / LoadGen: boot, fault injection, measurement
+//! dynvote-core      PartitionView / ReplicaControl   (pure decision rules)
+//! dynvote-protocol  SiteActor: Message -> Vec<Action> (pure protocol kernel)
+//! this crate        Node: Action -> transport sends + wall-clock timers
+//!                   Transport: in-process channels, or framed TCP loopback
+//!                   Cluster / LoadGen: boot, fault injection, measurement
 //! ```
 //!
 //! Because the kernel is shared, a scripted scenario executed on the
@@ -50,7 +50,7 @@ mod transport;
 pub mod wire;
 
 pub use cluster::{Cluster, ClusterConfig, LocalClient, RequestError, TcpClient, TransportKind};
-pub use loadgen::{Histogram, LoadGen, LoadGenConfig, LoadReport, WorkloadTarget};
+pub use loadgen::{EventCountEntry, Histogram, LoadGen, LoadGenConfig, LoadReport, WorkloadTarget};
 pub use node::{AuditOutcome, ClusterLedger, Node, NodeConfig, NodeEvent, ReplySink};
 pub use transport::{ChannelTransport, TcpTransport, Transport};
 pub use wire::{ClientOp, ClientReply, WireError};

@@ -11,7 +11,7 @@
 
 use crate::cluster::{LocalClient, TcpClient};
 use crate::wire::{ClientOp, ClientReply};
-use dynvote_sim::ConfigError;
+use dynvote_core::ConfigError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -177,6 +177,17 @@ pub struct LatencyStats {
     pub max_ms: f64,
 }
 
+/// One per-site, per-kind protocol-event counter in a [`LoadReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct EventCountEntry {
+    /// Site index.
+    pub site: usize,
+    /// Event kind name (snake_case, see `dynvote_protocol::EventKind`).
+    pub event: String,
+    /// Occurrences observed at that site.
+    pub count: u64,
+}
+
 /// Machine-readable summary of one load-generation run.
 #[derive(Debug, Clone, Serialize)]
 pub struct LoadReport {
@@ -210,6 +221,10 @@ pub struct LoadReport {
     pub update_latency: LatencyStats,
     /// The underlying commit-latency histogram.
     pub histogram: Histogram,
+    /// Per-site protocol-event tallies gathered after the run via
+    /// `ClientOp::Events` (zero-count entries omitted; empty when the
+    /// caller does not collect them).
+    pub events: Vec<EventCountEntry>,
 }
 
 impl LoadReport {
@@ -292,6 +307,7 @@ impl LoadGen {
                 max_ms: tally.latency.max_ms(),
             },
             histogram: tally.latency,
+            events: Vec::new(),
         })
     }
 }

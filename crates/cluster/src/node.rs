@@ -26,12 +26,15 @@
 
 use crate::transport::Transport;
 use crate::wire::{self, ClientOp, ClientReply};
-use dynvote_core::{AlgorithmKind, BackoffPolicy, SiteId, SiteSet};
-use dynvote_sim::{Action, LogEntry, Message, ResolveReason, SiteActor, TimerKind, TxnId};
+use dynvote_core::{AlgorithmKind, BackoffPolicy, SiteId, SiteSet, TimerWheel};
+use dynvote_protocol::{
+    Action, CountingSink, EventSink, FanoutSink, LogEntry, Message, RenderSink, ResolveReason,
+    SiteActor, TimerKind, TxnId,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::net::TcpStream;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -215,38 +218,6 @@ pub struct AuditOutcome {
     pub violations: Vec<String>,
 }
 
-/// One wall-clock timer. Ordered by deadline, ties broken by arming
-/// order.
-struct TimerEntry {
-    when: Instant,
-    seq: u64,
-    epoch: u64,
-    txn: TxnId,
-    kind: TimerKind,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-
-impl Eq for TimerEntry {}
-
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.when
-            .cmp(&other.when)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
-}
-
 struct PendingClient {
     id: u64,
     reply: ReplySink,
@@ -264,11 +235,14 @@ pub struct Node {
     ledger: Arc<ClusterLedger>,
     down: bool,
     reachable: SiteSet,
-    /// Bumped on every crash so timers armed before the crash are
+    /// Wall-clock protocol deadlines, in the shared [`TimerWheel`] (the
+    /// simulator arms the same wheel under a virtual clock). Its epoch
+    /// is bumped on every crash so timers armed before the crash are
     /// recognizably stale (volatile state they guard is gone).
-    epoch: u64,
-    timers: BinaryHeap<std::cmp::Reverse<TimerEntry>>,
-    timer_seq: u64,
+    timers: TimerWheel<Instant, (TxnId, TimerKind)>,
+    /// The cluster-shared counting sink, kept to answer
+    /// [`ClientOp::Events`] with this site's tally row.
+    events: Option<Arc<CountingSink>>,
     pending: HashMap<TxnId, PendingClient>,
     restart_txns: HashSet<TxnId>,
     payload_seq: u64,
@@ -302,15 +276,30 @@ impl Node {
             ledger,
             down: false,
             reachable: SiteSet::all(n),
-            epoch: 0,
-            timers: BinaryHeap::new(),
-            timer_seq: 0,
+            timers: TimerWheel::new(),
+            events: None,
             pending: HashMap::new(),
             restart_txns: HashSet::new(),
             payload_seq: 0,
             commits: 0,
             rng,
         }
+    }
+
+    /// Install the cluster-shared event sink: every protocol event the
+    /// kernel emits is counted per site (and, with `trace`, rendered to
+    /// stderr as it happens). Must be called before [`Node::run`].
+    pub fn set_event_sink(&mut self, counting: Arc<CountingSink>, trace: bool) {
+        let sink: Arc<dyn EventSink> = if trace {
+            Arc::new(FanoutSink::new(vec![
+                counting.clone() as Arc<dyn EventSink>,
+                Arc::new(RenderSink),
+            ]))
+        } else {
+            counting.clone()
+        };
+        self.actor.set_sink(sink);
+        self.events = Some(counting);
     }
 
     /// The event loop: block on the inbox up to the next timer
@@ -373,8 +362,9 @@ impl Node {
             ClientOp::Crash => {
                 if !self.down {
                     self.down = true;
-                    self.epoch += 1;
-                    self.timers.clear();
+                    // Lazy cancellation: already-armed entries become
+                    // stale and are skimmed off at the next peek/pop.
+                    self.timers.bump_epoch();
                     self.actor.crash();
                     for (_, client) in self.pending.drain() {
                         client.reply.send(client.id, ClientReply::Down);
@@ -415,6 +405,14 @@ impl Node {
                         down: self.down,
                     },
                 );
+            }
+            ClientOp::Events => {
+                let counts = self
+                    .events
+                    .as_ref()
+                    .map(|sink| sink.tallies().row(self.id).to_vec())
+                    .unwrap_or_default();
+                reply.send(id, ClientReply::Events { counts });
             }
             ClientOp::Audit => {
                 // Consistency seen from this node: its own log is a
@@ -533,34 +531,22 @@ impl Node {
                 Duration::from_secs_f64(ms / 1000.0)
             }
         };
-        self.timer_seq += 1;
-        self.timers.push(std::cmp::Reverse(TimerEntry {
-            when: Instant::now() + delay,
-            seq: self.timer_seq,
-            epoch: self.epoch,
-            txn,
-            kind,
-        }));
+        self.timers.schedule(Instant::now() + delay, (txn, kind));
     }
 
-    fn next_timer_in(&self) -> Option<Duration> {
+    fn next_timer_in(&mut self) -> Option<Duration> {
+        let now = Instant::now();
         self.timers
-            .peek()
-            .map(|std::cmp::Reverse(e)| e.when.saturating_duration_since(Instant::now()))
+            .next_deadline()
+            .map(|when| when.saturating_duration_since(now))
     }
 
     fn fire_due_timers(&mut self) {
-        while let Some(std::cmp::Reverse(entry)) = self.timers.peek() {
-            if entry.when > Instant::now() {
-                return;
-            }
-            let std::cmp::Reverse(entry) = self.timers.pop().expect("peeked");
-            // Timers from before the last crash guard volatile state
-            // that no longer exists.
-            if entry.epoch != self.epoch || self.down {
+        while let Some((_, (txn, kind))) = self.timers.pop_due(&Instant::now()) {
+            if self.down {
                 continue;
             }
-            let actions = self.actor.timer_fired(entry.txn, entry.kind);
+            let actions = self.actor.timer_fired(txn, kind);
             self.apply(actions);
         }
     }
@@ -616,27 +602,5 @@ mod tests {
             payload: 0x99,
         }];
         assert!(!ledger.check_log(&diverged, 1));
-    }
-
-    #[test]
-    fn timer_entries_order_by_deadline_then_arming_order() {
-        let now = Instant::now();
-        let entry = |when, seq| TimerEntry {
-            when,
-            seq,
-            epoch: 0,
-            txn: TxnId {
-                coordinator: SiteId(0),
-                seq: 0,
-            },
-            kind: TimerKind::VoteDeadline,
-        };
-        let mut heap = BinaryHeap::new();
-        heap.push(std::cmp::Reverse(entry(now + Duration::from_millis(9), 1)));
-        heap.push(std::cmp::Reverse(entry(now + Duration::from_millis(1), 2)));
-        heap.push(std::cmp::Reverse(entry(now + Duration::from_millis(1), 3)));
-        let order: Vec<u64> =
-            std::iter::from_fn(|| heap.pop().map(|std::cmp::Reverse(e)| e.seq)).collect();
-        assert_eq!(order, vec![2, 3, 1]);
     }
 }

@@ -18,7 +18,7 @@
 use crate::cluster::{Cluster, ClusterConfig, TransportKind};
 use crate::wire::ClientReply;
 use dynvote_core::{AlgorithmKind, CopyMeta, SiteId, SiteSet};
-use dynvote_sim::{SimConfig, Simulation};
+use dynvote_protocol::EventTallies;
 use std::time::Duration;
 
 /// One step of a scripted scenario.
@@ -74,42 +74,6 @@ pub fn demo_script() -> Vec<ScriptOp> {
     ]
 }
 
-/// Interpret `script` on the discrete-event simulator (reliable,
-/// jitter-free network) and reduce to its fixpoint.
-#[must_use]
-pub fn run_sim(algorithm: AlgorithmKind, n: usize, script: &[ScriptOp]) -> Fixpoint {
-    let config = SimConfig {
-        n,
-        algorithm,
-        ..SimConfig::default()
-    };
-    let mut sim = Simulation::new(config);
-    for op in script {
-        match op {
-            ScriptOp::Update(site) => {
-                sim.submit_update(*site);
-            }
-            ScriptOp::Read(site) => {
-                sim.submit_read(*site);
-            }
-            ScriptOp::Crash(site) => sim.crash_site(*site),
-            ScriptOp::Recover(site) => sim.recover_site(*site),
-            ScriptOp::Partition(groups) => sim.impose_partitions(groups),
-            // Link repair only — the cluster's Heal resets
-            // reachability without recovering crashed sites, and
-            // `Simulation::heal` would recover them too.
-            ScriptOp::Heal => sim.impose_partitions(&[SiteSet::all(n)]),
-        }
-        sim.quiesce();
-    }
-    Fixpoint {
-        metas: (0..n).map(|i| sim.site(SiteId(i as u8)).meta()).collect(),
-        chain_len: sim.ledger().iter().filter(|e| e.is_some()).count() as u64,
-        committed: sim.stats().commits,
-        consistent: sim.check_invariants().is_empty(),
-    }
-}
-
 /// Interpret `script` on a live cluster over the given transport and
 /// reduce to its fixpoint. Panics if the cluster misbehaves at the
 /// harness level (node gone, quiescence never reached).
@@ -120,6 +84,18 @@ pub fn run_cluster(
     transport: TransportKind,
     script: &[ScriptOp],
 ) -> Fixpoint {
+    run_cluster_traced(algorithm, n, transport, script).0
+}
+
+/// Like [`run_cluster`], additionally returning the per-site protocol
+/// event tallies the run produced.
+#[must_use]
+pub fn run_cluster_traced(
+    algorithm: AlgorithmKind,
+    n: usize,
+    transport: TransportKind,
+    script: &[ScriptOp],
+) -> (Fixpoint, EventTallies) {
     let config = ClusterConfig::new(n, algorithm).with_transport(transport);
     let cluster = Cluster::boot(&config).expect("boot cluster");
     for op in script {
@@ -148,13 +124,17 @@ pub fn run_cluster(
         }
     }
     let audit = cluster.audit().expect("audit");
+    let tallies = cluster.event_tallies();
     cluster.shutdown();
-    Fixpoint {
-        metas,
-        chain_len: audit.chain_len,
-        committed: audit.commits,
-        consistent: audit.consistent,
-    }
+    (
+        Fixpoint {
+            metas,
+            chain_len: audit.chain_len,
+            committed: audit.commits,
+            consistent: audit.consistent,
+        },
+        tallies,
+    )
 }
 
 #[cfg(test)]
@@ -168,17 +148,5 @@ mod tests {
         assert!(script.iter().any(|op| matches!(op, ScriptOp::Crash(_))));
         assert!(script.iter().any(|op| matches!(op, ScriptOp::Recover(_))));
         assert!(script.iter().any(|op| matches!(op, ScriptOp::Heal)));
-    }
-
-    #[test]
-    fn the_simulator_fixpoint_is_internally_consistent() {
-        let fp = run_sim(AlgorithmKind::Hybrid, 5, &demo_script());
-        assert!(fp.consistent);
-        assert!(fp.committed >= 5, "commits: {}", fp.committed);
-        assert!(fp.chain_len >= fp.committed);
-        // After the final full-connectivity updates every site is
-        // current.
-        let top = fp.metas.iter().map(|m| m.version).max().unwrap();
-        assert!(fp.metas.iter().all(|m| m.version == top));
     }
 }

@@ -21,7 +21,7 @@
 use crate::node::NodeEvent;
 use crate::wire::{self, HELLO_PEER};
 use dynvote_core::SiteId;
-use dynvote_sim::Message;
+use dynvote_protocol::Message;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::mpsc::Sender;
@@ -116,7 +116,7 @@ impl Transport for TcpTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dynvote_sim::TxnId;
+    use dynvote_protocol::TxnId;
     use std::net::TcpListener;
     use std::sync::mpsc;
 

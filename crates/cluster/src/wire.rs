@@ -15,7 +15,7 @@
 //! handful of `extend_from_slice` calls per message.
 
 use dynvote_core::{CopyMeta, Distinguished, SiteId, SiteSet};
-use dynvote_sim::{LogEntry, Message, StatusOutcome, TxnId};
+use dynvote_protocol::{LogEntry, Message, StatusOutcome, TxnId};
 use std::io::{self, Read, Write};
 
 /// Connection preamble byte announcing a peer (protocol) link; the next
@@ -74,6 +74,9 @@ pub enum ClientOp {
     /// Ask the node to audit its durable log against the cluster's
     /// shared omniscient ledger.
     Audit,
+    /// Fetch the node's protocol-event tallies (one counter per
+    /// [`dynvote_protocol::EventKind`], in declaration order).
+    Events,
 }
 
 /// A node's reply to a [`ClientOp`].
@@ -118,6 +121,12 @@ pub enum ClientReply {
         /// True if the log is a gapless prefix of the shared ledger and
         /// the metadata version matches the log.
         consistent: bool,
+    },
+    /// Protocol-event tallies for the queried site, indexed by
+    /// [`dynvote_protocol::EventKind`] declaration order.
+    Events {
+        /// One counter per event kind.
+        counts: Vec<u64>,
     },
 }
 
@@ -413,6 +422,7 @@ pub fn encode_request(id: u64, op: &ClientOp) -> Vec<u8> {
         }
         ClientOp::Probe => put_u8(&mut out, 5),
         ClientOp::Audit => put_u8(&mut out, 6),
+        ClientOp::Events => put_u8(&mut out, 7),
     }
     out
 }
@@ -429,6 +439,7 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, ClientOp), WireError> {
         4 => ClientOp::SetReachable(r.site_set()?),
         5 => ClientOp::Probe,
         6 => ClientOp::Audit,
+        7 => ClientOp::Events,
         tag => return Err(WireError::BadTag(tag)),
     };
     r.finish((id, op))
@@ -472,6 +483,13 @@ pub fn encode_reply(id: u64, reply: &ClientReply) -> Vec<u8> {
             put_u64(&mut out, *log_len);
             put_u8(&mut out, u8::from(*consistent));
         }
+        ClientReply::Events { counts } => {
+            put_u8(&mut out, 9);
+            put_u32(&mut out, counts.len() as u32);
+            for &c in counts {
+                put_u64(&mut out, c);
+            }
+        }
     }
     out
 }
@@ -499,6 +517,19 @@ pub fn decode_reply(body: &[u8]) -> Result<(u64, ClientReply), WireError> {
             log_len: r.u64()?,
             consistent: r.u8()? != 0,
         },
+        9 => {
+            let count = r.u32()? as usize;
+            // Guard: each counter is 8 bytes, so a valid count is
+            // bounded by the remaining body.
+            if count > (body.len() - 12) / 8 {
+                return Err(WireError::Truncated);
+            }
+            let mut counts = Vec::with_capacity(count);
+            for _ in 0..count {
+                counts.push(r.u64()?);
+            }
+            ClientReply::Events { counts }
+        }
         tag => return Err(WireError::BadTag(tag)),
     };
     r.finish((id, reply))
@@ -657,6 +688,7 @@ mod tests {
             ClientOp::SetReachable(SiteSet::parse("ACE").unwrap()),
             ClientOp::Probe,
             ClientOp::Audit,
+            ClientOp::Events,
         ];
         for (i, op) in ops.into_iter().enumerate() {
             let bytes = encode_request(i as u64, &op);
@@ -681,6 +713,10 @@ mod tests {
                 log_len: 13,
                 consistent: true,
             },
+            ClientReply::Events {
+                counts: vec![0, 3, 0, 17, u64::MAX],
+            },
+            ClientReply::Events { counts: Vec::new() },
         ];
         for (i, reply) in replies.into_iter().enumerate() {
             let bytes = encode_reply(i as u64, &reply);

@@ -7,17 +7,65 @@
 //! workload commit count. One test per algorithm, so failures name the
 //! algorithm and the suite parallelizes across test threads.
 
-use dynvote_cluster::scenario::{demo_script, run_cluster, run_sim, Fixpoint};
+use dynvote_cluster::scenario::{demo_script, run_cluster, run_cluster_traced, Fixpoint, ScriptOp};
 use dynvote_cluster::wire::ClientOp;
 use dynvote_cluster::{Cluster, ClusterConfig, LoadGen, LoadGenConfig, TransportKind};
-use dynvote_core::{AlgorithmKind, SiteId};
+use dynvote_core::{AlgorithmKind, SiteId, SiteSet};
+use dynvote_protocol::{EventKind, EventTallies};
+use dynvote_sim::{SimConfig, Simulation};
 use std::thread;
 use std::time::Duration;
+
+/// Interpret `script` on the discrete-event simulator and reduce to its
+/// fixpoint plus the protocol event tallies the run produced. Lives in
+/// the conformance suite (not the library) so `dynvote-cluster` itself
+/// never links the simulator.
+fn run_sim_traced(
+    algorithm: AlgorithmKind,
+    n: usize,
+    script: &[ScriptOp],
+) -> (Fixpoint, EventTallies) {
+    let config = SimConfig {
+        n,
+        algorithm,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(config);
+    for op in script {
+        match op {
+            ScriptOp::Update(site) => {
+                sim.submit_update(*site);
+            }
+            ScriptOp::Read(site) => {
+                sim.submit_read(*site);
+            }
+            ScriptOp::Crash(site) => sim.crash_site(*site),
+            ScriptOp::Recover(site) => sim.recover_site(*site),
+            ScriptOp::Partition(groups) => sim.impose_partitions(groups),
+            // Link repair only — the cluster's Heal resets
+            // reachability without recovering crashed sites, and
+            // `Simulation::heal` would recover them too.
+            ScriptOp::Heal => sim.impose_partitions(&[SiteSet::all(n)]),
+        }
+        sim.quiesce();
+    }
+    let fixpoint = Fixpoint {
+        metas: (0..n).map(|i| sim.site(SiteId(i as u8)).meta()).collect(),
+        chain_len: sim.ledger().iter().filter(|e| e.is_some()).count() as u64,
+        committed: sim.stats().commits,
+        consistent: sim.check_invariants().is_empty(),
+    };
+    (fixpoint, sim.event_tallies())
+}
+
+fn run_sim(algorithm: AlgorithmKind, n: usize, script: &[ScriptOp]) -> Fixpoint {
+    run_sim_traced(algorithm, n, script).0
+}
 
 /// Serialize metadata through the wire codec so "byte-identical" is
 /// literal, not just `PartialEq`.
 fn meta_bytes(fp: &Fixpoint) -> Vec<u8> {
-    use dynvote_sim::{Message, TxnId};
+    use dynvote_protocol::{Message, TxnId};
     let mut out = Vec::new();
     for (i, meta) in fp.metas.iter().enumerate() {
         out.extend(dynvote_cluster::wire::encode_message(
@@ -85,6 +133,54 @@ fn conformance_modified_hybrid() {
 #[test]
 fn conformance_optimal_candidate() {
     conformance(AlgorithmKind::OptimalCandidate);
+}
+
+/// The simulator fixpoint is internally consistent before any
+/// cross-substrate comparison — relocated here from the library when
+/// the simulator became a dev-dependency of this crate.
+#[test]
+fn the_simulator_fixpoint_is_internally_consistent() {
+    let fp = run_sim(AlgorithmKind::Hybrid, 5, &demo_script());
+    assert!(fp.consistent);
+    assert!(fp.committed >= 5, "commits: {}", fp.committed);
+    assert!(fp.chain_len >= fp.committed);
+    // After the final full-connectivity updates every site is
+    // current.
+    let top = fp.metas.iter().map(|m| m.version).max().unwrap();
+    assert!(fp.metas.iter().all(|m| m.version == top));
+}
+
+/// The kernel's structured event stream is substrate-independent: the
+/// scripted scenario must produce identical per-site, per-kind tallies
+/// on the virtual-time simulator and the wall-clock channel cluster —
+/// modulo [`EventKind::TerminationRound`], whose count depends on how
+/// retry backoff races the vote deadline ([`EventTallies::deterministic`]
+/// masks it).
+#[test]
+fn protocol_event_tallies_match_sim_vs_channel() {
+    let script = demo_script();
+    let (sim_fp, sim_tallies) = run_sim_traced(AlgorithmKind::Hybrid, 5, &script);
+    let (cluster_fp, cluster_tallies) =
+        run_cluster_traced(AlgorithmKind::Hybrid, 5, TransportKind::Channel, &script);
+    assert_eq!(sim_fp, cluster_fp, "fixpoints diverge");
+
+    let sim_det = sim_tallies.deterministic();
+    let cluster_det = cluster_tallies.deterministic();
+    for i in 0..5 {
+        let site = SiteId(i);
+        assert_eq!(
+            sim_det.row(site),
+            cluster_det.row(site),
+            "site {site}: event tallies diverge (sim: {sim_det}, cluster: {cluster_det})"
+        );
+    }
+
+    // The scenario exercises the interesting vocabulary: quorum votes,
+    // force-written commits, and a crash/recover cycle.
+    assert!(sim_det.total(EventKind::VoteGranted) > 0);
+    assert!(sim_det.total(EventKind::CommitForced) > 0);
+    assert_eq!(sim_det.total(EventKind::Crashed), 1);
+    assert_eq!(sim_det.total(EventKind::Recovered), 1);
 }
 
 /// End-to-end smoke: concurrent load with a crash/restart in the

@@ -1,0 +1,205 @@
+//! Typed configuration validation shared by every harness.
+//!
+//! The simulator ([`SimConfig`](https://docs.rs/dynvote-sim)), the
+//! multi-file simulator, the live cluster and its load generator all
+//! accept numeric knobs from untrusted sources (CLI flags, hand-edited
+//! JSON). They reject absurd values with the same typed error, so a
+//! caller can match on *what* was wrong rather than parse a message.
+
+use crate::site::MAX_SITES;
+
+/// A rejected configuration field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `n` outside the supported `2..=MAX_SITES` range.
+    SiteCount {
+        /// The offending site count.
+        n: usize,
+    },
+    /// A duration/timeout field that must be strictly positive was not.
+    NotPositive {
+        /// The field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability field outside `[0, 1]` (or non-finite).
+    NotProbability {
+        /// The field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A non-negative field (jitter magnitudes) was negative or
+    /// non-finite.
+    Negative {
+        /// The field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `max_backoff` below `initial_backoff`.
+    BackoffRange {
+        /// Configured initial backoff.
+        initial: f64,
+        /// Configured maximum backoff.
+        max: f64,
+    },
+    /// A multi-file configuration with an empty file list.
+    NoFiles,
+    /// An integer field outside its supported range (e.g. the cluster
+    /// load generator's concurrency).
+    OutOfRange {
+        /// The field name.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+        /// Smallest accepted value.
+        lo: u64,
+        /// Largest accepted value.
+        hi: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::SiteCount { n } => {
+                write!(f, "n = {n} is outside the supported range 2..={MAX_SITES}")
+            }
+            ConfigError::NotPositive { field, value } => {
+                write!(f, "{field} = {value} must be strictly positive")
+            }
+            ConfigError::NotProbability { field, value } => {
+                write!(f, "{field} = {value} is not a probability in [0, 1]")
+            }
+            ConfigError::Negative { field, value } => {
+                write!(f, "{field} = {value} must be finite and non-negative")
+            }
+            ConfigError::BackoffRange { initial, max } => {
+                write!(
+                    f,
+                    "max_backoff = {max} is below initial_backoff = {initial}"
+                )
+            }
+            ConfigError::NoFiles => write!(f, "the file list must not be empty"),
+            ConfigError::OutOfRange {
+                field,
+                value,
+                lo,
+                hi,
+            } => {
+                write!(
+                    f,
+                    "{field} = {value} is outside the supported range {lo}..={hi}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Require a strictly positive, finite value (durations, rates).
+pub fn check_positive(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::NotPositive { field, value })
+    }
+}
+
+/// Require a finite probability in `[0, 1]`.
+pub fn check_probability(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(ConfigError::NotProbability { field, value })
+    }
+}
+
+/// Require a finite, non-negative value (jitter magnitudes).
+pub fn check_non_negative(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::Negative { field, value })
+    }
+}
+
+/// Require a site count in the supported `2..=MAX_SITES` range.
+pub fn check_site_count(n: usize) -> Result<(), ConfigError> {
+    if (2..=MAX_SITES).contains(&n) {
+        Ok(())
+    } else {
+        Err(ConfigError::SiteCount { n })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_accept_sane_values() {
+        assert_eq!(check_positive("latency", 0.01), Ok(()));
+        assert_eq!(check_probability("drop", 0.0), Ok(()));
+        assert_eq!(check_probability("drop", 1.0), Ok(()));
+        assert_eq!(check_non_negative("jitter", 0.0), Ok(()));
+        assert_eq!(check_site_count(2), Ok(()));
+        assert_eq!(check_site_count(MAX_SITES), Ok(()));
+    }
+
+    #[test]
+    fn helpers_reject_absurd_values_with_typed_errors() {
+        assert_eq!(
+            check_positive("latency", 0.0),
+            Err(ConfigError::NotPositive {
+                field: "latency",
+                value: 0.0
+            })
+        );
+        assert!(check_positive("latency", f64::NAN).is_err());
+        assert_eq!(
+            check_probability("drop", 1.5),
+            Err(ConfigError::NotProbability {
+                field: "drop",
+                value: 1.5
+            })
+        );
+        assert_eq!(
+            check_non_negative("jitter", -0.1),
+            Err(ConfigError::Negative {
+                field: "jitter",
+                value: -0.1
+            })
+        );
+        assert_eq!(check_site_count(1), Err(ConfigError::SiteCount { n: 1 }));
+        assert_eq!(
+            check_site_count(MAX_SITES + 1),
+            Err(ConfigError::SiteCount { n: MAX_SITES + 1 })
+        );
+    }
+
+    #[test]
+    fn display_messages_name_the_field_and_the_bound() {
+        let e = ConfigError::OutOfRange {
+            field: "concurrency",
+            value: 0,
+            lo: 1,
+            hi: 1024,
+        };
+        assert_eq!(
+            e.to_string(),
+            "concurrency = 0 is outside the supported range 1..=1024"
+        );
+        assert_eq!(
+            ConfigError::BackoffRange {
+                initial: 2.0,
+                max: 1.0
+            }
+            .to_string(),
+            "max_backoff = 1 is below initial_backoff = 2"
+        );
+    }
+}

@@ -53,19 +53,25 @@
 mod algorithm;
 pub mod algorithms;
 mod backoff;
+mod config;
 mod meta;
 pub mod multifile;
 pub mod quorum;
 pub mod scenario;
 mod site;
+mod timer;
 mod view;
 
 pub use algorithm::{AcceptRule, AlgorithmKind, ReplicaControl, UnknownAlgorithm, Verdict};
 pub use backoff::BackoffPolicy;
+pub use config::{
+    check_non_negative, check_positive, check_probability, check_site_count, ConfigError,
+};
 pub use meta::{CopyMeta, Distinguished};
 pub use multifile::{FileId, MultiFileSystem, Transaction, TransactionOutcome};
 pub use scenario::{
     fig1_partition_graph, run_scenario, ReplicaSystem, ScenarioStep, StepReport, UpdateOutcome,
 };
 pub use site::{LinearOrder, SiteId, SiteSet, MAX_SITES};
+pub use timer::{TimerWheel, VirtualInstant};
 pub use view::{PartitionView, ViewError};

@@ -1,0 +1,233 @@
+//! A generic timer wheel shared by every event loop.
+//!
+//! Both harnesses of the protocol kernel need the same structure: a
+//! binary heap of pending deadlines, ordered by `(deadline, arming
+//! order)` so that ties fire in the order they were armed, with *epoch
+//! invalidation* — crashing a site must cancel every timer guarding
+//! volatile transactions that no longer exist, without walking the
+//! heap. The simulator instantiates it over virtual time
+//! ([`VirtualInstant`], a totally ordered `f64`), the live cluster over
+//! [`std::time::Instant`]; jittered delays come from
+//! [`BackoffPolicy`](crate::BackoffPolicy) scaling the delay *before*
+//! it is scheduled, so the wheel itself stays deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time for discrete-event simulation: a totally ordered
+/// wrapper over `f64` seconds (NaN-free by construction — deadlines are
+/// `clock + delay` with finite, validated delays).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirtualInstant(pub f64);
+
+impl Eq for VirtualInstant {}
+
+impl PartialOrd for VirtualInstant {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VirtualInstant {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One armed timer: a deadline, the arming order (tie-break), the epoch
+/// it was armed in, and the caller's payload.
+#[derive(Debug, Clone)]
+struct Entry<T, P> {
+    when: T,
+    seq: u64,
+    epoch: u64,
+    payload: P,
+}
+
+impl<T: Ord, P> PartialEq for Entry<T, P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<T: Ord, P> Eq for Entry<T, P> {}
+
+impl<T: Ord, P> PartialOrd for Entry<T, P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Ord, P> Ord for Entry<T, P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.when
+            .cmp(&other.when)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A binary-heap timer wheel ordered by `(deadline, arming order)` with
+/// epoch invalidation.
+///
+/// [`bump_epoch`](TimerWheel::bump_epoch) invalidates every currently
+/// armed timer in O(1); stale entries are discarded lazily as the heap
+/// is inspected, so a crash never pays for the timers it cancels.
+#[derive(Debug)]
+pub struct TimerWheel<T, P> {
+    heap: BinaryHeap<Reverse<Entry<T, P>>>,
+    seq: u64,
+    epoch: u64,
+}
+
+impl<T: Ord, P> Default for TimerWheel<T, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord, P> TimerWheel<T, P> {
+    /// An empty wheel at epoch 0.
+    #[must_use]
+    pub fn new() -> Self {
+        TimerWheel {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Arm a timer for `when`. Equal deadlines fire in arming order.
+    pub fn schedule(&mut self, when: T, payload: P) {
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            when,
+            seq: self.seq,
+            epoch: self.epoch,
+            payload,
+        }));
+    }
+
+    /// Invalidate every currently armed timer (a crash boundary). New
+    /// timers armed afterwards belong to the new epoch and fire
+    /// normally.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Drop every entry, live or stale, without changing the epoch.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Discard stale-epoch entries sitting at the top of the heap.
+    fn skim(&mut self) {
+        while matches!(self.heap.peek(), Some(Reverse(e)) if e.epoch != self.epoch) {
+            self.heap.pop();
+        }
+    }
+
+    /// The earliest live deadline, if any.
+    pub fn next_deadline(&mut self) -> Option<&T> {
+        self.skim();
+        self.heap.peek().map(|Reverse(e)| &e.when)
+    }
+
+    /// Pop the earliest live timer regardless of the clock (the
+    /// discrete-event loop: the pop *advances* time).
+    pub fn pop_next(&mut self) -> Option<(T, P)> {
+        self.skim();
+        self.heap.pop().map(|Reverse(e)| (e.when, e.payload))
+    }
+
+    /// Pop the earliest live timer whose deadline is at or before
+    /// `now`, or `None` if nothing is due yet (the wall-clock loop).
+    pub fn pop_due(&mut self, now: &T) -> Option<(T, P)> {
+        self.skim();
+        if matches!(self.heap.peek(), Some(Reverse(e)) if e.when <= *now) {
+            self.heap.pop().map(|Reverse(e)| (e.when, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Number of entries in the heap (stale entries included until they
+    /// are lazily discarded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn entries_order_by_deadline_then_arming_order() {
+        // Relocated from the cluster node runtime: two timers at the
+        // same deadline fire in arming order; an earlier deadline armed
+        // later still fires first.
+        let mut wheel: TimerWheel<Instant, u32> = TimerWheel::new();
+        let base = Instant::now();
+        wheel.schedule(base + Duration::from_millis(10), 1);
+        wheel.schedule(base + Duration::from_millis(5), 2);
+        wheel.schedule(base + Duration::from_millis(5), 3);
+        let order: Vec<u32> = std::iter::from_fn(|| wheel.pop_next().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn virtual_instants_total_order_and_tie_break() {
+        let mut wheel: TimerWheel<VirtualInstant, &str> = TimerWheel::new();
+        wheel.schedule(VirtualInstant(2.0), "late");
+        wheel.schedule(VirtualInstant(1.0), "early");
+        wheel.schedule(VirtualInstant(1.0), "early-second");
+        assert_eq!(wheel.next_deadline(), Some(&VirtualInstant(1.0)));
+        assert_eq!(wheel.pop_next(), Some((VirtualInstant(1.0), "early")));
+        assert_eq!(
+            wheel.pop_next(),
+            Some((VirtualInstant(1.0), "early-second"))
+        );
+        assert_eq!(wheel.pop_next(), Some((VirtualInstant(2.0), "late")));
+        assert_eq!(wheel.pop_next(), None);
+    }
+
+    #[test]
+    fn bump_epoch_cancels_armed_timers_lazily() {
+        let mut wheel: TimerWheel<VirtualInstant, u32> = TimerWheel::new();
+        wheel.schedule(VirtualInstant(1.0), 1);
+        wheel.schedule(VirtualInstant(2.0), 2);
+        wheel.bump_epoch();
+        wheel.schedule(VirtualInstant(3.0), 3);
+        // The stale entries are still physically present...
+        assert_eq!(wheel.len(), 3);
+        // ...but invisible to every accessor.
+        assert_eq!(wheel.next_deadline(), Some(&VirtualInstant(3.0)));
+        assert_eq!(wheel.pop_next(), Some((VirtualInstant(3.0), 3)));
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn pop_due_respects_the_clock() {
+        let mut wheel: TimerWheel<VirtualInstant, u32> = TimerWheel::new();
+        wheel.schedule(VirtualInstant(5.0), 1);
+        wheel.schedule(VirtualInstant(10.0), 2);
+        assert_eq!(wheel.pop_due(&VirtualInstant(4.9)), None);
+        assert_eq!(
+            wheel.pop_due(&VirtualInstant(5.0)),
+            Some((VirtualInstant(5.0), 1))
+        );
+        assert_eq!(wheel.pop_due(&VirtualInstant(5.0)), None);
+        assert_eq!(
+            wheel.pop_due(&VirtualInstant(100.0)),
+            Some((VirtualInstant(10.0), 2))
+        );
+    }
+}

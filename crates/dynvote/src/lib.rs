@@ -7,10 +7,14 @@
 //! analytic and simulation machinery that reproduces every table and
 //! figure of the papers' evaluations.
 //!
-//! This facade re-exports the four underlying crates:
+//! This facade re-exports the underlying crates:
 //!
 //! * [`core`](dynvote_core) — the algorithms themselves: metadata,
 //!   decision rules, quorums, and a model-level executable system;
+//! * [`protocol`] — the sans-IO protocol kernel:
+//!   [`SiteActor`](dynvote_protocol::SiteActor) turning messages into
+//!   actions, with a structured
+//!   [`ProtocolEvent`](dynvote_protocol::ProtocolEvent) stream;
 //! * [`sim`] — a message-level discrete-event distributed
 //!   database running the full three-phase protocol under fault
 //!   injection;
@@ -27,6 +31,7 @@
 //! | Goal | Start at |
 //! |---|---|
 //! | Decide/commit logic for my own replication layer | [`ReplicaControl`], [`algorithms`] |
+//! | Drive the full commit protocol from my own event loop | [`protocol::SiteActor`](dynvote_protocol::SiteActor) |
 //! | "What would algorithm X do in partition Y?" | [`ReplicaSystem`] |
 //! | Exact availability numbers | [`markov::availability`](dynvote_markov::sweep::availability) |
 //! | Protocol behaviour under crashes and partitions | [`sim::Simulation`] |
@@ -56,5 +61,8 @@ pub use dynvote_cluster as cluster;
 pub use dynvote_markov as markov;
 /// Monte-Carlo model simulation (re-export of `dynvote-mc`).
 pub use dynvote_mc as mc;
+/// Sans-IO protocol kernel and event layer (re-export of
+/// `dynvote-protocol`).
+pub use dynvote_protocol as protocol;
 /// Message-level protocol simulation (re-export of `dynvote-sim`).
 pub use dynvote_sim as sim;

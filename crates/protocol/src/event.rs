@@ -1,0 +1,554 @@
+//! Structured protocol observability.
+//!
+//! The kernel used to narrate itself through a `DV_TRACE` eprintln
+//! macro — stringly, global, and invisible to the harnesses. It now
+//! emits typed [`ProtocolEvent`]s through an [`EventSink`] threaded
+//! into every [`SiteActor`](crate::SiteActor):
+//!
+//! * [`CountingSink`] aggregates per-site, per-kind tallies
+//!   ([`EventTallies`]) that the simulator exposes next to its stats
+//!   and the load generator embeds in its JSON report — and that the
+//!   conformance tests compare across substrates;
+//! * [`RenderSink`] prints a human-readable line per event (the old
+//!   trace output, now complete), enabled by the `--trace` CLI flag;
+//! * [`FanoutSink`] composes sinks, e.g. counting *and* rendering.
+//!
+//! Emission happens at the protocol's decision points, not its message
+//! edges, so the vocabulary is substrate-independent: the same scripted
+//! scenario produces the same tallies on the discrete-event simulator
+//! and the live cluster — except [`EventKind::TerminationRound`], whose
+//! count depends on how wall-clock retry backoff races the vote
+//! deadline; [`EventTallies::deterministic`] masks it for comparisons.
+
+use crate::message::TxnId;
+use crate::site::ResolveReason;
+use dynvote_core::{SiteId, SiteSet};
+use std::sync::Mutex;
+
+/// One observable protocol decision at one site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// This site granted its vote (and force-wrote a prepare record).
+    VoteGranted {
+        /// The transaction voted for.
+        txn: TxnId,
+        /// The requesting coordinator.
+        coordinator: SiteId,
+    },
+    /// This site denied a vote because its copy is locked.
+    VoteDenied {
+        /// The refused transaction.
+        txn: TxnId,
+        /// The transaction currently holding the lock.
+        holder: TxnId,
+    },
+    /// The coordinator's responders form a distinguished partition.
+    QuorumAssembled {
+        /// The transaction being coordinated.
+        txn: TxnId,
+        /// The coordinator plus every granted voter.
+        members: SiteSet,
+    },
+    /// A stale coordinator asked a current member for missed updates.
+    CatchUpStarted {
+        /// The transaction being coordinated.
+        txn: TxnId,
+        /// The member serving the catch-up.
+        source: SiteId,
+        /// The coordinator's current version.
+        after_version: u64,
+    },
+    /// This site served a catch-up request from its log.
+    CatchUpServed {
+        /// The transaction being coordinated.
+        txn: TxnId,
+        /// The stale coordinator.
+        to: SiteId,
+    },
+    /// The coordinator committed (version advanced, quorum updated).
+    Committed {
+        /// The committed transaction.
+        txn: TxnId,
+        /// The new version number.
+        version: u64,
+    },
+    /// The coordinator aborted.
+    Aborted {
+        /// The aborted transaction.
+        txn: TxnId,
+        /// Why it aborted.
+        reason: ResolveReason,
+    },
+    /// A read-only request was served (no metadata modification).
+    ReadServed {
+        /// The read transaction.
+        txn: TxnId,
+    },
+    /// A prepared subordinate ran a cooperative termination-protocol
+    /// round (broadcast a status query).
+    TerminationRound {
+        /// The in-doubt transaction.
+        txn: TxnId,
+        /// How many rounds this site has now run for it.
+        round: u32,
+    },
+    /// A prepare record was force-written to the durable log.
+    PrepareForced {
+        /// The prepared transaction.
+        txn: TxnId,
+        /// Its coordinator.
+        coordinator: SiteId,
+    },
+    /// A commit record was force-written and the local copy advanced.
+    CommitForced {
+        /// The committed transaction.
+        txn: TxnId,
+        /// The version the local copy advanced to.
+        version: u64,
+    },
+    /// The site crashed (volatile state lost; durable state kept).
+    Crashed,
+    /// The site restarted.
+    Recovered {
+        /// Whether a durable prepare record left it in doubt.
+        in_doubt: bool,
+    },
+}
+
+impl ProtocolEvent {
+    /// The fieldless kind of this event, for tallying.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        match self {
+            ProtocolEvent::VoteGranted { .. } => EventKind::VoteGranted,
+            ProtocolEvent::VoteDenied { .. } => EventKind::VoteDenied,
+            ProtocolEvent::QuorumAssembled { .. } => EventKind::QuorumAssembled,
+            ProtocolEvent::CatchUpStarted { .. } => EventKind::CatchUpStarted,
+            ProtocolEvent::CatchUpServed { .. } => EventKind::CatchUpServed,
+            ProtocolEvent::Committed { .. } => EventKind::Committed,
+            ProtocolEvent::Aborted { .. } => EventKind::Aborted,
+            ProtocolEvent::ReadServed { .. } => EventKind::ReadServed,
+            ProtocolEvent::TerminationRound { .. } => EventKind::TerminationRound,
+            ProtocolEvent::PrepareForced { .. } => EventKind::PrepareForced,
+            ProtocolEvent::CommitForced { .. } => EventKind::CommitForced,
+            ProtocolEvent::Crashed => EventKind::Crashed,
+            ProtocolEvent::Recovered { .. } => EventKind::Recovered,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolEvent::VoteGranted { txn, coordinator } => {
+                write!(f, "VOTE {txn} granted to coordinator {coordinator}")
+            }
+            ProtocolEvent::VoteDenied { txn, holder } => {
+                write!(f, "VOTE {txn} denied (lock held by {holder})")
+            }
+            ProtocolEvent::QuorumAssembled { txn, members } => {
+                write!(f, "QUORUM {txn} assembled from {members}")
+            }
+            ProtocolEvent::CatchUpStarted {
+                txn,
+                source,
+                after_version,
+            } => write!(f, "CATCH-UP {txn} from {source} after v{after_version}"),
+            ProtocolEvent::CatchUpServed { txn, to } => {
+                write!(f, "CATCH-UP {txn} served to {to}")
+            }
+            ProtocolEvent::Committed { txn, version } => {
+                write!(f, "COMMIT {txn} v{version}")
+            }
+            ProtocolEvent::Aborted { txn, reason } => write!(f, "ABORT {txn} ({reason:?})"),
+            ProtocolEvent::ReadServed { txn } => write!(f, "READ {txn} served"),
+            ProtocolEvent::TerminationRound { txn, round } => {
+                write!(f, "TERMINATION {txn} round {round}")
+            }
+            ProtocolEvent::PrepareForced { txn, coordinator } => {
+                write!(f, "FORCE-WRITE prepare {txn} (coordinator {coordinator})")
+            }
+            ProtocolEvent::CommitForced { txn, version } => {
+                write!(f, "FORCE-WRITE commit {txn} v{version}")
+            }
+            ProtocolEvent::Crashed => write!(f, "CRASH"),
+            ProtocolEvent::Recovered { in_doubt } => {
+                write!(
+                    f,
+                    "RECOVER ({})",
+                    if *in_doubt { "in doubt" } else { "clean" }
+                )
+            }
+        }
+    }
+}
+
+/// The fieldless vocabulary of [`ProtocolEvent`], for indexing tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum EventKind {
+    /// A vote was granted.
+    VoteGranted,
+    /// A vote was denied.
+    VoteDenied,
+    /// A distinguished quorum was assembled.
+    QuorumAssembled,
+    /// A stale coordinator started catching up.
+    CatchUpStarted,
+    /// A member served a catch-up from its log.
+    CatchUpServed,
+    /// A coordinator committed.
+    Committed,
+    /// A coordinator aborted.
+    Aborted,
+    /// A read was served.
+    ReadServed,
+    /// A termination-protocol round ran.
+    TerminationRound,
+    /// A prepare record was force-written.
+    PrepareForced,
+    /// A commit record was force-written.
+    CommitForced,
+    /// A site crashed.
+    Crashed,
+    /// A site recovered.
+    Recovered,
+}
+
+impl EventKind {
+    /// Number of kinds (the width of a tally row).
+    pub const COUNT: usize = 13;
+
+    /// Every kind, in tally-column order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::VoteGranted,
+        EventKind::VoteDenied,
+        EventKind::QuorumAssembled,
+        EventKind::CatchUpStarted,
+        EventKind::CatchUpServed,
+        EventKind::Committed,
+        EventKind::Aborted,
+        EventKind::ReadServed,
+        EventKind::TerminationRound,
+        EventKind::PrepareForced,
+        EventKind::CommitForced,
+        EventKind::Crashed,
+        EventKind::Recovered,
+    ];
+
+    /// A stable snake_case name (JSON report keys).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::VoteGranted => "vote_granted",
+            EventKind::VoteDenied => "vote_denied",
+            EventKind::QuorumAssembled => "quorum_assembled",
+            EventKind::CatchUpStarted => "catch_up_started",
+            EventKind::CatchUpServed => "catch_up_served",
+            EventKind::Committed => "committed",
+            EventKind::Aborted => "aborted",
+            EventKind::ReadServed => "read_served",
+            EventKind::TerminationRound => "termination_round",
+            EventKind::PrepareForced => "prepare_forced",
+            EventKind::CommitForced => "commit_forced",
+            EventKind::Crashed => "crashed",
+            EventKind::Recovered => "recovered",
+        }
+    }
+}
+
+/// Where the kernel reports its [`ProtocolEvent`]s.
+///
+/// Implementations must be cheap and non-blocking: `emit` runs inside
+/// the protocol's hot path. `&self` because one sink is typically
+/// shared by every site of a harness.
+pub trait EventSink: Send + Sync {
+    /// Observe one event at one site.
+    fn emit(&self, site: SiteId, event: &ProtocolEvent);
+}
+
+/// The default sink: drops everything.
+pub(crate) struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn emit(&self, _site: SiteId, _event: &ProtocolEvent) {}
+}
+
+/// Per-site, per-kind event tallies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventTallies {
+    per_site: Vec<[u64; EventKind::COUNT]>,
+}
+
+impl EventTallies {
+    /// The count of `kind` at `site` (0 for never-seen sites).
+    #[must_use]
+    pub fn count(&self, site: SiteId, kind: EventKind) -> u64 {
+        self.per_site
+            .get(site.index())
+            .map_or(0, |row| row[kind as usize])
+    }
+
+    /// The count of `kind` summed over every site.
+    #[must_use]
+    pub fn total(&self, kind: EventKind) -> u64 {
+        self.per_site.iter().map(|row| row[kind as usize]).sum()
+    }
+
+    /// One site's full tally row, in [`EventKind::ALL`] column order.
+    #[must_use]
+    pub fn row(&self, site: SiteId) -> [u64; EventKind::COUNT] {
+        self.per_site
+            .get(site.index())
+            .copied()
+            .unwrap_or([0; EventKind::COUNT])
+    }
+
+    /// Install one site's row (e.g. decoded from a wire reply).
+    pub fn set_row(&mut self, site: SiteId, row: [u64; EventKind::COUNT]) {
+        if self.per_site.len() <= site.index() {
+            self.per_site
+                .resize(site.index() + 1, [0; EventKind::COUNT]);
+        }
+        self.per_site[site.index()] = row;
+    }
+
+    /// A copy with the wall-clock-dependent kinds zeroed, suitable for
+    /// cross-substrate equality: termination-round counts depend on how
+    /// retry backoff races the vote deadline, so two correct substrates
+    /// legitimately differ there.
+    #[must_use]
+    pub fn deterministic(&self) -> EventTallies {
+        let mut copy = self.clone();
+        for row in &mut copy.per_site {
+            row[EventKind::TerminationRound as usize] = 0;
+        }
+        copy
+    }
+}
+
+impl std::fmt::Display for EventTallies {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for kind in EventKind::ALL {
+            let total = self.total(kind);
+            if total > 0 {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}={total}", kind.name())?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(no events)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A sink that aggregates [`EventTallies`]; shareable across sites and
+/// threads.
+#[derive(Default)]
+pub struct CountingSink {
+    tallies: Mutex<EventTallies>,
+}
+
+impl CountingSink {
+    /// A fresh, all-zero counting sink.
+    #[must_use]
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// A snapshot of the tallies so far.
+    #[must_use]
+    pub fn tallies(&self) -> EventTallies {
+        self.tallies.lock().expect("tallies lock").clone()
+    }
+}
+
+impl EventSink for CountingSink {
+    fn emit(&self, site: SiteId, event: &ProtocolEvent) {
+        let mut tallies = self.tallies.lock().expect("tallies lock");
+        if tallies.per_site.len() <= site.index() {
+            tallies
+                .per_site
+                .resize(site.index() + 1, [0; EventKind::COUNT]);
+        }
+        tallies.per_site[site.index()][event.kind() as usize] += 1;
+    }
+}
+
+/// A sink that renders every event to stderr, one line each — the
+/// successor of the old `DV_TRACE` output, now covering the full
+/// vocabulary. Enabled by the `--trace` CLI flag.
+#[derive(Debug, Default)]
+pub struct RenderSink;
+
+impl EventSink for RenderSink {
+    fn emit(&self, site: SiteId, event: &ProtocolEvent) {
+        eprintln!("[site {site}] {event}");
+    }
+}
+
+/// A sink that forwards every event to several sinks in order.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<std::sync::Arc<dyn EventSink>>,
+}
+
+impl FanoutSink {
+    /// A fan-out over the given sinks.
+    #[must_use]
+    pub fn new(sinks: Vec<std::sync::Arc<dyn EventSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl EventSink for FanoutSink {
+    fn emit(&self, site: SiteId, event: &ProtocolEvent) {
+        for sink in &self.sinks {
+            sink.emit(site, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId {
+            coordinator: SiteId(0),
+            seq,
+        }
+    }
+
+    #[test]
+    fn every_variant_maps_to_its_kind() {
+        let events = [
+            ProtocolEvent::VoteGranted {
+                txn: txn(1),
+                coordinator: SiteId(0),
+            },
+            ProtocolEvent::VoteDenied {
+                txn: txn(1),
+                holder: txn(2),
+            },
+            ProtocolEvent::QuorumAssembled {
+                txn: txn(1),
+                members: SiteSet::all(3),
+            },
+            ProtocolEvent::CatchUpStarted {
+                txn: txn(1),
+                source: SiteId(1),
+                after_version: 4,
+            },
+            ProtocolEvent::CatchUpServed {
+                txn: txn(1),
+                to: SiteId(2),
+            },
+            ProtocolEvent::Committed {
+                txn: txn(1),
+                version: 5,
+            },
+            ProtocolEvent::Aborted {
+                txn: txn(1),
+                reason: ResolveReason::NotDistinguished,
+            },
+            ProtocolEvent::ReadServed { txn: txn(1) },
+            ProtocolEvent::TerminationRound {
+                txn: txn(1),
+                round: 2,
+            },
+            ProtocolEvent::PrepareForced {
+                txn: txn(1),
+                coordinator: SiteId(0),
+            },
+            ProtocolEvent::CommitForced {
+                txn: txn(1),
+                version: 5,
+            },
+            ProtocolEvent::Crashed,
+            ProtocolEvent::Recovered { in_doubt: true },
+        ];
+        assert_eq!(events.len(), EventKind::COUNT);
+        for (event, kind) in events.iter().zip(EventKind::ALL) {
+            assert_eq!(event.kind(), kind);
+            // Every event renders without panicking and non-trivially.
+            assert!(!event.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn counting_sink_tallies_per_site_and_kind() {
+        let sink = CountingSink::new();
+        sink.emit(
+            SiteId(2),
+            &ProtocolEvent::Committed {
+                txn: txn(1),
+                version: 1,
+            },
+        );
+        sink.emit(
+            SiteId(2),
+            &ProtocolEvent::Committed {
+                txn: txn(2),
+                version: 2,
+            },
+        );
+        sink.emit(SiteId(0), &ProtocolEvent::Crashed);
+        let tallies = sink.tallies();
+        assert_eq!(tallies.count(SiteId(2), EventKind::Committed), 2);
+        assert_eq!(tallies.count(SiteId(0), EventKind::Crashed), 1);
+        assert_eq!(tallies.count(SiteId(1), EventKind::Committed), 0);
+        assert_eq!(tallies.count(SiteId(9), EventKind::Committed), 0);
+        assert_eq!(tallies.total(EventKind::Committed), 2);
+        assert_eq!(tallies.to_string(), "committed=2 crashed=1");
+    }
+
+    #[test]
+    fn deterministic_masks_only_termination_rounds() {
+        let sink = CountingSink::new();
+        sink.emit(
+            SiteId(1),
+            &ProtocolEvent::TerminationRound {
+                txn: txn(1),
+                round: 1,
+            },
+        );
+        sink.emit(
+            SiteId(1),
+            &ProtocolEvent::CommitForced {
+                txn: txn(1),
+                version: 1,
+            },
+        );
+        let masked = sink.tallies().deterministic();
+        assert_eq!(masked.count(SiteId(1), EventKind::TerminationRound), 0);
+        assert_eq!(masked.count(SiteId(1), EventKind::CommitForced), 1);
+    }
+
+    #[test]
+    fn fanout_forwards_to_every_sink() {
+        let a = std::sync::Arc::new(CountingSink::new());
+        let b = std::sync::Arc::new(CountingSink::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fan.emit(SiteId(0), &ProtocolEvent::Crashed);
+        assert_eq!(a.tallies().total(EventKind::Crashed), 1);
+        assert_eq!(b.tallies().total(EventKind::Crashed), 1);
+    }
+
+    #[test]
+    fn rows_round_trip_through_set_row() {
+        let sink = CountingSink::new();
+        sink.emit(SiteId(3), &ProtocolEvent::Crashed);
+        let original = sink.tallies();
+        let mut rebuilt = EventTallies::default();
+        for i in 0..4 {
+            rebuilt.set_row(SiteId(i), original.row(SiteId(i)));
+        }
+        assert_eq!(rebuilt, original);
+    }
+}

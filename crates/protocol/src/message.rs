@@ -36,6 +36,15 @@ pub struct LogEntry {
     pub payload: u64,
 }
 
+impl LogEntry {
+    /// The entry's version — usable as `Option::map_or(0,
+    /// LogEntry::version_of)` where a closure would be noise.
+    #[must_use]
+    pub fn version_of(&self) -> u64 {
+        self.version
+    }
+}
+
 /// Outcome carried by a termination-protocol status reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StatusOutcome {

@@ -20,22 +20,11 @@
 //! `COMMIT` (so recovery can presume abort when no record exists).
 //! Both records live in [`DurableState`] and survive [`SiteActor::crash`].
 
+use crate::event::{EventSink, NoopSink, ProtocolEvent};
 use crate::message::{LogEntry, Message, StatusOutcome, TxnId};
 use dynvote_core::{CopyMeta, LinearOrder, PartitionView, ReplicaControl, SiteId, SiteSet};
 use std::collections::HashMap;
-use std::sync::OnceLock;
-
-/// Protocol tracing, enabled by setting `DV_TRACE` in the environment.
-/// Lines go to stderr; intended for debugging failing chaos seeds.
-macro_rules! trace {
-    ($($arg:tt)*) => {
-        if *TRACE_ENABLED.get_or_init(|| std::env::var_os("DV_TRACE").is_some()) {
-            eprintln!($($arg)*);
-        }
-    };
-}
-
-static TRACE_ENABLED: OnceLock<bool> = OnceLock::new();
+use std::sync::Arc;
 
 /// Why a transaction finished, for statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -210,6 +199,7 @@ pub struct SiteActor {
     algo: Box<dyn ReplicaControl>,
     durable: DurableState,
     volatile: Volatile,
+    sink: Arc<dyn EventSink>,
 }
 
 impl std::fmt::Debug for SiteActor {
@@ -241,7 +231,18 @@ impl SiteActor {
                 next_seq: 0,
             },
             volatile: Volatile::default(),
+            sink: Arc::new(NoopSink),
         }
+    }
+
+    /// Install an [`EventSink`]; every subsequent protocol decision is
+    /// reported to it. The default sink drops everything.
+    pub fn set_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.sink = sink;
+    }
+
+    fn emit(&self, event: ProtocolEvent) {
+        self.sink.emit(self.id, &event);
     }
 
     /// The site's id.
@@ -329,6 +330,10 @@ impl SiteActor {
             // lock now. The submission is refused (a real system would
             // queue or retry; retries are the workload driver's job).
             let txn = self.fresh_txn();
+            self.emit(ProtocolEvent::Aborted {
+                txn,
+                reason: ResolveReason::LockBusy,
+            });
             return (
                 None,
                 vec![Action::Resolved {
@@ -367,6 +372,7 @@ impl SiteActor {
     /// survive.
     pub fn crash(&mut self) {
         self.volatile = Volatile::default();
+        self.emit(ProtocolEvent::Crashed);
     }
 
     /// Recovery (Section V-C): restore the in-doubt lock from the
@@ -376,6 +382,9 @@ impl SiteActor {
     /// `restart_payload` identifies the no-op update `Make_Current`
     /// commits if it finds a distinguished partition.
     pub fn recover(&mut self, restart_payload: u64) -> Vec<Action> {
+        self.emit(ProtocolEvent::Recovered {
+            in_doubt: self.durable.prepared.is_some(),
+        });
         if let Some((txn, coordinator)) = self.durable.prepared {
             // Re-acquire the lock the prepare record guards and go
             // straight to the termination protocol.
@@ -446,6 +455,7 @@ impl SiteActor {
     fn on_vote_request(&mut self, from: SiteId, txn: TxnId) -> Vec<Action> {
         match self.volatile.lock {
             Some(holder) if holder != txn => {
+                self.emit(ProtocolEvent::VoteDenied { txn, holder });
                 return vec![Action::Send {
                     to: from,
                     msg: Message::VoteBusy { txn, from: self.id },
@@ -453,18 +463,20 @@ impl SiteActor {
             }
             _ => {}
         }
-        trace!(
-            "VOTE {} grant by {} meta={}",
-            txn,
-            self.id,
-            self.durable.meta
-        );
         // Grant (idempotently re-grant) the lock; force the prepare
         // record before the vote leaves the site.
         self.volatile.lock = Some(txn);
         self.volatile.prepared = Some((txn, from));
         self.volatile.prepared_rounds = 0;
         self.durable.prepared = Some((txn, from));
+        self.emit(ProtocolEvent::PrepareForced {
+            txn,
+            coordinator: from,
+        });
+        self.emit(ProtocolEvent::VoteGranted {
+            txn,
+            coordinator: from,
+        });
         vec![
             Action::Send {
                 to: from,
@@ -537,6 +549,13 @@ impl SiteActor {
                 self.id, meta.version
             );
             self.durable.meta = meta;
+            // Emitted only when the copy actually advances, so a
+            // duplicated or termination-protocol-delivered commit never
+            // double-counts.
+            self.emit(ProtocolEvent::CommitForced {
+                txn,
+                version: meta.version,
+            });
         }
         self.durable
             .commits
@@ -549,6 +568,10 @@ impl SiteActor {
     /// blocked."
     fn termination_round(&mut self, txn: TxnId) -> Vec<Action> {
         self.volatile.prepared_rounds = self.volatile.prepared_rounds.saturating_add(1);
+        self.emit(ProtocolEvent::TerminationRound {
+            txn,
+            round: self.volatile.prepared_rounds,
+        });
         let after_version = self.durable.log.last().map_or(0, |e| e.version);
         vec![
             Action::Broadcast {
@@ -625,10 +648,7 @@ impl SiteActor {
                 entries,
                 participants,
             } => self.on_commit(txn, meta, entries, participants),
-            StatusOutcome::Aborted => {
-                trace!("RELEASE-ABORT {} at {}", txn, self.id);
-                self.on_abort(txn)
-            }
+            StatusOutcome::Aborted => self.on_abort(txn),
             StatusOutcome::Unknown => Vec::new(),
         }
     }
@@ -684,6 +704,10 @@ impl SiteActor {
             }
             return self.abort_coordinated(txn, ResolveReason::NotDistinguished);
         }
+        self.emit(ProtocolEvent::QuorumAssembled {
+            txn,
+            members: members.iter().map(|(s, _)| *s).collect(),
+        });
         let my_version = self.durable.meta.version;
         if my_version < view.max_version() {
             // Catch-up phase: fetch missing updates from a current
@@ -693,6 +717,11 @@ impl SiteActor {
                 .iter()
                 .find(|s| *s != self.id)
                 .expect("a current subordinate exists when the coordinator is stale");
+            self.emit(ProtocolEvent::CatchUpStarted {
+                txn,
+                source,
+                after_version: my_version,
+            });
             if let Some(coord) = self.volatile.coordinating.as_mut() {
                 coord.phase = CoordPhase::CatchingUp { members };
             }
@@ -726,6 +755,7 @@ impl SiteActor {
             .filter(|e| e.version > after_version)
             .copied()
             .collect();
+        self.emit(ProtocolEvent::CatchUpServed { txn, to: from });
         vec![Action::Send {
             to: from,
             msg: Message::CatchUpReply { txn, entries },
@@ -863,6 +893,7 @@ impl SiteActor {
         if self.volatile.lock == Some(txn) {
             self.volatile.lock = None;
         }
+        self.emit(ProtocolEvent::ReadServed { txn });
         vec![
             Action::Broadcast {
                 msg: Message::Abort { txn },
@@ -907,16 +938,14 @@ impl SiteActor {
             .insert(txn, CommitRecord { meta, participants });
         self.volatile.lock = None;
 
-        trace!(
-            "COMMIT {} v{} by {} P={:?}",
+        self.emit(ProtocolEvent::CommitForced {
             txn,
-            new_version,
-            self.id,
-            members
-                .iter()
-                .map(|(s, m)| format!("{s}@v{}", m.version))
-                .collect::<Vec<_>>()
-        );
+            version: new_version,
+        });
+        self.emit(ProtocolEvent::Committed {
+            txn,
+            version: new_version,
+        });
         let mut actions = vec![
             Action::CommitRecorded {
                 version: new_version,
@@ -960,6 +989,7 @@ impl SiteActor {
         if self.volatile.lock == Some(txn) {
             self.volatile.lock = None;
         }
+        self.emit(ProtocolEvent::Aborted { txn, reason });
         vec![
             Action::Broadcast {
                 msg: Message::Abort { txn },

@@ -1,0 +1,220 @@
+//! Kernel-only protocol tests: 2PC's blocking window, durable prepare
+//! records, and presumed abort — driven directly through [`SiteActor`]
+//! method calls, with no engine, transport, or clock. What the
+//! simulator and cluster harnesses exercise statistically, these pin
+//! deterministically at the state-machine boundary.
+
+use dynvote_core::{AlgorithmKind, SiteId};
+use dynvote_protocol::{
+    Action, CountingSink, EventKind, Message, SiteActor, StatusOutcome, TimerKind, TxnId,
+};
+use std::sync::Arc;
+
+fn site(id: u8, n: usize) -> SiteActor {
+    SiteActor::new(SiteId(id), n, AlgorithmKind::Hybrid.instantiate(n))
+}
+
+fn txn(c: u8, seq: u64) -> TxnId {
+    TxnId {
+        coordinator: SiteId(c),
+        seq,
+    }
+}
+
+/// The unavoidable blocking window of two-phase commit: a prepared
+/// subordinate whose peers answer Unknown must stay blocked — lock
+/// held, in doubt — for as many rounds as it takes, and release only
+/// on a definite outcome.
+#[test]
+fn termination_protocol_blocks_until_a_definite_outcome() {
+    let mut b = site(1, 3);
+    let t = txn(0, 1);
+    b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+    assert!(b.is_locked() && b.is_in_doubt());
+
+    // The decision never arrives; the retry timer fires. Each round
+    // broadcasts a status query and re-arms the timer.
+    for round in 1..=3u32 {
+        let actions = b.timer_fired(t, TimerKind::PreparedRetry);
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                Action::Broadcast {
+                    msg: Message::StatusQuery { .. }
+                }
+            )),
+            "round {round} must query the peers"
+        );
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                Action::SetTimer {
+                    kind: TimerKind::PreparedRetry,
+                    ..
+                }
+            )),
+            "round {round} must re-arm"
+        );
+        assert_eq!(b.prepared_rounds(), round);
+
+        // Nobody knows: the subordinate MUST stay blocked.
+        b.handle_message(
+            SiteId(2),
+            Message::StatusReply {
+                txn: t,
+                outcome: StatusOutcome::Unknown,
+            },
+        );
+        assert!(b.is_locked(), "Unknown must not release the lock");
+        assert!(b.is_in_doubt(), "Unknown must not clear the prepare record");
+    }
+
+    // A definite Aborted ends the window and releases everything.
+    b.handle_message(
+        SiteId(2),
+        Message::StatusReply {
+            txn: t,
+            outcome: StatusOutcome::Aborted,
+        },
+    );
+    assert!(!b.is_locked());
+    assert!(!b.is_in_doubt());
+}
+
+/// The prepare record is force-written before the vote leaves the
+/// site, so a crash cannot silently release the in-doubt lock: the
+/// record survives `crash()` and recovery re-acquires the lock and
+/// resumes the termination protocol (not `Make_Current`).
+#[test]
+fn durable_prepare_record_survives_crash() {
+    let mut b = site(1, 3);
+    let t = txn(0, 1);
+    b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+    assert!(b.is_in_doubt());
+
+    b.crash();
+    assert!(!b.is_locked(), "volatile lock is lost");
+    assert!(b.is_in_doubt(), "the prepare record is durable");
+
+    let actions = b.recover(999);
+    assert!(b.is_locked(), "recovery re-acquires the in-doubt lock");
+    assert!(
+        actions.iter().any(|a| matches!(
+            a,
+            Action::Broadcast {
+                msg: Message::StatusQuery { txn, .. }
+            } if *txn == t
+        )),
+        "recovery resumes the termination protocol for the in-doubt txn"
+    );
+    assert!(
+        !actions.iter().any(|a| matches!(
+            a,
+            Action::Broadcast {
+                msg: Message::VoteRequest { .. }
+            }
+        )),
+        "Make_Current must not run while a prepare record exists"
+    );
+}
+
+/// Presumed abort: a coordinator that crashed before deciding holds no
+/// commit record after recovery, so it answers a status query about
+/// its own lost transaction with Aborted — releasing the subordinate
+/// the lost transaction left blocked.
+#[test]
+fn recovered_coordinator_presumes_abort_for_its_lost_transaction() {
+    let mut a = site(0, 3);
+    let mut b = site(1, 3);
+
+    // A starts an update; B prepares for it.
+    let actions = a.start_update(100);
+    let t = match &actions[0] {
+        Action::Broadcast {
+            msg: Message::VoteRequest { txn },
+        } => *txn,
+        other => panic!("expected a vote request, got {other:?}"),
+    };
+    b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+    assert!(b.is_in_doubt());
+
+    // While the transaction is in flight the outcome is genuinely
+    // undecided: A must answer Unknown, not Aborted.
+    let reply = a.handle_message(
+        SiteId(1),
+        Message::StatusQuery {
+            txn: t,
+            after_version: 0,
+            from: SiteId(1),
+        },
+    );
+    assert!(matches!(
+        &reply[0],
+        Action::Send {
+            msg: Message::StatusReply {
+                outcome: StatusOutcome::Unknown,
+                ..
+            },
+            ..
+        }
+    ));
+
+    // A crashes before deciding; the in-flight transaction is volatile
+    // and gone. After recovery there is no commit record for it, so it
+    // can never commit: presumed abort.
+    a.crash();
+    a.recover(999);
+    let reply = a.handle_message(
+        SiteId(1),
+        Message::StatusQuery {
+            txn: t,
+            after_version: 0,
+            from: SiteId(1),
+        },
+    );
+    assert!(matches!(
+        &reply[0],
+        Action::Send {
+            msg: Message::StatusReply {
+                outcome: StatusOutcome::Aborted,
+                ..
+            },
+            ..
+        }
+    ));
+
+    // The reply releases B.
+    b.handle_message(
+        SiteId(0),
+        Message::StatusReply {
+            txn: t,
+            outcome: StatusOutcome::Aborted,
+        },
+    );
+    assert!(!b.is_locked());
+    assert!(!b.is_in_doubt());
+}
+
+/// The sink sees the kernel's decisions: a prepared-then-blocked
+/// subordinate emits prepare-forced, vote-granted, termination rounds,
+/// crash and recover in its tally row.
+#[test]
+fn event_sink_observes_the_blocking_window() {
+    let sink = Arc::new(CountingSink::new());
+    let mut b = site(1, 3);
+    b.set_sink(sink.clone());
+    let t = txn(0, 1);
+    b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+    b.timer_fired(t, TimerKind::PreparedRetry);
+    b.crash();
+    b.recover(999); // in doubt: resumes termination, round 1 again
+
+    let tallies = sink.tallies();
+    let at = |kind| tallies.count(SiteId(1), kind);
+    assert_eq!(at(EventKind::PrepareForced), 1);
+    assert_eq!(at(EventKind::VoteGranted), 1);
+    assert_eq!(at(EventKind::TerminationRound), 2);
+    assert_eq!(at(EventKind::Crashed), 1);
+    assert_eq!(at(EventKind::Recovered), 1);
+    assert_eq!(tallies.count(SiteId(0), EventKind::VoteGranted), 0);
+}

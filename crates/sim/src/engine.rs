@@ -10,15 +10,20 @@
 //! time*; an optional drop probability models lossy channels ("messages
 //! may be lost or delivered out of order", Section II).
 
-use crate::message::{LogEntry, Message, TxnId};
 use crate::nemesis::{FaultSchedule, NemesisEvent};
-use crate::site::{Action, ResolveReason, SiteActor, TimerKind};
 use crate::topology::Topology;
-use dynvote_core::{AlgorithmKind, BackoffPolicy, SiteId, SiteSet, MAX_SITES};
+use dynvote_core::{
+    check_non_negative, check_positive, check_probability, check_site_count, AlgorithmKind,
+    BackoffPolicy, ConfigError, SiteId, SiteSet, TimerWheel, VirtualInstant,
+};
+use dynvote_protocol::{
+    Action, CountingSink, EventSink, EventTallies, FanoutSink, LogEntry, Message, RenderSink,
+    ResolveReason, SiteActor, TimerKind, TxnId,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -77,130 +82,6 @@ impl Default for SimConfig {
             duplicate_probability: 0.0,
             seed: 7,
         }
-    }
-}
-
-/// A rejected [`SimConfig`] or [`crate::multi::MultiConfig`] field.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ConfigError {
-    /// `n` outside the supported `2..=MAX_SITES` range.
-    SiteCount {
-        /// The offending site count.
-        n: usize,
-    },
-    /// A duration/timeout field that must be strictly positive was not.
-    NotPositive {
-        /// The field name.
-        field: &'static str,
-        /// The offending value.
-        value: f64,
-    },
-    /// A probability field outside `[0, 1]` (or non-finite).
-    NotProbability {
-        /// The field name.
-        field: &'static str,
-        /// The offending value.
-        value: f64,
-    },
-    /// A non-negative field (jitter magnitudes) was negative or
-    /// non-finite.
-    Negative {
-        /// The field name.
-        field: &'static str,
-        /// The offending value.
-        value: f64,
-    },
-    /// `max_backoff` below `initial_backoff`.
-    BackoffRange {
-        /// Configured initial backoff.
-        initial: f64,
-        /// Configured maximum backoff.
-        max: f64,
-    },
-    /// A multi-file configuration with an empty file list.
-    NoFiles,
-    /// An integer field outside its supported range (e.g. the cluster
-    /// load generator's concurrency).
-    OutOfRange {
-        /// The field name.
-        field: &'static str,
-        /// The offending value.
-        value: u64,
-        /// Smallest accepted value.
-        lo: u64,
-        /// Largest accepted value.
-        hi: u64,
-    },
-}
-
-impl std::fmt::Display for ConfigError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ConfigError::SiteCount { n } => {
-                write!(f, "n = {n} is outside the supported range 2..={MAX_SITES}")
-            }
-            ConfigError::NotPositive { field, value } => {
-                write!(f, "{field} = {value} must be strictly positive")
-            }
-            ConfigError::NotProbability { field, value } => {
-                write!(f, "{field} = {value} is not a probability in [0, 1]")
-            }
-            ConfigError::Negative { field, value } => {
-                write!(f, "{field} = {value} must be finite and non-negative")
-            }
-            ConfigError::BackoffRange { initial, max } => {
-                write!(
-                    f,
-                    "max_backoff = {max} is below initial_backoff = {initial}"
-                )
-            }
-            ConfigError::NoFiles => write!(f, "the file list must not be empty"),
-            ConfigError::OutOfRange {
-                field,
-                value,
-                lo,
-                hi,
-            } => {
-                write!(
-                    f,
-                    "{field} = {value} is outside the supported range {lo}..={hi}"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for ConfigError {}
-
-pub(crate) fn check_positive(field: &'static str, value: f64) -> Result<(), ConfigError> {
-    if value.is_finite() && value > 0.0 {
-        Ok(())
-    } else {
-        Err(ConfigError::NotPositive { field, value })
-    }
-}
-
-pub(crate) fn check_probability(field: &'static str, value: f64) -> Result<(), ConfigError> {
-    if value.is_finite() && (0.0..=1.0).contains(&value) {
-        Ok(())
-    } else {
-        Err(ConfigError::NotProbability { field, value })
-    }
-}
-
-pub(crate) fn check_non_negative(field: &'static str, value: f64) -> Result<(), ConfigError> {
-    if value.is_finite() && value >= 0.0 {
-        Ok(())
-    } else {
-        Err(ConfigError::Negative { field, value })
-    }
-}
-
-pub(crate) fn check_site_count(n: usize) -> Result<(), ConfigError> {
-    if (2..=MAX_SITES).contains(&n) {
-        Ok(())
-    } else {
-        Err(ConfigError::SiteCount { n })
     }
 }
 
@@ -329,29 +210,6 @@ struct NemesisKnobs {
     reorder_extra: f64,
 }
 
-/// Heap key: time, then insertion sequence (deterministic tie-break).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct EventKey {
-    time: f64,
-    seq: u64,
-}
-
-impl Eq for EventKey {}
-
-impl PartialOrd for EventKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for EventKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then(self.seq.cmp(&other.seq))
-    }
-}
-
 /// A committed version in the omniscient ledger.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LedgerEntry {
@@ -422,11 +280,13 @@ pub struct Simulation {
     config: SimConfig,
     topology: Topology,
     sites: Vec<SiteActor>,
-    queue: BinaryHeap<Reverse<(EventKey, u64)>>,
-    events: HashMap<u64, Event>,
+    /// The event queue: the shared [`TimerWheel`] under a virtual clock
+    /// (the live cluster runtime arms the same wheel with `Instant`s).
+    timers: TimerWheel<VirtualInstant, Event>,
     clock: f64,
-    seq: u64,
     rng: StdRng,
+    /// Counts every [`dynvote_protocol::ProtocolEvent`] the actors emit.
+    sink: Arc<CountingSink>,
     ledger: Vec<Option<LedgerEntry>>,
     violations: Vec<ConsistencyViolation>,
     stats: SimStats,
@@ -460,7 +320,8 @@ impl Simulation {
         if let Err(e) = config.validate() {
             panic!("invalid SimConfig: {e}");
         }
-        let sites = (0..config.n)
+        let sink = Arc::new(CountingSink::new());
+        let mut sites: Vec<SiteActor> = (0..config.n)
             .map(|i| {
                 SiteActor::new(
                     SiteId::new(i),
@@ -469,14 +330,16 @@ impl Simulation {
                 )
             })
             .collect();
+        for site in &mut sites {
+            site.set_sink(sink.clone());
+        }
         Simulation {
             topology: Topology::fully_connected(config.n),
             sites,
-            queue: BinaryHeap::new(),
-            events: HashMap::new(),
+            timers: TimerWheel::new(),
             clock: 0.0,
-            seq: 0,
             rng: StdRng::seed_from_u64(config.seed),
+            sink,
             ledger: Vec::new(),
             violations: Vec::new(),
             stats: SimStats::default(),
@@ -524,15 +387,28 @@ impl Simulation {
         &self.violations
     }
 
+    /// Per-site tallies of every protocol event the actors emitted.
+    #[must_use]
+    pub fn event_tallies(&self) -> EventTallies {
+        self.sink.tallies()
+    }
+
+    /// Mirror every protocol event to stderr as it happens (the tallies
+    /// keep counting).
+    pub fn enable_trace(&mut self) {
+        let fanout: Arc<dyn EventSink> = Arc::new(FanoutSink::new(vec![
+            self.sink.clone() as Arc<dyn EventSink>,
+            Arc::new(RenderSink),
+        ]));
+        for site in &mut self.sites {
+            site.set_sink(fanout.clone());
+        }
+    }
+
     fn schedule(&mut self, delay: f64, event: Event) {
         debug_assert!(delay >= 0.0);
-        self.seq += 1;
-        let key = EventKey {
-            time: self.clock + delay,
-            seq: self.seq,
-        };
-        self.events.insert(self.seq, event);
-        self.queue.push(Reverse((key, self.seq)));
+        self.timers
+            .schedule(VirtualInstant(self.clock + delay), event);
     }
 
     fn fresh_payload(&mut self) -> u64 {
@@ -782,11 +658,10 @@ impl Simulation {
 
     /// Process one event. Returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse((key, id))) = self.queue.pop() else {
+        let Some((when, event)) = self.timers.pop_next() else {
             return false;
         };
-        let event = self.events.remove(&id).expect("event body");
-        self.clock = key.time;
+        self.clock = when.0;
         match event {
             Event::Deliver { from, to, msg } => {
                 // Delivery requires connectivity *now*.
@@ -850,8 +725,8 @@ impl Simulation {
 
     /// Run until the queue drains or the clock passes `deadline`.
     pub fn run_until(&mut self, deadline: f64) {
-        while let Some(Reverse((key, _))) = self.queue.peek() {
-            if key.time > deadline {
+        while let Some(&VirtualInstant(t)) = self.timers.next_deadline() {
+            if t > deadline {
                 break;
             }
             self.step();
@@ -865,8 +740,8 @@ impl Simulation {
         // horizon rather than literal emptiness.
         let deadline = self.clock + 10_000.0 * self.config.max_backoff;
         let mut guard = 0u64;
-        while let Some(Reverse((key, _))) = self.queue.peek() {
-            if key.time > deadline {
+        while let Some(&VirtualInstant(t)) = self.timers.next_deadline() {
+            if t > deadline {
                 break;
             }
             // Stop early once nothing but prepared-retry heartbeats of
@@ -1059,14 +934,6 @@ impl Simulation {
             }
         }
         violations
-    }
-}
-
-impl LogEntry {
-    /// Accessor used by the invariant checker.
-    #[must_use]
-    pub fn version_of(&self) -> u64 {
-        self.version
     }
 }
 

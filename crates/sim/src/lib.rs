@@ -54,15 +54,16 @@
 #![warn(clippy::all)]
 
 mod engine;
-mod message;
 pub mod multi;
 pub mod nemesis;
-mod site;
 mod topology;
 
-pub use engine::{ConfigError, ConsistencyViolation, LedgerEntry, SimConfig, SimStats, Simulation};
-pub use message::{LogEntry, Message, StatusOutcome, TxnId};
+pub use dynvote_core::ConfigError;
+pub use dynvote_protocol::{
+    Action, CountingSink, DurableState, EventKind, EventSink, EventTallies, LogEntry, Message,
+    ProtocolEvent, RenderSink, ResolveReason, SiteActor, StatusOutcome, TimerKind, TxnId,
+};
+pub use engine::{ConsistencyViolation, LedgerEntry, SimConfig, SimStats, Simulation};
 pub use multi::{GroupId, MultiConfig, MultiFileSimulation, MultiStats};
 pub use nemesis::{minimize, FaultSchedule, NemesisEvent, NemesisProfile};
-pub use site::{Action, DurableState, ResolveReason, SiteActor, TimerKind};
 pub use topology::Topology;

@@ -25,18 +25,16 @@
 //! serializability, cross-file **atomicity**: every durably committed
 //! group has all of its legs in the corresponding file ledgers.
 
-use crate::engine::{
-    check_positive, check_probability, check_site_count, ConfigError, ConsistencyViolation,
-    LedgerEntry,
-};
-use crate::message::{Message, TxnId};
-use crate::site::{Action, SiteActor, TimerKind};
+use crate::engine::{ConsistencyViolation, LedgerEntry};
 use crate::topology::Topology;
-use dynvote_core::{AlgorithmKind, CopyMeta, SiteId, SiteSet};
+use dynvote_core::{
+    check_positive, check_probability, check_site_count, AlgorithmKind, ConfigError, CopyMeta,
+    SiteId, SiteSet, TimerWheel, VirtualInstant,
+};
+use dynvote_protocol::{Action, Message, SiteActor, TimerKind, TxnId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// Identifies a file in a [`MultiFileSimulation`].
 pub type FileIdx = usize;
@@ -174,26 +172,6 @@ enum MEvent {
     },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct EventKey {
-    time: f64,
-    seq: u64,
-}
-
-impl Eq for EventKey {}
-impl PartialOrd for EventKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then(self.seq.cmp(&other.seq))
-    }
-}
-
 /// A discrete-event simulation of several replicated files with atomic
 /// cross-file transactions.
 pub struct MultiFileSimulation {
@@ -202,10 +180,8 @@ pub struct MultiFileSimulation {
     /// `actors[file][site]`.
     actors: Vec<Vec<SiteActor>>,
     managers: Vec<SiteManager>,
-    queue: BinaryHeap<Reverse<(EventKey, u64)>>,
-    events: HashMap<u64, MEvent>,
+    timers: TimerWheel<VirtualInstant, MEvent>,
     clock: f64,
-    seq: u64,
     rng: StdRng,
     next_payload: u64,
     /// Per-file omniscient ledgers.
@@ -251,10 +227,8 @@ impl MultiFileSimulation {
             topology: Topology::fully_connected(config.n),
             actors,
             managers: (0..config.n).map(|_| SiteManager::default()).collect(),
-            queue: BinaryHeap::new(),
-            events: HashMap::new(),
+            timers: TimerWheel::new(),
             clock: 0.0,
-            seq: 0,
             rng: StdRng::seed_from_u64(config.seed),
             next_payload: 0,
             ledgers: vec![Vec::new(); config.files.len()],
@@ -289,13 +263,8 @@ impl MultiFileSimulation {
     }
 
     fn schedule(&mut self, delay: f64, event: MEvent) {
-        self.seq += 1;
-        let key = EventKey {
-            time: self.clock + delay,
-            seq: self.seq,
-        };
-        self.events.insert(self.seq, event);
-        self.queue.push(Reverse((key, self.seq)));
+        self.timers
+            .schedule(VirtualInstant(self.clock + delay), event);
     }
 
     fn send(&mut self, file: FileIdx, from: SiteId, to: SiteId, msg: Message) {
@@ -556,11 +525,10 @@ impl MultiFileSimulation {
 
     /// Process one event; false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse((key, id))) = self.queue.pop() else {
+        let Some((when, event)) = self.timers.pop_next() else {
             return false;
         };
-        let event = self.events.remove(&id).expect("event body");
-        self.clock = key.time;
+        self.clock = when.0;
         match event {
             MEvent::Deliver {
                 file,
@@ -594,8 +562,8 @@ impl MultiFileSimulation {
     pub fn quiesce(&mut self) {
         let deadline = self.clock + 10_000.0 * self.config.prepared_retry;
         let mut guard = 0u64;
-        while let Some(Reverse((key, _))) = self.queue.peek() {
-            if key.time > deadline || guard > 10_000_000 {
+        while let Some(&VirtualInstant(t)) = self.timers.next_deadline() {
+            if t > deadline || guard > 10_000_000 {
                 break;
             }
             guard += 1;
@@ -795,8 +763,8 @@ mod tests {
         /// delivering the outgoing COMMIT messages.
         fn run_past_decisions(&mut self) {
             let deadline = self.clock + 2.0 * self.config.latency + 1e-6;
-            while let Some(Reverse((key, _))) = self.queue.peek() {
-                if key.time > deadline {
+            while let Some(&VirtualInstant(t)) = self.timers.next_deadline() {
+                if t > deadline {
                     break;
                 }
                 self.step();
