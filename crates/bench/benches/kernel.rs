@@ -19,7 +19,8 @@ fn bench_decide(c: &mut Criterion) {
     for kind in AlgorithmKind::ALL {
         let sys = representative_system(kind, n);
         let algo = kind.instantiate(n);
-        let view = view_of(&sys, &order, SiteSet::parse("ABDEFH").unwrap());
+        let mut buf = Vec::new();
+        let view = view_of(&sys, &order, SiteSet::parse("ABDEFH").unwrap(), &mut buf);
         group.bench_with_input(BenchmarkId::from_parameter(kind.id()), &view, |b, view| {
             b.iter(|| black_box(algo.decide(black_box(view))));
         });
@@ -35,7 +36,8 @@ fn bench_commit_meta(c: &mut Criterion) {
         let sys = representative_system(kind, n);
         let algo = kind.instantiate(n);
         // A partition every algorithm accepts: everyone.
-        let view = view_of(&sys, &order, SiteSet::all(n));
+        let mut buf = Vec::new();
+        let view = view_of(&sys, &order, SiteSet::all(n), &mut buf);
         assert!(algo.is_distinguished(&view));
         group.bench_with_input(BenchmarkId::from_parameter(kind.id()), &view, |b, view| {
             b.iter(|| black_box(algo.commit_meta(black_box(view))));

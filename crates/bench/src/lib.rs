@@ -33,15 +33,20 @@ pub fn representative_system(
 }
 
 /// Materialise a partition view against a system (what a coordinator
-/// assembles per update).
+/// assembles per update). The responses are collected into the
+/// caller's `buf`, which the returned view borrows — mirroring how the
+/// protocol layer assembles views against its own reply storage with
+/// zero copies.
 #[must_use]
 pub fn view_of<'a>(
     sys: &ReplicaSystem<Box<dyn dynvote_core::ReplicaControl>>,
     order: &'a LinearOrder,
     partition: SiteSet,
+    buf: &'a mut Vec<(SiteId, CopyMeta)>,
 ) -> PartitionView<'a> {
-    let responses: Vec<(SiteId, CopyMeta)> = partition.iter().map(|s| (s, sys.meta(s))).collect();
-    PartitionView::new(sys.n(), order, responses).expect("valid view")
+    buf.clear();
+    buf.extend(partition.iter().map(|s| (s, sys.meta(s))));
+    PartitionView::new(sys.n(), order, buf).expect("valid view")
 }
 
 #[cfg(test)]
@@ -63,7 +68,8 @@ mod tests {
         let order = LinearOrder::lexicographic(6);
         let sys = representative_system(AlgorithmKind::Hybrid, 6);
         let p = SiteSet::parse("ACE").unwrap();
-        let view = view_of(&sys, &order, p);
+        let mut buf = Vec::new();
+        let view = view_of(&sys, &order, p, &mut buf);
         assert_eq!(view.members(), p);
     }
 }

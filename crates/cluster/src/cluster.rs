@@ -2,7 +2,7 @@
 //! mesh, clients, and fault injection.
 
 use crate::node::{AuditOutcome, ClusterLedger, Node, NodeConfig, NodeEvent, ReplySink};
-use crate::transport::{ChannelTransport, TcpTransport, Transport};
+use crate::transport::{ChannelTransport, TcpTransport, Transport, TransportError};
 use crate::wire::{self, ClientOp, ClientReply, HELLO_CLIENT, HELLO_PEER};
 use dynvote_core::{AlgorithmKind, ConfigError, SiteId, SiteSet, MAX_SITES};
 use dynvote_protocol::{CountingSink, EventTallies};
@@ -191,6 +191,10 @@ impl LocalClient {
 pub struct TcpClient {
     stream: TcpStream,
     next_id: u64,
+    /// Reused frame-encode buffer: requests are encoded in place and
+    /// written with one `write_all`, so a loadgen worker's steady-state
+    /// request path allocates nothing on the send side.
+    buf: Vec<u8>,
 }
 
 impl TcpClient {
@@ -200,14 +204,20 @@ impl TcpClient {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(2)))?;
         stream.write_all(&[HELLO_CLIENT])?;
-        Ok(TcpClient { stream, next_id: 0 })
+        Ok(TcpClient {
+            stream,
+            next_id: 0,
+            buf: Vec::new(),
+        })
     }
 
     /// Issue one operation and wait for its reply.
     pub fn request(&mut self, op: &ClientOp) -> io::Result<ClientReply> {
         self.next_id += 1;
         let id = self.next_id;
-        wire::write_frame(&mut self.stream, &wire::encode_request(id, op))?;
+        self.buf.clear();
+        wire::encode_frame_into(&mut self.buf, |out| wire::encode_request_into(out, id, op));
+        self.stream.write_all(&self.buf)?;
         loop {
             let body = wire::read_frame(&mut self.stream)?;
             let (rid, reply) = wire::decode_reply(&body)
@@ -458,53 +468,57 @@ fn spawn_acceptor(listener: TcpListener, inbox: Sender<NodeEvent>) {
 
 /// One inbound TCP connection: read the hello byte, then pump frames
 /// into the node's inbox until the peer hangs up or the node stops.
+///
+/// Link loss and node shutdown are legal endings and stay quiet;
+/// *protocol* corruption (a frame that fails to decode, an unknown
+/// preamble) is surfaced as a typed [`TransportError`] diagnostic
+/// instead of being swallowed.
 fn serve_connection(mut stream: TcpStream, inbox: Sender<NodeEvent>) {
+    if let Err(e) = pump_connection(&mut stream, inbox) {
+        match e {
+            TransportError::Decode(_) | TransportError::BadPreamble(_) => {
+                eprintln!("dynvote-conn: dropping connection: {e}");
+            }
+            // Hello/Read failures are the peer hanging up (legal
+            // message loss); NodeGone is shutdown.
+            _ => {}
+        }
+    }
+}
+
+fn pump_connection(stream: &mut TcpStream, inbox: Sender<NodeEvent>) -> Result<(), TransportError> {
     let _ = stream.set_nodelay(true);
     let mut hello = [0u8; 1];
-    if stream.read_exact(&mut hello).is_err() {
-        return;
-    }
+    stream
+        .read_exact(&mut hello)
+        .map_err(TransportError::Hello)?;
     match hello[0] {
         HELLO_PEER => {
             let mut id = [0u8; 1];
-            if stream.read_exact(&mut id).is_err() {
-                return;
-            }
+            stream.read_exact(&mut id).map_err(TransportError::Hello)?;
             let from = SiteId(id[0]);
             loop {
-                let Ok(body) = wire::read_frame(&mut stream) else {
-                    return;
-                };
-                let Ok(msg) = wire::decode_message(&body) else {
-                    return; // corrupt peer; drop the link
-                };
-                if inbox.send(NodeEvent::Peer { from, msg }).is_err() {
-                    return;
-                }
+                let body = wire::read_frame(stream).map_err(TransportError::Read)?;
+                let msg = wire::decode_message(&body).map_err(TransportError::Decode)?;
+                inbox
+                    .send(NodeEvent::Peer { from, msg })
+                    .map_err(|_| TransportError::NodeGone)?;
             }
         }
         HELLO_CLIENT => {
-            let Ok(write_half) = stream.try_clone() else {
-                return;
-            };
+            let write_half = stream.try_clone().map_err(TransportError::Read)?;
             let write_half = Arc::new(Mutex::new(write_half));
             loop {
-                let Ok(body) = wire::read_frame(&mut stream) else {
-                    return;
-                };
-                let Ok((id, op)) = wire::decode_request(&body) else {
-                    return;
-                };
+                let body = wire::read_frame(stream).map_err(TransportError::Read)?;
+                let (id, op) = wire::decode_request(&body).map_err(TransportError::Decode)?;
                 let event = NodeEvent::Client {
                     id,
                     op,
                     reply: ReplySink::Tcp(Arc::clone(&write_half)),
                 };
-                if inbox.send(event).is_err() {
-                    return;
-                }
+                inbox.send(event).map_err(|_| TransportError::NodeGone)?;
             }
         }
-        _ => {} // unknown preamble; drop the connection
+        tag => Err(TransportError::BadPreamble(tag)),
     }
 }

@@ -52,5 +52,5 @@ pub mod wire;
 pub use cluster::{Cluster, ClusterConfig, LocalClient, RequestError, TcpClient, TransportKind};
 pub use loadgen::{EventCountEntry, Histogram, LoadGen, LoadGenConfig, LoadReport, WorkloadTarget};
 pub use node::{AuditOutcome, ClusterLedger, Node, NodeConfig, NodeEvent, ReplySink};
-pub use transport::{ChannelTransport, TcpTransport, Transport};
+pub use transport::{ChannelTransport, TcpTransport, Transport, TransportError};
 pub use wire::{ClientOp, ClientReply, WireError};

@@ -36,7 +36,7 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::net::TcpStream;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -248,7 +248,17 @@ pub struct Node {
     payload_seq: u64,
     commits: u64,
     rng: StdRng,
+    /// Reusable action sink: every kernel call emits into this buffer
+    /// and [`Node::apply`] drains it, so the steady-state event loop
+    /// allocates no per-event `Vec<Action>`.
+    scratch: Vec<Action>,
 }
+
+/// How many already-queued inbox events one loop iteration may drain
+/// behind the blocking receive before timers fire and the transport
+/// flushes. Bounded so a message storm cannot starve timers; large
+/// enough that a commit fan-in coalesces into one flush.
+const INBOX_BATCH: usize = 128;
 
 impl Node {
     /// Build the runtime for site `id` of an `n`-site cluster running
@@ -283,6 +293,7 @@ impl Node {
             payload_seq: 0,
             commits: 0,
             rng,
+            scratch: Vec::new(),
         }
     }
 
@@ -303,20 +314,41 @@ impl Node {
     }
 
     /// The event loop: block on the inbox up to the next timer
-    /// deadline, fire due timers, repeat until [`NodeEvent::Shutdown`].
+    /// deadline, drain the burst queued behind the first event
+    /// (bounded by [`INBOX_BATCH`]), fire due timers, flush the
+    /// transport once for the whole batch, repeat until
+    /// [`NodeEvent::Shutdown`].
+    ///
+    /// The single flush per iteration is what makes the TCP hot path
+    /// cheap: every frame the batch produced for one peer leaves in
+    /// one `write_all`. Idle timeouts also flush, so nothing lingers
+    /// buffered when traffic stops.
     pub fn run(mut self) {
-        loop {
+        'outer: loop {
             let timeout = self
                 .next_timer_in()
                 .unwrap_or(Duration::from_millis(50))
                 .min(Duration::from_millis(50));
             match self.rx.recv_timeout(timeout) {
                 Ok(NodeEvent::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
-                Ok(event) => self.handle_event(event),
+                Ok(event) => {
+                    self.handle_event(event);
+                    for _ in 1..INBOX_BATCH {
+                        match self.rx.try_recv() {
+                            Ok(NodeEvent::Shutdown) | Err(TryRecvError::Disconnected) => {
+                                break 'outer;
+                            }
+                            Ok(event) => self.handle_event(event),
+                            Err(TryRecvError::Empty) => break,
+                        }
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => {}
             }
             self.fire_due_timers();
+            self.transport.flush();
         }
+        self.transport.flush();
         for (_, client) in self.pending.drain() {
             client.reply.send(client.id, ClientReply::Down);
         }
@@ -330,8 +362,8 @@ impl Node {
                 if self.down || !self.reachable.contains(from) {
                     return;
                 }
-                let actions = self.actor.handle_message(from, msg);
-                self.apply(actions);
+                self.actor.handle_message(from, msg, &mut self.scratch);
+                self.apply();
             }
             NodeEvent::Client { id, op, reply } => self.handle_client(id, op, reply),
             NodeEvent::Shutdown => {}
@@ -346,18 +378,18 @@ impl Node {
                     return;
                 }
                 let payload = self.fresh_payload();
-                let actions = self.actor.start_update(payload);
-                self.register_client(&actions, id, reply);
-                self.apply(actions);
+                self.actor.start_update(payload, &mut self.scratch);
+                self.register_client(id, reply);
+                self.apply();
             }
             ClientOp::Read => {
                 if self.down {
                     reply.send(id, ClientReply::Down);
                     return;
                 }
-                let actions = self.actor.start_read();
-                self.register_client(&actions, id, reply);
-                self.apply(actions);
+                self.actor.start_read(&mut self.scratch);
+                self.register_client(id, reply);
+                self.apply();
             }
             ClientOp::Crash => {
                 if !self.down {
@@ -376,10 +408,10 @@ impl Node {
                 if self.down {
                     self.down = false;
                     let payload = self.fresh_payload();
-                    let actions = self.actor.recover(payload);
+                    self.actor.recover(payload, &mut self.scratch);
                     // Tag the Make_Current transaction (if one started)
                     // so its commit is booked as restart traffic.
-                    for action in &actions {
+                    for action in &self.scratch {
                         if let Action::Broadcast {
                             msg: Message::VoteRequest { txn },
                         } = action
@@ -387,7 +419,7 @@ impl Node {
                             self.restart_txns.insert(*txn);
                         }
                     }
-                    self.apply(actions);
+                    self.apply();
                 }
                 reply.send(id, ClientReply::Ok);
             }
@@ -436,10 +468,11 @@ impl Node {
     }
 
     /// Park the client on the transaction its request started, found by
-    /// scanning the kernel's first action batch (the kernel does not
-    /// return the `TxnId` directly).
-    fn register_client(&mut self, actions: &[Action], id: u64, reply: ReplySink) {
-        let txn = actions.iter().find_map(|action| match action {
+    /// scanning the kernel's first action batch — still sitting in the
+    /// scratch sink — (the kernel does not return the `TxnId`
+    /// directly).
+    fn register_client(&mut self, id: u64, reply: ReplySink) {
+        let txn = self.scratch.iter().find_map(|action| match action {
             Action::Broadcast {
                 msg: Message::VoteRequest { txn },
             }
@@ -456,7 +489,11 @@ impl Node {
         }
     }
 
-    fn apply(&mut self, actions: Vec<Action>) {
+    /// Drain the scratch sink, interpreting each action. The buffer is
+    /// taken out of `self` for the duration (no kernel re-entry happens
+    /// inside) and put back with its capacity intact.
+    fn apply(&mut self) {
+        let mut actions = std::mem::take(&mut self.scratch);
         // Ledger bookkeeping first: a commit must be globally recorded
         // before the Commit fan-out below can trigger a dependent
         // commit (version + 1) on another thread, or the ledger would
@@ -476,7 +513,7 @@ impl Node {
                 }
             }
         }
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => self.send(to, msg),
                 Action::Broadcast { msg } => {
@@ -512,6 +549,7 @@ impl Node {
                 Action::CommitRecorded { .. } => {} // handled above
             }
         }
+        self.scratch = actions;
     }
 
     fn send(&mut self, to: SiteId, msg: Message) {
@@ -546,8 +584,8 @@ impl Node {
             if self.down {
                 continue;
             }
-            let actions = self.actor.timer_fired(txn, kind);
-            self.apply(actions);
+            self.actor.timer_fired(txn, kind, &mut self.scratch);
+            self.apply();
         }
     }
 

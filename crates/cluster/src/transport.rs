@@ -13,25 +13,94 @@
 //!   serialization; the fastest way to run a whole cluster inside one
 //!   test.
 //! * [`TcpTransport`] — loopback TCP with the length-prefixed wire
-//!   format of [`crate::wire`]. Connections are opened lazily on first
-//!   send, identified by a [`wire::HELLO_PEER`] preamble, and dropped
-//!   (to be re-dialed later) on any I/O error — a send never blocks the
-//!   protocol on a dead peer.
+//!   format of [`crate::wire`]. Sends are *buffered per peer* and
+//!   pushed by [`Transport::flush`]: the node runtime flushes once per
+//!   event-loop batch, so every frame produced by one batch reaches a
+//!   peer in a single `write_all` (one syscall, one TCP segment on
+//!   loopback) instead of one write per message. Connections are opened
+//!   lazily at flush time, identified by a [`wire::HELLO_PEER`]
+//!   preamble, and dropped (to be re-dialed later) on any I/O error — a
+//!   send never blocks the protocol on a dead peer.
 
 use crate::node::NodeEvent;
 use crate::wire::{self, HELLO_PEER};
 use dynvote_core::SiteId;
 use dynvote_protocol::Message;
-use std::io::Write;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::mpsc::Sender;
 use std::time::Duration;
 
+/// Why an outbound TCP link failed. Delivery stays best-effort — a
+/// failed link means lost messages, which the protocol tolerates — but
+/// the *cause* is typed and surfaced (see [`TcpTransport::take_error`])
+/// instead of being swallowed by `.ok()?` chains.
+#[derive(Debug)]
+pub enum TransportError {
+    /// No listen address is known for the destination site.
+    UnknownPeer(SiteId),
+    /// Dialing the peer failed or timed out.
+    Dial(io::Error),
+    /// The [`HELLO_PEER`] preamble could not be written after connecting.
+    Hello(io::Error),
+    /// Writing buffered frames to an established connection failed.
+    Write(io::Error),
+    /// Reading from an established connection failed (includes the
+    /// peer hanging up — legal message loss, but no longer anonymous).
+    Read(io::Error),
+    /// A received frame body failed to decode.
+    Decode(crate::wire::WireError),
+    /// An inbound connection announced an unknown preamble byte.
+    BadPreamble(u8),
+    /// The node's inbox is closed (shutdown); the connection is done.
+    NodeGone,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::UnknownPeer(site) => {
+                write!(f, "no address known for peer site {site}")
+            }
+            TransportError::Dial(e) => write!(f, "dialing peer failed: {e}"),
+            TransportError::Hello(e) => write!(f, "peer handshake failed: {e}"),
+            TransportError::Write(e) => write!(f, "writing to peer failed: {e}"),
+            TransportError::Read(e) => write!(f, "reading from connection failed: {e}"),
+            TransportError::Decode(e) => write!(f, "malformed frame: {e}"),
+            TransportError::BadPreamble(b) => {
+                write!(f, "unknown connection preamble byte {b:#04x}")
+            }
+            TransportError::NodeGone => write!(f, "node inbox closed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::UnknownPeer(_)
+            | TransportError::BadPreamble(_)
+            | TransportError::NodeGone => None,
+            TransportError::Dial(e)
+            | TransportError::Hello(e)
+            | TransportError::Write(e)
+            | TransportError::Read(e) => Some(e),
+            TransportError::Decode(e) => Some(e),
+        }
+    }
+}
+
 /// A node's outbound message path. Delivery is best-effort by design.
 pub trait Transport: Send {
     /// Deliver `msg` to site `to`, or drop it if the destination is
-    /// unreachable. Must not block indefinitely.
+    /// unreachable. Must not block indefinitely. A transport may buffer
+    /// until [`Transport::flush`].
     fn send(&mut self, to: SiteId, msg: &Message);
+
+    /// Push any buffered frames to the wire. The node runtime calls
+    /// this once per event-loop batch (and on idle timeouts); eager
+    /// transports need not override the no-op default.
+    fn flush(&mut self) {}
 }
 
 /// In-process transport: every peer's inbox is an `mpsc` sender.
@@ -67,11 +136,22 @@ impl Transport for ChannelTransport {
 /// down and the message is legally lost.
 const DIAL_TIMEOUT: Duration = Duration::from_millis(100);
 
-/// TCP loopback transport with lazy, self-healing peer connections.
+/// Cap on one peer's write buffer. A batch exceeding it is flushed
+/// inline, so an unreachable peer cannot pin unbounded memory between
+/// flushes (its buffer is discarded when the dial fails).
+const MAX_BUFFERED: usize = 256 * 1024;
+
+/// TCP loopback transport with lazy, self-healing peer connections and
+/// per-peer write coalescing.
 pub struct TcpTransport {
     from: SiteId,
     addrs: Vec<SocketAddr>,
     conns: Vec<Option<TcpStream>>,
+    /// Per-peer pending frames: `send` encodes into these (no I/O);
+    /// `flush` writes each non-empty buffer in one `write_all` and
+    /// clears it, keeping the capacity for the next batch.
+    bufs: Vec<Vec<u8>>,
+    last_error: Option<TransportError>,
 }
 
 impl TcpTransport {
@@ -80,35 +160,82 @@ impl TcpTransport {
     #[must_use]
     pub fn new(from: SiteId, addrs: Vec<SocketAddr>) -> Self {
         let conns = addrs.iter().map(|_| None).collect();
-        TcpTransport { from, addrs, conns }
+        let bufs = addrs.iter().map(|_| Vec::new()).collect();
+        TcpTransport {
+            from,
+            addrs,
+            conns,
+            bufs,
+            last_error: None,
+        }
     }
 
-    fn connect(&self, to: SiteId) -> Option<TcpStream> {
-        let addr = self.addrs.get(to.index())?;
-        let mut stream = TcpStream::connect_timeout(addr, DIAL_TIMEOUT).ok()?;
-        stream.set_nodelay(true).ok()?;
+    /// The most recent link failure, if any, clearing it. Messages to a
+    /// failed peer are legally lost; this surfaces *why* for operators
+    /// and tests.
+    pub fn take_error(&mut self) -> Option<TransportError> {
+        self.last_error.take()
+    }
+
+    fn connect(&self, to: SiteId) -> Result<TcpStream, TransportError> {
+        let addr = self
+            .addrs
+            .get(to.index())
+            .ok_or(TransportError::UnknownPeer(to))?;
+        let mut stream =
+            TcpStream::connect_timeout(addr, DIAL_TIMEOUT).map_err(TransportError::Dial)?;
+        stream.set_nodelay(true).map_err(TransportError::Dial)?;
         // Identify this link as a peer link carrying protocol frames.
-        stream.write_all(&[HELLO_PEER, self.from.0]).ok()?;
-        Some(stream)
+        stream
+            .write_all(&[HELLO_PEER, self.from.0])
+            .map_err(TransportError::Hello)?;
+        Ok(stream)
+    }
+
+    fn flush_peer(&mut self, idx: usize) {
+        if self.bufs[idx].is_empty() {
+            return;
+        }
+        if self.conns[idx].is_none() {
+            match self.connect(SiteId(idx as u8)) {
+                Ok(stream) => self.conns[idx] = Some(stream),
+                Err(e) => {
+                    // Peer unreachable: the batch is lost (legal), and
+                    // the buffer must not grow without bound.
+                    self.bufs[idx].clear();
+                    self.last_error = Some(e);
+                    return;
+                }
+            }
+        }
+        let stream = self.conns[idx].as_mut().expect("dialed above");
+        let result = stream
+            .write_all(&self.bufs[idx])
+            .and_then(|()| stream.flush());
+        self.bufs[idx].clear();
+        if let Err(e) = result {
+            // Broken pipe (peer restarted, socket torn down): drop the
+            // connection so the next flush re-dials.
+            self.conns[idx] = None;
+            self.last_error = Some(TransportError::Write(e));
+        }
     }
 }
 
 impl Transport for TcpTransport {
     fn send(&mut self, to: SiteId, msg: &Message) {
-        if to.index() >= self.conns.len() {
+        let Some(buf) = self.bufs.get_mut(to.index()) else {
             return;
-        }
-        if self.conns[to.index()].is_none() {
-            self.conns[to.index()] = self.connect(to);
-        }
-        let Some(stream) = self.conns[to.index()].as_mut() else {
-            return; // peer unreachable: message lost
         };
-        let body = wire::encode_message(msg);
-        if wire::write_frame(stream, &body).is_err() {
-            // Broken pipe (peer restarted, socket torn down): drop the
-            // connection so the next send re-dials.
-            self.conns[to.index()] = None;
+        wire::encode_frame_into(buf, |out| wire::encode_message_into(out, msg));
+        if self.bufs[to.index()].len() >= MAX_BUFFERED {
+            self.flush_peer(to.index());
+        }
+    }
+
+    fn flush(&mut self) {
+        for idx in 0..self.bufs.len() {
+            self.flush_peer(idx);
         }
     }
 }
@@ -159,6 +286,7 @@ mod tests {
         let mut t = TcpTransport::new(SiteId(3), vec![addr]);
 
         t.send(SiteId(0), &abort(11));
+        t.flush();
         let (mut conn, _) = listener.accept().unwrap();
         let mut hello = [0u8; 2];
         std::io::Read::read_exact(&mut conn, &mut hello).unwrap();
@@ -166,21 +294,64 @@ mod tests {
         let body = wire::read_frame(&mut conn).unwrap();
         assert_eq!(wire::decode_message(&body).unwrap(), abort(11));
 
-        // Kill the peer; subsequent sends must not wedge the caller and
-        // must re-dial once a listener is back.
+        // Kill the peer; subsequent flushes must not wedge the caller
+        // and must re-dial once a listener is back.
         drop(conn);
         drop(listener);
-        t.send(SiteId(0), &abort(12)); // may "succeed" into the dead socket
-        t.send(SiteId(0), &abort(13)); // detects the broken pipe, drops conn
+        t.send(SiteId(0), &abort(12));
+        t.flush(); // may "succeed" into the dead socket
+        t.send(SiteId(0), &abort(13));
+        t.flush(); // detects the broken pipe, drops conn, surfaces why
+        assert!(t.take_error().is_some(), "link failure is surfaced, typed");
         let listener = TcpListener::bind(addr);
         let Ok(listener) = listener else {
             return; // port got reused by another test runner; nothing more to pin
         };
         t.send(SiteId(0), &abort(14));
+        t.flush();
         let (mut conn, _) = listener.accept().unwrap();
         std::io::Read::read_exact(&mut conn, &mut hello).unwrap();
         assert_eq!(hello, [HELLO_PEER, 3]);
         let body = wire::read_frame(&mut conn).unwrap();
         assert_eq!(wire::decode_message(&body).unwrap(), abort(14));
+    }
+
+    #[test]
+    fn tcp_transport_coalesces_a_batch_into_ordered_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut t = TcpTransport::new(SiteId(1), vec![addr]);
+
+        // Several sends, one flush: all frames arrive, in order.
+        for seq in 1..=5 {
+            t.send(SiteId(0), &abort(seq));
+        }
+        t.flush();
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut hello = [0u8; 2];
+        std::io::Read::read_exact(&mut conn, &mut hello).unwrap();
+        assert_eq!(hello, [HELLO_PEER, 1]);
+        for seq in 1..=5 {
+            let body = wire::read_frame(&mut conn).unwrap();
+            assert_eq!(wire::decode_message(&body).unwrap(), abort(seq));
+        }
+    }
+
+    #[test]
+    fn unreachable_peer_discards_the_batch_with_a_typed_error() {
+        // A port with nothing listening: the dial fails at flush, the
+        // buffer is discarded (no unbounded growth) and the cause is
+        // typed.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let mut t = TcpTransport::new(SiteId(0), vec![addr]);
+        t.send(SiteId(0), &abort(1));
+        t.flush();
+        match t.take_error() {
+            Some(TransportError::Dial(_)) => {}
+            other => panic!("expected a dial error, got {other:?}"),
+        }
+        assert!(t.bufs[0].is_empty(), "failed batch is discarded");
     }
 }

@@ -274,34 +274,45 @@ impl<'a> Reader<'a> {
 // ----- protocol messages -------------------------------------------------
 
 /// Encode a protocol [`Message`] into a frame body.
+///
+/// Thin wrapper over [`encode_message_into`] for callers without a
+/// reusable buffer.
 #[must_use]
 pub fn encode_message(msg: &Message) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
+    encode_message_into(&mut out, msg);
+    out
+}
+
+/// Append a protocol [`Message`] body to `out` (which is *not*
+/// cleared: the transport batches several bodies, each behind its
+/// length prefix, into one write buffer).
+pub fn encode_message_into(out: &mut Vec<u8>, msg: &Message) {
     match msg {
         Message::VoteRequest { txn } => {
-            put_u8(&mut out, 1);
-            put_txn(&mut out, *txn);
+            put_u8(out, 1);
+            put_txn(out, *txn);
         }
         Message::VoteGranted { txn, meta, from } => {
-            put_u8(&mut out, 2);
-            put_txn(&mut out, *txn);
-            put_meta(&mut out, *meta);
-            put_u8(&mut out, from.0);
+            put_u8(out, 2);
+            put_txn(out, *txn);
+            put_meta(out, *meta);
+            put_u8(out, from.0);
         }
         Message::VoteBusy { txn, from } => {
-            put_u8(&mut out, 3);
-            put_txn(&mut out, *txn);
-            put_u8(&mut out, from.0);
+            put_u8(out, 3);
+            put_txn(out, *txn);
+            put_u8(out, from.0);
         }
         Message::CatchUpRequest { txn, after_version } => {
-            put_u8(&mut out, 4);
-            put_txn(&mut out, *txn);
-            put_u64(&mut out, *after_version);
+            put_u8(out, 4);
+            put_txn(out, *txn);
+            put_u64(out, *after_version);
         }
         Message::CatchUpReply { txn, entries } => {
-            put_u8(&mut out, 5);
-            put_txn(&mut out, *txn);
-            put_entries(&mut out, entries);
+            put_u8(out, 5);
+            put_txn(out, *txn);
+            put_entries(out, entries);
         }
         Message::Commit {
             txn,
@@ -309,46 +320,45 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             entries,
             participants,
         } => {
-            put_u8(&mut out, 6);
-            put_txn(&mut out, *txn);
-            put_meta(&mut out, *meta);
-            put_entries(&mut out, entries);
-            put_site_set(&mut out, *participants);
+            put_u8(out, 6);
+            put_txn(out, *txn);
+            put_meta(out, *meta);
+            put_entries(out, entries);
+            put_site_set(out, *participants);
         }
         Message::Abort { txn } => {
-            put_u8(&mut out, 7);
-            put_txn(&mut out, *txn);
+            put_u8(out, 7);
+            put_txn(out, *txn);
         }
         Message::StatusQuery {
             txn,
             after_version,
             from,
         } => {
-            put_u8(&mut out, 8);
-            put_txn(&mut out, *txn);
-            put_u64(&mut out, *after_version);
-            put_u8(&mut out, from.0);
+            put_u8(out, 8);
+            put_txn(out, *txn);
+            put_u64(out, *after_version);
+            put_u8(out, from.0);
         }
         Message::StatusReply { txn, outcome } => {
-            put_u8(&mut out, 9);
-            put_txn(&mut out, *txn);
+            put_u8(out, 9);
+            put_txn(out, *txn);
             match outcome {
                 StatusOutcome::Committed {
                     meta,
                     entries,
                     participants,
                 } => {
-                    put_u8(&mut out, 0);
-                    put_meta(&mut out, *meta);
-                    put_entries(&mut out, entries);
-                    put_site_set(&mut out, *participants);
+                    put_u8(out, 0);
+                    put_meta(out, *meta);
+                    put_entries(out, entries);
+                    put_site_set(out, *participants);
                 }
-                StatusOutcome::Aborted => put_u8(&mut out, 1),
-                StatusOutcome::Unknown => put_u8(&mut out, 2),
+                StatusOutcome::Aborted => put_u8(out, 1),
+                StatusOutcome::Unknown => put_u8(out, 2),
             }
         }
     }
-    out
 }
 
 /// Decode a protocol [`Message`] from a frame body.
@@ -407,24 +417,31 @@ pub fn decode_message(body: &[u8]) -> Result<Message, WireError> {
 // ----- client frames -----------------------------------------------------
 
 /// Encode a client request (correlation id + operation).
+///
+/// Thin wrapper over [`encode_request_into`].
 #[must_use]
 pub fn encode_request(id: u64, op: &ClientOp) -> Vec<u8> {
     let mut out = Vec::with_capacity(16);
-    put_u64(&mut out, id);
-    match op {
-        ClientOp::Update => put_u8(&mut out, 0),
-        ClientOp::Read => put_u8(&mut out, 1),
-        ClientOp::Crash => put_u8(&mut out, 2),
-        ClientOp::Recover => put_u8(&mut out, 3),
-        ClientOp::SetReachable(set) => {
-            put_u8(&mut out, 4);
-            put_site_set(&mut out, *set);
-        }
-        ClientOp::Probe => put_u8(&mut out, 5),
-        ClientOp::Audit => put_u8(&mut out, 6),
-        ClientOp::Events => put_u8(&mut out, 7),
-    }
+    encode_request_into(&mut out, id, op);
     out
+}
+
+/// Append a client request body to `out` (not cleared).
+pub fn encode_request_into(out: &mut Vec<u8>, id: u64, op: &ClientOp) {
+    put_u64(out, id);
+    match op {
+        ClientOp::Update => put_u8(out, 0),
+        ClientOp::Read => put_u8(out, 1),
+        ClientOp::Crash => put_u8(out, 2),
+        ClientOp::Recover => put_u8(out, 3),
+        ClientOp::SetReachable(set) => {
+            put_u8(out, 4);
+            put_site_set(out, *set);
+        }
+        ClientOp::Probe => put_u8(out, 5),
+        ClientOp::Audit => put_u8(out, 6),
+        ClientOp::Events => put_u8(out, 7),
+    }
 }
 
 /// Decode a client request.
@@ -446,52 +463,59 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, ClientOp), WireError> {
 }
 
 /// Encode a client reply (correlation id + outcome).
+///
+/// Thin wrapper over [`encode_reply_into`].
 #[must_use]
 pub fn encode_reply(id: u64, reply: &ClientReply) -> Vec<u8> {
     let mut out = Vec::with_capacity(24);
-    put_u64(&mut out, id);
+    encode_reply_into(&mut out, id, reply);
+    out
+}
+
+/// Append a client reply body to `out` (not cleared).
+pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &ClientReply) {
+    put_u64(out, id);
     match reply {
         ClientReply::Committed { version } => {
-            put_u8(&mut out, 0);
-            put_u64(&mut out, *version);
+            put_u8(out, 0);
+            put_u64(out, *version);
         }
-        ClientReply::ReadServed => put_u8(&mut out, 1),
-        ClientReply::Rejected => put_u8(&mut out, 2),
-        ClientReply::Busy => put_u8(&mut out, 3),
-        ClientReply::TimedOut => put_u8(&mut out, 4),
-        ClientReply::Down => put_u8(&mut out, 5),
-        ClientReply::Ok => put_u8(&mut out, 6),
+        ClientReply::ReadServed => put_u8(out, 1),
+        ClientReply::Rejected => put_u8(out, 2),
+        ClientReply::Busy => put_u8(out, 3),
+        ClientReply::TimedOut => put_u8(out, 4),
+        ClientReply::Down => put_u8(out, 5),
+        ClientReply::Ok => put_u8(out, 6),
         ClientReply::Probe {
             meta,
             locked,
             in_doubt,
             down,
         } => {
-            put_u8(&mut out, 7);
-            put_meta(&mut out, *meta);
-            put_u8(&mut out, u8::from(*locked));
-            put_u8(&mut out, u8::from(*in_doubt));
-            put_u8(&mut out, u8::from(*down));
+            put_u8(out, 7);
+            put_meta(out, *meta);
+            put_u8(out, u8::from(*locked));
+            put_u8(out, u8::from(*in_doubt));
+            put_u8(out, u8::from(*down));
         }
         ClientReply::Audit {
             commits,
             log_len,
             consistent,
         } => {
-            put_u8(&mut out, 8);
-            put_u64(&mut out, *commits);
-            put_u64(&mut out, *log_len);
-            put_u8(&mut out, u8::from(*consistent));
+            put_u8(out, 8);
+            put_u64(out, *commits);
+            put_u64(out, *log_len);
+            put_u8(out, u8::from(*consistent));
         }
         ClientReply::Events { counts } => {
-            put_u8(&mut out, 9);
-            put_u32(&mut out, counts.len() as u32);
+            put_u8(out, 9);
+            put_u32(out, counts.len() as u32);
             for &c in counts {
-                put_u64(&mut out, c);
+                put_u64(out, c);
             }
         }
     }
-    out
 }
 
 /// Decode a client reply.
@@ -536,6 +560,25 @@ pub fn decode_reply(body: &[u8]) -> Result<(u64, ClientReply), WireError> {
 }
 
 // ----- frame transport ---------------------------------------------------
+
+/// Append one length-prefixed frame to `out`, letting `fill` append
+/// the body directly into the same buffer.
+///
+/// Writes a 4-byte length placeholder, runs `fill`, then patches the
+/// placeholder with the observed body length — one buffer, no copy.
+/// The transport uses this to coalesce every frame of an event-loop
+/// iteration into a single write buffer per peer.
+///
+/// # Panics
+///
+/// If `fill` appends more than `u32::MAX` bytes.
+pub fn encode_frame_into(out: &mut Vec<u8>, fill: impl FnOnce(&mut Vec<u8>)) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    fill(out);
+    let len = u32::try_from(out.len() - at - 4).expect("frame body exceeds u32::MAX bytes");
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
 
 /// Write one length-prefixed frame.
 pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
@@ -582,8 +625,10 @@ mod tests {
         }
     }
 
-    #[test]
-    fn every_message_round_trips() {
+    /// One value of every `Message` variant (and every `StatusOutcome`
+    /// arm), shared by the round-trip and byte-identity tests so a new
+    /// variant only needs listing once.
+    fn all_message_variants() -> Vec<Message> {
         let entries = vec![
             LogEntry {
                 version: 1,
@@ -594,7 +639,7 @@ mod tests {
                 payload: u64::MAX,
             },
         ];
-        let messages = vec![
+        vec![
             Message::VoteRequest { txn: txn(0, 1) },
             Message::VoteGranted {
                 txn: txn(1, 2),
@@ -649,11 +694,53 @@ mod tests {
                 txn: txn(0, 11),
                 outcome: StatusOutcome::Unknown,
             },
-        ];
-        for msg in messages {
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in all_message_variants() {
             let bytes = encode_message(&msg);
             assert_eq!(decode_message(&bytes).unwrap(), msg, "{}", msg.kind());
         }
+    }
+
+    #[test]
+    fn into_encoders_are_byte_identical_and_append_only() {
+        // The reusable-buffer encoders back the transport's batched
+        // write path; they must produce exactly the allocating
+        // encoders' bytes, appended after whatever the buffer already
+        // holds (prior frames of the same batch).
+        let preamble = b"prior-frame-bytes".to_vec();
+        for msg in all_message_variants() {
+            let mut buf = preamble.clone();
+            encode_message_into(&mut buf, &msg);
+            assert_eq!(&buf[..preamble.len()], &preamble[..], "{}", msg.kind());
+            assert_eq!(
+                &buf[preamble.len()..],
+                encode_message(&msg),
+                "{}",
+                msg.kind()
+            );
+        }
+        let mut buf = preamble.clone();
+        encode_request_into(&mut buf, 7, &ClientOp::Update);
+        assert_eq!(&buf[preamble.len()..], encode_request(7, &ClientOp::Update));
+        let mut buf = preamble.clone();
+        let reply = ClientReply::Committed { version: 12 };
+        encode_reply_into(&mut buf, 9, &reply);
+        assert_eq!(&buf[preamble.len()..], encode_reply(9, &reply));
+    }
+
+    #[test]
+    fn encode_frame_into_length_prefixes_in_place() {
+        let msg = Message::VoteRequest { txn: txn(0, 1) };
+        let mut buf = vec![0xAB, 0xCD];
+        encode_frame_into(&mut buf, |out| encode_message_into(out, &msg));
+        let body = encode_message(&msg);
+        assert_eq!(&buf[..2], &[0xAB, 0xCD]);
+        assert_eq!(&buf[2..6], (body.len() as u32).to_le_bytes());
+        assert_eq!(&buf[6..], body);
     }
 
     #[test]

@@ -77,8 +77,9 @@ mod tests {
                     },
                 )
             })
-            .collect();
-        PartitionView::new(n, order, responses).unwrap()
+            .collect::<Vec<_>>();
+        // Leaked so the returned view can borrow it (test-only helper).
+        PartitionView::new(n, order, Box::leak(responses.into_boxed_slice())).unwrap()
     }
 
     #[test]

@@ -64,15 +64,12 @@ mod tests {
     }
 
     fn view<'a>(order: &'a LinearOrder, n: usize, entries: &[(u8, u64, u32)]) -> PartitionView<'a> {
-        PartitionView::new(
-            n,
-            order,
-            entries
-                .iter()
-                .map(|&(s, v, c)| (SiteId(s), meta(v, c)))
-                .collect(),
-        )
-        .unwrap()
+        let responses: Vec<_> = entries
+            .iter()
+            .map(|&(s, v, c)| (SiteId(s), meta(v, c)))
+            .collect();
+        // Leaked so the returned view can borrow it (test-only helper).
+        PartitionView::new(n, order, Box::leak(responses.into_boxed_slice())).unwrap()
     }
 
     #[test]

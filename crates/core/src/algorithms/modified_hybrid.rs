@@ -139,24 +139,21 @@ mod tests {
         n: usize,
         entries: &[(u8, u64, u32, Distinguished)],
     ) -> PartitionView<'a> {
-        PartitionView::new(
-            n,
-            order,
-            entries
-                .iter()
-                .map(|&(s, version, cardinality, distinguished)| {
-                    (
-                        SiteId(s),
-                        CopyMeta {
-                            version,
-                            cardinality,
-                            distinguished,
-                        },
-                    )
-                })
-                .collect(),
-        )
-        .unwrap()
+        let responses: Vec<_> = entries
+            .iter()
+            .map(|&(s, version, cardinality, distinguished)| {
+                (
+                    SiteId(s),
+                    CopyMeta {
+                        version,
+                        cardinality,
+                        distinguished,
+                    },
+                )
+            })
+            .collect();
+        // Leaked so the returned view can borrow it (test-only helper).
+        PartitionView::new(n, order, Box::leak(responses.into_boxed_slice())).unwrap()
     }
 
     fn single(s: u8) -> Distinguished {

@@ -110,24 +110,21 @@ mod tests {
     use crate::site::{LinearOrder, SiteId};
 
     fn view<'a>(order: &'a LinearOrder, n: usize, entries: &[(u8, u64)]) -> PartitionView<'a> {
-        PartitionView::new(
-            n,
-            order,
-            entries
-                .iter()
-                .map(|&(s, version)| {
-                    (
-                        SiteId(s),
-                        CopyMeta {
-                            version,
-                            cardinality: n as u32,
-                            distinguished: Distinguished::Irrelevant,
-                        },
-                    )
-                })
-                .collect(),
-        )
-        .unwrap()
+        let responses: Vec<_> = entries
+            .iter()
+            .map(|&(s, version)| {
+                (
+                    SiteId(s),
+                    CopyMeta {
+                        version,
+                        cardinality: n as u32,
+                        distinguished: Distinguished::Irrelevant,
+                    },
+                )
+            })
+            .collect();
+        // Leaked so the returned view can borrow it (test-only helper).
+        PartitionView::new(n, order, Box::leak(responses.into_boxed_slice())).unwrap()
     }
 
     fn set(s: &str) -> SiteSet {

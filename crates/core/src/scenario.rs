@@ -109,16 +109,28 @@ impl<A: ReplicaControl> ReplicaSystem<A> {
         self.metas.iter().map(|m| m.version).max().unwrap_or(0)
     }
 
-    /// Build the coordinator's view for an update arriving in `partition`.
-    fn view_of(&self, partition: SiteSet) -> Option<PartitionView<'_>> {
-        let responses: Vec<(SiteId, CopyMeta)> = partition
-            .iter()
-            .filter(|s| s.index() < self.n())
-            .map(|s| (s, self.metas[s.index()]))
-            .collect();
-        if responses.is_empty() {
-            return None;
-        }
+    /// Collect the `(site, meta)` responses an update arriving in
+    /// `partition` would gather, into `buf` (cleared first). The buffer is
+    /// caller-owned so hot paths can reuse one allocation across calls.
+    fn collect_responses(&self, partition: SiteSet, buf: &mut Vec<(SiteId, CopyMeta)>) {
+        buf.clear();
+        buf.extend(
+            partition
+                .iter()
+                .filter(|s| s.index() < self.n())
+                .map(|s| (s, self.metas[s.index()])),
+        );
+    }
+
+    /// Build the coordinator's view over previously collected responses.
+    ///
+    /// `responses` must be non-empty and come from
+    /// [`Self::collect_responses`] for the same `partition`.
+    fn view_from<'a>(
+        &'a self,
+        responses: &'a [(SiteId, CopyMeta)],
+        partition: SiteSet,
+    ) -> PartitionView<'a> {
         let view = PartitionView::new(self.n(), &self.order, responses)
             .expect("system metadata is well-formed");
         // Guard hint: the greatest absent holder of the partition's
@@ -129,24 +141,32 @@ impl<A: ReplicaControl> ReplicaSystem<A> {
                 !partition.contains(*s) && self.metas[s.index()].version == max_version
             }));
         let hint = self.order.max_of(absent_current);
-        Some(view.with_guard_hint(hint))
+        view.with_guard_hint(hint)
     }
 
     /// Would an update arriving in `partition` succeed? (Pure query; also
     /// the answer for read requests, per the paper's footnote 5.)
     #[must_use]
     pub fn can_update(&self, partition: SiteSet) -> bool {
-        self.view_of(partition)
-            .is_some_and(|view| self.algo.is_distinguished(&view))
+        let mut responses = Vec::new();
+        self.collect_responses(partition, &mut responses);
+        if responses.is_empty() {
+            return false;
+        }
+        let view = self.view_from(&responses, partition);
+        self.algo.is_distinguished(&view)
     }
 
     /// The verdict an update arriving in `partition` would receive.
     #[must_use]
     pub fn decide(&self, partition: SiteSet) -> Verdict {
-        match self.view_of(partition) {
-            Some(view) => self.algo.decide(&view),
-            None => Verdict::Rejected,
+        let mut responses = Vec::new();
+        self.collect_responses(partition, &mut responses);
+        if responses.is_empty() {
+            return Verdict::Rejected;
         }
+        let view = self.view_from(&responses, partition);
+        self.algo.decide(&view)
     }
 
     /// Process one update arriving at a site of `partition`.
@@ -155,13 +175,16 @@ impl<A: ReplicaControl> ReplicaSystem<A> {
     /// the new metadata (the voting, catch-up and commit phases collapsed
     /// to their end state); otherwise nothing changes.
     pub fn attempt_update(&mut self, partition: SiteSet) -> UpdateOutcome {
-        let Some(view) = self.view_of(partition) else {
+        let mut responses = Vec::new();
+        self.collect_responses(partition, &mut responses);
+        if responses.is_empty() {
             return UpdateOutcome {
                 verdict: Verdict::Rejected,
                 committed_version: None,
                 participants: 0,
             };
-        };
+        }
+        let view = self.view_from(&responses, partition);
         let verdict = self.algo.decide(&view);
         if !verdict.is_accepted() {
             return UpdateOutcome {
@@ -172,7 +195,6 @@ impl<A: ReplicaControl> ReplicaSystem<A> {
         }
         let meta = self.algo.commit_meta(&view);
         let members = view.members();
-        drop(view);
         for site in members.iter() {
             self.metas[site.index()] = meta;
         }

@@ -56,7 +56,7 @@ impl std::error::Error for ViewError {}
 pub struct PartitionView<'a> {
     n: usize,
     order: &'a LinearOrder,
-    responses: Vec<(SiteId, CopyMeta)>,
+    responses: &'a [(SiteId, CopyMeta)],
     members: SiteSet,
     max_version: u64,
     current: SiteSet,
@@ -69,17 +69,20 @@ impl<'a> PartitionView<'a> {
     ///
     /// `n` is the total number of replica sites of the file (required by
     /// static voting and by the "optimal candidate" rule); `order` is the
-    /// file's a-priori linear ordering.
+    /// file's a-priori linear ordering. The responses are borrowed, not
+    /// owned: a coordinator keeps them wherever it collected them (the
+    /// protocol layer stores the meta slice alongside its membership
+    /// bitset) and assembles views against that storage with zero copies.
     pub fn new(
         n: usize,
         order: &'a LinearOrder,
-        responses: Vec<(SiteId, CopyMeta)>,
+        responses: &'a [(SiteId, CopyMeta)],
     ) -> Result<Self, ViewError> {
         if responses.is_empty() {
             return Err(ViewError::Empty);
         }
         let mut members = SiteSet::EMPTY;
-        for &(site, _) in &responses {
+        for &(site, _) in responses {
             if site.index() >= n {
                 return Err(ViewError::SiteOutOfRange(site));
             }
@@ -95,7 +98,7 @@ impl<'a> PartitionView<'a> {
             .expect("nonempty");
         let mut current = SiteSet::EMPTY;
         let mut current_meta: Option<(SiteId, CopyMeta)> = None;
-        for &(site, meta) in &responses {
+        for &(site, meta) in responses {
             if meta.version == max_version {
                 current.insert(site);
                 match current_meta {
@@ -215,7 +218,7 @@ impl<'a> PartitionView<'a> {
     /// The raw responses, in the order they were supplied.
     #[must_use]
     pub fn responses(&self) -> &[(SiteId, CopyMeta)] {
-        &self.responses
+        self.responses
     }
 
     /// The metadata reported by `site`, if it is a member.
@@ -244,22 +247,18 @@ mod tests {
     #[test]
     fn computes_m_i_n() {
         let order = LinearOrder::lexicographic(5);
-        let view = PartitionView::new(
-            5,
-            &order,
-            vec![
-                (
-                    SiteId(0),
-                    meta(10, 3, Distinguished::Trio(SiteSet::parse("ABC").unwrap())),
-                ),
-                (
-                    SiteId(2),
-                    meta(10, 3, Distinguished::Trio(SiteSet::parse("ABC").unwrap())),
-                ),
-                (SiteId(3), meta(9, 5, Distinguished::Irrelevant)),
-            ],
-        )
-        .unwrap();
+        let responses = [
+            (
+                SiteId(0),
+                meta(10, 3, Distinguished::Trio(SiteSet::parse("ABC").unwrap())),
+            ),
+            (
+                SiteId(2),
+                meta(10, 3, Distinguished::Trio(SiteSet::parse("ABC").unwrap())),
+            ),
+            (SiteId(3), meta(9, 5, Distinguished::Irrelevant)),
+        ];
+        let view = PartitionView::new(5, &order, &responses).unwrap();
         assert_eq!(view.max_version(), 10);
         assert_eq!(view.current_sites(), SiteSet::parse("AC").unwrap());
         assert_eq!(view.cardinality(), 3);
@@ -273,7 +272,7 @@ mod tests {
     fn empty_view_is_an_error() {
         let order = LinearOrder::lexicographic(3);
         assert_eq!(
-            PartitionView::new(3, &order, vec![]).unwrap_err(),
+            PartitionView::new(3, &order, &[]).unwrap_err(),
             ViewError::Empty
         );
     }
@@ -282,7 +281,7 @@ mod tests {
     fn duplicate_site_is_an_error() {
         let order = LinearOrder::lexicographic(3);
         let m = meta(1, 3, Distinguished::Irrelevant);
-        let err = PartitionView::new(3, &order, vec![(SiteId(0), m), (SiteId(0), m)]).unwrap_err();
+        let err = PartitionView::new(3, &order, &[(SiteId(0), m), (SiteId(0), m)]).unwrap_err();
         assert_eq!(err, ViewError::DuplicateSite(SiteId(0)));
     }
 
@@ -290,7 +289,7 @@ mod tests {
     fn out_of_range_site_is_an_error() {
         let order = LinearOrder::lexicographic(3);
         let m = meta(1, 3, Distinguished::Irrelevant);
-        let err = PartitionView::new(3, &order, vec![(SiteId(7), m)]).unwrap_err();
+        let err = PartitionView::new(3, &order, &[(SiteId(7), m)]).unwrap_err();
         assert_eq!(err, ViewError::SiteOutOfRange(SiteId(7)));
     }
 
@@ -300,7 +299,7 @@ mod tests {
         let err = PartitionView::new(
             4,
             &order,
-            vec![
+            &[
                 (SiteId(0), meta(5, 4, Distinguished::Single(SiteId(0)))),
                 (SiteId(1), meta(5, 3, Distinguished::Single(SiteId(0)))),
             ],
@@ -313,16 +312,12 @@ mod tests {
     fn stale_copies_may_disagree_freely() {
         // Only the maximum-version copies must agree on SC/DS.
         let order = LinearOrder::lexicographic(4);
-        let view = PartitionView::new(
-            4,
-            &order,
-            vec![
-                (SiteId(0), meta(5, 2, Distinguished::Single(SiteId(0)))),
-                (SiteId(1), meta(4, 4, Distinguished::Single(SiteId(2)))),
-                (SiteId(2), meta(3, 4, Distinguished::Irrelevant)),
-            ],
-        )
-        .unwrap();
+        let responses = [
+            (SiteId(0), meta(5, 2, Distinguished::Single(SiteId(0)))),
+            (SiteId(1), meta(4, 4, Distinguished::Single(SiteId(2)))),
+            (SiteId(2), meta(3, 4, Distinguished::Irrelevant)),
+        ];
+        let view = PartitionView::new(4, &order, &responses).unwrap();
         assert_eq!(view.current_count(), 1);
         assert_eq!(view.cardinality(), 2);
     }

@@ -161,7 +161,7 @@ proptest! {
         if !partition.is_empty() {
             let responses: Vec<(SiteId, CopyMeta)> =
                 partition.iter().map(|s| (s, sys.meta(s))).collect();
-            let view = PartitionView::new(n, &order, responses).unwrap();
+            let view = PartitionView::new(n, &order, &responses).unwrap();
             if DynamicVoting::new().is_distinguished(&view) {
                 prop_assert!(DynamicLinear::new().is_distinguished(&view));
             }

@@ -40,4 +40,4 @@ pub use event::{
     CountingSink, EventKind, EventSink, EventTallies, FanoutSink, ProtocolEvent, RenderSink,
 };
 pub use message::{LogEntry, Message, StatusOutcome, TxnId};
-pub use site::{Action, DurableState, ResolveReason, SiteActor, TimerKind};
+pub use site::{Action, ActionSink, DurableState, ResolveReason, SiteActor, TimerKind};

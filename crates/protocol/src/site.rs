@@ -103,6 +103,14 @@ pub enum Action {
     },
 }
 
+/// A caller-owned, reusable buffer the kernel appends its [`Action`]s
+/// to. Every action-producing [`SiteActor`] entry point takes
+/// `out: &mut ActionSink` and *appends* — it never clears — so one
+/// event-loop iteration can collect the effects of several kernel calls
+/// into a single buffer and drain it once. Reusing the buffer across
+/// calls keeps the hot path free of per-message `Vec` allocations.
+pub type ActionSink = Vec<Action>;
+
 /// A durable commit record: what the transaction installed and whom it
 /// counted.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -294,8 +302,9 @@ impl SiteActor {
     }
 
     /// An update (or `Make_Current` no-op) arrives at this site.
-    pub fn start_update(&mut self, payload: u64) -> Vec<Action> {
-        self.start_transaction(payload, false, false).1
+    /// Effects are appended to `out`.
+    pub fn start_update(&mut self, payload: u64, out: &mut ActionSink) {
+        self.start_transaction(payload, false, false, out);
     }
 
     /// Start this file's leg of a multi-file transaction (paper
@@ -303,9 +312,8 @@ impl SiteActor {
     /// pauses with [`Action::DecisionReady`]; the cross-file transaction
     /// manager calls [`SiteActor::finalize_group`] once every file has
     /// decided. Returns `None` if the local copy is locked.
-    pub fn start_group_update(&mut self, payload: u64) -> (Option<TxnId>, Vec<Action>) {
-        let (txn, actions) = self.start_transaction(payload, false, true);
-        (txn, actions)
+    pub fn start_group_update(&mut self, payload: u64, out: &mut ActionSink) -> Option<TxnId> {
+        self.start_transaction(payload, false, true, out)
     }
 
     /// A read-only request arrives at this site (paper footnote 5:
@@ -315,8 +323,8 @@ impl SiteActor {
     /// still votes (to learn whether it sits in the distinguished
     /// partition) and still catches up (to read current data), but
     /// commits nothing.
-    pub fn start_read(&mut self) -> Vec<Action> {
-        self.start_transaction(0, true, false).1
+    pub fn start_read(&mut self, out: &mut ActionSink) {
+        self.start_transaction(0, true, false, out);
     }
 
     fn start_transaction(
@@ -324,7 +332,8 @@ impl SiteActor {
         payload: u64,
         read_only: bool,
         group: bool,
-    ) -> (Option<TxnId>, Vec<Action>) {
+        out: &mut ActionSink,
+    ) -> Option<TxnId> {
         if self.volatile.lock.is_some() {
             // Step i) failed: the local lock manager cannot grant the
             // lock now. The submission is refused (a real system would
@@ -334,38 +343,34 @@ impl SiteActor {
                 txn,
                 reason: ResolveReason::LockBusy,
             });
-            return (
-                None,
-                vec![Action::Resolved {
-                    txn,
-                    reason: ResolveReason::LockBusy,
-                }],
-            );
+            out.push(Action::Resolved {
+                txn,
+                reason: ResolveReason::LockBusy,
+            });
+            return None;
         }
         let txn = self.fresh_txn();
         self.volatile.lock = Some(txn);
+        let mut replies = Vec::with_capacity(self.n);
+        replies.push((self.id, self.durable.meta));
         self.volatile.coordinating = Some(CoordTxn {
             txn,
             payload,
             read_only,
             group,
             phase: CoordPhase::Voting {
-                replies: vec![(self.id, self.durable.meta)],
+                replies,
                 responded: 0,
             },
         });
-        (
-            Some(txn),
-            vec![
-                Action::Broadcast {
-                    msg: Message::VoteRequest { txn },
-                },
-                Action::SetTimer {
-                    txn,
-                    kind: TimerKind::VoteDeadline,
-                },
-            ],
-        )
+        out.push(Action::Broadcast {
+            msg: Message::VoteRequest { txn },
+        });
+        out.push(Action::SetTimer {
+            txn,
+            kind: TimerKind::VoteDeadline,
+        });
+        Some(txn)
     }
 
     /// Crash: all volatile state is lost. Durable prepare/commit records
@@ -381,7 +386,7 @@ impl SiteActor {
     ///
     /// `restart_payload` identifies the no-op update `Make_Current`
     /// commits if it finds a distinguished partition.
-    pub fn recover(&mut self, restart_payload: u64) -> Vec<Action> {
+    pub fn recover(&mut self, restart_payload: u64, out: &mut ActionSink) {
         self.emit(ProtocolEvent::Recovered {
             in_doubt: self.durable.prepared.is_some(),
         });
@@ -390,21 +395,22 @@ impl SiteActor {
             // straight to the termination protocol.
             self.volatile.lock = Some(txn);
             self.volatile.prepared = Some((txn, coordinator));
-            return self.termination_round(txn);
+            self.termination_round(txn, out);
+            return;
         }
-        self.start_update(restart_payload)
+        self.start_update(restart_payload, out);
     }
 
-    /// A message arrives.
-    pub fn handle_message(&mut self, from: SiteId, msg: Message) -> Vec<Action> {
+    /// A message arrives. Effects are appended to `out`.
+    pub fn handle_message(&mut self, from: SiteId, msg: Message, out: &mut ActionSink) {
         match msg {
-            Message::VoteRequest { txn } => self.on_vote_request(from, txn),
-            Message::VoteGranted { txn, meta, from } => self.on_vote(txn, Some((from, meta))),
-            Message::VoteBusy { txn, .. } => self.on_vote(txn, None),
+            Message::VoteRequest { txn } => self.on_vote_request(from, txn, out),
+            Message::VoteGranted { txn, meta, from } => self.on_vote(txn, Some((from, meta)), out),
+            Message::VoteBusy { txn, .. } => self.on_vote(txn, None, out),
             Message::CatchUpRequest { txn, after_version } => {
-                self.on_catchup_request(from, txn, after_version)
+                self.on_catchup_request(from, txn, after_version, out)
             }
-            Message::CatchUpReply { txn, entries } => self.on_catchup_reply(txn, entries),
+            Message::CatchUpReply { txn, entries } => self.on_catchup_reply(txn, entries, out),
             Message::Commit {
                 txn,
                 meta,
@@ -416,15 +422,15 @@ impl SiteActor {
                 txn,
                 after_version,
                 from,
-            } => self.on_status_query(from, txn, after_version),
+            } => self.on_status_query(from, txn, after_version, out),
             Message::StatusReply { txn, outcome } => self.on_status_reply(txn, outcome),
         }
     }
 
     /// A timer fires.
-    pub fn timer_fired(&mut self, txn: TxnId, kind: TimerKind) -> Vec<Action> {
+    pub fn timer_fired(&mut self, txn: TxnId, kind: TimerKind, out: &mut ActionSink) {
         match kind {
-            TimerKind::VoteDeadline => self.decide(txn),
+            TimerKind::VoteDeadline => self.decide(txn, out),
             TimerKind::CatchUpDeadline => {
                 // Catch-up source unreachable: abort the update (or, in
                 // group mode, report a negative decision and let the
@@ -433,18 +439,15 @@ impl SiteActor {
                     c.txn == txn && matches!(c.phase, CoordPhase::CatchingUp { .. })
                 });
                 if !relevant {
-                    Vec::new()
                 } else if self.volatile.coordinating.as_ref().is_some_and(|c| c.group) {
-                    self.group_decision(txn, false, Vec::new())
+                    self.group_decision(txn, false, Vec::new(), out);
                 } else {
-                    self.abort_coordinated(txn, ResolveReason::Timeout)
+                    self.abort_coordinated(txn, ResolveReason::Timeout, out);
                 }
             }
             TimerKind::PreparedRetry => {
                 if self.volatile.prepared.is_some_and(|(t, _)| t == txn) {
-                    self.termination_round(txn)
-                } else {
-                    Vec::new()
+                    self.termination_round(txn, out);
                 }
             }
         }
@@ -452,14 +455,15 @@ impl SiteActor {
 
     // ----- subordinate paths -------------------------------------------
 
-    fn on_vote_request(&mut self, from: SiteId, txn: TxnId) -> Vec<Action> {
+    fn on_vote_request(&mut self, from: SiteId, txn: TxnId, out: &mut ActionSink) {
         match self.volatile.lock {
             Some(holder) if holder != txn => {
                 self.emit(ProtocolEvent::VoteDenied { txn, holder });
-                return vec![Action::Send {
+                out.push(Action::Send {
                     to: from,
                     msg: Message::VoteBusy { txn, from: self.id },
-                }];
+                });
+                return;
             }
             _ => {}
         }
@@ -477,20 +481,18 @@ impl SiteActor {
             txn,
             coordinator: from,
         });
-        vec![
-            Action::Send {
-                to: from,
-                msg: Message::VoteGranted {
-                    txn,
-                    meta: self.durable.meta,
-                    from: self.id,
-                },
-            },
-            Action::SetTimer {
+        out.push(Action::Send {
+            to: from,
+            msg: Message::VoteGranted {
                 txn,
-                kind: TimerKind::PreparedRetry,
+                meta: self.durable.meta,
+                from: self.id,
             },
-        ]
+        });
+        out.push(Action::SetTimer {
+            txn,
+            kind: TimerKind::PreparedRetry,
+        });
     }
 
     fn on_commit(
@@ -499,7 +501,7 @@ impl SiteActor {
         meta: CopyMeta,
         entries: Vec<LogEntry>,
         participants: SiteSet,
-    ) -> Vec<Action> {
+    ) {
         self.apply_commit(txn, meta, &entries, participants);
         if self.volatile.prepared.is_some_and(|(t, _)| t == txn) {
             self.volatile.prepared = None;
@@ -510,10 +512,9 @@ impl SiteActor {
         if self.volatile.lock == Some(txn) {
             self.volatile.lock = None;
         }
-        Vec::new()
     }
 
-    fn on_abort(&mut self, txn: TxnId) -> Vec<Action> {
+    fn on_abort(&mut self, txn: TxnId) {
         if self.volatile.prepared.is_some_and(|(t, _)| t == txn) {
             self.volatile.prepared = None;
         }
@@ -523,7 +524,6 @@ impl SiteActor {
         if self.volatile.lock == Some(txn) {
             self.volatile.lock = None;
         }
-        Vec::new()
     }
 
     /// Apply a commit's effects monotonically (idempotent under
@@ -566,29 +566,67 @@ impl SiteActor {
     /// whether the in-doubt transaction committed, and re-arm the retry
     /// timer. "If the coordinator is down and no one knows, stay
     /// blocked."
-    fn termination_round(&mut self, txn: TxnId) -> Vec<Action> {
+    fn termination_round(&mut self, txn: TxnId, out: &mut ActionSink) {
         self.volatile.prepared_rounds = self.volatile.prepared_rounds.saturating_add(1);
         self.emit(ProtocolEvent::TerminationRound {
             txn,
             round: self.volatile.prepared_rounds,
         });
         let after_version = self.durable.log.last().map_or(0, |e| e.version);
-        vec![
-            Action::Broadcast {
-                msg: Message::StatusQuery {
-                    txn,
-                    after_version,
-                    from: self.id,
-                },
-            },
-            Action::SetTimer {
+        out.push(Action::Broadcast {
+            msg: Message::StatusQuery {
                 txn,
-                kind: TimerKind::PreparedRetry,
+                after_version,
+                from: self.id,
             },
-        ]
+        });
+        out.push(Action::SetTimer {
+            txn,
+            kind: TimerKind::PreparedRetry,
+        });
     }
 
-    fn on_status_query(&mut self, from: SiteId, txn: TxnId, after_version: u64) -> Vec<Action> {
+    /// The gapless-log invariant (entry at index `i` holds version
+    /// `i + 1`; the engine audits it) turns "entries with version in
+    /// `(after, upto]`" into a suffix slice — O(len of the answer)
+    /// instead of a full-log scan, which made commit fan-out quadratic
+    /// in chain length.
+    fn log_slice(&self, after: u64, upto: u64) -> &[LogEntry] {
+        let len = self.durable.log.len();
+        let lo = usize::try_from(after).map_or(len, |v| v.min(len));
+        let hi = usize::try_from(upto).map_or(len, |v| v.min(len));
+        debug_assert!(self
+            .durable
+            .log
+            .get(lo)
+            .map_or(true, |e| e.version == after + 1));
+        if lo < hi {
+            &self.durable.log[lo..hi]
+        } else {
+            &[]
+        }
+    }
+
+    /// All log entries with version greater than `after` (same gapless
+    /// invariant as [`Self::log_slice`]).
+    fn log_suffix(&self, after: u64) -> &[LogEntry] {
+        let len = self.durable.log.len();
+        let lo = usize::try_from(after).map_or(len, |v| v.min(len));
+        debug_assert!(self
+            .durable
+            .log
+            .get(lo)
+            .map_or(true, |e| e.version == after + 1));
+        &self.durable.log[lo..]
+    }
+
+    fn on_status_query(
+        &mut self,
+        from: SiteId,
+        txn: TxnId,
+        after_version: u64,
+        out: &mut ActionSink,
+    ) {
         let outcome = if let Some(&record) = self.durable.commits.get(&txn) {
             if record.participants.contains(from) {
                 // Ship exactly the transaction's own commit: its entries
@@ -598,13 +636,7 @@ impl SiteActor {
                 // inquirer was not counted in their cardinalities.
                 StatusOutcome::Committed {
                     meta: record.meta,
-                    entries: self
-                        .durable
-                        .log
-                        .iter()
-                        .filter(|e| e.version > after_version && e.version <= record.meta.version)
-                        .copied()
-                        .collect(),
+                    entries: self.log_slice(after_version, record.meta.version).to_vec(),
                     participants: record.participants,
                 }
             } else {
@@ -632,15 +664,15 @@ impl SiteActor {
         } else {
             StatusOutcome::Unknown
         };
-        vec![Action::Send {
+        out.push(Action::Send {
             to: from,
             msg: Message::StatusReply { txn, outcome },
-        }]
+        });
     }
 
-    fn on_status_reply(&mut self, txn: TxnId, outcome: StatusOutcome) -> Vec<Action> {
+    fn on_status_reply(&mut self, txn: TxnId, outcome: StatusOutcome) {
         if !self.volatile.prepared.is_some_and(|(t, _)| t == txn) {
-            return Vec::new();
+            return;
         }
         match outcome {
             StatusOutcome::Committed {
@@ -649,22 +681,22 @@ impl SiteActor {
                 participants,
             } => self.on_commit(txn, meta, entries, participants),
             StatusOutcome::Aborted => self.on_abort(txn),
-            StatusOutcome::Unknown => Vec::new(),
+            StatusOutcome::Unknown => {}
         }
     }
 
     // ----- coordinator paths -------------------------------------------
 
-    fn on_vote(&mut self, txn: TxnId, vote: Option<(SiteId, CopyMeta)>) -> Vec<Action> {
+    fn on_vote(&mut self, txn: TxnId, vote: Option<(SiteId, CopyMeta)>, out: &mut ActionSink) {
         let n = self.n;
         let Some(coord) = self.volatile.coordinating.as_mut() else {
-            return Vec::new();
+            return;
         };
         if coord.txn != txn {
-            return Vec::new();
+            return;
         }
         let CoordPhase::Voting { replies, responded } = &mut coord.phase else {
-            return Vec::new();
+            return;
         };
         if let Some((from, meta)) = vote {
             if !replies.iter().any(|(s, _)| *s == from) {
@@ -676,37 +708,51 @@ impl SiteActor {
         }
         if *responded >= n - 1 {
             // Everyone answered: no need to wait for the deadline.
-            self.decide(txn)
-        } else {
-            Vec::new()
+            self.decide(txn, out);
         }
     }
 
     /// End of the voting phase: run `Is_Distinguished` on the collected
     /// replies and move to catch-up or commit (or abort).
-    fn decide(&mut self, txn: TxnId) -> Vec<Action> {
-        let Some(coord) = self.volatile.coordinating.as_ref() else {
-            return Vec::new();
+    ///
+    /// The coordination record is taken out of `self` for the duration so
+    /// the view can borrow the reply slice directly — the membership Vec
+    /// moves through the phase transitions instead of being cloned.
+    fn decide(&mut self, txn: TxnId, out: &mut ActionSink) {
+        let Some(mut coord) = self.volatile.coordinating.take() else {
+            return;
         };
         if coord.txn != txn {
-            return Vec::new();
+            self.volatile.coordinating = Some(coord);
+            return;
         }
-        let CoordPhase::Voting { replies, .. } = &coord.phase else {
-            return Vec::new();
+        let empty_phase = CoordPhase::Voting {
+            replies: Vec::new(),
+            responded: 0,
         };
-        let members = replies.clone();
+        let members = match std::mem::replace(&mut coord.phase, empty_phase) {
+            CoordPhase::Voting { replies, .. } => replies,
+            other => {
+                coord.phase = other;
+                self.volatile.coordinating = Some(coord);
+                return;
+            }
+        };
         let group = coord.group;
-        let view = PartitionView::new(self.n, &self.order, members.clone())
+        let view = PartitionView::new(self.n, &self.order, &members)
             .expect("vote replies form a valid view");
         if !self.algo.is_distinguished(&view) {
+            self.volatile.coordinating = Some(coord);
             if group {
-                return self.group_decision(txn, false, Vec::new());
+                self.group_decision(txn, false, Vec::new(), out);
+            } else {
+                self.abort_coordinated(txn, ResolveReason::NotDistinguished, out);
             }
-            return self.abort_coordinated(txn, ResolveReason::NotDistinguished);
+            return;
         }
         self.emit(ProtocolEvent::QuorumAssembled {
             txn,
-            members: members.iter().map(|(s, _)| *s).collect(),
+            members: view.members(),
         });
         let my_version = self.durable.meta.version;
         if my_version < view.max_version() {
@@ -722,64 +768,75 @@ impl SiteActor {
                 source,
                 after_version: my_version,
             });
-            if let Some(coord) = self.volatile.coordinating.as_mut() {
-                coord.phase = CoordPhase::CatchingUp { members };
-            }
-            return vec![
-                Action::Send {
-                    to: source,
-                    msg: Message::CatchUpRequest {
-                        txn,
-                        after_version: my_version,
-                    },
-                },
-                Action::SetTimer {
+            coord.phase = CoordPhase::CatchingUp { members };
+            self.volatile.coordinating = Some(coord);
+            out.push(Action::Send {
+                to: source,
+                msg: Message::CatchUpRequest {
                     txn,
-                    kind: TimerKind::CatchUpDeadline,
+                    after_version: my_version,
                 },
-            ];
+            });
+            out.push(Action::SetTimer {
+                txn,
+                kind: TimerKind::CatchUpDeadline,
+            });
+            return;
         }
         if group {
-            return self.group_decision(txn, true, members);
+            self.volatile.coordinating = Some(coord);
+            self.group_decision(txn, true, members, out);
+            return;
         }
-        self.commit_coordinated(txn, members)
+        self.commit_with(coord, members, out);
     }
 
-    fn on_catchup_request(&mut self, from: SiteId, txn: TxnId, after_version: u64) -> Vec<Action> {
+    fn on_catchup_request(
+        &mut self,
+        from: SiteId,
+        txn: TxnId,
+        after_version: u64,
+        out: &mut ActionSink,
+    ) {
         // Served from the durable log; the copy is locked for `txn`, so
         // the suffix is stable.
-        let entries: Vec<LogEntry> = self
-            .durable
-            .log
-            .iter()
-            .filter(|e| e.version > after_version)
-            .copied()
-            .collect();
+        let entries = self.log_suffix(after_version).to_vec();
         self.emit(ProtocolEvent::CatchUpServed { txn, to: from });
-        vec![Action::Send {
+        out.push(Action::Send {
             to: from,
             msg: Message::CatchUpReply { txn, entries },
-        }]
+        });
     }
 
-    fn on_catchup_reply(&mut self, txn: TxnId, entries: Vec<LogEntry>) -> Vec<Action> {
-        let Some(coord) = self.volatile.coordinating.as_ref() else {
-            return Vec::new();
+    fn on_catchup_reply(&mut self, txn: TxnId, entries: Vec<LogEntry>, out: &mut ActionSink) {
+        let Some(mut coord) = self.volatile.coordinating.take() else {
+            return;
         };
         if coord.txn != txn {
-            return Vec::new();
+            self.volatile.coordinating = Some(coord);
+            return;
         }
-        let CoordPhase::CatchingUp { members } = &coord.phase else {
-            return Vec::new();
+        let empty_phase = CoordPhase::Voting {
+            replies: Vec::new(),
+            responded: 0,
         };
-        let members = members.clone();
+        let members = match std::mem::replace(&mut coord.phase, empty_phase) {
+            CoordPhase::CatchingUp { members } => members,
+            other => {
+                coord.phase = other;
+                self.volatile.coordinating = Some(coord);
+                return;
+            }
+        };
         let group = coord.group;
         if coord.read_only {
             // The fetched entries carry the value the read needs; the
             // local copy stays untouched (applying them here would grow
             // the version-M holder set beyond SC — see DESIGN.md).
             let _ = entries;
-            return self.finish_read(txn);
+            self.volatile.coordinating = Some(coord);
+            self.finish_read(txn, out);
+            return;
         }
         // Absorb the missing updates (metadata still advances only at
         // commit).
@@ -791,9 +848,11 @@ impl SiteActor {
             }
         }
         if group {
-            return self.group_decision(txn, true, members);
+            self.volatile.coordinating = Some(coord);
+            self.group_decision(txn, true, members, out);
+            return;
         }
-        self.commit_coordinated(txn, members)
+        self.commit_with(coord, members, out);
     }
 
     /// Group mode: park in the `Decided` phase and notify the manager.
@@ -802,7 +861,8 @@ impl SiteActor {
         txn: TxnId,
         distinguished: bool,
         members: Vec<(SiteId, CopyMeta)>,
-    ) -> Vec<Action> {
+        out: &mut ActionSink,
+    ) {
         if let Some(coord) = self.volatile.coordinating.as_mut() {
             debug_assert!(coord.group && coord.txn == txn);
             coord.phase = CoordPhase::Decided {
@@ -810,47 +870,59 @@ impl SiteActor {
                 members,
             };
         }
-        vec![Action::DecisionReady { txn, distinguished }]
+        out.push(Action::DecisionReady { txn, distinguished });
     }
 
     /// The members recorded by a group decision (for the manager's
     /// durable group record).
     #[must_use]
-    pub fn decided_members(&self, txn: TxnId) -> Option<Vec<(SiteId, CopyMeta)>> {
+    pub fn decided_members(&self, txn: TxnId) -> Option<&[(SiteId, CopyMeta)]> {
         let coord = self.volatile.coordinating.as_ref()?;
         if coord.txn != txn {
             return None;
         }
         match &coord.phase {
-            CoordPhase::Decided { members, .. } => Some(members.clone()),
+            CoordPhase::Decided { members, .. } => Some(members),
             _ => None,
         }
     }
 
     /// The transaction manager's verdict for a group leg: commit (only
     /// valid if this file decided `distinguished`) or abort.
-    pub fn finalize_group(&mut self, txn: TxnId, commit: bool) -> Vec<Action> {
-        let Some(coord) = self.volatile.coordinating.as_ref() else {
-            return Vec::new();
+    pub fn finalize_group(&mut self, txn: TxnId, commit: bool, out: &mut ActionSink) {
+        let Some(mut coord) = self.volatile.coordinating.take() else {
+            return;
         };
         if coord.txn != txn {
-            return Vec::new();
+            self.volatile.coordinating = Some(coord);
+            return;
         }
-        if commit {
-            let CoordPhase::Decided {
+        if !commit {
+            self.volatile.coordinating = Some(coord);
+            self.abort_coordinated(txn, ResolveReason::NotDistinguished, out);
+            return;
+        }
+        let empty_phase = CoordPhase::Voting {
+            replies: Vec::new(),
+            responded: 0,
+        };
+        let members = match std::mem::replace(&mut coord.phase, empty_phase) {
+            CoordPhase::Decided {
                 distinguished,
                 members,
-            } = &coord.phase
-            else {
+            } => {
+                debug_assert!(distinguished, "commit verdict on a refused file");
+                members
+            }
+            other => {
                 debug_assert!(false, "commit verdict before decision");
-                return self.abort_coordinated(txn, ResolveReason::Timeout);
-            };
-            debug_assert!(*distinguished, "commit verdict on a refused file");
-            let members = members.clone();
-            self.commit_coordinated(txn, members)
-        } else {
-            self.abort_coordinated(txn, ResolveReason::NotDistinguished)
-        }
+                coord.phase = other;
+                self.volatile.coordinating = Some(coord);
+                self.abort_coordinated(txn, ResolveReason::Timeout, out);
+                return;
+            }
+        };
+        self.commit_with(coord, members, out);
     }
 
     /// Crash-recovery redo: re-perform a group commit from the durable
@@ -860,64 +932,70 @@ impl SiteActor {
         &mut self,
         txn: TxnId,
         payload: u64,
-        members: Vec<(SiteId, CopyMeta)>,
-    ) -> Vec<Action> {
+        members: &[(SiteId, CopyMeta)],
+        out: &mut ActionSink,
+    ) {
         if self.durable.commits.contains_key(&txn) {
-            return Vec::new();
+            return;
         }
         debug_assert!(
             self.volatile.coordinating.is_none(),
             "redo runs before new work starts"
         );
-        self.volatile.coordinating = Some(CoordTxn {
+        self.volatile.lock = Some(txn);
+        let coord = CoordTxn {
             txn,
             payload,
             read_only: false,
             group: true,
-            phase: CoordPhase::Decided {
-                distinguished: true,
-                members: members.clone(),
+            phase: CoordPhase::Voting {
+                replies: Vec::new(),
+                responded: 0,
             },
-        });
-        self.volatile.lock = Some(txn);
-        self.commit_coordinated(txn, members)
+        };
+        self.commit_with(coord, members.to_vec(), out);
     }
 
     /// Release everyone after a served read: no metadata changes, so an
     /// `ABORT` doubles as the unlock message.
-    fn finish_read(&mut self, txn: TxnId) -> Vec<Action> {
+    fn finish_read(&mut self, txn: TxnId, out: &mut ActionSink) {
         let Some(coord) = self.volatile.coordinating.take() else {
-            return Vec::new();
+            return;
         };
         debug_assert!(coord.read_only && coord.txn == txn);
         if self.volatile.lock == Some(txn) {
             self.volatile.lock = None;
         }
         self.emit(ProtocolEvent::ReadServed { txn });
-        vec![
-            Action::Broadcast {
-                msg: Message::Abort { txn },
-            },
-            Action::Resolved {
-                txn,
-                reason: ResolveReason::ReadServed,
-            },
-        ]
+        out.push(Action::Broadcast {
+            msg: Message::Abort { txn },
+        });
+        out.push(Action::Resolved {
+            txn,
+            reason: ResolveReason::ReadServed,
+        });
     }
 
     /// The commit phase (`Do_Update`): force the commit record, apply
     /// locally, ship `COMMIT` plus each subordinate's missing updates.
-    fn commit_coordinated(&mut self, txn: TxnId, members: Vec<(SiteId, CopyMeta)>) -> Vec<Action> {
-        let Some(coord) = self.volatile.coordinating.take() else {
-            return Vec::new();
-        };
-        debug_assert_eq!(coord.txn, txn);
+    ///
+    /// `coord` has already been taken out of `self.volatile.coordinating`
+    /// and `members` moved out of its phase — the one membership Vec a
+    /// transaction allocates travels here by value, never cloned.
+    fn commit_with(
+        &mut self,
+        coord: CoordTxn,
+        members: Vec<(SiteId, CopyMeta)>,
+        out: &mut ActionSink,
+    ) {
+        let txn = coord.txn;
         if coord.read_only {
             self.volatile.coordinating = Some(coord);
-            return self.finish_read(txn);
+            self.finish_read(txn, out);
+            return;
         }
-        let view = PartitionView::new(self.n, &self.order, members.clone())
-            .expect("members form a valid view");
+        let view =
+            PartitionView::new(self.n, &self.order, &members).expect("members form a valid view");
         let meta = self.algo.commit_meta(&view);
         let new_version = meta.version;
         debug_assert_eq!(
@@ -925,7 +1003,7 @@ impl SiteActor {
             self.durable.log.last().map_or(0, |e| e.version) + 1,
             "coordinator must be current before committing"
         );
-        let participants: SiteSet = members.iter().map(|(s, _)| *s).collect();
+        let participants = view.members();
         // Force-write commit record + log entry + metadata, atomically
         // ("an update operation at a site is atomic", Section V-B).
         self.durable.log.push(LogEntry {
@@ -946,29 +1024,21 @@ impl SiteActor {
             txn,
             version: new_version,
         });
-        let mut actions = vec![
-            Action::CommitRecorded {
-                version: new_version,
-                payload: coord.payload,
-                txn,
-            },
-            Action::Resolved {
-                txn,
-                reason: ResolveReason::Committed,
-            },
-        ];
-        for (site, site_meta) in members {
+        out.push(Action::CommitRecorded {
+            version: new_version,
+            payload: coord.payload,
+            txn,
+        });
+        out.push(Action::Resolved {
+            txn,
+            reason: ResolveReason::Committed,
+        });
+        for &(site, site_meta) in &members {
             if site == self.id {
                 continue;
             }
-            let entries: Vec<LogEntry> = self
-                .durable
-                .log
-                .iter()
-                .filter(|e| e.version > site_meta.version)
-                .copied()
-                .collect();
-            actions.push(Action::Send {
+            let entries = self.log_suffix(site_meta.version).to_vec();
+            out.push(Action::Send {
                 to: site,
                 msg: Message::Commit {
                     txn,
@@ -978,24 +1048,21 @@ impl SiteActor {
                 },
             });
         }
-        actions
     }
 
-    fn abort_coordinated(&mut self, txn: TxnId, reason: ResolveReason) -> Vec<Action> {
+    fn abort_coordinated(&mut self, txn: TxnId, reason: ResolveReason, out: &mut ActionSink) {
         let Some(coord) = self.volatile.coordinating.take() else {
-            return Vec::new();
+            return;
         };
         debug_assert_eq!(coord.txn, txn);
         if self.volatile.lock == Some(txn) {
             self.volatile.lock = None;
         }
         self.emit(ProtocolEvent::Aborted { txn, reason });
-        vec![
-            Action::Broadcast {
-                msg: Message::Abort { txn },
-            },
-            Action::Resolved { txn, reason },
-        ]
+        out.push(Action::Broadcast {
+            msg: Message::Abort { txn },
+        });
+        out.push(Action::Resolved { txn, reason });
     }
 }
 
@@ -1015,10 +1082,23 @@ mod tests {
         }
     }
 
+    /// Test shim: run `handle_message` into a fresh sink.
+    fn deliver(a: &mut SiteActor, from: SiteId, msg: Message) -> Vec<Action> {
+        let mut out = Vec::new();
+        a.handle_message(from, msg, &mut out);
+        out
+    }
+
+    fn update(a: &mut SiteActor, payload: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        a.start_update(payload, &mut out);
+        out
+    }
+
     #[test]
     fn start_update_broadcasts_vote_request_and_locks() {
         let mut a = site(0, 3);
-        let actions = a.start_update(100);
+        let actions = update(&mut a, 100);
         assert!(a.is_locked());
         assert!(matches!(
             &actions[0],
@@ -1038,8 +1118,8 @@ mod tests {
     #[test]
     fn second_local_update_is_refused_while_locked() {
         let mut a = site(0, 3);
-        a.start_update(100);
-        let actions = a.start_update(101);
+        update(&mut a, 100);
+        let actions = update(&mut a, 101);
         assert!(matches!(
             actions[..],
             [Action::Resolved {
@@ -1053,7 +1133,7 @@ mod tests {
     fn vote_request_grants_and_persists_prepare_record() {
         let mut b = site(1, 3);
         let t = txn(0, 1);
-        let actions = b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+        let actions = deliver(&mut b, SiteId(0), Message::VoteRequest { txn: t });
         assert!(b.is_locked());
         assert!(b.is_in_doubt());
         assert!(matches!(
@@ -1068,8 +1148,8 @@ mod tests {
     #[test]
     fn busy_subordinate_votes_busy() {
         let mut b = site(1, 3);
-        b.handle_message(SiteId(0), Message::VoteRequest { txn: txn(0, 1) });
-        let actions = b.handle_message(SiteId(2), Message::VoteRequest { txn: txn(2, 1) });
+        deliver(&mut b, SiteId(0), Message::VoteRequest { txn: txn(0, 1) });
+        let actions = deliver(&mut b, SiteId(2), Message::VoteRequest { txn: txn(2, 1) });
         assert!(matches!(
             &actions[0],
             Action::Send {
@@ -1082,11 +1162,12 @@ mod tests {
     #[test]
     fn prepare_record_survives_crash_and_restores_lock() {
         let mut b = site(1, 3);
-        b.handle_message(SiteId(0), Message::VoteRequest { txn: txn(0, 1) });
+        deliver(&mut b, SiteId(0), Message::VoteRequest { txn: txn(0, 1) });
         b.crash();
         assert!(!b.is_locked(), "volatile lock lost");
         assert!(b.is_in_doubt(), "prepare record is durable");
-        let actions = b.recover(999);
+        let mut actions = Vec::new();
+        b.recover(999, &mut actions);
         assert!(b.is_locked(), "recovery re-acquires the in-doubt lock");
         // Recovery resumes the termination protocol, not Make_Current.
         assert!(actions.iter().any(|a| matches!(
@@ -1101,7 +1182,8 @@ mod tests {
     fn recovery_without_doubt_runs_make_current() {
         let mut b = site(1, 3);
         b.crash();
-        let actions = b.recover(999);
+        let mut actions = Vec::new();
+        b.recover(999, &mut actions);
         assert!(actions.iter().any(|a| matches!(
             a,
             Action::Broadcast {
@@ -1114,13 +1196,14 @@ mod tests {
     fn commit_applies_entries_and_releases() {
         let mut b = site(1, 3);
         let t = txn(0, 1);
-        b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+        deliver(&mut b, SiteId(0), Message::VoteRequest { txn: t });
         let meta = CopyMeta {
             version: 1,
             cardinality: 3,
             distinguished: dynvote_core::Distinguished::Trio(dynvote_core::SiteSet::all(3)),
         };
-        b.handle_message(
+        deliver(
+            &mut b,
             SiteId(0),
             Message::Commit {
                 txn: t,
@@ -1142,7 +1225,7 @@ mod tests {
     fn duplicate_commit_is_idempotent() {
         let mut b = site(1, 3);
         let t = txn(0, 1);
-        b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+        deliver(&mut b, SiteId(0), Message::VoteRequest { txn: t });
         let meta = CopyMeta {
             version: 1,
             cardinality: 3,
@@ -1157,8 +1240,8 @@ mod tests {
             }],
             participants: dynvote_core::SiteSet::all(3),
         };
-        b.handle_message(SiteId(0), commit.clone());
-        b.handle_message(SiteId(0), commit);
+        deliver(&mut b, SiteId(0), commit.clone());
+        deliver(&mut b, SiteId(0), commit);
         assert_eq!(b.log().len(), 1);
         assert_eq!(b.meta().version, 1);
     }
@@ -1167,7 +1250,8 @@ mod tests {
     fn coordinator_answers_status_query_with_presumed_abort() {
         let mut a = site(0, 3);
         let unknown = txn(0, 77); // never started (e.g. lost to a crash)
-        let actions = a.handle_message(
+        let actions = deliver(
+            &mut a,
             SiteId(1),
             Message::StatusQuery {
                 txn: unknown,
@@ -1190,7 +1274,8 @@ mod tests {
     #[test]
     fn bystander_answers_status_query_with_unknown() {
         let mut c = site(2, 3);
-        let actions = c.handle_message(
+        let actions = deliver(
+            &mut c,
             SiteId(1),
             Message::StatusQuery {
                 txn: txn(0, 1),
@@ -1213,8 +1298,8 @@ mod tests {
     #[test]
     fn group_leg_parks_at_decision_and_finalizes_on_command() {
         let mut a = site(0, 3);
-        let (txn, actions) = a.start_group_update(500);
-        let txn = txn.expect("lock free");
+        let mut actions = Vec::new();
+        let txn = a.start_group_update(500, &mut actions).expect("lock free");
         assert!(matches!(
             &actions[0],
             Action::Broadcast {
@@ -1223,11 +1308,13 @@ mod tests {
         ));
         // Both subordinates grant.
         for sub in [1u8, 2] {
-            let granted = a.handle_message(
+            let meta = a.meta();
+            let granted = deliver(
+                &mut a,
                 SiteId(sub),
                 Message::VoteGranted {
                     txn,
-                    meta: a.meta(),
+                    meta,
                     from: SiteId(sub),
                 },
             );
@@ -1248,9 +1335,10 @@ mod tests {
         }
         assert!(a.is_locked(), "lock held until the manager's verdict");
         assert_eq!(a.meta().version, 0, "nothing committed yet");
-        assert_eq!(a.decided_members(txn).map(|m| m.len()), Some(3));
+        assert_eq!(a.decided_members(txn).map(<[_]>::len), Some(3));
         // Manager says commit.
-        let actions = a.finalize_group(txn, true);
+        let mut actions = Vec::new();
+        a.finalize_group(txn, true, &mut actions);
         assert!(actions
             .iter()
             .any(|act| matches!(act, Action::CommitRecorded { version: 1, .. })));
@@ -1261,19 +1349,22 @@ mod tests {
     #[test]
     fn group_leg_abort_releases_everything() {
         let mut a = site(0, 3);
-        let (txn, _) = a.start_group_update(500);
-        let txn = txn.unwrap();
+        let mut sink = Vec::new();
+        let txn = a.start_group_update(500, &mut sink).unwrap();
         for sub in [1u8, 2] {
-            a.handle_message(
+            let meta = a.meta();
+            deliver(
+                &mut a,
                 SiteId(sub),
                 Message::VoteGranted {
                     txn,
-                    meta: a.meta(),
+                    meta,
                     from: SiteId(sub),
                 },
             );
         }
-        let actions = a.finalize_group(txn, false);
+        let mut actions = Vec::new();
+        a.finalize_group(txn, false, &mut actions);
         assert!(actions.iter().any(|act| matches!(
             act,
             Action::Broadcast {
@@ -1287,10 +1378,11 @@ mod tests {
     #[test]
     fn commit_from_record_is_idempotent() {
         let mut a = site(0, 3);
-        let (txn, _) = a.start_group_update(500);
-        let txn = txn.unwrap();
+        let mut sink = Vec::new();
+        let txn = a.start_group_update(500, &mut sink).unwrap();
         for sub in [1u8, 2] {
-            a.handle_message(
+            deliver(
+                &mut a,
                 SiteId(sub),
                 Message::VoteGranted {
                     txn,
@@ -1305,11 +1397,13 @@ mod tests {
                 },
             );
         }
-        let members = a.decided_members(txn).unwrap();
-        a.finalize_group(txn, true);
+        let members = a.decided_members(txn).unwrap().to_vec();
+        sink.clear();
+        a.finalize_group(txn, true, &mut sink);
         assert_eq!(a.meta().version, 1);
         // Redo after the fact: a no-op.
-        let redo = a.commit_from_record(txn, 500, members);
+        let mut redo = Vec::new();
+        a.commit_from_record(txn, 500, &members, &mut redo);
         assert!(redo.is_empty());
         assert_eq!(a.meta().version, 1);
         assert_eq!(a.log().len(), 1);
@@ -1319,8 +1413,8 @@ mod tests {
     fn abort_releases_prepared_subordinate() {
         let mut b = site(1, 3);
         let t = txn(0, 1);
-        b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
-        b.handle_message(SiteId(0), Message::Abort { txn: t });
+        deliver(&mut b, SiteId(0), Message::VoteRequest { txn: t });
+        deliver(&mut b, SiteId(0), Message::Abort { txn: t });
         assert!(!b.is_locked());
         assert!(!b.is_in_doubt());
     }

@@ -21,6 +21,14 @@ fn txn(c: u8, seq: u64) -> TxnId {
     }
 }
 
+/// Run `handle_message` into a fresh sink (tests care about one call's
+/// actions at a time; production callers reuse one buffer).
+fn deliver(a: &mut SiteActor, from: SiteId, msg: Message) -> Vec<Action> {
+    let mut out = Vec::new();
+    a.handle_message(from, msg, &mut out);
+    out
+}
+
 /// The unavoidable blocking window of two-phase commit: a prepared
 /// subordinate whose peers answer Unknown must stay blocked — lock
 /// held, in doubt — for as many rounds as it takes, and release only
@@ -29,13 +37,14 @@ fn txn(c: u8, seq: u64) -> TxnId {
 fn termination_protocol_blocks_until_a_definite_outcome() {
     let mut b = site(1, 3);
     let t = txn(0, 1);
-    b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+    deliver(&mut b, SiteId(0), Message::VoteRequest { txn: t });
     assert!(b.is_locked() && b.is_in_doubt());
 
     // The decision never arrives; the retry timer fires. Each round
     // broadcasts a status query and re-arms the timer.
     for round in 1..=3u32 {
-        let actions = b.timer_fired(t, TimerKind::PreparedRetry);
+        let mut actions = Vec::new();
+        b.timer_fired(t, TimerKind::PreparedRetry, &mut actions);
         assert!(
             actions.iter().any(|a| matches!(
                 a,
@@ -58,7 +67,8 @@ fn termination_protocol_blocks_until_a_definite_outcome() {
         assert_eq!(b.prepared_rounds(), round);
 
         // Nobody knows: the subordinate MUST stay blocked.
-        b.handle_message(
+        deliver(
+            &mut b,
             SiteId(2),
             Message::StatusReply {
                 txn: t,
@@ -70,7 +80,8 @@ fn termination_protocol_blocks_until_a_definite_outcome() {
     }
 
     // A definite Aborted ends the window and releases everything.
-    b.handle_message(
+    deliver(
+        &mut b,
         SiteId(2),
         Message::StatusReply {
             txn: t,
@@ -89,14 +100,15 @@ fn termination_protocol_blocks_until_a_definite_outcome() {
 fn durable_prepare_record_survives_crash() {
     let mut b = site(1, 3);
     let t = txn(0, 1);
-    b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+    deliver(&mut b, SiteId(0), Message::VoteRequest { txn: t });
     assert!(b.is_in_doubt());
 
     b.crash();
     assert!(!b.is_locked(), "volatile lock is lost");
     assert!(b.is_in_doubt(), "the prepare record is durable");
 
-    let actions = b.recover(999);
+    let mut actions = Vec::new();
+    b.recover(999, &mut actions);
     assert!(b.is_locked(), "recovery re-acquires the in-doubt lock");
     assert!(
         actions.iter().any(|a| matches!(
@@ -128,19 +140,21 @@ fn recovered_coordinator_presumes_abort_for_its_lost_transaction() {
     let mut b = site(1, 3);
 
     // A starts an update; B prepares for it.
-    let actions = a.start_update(100);
+    let mut actions = Vec::new();
+    a.start_update(100, &mut actions);
     let t = match &actions[0] {
         Action::Broadcast {
             msg: Message::VoteRequest { txn },
         } => *txn,
         other => panic!("expected a vote request, got {other:?}"),
     };
-    b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
+    deliver(&mut b, SiteId(0), Message::VoteRequest { txn: t });
     assert!(b.is_in_doubt());
 
     // While the transaction is in flight the outcome is genuinely
     // undecided: A must answer Unknown, not Aborted.
-    let reply = a.handle_message(
+    let reply = deliver(
+        &mut a,
         SiteId(1),
         Message::StatusQuery {
             txn: t,
@@ -163,8 +177,9 @@ fn recovered_coordinator_presumes_abort_for_its_lost_transaction() {
     // and gone. After recovery there is no commit record for it, so it
     // can never commit: presumed abort.
     a.crash();
-    a.recover(999);
-    let reply = a.handle_message(
+    a.recover(999, &mut Vec::new());
+    let reply = deliver(
+        &mut a,
         SiteId(1),
         Message::StatusQuery {
             txn: t,
@@ -184,7 +199,8 @@ fn recovered_coordinator_presumes_abort_for_its_lost_transaction() {
     ));
 
     // The reply releases B.
-    b.handle_message(
+    deliver(
+        &mut b,
         SiteId(0),
         Message::StatusReply {
             txn: t,
@@ -204,10 +220,11 @@ fn event_sink_observes_the_blocking_window() {
     let mut b = site(1, 3);
     b.set_sink(sink.clone());
     let t = txn(0, 1);
-    b.handle_message(SiteId(0), Message::VoteRequest { txn: t });
-    b.timer_fired(t, TimerKind::PreparedRetry);
+    let mut sink_buf = Vec::new();
+    b.handle_message(SiteId(0), Message::VoteRequest { txn: t }, &mut sink_buf);
+    b.timer_fired(t, TimerKind::PreparedRetry, &mut sink_buf);
     b.crash();
-    b.recover(999); // in doubt: resumes termination, round 1 again
+    b.recover(999, &mut sink_buf); // in doubt: resumes termination, round 1 again
 
     let tallies = sink.tallies();
     let at = |kind| tallies.count(SiteId(1), kind);

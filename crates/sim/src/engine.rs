@@ -298,6 +298,10 @@ pub struct Simulation {
     /// Test-only: crashing this site fabricates a consistency violation
     /// (see [`Simulation::set_divergence_trap`]).
     divergence_trap: Option<SiteId>,
+    /// Reusable action sink: every kernel call emits into this buffer
+    /// and [`Simulation::apply_actions`] drains it, so steady-state
+    /// stepping allocates no per-event `Vec<Action>`.
+    scratch: Vec<Action>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -347,6 +351,7 @@ impl Simulation {
             restart_txns: HashSet::new(),
             nemesis: NemesisKnobs::default(),
             divergence_trap: None,
+            scratch: Vec::new(),
             config,
         }
     }
@@ -424,8 +429,8 @@ impl Simulation {
         }
         self.stats.submitted += 1;
         let payload = self.fresh_payload();
-        let actions = self.sites[site.index()].start_update(payload);
-        self.apply_actions(site, actions);
+        self.sites[site.index()].start_update(payload, &mut self.scratch);
+        self.apply_actions(site);
         true
     }
 
@@ -436,8 +441,8 @@ impl Simulation {
             return false;
         }
         self.stats.submitted += 1;
-        let actions = self.sites[site.index()].start_read();
-        self.apply_actions(site, actions);
+        self.sites[site.index()].start_read(&mut self.scratch);
+        self.apply_actions(site);
         true
     }
 
@@ -481,10 +486,10 @@ impl Simulation {
             self.topology.recover(site);
             self.stats.site_recoveries += 1;
             let payload = self.fresh_payload();
-            let actions = self.sites[site.index()].recover(payload);
+            self.sites[site.index()].recover(payload, &mut self.scratch);
             // Tag the Make_Current transaction (if one started) so its
             // outcome is booked as restart traffic, not workload.
-            for action in &actions {
+            for action in &self.scratch {
                 if let Action::Broadcast {
                     msg: Message::VoteRequest { txn },
                 } = action
@@ -492,7 +497,7 @@ impl Simulation {
                     self.restart_txns.insert(*txn);
                 }
             }
-            self.apply_actions(site, actions);
+            self.apply_actions(site);
         }
     }
 
@@ -534,8 +539,13 @@ impl Simulation {
         self.topology.impose_partitions(parts);
     }
 
-    fn apply_actions(&mut self, site: SiteId, actions: Vec<Action>) {
-        for action in actions {
+    /// Drain the scratch sink, interpreting each action. The buffer is
+    /// taken out of `self` for the duration (the single-file engine
+    /// never re-enters a kernel from inside this loop) and put back
+    /// with its capacity intact.
+    fn apply_actions(&mut self, site: SiteId) {
+        let mut actions = std::mem::take(&mut self.scratch);
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => self.send(site, to, msg),
                 Action::Broadcast { msg } => {
@@ -584,6 +594,7 @@ impl Simulation {
                 }
             }
         }
+        self.scratch = actions;
     }
 
     fn record_commit(&mut self, version: u64, payload: u64, txn: TxnId) {
@@ -666,8 +677,8 @@ impl Simulation {
             Event::Deliver { from, to, msg } => {
                 // Delivery requires connectivity *now*.
                 if self.topology.connected(from, to) {
-                    let actions = self.sites[to.index()].handle_message(from, msg);
-                    self.apply_actions(to, actions);
+                    self.sites[to.index()].handle_message(from, msg, &mut self.scratch);
+                    self.apply_actions(to);
                 } else {
                     self.stats.messages_dropped += 1;
                 }
@@ -675,16 +686,16 @@ impl Simulation {
             Event::Timer { site, txn, kind } => {
                 // Timers at a crashed site die with its volatile state.
                 if self.topology.is_up(site) {
-                    let actions = self.sites[site.index()].timer_fired(txn, kind);
-                    self.apply_actions(site, actions);
+                    self.sites[site.index()].timer_fired(txn, kind, &mut self.scratch);
+                    self.apply_actions(site);
                 }
             }
             Event::Arrival { site } => {
                 if self.topology.is_up(site) {
                     self.stats.submitted += 1;
                     let payload = self.fresh_payload();
-                    let actions = self.sites[site.index()].start_update(payload);
-                    self.apply_actions(site, actions);
+                    self.sites[site.index()].start_update(payload, &mut self.scratch);
+                    self.apply_actions(site);
                 } else {
                     self.stats.refused_down += 1;
                 }

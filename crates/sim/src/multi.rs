@@ -309,8 +309,8 @@ impl MultiFileSimulation {
         let mut staged: Vec<(FileIdx, Vec<Action>)> = Vec::new();
         let mut busy = false;
         for &file in files {
-            let (txn, actions) = self.actors[file][site.index()].start_group_update(payload);
-            match txn {
+            let mut actions = Vec::new();
+            match self.actors[file][site.index()].start_group_update(payload, &mut actions) {
                 Some(txn) => {
                     txns.push(txn);
                     staged.push((file, actions));
@@ -323,7 +323,8 @@ impl MultiFileSimulation {
         }
         if busy {
             for (&file, &txn) in files.iter().zip(&txns) {
-                let actions = self.actors[file][site.index()].finalize_group(txn, false);
+                let mut actions = Vec::new();
+                self.actors[file][site.index()].finalize_group(txn, false, &mut actions);
                 self.apply_actions(file, site, actions);
             }
             self.stats.lock_busy += 1;
@@ -417,7 +418,8 @@ impl MultiFileSimulation {
         }) else {
             // The group was already resolved (e.g. aborted at
             // submission); release the straggler leg.
-            let actions = self.actors[file][site.index()].finalize_group(txn, false);
+            let mut actions = Vec::new();
+            self.actors[file][site.index()].finalize_group(txn, false, &mut actions);
             self.apply_actions(file, site, actions);
             return;
         };
@@ -447,6 +449,7 @@ impl MultiFileSimulation {
                     self.actors[f][site.index()]
                         .decided_members(t)
                         .expect("decided legs carry members")
+                        .to_vec()
                 })
                 .collect();
             self.managers[site.index()].committed.insert(
@@ -460,13 +463,15 @@ impl MultiFileSimulation {
             );
             self.stats.group_commits += 1;
             for (&f, &t) in pending.files.iter().zip(&pending.txns) {
-                let actions = self.actors[f][site.index()].finalize_group(t, true);
+                let mut actions = Vec::new();
+                self.actors[f][site.index()].finalize_group(t, true, &mut actions);
                 self.apply_actions(f, site, actions);
             }
         } else {
             self.stats.group_rejected += 1;
             for (&f, &t) in pending.files.iter().zip(&pending.txns) {
-                let actions = self.actors[f][site.index()].finalize_group(t, false);
+                let mut actions = Vec::new();
+                self.actors[f][site.index()].finalize_group(t, false, &mut actions);
                 self.apply_actions(f, site, actions);
             }
         }
@@ -499,16 +504,15 @@ impl MultiFileSimulation {
             .map(|(g, r)| (*g, r.clone()))
             .collect();
         for (_, record) in records {
-            for ((&file, &txn), members) in record
-                .files
-                .iter()
-                .zip(&record.txns)
-                .zip(record.members.clone())
+            for ((&file, &txn), members) in
+                record.files.iter().zip(&record.txns).zip(&record.members)
             {
-                let actions = self.actors[file][site.index()].commit_from_record(
+                let mut actions = Vec::new();
+                self.actors[file][site.index()].commit_from_record(
                     txn,
                     record.payload,
                     members,
+                    &mut actions,
                 );
                 self.apply_actions(file, site, actions);
             }
@@ -518,7 +522,8 @@ impl MultiFileSimulation {
         for file in 0..self.config.files.len() {
             self.next_payload += 1;
             let payload = self.next_payload;
-            let actions = self.actors[file][site.index()].recover(payload);
+            let mut actions = Vec::new();
+            self.actors[file][site.index()].recover(payload, &mut actions);
             self.apply_actions(file, site, actions);
         }
     }
@@ -537,7 +542,8 @@ impl MultiFileSimulation {
                 msg,
             } => {
                 if self.topology.connected(from, to) {
-                    let actions = self.actors[file][to.index()].handle_message(from, msg);
+                    let mut actions = Vec::new();
+                    self.actors[file][to.index()].handle_message(from, msg, &mut actions);
                     self.apply_actions(file, to, actions);
                 } else {
                     self.stats.messages_dropped += 1;
@@ -550,7 +556,8 @@ impl MultiFileSimulation {
                 kind,
             } => {
                 if self.topology.is_up(site) {
-                    let actions = self.actors[file][site.index()].timer_fired(txn, kind);
+                    let mut actions = Vec::new();
+                    self.actors[file][site.index()].timer_fired(txn, kind, &mut actions);
                     self.apply_actions(file, site, actions);
                 }
             }
