@@ -1,0 +1,158 @@
+//! Bench: parallel sweep engine scaling and determinism.
+//!
+//! Measures the two heavy embarrassingly-parallel surfaces driven by
+//! `core::par` — the Markov figure sweep (`figure_series_jobs`) and the
+//! Monte-Carlo replication batch (`simulate_replicated`) — at 1, 2, 4
+//! and 8 workers, asserting along the way that every worker count
+//! produces byte-identical results (the engine's core contract).
+//!
+//! The measurements land in `BENCH_sweep.json` as a machine-readable
+//! baseline. The JSON records the host's `cores` alongside the curve:
+//! **speedups are only meaningful relative to that field** — on a
+//! single-core container (such as the CI runner that produced the
+//! committed baseline) the 2/4/8-worker rows measure scheduling
+//! overhead, not scaling, so the CI regression gate compares 1-worker
+//! throughput only, which is robust to the runner's core count. Set
+//! `DYNVOTE_BENCH_QUICK=1` for a fast smoke run exercising the same
+//! code and schema.
+
+use dynvote_core::{par, AlgorithmKind};
+use dynvote_markov::sweep;
+use dynvote_mc::{simulate_replicated, McConfig};
+use std::time::Instant;
+
+const JOB_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn quick() -> bool {
+    std::env::var_os("DYNVOTE_BENCH_QUICK").is_some()
+}
+
+/// One `(jobs, seconds)` point of a workload's scaling curve.
+struct Point {
+    jobs: usize,
+    seconds: f64,
+}
+
+struct Workload {
+    name: &'static str,
+    tasks: usize,
+    curve: Vec<Point>,
+}
+
+impl Workload {
+    fn serial_seconds(&self) -> f64 {
+        self.curve
+            .iter()
+            .find(|p| p.jobs == 1)
+            .expect("1-worker point")
+            .seconds
+    }
+}
+
+/// Time one run of `f` per entry in [`JOB_COUNTS`], checking that every
+/// run returns a value equal to the 1-worker run.
+fn scale<T: PartialEq + std::fmt::Debug>(f: impl Fn(usize) -> T) -> Vec<Point> {
+    let mut curve = Vec::new();
+    let mut reference = None;
+    for jobs in JOB_COUNTS {
+        let start = Instant::now();
+        let result = f(jobs);
+        let seconds = start.elapsed().as_secs_f64();
+        match &reference {
+            None => reference = Some(result),
+            Some(expected) => assert!(
+                *expected == result,
+                "results differ between 1 and {jobs} workers"
+            ),
+        }
+        curve.push(Point { jobs, seconds });
+    }
+    curve
+}
+
+/// The Fig. 3/4-style availability sweep on a fine ratio grid: one
+/// Markov solve per grid point (the `ModifiedHybrid` curve needs a
+/// real per-ratio linear solve of its machine-derived chain). A single
+/// point costs ~10–20 µs, so the grid is made dense enough that
+/// 1-worker throughput is a stable signal for the CI regression gate.
+fn markov_sweep() -> Workload {
+    let (n, points) = if quick() { (7, 16_384) } else { (8, 65_536) };
+    let algos = [
+        AlgorithmKind::Hybrid,
+        AlgorithmKind::ModifiedHybrid,
+        AlgorithmKind::Voting,
+    ];
+    let grid = sweep::ratio_grid(0.1, 10.0, points - 1);
+    let tasks = grid.len();
+    let curve = scale(|jobs| sweep::figure_series_jobs(n, &algos, &grid, jobs));
+    Workload {
+        name: "markov_sweep",
+        tasks,
+        curve,
+    }
+}
+
+/// The Monte-Carlo replication batch: independent discrete-event runs
+/// with splitter-derived seeds.
+fn mc_replications() -> Workload {
+    let (horizon, replications) = if quick() {
+        (20_000.0, 8)
+    } else {
+        (50_000.0, 16)
+    };
+    let config = McConfig {
+        n: 5,
+        ratio: 1.0,
+        horizon,
+        burn_in: 100.0,
+        ..McConfig::default()
+    };
+    let curve =
+        scale(|jobs| simulate_replicated(AlgorithmKind::Hybrid, &config, replications, jobs));
+    Workload {
+        name: "mc_replications",
+        tasks: replications,
+        curve,
+    }
+}
+
+fn main() {
+    let cores = par::available_parallelism();
+    let workloads = [markov_sweep(), mc_replications()];
+
+    let mut json =
+        format!("{{\n  \"bench\": \"sweep\",\n  \"cores\": {cores},\n  \"workloads\": [\n");
+    for (w_idx, w) in workloads.iter().enumerate() {
+        let serial = w.serial_seconds();
+        println!("{} ({} tasks, {cores} core(s) available):", w.name, w.tasks);
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"tasks\": {}, \"curve\": [\n",
+            w.name, w.tasks
+        ));
+        for (p_idx, p) in w.curve.iter().enumerate() {
+            let speedup = serial / p.seconds;
+            let tasks_per_sec = w.tasks as f64 / p.seconds;
+            println!(
+                "  jobs {:>2}  {:>8.3} s  {:>10.1} tasks/sec  {:>5.2}x vs serial",
+                p.jobs, p.seconds, tasks_per_sec, speedup
+            );
+            json.push_str(&format!(
+                "      {{\"jobs\": {}, \"seconds\": {:.6}, \"tasks_per_sec\": {:.3}, \
+                 \"speedup\": {:.3}}}{}\n",
+                p.jobs,
+                p.seconds,
+                tasks_per_sec,
+                speedup,
+                if p_idx + 1 < w.curve.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if w_idx + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_sweep.json";
+    std::fs::write(path, &json).expect("write BENCH_sweep.json");
+    println!("baseline written to {path}");
+}

@@ -4,8 +4,11 @@
 //! dynvote repro <target>      regenerate a paper table/figure
 //! dynvote avail [...]         availability of one algorithm at (n, ratio)
 //! dynvote sweep [...]         availability sweep as CSV or JSON
+//! dynvote figures [...]       both paper figure sweeps, multi-core
 //! dynvote crossover [...]     crossover ratio between two algorithms
+//! dynvote mc [...]            parallel Monte-Carlo replication batch
 //! dynvote simulate [...]      message-level protocol simulation run
+//! dynvote experiments [...]   algorithms × seeds protocol-sim grid
 //! dynvote chaos [...]         nemesis schedules: run, replay, minimize
 //! dynvote serve [...]         boot a live TCP loopback cluster
 //! dynvote loadgen [...]       closed-loop load against a served cluster
@@ -47,8 +50,15 @@ USAGE:
         dynamic-linear, hybrid, modified-hybrid, optimal-candidate.
 
     dynvote sweep --n <sites> --lo <r> --hi <r> --steps <k>
-                  [--algos a,b,c] [--format csv|json]
-        Normalised-availability sweep over a ratio grid.
+                  [--algos a,b,c] [--format csv|json] [--jobs j]
+        Normalised-availability sweep over a ratio grid. Grid points
+        run on --jobs worker threads (0 or absent = auto, also settable
+        via DYNVOTE_JOBS); results are byte-identical for any job
+        count. Progress lines go to stderr.
+
+    dynvote figures [--n <sites>] [--jobs j]
+        Both paper figure sweeps (Figs. 3 and 4) as CSV, through the
+        same parallel engine.
 
     dynvote crossover --first <algo> --second <algo> --n <sites>
         The ratio where `first` overtakes `second`.
@@ -78,6 +88,24 @@ USAGE:
     dynvote votes [--rates f:r,...] [--max-vote k]
         The availability-optimal static vote assignment (exhaustive,
         exact), compared against the dynamic algorithms.
+
+    dynvote mc [--algo <name>] [--n k] [--ratio r] [--horizon t]
+               [--burn-in t] [--batches b] [--replications R]
+               [--seed s] [--jobs j]
+        A batch of R independent Monte-Carlo replications; replication
+        i is seeded by the counter-based splitter seed_for(seed, i), so
+        the batch is byte-identical for any --jobs value. Prints one
+        CSV row per replication plus the across-replication mean and
+        95% interval.
+
+    dynvote experiments [--algos a,b,c] [--replications R] [--n k]
+                        [--duration t] [--update-rate r] [--fault-rate r]
+                        [--link-fault-rate r] [--drop p] [--seed s]
+                        [--jobs j]
+        An algorithms × replications grid of message-level protocol
+        simulations under fault injection, one CSV row per cell, run on
+        --jobs worker threads. Exits non-zero if any cell violates
+        one-copy serializability.
 
     dynvote simulate --n <sites> --algo <name> --duration <t>
                      [--update-rate r] [--fault-rate r] [--link-fault-rate r]
@@ -173,6 +201,9 @@ fn main() -> ExitCode {
         }
         "avail" => runs::avail(&opts),
         "sweep" => runs::sweep_cmd(&opts),
+        "figures" => runs::figures_cmd(&opts),
+        "mc" => runs::mc_cmd(&opts),
+        "experiments" => runs::experiments_cmd(&opts),
         "crossover" => runs::crossover_cmd(&opts),
         "chain" => runs::chain_cmd(&opts),
         "hetero" => runs::hetero_cmd(&opts),

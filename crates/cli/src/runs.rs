@@ -2,16 +2,50 @@
 //! crossover hunts and protocol simulations.
 
 use crate::opts::Opts;
-use dynvote_core::{AlgorithmKind, SiteId};
+use dynvote_core::{par, AlgorithmKind, SiteId};
 use dynvote_markov::hetero::{order_study, SiteRates};
 use dynvote_markov::{crossover, statespace::DerivedChain, sweep};
-use dynvote_mc::{simulate, McConfig};
-use dynvote_sim::{minimize, FaultSchedule, NemesisProfile, SimConfig, Simulation};
+use dynvote_mc::{simulate, simulate_replicated_with_progress, McConfig};
+use dynvote_sim::{
+    experiments::{results_to_csv, ExperimentPlan},
+    minimize, FaultSchedule, NemesisProfile, SimConfig, Simulation,
+};
 use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn parse_algo(name: &str) -> Result<AlgorithmKind, String> {
     name.parse()
         .map_err(|_| format!("unknown algorithm {name:?}; see `dynvote help`"))
+}
+
+/// Resolve `--jobs` (0 or absent = auto: `DYNVOTE_JOBS`, then the
+/// machine's available parallelism).
+fn jobs_from(opts: &Opts) -> Result<usize, String> {
+    let requested: usize = opts.get_or("jobs", 0).map_err(|e| e.to_string())?;
+    Ok(par::resolve_jobs(Some(requested)))
+}
+
+/// A thread-safe `[done/total]` progress counter printing one line per
+/// completed task to stderr (stdout stays machine-readable). Lines may
+/// arrive in any order under parallel execution; the *results* never do.
+struct Progress {
+    done: AtomicUsize,
+    total: usize,
+}
+
+impl Progress {
+    fn new(total: usize, jobs: usize, what: &str) -> Self {
+        eprintln!("# {what}: {total} tasks on {jobs} worker(s)");
+        Progress {
+            done: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn tick(&self, label: &str) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!("# [{done}/{}] {label}", self.total);
+    }
 }
 
 /// `dynvote avail`.
@@ -77,7 +111,12 @@ pub fn sweep_cmd(opts: &Opts) -> Result<(), String> {
         None => sweep::FIGURE_ALGOS.to_vec(),
         Some(list) => list.split(',').map(parse_algo).collect::<Result<_, _>>()?,
     };
-    let result = sweep::figure_series(n, &algos, &sweep::ratio_grid(lo, hi, steps));
+    let jobs = jobs_from(opts)?;
+    let grid = sweep::ratio_grid(lo, hi, steps);
+    let progress = Progress::new(grid.len(), jobs, "sweep");
+    let result = sweep::figure_series_with_progress(n, &algos, &grid, jobs, |row| {
+        progress.tick(&format!("ratio {:.4}", row.ratio));
+    });
     match opts.get("format").unwrap_or("csv") {
         "csv" => print!("{}", result.to_csv()),
         "json" => {
@@ -552,4 +591,127 @@ pub fn chaos_cmd(opts: &Opts) -> Result<(), String> {
         }
     }
     Err("consistency violations detected".into())
+}
+
+/// `dynvote figures`: both paper figure sweeps (Figs. 3 and 4) through
+/// the parallel engine.
+pub fn figures_cmd(opts: &Opts) -> Result<(), String> {
+    let n: usize = opts.get_or("n", 5).map_err(|e| e.to_string())?;
+    if !(2..=20).contains(&n) {
+        return Err("--n must be in 2..=20".into());
+    }
+    let jobs = jobs_from(opts)?;
+    let figures = [
+        ("fig3", sweep::ratio_grid(0.1, 2.0, 19)),
+        ("fig4", sweep::ratio_grid(2.0, 10.0, 16)),
+    ];
+    let total: usize = figures.iter().map(|(_, g)| g.len()).sum();
+    let progress = Progress::new(total, jobs, "figures");
+    for (name, grid) in &figures {
+        let result =
+            sweep::figure_series_with_progress(n, &sweep::FIGURE_ALGOS, grid, jobs, |row| {
+                progress.tick(&format!("{name} ratio {:.4}", row.ratio));
+            });
+        println!("# {name} (n = {n})");
+        print!("{}", result.to_csv());
+    }
+    Ok(())
+}
+
+/// `dynvote mc`: a batch of independent Monte-Carlo replications with
+/// seeds derived from the master seed by the counter-based splitter.
+pub fn mc_cmd(opts: &Opts) -> Result<(), String> {
+    let kind = parse_algo(opts.get("algo").unwrap_or("hybrid"))?;
+    let config = McConfig {
+        n: opts.get_or("n", 5).map_err(|e| e.to_string())?,
+        ratio: opts.get_or("ratio", 1.0).map_err(|e| e.to_string())?,
+        horizon: opts
+            .get_or("horizon", 10_000.0)
+            .map_err(|e| e.to_string())?,
+        burn_in: opts.get_or("burn-in", 500.0).map_err(|e| e.to_string())?,
+        batches: opts.get_or("batches", 20).map_err(|e| e.to_string())?,
+        seed: opts.get_or("seed", 0xD1CE).map_err(|e| e.to_string())?,
+        rates: None,
+    };
+    config.validate().map_err(|e| e.to_string())?;
+    let replications: usize = opts.get_or("replications", 8).map_err(|e| e.to_string())?;
+    if replications == 0 {
+        return Err("--replications must be at least 1".into());
+    }
+    let jobs = jobs_from(opts)?;
+    let progress = Progress::new(replications, jobs, "mc replications");
+    let result = simulate_replicated_with_progress(kind, &config, replications, jobs, |i, r| {
+        progress.tick(&format!(
+            "replication {i}: site availability {:.6}",
+            r.site_availability
+        ));
+    });
+    println!(
+        "replication,seed,site_availability,site_half_width,system_availability,events,commits"
+    );
+    for (i, r) in result.replications.iter().enumerate() {
+        println!(
+            "{i},{},{:.6},{:.6},{:.6},{},{}",
+            dynvote_mc::ReplicatedResult::seed_of(config.seed, i),
+            r.site_availability,
+            r.site_half_width,
+            r.system_availability,
+            r.events,
+            r.commits
+        );
+    }
+    println!(
+        "# site availability   {:.6} ± {:.6} (95%, {} replications)",
+        result.site_availability, result.site_half_width, replications
+    );
+    println!(
+        "# system availability {:.6} ± {:.6}",
+        result.system_availability, result.system_half_width
+    );
+    println!(
+        "# analytic reference  {:.6}",
+        sweep::availability(kind, config.n, config.ratio)
+    );
+    Ok(())
+}
+
+/// `dynvote experiments`: an algorithms × replications grid of
+/// message-level protocol simulations, one CSV row per cell.
+pub fn experiments_cmd(opts: &Opts) -> Result<(), String> {
+    let algorithms: Vec<AlgorithmKind> = match opts.get("algos") {
+        None => AlgorithmKind::ALL.to_vec(),
+        Some(list) => list.split(',').map(parse_algo).collect::<Result<_, _>>()?,
+    };
+    let plan = ExperimentPlan {
+        algorithms,
+        replications: opts.get_or("replications", 3).map_err(|e| e.to_string())?,
+        n: opts.get_or("n", 5).map_err(|e| e.to_string())?,
+        duration: opts.get_or("duration", 100.0).map_err(|e| e.to_string())?,
+        update_rate: opts.get_or("update-rate", 3.0).map_err(|e| e.to_string())?,
+        fault_rate: opts.get_or("fault-rate", 0.3).map_err(|e| e.to_string())?,
+        link_fault_rate: opts
+            .get_or("link-fault-rate", 0.3)
+            .map_err(|e| e.to_string())?,
+        drop_probability: opts.get_or("drop", 0.0).map_err(|e| e.to_string())?,
+        master_seed: opts.get_or("seed", 7).map_err(|e| e.to_string())?,
+    };
+    plan.validate().map_err(|e| e.to_string())?;
+    let jobs = jobs_from(opts)?;
+    let progress = Progress::new(plan.cells(), jobs, "experiments");
+    let results = plan.execute_with_progress(jobs, |r| {
+        progress.tick(&format!(
+            "{} rep {}: {} commits",
+            r.algorithm.id(),
+            r.replication,
+            r.stats.commits
+        ));
+    });
+    print!("{}", results_to_csv(&results));
+    let violations: usize = results.iter().map(|r| r.violations).sum();
+    if violations == 0 {
+        println!("# consistency OK across all {} cells", results.len());
+        Ok(())
+    } else {
+        Err(format!("{violations} consistency violation(s) detected"))
+    }
 }

@@ -23,6 +23,8 @@ fn help_lists_every_subcommand() {
         "repro",
         "avail",
         "sweep",
+        "figures",
+        "mc",
         "crossover",
         "chain",
         "hetero",
@@ -31,6 +33,7 @@ fn help_lists_every_subcommand() {
         "joint",
         "votes",
         "simulate",
+        "experiments",
         "chaos",
     ] {
         assert!(out.contains(cmd), "help must mention {cmd}");
@@ -94,6 +97,95 @@ fn sweep_emits_csv_and_json() {
     let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
     assert_eq!(parsed["n"], 4);
     assert_eq!(parsed["rows"].as_array().unwrap().len(), 3);
+}
+
+#[test]
+fn sweep_stdout_is_byte_identical_across_jobs() {
+    let run = |jobs: &str| {
+        let (ok, out, err) = dynvote(&[
+            "sweep", "--n", "5", "--lo", "0.5", "--hi", "2", "--steps", "6", "--jobs", jobs,
+        ]);
+        assert!(ok, "{err}");
+        // Progress goes to stderr, one line per grid point plus header.
+        assert_eq!(err.lines().count(), 8, "{err}");
+        out
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("4"), "sweep output depends on worker count");
+}
+
+#[test]
+fn figures_prints_both_figure_series() {
+    let (ok, out, _) = dynvote(&["figures", "--n", "4", "--jobs", "2"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("# fig3 (n = 4)"));
+    assert!(out.contains("# fig4 (n = 4)"));
+    assert!(out.contains("ratio,hybrid,dynamic-linear,voting"));
+}
+
+#[test]
+fn mc_replication_batch_is_deterministic_across_jobs() {
+    let run = |jobs: &str| {
+        let (ok, out, err) = dynvote(&[
+            "mc",
+            "--algo",
+            "hybrid",
+            "--ratio",
+            "2",
+            "--horizon",
+            "1500",
+            "--burn-in",
+            "100",
+            "--replications",
+            "4",
+            "--seed",
+            "42",
+            "--jobs",
+            jobs,
+        ]);
+        assert!(ok, "{err}");
+        out
+    };
+    let serial = run("1");
+    assert!(serial.starts_with("replication,seed,site_availability"));
+    assert!(serial.contains("# site availability"));
+    assert!(serial.contains("# analytic reference  0.642520"));
+    assert_eq!(serial, run("8"), "mc output depends on worker count");
+}
+
+#[test]
+fn mc_rejects_invalid_config() {
+    let (ok, _, err) = dynvote(&["mc", "--batches", "1"]);
+    assert!(!ok && err.contains("batches"), "{err}");
+    let (ok, _, err) = dynvote(&["mc", "--replications", "0"]);
+    assert!(!ok && err.contains("replications"), "{err}");
+}
+
+#[test]
+fn experiments_grid_is_deterministic_across_jobs() {
+    let run = |jobs: &str| {
+        let (ok, out, err) = dynvote(&[
+            "experiments",
+            "--algos",
+            "hybrid,voting",
+            "--replications",
+            "2",
+            "--duration",
+            "20",
+            "--jobs",
+            jobs,
+        ]);
+        assert!(ok, "{err}");
+        out
+    };
+    let serial = run("1");
+    assert!(serial.starts_with("algorithm,replication,seed,"));
+    assert!(serial.contains("# consistency OK across all 4 cells"));
+    assert_eq!(
+        serial,
+        run("8"),
+        "experiments output depends on worker count"
+    );
 }
 
 #[test]

@@ -56,6 +56,7 @@ mod backoff;
 mod config;
 mod meta;
 pub mod multifile;
+pub mod par;
 pub mod quorum;
 pub mod scenario;
 mod site;

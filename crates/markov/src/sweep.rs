@@ -87,8 +87,48 @@ pub fn availability(kind: AlgorithmKind, n: usize, ratio: f64) -> f64 {
 
 /// Build a normalised-availability sweep over `ratios` for the given
 /// algorithms (reusing one derived chain per algorithm across the grid).
+///
+/// Single-threaded convenience for [`figure_series_jobs`] at one
+/// worker; the parallel form returns the same `Sweep` byte for byte.
 #[must_use]
 pub fn figure_series(n: usize, algorithms: &[AlgorithmKind], ratios: &[f64]) -> Sweep {
+    figure_series_jobs(n, algorithms, ratios, 1)
+}
+
+/// [`figure_series`] with the grid points fanned out over `jobs`
+/// worker threads.
+///
+/// Each grid point is one task in [`dynvote_core::par::run`]: the task
+/// index selects the ratio, every per-point solve reads the shared
+/// immutable derived chains, and rows land in pre-sized slots — so the
+/// resulting `Sweep` (and its CSV rendering) is byte-identical for any
+/// worker count. The derived chains for the Section VII variants are
+/// still built once, serially, before the fan-out: they depend only on
+/// `(kind, n)`, not on the ratio grid.
+#[must_use]
+pub fn figure_series_jobs(
+    n: usize,
+    algorithms: &[AlgorithmKind],
+    ratios: &[f64],
+    jobs: usize,
+) -> Sweep {
+    figure_series_with_progress(n, algorithms, ratios, jobs, |_| {})
+}
+
+/// [`figure_series_jobs`] with a per-grid-point completion callback,
+/// invoked from worker threads as points finish. Completion *order*
+/// varies with scheduling; the returned `Sweep` never does.
+#[must_use]
+pub fn figure_series_with_progress<P>(
+    n: usize,
+    algorithms: &[AlgorithmKind],
+    ratios: &[f64],
+    jobs: usize,
+    progress: P,
+) -> Sweep
+where
+    P: Fn(&SweepRow) + Sync,
+{
     let derived: Vec<Option<DerivedChain>> = algorithms
         .iter()
         .map(|&kind| {
@@ -99,9 +139,9 @@ pub fn figure_series(n: usize, algorithms: &[AlgorithmKind], ratios: &[f64]) -> 
             .then(|| DerivedChain::build(kind, n))
         })
         .collect();
-    let rows = ratios
-        .iter()
-        .map(|&ratio| SweepRow {
+    let rows = dynvote_core::par::run(jobs, ratios.len(), |i| {
+        let ratio = ratios[i];
+        let row = SweepRow {
             ratio,
             values: algorithms
                 .iter()
@@ -114,8 +154,10 @@ pub fn figure_series(n: usize, algorithms: &[AlgorithmKind], ratios: &[f64]) -> 
                     normalized(a, ratio)
                 })
                 .collect(),
-        })
-        .collect();
+        };
+        progress(&row);
+        row
+    });
     Sweep {
         n,
         algorithms: algorithms.to_vec(),
@@ -197,6 +239,22 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("ratio,hybrid,voting"));
         assert_eq!(lines.count(), 2);
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let algos = [
+            AlgorithmKind::Hybrid,
+            AlgorithmKind::ModifiedHybrid,
+            AlgorithmKind::Voting,
+        ];
+        let grid = ratio_grid(0.2, 3.0, 13);
+        let serial = figure_series_jobs(5, &algos, &grid, 1);
+        for jobs in [2, 4, 8] {
+            let parallel = figure_series_jobs(5, &algos, &grid, jobs);
+            assert_eq!(serial, parallel, "jobs = {jobs}");
+            assert_eq!(serial.to_csv(), parallel.to_csv(), "jobs = {jobs}");
+        }
     }
 
     #[test]

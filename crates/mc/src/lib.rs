@@ -16,17 +16,22 @@
 //!
 //! ```
 //! use dynvote_core::AlgorithmKind;
-//! use dynvote_mc::{McConfig, simulate};
+//! use dynvote_mc::{McConfig, simulate_replicated};
 //!
-//! let result = simulate(AlgorithmKind::Hybrid, &McConfig {
+//! // Four independent replications with seeds derived from the master
+//! // seed 42 — deterministic, and identical for any worker count.
+//! let result = simulate_replicated(AlgorithmKind::Hybrid, &McConfig {
 //!     n: 5,
 //!     ratio: 2.0,
-//!     horizon: 20_000.0,
+//!     horizon: 5_000.0,
 //!     seed: 42,
 //!     ..McConfig::default()
-//! });
-//! // The Markov analysis puts this availability near 0.624.
-//! assert!((result.site_availability - 0.624).abs() < 0.02);
+//! }, 4, 1);
+//! // The Markov chains put this availability at 0.64252. The bound is
+//! // the run's own across-replication 95% interval plus a little
+//! // slack, not a magic constant tuned to one seed's luck.
+//! assert!((result.site_availability - 0.64252).abs()
+//!     < result.site_half_width + 0.01);
 //! ```
 
 #![warn(missing_docs)]
@@ -35,9 +40,13 @@
 mod stats;
 
 pub mod multi;
+pub mod replicate;
 
 pub use multi::{simulate_joint, MultiMcConfig, MultiMcResult};
-pub use stats::{BatchMeans, Summary};
+pub use replicate::{simulate_replicated, simulate_replicated_with_progress, ReplicatedResult};
+pub use stats::{t975, BatchMeans, Summary, Welford};
+
+use dynvote_core::{check_positive, ConfigError};
 
 use dynvote_core::{AlgorithmKind, ReplicaControl, ReplicaSystem, SiteId, SiteSet};
 use rand::rngs::StdRng;
@@ -78,6 +87,35 @@ impl Default for McConfig {
     }
 }
 
+impl McConfig {
+    /// Validate every numeric knob, matching the typed validation
+    /// `SimConfig` already has: the horizon and ratio must be strictly
+    /// positive, burn-in non-negative, at least two batches (one batch
+    /// has no variance estimate), and explicit `rates` must be
+    /// non-empty with every rate strictly positive.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        check_positive("horizon", self.horizon)?;
+        dynvote_core::check_non_negative("burn_in", self.burn_in)?;
+        check_batches(self.batches)?;
+        match &self.rates {
+            None => {
+                dynvote_core::check_site_count(self.n)?;
+                check_positive("ratio", self.ratio)?;
+            }
+            Some(rates) => {
+                // An empty rate list leaves no sites at all; the site-
+                // count check rejects it alongside the 1-site case.
+                dynvote_core::check_site_count(rates.len())?;
+                for &(fail, repair) in rates {
+                    check_positive("failure rate", fail)?;
+                    check_positive("repair rate", repair)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Availability estimates from one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct McResult {
@@ -96,6 +134,20 @@ pub struct McResult {
     pub events: u64,
     /// Number of committed updates (including burn-in).
     pub commits: u64,
+}
+
+/// Require at least two batches (one batch has no variance estimate).
+fn check_batches(batches: usize) -> Result<(), ConfigError> {
+    if batches >= 2 {
+        Ok(())
+    } else {
+        Err(ConfigError::OutOfRange {
+            field: "batches",
+            value: batches as u64,
+            lo: 2,
+            hi: 100_000,
+        })
+    }
 }
 
 /// Sample an exponential variate with the given rate.
@@ -243,8 +295,13 @@ impl<A: ReplicaControl> ModelSimulator<A> {
 }
 
 /// Run the simulation described by `config` and estimate availability.
+///
+/// # Panics
+///
+/// If `config` fails [`McConfig::validate`].
 #[must_use]
 pub fn simulate(kind: AlgorithmKind, config: &McConfig) -> McResult {
+    config.validate().expect("invalid McConfig");
     let rates = config
         .rates
         .clone()
@@ -304,6 +361,44 @@ mod tests {
             seed,
             ..McConfig::default()
         }
+    }
+
+    #[test]
+    fn validate_accepts_the_default_and_rejects_each_bad_knob() {
+        assert_eq!(McConfig::default().validate(), Ok(()));
+        let bad = |f: fn(&mut McConfig)| {
+            let mut c = McConfig::default();
+            f(&mut c);
+            c.validate()
+        };
+        assert!(bad(|c| c.batches = 1).is_err());
+        assert!(bad(|c| c.horizon = 0.0).is_err());
+        assert!(bad(|c| c.horizon = f64::NAN).is_err());
+        assert!(bad(|c| c.ratio = -1.0).is_err());
+        assert!(bad(|c| c.burn_in = -1.0).is_err());
+        assert!(bad(|c| c.n = 1).is_err());
+        assert!(bad(|c| c.rates = Some(vec![])).is_err());
+        assert!(bad(|c| c.rates = Some(vec![(1.0, 0.0); 3])).is_err());
+        assert!(bad(|c| c.rates = Some(vec![(1.0, 2.0); 3])).is_ok());
+        // With explicit rates, `n`/`ratio` are overridden and ignored.
+        assert!(bad(|c| {
+            c.rates = Some(vec![(1.0, 2.0); 3]);
+            c.n = 0;
+            c.ratio = -5.0;
+        })
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid McConfig")]
+    fn simulate_panics_on_invalid_config() {
+        let _ = simulate(
+            AlgorithmKind::Hybrid,
+            &McConfig {
+                horizon: -1.0,
+                ..McConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! the independence product, close to the *minimum* of the marginals.
 //! This simulator measures all three.
 
-use crate::{exponential, BatchMeans};
-use dynvote_core::{AlgorithmKind, ReplicaControl, ReplicaSystem, SiteId, SiteSet};
+use crate::{check_batches, exponential, BatchMeans};
+use dynvote_core::{
+    check_non_negative, check_positive, check_site_count, AlgorithmKind, ConfigError,
+    ReplicaControl, ReplicaSystem, SiteId, SiteSet,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -48,6 +51,22 @@ impl Default for MultiMcConfig {
     }
 }
 
+impl MultiMcConfig {
+    /// Validate every knob with the shared typed errors: a non-empty
+    /// file list, a supported site count, strictly positive
+    /// ratio/horizon, non-negative burn-in, and at least two batches.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.files.is_empty() {
+            return Err(ConfigError::NoFiles);
+        }
+        check_site_count(self.n)?;
+        check_positive("ratio", self.ratio)?;
+        check_positive("horizon", self.horizon)?;
+        check_non_negative("burn_in", self.burn_in)?;
+        check_batches(self.batches)
+    }
+}
+
 /// Joint and marginal availability estimates.
 ///
 /// `joint_system` and `marginals` use the traditional (partition-exists)
@@ -69,9 +88,13 @@ pub struct MultiMcResult {
 }
 
 /// Measure joint transaction availability under the stochastic model.
+///
+/// # Panics
+///
+/// If `config` fails [`MultiMcConfig::validate`].
 #[must_use]
 pub fn simulate_joint(config: &MultiMcConfig) -> MultiMcResult {
-    assert!(!config.files.is_empty());
+    config.validate().expect("invalid MultiMcConfig");
     let n = config.n;
     let mut systems: Vec<ReplicaSystem<Box<dyn ReplicaControl>>> = config
         .files
@@ -154,6 +177,22 @@ pub fn simulate_joint(config: &MultiMcConfig) -> MultiMcResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_rejects_each_bad_knob() {
+        assert_eq!(MultiMcConfig::default().validate(), Ok(()));
+        let bad = |f: fn(&mut MultiMcConfig)| {
+            let mut c = MultiMcConfig::default();
+            f(&mut c);
+            c.validate()
+        };
+        assert_eq!(bad(|c| c.files = vec![]), Err(ConfigError::NoFiles));
+        assert!(bad(|c| c.n = 1).is_err());
+        assert!(bad(|c| c.ratio = 0.0).is_err());
+        assert!(bad(|c| c.horizon = -10.0).is_err());
+        assert!(bad(|c| c.burn_in = f64::NEG_INFINITY).is_err());
+        assert!(bad(|c| c.batches = 0).is_err());
+    }
 
     #[test]
     fn identical_files_have_identical_marginals_and_joint() {

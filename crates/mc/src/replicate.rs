@@ -1,0 +1,204 @@
+//! Independent-replication estimation on the parallel sweep engine.
+//!
+//! One long horizon gives one autocorrelated sample path; `R`
+//! *replications* give `R` statistically independent estimates that can
+//! run on `R` cores. Replication `i` is an ordinary [`crate::simulate`]
+//! run whose seed is derived by the counter-based splitter
+//! [`dynvote_core::par::seed_for`]`(config.seed, i)` — a pure function
+//! of `(master_seed, i)`, so the fleet's results are byte-identical for
+//! any worker count and any execution order. Across-replication means
+//! and half-widths use Welford accumulation with a Student-t quantile
+//! (replication counts are small; the flat normal multiplier would be
+//! anticonservative).
+
+use crate::stats::Welford;
+use crate::{simulate, McConfig, McResult};
+use dynvote_core::AlgorithmKind;
+
+/// Aggregate of `R` independent replications of one configuration.
+///
+/// The per-replication results are kept (in replication order) so
+/// callers can render them, feed them to their own estimators, or
+/// compare them across worker counts; the aggregate fields are the
+/// across-replication mean and 95% half-width (`t` at `R − 1` degrees
+/// of freedom over the replication means).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicatedResult {
+    /// Across-replication mean of the site-weighted availability.
+    pub site_availability: f64,
+    /// 95% half-width of `site_availability` over the replications.
+    pub site_half_width: f64,
+    /// Across-replication mean of the traditional availability.
+    pub system_availability: f64,
+    /// 95% half-width of `system_availability` over the replications.
+    pub system_half_width: f64,
+    /// Every replication's full result, in replication-index order.
+    pub replications: Vec<McResult>,
+}
+
+impl ReplicatedResult {
+    /// Aggregate already-computed replication results.
+    ///
+    /// # Panics
+    ///
+    /// If `replications` is empty.
+    #[must_use]
+    pub fn from_replications(replications: Vec<McResult>) -> Self {
+        assert!(!replications.is_empty(), "at least one replication");
+        let mut site = Welford::new();
+        let mut system = Welford::new();
+        for r in &replications {
+            site.push(r.site_availability);
+            system.push(r.system_availability);
+        }
+        ReplicatedResult {
+            site_availability: site.mean(),
+            site_half_width: site.half_width(),
+            system_availability: system.mean(),
+            system_half_width: system.half_width(),
+            replications,
+        }
+    }
+
+    /// Number of replications aggregated.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.replications.len()
+    }
+
+    /// The seed replication `i` of a run with master seed `master`
+    /// used — exposed so a single replication can be reproduced in
+    /// isolation.
+    #[must_use]
+    pub fn seed_of(master: u64, index: usize) -> u64 {
+        dynvote_core::par::seed_for(master, index as u64)
+    }
+}
+
+/// Run `replications` independent copies of `config` (each over the
+/// configured horizon, with its own derived seed) on `jobs` worker
+/// threads.
+///
+/// `config.seed` acts as the *master* seed: replication `i` runs with
+/// `seed_for(config.seed, i)`. Because each task's stream depends only
+/// on `(master_seed, i)`, the returned [`ReplicatedResult`] — every
+/// field, every replication — is byte-identical for any `jobs` value.
+///
+/// # Panics
+///
+/// If `config` fails [`McConfig::validate`] or `replications` is zero.
+#[must_use]
+pub fn simulate_replicated(
+    kind: AlgorithmKind,
+    config: &McConfig,
+    replications: usize,
+    jobs: usize,
+) -> ReplicatedResult {
+    simulate_replicated_with_progress(kind, config, replications, jobs, |_, _| {})
+}
+
+/// [`simulate_replicated`] with a per-replication completion callback
+/// `(index, result)`, invoked from worker threads as replications
+/// finish. Completion *order* varies with scheduling; the returned
+/// aggregate never does.
+///
+/// # Panics
+///
+/// If `config` fails [`McConfig::validate`] or `replications` is zero.
+#[must_use]
+pub fn simulate_replicated_with_progress<P>(
+    kind: AlgorithmKind,
+    config: &McConfig,
+    replications: usize,
+    jobs: usize,
+    progress: P,
+) -> ReplicatedResult
+where
+    P: Fn(usize, &McResult) + Sync,
+{
+    config.validate().expect("invalid McConfig");
+    assert!(replications >= 1, "at least one replication");
+    let results = dynvote_core::par::run(jobs, replications, |i| {
+        let rep = McConfig {
+            seed: dynvote_core::par::seed_for(config.seed, i as u64),
+            ..config.clone()
+        };
+        let result = simulate(kind, &rep);
+        progress(i, &result);
+        result
+    });
+    ReplicatedResult::from_replications(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> McConfig {
+        McConfig {
+            n: 5,
+            ratio: 1.5,
+            horizon: 1_500.0,
+            burn_in: 100.0,
+            ..McConfig::default()
+        }
+    }
+
+    #[test]
+    fn byte_identical_across_worker_counts() {
+        let serial = simulate_replicated(AlgorithmKind::Hybrid, &quick(), 6, 1);
+        for jobs in [2, 4, 8] {
+            let parallel = simulate_replicated(AlgorithmKind::Hybrid, &quick(), 6, jobs);
+            assert_eq!(serial, parallel, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn replications_use_distinct_derived_seeds() {
+        let result = simulate_replicated(AlgorithmKind::Hybrid, &quick(), 4, 2);
+        assert_eq!(result.count(), 4);
+        // Distinct seeds give distinct sample paths.
+        for pair in result.replications.windows(2) {
+            assert_ne!(pair[0].site_availability, pair[1].site_availability);
+        }
+        // And each one is individually reproducible from its seed.
+        let rep2 = simulate(
+            AlgorithmKind::Hybrid,
+            &McConfig {
+                seed: ReplicatedResult::seed_of(quick().seed, 2),
+                ..quick()
+            },
+        );
+        assert_eq!(rep2, result.replications[2]);
+    }
+
+    #[test]
+    fn aggregate_is_the_mean_of_the_replications() {
+        let result = simulate_replicated(AlgorithmKind::Voting, &quick(), 5, 2);
+        let mean = result
+            .replications
+            .iter()
+            .map(|r| r.site_availability)
+            .sum::<f64>()
+            / 5.0;
+        assert!((result.site_availability - mean).abs() < 1e-12);
+        assert!(result.site_half_width > 0.0);
+    }
+
+    #[test]
+    fn more_replications_narrow_the_interval() {
+        let few = simulate_replicated(AlgorithmKind::Hybrid, &quick(), 3, 2);
+        let many = simulate_replicated(AlgorithmKind::Hybrid, &quick(), 12, 2);
+        assert!(many.site_half_width < few.site_half_width);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid McConfig")]
+    fn invalid_config_is_rejected() {
+        let config = McConfig {
+            batches: 1,
+            ..McConfig::default()
+        };
+        let _ = simulate_replicated(AlgorithmKind::Hybrid, &config, 2, 1);
+    }
+}

@@ -3,7 +3,114 @@
 //! Time-average estimators from a single long run are autocorrelated;
 //! the classic remedy is to split the run into `B` contiguous batches,
 //! treat the batch means as (approximately) independent, and form a
-//! confidence interval from their spread.
+//! confidence interval from their spread. The same machinery summarises
+//! independent *replications* (see [`crate::simulate_replicated`]):
+//! there each replication mean plays the role of a batch mean.
+//!
+//! Mean and variance are accumulated with **Welford's online
+//! algorithm**. The naive sum-of-squares form `E[x²] − mean²`
+//! catastrophically cancels when the mean is large relative to the
+//! spread (both terms agree in their leading digits and the variance
+//! lives in the digits f64 has already discarded); Welford's update
+//! keeps only *deviations from the running mean*, so no large
+//! intermediate is ever formed. The unit tests pin both properties: a
+//! hand-computed dataset, and a large-mean/tiny-variance dataset on
+//! which the naive form visibly fails.
+
+/// Welford's online mean/variance accumulator.
+///
+/// Numerically stable single-pass accumulation: after each `push`,
+/// `mean` is the exact running mean and `m2` the running sum of
+/// squared deviations from it, updated as
+///
+/// ```text
+/// delta  = x - mean
+/// mean  += delta / count
+/// m2    += delta * (x - mean)     // uses the *updated* mean
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The unbiased sample variance `m2 / (count - 1)` (0 with fewer
+    /// than two observations).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// A 95% confidence half-width for the mean of `count` independent
+    /// observations: `t₀.₉₇₅(count−1) · √(variance / count)`.
+    #[must_use]
+    pub fn half_width(&self) -> f64 {
+        if self.count < 2 {
+            return f64::INFINITY;
+        }
+        t975(self.count - 1) * (self.sample_variance() / self.count as f64).sqrt()
+    }
+
+    /// Mean and half-width as a [`Summary`].
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            mean: self.mean(),
+            half_width: self.half_width(),
+        }
+    }
+}
+
+/// The 97.5% quantile of Student's t with `df` degrees of freedom
+/// (so ± it is a 95% interval), from a small table: replication counts
+/// are small, where the normal approximation is badly anticonservative
+/// (t₀.₉₇₅(3) ≈ 3.18, not 1.96).
+#[must_use]
+pub fn t975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=60 => 2.02,
+        _ => 1.98,
+    }
+}
 
 /// Accumulates a time-weighted integral split into contiguous batches.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,14 +151,20 @@ impl BatchMeans {
     /// Point estimate and confidence half-width.
     #[must_use]
     pub fn summary(&self) -> Summary {
-        let b = self.integrals.len() as f64;
-        let means: Vec<f64> = self.integrals.iter().map(|v| v / self.batch_len).collect();
-        let mean = means.iter().sum::<f64>() / b;
-        let var = means.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / (b - 1.0);
-        // 97.5% quantile of t with ~20 df is ≈ 2.09; we use 2.1 for a
-        // slightly conservative 95% interval without a t-table.
-        let half_width = 2.1 * (var / b).sqrt();
-        Summary { mean, half_width }
+        let mut acc = Welford::new();
+        for integral in &self.integrals {
+            acc.push(integral / self.batch_len);
+        }
+        // Historical interface note: this estimator has always used the
+        // flat 2.1 multiplier (≈ t₀.₉₇₅ at the default 20 batches,
+        // slightly conservative) rather than the exact table — keeping
+        // it preserves every recorded baseline; the *accumulation* is
+        // what Welford replaced.
+        let b = acc.count() as f64;
+        Summary {
+            mean: acc.mean(),
+            half_width: 2.1 * (acc.sample_variance() / b).sqrt(),
+        }
     }
 }
 
@@ -67,6 +180,73 @@ pub struct Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The textbook two-term formula `E[x²] − mean²` — kept here only
+    /// to demonstrate the cancellation failure Welford avoids.
+    fn naive_sample_variance(data: &[f64]) -> f64 {
+        let n = data.len() as f64;
+        let sum: f64 = data.iter().sum();
+        let sum_sq: f64 = data.iter().map(|x| x * x).sum();
+        (sum_sq - sum * sum / n) / (n - 1.0)
+    }
+
+    #[test]
+    fn welford_matches_a_hand_computed_dataset() {
+        // 2, 4, 4, 4, 5, 5, 7, 9: mean 5, squared deviations
+        // 9+1+1+1+0+0+4+16 = 32, sample variance 32/7.
+        let mut acc = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        assert!((acc.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        // Half-width: t975(7) = 2.365 times sqrt(var/8).
+        let expected = 2.365 * (32.0 / 7.0 / 8.0f64).sqrt();
+        assert!((acc.half_width() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_survives_catastrophic_cancellation() {
+        // Large mean, tiny variance: mean 1e9, true sample variance 1.
+        // The naive sum-of-squares form computes ~1e18 − ~1e18 where
+        // one ulp is 128: the answer is pure rounding noise. Welford
+        // only ever handles deviations of order 1.
+        let data: Vec<f64> = (0..3).map(|i| 1.0e9 + i as f64).collect();
+        let mut acc = Welford::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        assert!((acc.sample_variance() - 1.0).abs() < 1e-9, "welford");
+        let naive = naive_sample_variance(&data);
+        assert!(
+            (naive - 1.0).abs() > 1e-3,
+            "the naive form was expected to fail here but returned {naive}"
+        );
+    }
+
+    #[test]
+    fn welford_edge_cases() {
+        let mut acc = Welford::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert!(acc.half_width().is_infinite());
+        acc.push(3.5);
+        assert_eq!(acc.mean(), 3.5);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert!(acc.half_width().is_infinite());
+    }
+
+    #[test]
+    fn t_table_is_monotone_towards_the_normal_quantile() {
+        let mut last = f64::INFINITY;
+        for df in 1..=100 {
+            let t = t975(df);
+            assert!(t <= last, "df {df}");
+            last = t;
+        }
+        assert!((t975(1_000_000) - 1.98).abs() < 1e-12);
+    }
 
     #[test]
     fn constant_signal_has_zero_width() {

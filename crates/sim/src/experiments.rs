@@ -1,0 +1,298 @@
+//! Multi-configuration experiment sweeps on the parallel engine.
+//!
+//! One protocol-level simulation answers one question about one
+//! `(algorithm, seed)` point; the experiments people actually run are
+//! *grids* — every algorithm × several replications under an identical
+//! fault regime, compared side by side. [`ExperimentPlan`] describes
+//! such a grid once and [`ExperimentPlan::execute`] runs it through
+//! [`dynvote_core::par::run`], one task per cell.
+//!
+//! Seed discipline matches the rest of the repository: cell `i` (the
+//! flattened `algorithm × replication` index) simulates with
+//! `seed_for(master_seed, i)`, so every cell's trajectory is a pure
+//! function of the plan — the result table, and its CSV rendering, are
+//! byte-identical for any worker count.
+
+use crate::{SimConfig, SimStats, Simulation};
+use dynvote_core::{check_non_negative, check_positive, par, AlgorithmKind, ConfigError, SiteId};
+
+/// A grid of protocol-simulation experiments: every algorithm ×
+/// `replications` seeds, all under the same workload and fault regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentPlan {
+    /// Algorithms to compare (one row group per algorithm).
+    pub algorithms: Vec<AlgorithmKind>,
+    /// Replications per algorithm (distinct derived seeds).
+    pub replications: usize,
+    /// Number of replica sites.
+    pub n: usize,
+    /// Workload/fault horizon in simulated seconds.
+    pub duration: f64,
+    /// Poisson update-arrival rate (events per simulated second).
+    pub update_rate: f64,
+    /// Site crash/recovery churn rate (0 disables).
+    pub fault_rate: f64,
+    /// Link cut/repair churn rate (0 disables).
+    pub link_fault_rate: f64,
+    /// Message drop probability.
+    pub drop_probability: f64,
+    /// Master seed; cell `i` runs with `seed_for(master_seed, i)`.
+    pub master_seed: u64,
+}
+
+impl Default for ExperimentPlan {
+    fn default() -> Self {
+        ExperimentPlan {
+            algorithms: AlgorithmKind::ALL.to_vec(),
+            replications: 3,
+            n: 5,
+            duration: 100.0,
+            update_rate: 3.0,
+            fault_rate: 0.3,
+            link_fault_rate: 0.3,
+            drop_probability: 0.0,
+            master_seed: 7,
+        }
+    }
+}
+
+/// The outcome of one grid cell: one full simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// The algorithm this cell ran.
+    pub algorithm: AlgorithmKind,
+    /// Replication index within the algorithm (`0..replications`).
+    pub replication: usize,
+    /// The derived seed the cell actually simulated with.
+    pub seed: u64,
+    /// Final workload statistics (after healing and quiescing).
+    pub stats: SimStats,
+    /// Committed-chain length at the end of the run.
+    pub chain_length: usize,
+    /// Consistency violations found by the invariant checker (always 0
+    /// for a correct kernel; recorded rather than panicking so a sweep
+    /// surfaces the failing cell instead of dying mid-grid).
+    pub violations: usize,
+}
+
+impl ExperimentResult {
+    /// Commit ratio: commits over submitted updates (0 if none).
+    #[must_use]
+    pub fn commit_ratio(&self) -> f64 {
+        if self.stats.submitted == 0 {
+            0.0
+        } else {
+            self.stats.commits as f64 / self.stats.submitted as f64
+        }
+    }
+}
+
+impl ExperimentPlan {
+    /// Total number of grid cells (`algorithms × replications`).
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.algorithms.len() * self.replications
+    }
+
+    /// Validate every knob with the shared typed errors.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.algorithms.is_empty() {
+            return Err(ConfigError::NoFiles);
+        }
+        if self.replications == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "replications",
+                value: 0,
+                lo: 1,
+                hi: 10_000,
+            });
+        }
+        dynvote_core::check_site_count(self.n)?;
+        check_positive("duration", self.duration)?;
+        check_positive("update_rate", self.update_rate)?;
+        check_non_negative("fault_rate", self.fault_rate)?;
+        check_non_negative("link_fault_rate", self.link_fault_rate)?;
+        dynvote_core::check_probability("drop_probability", self.drop_probability)?;
+        Ok(())
+    }
+
+    /// The `SimConfig` and derived seed of grid cell `index`.
+    ///
+    /// Cells are laid out algorithm-major: cell `index` runs algorithm
+    /// `index / replications`, replication `index % replications`.
+    #[must_use]
+    pub fn cell_config(&self, index: usize) -> SimConfig {
+        SimConfig {
+            n: self.n,
+            algorithm: self.algorithms[index / self.replications],
+            drop_probability: self.drop_probability,
+            seed: par::seed_for(self.master_seed, index as u64),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Run the whole grid on `jobs` worker threads; results come back
+    /// in cell order regardless of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// If the plan fails [`ExperimentPlan::validate`].
+    #[must_use]
+    pub fn execute(&self, jobs: usize) -> Vec<ExperimentResult> {
+        self.execute_with_progress(jobs, |_| {})
+    }
+
+    /// [`ExperimentPlan::execute`] with a per-cell completion callback,
+    /// invoked from worker threads as cells finish (completion *order*
+    /// varies with scheduling; the returned results never do).
+    ///
+    /// # Panics
+    ///
+    /// If the plan fails [`ExperimentPlan::validate`].
+    #[must_use]
+    pub fn execute_with_progress<P>(&self, jobs: usize, progress: P) -> Vec<ExperimentResult>
+    where
+        P: Fn(&ExperimentResult) + Sync,
+    {
+        self.validate().expect("invalid ExperimentPlan");
+        par::run(jobs, self.cells(), |i| {
+            let result = self.run_cell(i);
+            progress(&result);
+            result
+        })
+    }
+
+    /// Run a single grid cell to completion: healthy prologue, Poisson
+    /// workload plus fault churn, heal, quiesce, verify.
+    #[must_use]
+    fn run_cell(&self, index: usize) -> ExperimentResult {
+        let config = self.cell_config(index);
+        let seed = config.seed;
+        let mut sim = Simulation::new(config);
+        sim.submit_update(SiteId(0));
+        sim.quiesce();
+        sim.schedule_poisson_arrivals(self.update_rate, self.duration);
+        if self.fault_rate > 0.0 || self.link_fault_rate > 0.0 {
+            sim.schedule_random_faults(self.fault_rate, self.link_fault_rate, self.duration);
+        }
+        sim.run_until(self.duration * 1.1);
+        sim.heal();
+        sim.quiesce();
+        ExperimentResult {
+            algorithm: self.algorithms[index / self.replications],
+            replication: index % self.replications,
+            seed,
+            violations: sim.check_invariants().len(),
+            chain_length: sim.ledger().len(),
+            stats: sim.stats().clone(),
+        }
+    }
+}
+
+/// Render experiment results as CSV, one row per cell, in cell order —
+/// the byte-exact artifact the determinism tests compare across worker
+/// counts.
+#[must_use]
+pub fn results_to_csv(results: &[ExperimentResult]) -> String {
+    let mut out = String::from(
+        "algorithm,replication,seed,submitted,commits,rejected,timeouts,\
+         messages_sent,chain_length,commit_ratio,violations\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{:.6},{}\n",
+            r.algorithm.id(),
+            r.replication,
+            r.seed,
+            r.stats.submitted,
+            r.stats.commits,
+            r.stats.rejected,
+            r.stats.timeouts,
+            r.stats.messages_sent,
+            r.chain_length,
+            r.commit_ratio(),
+            r.violations,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn quick() -> ExperimentPlan {
+        ExperimentPlan {
+            algorithms: vec![AlgorithmKind::Hybrid, AlgorithmKind::DynamicVoting],
+            replications: 2,
+            duration: 30.0,
+            ..ExperimentPlan::default()
+        }
+    }
+
+    #[test]
+    fn grid_is_byte_identical_across_worker_counts() {
+        let serial = quick().execute(1);
+        for jobs in [2, 8] {
+            let parallel = quick().execute(jobs);
+            assert_eq!(serial, parallel, "jobs = {jobs}");
+            assert_eq!(
+                results_to_csv(&serial),
+                results_to_csv(&parallel),
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn cells_are_laid_out_algorithm_major_with_derived_seeds() {
+        let plan = quick();
+        let results = plan.execute(2);
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.algorithm, plan.algorithms[i / 2]);
+            assert_eq!(r.replication, i % 2);
+            assert_eq!(r.seed, par::seed_for(plan.master_seed, i as u64));
+            assert_eq!(r.violations, 0);
+            assert!(r.stats.submitted > 0);
+        }
+        // Distinct seeds give distinct trajectories.
+        assert_ne!(results[0].stats, results[1].stats);
+    }
+
+    #[test]
+    fn progress_fires_once_per_cell() {
+        let done = AtomicUsize::new(0);
+        let results = quick().execute_with_progress(4, |r| {
+            assert_eq!(r.violations, 0);
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), results.len());
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_knob() {
+        assert_eq!(ExperimentPlan::default().validate(), Ok(()));
+        let bad = |f: fn(&mut ExperimentPlan)| {
+            let mut p = ExperimentPlan::default();
+            f(&mut p);
+            p.validate()
+        };
+        assert_eq!(bad(|p| p.algorithms = vec![]), Err(ConfigError::NoFiles));
+        assert!(bad(|p| p.replications = 0).is_err());
+        assert!(bad(|p| p.n = 1).is_err());
+        assert!(bad(|p| p.duration = 0.0).is_err());
+        assert!(bad(|p| p.update_rate = -1.0).is_err());
+        assert!(bad(|p| p.fault_rate = -0.1).is_err());
+        assert!(bad(|p| p.drop_probability = 1.5).is_err());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell() {
+        let plan = quick();
+        let csv = results_to_csv(&plan.execute(1));
+        assert_eq!(csv.lines().count(), 1 + plan.cells());
+        assert!(csv.starts_with("algorithm,replication,seed,"));
+    }
+}

@@ -54,6 +54,7 @@
 #![warn(clippy::all)]
 
 mod engine;
+pub mod experiments;
 pub mod multi;
 pub mod nemesis;
 mod topology;
@@ -64,6 +65,7 @@ pub use dynvote_protocol::{
     ProtocolEvent, RenderSink, ResolveReason, SiteActor, StatusOutcome, TimerKind, TxnId,
 };
 pub use engine::{ConsistencyViolation, LedgerEntry, SimConfig, SimStats, Simulation};
+pub use experiments::{results_to_csv, ExperimentPlan, ExperimentResult};
 pub use multi::{GroupId, MultiConfig, MultiFileSimulation, MultiStats};
 pub use nemesis::{minimize, FaultSchedule, NemesisEvent, NemesisProfile};
 pub use topology::Topology;
