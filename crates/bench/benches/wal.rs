@@ -1,0 +1,203 @@
+//! Bench: durable-storage hot paths — WAL append throughput under both
+//! fsync disciplines, and cold recovery replay speed.
+//!
+//! Each round appends one realistic *commit step* — the exact op batch
+//! the kernel's commit path emits between two force-write barriers
+//! (`Entries` + `Meta` + `Committed`) — and seals it with a barrier, so
+//! a "step" here is one durable protocol commit:
+//!
+//! * `commit_steps_fsync_always` — the paper's force-write discipline:
+//!   `fdatasync` every barrier. Dominated by device sync latency, so
+//!   the number characterizes the machine as much as the code; it is
+//!   reported but not CI-gated.
+//! * `commit_steps_fsync_never` — write-through without fsync: the
+//!   CPU-bound cost of encoding, CRC-framing, and the write syscall.
+//! * `recovery_replay` — `SiteStore::inspect` over the segment the
+//!   `fsync_never` run produced: scan, checksum, decode, and apply
+//!   every record, then verify the recovered state is exactly what the
+//!   writer acknowledged.
+//!
+//! The measurements land in `BENCH_wal.json` as a machine-readable perf
+//! baseline. Set `DYNVOTE_BENCH_QUICK=1` for a fast smoke run (CI) that
+//! exercises the same code and JSON schema at a fraction of the rounds.
+
+use dynvote_core::{CopyMeta, Distinguished, SiteId, SiteSet};
+use dynvote_protocol::persist::PersistOp;
+use dynvote_protocol::{DurableState, LogEntry, TxnId};
+use dynvote_storage::{FsyncPolicy, SiteStore, StoreConfig};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const SITES: usize = 5;
+const SYNC_ROUNDS: u64 = 2_000;
+const QUICK_SYNC_ROUNDS: u64 = 200;
+const NOSYNC_ROUNDS: u64 = 50_000;
+const QUICK_NOSYNC_ROUNDS: u64 = 5_000;
+
+fn quick() -> bool {
+    std::env::var_os("DYNVOTE_BENCH_QUICK").is_some()
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dynvote-bench-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The op batch one committed update force-writes at a subordinate:
+/// the log entry, the metadata overwrite, and the commit record.
+fn commit_step(version: u64) -> [PersistOp; 3] {
+    let meta = CopyMeta {
+        version,
+        cardinality: SITES as u32,
+        distinguished: Distinguished::Irrelevant,
+    };
+    [
+        PersistOp::Entries(vec![LogEntry {
+            version,
+            payload: version,
+        }]),
+        PersistOp::Meta(meta),
+        PersistOp::Committed(
+            TxnId {
+                coordinator: SiteId((version % SITES as u64) as u8),
+                seq: version,
+            },
+            meta,
+            SiteSet::all(SITES),
+        ),
+    ]
+}
+
+struct Measurement {
+    workload: &'static str,
+    rounds: u64,
+    bytes: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn steps_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.seconds
+    }
+
+    fn mb_per_sec(&self) -> f64 {
+        self.bytes as f64 / (1024.0 * 1024.0) / self.seconds
+    }
+}
+
+/// Append `rounds` commit steps, one barrier each, under `fsync`.
+/// Returns the measurement and the directory (so the recovery workload
+/// can replay it).
+fn append_workload(
+    workload: &'static str,
+    fsync: FsyncPolicy,
+    rounds: u64,
+) -> (Measurement, PathBuf) {
+    let dir = bench_dir(workload);
+    let config = StoreConfig {
+        fsync,
+        // Keep one live segment: rotation is deliberate (checkpoint
+        // policy), not an append-path cost.
+        rotate_bytes: u64::MAX,
+    };
+    let (mut store, recovered, _) =
+        SiteStore::open(&dir, config, DurableState::initial(SITES)).expect("open store");
+    assert_eq!(recovered.meta.version, 0, "bench dir must start empty");
+    let start = Instant::now();
+    for version in 1..=rounds {
+        for op in &commit_step(version) {
+            store.append(op).expect("append");
+        }
+        store.barrier().expect("barrier");
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let bytes = store.wal_len();
+    drop(store);
+    (
+        Measurement {
+            workload,
+            rounds,
+            bytes,
+            seconds,
+        },
+        dir,
+    )
+}
+
+/// Cold recovery over the segment `append_workload` wrote: every record
+/// is scanned, checksummed, decoded, and applied.
+fn recovery_workload(dir: &Path, written: u64) -> Measurement {
+    let start = Instant::now();
+    let (state, report) =
+        SiteStore::inspect(dir, DurableState::initial(SITES)).expect("inspect bench dir");
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(
+        report.truncated.is_none(),
+        "clean segment must replay in full: {report:?}"
+    );
+    assert_eq!(report.records_replayed, written, "one record per barrier");
+    assert_eq!(state.meta.version, written);
+    assert_eq!(state.log.len() as u64, written);
+    let bytes: u64 = dir
+        .read_dir()
+        .expect("read bench dir")
+        .map(|e| e.expect("dir entry").metadata().expect("metadata").len())
+        .sum();
+    Measurement {
+        workload: "recovery_replay",
+        rounds: report.records_replayed,
+        bytes,
+        seconds,
+    }
+}
+
+fn main() {
+    let (sync_rounds, nosync_rounds) = if quick() {
+        (QUICK_SYNC_ROUNDS, QUICK_NOSYNC_ROUNDS)
+    } else {
+        (SYNC_ROUNDS, NOSYNC_ROUNDS)
+    };
+    let (always, always_dir) = append_workload(
+        "commit_steps_fsync_always",
+        FsyncPolicy::Always,
+        sync_rounds,
+    );
+    let (never, never_dir) = append_workload(
+        "commit_steps_fsync_never",
+        FsyncPolicy::Never,
+        nosync_rounds,
+    );
+    let replay = recovery_workload(&never_dir, nosync_rounds);
+    std::fs::remove_dir_all(&always_dir).expect("clean up");
+    std::fs::remove_dir_all(&never_dir).expect("clean up");
+
+    let results = [always, never, replay];
+    let mut json = String::from("{\n  \"bench\": \"wal\",\n  \"workloads\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        println!(
+            "{:<26} {:>8} steps  {:>10} bytes  {:>8.3} s  {:>10.0} steps/sec  {:>8.2} MB/sec",
+            m.workload,
+            m.rounds,
+            m.bytes,
+            m.seconds,
+            m.steps_per_sec(),
+            m.mb_per_sec()
+        );
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rounds\": {}, \"bytes\": {}, \
+             \"seconds\": {:.6}, \"steps_per_sec\": {:.0}, \"mb_per_sec\": {:.3}}}{}\n",
+            m.workload,
+            m.rounds,
+            m.bytes,
+            m.seconds,
+            m.steps_per_sec(),
+            m.mb_per_sec(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_wal.json";
+    std::fs::write(path, &json).expect("write BENCH_wal.json");
+    println!("baseline written to {path}");
+}

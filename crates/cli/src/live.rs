@@ -14,9 +14,11 @@ use dynvote_cluster::{
     Cluster, ClusterConfig, EventCountEntry, LoadGen, LoadGenConfig, TcpClient, TransportKind,
     WorkloadTarget,
 };
-use dynvote_core::{AlgorithmKind, SiteId};
-use dynvote_protocol::EventKind;
+use dynvote_core::{AlgorithmKind, ConfigError, SiteId};
+use dynvote_protocol::{DurableState, EventKind};
+use dynvote_storage::{FsyncPolicy, SiteStore};
 use std::net::SocketAddr;
+use std::path::Path;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -34,8 +36,16 @@ fn secs(value: f64, flag: &str) -> Result<Duration, String> {
 
 /// `dynvote serve`.
 pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
-    opts.reject_unknown(&["algo", "n", "port-base", "duration", "trace"])
-        .map_err(|e| format!("{e}; see `dynvote help`"))?;
+    opts.reject_unknown(&[
+        "algo",
+        "n",
+        "port-base",
+        "duration",
+        "trace",
+        "data-dir",
+        "fsync",
+    ])
+    .map_err(|e| format!("{e}; see `dynvote help`"))?;
     let algorithm = parse_algo(opts.get("algo").unwrap_or("hybrid"))?;
     let n: usize = opts.get_or("n", 5).map_err(|e| e.to_string())?;
     let port_base: u16 = opts.get_or("port-base", 7700).map_err(|e| e.to_string())?;
@@ -45,10 +55,28 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
     )?;
     let trace: bool = opts.get_or("trace", false).map_err(|e| e.to_string())?;
 
-    let config = ClusterConfig::new(n, algorithm)
+    let mut config = ClusterConfig::new(n, algorithm)
         .with_transport(TransportKind::Tcp)
         .with_port_base(port_base)
         .with_trace(trace);
+    // Durability is opt-in; without --data-dir the cluster runs in
+    // explicit amnesia mode, and asking for an fsync discipline there
+    // is a typed configuration error, not a silent ignore.
+    let durable = match (opts.get("data-dir"), opts.get("fsync")) {
+        (None, Some(_)) => {
+            return Err(ConfigError::Requires {
+                field: "--fsync",
+                requires: "--data-dir",
+            }
+            .to_string())
+        }
+        (None, None) => false,
+        (Some(dir), spec) => {
+            let fsync = FsyncPolicy::parse(spec.unwrap_or("always"))?;
+            config = config.with_data_dir(dir, fsync);
+            true
+        }
+    };
     // Typed validation up front (satellite: no panics on absurd input).
     config.validate().map_err(|e| e.to_string())?;
     let cluster = Cluster::boot(&config).map_err(|e| e.to_string())?;
@@ -57,7 +85,8 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
         let addr = cluster.addr(site).expect("tcp cluster has addresses");
         println!("site {site} listening on {addr}");
     }
-    println!("cluster ready: n={n} algo={algorithm} transport=tcp");
+    let mode = if durable { "durable" } else { "amnesia" };
+    println!("cluster ready: n={n} algo={algorithm} transport=tcp durability={mode}");
     use std::io::Write as _;
     std::io::stdout().flush().ok();
 
@@ -83,6 +112,71 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
     }
     if !audit.consistent {
         return Err("consistency violation detected by the final audit".into());
+    }
+    Ok(())
+}
+
+/// `dynvote recover` — offline inspection of a serve data directory:
+/// run the same recovery a booting site would (newest valid snapshot +
+/// WAL tail replay, truncating at the first torn record) and print what
+/// each site would come back with, without modifying anything.
+pub fn recover_cmd(opts: &Opts) -> Result<(), String> {
+    opts.reject_unknown(&["data-dir", "n"])
+        .map_err(|e| format!("{e}; see `dynvote help`"))?;
+    let data_dir = opts
+        .get("data-dir")
+        .ok_or("--data-dir is required; see `dynvote help`")?;
+    let n: usize = opts.get_or("n", 5).map_err(|e| e.to_string())?;
+    let root = Path::new(data_dir);
+    let mut sites: Vec<(usize, std::path::PathBuf)> = std::fs::read_dir(root)
+        .map_err(|e| format!("read {data_dir}: {e}"))?
+        .filter_map(|entry| {
+            let entry = entry.ok()?;
+            let name = entry.file_name().into_string().ok()?;
+            let index = name.strip_prefix("site-")?.parse().ok()?;
+            Some((index, entry.path()))
+        })
+        .collect();
+    if sites.is_empty() {
+        return Err(format!(
+            "{data_dir} holds no site-<i> directories (is it a `dynvote serve --data-dir` root?)"
+        ));
+    }
+    sites.sort();
+    let mut truncated_sites = 0u32;
+    for (index, dir) in &sites {
+        let (state, report) = SiteStore::inspect(dir, DurableState::initial(n))
+            .map_err(|e| format!("site-{index}: {e}"))?;
+        let snapshot = report
+            .snapshot_epoch
+            .map_or_else(|| "none".to_owned(), |e| e.to_string());
+        let prepared = state.prepared.map_or_else(
+            || "none".to_owned(),
+            |(txn, coordinator)| format!("{txn:?} via {coordinator}"),
+        );
+        println!(
+            "site-{index}: snapshot={snapshot} segments={} records={} corrupt_snapshots={} | \
+             VN={} SC={} DS={:?} log={} commits={} prepared={prepared} next_seq={}",
+            report.segments_replayed,
+            report.records_replayed,
+            report.corrupt_snapshots,
+            state.meta.version,
+            state.meta.cardinality,
+            state.meta.distinguished,
+            state.log.len(),
+            state.commits.len(),
+            state.next_seq,
+        );
+        if let Some(torn) = &report.truncated {
+            truncated_sites += 1;
+            println!(
+                "site-{index}: torn tail at epoch {} offset {}: {} (recovery stops there)",
+                torn.epoch, torn.offset, torn.reason
+            );
+        }
+    }
+    if truncated_sites > 0 {
+        eprintln!("{truncated_sites} site(s) had torn WAL tails; the prefixes above are what a reboot recovers");
     }
     Ok(())
 }

@@ -12,6 +12,7 @@
 //! dynvote chaos [...]         nemesis schedules: run, replay, minimize
 //! dynvote serve [...]         boot a live TCP loopback cluster
 //! dynvote loadgen [...]       closed-loop load against a served cluster
+//! dynvote recover [...]       inspect a serve data directory offline
 //! dynvote help                this text
 //! ```
 
@@ -125,12 +126,30 @@ USAGE:
         minimal reproducer.
 
     dynvote serve [--n k] [--algo <name>] [--port-base p] [--duration secs]
-                  [--trace true]
+                  [--trace true] [--data-dir path] [--fsync policy]
         Boot a live n-node cluster on loopback TCP, node i listening on
         127.0.0.1:(port-base + i). With --duration 0 (default) it runs
         until killed; otherwise it audits consistency at the deadline
         and exits non-zero on a violation. --trace true renders every
         protocol event to stderr as it happens.
+
+        Without --data-dir the cluster is explicitly amnesiac: durable
+        state lives in process memory only. With --data-dir, site i
+        keeps a checksummed write-ahead log plus snapshots under
+        <path>/site-i; boot recovers from whatever is there, so killing
+        the process (even SIGKILL) and re-running serve with the same
+        --data-dir resumes from disk. --fsync sets the force-write
+        discipline: always (default, fsync at every force-write
+        barrier), batch (alias for interval:0), interval:<ms> (group
+        commit, at most one fsync per interval), never (OS-paced).
+        --fsync without --data-dir is a configuration error.
+
+    dynvote recover --data-dir <path> [--n k]
+        Offline inspection: run boot recovery (newest valid snapshot +
+        WAL replay, truncating at the first torn record) for every
+        site-<i> under the data directory and print the state each
+        site would reboot with. Read-only — repairs nothing, deletes
+        nothing.
 
     dynvote loadgen [--n k] [--host h] [--port-base p] [--concurrency c]
                     [--duration secs] [--read-fraction f] [--seed s]
@@ -215,6 +234,7 @@ fn main() -> ExitCode {
         "chaos" => runs::chaos_cmd(&opts),
         "serve" => live::serve_cmd(&opts),
         "loadgen" => live::loadgen_cmd(&opts),
+        "recover" => live::recover_cmd(&opts),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())

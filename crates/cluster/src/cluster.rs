@@ -1,13 +1,17 @@
 //! Booting and steering a whole cluster: N node threads, a transport
 //! mesh, clients, and fault injection.
 
-use crate::node::{AuditOutcome, ClusterLedger, Node, NodeConfig, NodeEvent, ReplySink};
+use crate::node::{
+    AuditOutcome, ClusterLedger, Node, NodeConfig, NodeDurability, NodeEvent, ReplySink,
+};
 use crate::transport::{ChannelTransport, TcpTransport, Transport, TransportError};
 use crate::wire::{self, ClientOp, ClientReply, HELLO_CLIENT, HELLO_PEER};
 use dynvote_core::{AlgorithmKind, ConfigError, SiteId, SiteSet, MAX_SITES};
 use dynvote_protocol::{CountingSink, EventTallies};
+use dynvote_storage::{FsyncPolicy, StorageError, StoreConfig};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -22,8 +26,72 @@ pub enum TransportKind {
     Tcp,
 }
 
+/// Whether nodes survive a process death.
+///
+/// The default is explicit **amnesia**: a "recovered" node restarts
+/// from whatever durable state the process still held in memory, which
+/// models the paper's crash/recover faults but not a machine reboot.
+/// [`DurabilityMode::Durable`] gives every site a data directory with a
+/// checksummed WAL + snapshots; boot and every recovery then reload
+/// state from disk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// No disk: durable state lives in process memory only.
+    #[default]
+    Amnesia,
+    /// Every site persists to `data_dir/site-<i>` with the given fsync
+    /// discipline.
+    Durable {
+        /// Root data directory; per-site subdirectories are created
+        /// under it.
+        data_dir: PathBuf,
+        /// WAL fsync discipline.
+        fsync: FsyncPolicy,
+    },
+}
+
+/// Booting failed before any node thread started.
+#[derive(Debug)]
+pub enum BootError {
+    /// The configuration was rejected by [`ClusterConfig::validate`].
+    Config(ConfigError),
+    /// A site's data directory could not be opened or recovered.
+    Storage {
+        /// The site whose store failed.
+        site: SiteId,
+        /// The underlying storage error.
+        error: StorageError,
+    },
+}
+
+impl std::fmt::Display for BootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootError::Config(e) => write!(f, "{e}"),
+            BootError::Storage { site, error } => {
+                write!(f, "site {site} data directory: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BootError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BootError::Config(e) => Some(e),
+            BootError::Storage { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<ConfigError> for BootError {
+    fn from(e: ConfigError) -> Self {
+        BootError::Config(e)
+    }
+}
+
 /// Everything needed to boot a cluster.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of sites (`1..=MAX_SITES`).
     pub n: usize,
@@ -38,6 +106,8 @@ pub struct ClusterConfig {
     /// Render every protocol event to stderr as it happens (events are
     /// always counted; this adds the human-readable stream).
     pub trace: bool,
+    /// Whether sites persist durable state to disk.
+    pub durability: DurabilityMode,
     /// Per-node wall-clock deadlines.
     pub node: NodeConfig,
 }
@@ -52,6 +122,7 @@ impl ClusterConfig {
             transport: TransportKind::Channel,
             port_base: None,
             trace: false,
+            durability: DurabilityMode::default(),
             node: NodeConfig::default(),
         }
     }
@@ -74,6 +145,17 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Persist every site under `data_dir/site-<i>` with the given
+    /// fsync discipline.
+    #[must_use]
+    pub fn with_data_dir(mut self, data_dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> Self {
+        self.durability = DurabilityMode::Durable {
+            data_dir: data_dir.into(),
+            fsync,
+        };
         self
     }
 
@@ -242,7 +324,11 @@ pub struct Cluster {
 impl Cluster {
     /// Boot all nodes. With [`TransportKind::Tcp`] each node also gets
     /// a loopback listener (ephemeral port) and an acceptor thread.
-    pub fn boot(config: &ClusterConfig) -> Result<Self, ConfigError> {
+    /// With [`DurabilityMode::Durable`], each node first recovers its
+    /// state from `data_dir/site-<i>` — an empty directory boots the
+    /// initial state, a populated one resumes where the last process
+    /// left off.
+    pub fn boot(config: &ClusterConfig) -> Result<Self, BootError> {
         config.validate()?;
         let n = config.n;
         let ledger = Arc::new(ClusterLedger::new());
@@ -286,6 +372,20 @@ impl Cluster {
                 rx,
                 Arc::clone(&ledger),
             );
+            if let DurabilityMode::Durable { data_dir, fsync } = &config.durability {
+                node.enable_durability(NodeDurability {
+                    dir: data_dir.join(format!("site-{i}")),
+                    store: StoreConfig {
+                        fsync: *fsync,
+                        ..StoreConfig::default()
+                    },
+                })
+                .map_err(|error| BootError::Storage { site: id, error })?;
+                // The audit ledger must start from the history the
+                // disks already hold, or the first post-reboot commit
+                // would be flagged as a version gap.
+                ledger.prime(node.recovered_log());
+            }
             node.set_event_sink(Arc::clone(&events), config.trace);
             let handle = thread::Builder::new()
                 .name(format!("dynvote-node-{i}"))

@@ -49,8 +49,13 @@ pub mod scenario;
 mod transport;
 pub mod wire;
 
-pub use cluster::{Cluster, ClusterConfig, LocalClient, RequestError, TcpClient, TransportKind};
+pub use cluster::{
+    BootError, Cluster, ClusterConfig, DurabilityMode, LocalClient, RequestError, TcpClient,
+    TransportKind,
+};
 pub use loadgen::{EventCountEntry, Histogram, LoadGen, LoadGenConfig, LoadReport, WorkloadTarget};
-pub use node::{AuditOutcome, ClusterLedger, Node, NodeConfig, NodeEvent, ReplySink};
+pub use node::{
+    AuditOutcome, ClusterLedger, Node, NodeConfig, NodeDurability, NodeEvent, ReplySink,
+};
 pub use transport::{ChannelTransport, TcpTransport, Transport, TransportError};
 pub use wire::{ClientOp, ClientReply, WireError};

@@ -28,14 +28,16 @@ use crate::transport::Transport;
 use crate::wire::{self, ClientOp, ClientReply};
 use dynvote_core::{AlgorithmKind, BackoffPolicy, SiteId, SiteSet, TimerWheel};
 use dynvote_protocol::{
-    Action, CountingSink, EventSink, FanoutSink, LogEntry, Message, RenderSink, ResolveReason,
-    SiteActor, TimerKind, TxnId,
+    Action, CountingSink, DurableState, EventSink, FanoutSink, LogEntry, Message, RenderSink,
+    ResolveReason, SiteActor, TimerKind, TxnId,
 };
+use dynvote_storage::{RecoveryReport, SiteStore, StorageError, StoreConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -189,6 +191,22 @@ impl ClusterLedger {
             .clone()
     }
 
+    /// Seed the chain from a recovered site's durable log, so a durable
+    /// cluster rebooted from disk audits against the history its disks
+    /// already hold rather than flagging the first post-reboot commit
+    /// as a gap. Entries extend the chain exactly where they continue
+    /// it; anything already covered is left for [`Self::check_log`] and
+    /// [`Self::record`] to cross-check. Priming with every site's log
+    /// in any order converges on the longest recovered prefix.
+    pub fn prime(&self, log: &[LogEntry]) {
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        for entry in log {
+            if entry.version == inner.chain.len() as u64 + 1 {
+                inner.chain.push(entry.payload);
+            }
+        }
+    }
+
     /// True if `log` is a gapless prefix of the global chain and
     /// `meta_version` matches its length — the paper's invariant for
     /// every copy.
@@ -218,6 +236,15 @@ pub struct AuditOutcome {
     pub violations: Vec<String>,
 }
 
+/// Where (and how) one node keeps its durable state on disk.
+#[derive(Debug, Clone)]
+pub struct NodeDurability {
+    /// This site's data directory (each site owns its own).
+    pub dir: PathBuf,
+    /// WAL fsync discipline and rotation threshold.
+    pub store: StoreConfig,
+}
+
 struct PendingClient {
     id: u64,
     reply: ReplySink,
@@ -228,7 +255,15 @@ struct PendingClient {
 pub struct Node {
     id: SiteId,
     n: usize,
+    algorithm: AlgorithmKind,
     actor: SiteActor,
+    /// `Some` when this node owns a data directory: every boot and
+    /// every [`ClientOp::Recover`] reloads the kernel's durable state
+    /// from disk instead of trusting process memory.
+    durability: Option<NodeDurability>,
+    /// The installed event sink, kept so a disk reboot can re-install
+    /// it on the freshly restored kernel.
+    sink: Option<Arc<dyn EventSink>>,
     transport: Box<dyn Transport>,
     rx: Receiver<NodeEvent>,
     config: NodeConfig,
@@ -279,7 +314,10 @@ impl Node {
         Node {
             id,
             n,
+            algorithm,
             actor,
+            durability: None,
+            sink: None,
             transport,
             rx,
             config,
@@ -297,6 +335,48 @@ impl Node {
         }
     }
 
+    /// Give this node a data directory: recover the kernel's durable
+    /// state from it (snapshot + WAL replay) and install the store as
+    /// the kernel's [`dynvote_protocol::Persistence`] hook, so every
+    /// durable-write point (prepare records, commit records, log
+    /// appends, metadata installs) reaches the WAL before the action
+    /// that announced it leaves the node.
+    ///
+    /// Call before [`Node::run`]. Returns what recovery found.
+    pub fn enable_durability(
+        &mut self,
+        durability: NodeDurability,
+    ) -> Result<RecoveryReport, StorageError> {
+        let (store, state, report) = SiteStore::open(
+            &durability.dir,
+            durability.store,
+            DurableState::initial(self.n),
+        )?;
+        let mut actor =
+            SiteActor::restore(self.id, self.n, self.algorithm.instantiate(self.n), state);
+        actor.set_persistence(Box::new(store));
+        if let Some(sink) = &self.sink {
+            actor.set_sink(Arc::clone(sink));
+        }
+        self.actor = actor;
+        self.durability = Some(durability);
+        Ok(report)
+    }
+
+    /// True when this node reloads state from a data directory.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The site's durable committed log (what recovery reconstructed,
+    /// for a freshly booted durable node). Used to prime the cluster
+    /// ledger before the first post-reboot commit.
+    #[must_use]
+    pub fn recovered_log(&self) -> &[LogEntry] {
+        &self.actor.durable().log
+    }
+
     /// Install the cluster-shared event sink: every protocol event the
     /// kernel emits is counted per site (and, with `trace`, rendered to
     /// stderr as it happens). Must be called before [`Node::run`].
@@ -309,8 +389,56 @@ impl Node {
         } else {
             counting.clone()
         };
-        self.actor.set_sink(sink);
+        self.actor.set_sink(Arc::clone(&sink));
+        self.sink = Some(sink);
         self.events = Some(counting);
+    }
+
+    /// Rebuild the kernel from what the data directory says, discarding
+    /// process memory — the in-process stand-in for a machine reboot.
+    /// Under a group-commit fsync policy this honestly loses whatever
+    /// the store had not yet synced.
+    ///
+    /// # Panics
+    ///
+    /// On I/O failure, matching the store's own hook discipline: a
+    /// durable site that cannot read its own disk cannot rejoin.
+    /// Corrupt or torn files do **not** panic — recovery truncates and
+    /// reports.
+    fn reboot_from_disk(&mut self) {
+        let Some(durability) = self.durability.clone() else {
+            return;
+        };
+        let report = self
+            .enable_durability(durability)
+            .expect("reboot from data dir");
+        if let Some(torn) = &report.truncated {
+            eprintln!(
+                "site {}: WAL tail truncated at epoch {} offset {}: {}",
+                self.id, torn.epoch, torn.offset, torn.reason
+            );
+        }
+    }
+
+    /// A durable node that boots with a prepare record on disk is in
+    /// doubt on that transaction: before serving any traffic it must
+    /// re-acquire the lock the record guards and resume the
+    /// termination protocol (Section V-C), exactly as the in-process
+    /// recover path does. Without this, the site comes up unlocked —
+    /// the next vote request overwrites the prepare record and the
+    /// in-doubt commit is orphaned, which can wedge the whole cluster
+    /// (a coordinator that committed alone is the only current copy,
+    /// and no partition is ever distinguished again). The StatusQuery
+    /// broadcast may race the peers' own boots; the PreparedRetry
+    /// timer the round arms re-sends it until someone answers.
+    fn resume_in_doubt(&mut self) {
+        if self.durability.is_none() || !self.actor.is_in_doubt() {
+            return;
+        }
+        let payload = self.fresh_payload();
+        self.actor.recover(payload, &mut self.scratch);
+        self.apply();
+        self.transport.flush();
     }
 
     /// The event loop: block on the inbox up to the next timer
@@ -324,6 +452,7 @@ impl Node {
     /// one `write_all`. Idle timeouts also flush, so nothing lingers
     /// buffered when traffic stops.
     pub fn run(mut self) {
+        self.resume_in_doubt();
         'outer: loop {
             let timeout = self
                 .next_timer_in()
@@ -346,6 +475,9 @@ impl Node {
                 Err(RecvTimeoutError::Timeout) => {}
             }
             self.fire_due_timers();
+            // Between batches: rotate the WAL if it has grown past the
+            // configured threshold (no-op for amnesiac nodes).
+            self.actor.maybe_checkpoint();
             self.transport.flush();
         }
         self.transport.flush();
@@ -407,6 +539,11 @@ impl Node {
             ClientOp::Recover => {
                 if self.down {
                     self.down = false;
+                    // A durable site restarts from its disk, not from
+                    // whatever this process still holds in memory —
+                    // the same code path a genuinely rebooted process
+                    // takes.
+                    self.reboot_from_disk();
                     let payload = self.fresh_payload();
                     self.actor.recover(payload, &mut self.scratch);
                     // Tag the Make_Current transaction (if one started)
@@ -464,6 +601,15 @@ impl Node {
                     },
                 );
             }
+            ClientOp::DumpLog => {
+                reply.send(
+                    id,
+                    ClientReply::Log {
+                        meta: self.actor.meta(),
+                        entries: self.actor.log().to_vec(),
+                    },
+                );
+            }
         }
     }
 
@@ -493,6 +639,10 @@ impl Node {
     /// taken out of `self` for the duration (no kernel re-entry happens
     /// inside) and put back with its capacity intact.
     fn apply(&mut self) {
+        // Durability barrier first: whatever the kernel just recorded
+        // through its persistence hooks must be on disk (per the fsync
+        // policy) before any send or client reply below announces it.
+        self.actor.sync_persistence();
         let mut actions = std::mem::take(&mut self.scratch);
         // Ledger bookkeeping first: a commit must be globally recorded
         // before the Commit fan-out below can trigger a dependent

@@ -97,7 +97,16 @@ pub fn run_cluster_traced(
     script: &[ScriptOp],
 ) -> (Fixpoint, EventTallies) {
     let config = ClusterConfig::new(n, algorithm).with_transport(transport);
-    let cluster = Cluster::boot(&config).expect("boot cluster");
+    run_cluster_config(&config, script)
+}
+
+/// Interpret `script` on a cluster booted from an explicit
+/// [`ClusterConfig`] — the hook the conformance suite uses to run the
+/// same scenario with durability on and compare fixpoints.
+#[must_use]
+pub fn run_cluster_config(config: &ClusterConfig, script: &[ScriptOp]) -> (Fixpoint, EventTallies) {
+    let n = config.n;
+    let cluster = Cluster::boot(config).expect("boot cluster");
     for op in script {
         match op {
             ScriptOp::Update(site) => {

@@ -14,9 +14,14 @@
 //! cluster's hot path gets a purpose-built encoder whose cost is a
 //! handful of `extend_from_slice` calls per message.
 
-use dynvote_core::{CopyMeta, Distinguished, SiteId, SiteSet};
-use dynvote_protocol::{LogEntry, Message, StatusOutcome, TxnId};
+use dynvote_core::{CopyMeta, SiteId, SiteSet};
+use dynvote_protocol::codec::{
+    put_entries, put_meta, put_site_set, put_txn, put_u32, put_u64, put_u8, Reader,
+};
+use dynvote_protocol::{LogEntry, Message, StatusOutcome};
 use std::io::{self, Read, Write};
+
+pub use dynvote_protocol::codec::WireError;
 
 /// Connection preamble byte announcing a peer (protocol) link; the next
 /// byte is the sending site's id.
@@ -27,29 +32,6 @@ pub const HELLO_CLIENT: u8 = b'C';
 /// Upper bound on an accepted frame body, guarding against corrupt
 /// length prefixes.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
-
-/// A malformed frame body.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum WireError {
-    /// The body ended before the decoder was done.
-    Truncated,
-    /// An unknown variant tag.
-    BadTag(u8),
-    /// Bytes left over after a complete decode.
-    TrailingBytes(usize),
-}
-
-impl std::fmt::Display for WireError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WireError::Truncated => write!(f, "frame body truncated"),
-            WireError::BadTag(tag) => write!(f, "unknown wire tag {tag:#04x}"),
-            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame body"),
-        }
-    }
-}
-
-impl std::error::Error for WireError {}
 
 /// A request a client sends to one node.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +59,10 @@ pub enum ClientOp {
     /// Fetch the node's protocol-event tallies (one counter per
     /// [`dynvote_protocol::EventKind`], in declaration order).
     Events,
+    /// Fetch the node's durable metadata and full committed log, so an
+    /// external harness can audit consistency across nodes that do not
+    /// share a process (and hence no in-memory ledger).
+    DumpLog,
 }
 
 /// A node's reply to a [`ClientOp`].
@@ -128,148 +114,18 @@ pub enum ClientReply {
         /// One counter per event kind.
         counts: Vec<u64>,
     },
+    /// The node's durable `(VN, SC, DS)` triple and committed log, in
+    /// version order.
+    Log {
+        /// The durable metadata triple.
+        meta: CopyMeta,
+        /// Every committed entry, version-ordered and gapless.
+        entries: Vec<LogEntry>,
+    },
 }
 
-// ----- primitive encoders ------------------------------------------------
-
-fn put_u8(out: &mut Vec<u8>, v: u8) {
-    out.push(v);
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_txn(out: &mut Vec<u8>, txn: TxnId) {
-    put_u8(out, txn.coordinator.0);
-    put_u64(out, txn.seq);
-}
-
-fn put_site_set(out: &mut Vec<u8>, set: SiteSet) {
-    put_u64(out, set.bits());
-}
-
-fn put_meta(out: &mut Vec<u8>, meta: CopyMeta) {
-    put_u64(out, meta.version);
-    put_u32(out, meta.cardinality);
-    match meta.distinguished {
-        Distinguished::Irrelevant => put_u8(out, 0),
-        Distinguished::Single(s) => {
-            put_u8(out, 1);
-            put_u8(out, s.0);
-        }
-        Distinguished::Trio(set) => {
-            put_u8(out, 2);
-            put_site_set(out, set);
-        }
-        Distinguished::Set(set) => {
-            put_u8(out, 3);
-            put_site_set(out, set);
-        }
-    }
-}
-
-fn put_entries(out: &mut Vec<u8>, entries: &[LogEntry]) {
-    put_u32(out, entries.len() as u32);
-    for e in entries {
-        put_u64(out, e.version);
-        put_u64(out, e.payload);
-    }
-}
-
-// ----- primitive decoders ------------------------------------------------
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(WireError::Truncated);
-        }
-        let slice = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, WireError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn u64(&mut self) -> Result<u64, WireError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
-    }
-
-    fn txn(&mut self) -> Result<TxnId, WireError> {
-        let coordinator = SiteId(self.u8()?);
-        let seq = self.u64()?;
-        Ok(TxnId { coordinator, seq })
-    }
-
-    fn site_set(&mut self) -> Result<SiteSet, WireError> {
-        Ok(SiteSet::from_bits(self.u64()?))
-    }
-
-    fn meta(&mut self) -> Result<CopyMeta, WireError> {
-        let version = self.u64()?;
-        let cardinality = self.u32()?;
-        let distinguished = match self.u8()? {
-            0 => Distinguished::Irrelevant,
-            1 => Distinguished::Single(SiteId(self.u8()?)),
-            2 => Distinguished::Trio(self.site_set()?),
-            3 => Distinguished::Set(self.site_set()?),
-            tag => return Err(WireError::BadTag(tag)),
-        };
-        Ok(CopyMeta {
-            version,
-            cardinality,
-            distinguished,
-        })
-    }
-
-    fn entries(&mut self) -> Result<Vec<LogEntry>, WireError> {
-        let count = self.u32()? as usize;
-        // Guard: each entry is 16 bytes, so a valid count is bounded by
-        // the remaining body.
-        if count > (self.buf.len() - self.pos) / 16 {
-            return Err(WireError::Truncated);
-        }
-        let mut entries = Vec::with_capacity(count);
-        for _ in 0..count {
-            let version = self.u64()?;
-            let payload = self.u64()?;
-            entries.push(LogEntry { version, payload });
-        }
-        Ok(entries)
-    }
-
-    fn finish<T>(self, value: T) -> Result<T, WireError> {
-        if self.pos == self.buf.len() {
-            Ok(value)
-        } else {
-            Err(WireError::TrailingBytes(self.buf.len() - self.pos))
-        }
-    }
-}
+// The primitive `put_*` encoders and the `Reader` decoder live in
+// `dynvote_protocol::codec`, shared with the durable storage formats.
 
 // ----- protocol messages -------------------------------------------------
 
@@ -441,6 +297,7 @@ pub fn encode_request_into(out: &mut Vec<u8>, id: u64, op: &ClientOp) {
         ClientOp::Probe => put_u8(out, 5),
         ClientOp::Audit => put_u8(out, 6),
         ClientOp::Events => put_u8(out, 7),
+        ClientOp::DumpLog => put_u8(out, 8),
     }
 }
 
@@ -457,6 +314,7 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, ClientOp), WireError> {
         5 => ClientOp::Probe,
         6 => ClientOp::Audit,
         7 => ClientOp::Events,
+        8 => ClientOp::DumpLog,
         tag => return Err(WireError::BadTag(tag)),
     };
     r.finish((id, op))
@@ -515,6 +373,11 @@ pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &ClientReply) {
                 put_u64(out, c);
             }
         }
+        ClientReply::Log { meta, entries } => {
+            put_u8(out, 10);
+            put_meta(out, *meta);
+            put_entries(out, entries);
+        }
     }
 }
 
@@ -545,7 +408,7 @@ pub fn decode_reply(body: &[u8]) -> Result<(u64, ClientReply), WireError> {
             let count = r.u32()? as usize;
             // Guard: each counter is 8 bytes, so a valid count is
             // bounded by the remaining body.
-            if count > (body.len() - 12) / 8 {
+            if count > r.remaining() / 8 {
                 return Err(WireError::Truncated);
             }
             let mut counts = Vec::with_capacity(count);
@@ -554,6 +417,10 @@ pub fn decode_reply(body: &[u8]) -> Result<(u64, ClientReply), WireError> {
             }
             ClientReply::Events { counts }
         }
+        10 => ClientReply::Log {
+            meta: r.meta()?,
+            entries: r.entries()?,
+        },
         tag => return Err(WireError::BadTag(tag)),
     };
     r.finish((id, reply))
@@ -609,6 +476,8 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dynvote_core::Distinguished;
+    use dynvote_protocol::TxnId;
 
     fn txn(c: u8, seq: u64) -> TxnId {
         TxnId {
@@ -776,6 +645,7 @@ mod tests {
             ClientOp::Probe,
             ClientOp::Audit,
             ClientOp::Events,
+            ClientOp::DumpLog,
         ];
         for (i, op) in ops.into_iter().enumerate() {
             let bytes = encode_request(i as u64, &op);
@@ -804,6 +674,23 @@ mod tests {
                 counts: vec![0, 3, 0, 17, u64::MAX],
             },
             ClientReply::Events { counts: Vec::new() },
+            ClientReply::Log {
+                meta: sample_meta(),
+                entries: vec![
+                    LogEntry {
+                        version: 1,
+                        payload: 11,
+                    },
+                    LogEntry {
+                        version: 2,
+                        payload: 22,
+                    },
+                ],
+            },
+            ClientReply::Log {
+                meta: sample_meta(),
+                entries: Vec::new(),
+            },
         ];
         for (i, reply) in replies.into_iter().enumerate() {
             let bytes = encode_reply(i as u64, &reply);

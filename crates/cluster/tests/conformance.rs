@@ -6,13 +6,22 @@
 //! `(VN, SC, DS)` metadata, the same global chain length, and the same
 //! workload commit count. One test per algorithm, so failures name the
 //! algorithm and the suite parallelizes across test threads.
+//!
+//! Each algorithm also runs a **persistence leg**: the same script on a
+//! durable cluster (real WAL + snapshots underneath, the Recover step
+//! rebooting its site from disk) must reach the identical fixpoint, and
+//! the bytes left on disk after shutdown must replay to exactly that
+//! fixpoint — byte-identical metadata and gapless logs.
 
-use dynvote_cluster::scenario::{demo_script, run_cluster, run_cluster_traced, Fixpoint, ScriptOp};
+use dynvote_cluster::scenario::{
+    demo_script, run_cluster, run_cluster_config, run_cluster_traced, Fixpoint, ScriptOp,
+};
 use dynvote_cluster::wire::ClientOp;
 use dynvote_cluster::{Cluster, ClusterConfig, LoadGen, LoadGenConfig, TransportKind};
 use dynvote_core::{AlgorithmKind, SiteId, SiteSet};
-use dynvote_protocol::{EventKind, EventTallies};
+use dynvote_protocol::{DurableState, EventKind, EventTallies};
 use dynvote_sim::{SimConfig, Simulation};
+use dynvote_storage::{FsyncPolicy, SiteStore};
 use std::thread;
 use std::time::Duration;
 
@@ -103,6 +112,68 @@ fn conformance(algorithm: AlgorithmKind) {
         meta_bytes(&tcp),
         "{algorithm:?}: TCP metadata bytes diverge"
     );
+    persistence_leg(algorithm, &script, &sim);
+}
+
+/// The durability hook must be observationally free: the same script on
+/// a durable cluster reaches the identical fixpoint, and a cold replay
+/// of the bytes it left behind reconstructs that fixpoint exactly.
+fn persistence_leg(algorithm: AlgorithmKind, script: &[ScriptOp], reference: &Fixpoint) {
+    let n = 5;
+    let dir = std::env::temp_dir().join(format!(
+        "dynvote-conformance-{}-{}",
+        algorithm.id(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ClusterConfig::new(n, algorithm).with_data_dir(&dir, FsyncPolicy::Always);
+    let (durable, _) = run_cluster_config(&config, script);
+    assert_eq!(
+        reference, &durable,
+        "{algorithm:?}: durable cluster fixpoint diverges"
+    );
+    assert_eq!(
+        meta_bytes(reference),
+        meta_bytes(&durable),
+        "{algorithm:?}: durable metadata bytes diverge"
+    );
+
+    // Cold replay: what a never-crashed observer finds on disk equals
+    // what the live cluster acknowledged.
+    let mut disk = durable.clone();
+    disk.metas.clear();
+    for i in 0..n {
+        let site_dir = dir.join(format!("site-{i}"));
+        let (state, report) =
+            SiteStore::inspect(&site_dir, DurableState::initial(n)).expect("inspect site dir");
+        assert!(
+            report.truncated.is_none(),
+            "{algorithm:?}: site {i} torn after clean shutdown: {report:?}"
+        );
+        assert_eq!(
+            state.meta.version,
+            state.log.len() as u64,
+            "{algorithm:?}: site {i} metadata disagrees with its log"
+        );
+        for (j, entry) in state.log.iter().enumerate() {
+            assert_eq!(
+                entry.version,
+                (j + 1) as u64,
+                "{algorithm:?}: site {i} log has a gap"
+            );
+        }
+        disk.metas.push(state.meta);
+    }
+    assert_eq!(
+        disk.metas, durable.metas,
+        "{algorithm:?}: on-disk metadata diverges from the fixpoint"
+    );
+    assert_eq!(
+        meta_bytes(&disk),
+        meta_bytes(&durable),
+        "{algorithm:?}: on-disk metadata bytes diverge"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -47,6 +47,14 @@ pub enum ConfigError {
     },
     /// A multi-file configuration with an empty file list.
     NoFiles,
+    /// A field that only makes sense alongside another was given alone
+    /// (e.g. a durability fsync policy without a data directory).
+    Requires {
+        /// The field that was set.
+        field: &'static str,
+        /// The field it depends on.
+        requires: &'static str,
+    },
     /// An integer field outside its supported range (e.g. the cluster
     /// load generator's concurrency).
     OutOfRange {
@@ -83,6 +91,9 @@ impl std::fmt::Display for ConfigError {
                 )
             }
             ConfigError::NoFiles => write!(f, "the file list must not be empty"),
+            ConfigError::Requires { field, requires } => {
+                write!(f, "{field} requires {requires} to be set")
+            }
             ConfigError::OutOfRange {
                 field,
                 value,

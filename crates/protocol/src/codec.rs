@@ -1,0 +1,274 @@
+//! Reusable binary codec primitives shared by every byte format in the
+//! workspace.
+//!
+//! The cluster's wire protocol (`dynvote-cluster::wire`) and the
+//! durable storage formats (`dynvote-storage`'s WAL records and
+//! snapshots) encode the same protocol vocabulary — transaction ids,
+//! `(VN, SC, DS)` triples, log entries, site sets — so the primitive
+//! encoders live here, next to the types themselves: little-endian
+//! fixed-width integers, one tag byte per enum variant, no padding and
+//! no self-description. Every `put_*` appends to a caller-owned
+//! `Vec<u8>` (never clears), matching the reusable-buffer discipline of
+//! the transport hot path; [`Reader`] is the bounds-checked decoding
+//! mirror.
+//!
+//! The module is pure byte manipulation — no I/O, no clocks — so it
+//! keeps the kernel crate dependency-clean.
+
+use crate::message::{LogEntry, TxnId};
+use dynvote_core::{CopyMeta, Distinguished, SiteId, SiteSet};
+
+/// A malformed encoded body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended before the decoder was done.
+    Truncated,
+    /// An unknown variant tag.
+    BadTag(u8),
+    /// Bytes left over after a complete decode.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame body truncated"),
+            WireError::BadTag(tag) => write!(f, "unknown wire tag {tag:#04x}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame body"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append one byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a [`TxnId`] (coordinator byte + sequence).
+pub fn put_txn(out: &mut Vec<u8>, txn: TxnId) {
+    put_u8(out, txn.coordinator.0);
+    put_u64(out, txn.seq);
+}
+
+/// Append a [`SiteSet`] as its bit mask.
+pub fn put_site_set(out: &mut Vec<u8>, set: SiteSet) {
+    put_u64(out, set.bits());
+}
+
+/// Append a `(VN, SC, DS)` triple (tagged `DS` variant).
+pub fn put_meta(out: &mut Vec<u8>, meta: CopyMeta) {
+    put_u64(out, meta.version);
+    put_u32(out, meta.cardinality);
+    match meta.distinguished {
+        Distinguished::Irrelevant => put_u8(out, 0),
+        Distinguished::Single(s) => {
+            put_u8(out, 1);
+            put_u8(out, s.0);
+        }
+        Distinguished::Trio(set) => {
+            put_u8(out, 2);
+            put_site_set(out, set);
+        }
+        Distinguished::Set(set) => {
+            put_u8(out, 3);
+            put_site_set(out, set);
+        }
+    }
+}
+
+/// Append a length-counted run of [`LogEntry`]s.
+pub fn put_entries(out: &mut Vec<u8>, entries: &[LogEntry]) {
+    put_u32(out, entries.len() as u32);
+    for e in entries {
+        put_u64(out, e.version);
+        put_u64(out, e.payload);
+    }
+}
+
+/// A bounds-checked cursor over an encoded body — the decoding mirror
+/// of the `put_*` encoders. Every read either yields a value or a
+/// typed [`WireError`]; it never panics and never over-allocates on a
+/// hostile length field.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at its start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a [`TxnId`].
+    pub fn txn(&mut self) -> Result<TxnId, WireError> {
+        let coordinator = SiteId(self.u8()?);
+        let seq = self.u64()?;
+        Ok(TxnId { coordinator, seq })
+    }
+
+    /// Read a [`SiteSet`].
+    pub fn site_set(&mut self) -> Result<SiteSet, WireError> {
+        Ok(SiteSet::from_bits(self.u64()?))
+    }
+
+    /// Read a `(VN, SC, DS)` triple.
+    pub fn meta(&mut self) -> Result<CopyMeta, WireError> {
+        let version = self.u64()?;
+        let cardinality = self.u32()?;
+        let distinguished = match self.u8()? {
+            0 => Distinguished::Irrelevant,
+            1 => Distinguished::Single(SiteId(self.u8()?)),
+            2 => Distinguished::Trio(self.site_set()?),
+            3 => Distinguished::Set(self.site_set()?),
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        Ok(CopyMeta {
+            version,
+            cardinality,
+            distinguished,
+        })
+    }
+
+    /// Read a length-counted run of [`LogEntry`]s.
+    pub fn entries(&mut self) -> Result<Vec<LogEntry>, WireError> {
+        let count = self.u32()? as usize;
+        // Guard: each entry is 16 bytes, so a valid count is bounded by
+        // the remaining body.
+        if count > self.remaining() / 16 {
+            return Err(WireError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let version = self.u64()?;
+            let payload = self.u64()?;
+            entries.push(LogEntry { version, payload });
+        }
+        Ok(entries)
+    }
+
+    /// Finish decoding: succeed with `value` only if the whole body was
+    /// consumed.
+    pub fn finish<T>(self, value: T) -> Result<T, WireError> {
+        if self.pos == self.buf.len() {
+            Ok(value)
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xAB);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_txn(
+            &mut buf,
+            TxnId {
+                coordinator: SiteId(3),
+                seq: 99,
+            },
+        );
+        put_site_set(&mut buf, SiteSet::all(5));
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        let txn = r.txn().unwrap();
+        assert_eq!((txn.coordinator, txn.seq), (SiteId(3), 99));
+        assert_eq!(r.site_set().unwrap(), SiteSet::all(5));
+        r.finish(()).unwrap();
+    }
+
+    #[test]
+    fn every_distinguished_variant_round_trips() {
+        for ds in [
+            Distinguished::Irrelevant,
+            Distinguished::Single(SiteId(7)),
+            Distinguished::Trio(SiteSet::all(3)),
+            Distinguished::Set(SiteSet::all(4)),
+        ] {
+            let meta = CopyMeta {
+                version: 12,
+                cardinality: 4,
+                distinguished: ds,
+            };
+            let mut buf = Vec::new();
+            put_meta(&mut buf, meta);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.meta().unwrap(), meta);
+            r.finish(()).unwrap();
+        }
+    }
+
+    #[test]
+    fn hostile_entry_count_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.entries(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_typed() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u32(), Err(WireError::Truncated));
+        let r = Reader::new(&[1, 2]);
+        assert_eq!(r.finish(()), Err(WireError::TrailingBytes(2)));
+    }
+}

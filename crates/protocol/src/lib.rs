@@ -32,12 +32,17 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod codec;
 pub mod event;
 mod message;
+pub mod persist;
 mod site;
 
 pub use event::{
     CountingSink, EventKind, EventSink, EventTallies, FanoutSink, ProtocolEvent, RenderSink,
 };
 pub use message::{LogEntry, Message, StatusOutcome, TxnId};
-pub use site::{Action, ActionSink, DurableState, ResolveReason, SiteActor, TimerKind};
+pub use persist::Persistence;
+pub use site::{
+    Action, ActionSink, CommitRecord, DurableState, ResolveReason, SiteActor, TimerKind,
+};

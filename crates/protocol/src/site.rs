@@ -22,6 +22,7 @@
 
 use crate::event::{EventSink, NoopSink, ProtocolEvent};
 use crate::message::{LogEntry, Message, StatusOutcome, TxnId};
+use crate::persist::Persistence;
 use dynvote_core::{CopyMeta, LinearOrder, PartitionView, ReplicaControl, SiteId, SiteSet};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -123,7 +124,7 @@ pub struct CommitRecord {
 
 /// State that survives crashes (force-written before the corresponding
 /// message leaves the site).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DurableState {
     /// The copy's `(VN, SC, DS)` triple.
     pub meta: CopyMeta,
@@ -150,6 +151,22 @@ pub struct DurableState {
     /// never reuses an id — reuse would let an old commit record answer
     /// status queries for a new transaction.
     pub next_seq: u64,
+}
+
+impl DurableState {
+    /// The state every site of a fresh `n`-site file starts from:
+    /// version-0 metadata, an empty log, no commit or prepare records.
+    /// This is also what an empty data directory recovers to.
+    #[must_use]
+    pub fn initial(n: usize) -> Self {
+        DurableState {
+            meta: CopyMeta::initial(n, &LinearOrder::lexicographic(n)),
+            log: Vec::new(),
+            commits: HashMap::new(),
+            prepared: None,
+            next_seq: 0,
+        }
+    }
 }
 
 /// Coordinator progress.
@@ -208,6 +225,11 @@ pub struct SiteActor {
     durable: DurableState,
     volatile: Volatile,
     sink: Arc<dyn EventSink>,
+    /// Durability hook: observes every `durable` mutation at the
+    /// mutation point (see [`crate::persist`]). `None` — the default —
+    /// costs one branch per mutation. `Send` because harnesses move
+    /// whole actors onto their event-loop threads.
+    persist: Option<Box<dyn Persistence + Send>>,
 }
 
 impl std::fmt::Debug for SiteActor {
@@ -224,22 +246,31 @@ impl SiteActor {
     /// A fresh site with version-0 metadata.
     #[must_use]
     pub fn new(id: SiteId, n: usize, algo: Box<dyn ReplicaControl>) -> Self {
+        Self::restore(id, n, algo, DurableState::initial(n))
+    }
+
+    /// A site rebuilt from recovered durable state — the entry point of
+    /// the Section V-C restart path when the state comes off disk
+    /// rather than surviving in memory. Volatile state starts empty;
+    /// the caller runs [`SiteActor::recover`] next to re-acquire the
+    /// in-doubt lock (or run `Make_Current`).
+    #[must_use]
+    pub fn restore(
+        id: SiteId,
+        n: usize,
+        algo: Box<dyn ReplicaControl>,
+        durable: DurableState,
+    ) -> Self {
         let order = LinearOrder::lexicographic(n);
-        let meta = CopyMeta::initial(n, &order);
         SiteActor {
             id,
             n,
             order,
             algo,
-            durable: DurableState {
-                meta,
-                log: Vec::new(),
-                commits: HashMap::new(),
-                prepared: None,
-                next_seq: 0,
-            },
+            durable,
             volatile: Volatile::default(),
             sink: Arc::new(NoopSink),
+            persist: None,
         }
     }
 
@@ -247,6 +278,39 @@ impl SiteActor {
     /// reported to it. The default sink drops everything.
     pub fn set_sink(&mut self, sink: Arc<dyn EventSink>) {
         self.sink = sink;
+    }
+
+    /// Install a [`Persistence`] hook; every subsequent durable-state
+    /// mutation is reported to it at the mutation point.
+    pub fn set_persistence(&mut self, persist: Box<dyn Persistence + Send>) {
+        self.persist = Some(persist);
+    }
+
+    /// The full durable state (what a snapshot captures).
+    #[must_use]
+    pub fn durable(&self) -> &DurableState {
+        &self.durable
+    }
+
+    /// Durability barrier: forward to [`Persistence::sync`]. Harnesses
+    /// call this after draining an action batch, *before* flushing the
+    /// transport — under a group-commit fsync policy this is the point
+    /// where buffered records hit disk ahead of their acks.
+    pub fn sync_persistence(&mut self) {
+        if let Some(p) = self.persist.as_mut() {
+            p.sync();
+        }
+    }
+
+    /// Snapshot the durable state if the hook asks for one
+    /// ([`Persistence::wants_checkpoint`]); harnesses poll this between
+    /// batches.
+    pub fn maybe_checkpoint(&mut self) {
+        if let Some(p) = self.persist.as_mut() {
+            if p.wants_checkpoint() {
+                p.checkpoint(&self.durable);
+            }
+        }
     }
 
     fn emit(&self, event: ProtocolEvent) {
@@ -295,6 +359,9 @@ impl SiteActor {
     fn fresh_txn(&mut self) -> TxnId {
         // Force-written: id reuse after a crash would be unsound.
         self.durable.next_seq += 1;
+        if let Some(p) = self.persist.as_mut() {
+            p.seq_advanced(self.durable.next_seq);
+        }
         TxnId {
             coordinator: self.id,
             seq: self.durable.next_seq,
@@ -473,6 +540,9 @@ impl SiteActor {
         self.volatile.prepared = Some((txn, from));
         self.volatile.prepared_rounds = 0;
         self.durable.prepared = Some((txn, from));
+        if let Some(p) = self.persist.as_mut() {
+            p.prepared(txn, from);
+        }
         self.emit(ProtocolEvent::PrepareForced {
             txn,
             coordinator: from,
@@ -508,6 +578,9 @@ impl SiteActor {
         }
         if self.durable.prepared.is_some_and(|(t, _)| t == txn) {
             self.durable.prepared = None;
+            if let Some(p) = self.persist.as_mut() {
+                p.prepare_cleared(txn);
+            }
         }
         if self.volatile.lock == Some(txn) {
             self.volatile.lock = None;
@@ -520,6 +593,9 @@ impl SiteActor {
         }
         if self.durable.prepared.is_some_and(|(t, _)| t == txn) {
             self.durable.prepared = None;
+            if let Some(p) = self.persist.as_mut() {
+                p.prepare_cleared(txn);
+            }
         }
         if self.volatile.lock == Some(txn) {
             self.volatile.lock = None;
@@ -535,11 +611,17 @@ impl SiteActor {
         entries: &[LogEntry],
         participants: SiteSet,
     ) {
+        let first_new = self.durable.log.len();
         let mut newest = self.durable.log.last().map_or(0, |e| e.version);
         for entry in entries {
             if entry.version == newest + 1 {
                 self.durable.log.push(*entry);
                 newest = entry.version;
+            }
+        }
+        if let Some(p) = self.persist.as_mut() {
+            if self.durable.log.len() > first_new {
+                p.entries_appended(&self.durable.log[first_new..]);
             }
         }
         if meta.version > self.durable.meta.version {
@@ -549,6 +631,9 @@ impl SiteActor {
                 self.id, meta.version
             );
             self.durable.meta = meta;
+            if let Some(p) = self.persist.as_mut() {
+                p.meta_updated(meta);
+            }
             // Emitted only when the copy actually advances, so a
             // duplicated or termination-protocol-delivered commit never
             // double-counts.
@@ -556,6 +641,9 @@ impl SiteActor {
                 txn,
                 version: meta.version,
             });
+        }
+        if let Some(p) = self.persist.as_mut() {
+            p.committed(txn, meta, participants);
         }
         self.durable
             .commits
@@ -840,11 +928,17 @@ impl SiteActor {
         }
         // Absorb the missing updates (metadata still advances only at
         // commit).
+        let first_new = self.durable.log.len();
         let mut newest = self.durable.log.last().map_or(0, |e| e.version);
         for entry in &entries {
             if entry.version == newest + 1 {
                 self.durable.log.push(*entry);
                 newest = entry.version;
+            }
+        }
+        if let Some(p) = self.persist.as_mut() {
+            if self.durable.log.len() > first_new {
+                p.entries_appended(&self.durable.log[first_new..]);
             }
         }
         if group {
@@ -1014,6 +1108,12 @@ impl SiteActor {
         self.durable
             .commits
             .insert(txn, CommitRecord { meta, participants });
+        if let Some(p) = self.persist.as_mut() {
+            let last = self.durable.log.len() - 1;
+            p.entries_appended(&self.durable.log[last..]);
+            p.meta_updated(meta);
+            p.committed(txn, meta, participants);
+        }
         self.volatile.lock = None;
 
         self.emit(ProtocolEvent::CommitForced {

@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//!
+//! Hand-rolled because the container builds offline: no `crc32fast`.
+//! The table is computed at compile time; the per-byte loop is the
+//! classic Sarwate algorithm — ~1 GB/s, far faster than the disk the
+//! WAL syncs to, so a slice-by-8 variant would buy nothing here.
+
+/// Reflected IEEE polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 checksum of `data` (IEEE, as produced by zlib's `crc32`).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // The standard CRC-32/ISO-HDLC check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_and_sensitivity() {
+        assert_eq!(crc32(b""), 0);
+        let a = crc32(b"dynamic voting");
+        let b = crc32(b"dynamic voting\0");
+        let c = crc32(b"dynamic votinh");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

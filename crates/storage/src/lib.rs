@@ -1,0 +1,31 @@
+//! # dynvote-storage — durable on-disk state for dynamic-voting sites
+//!
+//! The paper's Section V restart protocol assumes each site can replay
+//! its durable `(VN, SC, DS)` triple, commit log, commit records, and
+//! prepare record after a crash. This crate makes that assumption a
+//! mechanism: a hand-rolled, CRC-checksummed write-ahead log plus
+//! periodic snapshots, rotation/compaction, and recovery that obeys the
+//! torn-tail rule.
+//!
+//! * [`SiteStore`] — one site's store; implements the kernel's
+//!   [`Persistence`](dynvote_protocol::Persistence) hook, so installing
+//!   it via `SiteActor::set_persistence` gives the actor real
+//!   force-writes: the prepare record is on disk before the vote is
+//!   sent, the commit record before `COMMIT` fans out (under
+//!   [`FsyncPolicy::Always`]).
+//! * [`wal`] — record/snapshot byte formats, built on the protocol
+//!   crate's codec primitives.
+//! * [`crc32`] — table-driven CRC-32 (IEEE), no external crates.
+//!
+//! Std-only by design: the container builds offline, and a WAL is an
+//! excellent fit for plain `std::fs`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod crc32;
+mod store;
+pub mod wal;
+
+pub use store::{FsyncPolicy, RecoveryReport, SiteStore, StorageError, StoreConfig, TornTail};
+pub use wal::TornReason;
