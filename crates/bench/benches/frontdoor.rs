@@ -1,0 +1,128 @@
+//! Bench: HTTP front-door throughput under open-loop load.
+//!
+//! The closed-loop e2e bench (`e2e_cluster`) measures the binary wire
+//! path with self-pacing workers. This bench measures the other front:
+//! paced arrivals against the HTTP/1.1 front door, each op on its own
+//! connection through the per-node epoll reactor — connect, parse,
+//! admission, node round-trip, response, close. Two workloads:
+//!
+//! * `sustained` — an arrival rate the cluster absorbs; the number to
+//!   watch is committed throughput and the intended-arrival p99;
+//! * `overload` — every arrival aimed at one node with admission
+//!   capped at 1 inflight op: exercises the 429 reject fast path
+//!   (which must stay fast, or overload turns into collapse).
+//!
+//! Every run ends with a ledger audit so a throughput number from an
+//! inconsistent cluster cannot become a baseline. Results land in
+//! `BENCH_frontdoor.json`. Set `DYNVOTE_BENCH_QUICK=1` for a short CI
+//! smoke run with the same schema.
+
+use dynvote_cluster::{
+    Cluster, ClusterConfig, FrontDoorConfig, OpenLoop, OpenLoopConfig, TransportKind,
+};
+use dynvote_core::{AlgorithmKind, SiteId};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const SITES: usize = 5;
+
+fn duration() -> Duration {
+    if std::env::var_os("DYNVOTE_BENCH_QUICK").is_some() {
+        Duration::from_millis(800)
+    } else {
+        Duration::from_secs(5)
+    }
+}
+
+fn run(workload: &str, max_inflight: u64, target_sites: usize, config: OpenLoopConfig) -> String {
+    let cluster_config = ClusterConfig::new(SITES, AlgorithmKind::Hybrid)
+        .with_transport(TransportKind::Tcp)
+        .with_http(FrontDoorConfig {
+            http_port_base: None,
+            max_inflight,
+            max_conns: 8192,
+        });
+    let cluster = Cluster::boot(&cluster_config).expect("cluster boots");
+    let targets: Vec<SocketAddr> = (0..target_sites)
+        .map(|i| cluster.http_addr(SiteId(i as u8)).expect("http addr"))
+        .collect();
+    let mut report = OpenLoop::run(&config, &targets).expect("open-loop run");
+    report.algorithm = "hybrid".into();
+    report.sites = SITES;
+    assert!(
+        cluster.await_quiescence(Duration::from_secs(10)),
+        "{workload}: cluster failed to quiesce"
+    );
+    let audit = cluster.audit().expect("audit succeeds");
+    assert!(
+        audit.consistent,
+        "{workload}: cluster metadata inconsistent after load"
+    );
+    cluster.shutdown();
+    println!(
+        "{:<10} {:>8} offered  {:>8} committed  {:>6} x429  {:>10.0} commits/sec  p99 {:>7.3} ms",
+        workload,
+        report.offered,
+        report.committed,
+        report.rejected_429,
+        report.throughput_per_sec,
+        report.update_latency.p99_ms
+    );
+    format!(
+        "{{\n  \"workload\": \"{workload}\",\n  \"report\": {}\n}}",
+        indent_tail(&report.to_json(), "  ")
+    )
+}
+
+/// Indent every line after the first by `pad` (for nesting a
+/// pretty-printed JSON document inside another).
+fn indent_tail(json: &str, pad: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    for (i, line) in json.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str(pad);
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+fn main() {
+    let runs = [
+        run(
+            "sustained",
+            512,
+            SITES,
+            OpenLoopConfig {
+                rate: 800.0,
+                duration: duration(),
+                connections: 2048,
+                read_fraction: 0.1,
+                seed: 42,
+            },
+        ),
+        run(
+            "overload",
+            1,
+            1,
+            OpenLoopConfig {
+                rate: 3000.0,
+                duration: duration(),
+                connections: 2048,
+                read_fraction: 0.0,
+                seed: 43,
+            },
+        ),
+    ];
+    let mut json = String::from("{\n  \"bench\": \"frontdoor\",\n  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&indent_tail(r, "    "));
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_frontdoor.json";
+    std::fs::write(path, &json).expect("write BENCH_frontdoor.json");
+    println!("baseline written to {path}");
+}

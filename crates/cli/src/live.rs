@@ -11,8 +11,8 @@
 use crate::opts::Opts;
 use dynvote_cluster::wire::{ClientOp, ClientReply};
 use dynvote_cluster::{
-    Cluster, ClusterConfig, EventCountEntry, LoadGen, LoadGenConfig, TcpClient, TransportKind,
-    WorkloadTarget,
+    Cluster, ClusterConfig, EventCountEntry, FrontDoorConfig, LoadGen, LoadGenConfig,
+    NetCounterEntry, NetStats, OpenLoop, OpenLoopConfig, TcpClient, TransportKind, WorkloadTarget,
 };
 use dynvote_core::{AlgorithmKind, ConfigError, SiteId};
 use dynvote_protocol::{DurableState, EventKind};
@@ -44,6 +44,9 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
         "trace",
         "data-dir",
         "fsync",
+        "http-port",
+        "max-inflight",
+        "max-conns",
     ])
     .map_err(|e| format!("{e}; see `dynvote help`"))?;
     let algorithm = parse_algo(opts.get("algo").unwrap_or("hybrid"))?;
@@ -59,6 +62,33 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
         .with_transport(TransportKind::Tcp)
         .with_port_base(port_base)
         .with_trace(trace);
+    // The HTTP front door is opt-in; its tuning knobs without
+    // --http-port are a typed configuration error, not a silent ignore.
+    let http_port: Option<u16> = match opts.get("http-port") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value {raw:?} for --http-port"))?,
+        ),
+    };
+    if http_port.is_none()
+        && (opts.get("max-inflight").is_some() || opts.get("max-conns").is_some())
+    {
+        return Err(ConfigError::Requires {
+            field: "--max-inflight / --max-conns",
+            requires: "--http-port",
+        }
+        .to_string());
+    }
+    if let Some(port) = http_port {
+        config = config.with_http(FrontDoorConfig {
+            http_port_base: Some(port),
+            max_inflight: opts
+                .get_or("max-inflight", 512)
+                .map_err(|e| e.to_string())?,
+            max_conns: opts.get_or("max-conns", 8192).map_err(|e| e.to_string())?,
+        });
+    }
     // Durability is opt-in; without --data-dir the cluster runs in
     // explicit amnesia mode, and asking for an fsync discipline there
     // is a typed configuration error, not a silent ignore.
@@ -83,7 +113,10 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
     for i in 0..n {
         let site = SiteId(i as u8);
         let addr = cluster.addr(site).expect("tcp cluster has addresses");
-        println!("site {site} listening on {addr}");
+        match cluster.http_addr(site) {
+            Some(http) => println!("site {site} listening on {addr} (http {http})"),
+            None => println!("site {site} listening on {addr}"),
+        }
     }
     let mode = if durable { "durable" } else { "amnesia" };
     println!("cluster ready: n={n} algo={algorithm} transport=tcp durability={mode}");
@@ -196,25 +229,35 @@ pub fn loadgen_cmd(opts: &Opts) -> Result<(), String> {
         "crash",
         "crash-after",
         "restart-after",
+        "open-loop",
+        "rate",
+        "connections",
+        "http-port",
     ])
     .map_err(|e| format!("{e}; see `dynvote help`"))?;
     let n: usize = opts.get_or("n", 5).map_err(|e| e.to_string())?;
     let host = opts.get("host").unwrap_or("127.0.0.1");
     let port_base: u16 = opts.get_or("port-base", 7700).map_err(|e| e.to_string())?;
-    let config = LoadGenConfig {
-        concurrency: opts.get_or("concurrency", 4).map_err(|e| e.to_string())?,
-        duration: secs(
-            opts.get_or("duration", 5.0).map_err(|e| e.to_string())?,
-            "duration",
-        )?,
-        read_fraction: opts
-            .get_or("read-fraction", 0.1)
-            .map_err(|e| e.to_string())?,
-        seed: opts.get_or("seed", 7).map_err(|e| e.to_string())?,
-    };
-    // Typed validation before any socket is touched (satellite: absurd
-    // concurrency / read mixes are rejected, never panicked on).
-    config.validate().map_err(|e| e.to_string())?;
+    let open_loop: bool = opts.get_or("open-loop", false).map_err(|e| e.to_string())?;
+    if !open_loop {
+        for flag in ["rate", "connections", "http-port"] {
+            if opts.get(flag).is_some() {
+                return Err(ConfigError::Requires {
+                    field: "--rate / --connections / --http-port",
+                    requires: "--open-loop true",
+                }
+                .to_string());
+            }
+        }
+    }
+    let duration = secs(
+        opts.get_or("duration", 5.0).map_err(|e| e.to_string())?,
+        "duration",
+    )?;
+    let read_fraction: f64 = opts
+        .get_or("read-fraction", 0.1)
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = opts.get_or("seed", 7).map_err(|e| e.to_string())?;
     let min_commits: u64 = opts.get_or("min-commits", 0).map_err(|e| e.to_string())?;
     let crash_site: Option<usize> =
         match opts.get("crash") {
@@ -278,6 +321,65 @@ pub fn loadgen_cmd(opts: &Opts) -> Result<(), String> {
         })
     });
 
+    // ---- open-loop branch: paced arrivals against the HTTP front door
+    if open_loop {
+        let config = OpenLoopConfig {
+            rate: opts.get_or("rate", 500.0).map_err(|e| e.to_string())?,
+            duration,
+            connections: opts
+                .get_or("connections", 1024)
+                .map_err(|e| e.to_string())?,
+            read_fraction,
+            seed,
+        };
+        config.validate().map_err(|e| e.to_string())?;
+        let http_base: u16 = opts.get_or("http-port", 7800).map_err(|e| e.to_string())?;
+        let targets: Vec<SocketAddr> = (0..n)
+            .map(|i| {
+                format!("{host}:{}", http_base + i as u16)
+                    .parse()
+                    .map_err(|_| format!("invalid address {host}:{}", http_base + i as u16))
+            })
+            .collect::<Result<_, String>>()?;
+        let run = OpenLoop::run(&config, &targets);
+        let mut report = run.map_err(|e| e.to_string())?;
+        if let Some(handle) = chaos {
+            handle
+                .join()
+                .map_err(|_| "chaos thread panicked".to_string())??;
+        }
+        thread::sleep(Duration::from_millis(200));
+        let (audited_commits, consistent) = audit_over_wire(&addrs)?;
+        report.algorithm = opts.get("algo").unwrap_or("unlabeled").into();
+        report.sites = n;
+        println!("{}", report.to_json());
+        eprintln!(
+            "audited: coordinator commits = {audited_commits}, consistent = {consistent} \
+             (client observed {} commits, peak {} open connections)",
+            report.committed, report.peak_open
+        );
+        if !consistent {
+            return Err("serializability violation: a node's log diverged from the chain".into());
+        }
+        if report.committed < min_commits {
+            return Err(format!(
+                "only {} updates committed; --min-commits {min_commits} not met",
+                report.committed
+            ));
+        }
+        return Ok(());
+    }
+
+    // ---- closed-loop branch: self-pacing workers on the binary port
+    let config = LoadGenConfig {
+        concurrency: opts.get_or("concurrency", 4).map_err(|e| e.to_string())?,
+        duration,
+        read_fraction,
+        seed,
+    };
+    // Typed validation before any socket is touched (satellite: absurd
+    // concurrency / read mixes are rejected, never panicked on).
+    config.validate().map_err(|e| e.to_string())?;
     let run = LoadGen::run(&config, |w| {
         let addr = addrs[w % addrs.len()];
         let client = TcpClient::connect(addr)
@@ -332,6 +434,26 @@ pub fn loadgen_cmd(opts: &Opts) -> Result<(), String> {
             }
             other => return Err(format!("unexpected events reply {other:?}")),
         }
+        // And the reactor's transport/front-door counters: dial
+        // failures, backpressure drops, decode errors — the failure
+        // modes `take_error` used to swallow (zero counts omitted).
+        match client
+            .request(&ClientOp::NetStats)
+            .map_err(|e| format!("net-stats request {addr}: {e}"))?
+        {
+            ClientReply::NetStats { counts } => {
+                for (name, &count) in NetStats::NAMES.iter().zip(&counts) {
+                    if count > 0 {
+                        report.net.push(NetCounterEntry {
+                            site,
+                            counter: (*name).to_owned(),
+                            count,
+                        });
+                    }
+                }
+            }
+            other => return Err(format!("unexpected net-stats reply {other:?}")),
+        }
     }
 
     // The protocol is opaque to a wire client, so the report's algorithm
@@ -356,4 +478,30 @@ pub fn loadgen_cmd(opts: &Opts) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Audit every node over the binary wire: summed coordinator commits
+/// and the conjunction of per-node consistency verdicts.
+fn audit_over_wire(addrs: &[SocketAddr]) -> Result<(u64, bool), String> {
+    let mut audited_commits = 0u64;
+    let mut consistent = true;
+    for addr in addrs {
+        let mut client =
+            TcpClient::connect(*addr).map_err(|e| format!("audit connect {addr}: {e}"))?;
+        match client
+            .request(&ClientOp::Audit)
+            .map_err(|e| format!("audit request {addr}: {e}"))?
+        {
+            ClientReply::Audit {
+                commits,
+                consistent: ok,
+                ..
+            } => {
+                audited_commits += commits;
+                consistent &= ok;
+            }
+            other => return Err(format!("unexpected audit reply {other:?}")),
+        }
+    }
+    Ok((audited_commits, consistent))
 }

@@ -127,11 +127,24 @@ USAGE:
 
     dynvote serve [--n k] [--algo <name>] [--port-base p] [--duration secs]
                   [--trace true] [--data-dir path] [--fsync policy]
+                  [--http-port p] [--max-inflight k] [--max-conns k]
         Boot a live n-node cluster on loopback TCP, node i listening on
         127.0.0.1:(port-base + i). With --duration 0 (default) it runs
         until killed; otherwise it audits consistency at the deadline
         and exits non-zero on a violation. --trace true renders every
         protocol event to stderr as it happens.
+
+        Each node runs one epoll reactor thread that multiplexes its
+        peer links and clients. --http-port additionally opens an
+        HTTP/1.1 front door on 127.0.0.1:(http-port + i):
+            POST /v1/op    submit {\"op\":\"update\"} or {\"op\":\"read\"}
+            GET  /metrics  Prometheus-style text: protocol events, net
+                           counters, op-latency histogram
+            GET  /status   JSON: algorithm, VN/SC/DS, partition view,
+                           log length, commits, WAL epoch
+        --max-inflight caps ops admitted concurrently per node (excess
+        is refused with 429 + Retry-After); --max-conns caps open
+        connections per node (excess accepts are refused).
 
         Without --data-dir the cluster is explicitly amnesiac: durable
         state lives in process memory only. With --data-dir, site i
@@ -155,14 +168,26 @@ USAGE:
                     [--duration secs] [--read-fraction f] [--seed s]
                     [--crash <site>] [--crash-after secs] [--restart-after secs]
                     [--min-commits k] [--algo <label>]
+                    [--open-loop true] [--rate r] [--connections c]
+                    [--http-port p]
         Closed-loop workload against a served cluster: c workers issue
         updates/reads round-robin over the nodes, optionally crashing
         and restarting one site mid-run. Prints a JSON report with
-        throughput, p50/p95/p99 commit latency and per-site protocol
-        event tallies, audits every node, and exits non-zero on a
-        serializability violation or if fewer than --min-commits
-        updates committed. --algo only labels the report (the wire
-        protocol is algorithm-agnostic).
+        throughput, p50/p95/p99 commit latency, per-site protocol
+        event tallies, and per-site net counters (dial failures,
+        backpressure drops, decode errors), audits every node, and
+        exits non-zero on a serializability violation or if fewer than
+        --min-commits updates committed. --algo only labels the report
+        (the wire protocol is algorithm-agnostic).
+
+        --open-loop true switches to paced arrivals against the HTTP
+        front door (serve must be running with --http-port): --rate
+        arrivals per second, each on its own connection, at most
+        --connections open at once (excess arrivals are shed and
+        counted). Latency is measured from the intended arrival
+        instant, so queueing shows up as latency instead of silently
+        reducing offered load. 429s, shed arrivals, and connect errors
+        are reported separately.
 ";
 
 fn main() -> ExitCode {

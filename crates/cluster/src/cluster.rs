@@ -1,19 +1,22 @@
-//! Booting and steering a whole cluster: N node threads, a transport
-//! mesh, clients, and fault injection.
+//! Booting and steering a whole cluster: N node threads, N reactor
+//! threads, a transport mesh, clients, and fault injection.
 
+use crate::frontdoor::{FrontDoor, FrontDoorConfig};
 use crate::node::{
     AuditOutcome, ClusterLedger, Node, NodeConfig, NodeDurability, NodeEvent, ReplySink,
 };
-use crate::transport::{ChannelTransport, TcpTransport, Transport, TransportError};
-use crate::wire::{self, ClientOp, ClientReply, HELLO_CLIENT, HELLO_PEER};
+use crate::reactor::{Reactor, ReactorConfig, ReactorShared, ReactorTransport, TOKEN_WAKER};
+use crate::transport::{ChannelTransport, NetStats, Transport};
+use crate::wire::{self, ClientOp, ClientReply, HELLO_CLIENT};
 use dynvote_core::{AlgorithmKind, ConfigError, SiteId, SiteSet, MAX_SITES};
+use dynvote_net::{Poller, Waker};
 use dynvote_protocol::{CountingSink, EventTallies};
 use dynvote_storage::{FsyncPolicy, StorageError, StoreConfig};
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -110,6 +113,9 @@ pub struct ClusterConfig {
     pub durability: DurabilityMode,
     /// Per-node wall-clock deadlines.
     pub node: NodeConfig,
+    /// TCP only: expose the HTTP front door (one listener per node; see
+    /// [`crate::frontdoor`]). `None` keeps the cluster binary-only.
+    pub http: Option<FrontDoorConfig>,
 }
 
 impl ClusterConfig {
@@ -124,6 +130,7 @@ impl ClusterConfig {
             trace: false,
             durability: DurabilityMode::default(),
             node: NodeConfig::default(),
+            http: None,
         }
     }
 
@@ -159,6 +166,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Expose the HTTP front door on every node (TCP transport only).
+    #[must_use]
+    pub fn with_http(mut self, http: FrontDoorConfig) -> Self {
+        self.http = Some(http);
+        self
+    }
+
     /// Reject impossible parameters through the same typed error path
     /// the simulator uses — booting never panics on bad input.
     pub fn validate(&self) -> Result<(), ConfigError> {
@@ -187,6 +201,30 @@ impl ClusterConfig {
                 initial: self.node.backoff.initial,
                 max: self.node.backoff.max,
             });
+        }
+        if let Some(http) = &self.http {
+            if self.transport != TransportKind::Tcp {
+                return Err(ConfigError::Requires {
+                    field: "http",
+                    requires: "tcp transport",
+                });
+            }
+            if http.max_inflight == 0 {
+                return Err(ConfigError::OutOfRange {
+                    field: "max_inflight",
+                    value: 0,
+                    lo: 1,
+                    hi: 1_000_000,
+                });
+            }
+            if http.max_conns == 0 {
+                return Err(ConfigError::OutOfRange {
+                    field: "max_conns",
+                    value: 0,
+                    lo: 1,
+                    hi: 1_000_000,
+                });
+            }
         }
         Ok(())
     }
@@ -311,23 +349,28 @@ impl TcpClient {
     }
 }
 
-/// A running cluster: `n` node threads plus their transport mesh.
+/// A running cluster: `n` node threads (plus, under TCP, `n` reactor
+/// threads) and their transport mesh.
 pub struct Cluster {
     n: usize,
     senders: Vec<Sender<NodeEvent>>,
     handles: Vec<JoinHandle<()>>,
+    reactors: Vec<(Arc<ReactorShared>, JoinHandle<()>)>,
     ledger: Arc<ClusterLedger>,
     events: Arc<CountingSink>,
     addrs: Vec<SocketAddr>,
+    http_addrs: Vec<SocketAddr>,
 }
 
 impl Cluster {
     /// Boot all nodes. With [`TransportKind::Tcp`] each node also gets
-    /// a loopback listener (ephemeral port) and an acceptor thread.
-    /// With [`DurabilityMode::Durable`], each node first recovers its
-    /// state from `data_dir/site-<i>` — an empty directory boots the
-    /// initial state, a populated one resumes where the last process
-    /// left off.
+    /// a loopback listener (ephemeral port unless `port_base` is set)
+    /// and a reactor thread multiplexing all of its connections — and,
+    /// with [`ClusterConfig::http`], an HTTP front-door listener on the
+    /// same reactor. With [`DurabilityMode::Durable`], each node first
+    /// recovers its state from `data_dir/site-<i>` — an empty directory
+    /// boots the initial state, a populated one resumes where the last
+    /// process left off.
     pub fn boot(config: &ClusterConfig) -> Result<Self, BootError> {
         config.validate()?;
         let n = config.n;
@@ -342,27 +385,48 @@ impl Cluster {
         }
 
         let mut addrs = Vec::new();
-        let mut listeners = Vec::new();
+        let mut http_addrs = Vec::new();
+        let mut listeners: Vec<Option<TcpListener>> = Vec::new();
+        let mut http_listeners: Vec<Option<TcpListener>> = (0..n).map(|_| None).collect();
         if config.transport == TransportKind::Tcp {
             for i in 0..n {
                 let port = config.port_base.map_or(0, |base| base + i as u16);
                 let listener = TcpListener::bind(("127.0.0.1", port))
                     .unwrap_or_else(|e| panic!("bind 127.0.0.1:{port}: {e}"));
                 addrs.push(listener.local_addr().expect("listener address"));
-                listeners.push(listener);
+                listeners.push(Some(listener));
+            }
+            if let Some(http) = &config.http {
+                for (i, slot) in http_listeners.iter_mut().enumerate() {
+                    let port = http.http_port_base.map_or(0, |base| base + i as u16);
+                    let listener = TcpListener::bind(("127.0.0.1", port))
+                        .unwrap_or_else(|e| panic!("bind http 127.0.0.1:{port}: {e}"));
+                    http_addrs.push(listener.local_addr().expect("http listener address"));
+                    *slot = Some(listener);
+                }
             }
         }
 
         let mut handles = Vec::with_capacity(n);
+        let mut reactors = Vec::new();
         for (i, rx) in receivers.into_iter().enumerate() {
             let id = SiteId(i as u8);
+            // Under TCP the poller/waker pair is created here, before
+            // the reactor thread exists, so the node's transport can
+            // ring the waker from its first flush.
+            let mut reactor_parts = None;
             let transport: Box<dyn Transport> = match config.transport {
                 TransportKind::Channel => Box::new(ChannelTransport::new(id, senders.clone())),
-                TransportKind::Tcp => Box::new(TcpTransport::new(id, addrs.clone())),
+                TransportKind::Tcp => {
+                    let poller = Poller::new().expect("create epoll instance");
+                    let waker = Waker::new(&poller, TOKEN_WAKER).expect("create reactor waker");
+                    let stats = Arc::new(NetStats::new());
+                    let shared = Arc::new(ReactorShared::new(n, waker.clone(), Arc::clone(&stats)));
+                    let transport = ReactorTransport::new(Arc::clone(&shared), n);
+                    reactor_parts = Some((poller, waker, shared, stats));
+                    Box::new(transport)
+                }
             };
-            if config.transport == TransportKind::Tcp {
-                spawn_acceptor(listeners.remove(0), senders[i].clone());
-            }
             let mut node = Node::new(
                 id,
                 n,
@@ -387,6 +451,39 @@ impl Cluster {
                 ledger.prime(node.recovered_log());
             }
             node.set_event_sink(Arc::clone(&events), config.trace);
+            if let Some((poller, waker, shared, stats)) = reactor_parts {
+                node.set_net_stats(Arc::clone(&stats));
+                let front = config.http.as_ref().map(|http| {
+                    Arc::new(FrontDoor::new(
+                        id,
+                        config.algorithm.to_string(),
+                        http.max_inflight,
+                        Arc::clone(&events),
+                        Arc::clone(&stats),
+                    ))
+                });
+                let reactor = Reactor::new(
+                    poller,
+                    waker,
+                    Arc::clone(&shared),
+                    ReactorConfig {
+                        site: id,
+                        peer_addrs: addrs.clone(),
+                        listener: listeners[i].take().expect("listener bound above"),
+                        http_listener: http_listeners[i].take(),
+                        inbox: senders[i].clone(),
+                        backoff: config.node.backoff,
+                        front,
+                        max_conns: config.http.as_ref().map_or(8192, |http| http.max_conns),
+                    },
+                )
+                .expect("register reactor listeners");
+                let handle = thread::Builder::new()
+                    .name(format!("dynvote-reactor-{i}"))
+                    .spawn(move || reactor.run())
+                    .expect("spawn reactor thread");
+                reactors.push((shared, handle));
+            }
             let handle = thread::Builder::new()
                 .name(format!("dynvote-node-{i}"))
                 .spawn(move || node.run())
@@ -398,9 +495,11 @@ impl Cluster {
             n,
             senders,
             handles,
+            reactors,
             ledger,
             events,
             addrs,
+            http_addrs,
         })
     }
 
@@ -414,6 +513,13 @@ impl Cluster {
     #[must_use]
     pub fn addr(&self, site: SiteId) -> Option<SocketAddr> {
         self.addrs.get(site.index()).copied()
+    }
+
+    /// A node's HTTP front-door address (TCP transport with
+    /// [`ClusterConfig::http`] only).
+    #[must_use]
+    pub fn http_addr(&self, site: SiteId) -> Option<SocketAddr> {
+        self.http_addrs.get(site.index()).copied()
     }
 
     /// An in-process client bound to `site`.
@@ -538,8 +644,10 @@ impl Cluster {
         })
     }
 
-    /// Stop every node thread and join them. TCP acceptor threads are
-    /// parked in `accept()` and intentionally left to the process exit.
+    /// Stop every thread the cluster spawned and join them all: nodes
+    /// first (so their final transport flush lands in the reactor
+    /// queues), then the reactors (signaled through the shutdown flag
+    /// and the waker — no thread is ever parked in a blocking accept).
     pub fn shutdown(self) {
         for tx in &self.senders {
             let _ = tx.send(NodeEvent::Shutdown);
@@ -547,78 +655,11 @@ impl Cluster {
         for handle in self.handles {
             let _ = handle.join();
         }
-    }
-}
-
-fn spawn_acceptor(listener: TcpListener, inbox: Sender<NodeEvent>) {
-    thread::Builder::new()
-        .name("dynvote-acceptor".into())
-        .spawn(move || {
-            for conn in listener.incoming() {
-                let Ok(stream) = conn else { continue };
-                let inbox = inbox.clone();
-                thread::Builder::new()
-                    .name("dynvote-conn".into())
-                    .spawn(move || serve_connection(stream, inbox))
-                    .ok();
-            }
-        })
-        .expect("spawn acceptor thread");
-}
-
-/// One inbound TCP connection: read the hello byte, then pump frames
-/// into the node's inbox until the peer hangs up or the node stops.
-///
-/// Link loss and node shutdown are legal endings and stay quiet;
-/// *protocol* corruption (a frame that fails to decode, an unknown
-/// preamble) is surfaced as a typed [`TransportError`] diagnostic
-/// instead of being swallowed.
-fn serve_connection(mut stream: TcpStream, inbox: Sender<NodeEvent>) {
-    if let Err(e) = pump_connection(&mut stream, inbox) {
-        match e {
-            TransportError::Decode(_) | TransportError::BadPreamble(_) => {
-                eprintln!("dynvote-conn: dropping connection: {e}");
-            }
-            // Hello/Read failures are the peer hanging up (legal
-            // message loss); NodeGone is shutdown.
-            _ => {}
+        for (shared, _) in &self.reactors {
+            shared.request_shutdown();
         }
-    }
-}
-
-fn pump_connection(stream: &mut TcpStream, inbox: Sender<NodeEvent>) -> Result<(), TransportError> {
-    let _ = stream.set_nodelay(true);
-    let mut hello = [0u8; 1];
-    stream
-        .read_exact(&mut hello)
-        .map_err(TransportError::Hello)?;
-    match hello[0] {
-        HELLO_PEER => {
-            let mut id = [0u8; 1];
-            stream.read_exact(&mut id).map_err(TransportError::Hello)?;
-            let from = SiteId(id[0]);
-            loop {
-                let body = wire::read_frame(stream).map_err(TransportError::Read)?;
-                let msg = wire::decode_message(&body).map_err(TransportError::Decode)?;
-                inbox
-                    .send(NodeEvent::Peer { from, msg })
-                    .map_err(|_| TransportError::NodeGone)?;
-            }
+        for (_, handle) in self.reactors {
+            let _ = handle.join();
         }
-        HELLO_CLIENT => {
-            let write_half = stream.try_clone().map_err(TransportError::Read)?;
-            let write_half = Arc::new(Mutex::new(write_half));
-            loop {
-                let body = wire::read_frame(stream).map_err(TransportError::Read)?;
-                let (id, op) = wire::decode_request(&body).map_err(TransportError::Decode)?;
-                let event = NodeEvent::Client {
-                    id,
-                    op,
-                    reply: ReplySink::Tcp(Arc::clone(&write_half)),
-                };
-                inbox.send(event).map_err(|_| TransportError::NodeGone)?;
-            }
-        }
-        tag => Err(TransportError::BadPreamble(tag)),
     }
 }

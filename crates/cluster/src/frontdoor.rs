@@ -1,0 +1,346 @@
+//! The HTTP/1.1 client front door: admission control, op routing, and
+//! the `/metrics` + `/status` observability endpoints.
+//!
+//! The reactor ([`crate::reactor`]) owns the sockets and the HTTP
+//! parsing; this module owns the *policy*: how many ops may be in
+//! flight at once (admission → `429 Too Many Requests` with
+//! `Retry-After`), how a [`ClientReply`] maps onto an HTTP status and
+//! JSON body, and how the node's counters render as a Prometheus-style
+//! text exposition.
+//!
+//! Endpoints:
+//!
+//! | Route          | Semantics                                         |
+//! |----------------|---------------------------------------------------|
+//! | `POST /v1/op`  | Submit `{"op":"update"}` or `{"op":"read"}`       |
+//! | `GET /metrics` | Text exposition: events, net counters, latency    |
+//! | `GET /status`  | JSON snapshot: algorithm, partition view, VN/SC/DS|
+//!
+//! One op may be outstanding per connection (HTTP/1.1 pipelining of
+//! *ops* would reorder replies); the reactor pauses reading the
+//! connection while an op is in flight. `/metrics` is answered inline
+//! by the reactor thread without a trip through the node.
+
+use crate::loadgen::Histogram;
+use crate::reactor::ConnTx;
+use crate::transport::NetStats;
+use crate::wire::{ClientOp, ClientReply};
+use dynvote_core::SiteId;
+use dynvote_net::http;
+use dynvote_protocol::{CountingSink, EventKind};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Front-door settings carried by
+/// [`crate::ClusterConfig`](crate::ClusterConfig); present iff the
+/// cluster exposes HTTP listeners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontDoorConfig {
+    /// First HTTP port: node `i` listens on `port_base + i`. `None`
+    /// picks ephemeral ports (see `Cluster::http_addr`).
+    pub http_port_base: Option<u16>,
+    /// Ops admitted concurrently per node before `429`.
+    pub max_inflight: u64,
+    /// Open connections per node (all kinds) before accepts are
+    /// refused.
+    pub max_conns: usize,
+}
+
+impl Default for FrontDoorConfig {
+    fn default() -> Self {
+        FrontDoorConfig {
+            http_port_base: None,
+            max_inflight: 512,
+            max_conns: 8192,
+        }
+    }
+}
+
+/// Per-node front-door state: the admission budget, the latency
+/// histogram, and handles onto every counter `/metrics` exposes.
+pub(crate) struct FrontDoor {
+    site: SiteId,
+    algorithm: String,
+    max_inflight: u64,
+    inflight: AtomicU64,
+    latency: Mutex<Histogram>,
+    events: Arc<CountingSink>,
+    stats: Arc<NetStats>,
+}
+
+impl FrontDoor {
+    pub(crate) fn new(
+        site: SiteId,
+        algorithm: String,
+        max_inflight: u64,
+        events: Arc<CountingSink>,
+        stats: Arc<NetStats>,
+    ) -> Self {
+        FrontDoor {
+            site,
+            algorithm,
+            max_inflight,
+            inflight: AtomicU64::new(0),
+            latency: Mutex::new(Histogram::new()),
+            events,
+            stats,
+        }
+    }
+
+    /// Try to charge one slot of the inflight budget.
+    pub(crate) fn try_admit(&self) -> bool {
+        // fetch_add-then-check: transient overshoot by concurrent
+        // admitters is bounded by the reactor being the only caller.
+        if self.inflight.fetch_add(1, Ordering::AcqRel) < self.max_inflight {
+            true
+        } else {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            false
+        }
+    }
+
+    /// Return one slot of the inflight budget.
+    pub(crate) fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn record_latency_ns(&self, ns: u64) {
+        self.latency.lock().expect("latency poisoned").record(ns);
+    }
+
+    /// Render the Prometheus-style text exposition for `GET /metrics`:
+    /// protocol-event tallies, net-stack counters, the inflight gauge,
+    /// and the front-door op latency histogram.
+    pub(crate) fn render_metrics(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let site = self.site.index();
+        out.push_str("# TYPE dynvote_info gauge\n");
+        out.push_str(&format!(
+            "dynvote_info{{site=\"{site}\",algorithm=\"{}\"}} 1\n",
+            self.algorithm
+        ));
+        out.push_str("# TYPE dynvote_event_total counter\n");
+        let row = self.events.tallies().row(self.site);
+        for (kind, count) in EventKind::ALL.iter().zip(row.iter()) {
+            out.push_str(&format!(
+                "dynvote_event_total{{site=\"{site}\",kind=\"{}\"}} {count}\n",
+                kind.name()
+            ));
+        }
+        out.push_str("# TYPE dynvote_net_total counter\n");
+        for (name, count) in NetStats::NAMES.iter().zip(self.stats.snapshot()) {
+            out.push_str(&format!(
+                "dynvote_net_total{{site=\"{site}\",counter=\"{name}\"}} {count}\n"
+            ));
+        }
+        out.push_str("# TYPE dynvote_http_inflight gauge\n");
+        out.push_str(&format!(
+            "dynvote_http_inflight{{site=\"{site}\"}} {}\n",
+            self.inflight.load(Ordering::Acquire)
+        ));
+        let hist = self.latency.lock().expect("latency poisoned");
+        out.push_str("# TYPE dynvote_op_latency_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for (i, count) in hist.buckets().iter().enumerate() {
+            if *count == 0 {
+                continue;
+            }
+            cumulative += count;
+            // Bucket i holds latencies in [2^i, 2^{i+1}) ns.
+            let le = 2f64.powi(i as i32 + 1) / 1e9;
+            out.push_str(&format!(
+                "dynvote_op_latency_seconds_bucket{{site=\"{site}\",le=\"{le:.9}\"}} {cumulative}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "dynvote_op_latency_seconds_bucket{{site=\"{site}\",le=\"+Inf\"}} {}\n",
+            hist.total()
+        ));
+        out.push_str(&format!(
+            "dynvote_op_latency_seconds_count{{site=\"{site}\"}} {}\n",
+            hist.total()
+        ));
+        out
+    }
+}
+
+/// Extract the op from a `POST /v1/op` body: `{"op":"update"}`,
+/// `{"op":"read"}`, or the bare words `update` / `read`.
+pub(crate) fn parse_op(body: &[u8]) -> Option<ClientOp> {
+    let text = std::str::from_utf8(body).ok()?;
+    let value = match text.find("\"op\"") {
+        Some(at) => {
+            let rest = text[at + 4..].trim_start().strip_prefix(':')?.trim_start();
+            let rest = rest.strip_prefix('"')?;
+            &rest[..rest.find('"')?]
+        }
+        None => text.trim(),
+    };
+    match value {
+        "update" => Some(ClientOp::Update),
+        "read" => Some(ClientOp::Read),
+        _ => None,
+    }
+}
+
+/// The HTTP reply sink: carried by
+/// [`crate::node::ReplySink::Http`](crate::node::ReplySink), it turns
+/// the node's [`ClientReply`] into a staged HTTP response, releases the
+/// admission slot, and records the op latency.
+#[derive(Clone)]
+pub struct HttpTx {
+    inner: Arc<HttpTxInner>,
+}
+
+struct HttpTxInner {
+    conn: ConnTx,
+    front: Arc<FrontDoor>,
+    started: Instant,
+    keep_alive: bool,
+    /// True iff this op holds an admission slot (`POST /v1/op`;
+    /// `/status` is never charged).
+    charged: bool,
+    delivered: AtomicBool,
+}
+
+impl HttpTx {
+    pub(crate) fn new(
+        conn: ConnTx,
+        front: Arc<FrontDoor>,
+        keep_alive: bool,
+        charged: bool,
+    ) -> Self {
+        HttpTx {
+            inner: Arc::new(HttpTxInner {
+                conn,
+                front,
+                started: Instant::now(),
+                keep_alive,
+                charged,
+                delivered: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Stage the HTTP response for `reply` on the connection. At most
+    /// one response per op, regardless of how many sink clones exist.
+    pub(crate) fn deliver(&self, reply: &ClientReply) {
+        let inner = &*self.inner;
+        if inner.delivered.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let (status, reason, body) = render_reply(reply);
+        let mut bytes = Vec::with_capacity(128 + body.len());
+        http::write_response(
+            &mut bytes,
+            status,
+            reason,
+            "application/json",
+            &[],
+            body.as_bytes(),
+            inner.keep_alive,
+        );
+        inner.conn.send_http(&bytes, !inner.keep_alive);
+        inner.front.stats.bump_http_response();
+        if inner.charged {
+            let ns = u64::try_from(inner.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            inner.front.record_latency_ns(ns);
+            inner.front.release();
+        }
+    }
+}
+
+impl fmt::Debug for HttpTx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HttpTx(site {}, charged {})",
+            self.inner.front.site, self.inner.charged
+        )
+    }
+}
+
+/// Map a node reply onto `(status, reason, JSON body)`.
+fn render_reply(reply: &ClientReply) -> (u16, &'static str, String) {
+    match reply {
+        ClientReply::Committed { version } => (
+            200,
+            "OK",
+            format!("{{\"outcome\":\"committed\",\"version\":{version}}}"),
+        ),
+        ClientReply::ReadServed => (200, "OK", "{\"outcome\":\"read_served\"}".to_owned()),
+        ClientReply::Rejected => (409, "Conflict", "{\"outcome\":\"rejected\"}".to_owned()),
+        ClientReply::Busy => (409, "Conflict", "{\"outcome\":\"busy\"}".to_owned()),
+        ClientReply::TimedOut => (
+            504,
+            "Gateway Timeout",
+            "{\"outcome\":\"timed_out\"}".to_owned(),
+        ),
+        ClientReply::Down => (
+            503,
+            "Service Unavailable",
+            "{\"outcome\":\"down\"}".to_owned(),
+        ),
+        ClientReply::Status {
+            algorithm,
+            meta,
+            reachable,
+            locked,
+            in_doubt,
+            down,
+            log_len,
+            commits,
+            wal_epoch,
+        } => {
+            let wal = wal_epoch.map_or("null".to_owned(), |e| e.to_string());
+            (
+                200,
+                "OK",
+                format!(
+                    "{{\"algorithm\":\"{algorithm}\",\"vn\":{},\"sc\":{},\"ds\":\"{}\",\
+                     \"reachable\":\"{reachable}\",\"locked\":{locked},\"in_doubt\":{in_doubt},\
+                     \"down\":{down},\"log_len\":{log_len},\"commits\":{commits},\
+                     \"wal_epoch\":{wal}}}",
+                    meta.version, meta.cardinality, meta.distinguished
+                ),
+            )
+        }
+        other => (
+            500,
+            "Internal Server Error",
+            format!("{{\"error\":\"unexpected reply {other:?}\"}}"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_op_accepts_json_and_bare_forms() {
+        assert_eq!(parse_op(b"{\"op\":\"update\"}"), Some(ClientOp::Update));
+        assert_eq!(parse_op(b"{ \"op\" : \"read\" }"), Some(ClientOp::Read));
+        assert_eq!(parse_op(b"update"), Some(ClientOp::Update));
+        assert_eq!(parse_op(b"  read\n"), Some(ClientOp::Read));
+        assert_eq!(parse_op(b"{\"op\":\"drop_tables\"}"), None);
+        assert_eq!(parse_op(b"{\"op\":12}"), None);
+        assert_eq!(parse_op(b"\xff\xfe"), None);
+        assert_eq!(parse_op(b""), None);
+    }
+
+    #[test]
+    fn reply_status_mapping() {
+        assert_eq!(render_reply(&ClientReply::Committed { version: 3 }).0, 200);
+        assert_eq!(render_reply(&ClientReply::ReadServed).0, 200);
+        assert_eq!(render_reply(&ClientReply::Rejected).0, 409);
+        assert_eq!(render_reply(&ClientReply::Busy).0, 409);
+        assert_eq!(render_reply(&ClientReply::TimedOut).0, 504);
+        assert_eq!(render_reply(&ClientReply::Down).0, 503);
+        assert_eq!(render_reply(&ClientReply::Ok).0, 500);
+        let body = render_reply(&ClientReply::Committed { version: 3 }).2;
+        assert!(body.contains("\"version\":3"));
+    }
+}

@@ -13,9 +13,12 @@
 //! ```text
 //! dynvote-core      PartitionView / ReplicaControl   (pure decision rules)
 //! dynvote-protocol  SiteActor: Message -> Vec<Action> (pure protocol kernel)
+//! dynvote-net       epoll reactor primitives + incremental frame/HTTP decode
 //! this crate        Node: Action -> transport sends + wall-clock timers
-//!                   Transport: in-process channels, or framed TCP loopback
-//!                   Cluster / LoadGen: boot, fault injection, measurement
+//!                   Transport: in-process channels, or the per-node epoll
+//!                   reactor multiplexing peer links, binary clients, and
+//!                   the HTTP front door (`/v1/op`, `/metrics`, `/status`)
+//!                   Cluster / LoadGen / OpenLoop: boot, faults, measurement
 //! ```
 //!
 //! Because the kernel is shared, a scripted scenario executed on the
@@ -43,8 +46,11 @@
 #![warn(clippy::all)]
 
 mod cluster;
+mod frontdoor;
 mod loadgen;
 mod node;
+mod openloop;
+mod reactor;
 pub mod scenario;
 mod transport;
 pub mod wire;
@@ -53,9 +59,14 @@ pub use cluster::{
     BootError, Cluster, ClusterConfig, DurabilityMode, LocalClient, RequestError, TcpClient,
     TransportKind,
 };
-pub use loadgen::{EventCountEntry, Histogram, LoadGen, LoadGenConfig, LoadReport, WorkloadTarget};
+pub use frontdoor::FrontDoorConfig;
+pub use loadgen::{
+    EventCountEntry, Histogram, LoadGen, LoadGenConfig, LoadReport, NetCounterEntry, WorkloadTarget,
+};
 pub use node::{
     AuditOutcome, ClusterLedger, Node, NodeConfig, NodeDurability, NodeEvent, ReplySink,
 };
-pub use transport::{ChannelTransport, TcpTransport, Transport, TransportError};
+pub use openloop::{OpenLoop, OpenLoopConfig, OpenLoopReport};
+pub use reactor::ReactorTransport;
+pub use transport::{ChannelTransport, NetStats, Transport, TransportError};
 pub use wire::{ClientOp, ClientReply, WireError};

@@ -113,6 +113,19 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The raw bucket counts: bucket `i` holds samples in
+    /// `[2^i, 2^(i+1))` nanoseconds. Used by the `/metrics` exposition.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
     /// Record one sample.
     pub fn record(&mut self, ns: u64) {
         let idx = 63 - (ns | 1).leading_zeros() as usize;
@@ -188,6 +201,20 @@ pub struct EventCountEntry {
     pub count: u64,
 }
 
+/// One per-site network counter in a [`LoadReport`]: the reactor's
+/// [`crate::NetStats`] tallies (dial failures, decode errors,
+/// backpressure drops, …) gathered after the run via
+/// `ClientOp::NetStats`.
+#[derive(Debug, Clone, Serialize)]
+pub struct NetCounterEntry {
+    /// Site index.
+    pub site: usize,
+    /// Counter name (see [`crate::NetStats::NAMES`]).
+    pub counter: String,
+    /// Value observed at that site.
+    pub count: u64,
+}
+
 /// Machine-readable summary of one load-generation run.
 #[derive(Debug, Clone, Serialize)]
 pub struct LoadReport {
@@ -225,6 +252,10 @@ pub struct LoadReport {
     /// `ClientOp::Events` (zero-count entries omitted; empty when the
     /// caller does not collect them).
     pub events: Vec<EventCountEntry>,
+    /// Per-site network counters gathered after the run via
+    /// `ClientOp::NetStats` (zero-count entries omitted; empty under
+    /// the channel transport or when the caller does not collect them).
+    pub net: Vec<NetCounterEntry>,
 }
 
 impl LoadReport {
@@ -308,6 +339,7 @@ impl LoadGen {
             },
             histogram: tally.latency,
             events: Vec::new(),
+            net: Vec::new(),
         })
     }
 }

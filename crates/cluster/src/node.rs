@@ -24,8 +24,10 @@
 //!   outbound messages — transport-agnostic, and equivalent to the
 //!   simulator's link topology once in-flight traffic has drained.
 
-use crate::transport::Transport;
-use crate::wire::{self, ClientOp, ClientReply};
+use crate::frontdoor::HttpTx;
+use crate::reactor::ConnTx;
+use crate::transport::{NetStats, Transport};
+use crate::wire::{ClientOp, ClientReply};
 use dynvote_core::{AlgorithmKind, BackoffPolicy, SiteId, SiteSet, TimerWheel};
 use dynvote_protocol::{
     Action, CountingSink, DurableState, EventSink, FanoutSink, LogEntry, Message, RenderSink,
@@ -36,7 +38,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
-use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
@@ -48,9 +49,13 @@ pub enum ReplySink {
     /// In-process client: replies land on an `mpsc` channel as
     /// `(correlation id, reply)` pairs.
     Channel(Sender<(u64, ClientReply)>),
-    /// Remote client: replies are framed onto its TCP connection (the
-    /// mutex serializes replies racing from different transactions).
-    Tcp(Arc<Mutex<TcpStream>>),
+    /// Remote binary client: the reply is framed and staged on its
+    /// reactor-owned connection; the reactor writes it out.
+    Conn(ConnTx),
+    /// HTTP front-door client: the reply is rendered to an HTTP
+    /// response, staged on the connection, and the admission slot is
+    /// released (see [`crate::frontdoor`]).
+    Http(HttpTx),
     /// Discard the reply (fire-and-forget control operations).
     Null,
 }
@@ -63,12 +68,8 @@ impl ReplySink {
             ReplySink::Channel(tx) => {
                 let _ = tx.send((id, reply));
             }
-            ReplySink::Tcp(stream) => {
-                let body = wire::encode_reply(id, &reply);
-                if let Ok(mut stream) = stream.lock() {
-                    let _ = wire::write_frame(&mut *stream, &body);
-                }
-            }
+            ReplySink::Conn(tx) => tx.send_reply(id, &reply),
+            ReplySink::Http(tx) => tx.deliver(&reply),
             ReplySink::Null => {}
         }
     }
@@ -278,6 +279,9 @@ pub struct Node {
     /// The cluster-shared counting sink, kept to answer
     /// [`ClientOp::Events`] with this site's tally row.
     events: Option<Arc<CountingSink>>,
+    /// This node's reactor counters, kept to answer
+    /// [`ClientOp::NetStats`]. `None` under the channel transport.
+    net: Option<Arc<NetStats>>,
     pending: HashMap<TxnId, PendingClient>,
     restart_txns: HashSet<TxnId>,
     payload_seq: u64,
@@ -326,6 +330,7 @@ impl Node {
             reachable: SiteSet::all(n),
             timers: TimerWheel::new(),
             events: None,
+            net: None,
             pending: HashMap::new(),
             restart_txns: HashSet::new(),
             payload_seq: 0,
@@ -392,6 +397,12 @@ impl Node {
         self.actor.set_sink(Arc::clone(&sink));
         self.sink = Some(sink);
         self.events = Some(counting);
+    }
+
+    /// Share the node's reactor counters so [`ClientOp::NetStats`] can
+    /// report them. Called by cluster boot under the TCP transport.
+    pub fn set_net_stats(&mut self, stats: Arc<NetStats>) {
+        self.net = Some(stats);
     }
 
     /// Rebuild the kernel from what the data directory says, discarding
@@ -609,6 +620,30 @@ impl Node {
                         entries: self.actor.log().to_vec(),
                     },
                 );
+            }
+            ClientOp::Status => {
+                reply.send(
+                    id,
+                    ClientReply::Status {
+                        algorithm: self.algorithm.to_string(),
+                        meta: self.actor.meta(),
+                        reachable: self.reachable,
+                        locked: self.actor.is_locked(),
+                        in_doubt: self.actor.is_in_doubt(),
+                        down: self.down,
+                        log_len: self.actor.log().len() as u64,
+                        commits: self.commits,
+                        wal_epoch: self.actor.wal_epoch(),
+                    },
+                );
+            }
+            ClientOp::NetStats => {
+                let counts = self
+                    .net
+                    .as_ref()
+                    .map(|stats| stats.snapshot())
+                    .unwrap_or_default();
+                reply.send(id, ClientReply::NetStats { counts });
             }
         }
     }

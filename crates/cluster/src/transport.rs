@@ -4,44 +4,44 @@
 //! it `(destination, message)` pairs and it delivers them — or silently
 //! doesn't, because message loss is a legal fault in the dynamic-voting
 //! model and every protocol path tolerates it. The *inbound* half is a
-//! plain `mpsc::Sender<NodeEvent>` that the transport's delivery
-//! machinery (a peer's channel clone, or a TCP reader thread) feeds.
+//! plain `mpsc::Sender<NodeEvent>` that the delivery machinery (a
+//! peer's channel clone, or the node's reactor thread) feeds.
 //!
 //! Two implementations:
 //!
 //! * [`ChannelTransport`] — in-process `std::sync::mpsc` fan-out. Zero
 //!   serialization; the fastest way to run a whole cluster inside one
 //!   test.
-//! * [`TcpTransport`] — loopback TCP with the length-prefixed wire
-//!   format of [`crate::wire`]. Sends are *buffered per peer* and
-//!   pushed by [`Transport::flush`]: the node runtime flushes once per
-//!   event-loop batch, so every frame produced by one batch reaches a
-//!   peer in a single `write_all` (one syscall, one TCP segment on
-//!   loopback) instead of one write per message. Connections are opened
-//!   lazily at flush time, identified by a [`wire::HELLO_PEER`]
-//!   preamble, and dropped (to be re-dialed later) on any I/O error — a
-//!   send never blocks the protocol on a dead peer.
+//! * [`crate::ReactorTransport`] — loopback TCP via the node's
+//!   readiness reactor ([`crate::reactor`]). Sends are buffered per
+//!   peer and pushed by [`Transport::flush`] into shared queues the
+//!   reactor thread drains; the node thread never performs socket I/O
+//!   and never blocks on a dead peer. Link failures are not returned to
+//!   the caller at all — they are *counted*, per cause, in [`NetStats`]
+//!   (the PR 7 replacement for the old `take_error` one-slot surface),
+//!   and exposed through the loadgen report, `/metrics`, and the
+//!   [`crate::wire::ClientOp::NetStats`] client op.
 
 use crate::node::NodeEvent;
-use crate::wire::{self, HELLO_PEER};
 use dynvote_core::SiteId;
 use dynvote_protocol::Message;
-use std::io::{self, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::time::Duration;
 
-/// Why an outbound TCP link failed. Delivery stays best-effort — a
-/// failed link means lost messages, which the protocol tolerates — but
-/// the *cause* is typed and surfaced (see [`TcpTransport::take_error`])
-/// instead of being swallowed by `.ok()?` chains.
+/// Why an outbound link or inbound connection failed. Delivery stays
+/// best-effort — a failed link means lost messages, which the protocol
+/// tolerates — but the *cause* is typed instead of being swallowed by
+/// `.ok()?` chains. The reactor aggregates these causes into
+/// [`NetStats`] tallies rather than surfacing one error at a time.
 #[derive(Debug)]
 pub enum TransportError {
     /// No listen address is known for the destination site.
     UnknownPeer(SiteId),
     /// Dialing the peer failed or timed out.
     Dial(io::Error),
-    /// The [`HELLO_PEER`] preamble could not be written after connecting.
+    /// The [`crate::wire::HELLO_PEER`] preamble could not be written
+    /// after connecting.
     Hello(io::Error),
     /// Writing buffered frames to an established connection failed.
     Write(io::Error),
@@ -131,112 +131,145 @@ impl Transport for ChannelTransport {
     }
 }
 
-/// How long a lazy peer dial may take before the message is dropped.
-/// Loopback connects in microseconds; anything slower means the peer is
-/// down and the message is legally lost.
-const DIAL_TIMEOUT: Duration = Duration::from_millis(100);
-
-/// Cap on one peer's write buffer. A batch exceeding it is flushed
-/// inline, so an unreachable peer cannot pin unbounded memory between
-/// flushes (its buffer is discarded when the dial fails).
-const MAX_BUFFERED: usize = 256 * 1024;
-
-/// TCP loopback transport with lazy, self-healing peer connections and
-/// per-peer write coalescing.
-pub struct TcpTransport {
-    from: SiteId,
-    addrs: Vec<SocketAddr>,
-    conns: Vec<Option<TcpStream>>,
-    /// Per-peer pending frames: `send` encodes into these (no I/O);
-    /// `flush` writes each non-empty buffer in one `write_all` and
-    /// clears it, keeping the capacity for the next batch.
-    bufs: Vec<Vec<u8>>,
-    last_error: Option<TransportError>,
+/// Per-node network counters, shared between the reactor thread (which
+/// bumps them) and everything that reports them: the loadgen JSON
+/// report, the `/metrics` exposition, and the
+/// [`crate::wire::ClientOp::NetStats`] client op (whose reply carries
+/// [`NetStats::snapshot`] in [`NetStats::NAMES`] order).
+///
+/// Lock-free relaxed atomics: the counters are monotonic tallies, not
+/// synchronization — a reader may see a snapshot mid-update and that is
+/// fine.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    counters: [AtomicU64; NetStats::COUNT],
 }
 
-impl TcpTransport {
-    /// A transport for site `from`, given every node's listen address
-    /// (indexed by site).
-    #[must_use]
-    pub fn new(from: SiteId, addrs: Vec<SocketAddr>) -> Self {
-        let conns = addrs.iter().map(|_| None).collect();
-        let bufs = addrs.iter().map(|_| Vec::new()).collect();
-        TcpTransport {
-            from,
-            addrs,
-            conns,
-            bufs,
-            last_error: None,
-        }
-    }
+macro_rules! net_counters {
+    ($(($idx:expr, $name:literal, $bump:ident, $doc:literal)),+ $(,)?) => {
+        impl NetStats {
+            /// How many counters a [`NetStats`] carries.
+            pub const COUNT: usize = [$($name),+].len();
 
-    /// The most recent link failure, if any, clearing it. Messages to a
-    /// failed peer are legally lost; this surfaces *why* for operators
-    /// and tests.
-    pub fn take_error(&mut self) -> Option<TransportError> {
-        self.last_error.take()
-    }
+            /// Stable counter names, index-aligned with
+            /// [`NetStats::snapshot`]. The order is part of the wire
+            /// contract of [`crate::wire::ClientReply::NetStats`].
+            pub const NAMES: [&'static str; NetStats::COUNT] = [$($name),+];
 
-    fn connect(&self, to: SiteId) -> Result<TcpStream, TransportError> {
-        let addr = self
-            .addrs
-            .get(to.index())
-            .ok_or(TransportError::UnknownPeer(to))?;
-        let mut stream =
-            TcpStream::connect_timeout(addr, DIAL_TIMEOUT).map_err(TransportError::Dial)?;
-        stream.set_nodelay(true).map_err(TransportError::Dial)?;
-        // Identify this link as a peer link carrying protocol frames.
-        stream
-            .write_all(&[HELLO_PEER, self.from.0])
-            .map_err(TransportError::Hello)?;
-        Ok(stream)
-    }
-
-    fn flush_peer(&mut self, idx: usize) {
-        if self.bufs[idx].is_empty() {
-            return;
-        }
-        if self.conns[idx].is_none() {
-            match self.connect(SiteId(idx as u8)) {
-                Ok(stream) => self.conns[idx] = Some(stream),
-                Err(e) => {
-                    // Peer unreachable: the batch is lost (legal), and
-                    // the buffer must not grow without bound.
-                    self.bufs[idx].clear();
-                    self.last_error = Some(e);
-                    return;
+            $(
+                #[doc = $doc]
+                pub fn $bump(&self) {
+                    self.counters[$idx].fetch_add(1, Ordering::Relaxed);
                 }
-            }
+            )+
         }
-        let stream = self.conns[idx].as_mut().expect("dialed above");
-        let result = stream
-            .write_all(&self.bufs[idx])
-            .and_then(|()| stream.flush());
-        self.bufs[idx].clear();
-        if let Err(e) = result {
-            // Broken pipe (peer restarted, socket torn down): drop the
-            // connection so the next flush re-dials.
-            self.conns[idx] = None;
-            self.last_error = Some(TransportError::Write(e));
-        }
-    }
+    };
 }
 
-impl Transport for TcpTransport {
-    fn send(&mut self, to: SiteId, msg: &Message) {
-        let Some(buf) = self.bufs.get_mut(to.index()) else {
-            return;
-        };
-        wire::encode_frame_into(buf, |out| wire::encode_message_into(out, msg));
-        if self.bufs[to.index()].len() >= MAX_BUFFERED {
-            self.flush_peer(to.index());
-        }
+net_counters![
+    (
+        0,
+        "conns_accepted",
+        bump_conn_accepted,
+        "An inbound connection was accepted."
+    ),
+    (
+        1,
+        "conns_closed",
+        bump_conn_closed,
+        "A connection (any kind) was torn down."
+    ),
+    (
+        2,
+        "conns_rejected",
+        bump_conn_rejected,
+        "An inbound connection was refused: over the connection cap."
+    ),
+    (
+        3,
+        "peer_dial_failures",
+        bump_dial_failure,
+        "An outbound peer dial failed; the queued batch was dropped."
+    ),
+    (
+        4,
+        "peer_write_errors",
+        bump_write_error,
+        "Writing to an established peer link failed; it will be re-dialed."
+    ),
+    (
+        5,
+        "backpressure_drops",
+        bump_backpressure_drop,
+        "A flush batch was dropped because the peer's queue was full."
+    ),
+    (
+        6,
+        "frames_in",
+        bump_frame_in,
+        "A well-formed inbound frame (peer or binary client) was decoded."
+    ),
+    (
+        7,
+        "decode_errors",
+        bump_decode_error,
+        "An inbound frame or stream failed to decode; the connection died."
+    ),
+    (
+        8,
+        "bad_preambles",
+        bump_bad_preamble,
+        "An inbound connection announced an unknown preamble byte."
+    ),
+    (
+        9,
+        "http_requests",
+        bump_http_request,
+        "A well-formed HTTP request reached the router."
+    ),
+    (
+        10,
+        "http_responses",
+        bump_http_response,
+        "An HTTP response was staged for write."
+    ),
+    (
+        11,
+        "http_rejected_429",
+        bump_http_rejected,
+        "An op was refused with 429: inflight budget exhausted."
+    ),
+    (
+        12,
+        "http_parse_errors",
+        bump_http_error,
+        "An HTTP connection died on a malformed request."
+    ),
+];
+
+impl NetStats {
+    /// A zeroed counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        NetStats::default()
     }
 
-    fn flush(&mut self) {
-        for idx in 0..self.bufs.len() {
-            self.flush_peer(idx);
-        }
+    /// Current counter values, index-aligned with [`NetStats::NAMES`].
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// One counter by name, mostly for tests.
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        NetStats::NAMES
+            .iter()
+            .position(|n| *n == name)
+            .map_or(0, |i| self.counters[i].load(Ordering::Relaxed))
     }
 }
 
@@ -244,7 +277,6 @@ impl Transport for TcpTransport {
 mod tests {
     use super::*;
     use dynvote_protocol::TxnId;
-    use std::net::TcpListener;
     use std::sync::mpsc;
 
     fn abort(seq: u64) -> Message {
@@ -280,78 +312,22 @@ mod tests {
     }
 
     #[test]
-    fn tcp_transport_handshakes_frames_and_survives_peer_loss() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let mut t = TcpTransport::new(SiteId(3), vec![addr]);
-
-        t.send(SiteId(0), &abort(11));
-        t.flush();
-        let (mut conn, _) = listener.accept().unwrap();
-        let mut hello = [0u8; 2];
-        std::io::Read::read_exact(&mut conn, &mut hello).unwrap();
-        assert_eq!(hello, [HELLO_PEER, 3]);
-        let body = wire::read_frame(&mut conn).unwrap();
-        assert_eq!(wire::decode_message(&body).unwrap(), abort(11));
-
-        // Kill the peer; subsequent flushes must not wedge the caller
-        // and must re-dial once a listener is back.
-        drop(conn);
-        drop(listener);
-        t.send(SiteId(0), &abort(12));
-        t.flush(); // may "succeed" into the dead socket
-        t.send(SiteId(0), &abort(13));
-        t.flush(); // detects the broken pipe, drops conn, surfaces why
-        assert!(t.take_error().is_some(), "link failure is surfaced, typed");
-        let listener = TcpListener::bind(addr);
-        let Ok(listener) = listener else {
-            return; // port got reused by another test runner; nothing more to pin
-        };
-        t.send(SiteId(0), &abort(14));
-        t.flush();
-        let (mut conn, _) = listener.accept().unwrap();
-        std::io::Read::read_exact(&mut conn, &mut hello).unwrap();
-        assert_eq!(hello, [HELLO_PEER, 3]);
-        let body = wire::read_frame(&mut conn).unwrap();
-        assert_eq!(wire::decode_message(&body).unwrap(), abort(14));
-    }
-
-    #[test]
-    fn tcp_transport_coalesces_a_batch_into_ordered_frames() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let mut t = TcpTransport::new(SiteId(1), vec![addr]);
-
-        // Several sends, one flush: all frames arrive, in order.
-        for seq in 1..=5 {
-            t.send(SiteId(0), &abort(seq));
-        }
-        t.flush();
-        let (mut conn, _) = listener.accept().unwrap();
-        let mut hello = [0u8; 2];
-        std::io::Read::read_exact(&mut conn, &mut hello).unwrap();
-        assert_eq!(hello, [HELLO_PEER, 1]);
-        for seq in 1..=5 {
-            let body = wire::read_frame(&mut conn).unwrap();
-            assert_eq!(wire::decode_message(&body).unwrap(), abort(seq));
-        }
-    }
-
-    #[test]
-    fn unreachable_peer_discards_the_batch_with_a_typed_error() {
-        // A port with nothing listening: the dial fails at flush, the
-        // buffer is discarded (no unbounded growth) and the cause is
-        // typed.
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        drop(listener);
-        let mut t = TcpTransport::new(SiteId(0), vec![addr]);
-        t.send(SiteId(0), &abort(1));
-        t.flush();
-        match t.take_error() {
-            Some(TransportError::Dial(_)) => {}
-            other => panic!("expected a dial error, got {other:?}"),
-        }
-        assert!(t.bufs[0].is_empty(), "failed batch is discarded");
+    fn net_stats_names_align_with_snapshot() {
+        let stats = NetStats::new();
+        stats.bump_conn_accepted();
+        stats.bump_backpressure_drop();
+        stats.bump_backpressure_drop();
+        stats.bump_http_rejected();
+        let snap = stats.snapshot();
+        assert_eq!(snap.len(), NetStats::NAMES.len());
+        assert_eq!(stats.get("conns_accepted"), 1);
+        assert_eq!(stats.get("backpressure_drops"), 2);
+        assert_eq!(stats.get("http_rejected_429"), 1);
+        assert_eq!(stats.get("no_such_counter"), 0);
+        let idx = NetStats::NAMES
+            .iter()
+            .position(|n| *n == "backpressure_drops")
+            .unwrap();
+        assert_eq!(snap[idx], 2);
     }
 }

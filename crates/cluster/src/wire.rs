@@ -63,6 +63,13 @@ pub enum ClientOp {
     /// external harness can audit consistency across nodes that do not
     /// share a process (and hence no in-memory ledger).
     DumpLog,
+    /// Fetch a one-shot operational snapshot (algorithm, partition
+    /// view, metadata, WAL epoch) — the front door's `GET /status`.
+    Status,
+    /// Fetch the node's transport/front-door counters (dial failures,
+    /// decode errors, backpressure drops, …) in
+    /// [`crate::NetStats::NAMES`] order.
+    NetStats,
 }
 
 /// A node's reply to a [`ClientOp`].
@@ -121,6 +128,33 @@ pub enum ClientReply {
         meta: CopyMeta,
         /// Every committed entry, version-ordered and gapless.
         entries: Vec<LogEntry>,
+    },
+    /// Operational snapshot for `GET /status`.
+    Status {
+        /// Name of the vote-assignment algorithm the cluster runs.
+        algorithm: String,
+        /// The durable `(VN, SC, DS)` triple.
+        meta: CopyMeta,
+        /// The node's current reachability set (partition view).
+        reachable: SiteSet,
+        /// True if the file lock is held right now.
+        locked: bool,
+        /// True if a durable prepare record exists (in-doubt txn).
+        in_doubt: bool,
+        /// True if the site is crashed.
+        down: bool,
+        /// Durable log length.
+        log_len: u64,
+        /// Updates committed here as coordinator.
+        commits: u64,
+        /// WAL epoch when running durable, `None` on a volatile node.
+        wal_epoch: Option<u64>,
+    },
+    /// Transport/front-door counters in [`crate::NetStats::NAMES`]
+    /// order.
+    NetStats {
+        /// One counter per [`crate::NetStats::NAMES`] entry.
+        counts: Vec<u64>,
     },
 }
 
@@ -298,6 +332,8 @@ pub fn encode_request_into(out: &mut Vec<u8>, id: u64, op: &ClientOp) {
         ClientOp::Audit => put_u8(out, 6),
         ClientOp::Events => put_u8(out, 7),
         ClientOp::DumpLog => put_u8(out, 8),
+        ClientOp::Status => put_u8(out, 9),
+        ClientOp::NetStats => put_u8(out, 10),
     }
 }
 
@@ -315,6 +351,8 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, ClientOp), WireError> {
         6 => ClientOp::Audit,
         7 => ClientOp::Events,
         8 => ClientOp::DumpLog,
+        9 => ClientOp::Status,
+        10 => ClientOp::NetStats,
         tag => return Err(WireError::BadTag(tag)),
     };
     r.finish((id, op))
@@ -378,6 +416,42 @@ pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &ClientReply) {
             put_meta(out, *meta);
             put_entries(out, entries);
         }
+        ClientReply::Status {
+            algorithm,
+            meta,
+            reachable,
+            locked,
+            in_doubt,
+            down,
+            log_len,
+            commits,
+            wal_epoch,
+        } => {
+            put_u8(out, 11);
+            put_u32(out, algorithm.len() as u32);
+            out.extend_from_slice(algorithm.as_bytes());
+            put_meta(out, *meta);
+            put_site_set(out, *reachable);
+            put_u8(out, u8::from(*locked));
+            put_u8(out, u8::from(*in_doubt));
+            put_u8(out, u8::from(*down));
+            put_u64(out, *log_len);
+            put_u64(out, *commits);
+            match wal_epoch {
+                Some(e) => {
+                    put_u8(out, 1);
+                    put_u64(out, *e);
+                }
+                None => put_u8(out, 0),
+            }
+        }
+        ClientReply::NetStats { counts } => {
+            put_u8(out, 12);
+            put_u32(out, counts.len() as u32);
+            for &c in counts {
+                put_u64(out, c);
+            }
+        }
     }
 }
 
@@ -421,6 +495,43 @@ pub fn decode_reply(body: &[u8]) -> Result<(u64, ClientReply), WireError> {
             meta: r.meta()?,
             entries: r.entries()?,
         },
+        11 => {
+            let name_len = r.u32()? as usize;
+            if name_len > r.remaining() {
+                return Err(WireError::Truncated);
+            }
+            let mut name = Vec::with_capacity(name_len);
+            for _ in 0..name_len {
+                name.push(r.u8()?);
+            }
+            let algorithm = String::from_utf8_lossy(&name).into_owned();
+            ClientReply::Status {
+                algorithm,
+                meta: r.meta()?,
+                reachable: r.site_set()?,
+                locked: r.u8()? != 0,
+                in_doubt: r.u8()? != 0,
+                down: r.u8()? != 0,
+                log_len: r.u64()?,
+                commits: r.u64()?,
+                wal_epoch: match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    tag => return Err(WireError::BadTag(tag)),
+                },
+            }
+        }
+        12 => {
+            let count = r.u32()? as usize;
+            if count > r.remaining() / 8 {
+                return Err(WireError::Truncated);
+            }
+            let mut counts = Vec::with_capacity(count);
+            for _ in 0..count {
+                counts.push(r.u64()?);
+            }
+            ClientReply::NetStats { counts }
+        }
         tag => return Err(WireError::BadTag(tag)),
     };
     r.finish((id, reply))
@@ -646,6 +757,8 @@ mod tests {
             ClientOp::Audit,
             ClientOp::Events,
             ClientOp::DumpLog,
+            ClientOp::Status,
+            ClientOp::NetStats,
         ];
         for (i, op) in ops.into_iter().enumerate() {
             let bytes = encode_request(i as u64, &op);
@@ -691,6 +804,32 @@ mod tests {
                 meta: sample_meta(),
                 entries: Vec::new(),
             },
+            ClientReply::Status {
+                algorithm: "hybrid".to_string(),
+                meta: sample_meta(),
+                reachable: SiteSet::parse("ABDE").unwrap(),
+                locked: false,
+                in_doubt: true,
+                down: false,
+                log_len: 42,
+                commits: 17,
+                wal_epoch: Some(3),
+            },
+            ClientReply::Status {
+                algorithm: String::new(),
+                meta: sample_meta(),
+                reachable: SiteSet::all(5),
+                locked: true,
+                in_doubt: false,
+                down: true,
+                log_len: 0,
+                commits: 0,
+                wal_epoch: None,
+            },
+            ClientReply::NetStats {
+                counts: vec![1, 0, 99, u64::MAX],
+            },
+            ClientReply::NetStats { counts: Vec::new() },
         ];
         for (i, reply) in replies.into_iter().enumerate() {
             let bytes = encode_reply(i as u64, &reply);

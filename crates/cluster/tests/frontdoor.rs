@@ -1,0 +1,263 @@
+//! Integration tests for the HTTP front door: `/v1/op`, `/metrics`,
+//! `/status`, admission control (`429`), and the open-loop driver.
+
+use dynvote_cluster::{
+    Cluster, ClusterConfig, FrontDoorConfig, OpenLoop, OpenLoopConfig, TransportKind,
+};
+use dynvote_core::{AlgorithmKind, SiteId};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn http_cluster(n: usize, max_inflight: u64) -> Cluster {
+    let config = ClusterConfig::new(n, AlgorithmKind::Hybrid)
+        .with_transport(TransportKind::Tcp)
+        .with_http(FrontDoorConfig {
+            http_port_base: None,
+            max_inflight,
+            max_conns: 4096,
+        });
+    Cluster::boot(&config).expect("boot http cluster")
+}
+
+/// One blocking HTTP exchange (connection: close) against `addr`.
+fn roundtrip(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, text)
+}
+
+fn post_op(addr: SocketAddr, body: &str) -> (u16, String) {
+    roundtrip(
+        addr,
+        &format!(
+            "POST /v1/op HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn post_op_commits_and_status_reports_metadata() {
+    let cluster = http_cluster(3, 64);
+    let addr = cluster.http_addr(SiteId(0)).expect("http addr");
+
+    let (status, body) = post_op(addr, "{\"op\":\"update\"}");
+    assert_eq!(status, 200, "update reply: {body}");
+    assert!(body.contains("\"outcome\":\"committed\""), "{body}");
+
+    let (status, body) = post_op(addr, "{\"op\":\"read\"}");
+    assert_eq!(status, 200, "read reply: {body}");
+    assert!(body.contains("\"outcome\":\"read_served\""), "{body}");
+
+    let (status, body) = roundtrip(
+        addr,
+        "GET /status HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "status reply: {body}");
+    assert!(body.contains("\"algorithm\":\"hybrid\""), "{body}");
+    assert!(body.contains("\"vn\":1"), "{body}");
+    assert!(body.contains("\"reachable\""), "{body}");
+
+    let (status, body) = roundtrip(
+        addr,
+        "GET /metrics HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "metrics reply: {body}");
+    assert!(body.contains("dynvote_event_total"), "{body}");
+    assert!(body.contains("dynvote_net_total"), "{body}");
+    assert!(body.contains("dynvote_op_latency_seconds_count"), "{body}");
+    assert!(body.contains("conns_accepted"), "{body}");
+
+    let (status, body) = roundtrip(
+        addr,
+        "GET /nope HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 404, "unknown route: {body}");
+
+    let (status, body) = post_op(addr, "{\"op\":\"fsck\"}");
+    assert_eq!(status, 400, "bad op: {body}");
+
+    assert!(cluster.await_quiescence(Duration::from_secs(5)));
+    assert!(cluster.audit().expect("audit").consistent);
+    cluster.shutdown();
+}
+
+#[test]
+fn open_loop_commits_against_the_front_door() {
+    let cluster = http_cluster(3, 256);
+    let targets: Vec<SocketAddr> = (0..3)
+        .map(|i| cluster.http_addr(SiteId(i)).expect("http addr"))
+        .collect();
+
+    let config = OpenLoopConfig {
+        rate: 400.0,
+        duration: Duration::from_secs(2),
+        connections: 512,
+        read_fraction: 0.2,
+        seed: 11,
+    };
+    let report = OpenLoop::run(&config, &targets).expect("open-loop run");
+    assert!(
+        report.committed >= 100,
+        "expected >=100 commits, report: {}",
+        report.to_json()
+    );
+    assert_eq!(report.connect_errors, 0, "{}", report.to_json());
+    assert_eq!(report.http_errors, 0, "{}", report.to_json());
+    assert!(report.update_latency.p50_ms > 0.0);
+
+    assert!(cluster.await_quiescence(Duration::from_secs(5)));
+    assert!(cluster.audit().expect("audit").consistent);
+    cluster.shutdown();
+}
+
+#[test]
+fn overload_yields_429_not_hangs() {
+    // One admission slot: hold it with a slow concurrent burst and the
+    // excess must bounce as 429 with Retry-After, never stall.
+    let cluster = http_cluster(3, 1);
+    let addr = cluster.http_addr(SiteId(0)).expect("http addr");
+
+    let config = OpenLoopConfig {
+        rate: 2000.0,
+        duration: Duration::from_millis(500),
+        connections: 256,
+        read_fraction: 0.0,
+        seed: 3,
+    };
+    let report = OpenLoop::run(&config, &[addr]).expect("open-loop run");
+    assert!(
+        report.rejected_429 > 0,
+        "expected admission rejections, report: {}",
+        report.to_json()
+    );
+    assert!(report.committed > 0, "{}", report.to_json());
+    assert_eq!(
+        report.abandoned,
+        0,
+        "nothing may hang: {}",
+        report.to_json()
+    );
+
+    // The 429 carries Retry-After.
+    let mut got_retry_after = false;
+    for _ in 0..50 {
+        let (status, text) = post_op(addr, "update");
+        if status == 429 {
+            assert!(
+                text.to_ascii_lowercase().contains("retry-after: 1"),
+                "{text}"
+            );
+            got_retry_after = true;
+            break;
+        }
+    }
+    // With max_inflight=1 and serialized probes the slot is usually
+    // free; the open-loop assertion above is the real check, so absence
+    // of a sampled 429 here is fine.
+    let _ = got_retry_after;
+
+    cluster.shutdown();
+}
+
+/// Soft fd limit from `/proc/self/limits`, `u64::MAX` if unreadable.
+fn fd_soft_limit() -> u64 {
+    let Ok(limits) = std::fs::read_to_string("/proc/self/limits") else {
+        return u64::MAX;
+    };
+    limits
+        .lines()
+        .find(|l| l.starts_with("Max open files"))
+        .and_then(|l| l.split_whitespace().nth(3))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(u64::MAX)
+}
+
+#[test]
+fn holds_5000_concurrent_connections() {
+    // 5000 client + 5000 server fds, plus headroom for the harness.
+    if fd_soft_limit() < 12_000 {
+        eprintln!("skipping: fd soft limit below 12000");
+        return;
+    }
+    const CONNS: usize = 5000;
+    let config = ClusterConfig::new(3, AlgorithmKind::Hybrid)
+        .with_transport(TransportKind::Tcp)
+        .with_http(FrontDoorConfig {
+            http_port_base: None,
+            max_inflight: 512,
+            max_conns: 8192,
+        });
+    let cluster = Cluster::boot(&config).expect("boot");
+    let addr = cluster.http_addr(SiteId(0)).expect("http addr");
+
+    // Hold CONNS idle connections open against one node...
+    let mut held = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => held.push(stream),
+            Err(e) => panic!("connect #{i} failed: {e}"),
+        }
+    }
+    // ...and the node must still serve ops and report the load.
+    let (status, body) = post_op(addr, "{\"op\":\"update\"}");
+    assert_eq!(status, 200, "op under 5k idle conns: {body}");
+    let (status, body) = roundtrip(
+        addr,
+        "GET /metrics HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let accepted: u64 = body
+        .lines()
+        .find(|l| l.contains("counter=\"conns_accepted\""))
+        .and_then(|l| l.split_whitespace().next_back())
+        .and_then(|v| v.parse().ok())
+        .expect("conns_accepted in metrics");
+    assert!(
+        accepted >= CONNS as u64,
+        "expected >={CONNS} accepted, metrics says {accepted}"
+    );
+
+    drop(held);
+    cluster.shutdown();
+}
+
+#[test]
+fn status_is_served_while_partitioned() {
+    let cluster = http_cluster(5, 64);
+    let addr4 = cluster.http_addr(SiteId(4)).expect("http addr");
+
+    // Isolate site 4: its /status must still answer (inline path plus
+    // node round-trip), and /v1/op must refuse rather than hang.
+    let majority = dynvote_core::SiteSet::from_sites([0, 1, 2, 3].map(SiteId));
+    let minority = dynvote_core::SiteSet::from_sites([SiteId(4)]);
+    cluster
+        .set_partition(&[majority, minority])
+        .expect("partition");
+
+    let (status, body) = roundtrip(
+        addr4,
+        "GET /status HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "{body}");
+
+    let (status, body) = post_op(addr4, "{\"op\":\"update\"}");
+    assert_eq!(status, 409, "minority update must be rejected: {body}");
+    assert!(body.contains("\"outcome\":\"rejected\""), "{body}");
+
+    cluster.heal_links().expect("heal");
+    assert!(cluster.await_quiescence(Duration::from_secs(5)));
+    cluster.shutdown();
+}

@@ -1,0 +1,87 @@
+//! `Cluster::shutdown` must join every thread it spawned — node
+//! threads and reactor threads alike. A leaked thread would show up
+//! here as a `dynvote-*` entry in `/proc/self/task` after shutdown
+//! returns, and in production as a reactor still holding ports.
+
+use dynvote_cluster::{ClientReply, Cluster, ClusterConfig, FrontDoorConfig, TransportKind};
+use dynvote_core::{AlgorithmKind, SiteId};
+use std::time::Duration;
+
+/// Names (kernel `comm`, truncated to 15 bytes) of live threads that
+/// belong to the cluster runtime.
+fn dynvote_threads() -> Vec<String> {
+    let mut found = Vec::new();
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return found; // not Linux: nothing to scan, nothing to leak
+    };
+    for task in tasks.flatten() {
+        let comm_path = task.path().join("comm");
+        if let Ok(comm) = std::fs::read_to_string(comm_path) {
+            let comm = comm.trim();
+            if comm.starts_with("dynvote") {
+                found.push(comm.to_owned());
+            }
+        }
+    }
+    found
+}
+
+fn run_and_shutdown(config: &ClusterConfig) {
+    let cluster = Cluster::boot(config).expect("boot");
+    let mut client = cluster.client(SiteId(0));
+    for _ in 0..5 {
+        let reply = client.update().expect("update");
+        assert!(matches!(reply, ClientReply::Committed { .. }), "{reply:?}");
+    }
+    assert!(cluster.await_quiescence(Duration::from_secs(5)));
+    cluster.shutdown();
+}
+
+// One test function on purpose: the `/proc/self/task` scan is
+// process-wide, so concurrently running tests would see each other's
+// threads.
+#[test]
+fn shutdown_joins_every_thread() {
+    let before = dynvote_threads();
+    assert!(
+        before.is_empty(),
+        "stray threads before the test: {before:?}"
+    );
+
+    // Channel transport: node threads only.
+    run_and_shutdown(&ClusterConfig::new(3, AlgorithmKind::DynamicVoting));
+
+    // TCP transport with the HTTP front door: node threads plus one
+    // reactor thread per node, each owning live sockets.
+    run_and_shutdown(
+        &ClusterConfig::new(5, AlgorithmKind::Hybrid)
+            .with_transport(TransportKind::Tcp)
+            .with_http(FrontDoorConfig::default()),
+    );
+
+    let after = dynvote_threads();
+    assert!(after.is_empty(), "threads leaked past shutdown: {after:?}");
+
+    // Teardown must also be clean when sites are crashed or
+    // partitioned at shutdown time (reactors mid-reconnect-backoff).
+    let config = ClusterConfig::new(5, AlgorithmKind::Hybrid)
+        .with_transport(TransportKind::Tcp)
+        .with_http(FrontDoorConfig::default());
+    let cluster = Cluster::boot(&config).expect("boot");
+    let mut client = cluster.client(SiteId(0));
+    client.update().expect("update");
+    cluster.crash(SiteId(4)).expect("crash");
+    let majority = dynvote_core::SiteSet::from_sites([0, 1, 2].map(SiteId));
+    let minority = dynvote_core::SiteSet::from_sites([SiteId(3), SiteId(4)]);
+    cluster
+        .set_partition(&[majority, minority])
+        .expect("partition");
+    client.update().expect("update under partition");
+    cluster.shutdown();
+
+    let after = dynvote_threads();
+    assert!(
+        after.is_empty(),
+        "threads leaked past faulted shutdown: {after:?}"
+    );
+}

@@ -1,0 +1,181 @@
+//! Incremental length-prefixed frame decoding.
+//!
+//! The cluster wire format (see `dynvote-cluster::wire`) prefixes every
+//! frame with a little-endian `u32` length. The blocking transport read
+//! frames with two exact reads; the reactor instead feeds whatever
+//! bytes the socket yields into a [`FrameDecoder`] and pulls out zero
+//! or more complete frames per readiness event — pipelined frames,
+//! frames split at arbitrary byte boundaries, and frames spanning many
+//! reads all decode identically to the one-shot path (pinned by the
+//! proptest suite).
+
+use std::fmt;
+
+/// Typed decode failure. Oversized frames are a protocol violation and
+/// the connection must be dropped; a truncated stream only surfaces as
+/// an error at EOF via [`FrameDecoder::check_eof`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared frame length exceeds the decoder's configured maximum.
+    Oversized {
+        /// Length the peer declared.
+        declared: usize,
+        /// Maximum the decoder accepts.
+        max: usize,
+    },
+    /// The stream ended mid-frame (only from [`FrameDecoder::check_eof`]).
+    TruncatedAtEof {
+        /// Bytes of the partial frame that were buffered.
+        buffered: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame length {declared} exceeds maximum {max}")
+            }
+            FrameError::TruncatedAtEof { buffered } => {
+                write!(f, "stream ended mid-frame with {buffered} bytes buffered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Streaming decoder for `u32`-length-prefixed frames.
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    max_frame: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder rejecting frames larger than `max_frame` payload bytes.
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame,
+        }
+    }
+
+    /// Append bytes read from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the dead prefix dominates, so
+        // steady-state decoding is append + in-place scans.
+        if self.pos > 0 && self.pos >= self.buf.len().saturating_sub(self.pos) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pull the next complete frame's payload, if one is buffered.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed. The returned
+    /// slice borrows the internal buffer and is invalidated by the next
+    /// call to [`extend`] or `next_frame`.
+    ///
+    /// [`extend`]: FrameDecoder::extend
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, FrameError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+        if len > self.max_frame {
+            return Err(FrameError::Oversized {
+                declared: len,
+                max: self.max_frame,
+            });
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        self.pos = start + len;
+        Ok(Some(&self.buf[start..start + len]))
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Call when the stream reaches EOF: a partial frame left in the
+    /// buffer means the peer died mid-frame.
+    pub fn check_eof(&self) -> Result<(), FrameError> {
+        let pending = self.pending();
+        if pending == 0 {
+            Ok(())
+        } else {
+            Err(FrameError::TruncatedAtEof { buffered: pending })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn single_frame_one_shot() {
+        let mut d = FrameDecoder::new(1024);
+        d.extend(&frame(b"hello"));
+        assert_eq!(d.next_frame().unwrap(), Some(&b"hello"[..]));
+        assert_eq!(d.next_frame().unwrap(), None);
+        d.check_eof().unwrap();
+    }
+
+    #[test]
+    fn pipelined_frames_split_mid_prefix() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&frame(b"one"));
+        stream.extend_from_slice(&frame(b""));
+        stream.extend_from_slice(&frame(b"three"));
+        let mut d = FrameDecoder::new(1024);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for chunk in stream.chunks(2) {
+            d.extend(chunk);
+            while let Some(p) = d.next_frame().unwrap() {
+                got.push(p.to_vec());
+            }
+        }
+        assert_eq!(got, vec![b"one".to_vec(), Vec::new(), b"three".to_vec()]);
+        d.check_eof().unwrap();
+    }
+
+    #[test]
+    fn oversized_is_typed_error() {
+        let mut d = FrameDecoder::new(8);
+        d.extend(&frame(b"way too large"));
+        assert_eq!(
+            d.next_frame(),
+            Err(FrameError::Oversized {
+                declared: 13,
+                max: 8
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_at_eof() {
+        let mut d = FrameDecoder::new(1024);
+        let f = frame(b"partial");
+        d.extend(&f[..f.len() - 2]);
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert_eq!(
+            d.check_eof(),
+            Err(FrameError::TruncatedAtEof { buffered: 9 })
+        );
+    }
+}

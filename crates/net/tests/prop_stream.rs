@@ -1,0 +1,270 @@
+//! Property tests for the incremental decoders: every valid byte
+//! stream, however it is split across reads, decodes identically to
+//! the one-shot path; malformed streams yield typed errors, never
+//! panics. (ISSUE 7, satellite: incremental decoding coverage.)
+
+use dynvote_net::http::{write_response, Method, Request, RequestParser, ResponseParser};
+use dynvote_net::{FrameDecoder, FrameError, HttpError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const MAX_FRAME: usize = 4096;
+
+fn encode_stream(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for p in payloads {
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Split `stream` into chunks whose sizes cycle through `sizes`.
+fn dribble<'a>(stream: &'a [u8], sizes: &'a [usize]) -> impl Iterator<Item = &'a [u8]> + 'a {
+    let mut pos = 0;
+    let mut i = 0;
+    std::iter::from_fn(move || {
+        if pos >= stream.len() {
+            return None;
+        }
+        let take = sizes[i % sizes.len()].max(1).min(stream.len() - pos);
+        i += 1;
+        let chunk = &stream[pos..pos + take];
+        pos += take;
+        Some(chunk)
+    })
+}
+
+fn decode_all(decoder: &mut FrameDecoder) -> Result<Vec<Vec<u8>>, FrameError> {
+    let mut out = Vec::new();
+    while let Some(frame) = decoder.next_frame()? {
+        out.push(frame.to_vec());
+    }
+    Ok(out)
+}
+
+fn parse_all_requests(parser: &mut RequestParser) -> Result<Vec<Request>, HttpError> {
+    let mut out = Vec::new();
+    while let Some(req) = parser.next_request()? {
+        out.push(req);
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Any pipelined frame stream decodes identically under arbitrary
+    // byte-dribble splits and in one shot.
+    #[test]
+    fn frames_stream_equals_one_shot(
+        payloads in vec(vec(0u8..=255, 0..200), 0..12),
+        sizes in vec(1usize..9, 1..12),
+    ) {
+        let stream = encode_stream(&payloads);
+
+        let mut one_shot = FrameDecoder::new(MAX_FRAME);
+        one_shot.extend(&stream);
+        let direct = decode_all(&mut one_shot).unwrap();
+
+        let mut incremental = FrameDecoder::new(MAX_FRAME);
+        let mut dribbled = Vec::new();
+        for chunk in dribble(&stream, &sizes) {
+            incremental.extend(chunk);
+            dribbled.extend(decode_all(&mut incremental).unwrap());
+        }
+
+        prop_assert_eq!(&direct, &payloads);
+        prop_assert_eq!(&dribbled, &payloads);
+        incremental.check_eof().unwrap();
+        one_shot.check_eof().unwrap();
+    }
+
+    // Truncating a valid stream anywhere never panics: either every
+    // complete frame before the cut decodes, and EOF reports the
+    // partial remainder as a typed error.
+    #[test]
+    fn truncated_frames_yield_typed_error(
+        payloads in vec(vec(0u8..=255, 0..64), 1..6),
+        cut_back in 1usize..32,
+    ) {
+        let stream = encode_stream(&payloads);
+        let cut = stream.len().saturating_sub(cut_back).max(1);
+        let mut d = FrameDecoder::new(MAX_FRAME);
+        d.extend(&stream[..cut]);
+        let decoded = decode_all(&mut d).unwrap();
+        prop_assert!(decoded.len() <= payloads.len());
+        for (got, want) in decoded.iter().zip(&payloads) {
+            prop_assert_eq!(got, want);
+        }
+        if d.pending() == 0 {
+            // The cut landed exactly on a frame boundary: clean EOF.
+            d.check_eof().unwrap();
+        } else {
+            prop_assert!(decoded.len() < payloads.len());
+            prop_assert!(matches!(
+                d.check_eof(),
+                Err(FrameError::TruncatedAtEof { .. })
+            ));
+        }
+    }
+
+    // Oversized declared lengths surface as a typed error regardless
+    // of how the prefix arrives.
+    #[test]
+    fn oversized_frame_is_typed_error(
+        extra in 1usize..4096,
+        sizes in vec(1usize..5, 1..6),
+    ) {
+        let declared = MAX_FRAME + extra;
+        let mut stream = (declared as u32).to_le_bytes().to_vec();
+        stream.extend_from_slice(&[0xAB; 8]);
+        let mut d = FrameDecoder::new(MAX_FRAME);
+        let mut saw_error = false;
+        for chunk in dribble(&stream, &sizes) {
+            d.extend(chunk);
+            match decode_all(&mut d) {
+                Ok(frames) => prop_assert!(frames.is_empty()),
+                Err(FrameError::Oversized { declared: got, max }) => {
+                    prop_assert_eq!(got, declared);
+                    prop_assert_eq!(max, MAX_FRAME);
+                    saw_error = true;
+                    break;
+                }
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+        }
+        prop_assert!(saw_error);
+    }
+
+    // Arbitrary garbage never panics the frame decoder.
+    #[test]
+    fn frame_decoder_never_panics(
+        bytes in vec(0u8..=255, 0..600),
+        sizes in vec(1usize..17, 1..8),
+    ) {
+        let mut d = FrameDecoder::new(64);
+        for chunk in dribble(&bytes, &sizes) {
+            d.extend(chunk);
+            while let Ok(Some(_)) = d.next_frame() {}
+        }
+        let _ = d.check_eof();
+    }
+
+    // Valid pipelined HTTP requests parse identically under arbitrary
+    // splits and one-shot.
+    #[test]
+    fn http_requests_stream_equals_one_shot(
+        specs in vec((0usize..3, vec(97u8..=122, 1..12), vec(0u8..=255, 0..96)), 1..6),
+        sizes in vec(1usize..7, 1..10),
+    ) {
+        let mut stream = Vec::new();
+        for (kind, path, body) in &specs {
+            let path = String::from_utf8(path.clone()).unwrap();
+            match kind {
+                0 => stream.extend_from_slice(
+                    format!("GET /{path} HTTP/1.1\r\nhost: x\r\n\r\n").as_bytes(),
+                ),
+                1 => {
+                    stream.extend_from_slice(
+                        format!(
+                            "POST /{path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                            body.len()
+                        )
+                        .as_bytes(),
+                    );
+                    stream.extend_from_slice(body);
+                }
+                _ => stream.extend_from_slice(
+                    format!("GET /{path} HTTP/1.0\r\nconnection: keep-alive\r\n\r\n").as_bytes(),
+                ),
+            }
+        }
+
+        let mut one_shot = RequestParser::new();
+        one_shot.extend(&stream);
+        let direct = parse_all_requests(&mut one_shot).unwrap();
+
+        let mut incremental = RequestParser::new();
+        let mut dribbled = Vec::new();
+        for chunk in dribble(&stream, &sizes) {
+            incremental.extend(chunk);
+            dribbled.extend(parse_all_requests(&mut incremental).unwrap());
+        }
+
+        prop_assert_eq!(direct.len(), specs.len());
+        prop_assert_eq!(&dribbled, &direct);
+        for (req, (kind, path, body)) in direct.iter().zip(&specs) {
+            let path = String::from_utf8(path.clone()).unwrap();
+            prop_assert_eq!(&req.target, &format!("/{path}"));
+            match kind {
+                0 => {
+                    prop_assert_eq!(req.method, Method::Get);
+                    prop_assert!(req.keep_alive);
+                    prop_assert!(req.body.is_empty());
+                }
+                1 => {
+                    prop_assert_eq!(req.method, Method::Post);
+                    prop_assert_eq!(&req.body, body);
+                }
+                _ => {
+                    prop_assert_eq!(req.method, Method::Get);
+                    prop_assert!(req.keep_alive);
+                }
+            }
+        }
+    }
+
+    // Arbitrary garbage never panics the request parser, and a parse
+    // error from a prefix stays an error (no resurrection).
+    #[test]
+    fn http_parser_never_panics(
+        bytes in vec(0u8..=255, 0..700),
+        sizes in vec(1usize..13, 1..8),
+    ) {
+        let mut p = RequestParser::new();
+        for chunk in dribble(&bytes, &sizes) {
+            p.extend(chunk);
+            loop {
+                match p.next_request() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(e) => {
+                        // typed errors map to real status codes
+                        prop_assert!((400..=599).contains(&e.status()));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Responses round-trip through the writer + client parser under
+    // arbitrary splits.
+    #[test]
+    fn http_response_roundtrip(
+        statuses in vec((1usize..5, vec(0u8..=255, 0..128)), 1..5),
+        sizes in vec(1usize..6, 1..8),
+    ) {
+        let table: [(u16, &str); 4] =
+            [(200, "OK"), (429, "Too Many Requests"), (400, "Bad Request"), (503, "Unavailable")];
+        let mut stream = Vec::new();
+        for (pick, body) in &statuses {
+            let (code, reason) = table[pick - 1];
+            write_response(&mut stream, code, reason, "text/plain", &[], body, true);
+        }
+        let mut p = ResponseParser::new();
+        let mut got = Vec::new();
+        for chunk in dribble(&stream, &sizes) {
+            p.extend(chunk);
+            while let Some(r) = p.next_response().unwrap() {
+                got.push(r);
+            }
+        }
+        prop_assert_eq!(got.len(), statuses.len());
+        for (resp, (pick, body)) in got.iter().zip(&statuses) {
+            prop_assert_eq!(resp.status, table[pick - 1].0);
+            prop_assert_eq!(&resp.body, body);
+        }
+    }
+}

@@ -73,6 +73,13 @@ pub trait Persistence {
     fn checkpoint(&mut self, state: &DurableState) {
         let _ = state;
     }
+
+    /// The current WAL epoch (snapshot generation), when the
+    /// implementation keeps one. Surfaced by status endpoints; the
+    /// default `None` marks a volatile implementation.
+    fn wal_epoch(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A [`Persistence`] recorder for tests: captures the hook stream as a

@@ -302,6 +302,13 @@ impl SiteActor {
         }
     }
 
+    /// The installed persistence hook's WAL epoch, when one is
+    /// installed and durable ([`Persistence::wal_epoch`]).
+    #[must_use]
+    pub fn wal_epoch(&self) -> Option<u64> {
+        self.persist.as_ref().and_then(|p| p.wal_epoch())
+    }
+
     /// Snapshot the durable state if the hook asks for one
     /// ([`Persistence::wants_checkpoint`]); harnesses poll this between
     /// batches.

@@ -435,6 +435,10 @@ impl Persistence for SiteStore {
     fn checkpoint(&mut self, state: &DurableState) {
         self.rotate(state).expect("WAL rotation");
     }
+
+    fn wal_epoch(&self) -> Option<u64> {
+        Some(self.epoch())
+    }
 }
 
 // ----- recovery internals ------------------------------------------------
