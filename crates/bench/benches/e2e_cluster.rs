@@ -47,6 +47,7 @@ fn run(kind: TransportKind) -> String {
         duration: duration(),
         read_fraction: 0.1,
         seed: 42,
+        ..LoadGenConfig::default()
     };
     let mut report = LoadGen::run(&loadgen, |w| {
         let site = SiteId((w % SITES) as u8);

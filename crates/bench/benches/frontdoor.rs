@@ -100,6 +100,7 @@ fn main() {
                 connections: 2048,
                 read_fraction: 0.1,
                 seed: 42,
+                ..OpenLoopConfig::default()
             },
         ),
         run(
@@ -112,6 +113,7 @@ fn main() {
                 connections: 2048,
                 read_fraction: 0.0,
                 seed: 43,
+                ..OpenLoopConfig::default()
             },
         ),
     ];

@@ -1,0 +1,127 @@
+//! Bench: multi-object sharded data plane, end to end.
+//!
+//! The single-object cluster (`e2e_cluster`) serializes every commit
+//! behind one shard lock: a site can hold at most one prepared
+//! transaction, so closed-loop workers queue no matter how many there
+//! are. This bench measures what the sharded data plane buys: `KEYS`
+//! independent objects hosted on the same five sites, keyed workers
+//! spread across sites and shards, commit rounds from different shards
+//! batched into shared peer frames and sealed by one group-commit
+//! barrier per node-loop batch.
+//!
+//! Runs the closed-loop [`LoadGen`] with a uniform key distribution
+//! over both transports:
+//!
+//! * `channel` — in-process transport: the sharded runtime's floor;
+//! * `tcp` — framed loopback TCP with peer-frame batching: the full
+//!   production stack.
+//!
+//! Each run ends with a ledger audit (per-object chains, every commit
+//! accounted for) so a throughput number from a silently-broken cluster
+//! cannot become a baseline. The committed baseline's acceptance bar:
+//! channel aggregate throughput at `KEYS` objects must be at least 4x
+//! the single-object `BENCH_e2e.json` channel number.
+//!
+//! Results land in `BENCH_shard.json` in the working directory. Set
+//! `DYNVOTE_BENCH_QUICK=1` for a short CI smoke run with the same
+//! schema.
+
+use dynvote_cluster::{
+    Cluster, ClusterConfig, KeyDist, LoadGen, LoadGenConfig, TcpClient, TransportKind,
+};
+use dynvote_core::{AlgorithmKind, SiteId};
+use std::time::Duration;
+
+const SITES: usize = 5;
+const WORKERS: usize = 16;
+const KEYS: u32 = 128;
+
+fn duration() -> Duration {
+    if std::env::var_os("DYNVOTE_BENCH_QUICK").is_some() {
+        Duration::from_millis(500)
+    } else {
+        Duration::from_secs(5)
+    }
+}
+
+fn run(kind: TransportKind) -> String {
+    let name = match kind {
+        TransportKind::Channel => "channel",
+        TransportKind::Tcp => "tcp",
+    };
+    let config = ClusterConfig::new(SITES, AlgorithmKind::Hybrid)
+        .with_transport(kind)
+        .with_objects(KEYS as usize);
+    let cluster = Cluster::boot(&config).expect("cluster boots");
+    let loadgen = LoadGenConfig {
+        concurrency: WORKERS,
+        duration: duration(),
+        read_fraction: 0.0,
+        keys: KEYS,
+        key_dist: KeyDist::Uniform,
+        seed: 42,
+    };
+    let mut report = LoadGen::run(&loadgen, |w| {
+        let site = SiteId((w % SITES) as u8);
+        match kind {
+            TransportKind::Channel => Box::new(cluster.client(site)),
+            TransportKind::Tcp => {
+                let addr = cluster.addr(site).expect("tcp cluster publishes addrs");
+                Box::new(TcpClient::connect(addr).expect("client connects"))
+            }
+        }
+    })
+    .expect("load generation runs");
+    report.algorithm = "hybrid".into();
+    report.transport = name.into();
+    report.sites = SITES;
+    let audit = cluster.audit().expect("audit succeeds");
+    assert!(
+        audit.consistent,
+        "{name}: cluster metadata inconsistent after sharded load"
+    );
+    assert_eq!(
+        audit.commits, report.committed,
+        "{name}: ledger commits disagree with client-observed commits"
+    );
+    let shard_sum: u64 = report.per_shard_commits.iter().sum();
+    assert_eq!(
+        shard_sum, report.committed,
+        "{name}: per-shard commit counts do not sum to the aggregate"
+    );
+    cluster.shutdown();
+    let busiest = report.per_shard_commits.iter().max().copied().unwrap_or(0);
+    let quietest = report.per_shard_commits.iter().min().copied().unwrap_or(0);
+    println!(
+        "{:<8} {:>9} committed  {:>12.0} commits/sec  p50 {:>7.3} ms  p99 {:>7.3} ms  \
+         per-shard [{quietest}..{busiest}]",
+        name,
+        report.committed,
+        report.throughput_per_sec,
+        report.update_latency.p50_ms,
+        report.update_latency.p99_ms
+    );
+    report.to_json()
+}
+
+fn main() {
+    let runs = [run(TransportKind::Channel), run(TransportKind::Tcp)];
+    let mut json = format!(
+        "{{\n  \"bench\": \"shard\",\n  \"objects\": {KEYS},\n  \"workers\": {WORKERS},\n  \"runs\": [\n"
+    );
+    for (i, r) in runs.iter().enumerate() {
+        // Indent the pretty-printed report two levels into the array.
+        for (l, line) in r.lines().enumerate() {
+            if l > 0 {
+                json.push('\n');
+            }
+            json.push_str("    ");
+            json.push_str(line);
+        }
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_shard.json";
+    std::fs::write(path, &json).expect("write BENCH_shard.json");
+    println!("baseline written to {path}");
+}

@@ -59,10 +59,7 @@ fn commit_step(version: u64) -> [PersistOp; 3] {
         }]),
         PersistOp::Meta(meta),
         PersistOp::Committed(
-            TxnId {
-                coordinator: SiteId((version % SITES as u64) as u8),
-                seq: version,
-            },
+            TxnId::new(SiteId((version % SITES as u64) as u8), version),
             meta,
             SiteSet::all(SITES),
         ),

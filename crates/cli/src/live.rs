@@ -11,12 +11,12 @@
 use crate::opts::Opts;
 use dynvote_cluster::wire::{ClientOp, ClientReply};
 use dynvote_cluster::{
-    Cluster, ClusterConfig, EventCountEntry, FrontDoorConfig, LoadGen, LoadGenConfig,
+    Cluster, ClusterConfig, EventCountEntry, FrontDoorConfig, KeyDist, LoadGen, LoadGenConfig,
     NetCounterEntry, NetStats, OpenLoop, OpenLoopConfig, TcpClient, TransportKind, WorkloadTarget,
 };
 use dynvote_core::{AlgorithmKind, ConfigError, SiteId};
 use dynvote_protocol::{DurableState, EventKind};
-use dynvote_storage::{FsyncPolicy, SiteStore};
+use dynvote_storage::{FsyncPolicy, NodeStore};
 use std::net::SocketAddr;
 use std::path::Path;
 use std::thread;
@@ -39,6 +39,7 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
     opts.reject_unknown(&[
         "algo",
         "n",
+        "keys",
         "port-base",
         "duration",
         "trace",
@@ -51,6 +52,7 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
     .map_err(|e| format!("{e}; see `dynvote help`"))?;
     let algorithm = parse_algo(opts.get("algo").unwrap_or("hybrid"))?;
     let n: usize = opts.get_or("n", 5).map_err(|e| e.to_string())?;
+    let keys: usize = opts.get_or("keys", 1).map_err(|e| e.to_string())?;
     let port_base: u16 = opts.get_or("port-base", 7700).map_err(|e| e.to_string())?;
     let duration = secs(
         opts.get_or("duration", 0.0).map_err(|e| e.to_string())?,
@@ -60,6 +62,7 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
 
     let mut config = ClusterConfig::new(n, algorithm)
         .with_transport(TransportKind::Tcp)
+        .with_objects(keys)
         .with_port_base(port_base)
         .with_trace(trace);
     // The HTTP front door is opt-in; its tuning knobs without
@@ -119,7 +122,9 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
         }
     }
     let mode = if durable { "durable" } else { "amnesia" };
-    println!("cluster ready: n={n} algo={algorithm} transport=tcp durability={mode}");
+    println!(
+        "cluster ready: n={n} algo={algorithm} objects={keys} transport=tcp durability={mode}"
+    );
     use std::io::Write as _;
     std::io::stdout().flush().ok();
 
@@ -178,28 +183,34 @@ pub fn recover_cmd(opts: &Opts) -> Result<(), String> {
     sites.sort();
     let mut truncated_sites = 0u32;
     for (index, dir) in &sites {
-        let (state, report) = SiteStore::inspect(dir, DurableState::initial(n))
+        let (states, report) = NodeStore::inspect(dir, DurableState::initial(n))
             .map_err(|e| format!("site-{index}: {e}"))?;
         let snapshot = report
             .snapshot_epoch
             .map_or_else(|| "none".to_owned(), |e| e.to_string());
-        let prepared = state.prepared.map_or_else(
-            || "none".to_owned(),
-            |(txn, coordinator)| format!("{txn:?} via {coordinator}"),
-        );
         println!(
-            "site-{index}: snapshot={snapshot} segments={} records={} corrupt_snapshots={} | \
-             VN={} SC={} DS={:?} log={} commits={} prepared={prepared} next_seq={}",
+            "site-{index}: snapshot={snapshot} objects={} segments={} records={} corrupt_snapshots={}",
+            states.len(),
             report.segments_replayed,
             report.records_replayed,
             report.corrupt_snapshots,
-            state.meta.version,
-            state.meta.cardinality,
-            state.meta.distinguished,
-            state.log.len(),
-            state.commits.len(),
-            state.next_seq,
         );
+        for (object, state) in states.iter().enumerate() {
+            let prepared = state.prepared.map_or_else(
+                || "none".to_owned(),
+                |(txn, coordinator)| format!("{txn:?} via {coordinator}"),
+            );
+            println!(
+                "site-{index}/object-{object}: VN={} SC={} DS={:?} log={} commits={} \
+                 prepared={prepared} next_seq={}",
+                state.meta.version,
+                state.meta.cardinality,
+                state.meta.distinguished,
+                state.log.len(),
+                state.commits.len(),
+                state.next_seq,
+            );
+        }
         if let Some(torn) = &report.truncated {
             truncated_sites += 1;
             println!(
@@ -224,6 +235,8 @@ pub fn loadgen_cmd(opts: &Opts) -> Result<(), String> {
         "concurrency",
         "duration",
         "read-fraction",
+        "keys",
+        "key-dist",
         "seed",
         "min-commits",
         "crash",
@@ -257,6 +270,12 @@ pub fn loadgen_cmd(opts: &Opts) -> Result<(), String> {
     let read_fraction: f64 = opts
         .get_or("read-fraction", 0.1)
         .map_err(|e| e.to_string())?;
+    let keys: u32 = opts.get_or("keys", 1).map_err(|e| e.to_string())?;
+    let key_dist: KeyDist = opts
+        .get("key-dist")
+        .unwrap_or("uniform")
+        .parse()
+        .map_err(|e: ConfigError| e.to_string())?;
     let seed: u64 = opts.get_or("seed", 7).map_err(|e| e.to_string())?;
     let min_commits: u64 = opts.get_or("min-commits", 0).map_err(|e| e.to_string())?;
     let crash_site: Option<usize> =
@@ -330,6 +349,8 @@ pub fn loadgen_cmd(opts: &Opts) -> Result<(), String> {
                 .get_or("connections", 1024)
                 .map_err(|e| e.to_string())?,
             read_fraction,
+            keys,
+            key_dist,
             seed,
         };
         config.validate().map_err(|e| e.to_string())?;
@@ -375,6 +396,8 @@ pub fn loadgen_cmd(opts: &Opts) -> Result<(), String> {
         concurrency: opts.get_or("concurrency", 4).map_err(|e| e.to_string())?,
         duration,
         read_fraction,
+        keys,
+        key_dist,
         seed,
     };
     // Typed validation before any socket is touched (satellite: absurd

@@ -126,13 +126,21 @@ USAGE:
         minimal reproducer.
 
     dynvote serve [--n k] [--algo <name>] [--port-base p] [--duration secs]
-                  [--trace true] [--data-dir path] [--fsync policy]
+                  [--keys k] [--trace true] [--data-dir path] [--fsync policy]
                   [--http-port p] [--max-inflight k] [--max-conns k]
         Boot a live n-node cluster on loopback TCP, node i listening on
         127.0.0.1:(port-base + i). With --duration 0 (default) it runs
         until killed; otherwise it audits consistency at the deadline
         and exits non-zero on a violation. --trace true renders every
         protocol event to stderr as it happens.
+
+        --keys k hosts k independent replicated objects on the same
+        sites (default 1). Each object runs its own voting state
+        machine; commit rounds from different objects share peer
+        frames and, with --data-dir, one group-commit fsync barrier
+        seals all objects' steps from a batch. Ops pick an object with
+        a \"key\" field; an absent key means object 0, so single-object
+        clients keep working unchanged.
 
         Each node runs one epoll reactor thread that multiplexes its
         peer links and clients. --http-port additionally opens an
@@ -161,11 +169,15 @@ USAGE:
         Offline inspection: run boot recovery (newest valid snapshot +
         WAL replay, truncating at the first torn record) for every
         site-<i> under the data directory and print the state each
-        site would reboot with. Read-only — repairs nothing, deletes
-        nothing.
+        site would reboot with: a per-site summary (snapshot epoch,
+        objects recovered, segments/records replayed) followed by one
+        line per object (VN/SC/DS, log length, commits, orphaned
+        prepare). Objects are discovered from disk, not configured.
+        Read-only — repairs nothing, deletes nothing.
 
     dynvote loadgen [--n k] [--host h] [--port-base p] [--concurrency c]
                     [--duration secs] [--read-fraction f] [--seed s]
+                    [--keys k] [--key-dist uniform|zipf]
                     [--crash <site>] [--crash-after secs] [--restart-after secs]
                     [--min-commits k] [--algo <label>]
                     [--open-loop true] [--rate r] [--connections c]
@@ -173,12 +185,18 @@ USAGE:
         Closed-loop workload against a served cluster: c workers issue
         updates/reads round-robin over the nodes, optionally crashing
         and restarting one site mid-run. Prints a JSON report with
-        throughput, p50/p95/p99 commit latency, per-site protocol
-        event tallies, and per-site net counters (dial failures,
-        backpressure drops, decode errors), audits every node, and
-        exits non-zero on a serializability violation or if fewer than
-        --min-commits updates committed. --algo only labels the report
-        (the wire protocol is algorithm-agnostic).
+        throughput, per-shard and aggregate commit counts, p50/p95/p99
+        commit latency, per-site protocol event tallies, and per-site
+        net counters (dial failures, backpressure drops, decode
+        errors), audits every node, and exits non-zero on a
+        serializability violation or if fewer than --min-commits
+        updates committed. --algo only labels the report (the wire
+        protocol is algorithm-agnostic).
+
+        --keys k spreads ops over k objects (serve must host at least
+        that many); --key-dist picks the sampling law: uniform
+        (default) or zipf (exponent 1, key 0 hottest). The report's
+        per_shard_commits array has one commit count per key.
 
         --open-loop true switches to paced arrivals against the HTTP
         front door (serve must be running with --http-port): --rate

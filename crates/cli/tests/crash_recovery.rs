@@ -68,7 +68,7 @@ fn connect(port: u16) -> TcpClient {
 /// Commit one update, retrying past transient Busy/TimedOut replies.
 fn commit_update(client: &mut TcpClient, what: &str) -> u64 {
     for _ in 0..50 {
-        match client.request(&ClientOp::Update).expect(what) {
+        match client.request(&ClientOp::Update { key: 0 }).expect(what) {
             ClientReply::Committed { version } => return version,
             _ => std::thread::sleep(Duration::from_millis(20)),
         }
@@ -77,7 +77,10 @@ fn commit_update(client: &mut TcpClient, what: &str) -> u64 {
 }
 
 fn dump_log(client: &mut TcpClient) -> (u64, Vec<u64>) {
-    match client.request(&ClientOp::DumpLog).expect("dump log") {
+    match client
+        .request(&ClientOp::DumpLog { key: 0 })
+        .expect("dump log")
+    {
         ClientReply::Log { meta, entries } => {
             (meta.version, entries.iter().map(|e| e.version).collect())
         }
@@ -110,7 +113,7 @@ fn sigkill_mid_storm_recovers_every_acked_commit() {
         std::thread::spawn(move || {
             let mut acked = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                match seed_client.request(&ClientOp::Update) {
+                match seed_client.request(&ClientOp::Update { key: 0 }) {
                     Ok(ClientReply::Committed { version }) => acked = version,
                     Ok(_) => {}
                     Err(_) => break, // the nemesis struck

@@ -10,7 +10,7 @@ use crate::transport::{ChannelTransport, NetStats, Transport};
 use crate::wire::{self, ClientOp, ClientReply, HELLO_CLIENT};
 use dynvote_core::{AlgorithmKind, ConfigError, SiteId, SiteSet, MAX_SITES};
 use dynvote_net::{Poller, Waker};
-use dynvote_protocol::{CountingSink, EventTallies};
+use dynvote_protocol::{CountingSink, EventTallies, ObjectId};
 use dynvote_storage::{FsyncPolicy, StorageError, StoreConfig};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -19,6 +19,12 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Ceiling on objects per cluster — a sanity bound on configuration,
+/// not a protocol limit (object ids are `u32` on the wire). Each object
+/// costs a full per-site state machine, so a runaway `--keys` should
+/// fail loudly instead of allocating forever.
+pub const MAX_OBJECTS: usize = 65_536;
 
 /// Which transport carries inter-site messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +104,10 @@ impl From<ConfigError> for BootError {
 pub struct ClusterConfig {
     /// Number of sites (`1..=MAX_SITES`).
     pub n: usize,
+    /// Number of independent replicated objects every site hosts
+    /// (`1..=MAX_OBJECTS`). Each object is its own shard: its own
+    /// `(VN, SC, DS)` triple, commit chain, and lock domain.
+    pub objects: usize,
     /// The replica-control algorithm every site runs.
     pub algorithm: AlgorithmKind,
     /// Inter-site transport.
@@ -124,6 +134,7 @@ impl ClusterConfig {
     pub fn new(n: usize, algorithm: AlgorithmKind) -> Self {
         ClusterConfig {
             n,
+            objects: 1,
             algorithm,
             transport: TransportKind::Channel,
             port_base: None,
@@ -138,6 +149,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Host `objects` independent replicated objects per site.
+    #[must_use]
+    pub fn with_objects(mut self, objects: usize) -> Self {
+        self.objects = objects;
         self
     }
 
@@ -182,6 +200,14 @@ impl ClusterConfig {
                 value: self.n as u64,
                 lo: 1,
                 hi: MAX_SITES as u64,
+            });
+        }
+        if self.objects == 0 || self.objects > MAX_OBJECTS {
+            return Err(ConfigError::OutOfRange {
+                field: "objects",
+                value: self.objects as u64,
+                lo: 1,
+                hi: MAX_OBJECTS as u64,
             });
         }
         if self.node.vote_deadline.is_zero() {
@@ -295,14 +321,24 @@ impl LocalClient {
         }
     }
 
-    /// Submit an update coordinated by this node.
+    /// Submit an update on object 0 coordinated by this node.
     pub fn update(&mut self) -> Result<ClientReply, RequestError> {
-        self.request(ClientOp::Update)
+        self.request(ClientOp::Update { key: 0 })
     }
 
-    /// Submit a read-only request.
+    /// Submit an update on one keyed object.
+    pub fn update_key(&mut self, key: u32) -> Result<ClientReply, RequestError> {
+        self.request(ClientOp::Update { key })
+    }
+
+    /// Submit a read-only request on object 0.
     pub fn read(&mut self) -> Result<ClientReply, RequestError> {
-        self.request(ClientOp::Read)
+        self.request(ClientOp::Read { key: 0 })
+    }
+
+    /// Submit a read-only request on one keyed object.
+    pub fn read_key(&mut self, key: u32) -> Result<ClientReply, RequestError> {
+        self.request(ClientOp::Read { key })
     }
 }
 
@@ -374,7 +410,8 @@ impl Cluster {
     pub fn boot(config: &ClusterConfig) -> Result<Self, BootError> {
         config.validate()?;
         let n = config.n;
-        let ledger = Arc::new(ClusterLedger::new());
+        let objects = config.objects;
+        let ledger = Arc::new(ClusterLedger::new(objects));
         let events = Arc::new(CountingSink::new());
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -430,6 +467,7 @@ impl Cluster {
             let mut node = Node::new(
                 id,
                 n,
+                objects,
                 config.algorithm,
                 config.node,
                 transport,
@@ -447,8 +485,12 @@ impl Cluster {
                 .map_err(|error| BootError::Storage { site: id, error })?;
                 // The audit ledger must start from the history the
                 // disks already hold, or the first post-reboot commit
-                // would be flagged as a version gap.
-                ledger.prime(node.recovered_log());
+                // would be flagged as a version gap — per object, since
+                // every shard has its own chain.
+                for o in 0..objects {
+                    let object = ObjectId(o as u32);
+                    ledger.prime(object, node.recovered_log(object));
+                }
             }
             node.set_event_sink(Arc::clone(&events), config.trace);
             if let Some((poller, waker, shared, stats)) = reactor_parts {
@@ -457,6 +499,7 @@ impl Cluster {
                     Arc::new(FrontDoor::new(
                         id,
                         config.algorithm.to_string(),
+                        objects as u32,
                         http.max_inflight,
                         Arc::clone(&events),
                         Arc::clone(&stats),
@@ -579,21 +622,28 @@ impl Cluster {
         Ok(())
     }
 
-    /// Probe one site's protocol state.
+    /// Probe one site's protocol state (object 0).
     pub fn probe(&self, site: SiteId) -> Result<ClientReply, RequestError> {
-        self.control(site, ClientOp::Probe)
+        self.control(site, ClientOp::Probe { key: 0 })
+    }
+
+    /// Probe one site's protocol state for one keyed object.
+    pub fn probe_object(&self, site: SiteId, key: u32) -> Result<ClientReply, RequestError> {
+        self.control(site, ClientOp::Probe { key })
     }
 
     /// Wait until no live site holds a lock or an in-doubt prepare
-    /// record (in-flight protocol work has drained). Returns `false` on
-    /// timeout.
+    /// record on **any** shard (in-flight protocol work has drained).
+    /// Returns `false` on timeout.
     pub fn await_quiescence(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
             let mut quiet = true;
             for i in 0..self.n {
-                match self.probe(SiteId(i as u8)) {
-                    Ok(ClientReply::Probe {
+                // Status aggregates lock/in-doubt across every shard,
+                // so one request per site covers all objects.
+                match self.control(SiteId(i as u8), ClientOp::Status) {
+                    Ok(ClientReply::Status {
                         locked,
                         in_doubt,
                         down,

@@ -63,6 +63,8 @@ impl Default for FrontDoorConfig {
 pub(crate) struct FrontDoor {
     site: SiteId,
     algorithm: String,
+    /// Objects this node hosts — the bound for `"key"` validation.
+    objects: u32,
     max_inflight: u64,
     inflight: AtomicU64,
     latency: Mutex<Histogram>,
@@ -74,6 +76,7 @@ impl FrontDoor {
     pub(crate) fn new(
         site: SiteId,
         algorithm: String,
+        objects: u32,
         max_inflight: u64,
         events: Arc<CountingSink>,
         stats: Arc<NetStats>,
@@ -81,12 +84,18 @@ impl FrontDoor {
         FrontDoor {
             site,
             algorithm,
+            objects,
             max_inflight,
             inflight: AtomicU64::new(0),
             latency: Mutex::new(Histogram::new()),
             events,
             stats,
         }
+    }
+
+    /// Objects this node hosts (valid keys are `0..objects`).
+    pub(crate) fn objects(&self) -> u32 {
+        self.objects
     }
 
     /// Try to charge one slot of the inflight budget.
@@ -166,23 +175,102 @@ impl FrontDoor {
     }
 }
 
+/// Why a `POST /v1/op` body was refused. Each cause renders its own
+/// 400 body, so a client that sent `"key":"three"` learns it sent a
+/// bad key — not a generic "bad body" shrug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpParseError {
+    /// The body is not one of the accepted op shapes.
+    Syntax,
+    /// A `"key"` field was present but its value is not a
+    /// non-negative integer literal.
+    KeyNotInteger,
+    /// The key is an integer but names an object this cluster does not
+    /// host.
+    KeyOutOfRange {
+        /// The key the client sent (saturated at `u64::MAX`).
+        key: u64,
+        /// How many objects the cluster hosts (valid keys are
+        /// `0..objects`).
+        objects: u32,
+    },
+}
+
+impl OpParseError {
+    /// The JSON error body for the 400 response.
+    pub(crate) fn body(&self) -> String {
+        match self {
+            OpParseError::Syntax => "{\"error\":\"body must be {\\\"op\\\":\\\"update\\\"} or \
+                 {\\\"op\\\":\\\"read\\\"}, optionally with \\\"key\\\":N\"}"
+                .to_owned(),
+            OpParseError::KeyNotInteger => {
+                "{\"error\":\"\\\"key\\\" must be a non-negative integer\"}".to_owned()
+            }
+            OpParseError::KeyOutOfRange { key, objects } => format!(
+                "{{\"error\":\"key {key} out of range: this cluster hosts \
+                 {objects} objects (keys 0..{objects})\"}}"
+            ),
+        }
+    }
+}
+
 /// Extract the op from a `POST /v1/op` body: `{"op":"update"}`,
-/// `{"op":"read"}`, or the bare words `update` / `read`.
-pub(crate) fn parse_op(body: &[u8]) -> Option<ClientOp> {
-    let text = std::str::from_utf8(body).ok()?;
+/// `{"op":"read"}` (each optionally with `"key":N`), or the bare words
+/// `update` / `read`. An absent key means object 0, so every pre-shard
+/// body keeps its exact meaning.
+pub(crate) fn parse_op(body: &[u8], objects: u32) -> Result<ClientOp, OpParseError> {
+    let text = std::str::from_utf8(body).map_err(|_| OpParseError::Syntax)?;
     let value = match text.find("\"op\"") {
         Some(at) => {
-            let rest = text[at + 4..].trim_start().strip_prefix(':')?.trim_start();
-            let rest = rest.strip_prefix('"')?;
-            &rest[..rest.find('"')?]
+            let rest = text[at + 4..]
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or(OpParseError::Syntax)?
+                .trim_start();
+            let rest = rest.strip_prefix('"').ok_or(OpParseError::Syntax)?;
+            &rest[..rest.find('"').ok_or(OpParseError::Syntax)?]
         }
         None => text.trim(),
     };
+    let key = parse_key(text, objects)?;
     match value {
-        "update" => Some(ClientOp::Update),
-        "read" => Some(ClientOp::Read),
-        _ => None,
+        "update" => Ok(ClientOp::Update { key }),
+        "read" => Ok(ClientOp::Read { key }),
+        _ => Err(OpParseError::Syntax),
     }
+}
+
+/// Extract and validate the optional `"key"` field. Absent → object 0.
+fn parse_key(text: &str, objects: u32) -> Result<u32, OpParseError> {
+    let Some(at) = text.find("\"key\"") else {
+        return Ok(0);
+    };
+    let rest = text[at + 5..]
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or(OpParseError::KeyNotInteger)?
+        .trim_start();
+    let digits_len = rest.bytes().take_while(u8::is_ascii_digit).count();
+    if digits_len == 0 {
+        // Quoted strings, negatives, booleans — not an integer.
+        return Err(OpParseError::KeyNotInteger);
+    }
+    // The token must end cleanly: `3.5` or `3e2` are not integers.
+    match rest.as_bytes().get(digits_len) {
+        None | Some(b',' | b'}' | b' ' | b'\t' | b'\r' | b'\n') => {}
+        Some(_) => return Err(OpParseError::KeyNotInteger),
+    }
+    let key: u64 = rest[..digits_len]
+        .parse()
+        // Wider than u64 is certainly not a hosted object.
+        .map_err(|_| OpParseError::KeyOutOfRange {
+            key: u64::MAX,
+            objects,
+        })?;
+    if key >= u64::from(objects) {
+        return Err(OpParseError::KeyOutOfRange { key, objects });
+    }
+    Ok(key as u32)
 }
 
 /// The HTTP reply sink: carried by
@@ -285,6 +373,7 @@ fn render_reply(reply: &ClientReply) -> (u16, &'static str, String) {
         ),
         ClientReply::Status {
             algorithm,
+            objects,
             meta,
             reachable,
             locked,
@@ -299,7 +388,8 @@ fn render_reply(reply: &ClientReply) -> (u16, &'static str, String) {
                 200,
                 "OK",
                 format!(
-                    "{{\"algorithm\":\"{algorithm}\",\"vn\":{},\"sc\":{},\"ds\":\"{}\",\
+                    "{{\"algorithm\":\"{algorithm}\",\"objects\":{objects},\
+                     \"vn\":{},\"sc\":{},\"ds\":\"{}\",\
                      \"reachable\":\"{reachable}\",\"locked\":{locked},\"in_doubt\":{in_doubt},\
                      \"down\":{down},\"log_len\":{log_len},\"commits\":{commits},\
                      \"wal_epoch\":{wal}}}",
@@ -321,14 +411,81 @@ mod tests {
 
     #[test]
     fn parse_op_accepts_json_and_bare_forms() {
-        assert_eq!(parse_op(b"{\"op\":\"update\"}"), Some(ClientOp::Update));
-        assert_eq!(parse_op(b"{ \"op\" : \"read\" }"), Some(ClientOp::Read));
-        assert_eq!(parse_op(b"update"), Some(ClientOp::Update));
-        assert_eq!(parse_op(b"  read\n"), Some(ClientOp::Read));
-        assert_eq!(parse_op(b"{\"op\":\"drop_tables\"}"), None);
-        assert_eq!(parse_op(b"{\"op\":12}"), None);
-        assert_eq!(parse_op(b"\xff\xfe"), None);
-        assert_eq!(parse_op(b""), None);
+        // Keyless bodies keep their exact pre-shard meaning: object 0.
+        assert_eq!(
+            parse_op(b"{\"op\":\"update\"}", 4),
+            Ok(ClientOp::Update { key: 0 })
+        );
+        assert_eq!(
+            parse_op(b"{ \"op\" : \"read\" }", 4),
+            Ok(ClientOp::Read { key: 0 })
+        );
+        assert_eq!(parse_op(b"update", 4), Ok(ClientOp::Update { key: 0 }));
+        assert_eq!(parse_op(b"  read\n", 4), Ok(ClientOp::Read { key: 0 }));
+        assert_eq!(
+            parse_op(b"{\"op\":\"drop_tables\"}", 4),
+            Err(OpParseError::Syntax)
+        );
+        assert_eq!(parse_op(b"{\"op\":12}", 4), Err(OpParseError::Syntax));
+        assert_eq!(parse_op(b"\xff\xfe", 4), Err(OpParseError::Syntax));
+        assert_eq!(parse_op(b"", 4), Err(OpParseError::Syntax));
+    }
+
+    #[test]
+    fn parse_op_keyed_bodies_route_to_their_object() {
+        assert_eq!(
+            parse_op(b"{\"op\":\"update\",\"key\":3}", 4),
+            Ok(ClientOp::Update { key: 3 })
+        );
+        assert_eq!(
+            parse_op(b"{\"key\": 2, \"op\": \"read\"}", 4),
+            Ok(ClientOp::Read { key: 2 })
+        );
+        assert_eq!(
+            parse_op(b"{ \"op\":\"update\" , \"key\" : 0 }", 1),
+            Ok(ClientOp::Update { key: 0 })
+        );
+    }
+
+    #[test]
+    fn parse_op_bad_keys_get_their_own_typed_errors() {
+        // Not an integer: quoted, negative, float, boolean.
+        for body in [
+            &b"{\"op\":\"update\",\"key\":\"3\"}"[..],
+            b"{\"op\":\"update\",\"key\":-1}",
+            b"{\"op\":\"update\",\"key\":1.5}",
+            b"{\"op\":\"update\",\"key\":true}",
+            b"{\"op\":\"update\",\"key\":}",
+        ] {
+            assert_eq!(
+                parse_op(body, 4),
+                Err(OpParseError::KeyNotInteger),
+                "body {:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+        // Integer but unhosted — the error names both sides.
+        assert_eq!(
+            parse_op(b"{\"op\":\"read\",\"key\":4}", 4),
+            Err(OpParseError::KeyOutOfRange { key: 4, objects: 4 })
+        );
+        // Wider than u64 is out of range, not a syntax shrug.
+        assert_eq!(
+            parse_op(b"{\"op\":\"read\",\"key\":99999999999999999999999}", 4),
+            Err(OpParseError::KeyOutOfRange {
+                key: u64::MAX,
+                objects: 4
+            })
+        );
+        // Each cause renders a distinct body.
+        assert!(OpParseError::KeyNotInteger.body().contains("integer"));
+        assert!(OpParseError::KeyOutOfRange { key: 7, objects: 4 }
+            .body()
+            .contains("key 7 out of range"));
+        assert_ne!(
+            OpParseError::Syntax.body(),
+            OpParseError::KeyNotInteger.body()
+        );
     }
 
     #[test]

@@ -57,11 +57,12 @@ pub mod wire;
 
 pub use cluster::{
     BootError, Cluster, ClusterConfig, DurabilityMode, LocalClient, RequestError, TcpClient,
-    TransportKind,
+    TransportKind, MAX_OBJECTS,
 };
 pub use frontdoor::FrontDoorConfig;
 pub use loadgen::{
-    EventCountEntry, Histogram, LoadGen, LoadGenConfig, LoadReport, NetCounterEntry, WorkloadTarget,
+    EventCountEntry, Histogram, KeyDist, LoadGen, LoadGenConfig, LoadReport, NetCounterEntry,
+    WorkloadTarget,
 };
 pub use node::{
     AuditOutcome, ClusterLedger, Node, NodeConfig, NodeDurability, NodeEvent, ReplySink,

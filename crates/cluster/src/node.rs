@@ -1,13 +1,22 @@
-//! The per-site node runtime: one OS thread driving one [`SiteActor`].
+//! The per-site node runtime: one OS thread driving a [`ShardedSite`]
+//! — many independent per-object protocol kernels behind one router.
 //!
-//! A node owns the protocol kernel for its site and translates the
-//! kernel's [`Action`]s into the outside world: sends go to the
-//! [`Transport`], `SetTimer` becomes an entry in a wall-clock timer
-//! heap, and `Resolved` completes the client request that started the
+//! A node owns the protocol kernels for its site and translates their
+//! [`Action`]s into the outside world: sends go to the [`Transport`],
+//! `SetTimer` becomes an entry in a wall-clock timer heap, and
+//! `Resolved` completes the client request that started the
 //! transaction. Everything arrives through one `mpsc` inbox
 //! ([`NodeEvent`]) — peer frames, client requests, and shutdown — so
-//! the kernel is only ever touched from its own thread and needs no
-//! locking.
+//! the kernels are only ever touched from their own thread and need no
+//! locking. Transactions on different objects never contend: each
+//! shard has its own lock, commit chain, and prepare record.
+//!
+//! **Group commit.** The event loop drains a whole inbox batch while
+//! the kernels *stage* their actions; then **one** durability barrier
+//! seals every shard's WAL ops as a single record, and only afterwards
+//! are the staged sends and client replies dispatched. The force-write
+//! discipline is intact — nothing announced is ever lost — but the
+//! fsync is amortized across every object the batch touched.
 //!
 //! Fault injection mirrors the simulator's model exactly:
 //!
@@ -30,10 +39,10 @@ use crate::transport::{NetStats, Transport};
 use crate::wire::{ClientOp, ClientReply};
 use dynvote_core::{AlgorithmKind, BackoffPolicy, SiteId, SiteSet, TimerWheel};
 use dynvote_protocol::{
-    Action, CountingSink, DurableState, EventSink, FanoutSink, LogEntry, Message, RenderSink,
-    ResolveReason, SiteActor, TimerKind, TxnId,
+    Action, CountingSink, DurableState, EventSink, FanoutSink, LogEntry, Message, ObjectId,
+    RenderSink, ResolveReason, ShardedSite, TimerKind, TxnId,
 };
-use dynvote_storage::{RecoveryReport, SiteStore, StorageError, StoreConfig};
+use dynvote_storage::{NodeStore, RecoveryReport, ShardHandle, StorageError, StoreConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -130,56 +139,81 @@ impl Default for NodeConfig {
 
 /// The cluster-wide omniscient commit ledger: every coordinator records
 /// its commits here, and divergence (two different payloads claiming
-/// the same version number) or version gaps are flagged immediately.
-/// This is the live-cluster analogue of the simulator's ledger — a
-/// checking device, not part of the protocol.
-#[derive(Debug, Default)]
+/// the same version number of the same object) or version gaps are
+/// flagged immediately. One independent chain per object — commits on
+/// different shards never order against each other. This is the
+/// live-cluster analogue of the simulator's ledger — a checking device,
+/// not part of the protocol.
+#[derive(Debug)]
 pub struct ClusterLedger {
     inner: Mutex<LedgerInner>,
 }
 
 #[derive(Debug, Default)]
 struct LedgerInner {
-    /// Payload committed at each version; index `v - 1` holds version
-    /// `v`.
-    chain: Vec<u64>,
+    /// Per-object payload chains; `chains[o][v - 1]` holds the payload
+    /// committed at version `v` of object `o`.
+    chains: Vec<Vec<u64>>,
     violations: Vec<String>,
 }
 
 impl ClusterLedger {
-    /// A fresh, empty ledger.
+    /// A fresh, empty ledger tracking `objects` independent chains.
     #[must_use]
-    pub fn new() -> Self {
-        ClusterLedger::default()
+    pub fn new(objects: usize) -> Self {
+        ClusterLedger {
+            inner: Mutex::new(LedgerInner {
+                chains: vec![Vec::new(); objects.max(1)],
+                violations: Vec::new(),
+            }),
+        }
     }
 
-    fn record(&self, site: SiteId, version: u64, payload: u64) {
+    fn record(&self, site: SiteId, object: ObjectId, version: u64, payload: u64) {
         let mut inner = self.inner.lock().expect("ledger poisoned");
-        let next = inner.chain.len() as u64 + 1;
+        let o = object.index();
+        if o >= inner.chains.len() {
+            inner
+                .violations
+                .push(format!("site {site} committed on unknown object {object}"));
+            return;
+        }
+        let next = inner.chains[o].len() as u64 + 1;
         match version.cmp(&next) {
-            Ordering::Equal => inner.chain.push(payload),
+            Ordering::Equal => inner.chains[o].push(payload),
             Ordering::Less => {
-                let existing = inner.chain[(version - 1) as usize];
+                let existing = inner.chains[o][(version - 1) as usize];
                 inner.violations.push(format!(
-                    "site {site} re-committed version {version} \
+                    "site {site} re-committed {object} version {version} \
                      (payload {payload:#x}, chain has {existing:#x})"
                 ));
             }
             Ordering::Greater => {
                 inner.violations.push(format!(
-                    "site {site} committed version {version} but the chain \
-                     only reaches {}",
+                    "site {site} committed {object} version {version} but \
+                     the chain only reaches {}",
                     next - 1
                 ));
             }
         }
     }
 
-    /// Number of versions committed cluster-wide (including
-    /// `Make_Current` restart commits).
+    /// Number of versions committed cluster-wide, summed over every
+    /// object's chain (including `Make_Current` restart commits).
     #[must_use]
     pub fn chain_len(&self) -> u64 {
-        self.inner.lock().expect("ledger poisoned").chain.len() as u64
+        let inner = self.inner.lock().expect("ledger poisoned");
+        inner.chains.iter().map(|c| c.len() as u64).sum()
+    }
+
+    /// Length of one object's chain (0 for an unknown object).
+    #[must_use]
+    pub fn chain_len_of(&self, object: ObjectId) -> u64 {
+        let inner = self.inner.lock().expect("ledger poisoned");
+        inner
+            .chains
+            .get(object.index())
+            .map_or(0, |c| c.len() as u64)
     }
 
     /// All violations flagged so far (empty on a correct run).
@@ -192,33 +226,41 @@ impl ClusterLedger {
             .clone()
     }
 
-    /// Seed the chain from a recovered site's durable log, so a durable
-    /// cluster rebooted from disk audits against the history its disks
-    /// already hold rather than flagging the first post-reboot commit
-    /// as a gap. Entries extend the chain exactly where they continue
-    /// it; anything already covered is left for [`Self::check_log`] and
-    /// [`Self::record`] to cross-check. Priming with every site's log
-    /// in any order converges on the longest recovered prefix.
-    pub fn prime(&self, log: &[LogEntry]) {
+    /// Seed one object's chain from a recovered site's durable log, so
+    /// a durable cluster rebooted from disk audits against the history
+    /// its disks already hold rather than flagging the first
+    /// post-reboot commit as a gap. Entries extend the chain exactly
+    /// where they continue it; anything already covered is left for
+    /// [`Self::check_log`] and [`Self::record`] to cross-check. Priming
+    /// with every site's logs in any order converges on the longest
+    /// recovered prefix per object.
+    pub fn prime(&self, object: ObjectId, log: &[LogEntry]) {
         let mut inner = self.inner.lock().expect("ledger poisoned");
+        let o = object.index();
+        if o >= inner.chains.len() {
+            return;
+        }
         for entry in log {
-            if entry.version == inner.chain.len() as u64 + 1 {
-                inner.chain.push(entry.payload);
+            if entry.version == inner.chains[o].len() as u64 + 1 {
+                inner.chains[o].push(entry.payload);
             }
         }
     }
 
-    /// True if `log` is a gapless prefix of the global chain and
+    /// True if `log` is a gapless prefix of `object`'s global chain and
     /// `meta_version` matches its length — the paper's invariant for
     /// every copy.
     #[must_use]
-    pub fn check_log(&self, log: &[LogEntry], meta_version: u64) -> bool {
+    pub fn check_log(&self, object: ObjectId, log: &[LogEntry], meta_version: u64) -> bool {
         let inner = self.inner.lock().expect("ledger poisoned");
+        let Some(chain) = inner.chains.get(object.index()) else {
+            return false;
+        };
         meta_version == log.len() as u64
             && log
                 .iter()
                 .enumerate()
-                .all(|(i, e)| e.version == (i + 1) as u64 && inner.chain.get(i) == Some(&e.payload))
+                .all(|(i, e)| e.version == (i + 1) as u64 && chain.get(i) == Some(&e.payload))
     }
 }
 
@@ -251,17 +293,22 @@ struct PendingClient {
     reply: ReplySink,
 }
 
-/// A live protocol site: the kernel plus its wall-clock surroundings.
-/// Consume with [`Node::run`] on a dedicated thread.
+/// A live protocol site: the sharded kernels plus their wall-clock
+/// surroundings. Consume with [`Node::run`] on a dedicated thread.
 pub struct Node {
     id: SiteId,
     n: usize,
+    objects: usize,
     algorithm: AlgorithmKind,
-    actor: SiteActor,
+    site: ShardedSite,
     /// `Some` when this node owns a data directory: every boot and
-    /// every [`ClientOp::Recover`] reloads the kernel's durable state
+    /// every [`ClientOp::Recover`] reloads the kernels' durable state
     /// from disk instead of trusting process memory.
     durability: Option<NodeDurability>,
+    /// The shared multi-object store behind every shard's persistence
+    /// hook, kept so the event loop can issue the group-commit barrier
+    /// and drive WAL rotation. `None` for amnesiac nodes.
+    store: Option<Arc<Mutex<NodeStore>>>,
     /// The installed event sink, kept so a disk reboot can re-install
     /// it on the freshly restored kernel.
     sink: Option<Arc<dyn EventSink>>,
@@ -300,27 +347,31 @@ pub struct Node {
 const INBOX_BATCH: usize = 128;
 
 impl Node {
-    /// Build the runtime for site `id` of an `n`-site cluster running
-    /// `algorithm`, reading events from `rx` and sending through
-    /// `transport`.
+    /// Build the runtime for site `id` of an `n`-site cluster hosting
+    /// `objects` independent replicated objects under `algorithm`,
+    /// reading events from `rx` and sending through `transport`.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: SiteId,
         n: usize,
+        objects: usize,
         algorithm: AlgorithmKind,
         config: NodeConfig,
         transport: Box<dyn Transport>,
         rx: Receiver<NodeEvent>,
         ledger: Arc<ClusterLedger>,
     ) -> Self {
-        let actor = SiteActor::new(id, n, algorithm.instantiate(n));
+        let site = ShardedSite::new(id, n, objects, || algorithm.instantiate(n));
         let rng = StdRng::seed_from_u64(config.seed ^ (0x9E37 + u64::from(id.0)));
         Node {
             id,
             n,
+            objects,
             algorithm,
-            actor,
+            site,
             durability: None,
+            store: None,
             sink: None,
             transport,
             rx,
@@ -340,30 +391,35 @@ impl Node {
         }
     }
 
-    /// Give this node a data directory: recover the kernel's durable
-    /// state from it (snapshot + WAL replay) and install the store as
-    /// the kernel's [`dynvote_protocol::Persistence`] hook, so every
-    /// durable-write point (prepare records, commit records, log
-    /// appends, metadata installs) reaches the WAL before the action
-    /// that announced it leaves the node.
+    /// Give this node a data directory: recover every hosted object's
+    /// durable state from it (snapshot + keyed WAL replay) and install
+    /// per-shard handles onto the shared [`NodeStore`] as each kernel's
+    /// [`dynvote_protocol::Persistence`] hook, so every durable-write
+    /// point (prepare records, commit records, log appends, metadata
+    /// installs) reaches the WAL before the action that announced it
+    /// leaves the node.
     ///
     /// Call before [`Node::run`]. Returns what recovery found.
     pub fn enable_durability(
         &mut self,
         durability: NodeDurability,
     ) -> Result<RecoveryReport, StorageError> {
-        let (store, state, report) = SiteStore::open(
+        let (store, states, report) = NodeStore::open(
             &durability.dir,
             durability.store,
+            self.objects,
             DurableState::initial(self.n),
         )?;
-        let mut actor =
-            SiteActor::restore(self.id, self.n, self.algorithm.instantiate(self.n), state);
-        actor.set_persistence(Box::new(store));
+        let core = Arc::new(Mutex::new(store));
+        let mut site = ShardedSite::restore(self.id, self.n, states, || {
+            self.algorithm.instantiate(self.n)
+        });
+        site.set_persistence(|object| Box::new(ShardHandle::new(Arc::clone(&core), object)));
         if let Some(sink) = &self.sink {
-            actor.set_sink(Arc::clone(sink));
+            site.set_sink(Arc::clone(sink));
         }
-        self.actor = actor;
+        self.site = site;
+        self.store = Some(core);
         self.durability = Some(durability);
         Ok(report)
     }
@@ -374,12 +430,15 @@ impl Node {
         self.durability.is_some()
     }
 
-    /// The site's durable committed log (what recovery reconstructed,
-    /// for a freshly booted durable node). Used to prime the cluster
-    /// ledger before the first post-reboot commit.
+    /// One object's durable committed log (what recovery
+    /// reconstructed, for a freshly booted durable node). Used to prime
+    /// the cluster ledger's per-object chains before the first
+    /// post-reboot commit. Empty for unhosted objects.
     #[must_use]
-    pub fn recovered_log(&self) -> &[LogEntry] {
-        &self.actor.durable().log
+    pub fn recovered_log(&self, object: ObjectId) -> &[LogEntry] {
+        self.site
+            .shard(object)
+            .map_or(&[], |shard| &shard.durable().log)
     }
 
     /// Install the cluster-shared event sink: every protocol event the
@@ -394,7 +453,7 @@ impl Node {
         } else {
             counting.clone()
         };
-        self.actor.set_sink(Arc::clone(&sink));
+        self.site.set_sink(Arc::clone(&sink));
         self.sink = Some(sink);
         self.events = Some(counting);
     }
@@ -443,25 +502,34 @@ impl Node {
     /// broadcast may race the peers' own boots; the PreparedRetry
     /// timer the round arms re-sends it until someone answers.
     fn resume_in_doubt(&mut self) {
-        if self.durability.is_none() || !self.actor.is_in_doubt() {
+        if self.durability.is_none() || !self.site.any_in_doubt() {
             return;
         }
-        let payload = self.fresh_payload();
-        self.actor.recover(payload, &mut self.scratch);
+        for object in 0..self.objects {
+            let object = ObjectId(object as u32);
+            if self.site.shard(object).is_some_and(|s| s.is_in_doubt()) {
+                let payload = self.fresh_payload();
+                if let Some(shard) = self.site.shard_mut(object) {
+                    shard.recover(payload, &mut self.scratch);
+                }
+            }
+        }
         self.apply();
         self.transport.flush();
     }
 
     /// The event loop: block on the inbox up to the next timer
     /// deadline, drain the burst queued behind the first event
-    /// (bounded by [`INBOX_BATCH`]), fire due timers, flush the
-    /// transport once for the whole batch, repeat until
-    /// [`NodeEvent::Shutdown`].
+    /// (bounded by [`INBOX_BATCH`]) while the kernels **stage** their
+    /// actions, fire due timers, then [`Node::apply`] the whole batch
+    /// behind **one** group-commit barrier and flush the transport
+    /// once, repeat until [`NodeEvent::Shutdown`].
     ///
-    /// The single flush per iteration is what makes the TCP hot path
-    /// cheap: every frame the batch produced for one peer leaves in
-    /// one `write_all`. Idle timeouts also flush, so nothing lingers
-    /// buffered when traffic stops.
+    /// The single barrier + single flush per iteration is what makes
+    /// the durable hot path cheap: every WAL op the batch produced —
+    /// across every shard — is sealed by one fsync, and every frame for
+    /// one peer leaves in one `write_all`. Idle timeouts also flush, so
+    /// nothing lingers buffered when traffic stops.
     pub fn run(mut self) {
         self.resume_in_doubt();
         'outer: loop {
@@ -486,17 +554,27 @@ impl Node {
                 Err(RecvTimeoutError::Timeout) => {}
             }
             self.fire_due_timers();
+            // One barrier seals every shard's staged WAL ops, then the
+            // staged sends and replies dispatch.
+            self.apply();
             // Between batches: rotate the WAL if it has grown past the
-            // configured threshold (no-op for amnesiac nodes).
-            self.actor.maybe_checkpoint();
+            // configured threshold (no-op for amnesiac nodes). Safe
+            // here because apply() just drained the pending record.
+            self.maybe_rotate();
             self.transport.flush();
         }
+        self.apply();
         self.transport.flush();
         for (_, client) in self.pending.drain() {
             client.reply.send(client.id, ClientReply::Down);
         }
     }
 
+    /// Feed one inbox event to the kernels. Actions are **staged** in
+    /// the scratch sink; nothing is sent or replied until the batch's
+    /// [`Node::apply`] — except control and diagnostic operations,
+    /// which manage the staging discipline explicitly (see
+    /// [`Node::handle_client`]).
     fn handle_event(&mut self, event: NodeEvent) {
         match event {
             NodeEvent::Peer { from, msg } => {
@@ -505,42 +583,64 @@ impl Node {
                 if self.down || !self.reachable.contains(from) {
                     return;
                 }
-                self.actor.handle_message(from, msg, &mut self.scratch);
-                self.apply();
+                // Unhosted objects are dropped, not panicked on: a
+                // misconfigured or hostile peer must not kill the node.
+                self.site.handle_message(from, msg, &mut self.scratch);
             }
             NodeEvent::Client { id, op, reply } => self.handle_client(id, op, reply),
             NodeEvent::Shutdown => {}
         }
     }
 
+    /// Resolve a wire key to a hosted object, or fail the client.
+    fn object_for(&self, key: u32, id: u64, reply: &ReplySink) -> Option<ObjectId> {
+        if (key as usize) < self.objects {
+            Some(ObjectId(key))
+        } else {
+            reply.send(id, ClientReply::Rejected);
+            None
+        }
+    }
+
     fn handle_client(&mut self, id: u64, op: ClientOp, reply: ReplySink) {
         match op {
-            ClientOp::Update => {
+            ClientOp::Update { key } => {
                 if self.down {
                     reply.send(id, ClientReply::Down);
                     return;
                 }
+                let Some(object) = self.object_for(key, id, &reply) else {
+                    return;
+                };
                 let payload = self.fresh_payload();
-                self.actor.start_update(payload, &mut self.scratch);
-                self.register_client(id, reply);
-                self.apply();
+                let start = self.scratch.len();
+                self.site.start_update(object, payload, &mut self.scratch);
+                self.register_client(id, reply, start);
             }
-            ClientOp::Read => {
+            ClientOp::Read { key } => {
                 if self.down {
                     reply.send(id, ClientReply::Down);
                     return;
                 }
-                self.actor.start_read(&mut self.scratch);
-                self.register_client(id, reply);
-                self.apply();
+                let Some(object) = self.object_for(key, id, &reply) else {
+                    return;
+                };
+                let start = self.scratch.len();
+                self.site.start_read(object, &mut self.scratch);
+                self.register_client(id, reply, start);
             }
             ClientOp::Crash => {
+                // Dispatch whatever earlier events in this batch staged
+                // *before* the crash wipes volatile state: those
+                // actions were produced by a live site and their
+                // durable records are already hooked.
+                self.apply();
                 if !self.down {
                     self.down = true;
                     // Lazy cancellation: already-armed entries become
                     // stale and are skimmed off at the next peek/pop.
                     self.timers.bump_epoch();
-                    self.actor.crash();
+                    self.site.crash();
                     for (_, client) in self.pending.drain() {
                         client.reply.send(client.id, ClientReply::Down);
                     }
@@ -548,6 +648,7 @@ impl Node {
                 reply.send(id, ClientReply::Ok);
             }
             ClientOp::Recover => {
+                self.apply();
                 if self.down {
                     self.down = false;
                     // A durable site restarts from its disk, not from
@@ -555,10 +656,16 @@ impl Node {
                     // the same code path a genuinely rebooted process
                     // takes.
                     self.reboot_from_disk();
-                    let payload = self.fresh_payload();
-                    self.actor.recover(payload, &mut self.scratch);
-                    // Tag the Make_Current transaction (if one started)
-                    // so its commit is booked as restart traffic.
+                    for object in 0..self.objects {
+                        let object = ObjectId(object as u32);
+                        let payload = self.fresh_payload();
+                        if let Some(shard) = self.site.shard_mut(object) {
+                            shard.recover(payload, &mut self.scratch);
+                        }
+                    }
+                    // Tag the Make_Current transactions (per shard, if
+                    // any started) so their commits are booked as
+                    // restart traffic.
                     for action in &self.scratch {
                         if let Action::Broadcast {
                             msg: Message::VoteRequest { txn },
@@ -572,16 +679,25 @@ impl Node {
                 reply.send(id, ClientReply::Ok);
             }
             ClientOp::SetReachable(set) => {
+                // Staged sends were produced under the old topology;
+                // let them leave before the partition takes effect.
+                self.apply();
                 self.reachable = set;
                 reply.send(id, ClientReply::Ok);
             }
-            ClientOp::Probe => {
+            ClientOp::Probe { key } => {
+                let Some(object) = self.object_for(key, id, &reply) else {
+                    return;
+                };
+                // Seal staged durable ops before announcing state.
+                self.apply();
+                let shard = self.site.shard(object).expect("validated object");
                 reply.send(
                     id,
                     ClientReply::Probe {
-                        meta: self.actor.meta(),
-                        locked: self.actor.is_locked(),
-                        in_doubt: self.actor.is_in_doubt(),
+                        meta: shard.meta(),
+                        locked: shard.is_locked(),
+                        in_doubt: shard.is_in_doubt(),
                         down: self.down,
                     },
                 );
@@ -595,45 +711,57 @@ impl Node {
                 reply.send(id, ClientReply::Events { counts });
             }
             ClientOp::Audit => {
-                // Consistency seen from this node: its own log is a
-                // gapless chain prefix AND no commit anywhere was
-                // flagged divergent — so remote auditors (the loadgen
-                // CLI) learn about ledger violations too.
+                self.apply();
+                // Consistency seen from this node: every shard's log is
+                // a gapless prefix of its object's chain AND no commit
+                // anywhere was flagged divergent — so remote auditors
+                // (the loadgen CLI) learn about ledger violations too.
                 let consistent = self.ledger.violations().is_empty()
-                    && self
-                        .ledger
-                        .check_log(self.actor.log(), self.actor.meta().version);
+                    && self.site.iter().enumerate().all(|(o, shard)| {
+                        self.ledger
+                            .check_log(ObjectId(o as u32), shard.log(), shard.meta().version)
+                    });
+                let log_len: u64 = self.site.iter().map(|s| s.log().len() as u64).sum();
                 reply.send(
                     id,
                     ClientReply::Audit {
                         commits: self.commits,
-                        log_len: self.actor.log().len() as u64,
+                        log_len,
                         consistent,
                     },
                 );
             }
-            ClientOp::DumpLog => {
+            ClientOp::DumpLog { key } => {
+                let Some(object) = self.object_for(key, id, &reply) else {
+                    return;
+                };
+                self.apply();
+                let shard = self.site.shard(object).expect("validated object");
                 reply.send(
                     id,
                     ClientReply::Log {
-                        meta: self.actor.meta(),
-                        entries: self.actor.log().to_vec(),
+                        meta: shard.meta(),
+                        entries: shard.log().to_vec(),
                     },
                 );
             }
             ClientOp::Status => {
+                self.apply();
+                let shard = self.site.shard(ObjectId::ZERO).expect("object 0 hosted");
+                let log_len: u64 = self.site.iter().map(|s| s.log().len() as u64).sum();
                 reply.send(
                     id,
                     ClientReply::Status {
                         algorithm: self.algorithm.to_string(),
-                        meta: self.actor.meta(),
+                        objects: self.objects as u32,
+                        meta: shard.meta(),
                         reachable: self.reachable,
-                        locked: self.actor.is_locked(),
-                        in_doubt: self.actor.is_in_doubt(),
+                        locked: self.site.any_locked(),
+                        in_doubt: self.site.any_in_doubt(),
                         down: self.down,
-                        log_len: self.actor.log().len() as u64,
+                        log_len,
                         commits: self.commits,
-                        wal_epoch: self.actor.wal_epoch(),
+                        wal_epoch: shard.wal_epoch(),
                     },
                 );
             }
@@ -649,18 +777,22 @@ impl Node {
     }
 
     /// Park the client on the transaction its request started, found by
-    /// scanning the kernel's first action batch — still sitting in the
-    /// scratch sink — (the kernel does not return the `TxnId`
+    /// scanning the actions the kernel just staged — `start` is the
+    /// scratch length recorded before the kernel call, so only *this*
+    /// request's actions are scanned even though the sink accumulates
+    /// across the whole batch (the kernel does not return the `TxnId`
     /// directly).
-    fn register_client(&mut self, id: u64, reply: ReplySink) {
-        let txn = self.scratch.iter().find_map(|action| match action {
-            Action::Broadcast {
-                msg: Message::VoteRequest { txn },
-            }
-            | Action::Resolved { txn, .. }
-            | Action::SetTimer { txn, .. } => Some(*txn),
-            _ => None,
-        });
+    fn register_client(&mut self, id: u64, reply: ReplySink, start: usize) {
+        let txn = self.scratch[start..]
+            .iter()
+            .find_map(|action| match action {
+                Action::Broadcast {
+                    msg: Message::VoteRequest { txn },
+                }
+                | Action::Resolved { txn, .. }
+                | Action::SetTimer { txn, .. } => Some(*txn),
+                _ => None,
+            });
         match txn {
             Some(txn) => {
                 self.pending.insert(txn, PendingClient { id, reply });
@@ -670,14 +802,18 @@ impl Node {
         }
     }
 
-    /// Drain the scratch sink, interpreting each action. The buffer is
-    /// taken out of `self` for the duration (no kernel re-entry happens
-    /// inside) and put back with its capacity intact.
+    /// Drain the scratch sink — the whole batch's staged actions —
+    /// interpreting each one. The buffer is taken out of `self` for the
+    /// duration (no kernel re-entry happens inside) and put back with
+    /// its capacity intact. Idempotent: an empty sink costs one
+    /// no-op barrier check.
     fn apply(&mut self) {
-        // Durability barrier first: whatever the kernel just recorded
-        // through its persistence hooks must be on disk (per the fsync
-        // policy) before any send or client reply below announces it.
-        self.actor.sync_persistence();
+        // Group-commit barrier first: every WAL op any shard staged
+        // through its persistence hook this batch is sealed as one
+        // record and fsynced (per the fsync policy) before any send or
+        // client reply below announces it. One fsync covers every
+        // object the batch touched.
+        self.site.sync_persistence();
         let mut actions = std::mem::take(&mut self.scratch);
         // Ledger bookkeeping first: a commit must be globally recorded
         // before the Commit fan-out below can trigger a dependent
@@ -691,7 +827,7 @@ impl Node {
                 txn,
             } = action
             {
-                self.ledger.record(self.id, *version, *payload);
+                self.ledger.record(self.id, txn.object, *version, *payload);
                 committed.insert(*txn, *version);
                 if !self.restart_txns.contains(txn) {
                     self.commits += 1;
@@ -715,10 +851,9 @@ impl Node {
                     if let Some(client) = self.pending.remove(&txn) {
                         let reply = match reason {
                             ResolveReason::Committed => ClientReply::Committed {
-                                version: committed
-                                    .get(&txn)
-                                    .copied()
-                                    .unwrap_or_else(|| self.actor.meta().version),
+                                version: committed.get(&txn).copied().unwrap_or_else(|| {
+                                    self.site.shard(txn.object).map_or(0, |s| s.meta().version)
+                                }),
                             },
                             ResolveReason::ReadServed => ClientReply::ReadServed,
                             ResolveReason::NotDistinguished => ClientReply::Rejected,
@@ -737,6 +872,27 @@ impl Node {
         self.scratch = actions;
     }
 
+    /// Rotate the shared WAL into a fresh epoch behind a node-wide
+    /// snapshot of every shard's durable state, when it has grown past
+    /// the configured threshold. Called right after [`Node::apply`], so
+    /// the pending group-commit record is empty and the snapshot is a
+    /// consistent cut across all objects.
+    fn maybe_rotate(&mut self) {
+        let Some(core) = self.store.clone() else {
+            return;
+        };
+        if !core.lock().expect("store poisoned").wants_rotation() {
+            return;
+        }
+        let states: Vec<DurableState> = self.site.iter().map(|s| s.durable().clone()).collect();
+        let outcome = core.lock().expect("store poisoned").rotate(&states);
+        if let Err(err) = outcome {
+            // Rotation is an optimization; a failed attempt leaves the
+            // old epoch intact and will be retried next batch.
+            eprintln!("site {}: WAL rotation failed: {err}", self.id);
+        }
+    }
+
     fn send(&mut self, to: SiteId, msg: Message) {
         if self.down || !self.reachable.contains(to) {
             return;
@@ -750,7 +906,11 @@ impl Node {
             TimerKind::CatchUpDeadline => self.config.catchup_deadline,
             TimerKind::PreparedRetry => {
                 let u: f64 = self.rng.gen();
-                let ms = self.config.backoff.delay(self.actor.prepared_rounds(), u);
+                let rounds = self
+                    .site
+                    .shard(txn.object)
+                    .map_or(0, |s| s.prepared_rounds());
+                let ms = self.config.backoff.delay(rounds, u);
                 Duration::from_secs_f64(ms / 1000.0)
             }
         };
@@ -764,13 +924,14 @@ impl Node {
             .map(|when| when.saturating_duration_since(now))
     }
 
+    /// Fire every due timer, staging the resulting actions; the
+    /// caller's [`Node::apply`] dispatches them with the batch.
     fn fire_due_timers(&mut self) {
         while let Some((_, (txn, kind))) = self.timers.pop_due(&Instant::now()) {
             if self.down {
                 continue;
             }
-            self.actor.timer_fired(txn, kind, &mut self.scratch);
-            self.apply();
+            self.site.timer_fired(txn, kind, &mut self.scratch);
         }
     }
 
@@ -788,25 +949,27 @@ mod tests {
 
     #[test]
     fn ledger_accepts_the_chain_and_flags_divergence() {
-        let ledger = ClusterLedger::new();
-        ledger.record(SiteId(0), 1, 0x10);
-        ledger.record(SiteId(1), 2, 0x20);
+        let ledger = ClusterLedger::new(1);
+        let o = ObjectId::ZERO;
+        ledger.record(SiteId(0), o, 1, 0x10);
+        ledger.record(SiteId(1), o, 2, 0x20);
         assert_eq!(ledger.chain_len(), 2);
         assert!(ledger.violations().is_empty());
 
-        ledger.record(SiteId(2), 2, 0x99); // divergent re-commit
-        ledger.record(SiteId(3), 9, 0x30); // gap
+        ledger.record(SiteId(2), o, 2, 0x99); // divergent re-commit
+        ledger.record(SiteId(3), o, 9, 0x30); // gap
         let violations = ledger.violations();
         assert_eq!(violations.len(), 2);
-        assert!(violations[0].contains("re-committed version 2"));
-        assert!(violations[1].contains("committed version 9"));
+        assert!(violations[0].contains("version 2"));
+        assert!(violations[1].contains("version 9"));
     }
 
     #[test]
     fn ledger_checks_logs_as_gapless_prefixes() {
-        let ledger = ClusterLedger::new();
-        ledger.record(SiteId(0), 1, 0x10);
-        ledger.record(SiteId(0), 2, 0x20);
+        let ledger = ClusterLedger::new(1);
+        let o = ObjectId::ZERO;
+        ledger.record(SiteId(0), o, 1, 0x10);
+        ledger.record(SiteId(0), o, 2, 0x20);
         let full = [
             LogEntry {
                 version: 1,
@@ -817,13 +980,71 @@ mod tests {
                 payload: 0x20,
             },
         ];
-        assert!(ledger.check_log(&full, 2));
-        assert!(ledger.check_log(&full[..1], 1)); // stale prefix is fine
-        assert!(!ledger.check_log(&full, 1)); // meta out of step
+        assert!(ledger.check_log(o, &full, 2));
+        assert!(ledger.check_log(o, &full[..1], 1)); // stale prefix is fine
+        assert!(!ledger.check_log(o, &full, 1)); // meta out of step
         let diverged = [LogEntry {
             version: 1,
             payload: 0x99,
         }];
-        assert!(!ledger.check_log(&diverged, 1));
+        assert!(!ledger.check_log(o, &diverged, 1));
+    }
+
+    #[test]
+    fn ledger_chains_are_independent_per_object() {
+        let ledger = ClusterLedger::new(3);
+        // Version 1 of three different objects: three independent
+        // chains, no gaps, no divergence.
+        ledger.record(SiteId(0), ObjectId(0), 1, 0xA0);
+        ledger.record(SiteId(1), ObjectId(1), 1, 0xB0);
+        ledger.record(SiteId(2), ObjectId(2), 1, 0xC0);
+        assert!(ledger.violations().is_empty());
+        assert_eq!(ledger.chain_len(), 3);
+        assert_eq!(ledger.chain_len_of(ObjectId(1)), 1);
+
+        // Same payload at the same version of two objects is fine —
+        // but a second version-1 commit on object 1 diverges.
+        ledger.record(SiteId(0), ObjectId(1), 1, 0xB1);
+        assert_eq!(ledger.violations().len(), 1);
+
+        // A commit on an object the ledger does not track is flagged.
+        ledger.record(SiteId(0), ObjectId(9), 1, 0xD0);
+        assert_eq!(ledger.violations().len(), 2);
+
+        // check_log keys by object: object 0's log does not validate
+        // against object 1's chain.
+        let log = [LogEntry {
+            version: 1,
+            payload: 0xA0,
+        }];
+        assert!(ledger.check_log(ObjectId(0), &log, 1));
+        assert!(!ledger.check_log(ObjectId(1), &log, 1));
+    }
+
+    #[test]
+    fn ledger_primes_per_object() {
+        let ledger = ClusterLedger::new(2);
+        let log0 = [
+            LogEntry {
+                version: 1,
+                payload: 0x10,
+            },
+            LogEntry {
+                version: 2,
+                payload: 0x20,
+            },
+        ];
+        let log1 = [LogEntry {
+            version: 1,
+            payload: 0x99,
+        }];
+        ledger.prime(ObjectId(0), &log0);
+        ledger.prime(ObjectId(1), &log1);
+        assert_eq!(ledger.chain_len_of(ObjectId(0)), 2);
+        assert_eq!(ledger.chain_len_of(ObjectId(1)), 1);
+        // Post-prime commits continue each chain where its log left off.
+        ledger.record(SiteId(0), ObjectId(0), 3, 0x30);
+        ledger.record(SiteId(1), ObjectId(1), 2, 0xAA);
+        assert!(ledger.violations().is_empty());
     }
 }

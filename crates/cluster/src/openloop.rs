@@ -18,7 +18,7 @@
 //! arrivals are *shed* and counted (`shed`), not silently skipped and
 //! not allowed to queue without bound.
 
-use crate::loadgen::{Histogram, LatencyStats};
+use crate::loadgen::{sample_key, zipf_cdf, Histogram, KeyDist, LatencyStats};
 use dynvote_core::ConfigError;
 use dynvote_net::{sys, Event, Events, Interest, Poller, ResponseParser, Token};
 use rand::rngs::StdRng;
@@ -47,6 +47,11 @@ pub struct OpenLoopConfig {
     pub connections: usize,
     /// Fraction of arrivals that are read-only (`0..=1`).
     pub read_fraction: f64,
+    /// Number of distinct objects the workload targets (`>= 1`); each
+    /// arrival carries a key in `0..keys`.
+    pub keys: u32,
+    /// How keys are drawn.
+    pub key_dist: KeyDist,
     /// Seed for the operation-mix RNG.
     pub seed: u64,
 }
@@ -58,6 +63,8 @@ impl Default for OpenLoopConfig {
             duration: Duration::from_secs(5),
             connections: 2048,
             read_fraction: 0.1,
+            keys: 1,
+            key_dist: KeyDist::Uniform,
             seed: 7,
         }
     }
@@ -90,6 +97,14 @@ impl OpenLoopConfig {
             return Err(ConfigError::NotPositive {
                 field: "duration",
                 value: 0.0,
+            });
+        }
+        if self.keys == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "keys",
+                value: 0,
+                lo: 1,
+                hi: u64::from(u32::MAX),
             });
         }
         Ok(())
@@ -132,6 +147,13 @@ pub struct OpenLoopReport {
     pub rejected_429: u64,
     /// Any other HTTP outcome (4xx/5xx the classifier does not know).
     pub http_errors: u64,
+    /// Number of distinct keys the workload targeted.
+    pub keys: u32,
+    /// How keys were drawn (`"uniform"` or `"zipf"`).
+    pub key_dist: String,
+    /// Committed updates per shard, indexed by key; sums to
+    /// [`OpenLoopReport::committed`] (the aggregate).
+    pub per_shard_commits: Vec<u64>,
     /// Committed updates per second of offered-load window.
     pub throughput_per_sec: f64,
     /// Commit-latency percentiles, measured from the intended arrival
@@ -159,10 +181,12 @@ struct OpenConn {
     /// origin.
     intended: Instant,
     is_update: bool,
+    key: u32,
 }
 
 #[derive(Default)]
 struct Tally {
+    per_shard_commits: Vec<u64>,
     shed: u64,
     connect_errors: u64,
     abandoned: u64,
@@ -201,8 +225,15 @@ impl OpenLoop {
         let mut conns: Vec<Option<OpenConn>> = Vec::new();
         let mut free: Vec<usize> = Vec::new();
         let mut open = 0usize;
-        let mut tally = Tally::default();
+        let mut tally = Tally {
+            per_shard_commits: vec![0; config.keys as usize],
+            ..Tally::default()
+        };
         let mut rng = StdRng::seed_from_u64(config.seed);
+        let cdf = match config.key_dist {
+            KeyDist::Uniform => None,
+            KeyDist::Zipf => Some(zipf_cdf(config.keys)),
+        };
 
         let start = Instant::now();
         let end = start + config.duration;
@@ -223,8 +254,11 @@ impl OpenLoop {
                     continue;
                 }
                 let target = targets[(offered as usize - 1) % targets.len()];
+                let key = sample_key(&mut rng, config.keys, cdf.as_deref());
                 let is_update = !(config.read_fraction > 0.0 && rng.gen_bool(config.read_fraction));
-                match start_request(&poller, &mut conns, &mut free, target, intended, is_update) {
+                match start_request(
+                    &poller, &mut conns, &mut free, target, intended, is_update, key,
+                ) {
                     Ok(()) => {
                         open += 1;
                         tally.peak_open = tally.peak_open.max(open as u64);
@@ -282,6 +316,9 @@ impl OpenLoop {
             down: tally.down,
             rejected_429: tally.rejected_429,
             http_errors: tally.http_errors,
+            keys: config.keys,
+            key_dist: config.key_dist.to_string(),
+            per_shard_commits: tally.per_shard_commits,
             throughput_per_sec: tally.committed as f64 / window.max(f64::EPSILON),
             update_latency: LatencyStats {
                 p50_ms: tally.latency.quantile_ms(0.50),
@@ -295,7 +332,9 @@ impl OpenLoop {
     }
 }
 
-/// Open a nonblocking connection and stage one `POST /v1/op`.
+/// Open a nonblocking connection and stage one `POST /v1/op`. A zero
+/// key keeps the body keyless — byte-identical to the single-object
+/// wire format.
 fn start_request(
     poller: &Poller,
     conns: &mut Vec<Option<OpenConn>>,
@@ -303,20 +342,22 @@ fn start_request(
     target: SocketAddr,
     intended: Instant,
     is_update: bool,
+    key: u32,
 ) -> io::Result<()> {
     let (fd, connected) = sys::connect_nonblocking(&target)?;
     let stream = TcpStream::from(fd);
     let _ = stream.set_nodelay(true);
-    let body: &[u8] = if is_update {
-        b"{\"op\":\"update\"}"
+    let verb = if is_update { "update" } else { "read" };
+    let body = if key == 0 {
+        format!("{{\"op\":\"{verb}\"}}")
     } else {
-        b"{\"op\":\"read\"}"
+        format!("{{\"op\":\"{verb}\",\"key\":{key}}}")
     };
     let mut out = Vec::with_capacity(128);
     out.extend_from_slice(b"POST /v1/op HTTP/1.1\r\nhost: dynvote\r\ncontent-length: ");
     out.extend_from_slice(body.len().to_string().as_bytes());
     out.extend_from_slice(b"\r\nconnection: close\r\n\r\n");
-    out.extend_from_slice(body);
+    out.extend_from_slice(body.as_bytes());
     let conn = OpenConn {
         stream,
         parser: ResponseParser::new(),
@@ -324,6 +365,7 @@ fn start_request(
         connected,
         intended,
         is_update,
+        key,
     };
     let slot = match free.pop() {
         Some(slot) => {
@@ -421,6 +463,9 @@ fn classify(status: u16, body: &[u8], conn: &OpenConn, tally: &mut Tally) {
         200 => {
             if conn.is_update {
                 tally.committed += 1;
+                if let Some(shard) = tally.per_shard_commits.get_mut(conn.key as usize) {
+                    *shard += 1;
+                }
                 let ns = u64::try_from(conn.intended.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 tally.latency.record(ns);
             } else {

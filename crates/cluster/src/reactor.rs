@@ -172,32 +172,48 @@ impl fmt::Debug for ConnTx {
     }
 }
 
+/// One peer's accumulating outbound batch: `count` length-prefixed
+/// message bodies concatenated in `bodies` (see
+/// [`wire::encode_batch_into`]).
+#[derive(Default)]
+struct PeerBatch {
+    bodies: Vec<u8>,
+    count: u32,
+}
+
 /// The node's outbound peer transport over the reactor: `send` stages
-/// frames locally (zero shared-state traffic), `flush` moves each
-/// nonempty batch into the peer's shared queue and rings the waker
-/// once.
+/// message bodies locally (zero shared-state traffic), `flush` seals
+/// each peer's accumulated messages — **one wire frame per peer per
+/// batch**, a [`wire::MSG_BATCH_TAG`] envelope when more than one
+/// message is pending — into the peer's shared queue and rings the
+/// waker once. With many objects in flight, a whole multi-shard vote
+/// or commit round leaves as a single frame and a single `write_all`.
 pub struct ReactorTransport {
     shared: Arc<ReactorShared>,
-    bufs: Vec<Vec<u8>>,
+    bufs: Vec<PeerBatch>,
     staged: bool,
+    /// Reusable envelope-encode buffer for multi-message batches.
+    frame: Vec<u8>,
 }
 
 impl ReactorTransport {
     pub(crate) fn new(shared: Arc<ReactorShared>, n: usize) -> Self {
         ReactorTransport {
             shared,
-            bufs: (0..n).map(|_| Vec::new()).collect(),
+            bufs: (0..n).map(|_| PeerBatch::default()).collect(),
             staged: false,
+            frame: Vec::new(),
         }
     }
 }
 
 impl Transport for ReactorTransport {
     fn send(&mut self, to: SiteId, msg: &Message) {
-        let Some(buf) = self.bufs.get_mut(to.index()) else {
+        let Some(batch) = self.bufs.get_mut(to.index()) else {
             return;
         };
-        wire::encode_frame_into(buf, |out| wire::encode_message_into(out, msg));
+        wire::encode_frame_into(&mut batch.bodies, |out| wire::encode_message_into(out, msg));
+        batch.count += 1;
         self.staged = true;
     }
 
@@ -207,24 +223,43 @@ impl Transport for ReactorTransport {
         }
         self.staged = false;
         let mut wake = false;
-        for (idx, buf) in self.bufs.iter_mut().enumerate() {
-            if buf.is_empty() {
+        let ReactorTransport {
+            shared,
+            bufs,
+            frame,
+            ..
+        } = self;
+        for (idx, batch) in bufs.iter_mut().enumerate() {
+            if batch.count == 0 {
                 continue;
             }
-            let queue = &self.shared.peers[idx];
+            // One pending message is already exactly one wire frame
+            // (`[len][body]`); more get the batch envelope so the whole
+            // round is a single frame on the stream.
+            let bytes: &[u8] = if batch.count == 1 {
+                &batch.bodies
+            } else {
+                frame.clear();
+                wire::encode_frame_into(frame, |out| {
+                    wire::encode_batch_into(out, batch.count, &batch.bodies);
+                });
+                frame
+            };
+            let queue = &shared.peers[idx];
             {
                 let mut shared_buf = queue.buf.lock().expect("peer queue poisoned");
-                if shared_buf.len() + buf.len() > PEER_QUEUE_CAP {
+                if shared_buf.len() + bytes.len() > PEER_QUEUE_CAP {
                     // Peer slow or down: the batch is legally lost,
                     // and loudly counted.
-                    self.shared.stats.bump_backpressure_drop();
+                    shared.stats.bump_backpressure_drop();
                 } else {
-                    shared_buf.extend_from_slice(buf);
+                    shared_buf.extend_from_slice(bytes);
                     queue.dirty.store(true, Ordering::Release);
                     wake = true;
                 }
             }
-            buf.clear();
+            batch.bodies.clear();
+            batch.count = 0;
         }
         if wake {
             self.shared.waker.wake();
@@ -303,6 +338,8 @@ pub(crate) struct Reactor {
     open_conns: usize,
     stats: Arc<NetStats>,
     scratch: Vec<u8>,
+    /// Reusable landing buffer for a decoded batch's messages.
+    msg_scratch: Vec<Message>,
 }
 
 impl Reactor {
@@ -345,6 +382,7 @@ impl Reactor {
             open_conns: 0,
             stats,
             scratch: vec![0u8; READ_CHUNK],
+            msg_scratch: Vec::new(),
         })
     }
 
@@ -779,23 +817,37 @@ impl Reactor {
             ConnKind::PeerIn { from } => {
                 conn.decoder.extend(&self.scratch[start..n]);
                 loop {
-                    match self.conns[slot].as_mut().unwrap().decoder.next_frame() {
-                        Ok(Some(body)) => {
-                            let msg = match wire::decode_message(body) {
-                                Ok(msg) => msg,
-                                Err(_) => {
-                                    self.stats.bump_decode_error();
-                                    self.close_conn(slot);
-                                    return false;
-                                }
-                            };
+                    // A frame is a single message or a MSG_BATCH
+                    // envelope; either way the messages are collected
+                    // into the reusable scratch (the frame body borrows
+                    // the decoder, so the inbox send happens after).
+                    let msgs = &mut self.msg_scratch;
+                    msgs.clear();
+                    let step: Result<bool, ()> =
+                        match self.conns[slot].as_mut().unwrap().decoder.next_frame() {
+                            Ok(Some(body)) => wire::decode_peer_frame(body, |m| msgs.push(m))
+                                .map(|_| true)
+                                .map_err(|_| ()),
+                            Ok(None) => Ok(false),
+                            Err(_) => Err(()),
+                        };
+                    match step {
+                        Ok(true) => {
                             self.stats.bump_frame_in();
-                            if self.inbox.send(NodeEvent::Peer { from, msg }).is_err() {
+                            let mut msgs = std::mem::take(&mut self.msg_scratch);
+                            let mut ok = true;
+                            for msg in msgs.drain(..) {
+                                if ok && self.inbox.send(NodeEvent::Peer { from, msg }).is_err() {
+                                    ok = false;
+                                }
+                            }
+                            self.msg_scratch = msgs;
+                            if !ok {
                                 self.close_conn(slot);
                                 return false;
                             }
                         }
-                        Ok(None) => break,
+                        Ok(false) => break,
                         Err(_) => {
                             self.stats.bump_decode_error();
                             self.close_conn(slot);
@@ -909,15 +961,14 @@ impl Reactor {
         };
         match (req.method, req.target.as_str()) {
             (Method::Post, "/v1/op") => {
-                let Some(op) = crate::frontdoor::parse_op(&req.body) else {
-                    self.respond_json(
-                        slot,
-                        400,
-                        "Bad Request",
-                        "{\"error\":\"body must be {\\\"op\\\":\\\"update\\\"} or {\\\"op\\\":\\\"read\\\"}\"}",
-                        req.keep_alive,
-                    );
-                    return true;
+                let op = match crate::frontdoor::parse_op(&req.body, front.objects()) {
+                    Ok(op) => op,
+                    // Typed 400s: a bad key tells the client it sent a
+                    // bad key, not just "bad body".
+                    Err(e) => {
+                        self.respond_json(slot, 400, "Bad Request", &e.body(), req.keep_alive);
+                        return true;
+                    }
                 };
                 if !front.try_admit() {
                     self.stats.bump_http_rejected();

@@ -281,10 +281,7 @@ mod tests {
 
     fn abort(seq: u64) -> Message {
         Message::Abort {
-            txn: TxnId {
-                coordinator: SiteId(0),
-                seq,
-            },
+            txn: TxnId::new(SiteId(0), seq),
         }
     }
 

@@ -34,12 +34,22 @@ pub const HELLO_CLIENT: u8 = b'C';
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
 /// A request a client sends to one node.
+///
+/// Data-plane ops carry the object (`key`) they address; key `0` is the
+/// default object, which is what keyless HTTP bodies map to.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientOp {
-    /// Submit an update coordinated by the receiving node.
-    Update,
-    /// Submit a read-only request (paper footnote 5).
-    Read,
+    /// Submit an update on one object, coordinated by the receiving
+    /// node.
+    Update {
+        /// The object (shard) to update.
+        key: u32,
+    },
+    /// Submit a read-only request on one object (paper footnote 5).
+    Read {
+        /// The object (shard) to read.
+        key: u32,
+    },
     /// Fault injection: crash the site (volatile state lost; durable
     /// prepare/commit records survive). The node process stays up and
     /// keeps answering control traffic.
@@ -51,18 +61,24 @@ pub enum ClientOp {
     /// messages to and from sites outside the set are dropped, emulating
     /// a network partition at the node boundary (transport-agnostic).
     SetReachable(SiteSet),
-    /// Inspect the node's current protocol state.
-    Probe,
+    /// Inspect one object's current protocol state on this node.
+    Probe {
+        /// The object (shard) to inspect.
+        key: u32,
+    },
     /// Ask the node to audit its durable log against the cluster's
     /// shared omniscient ledger.
     Audit,
     /// Fetch the node's protocol-event tallies (one counter per
     /// [`dynvote_protocol::EventKind`], in declaration order).
     Events,
-    /// Fetch the node's durable metadata and full committed log, so an
-    /// external harness can audit consistency across nodes that do not
-    /// share a process (and hence no in-memory ledger).
-    DumpLog,
+    /// Fetch one object's durable metadata and full committed log, so
+    /// an external harness can audit consistency across nodes that do
+    /// not share a process (and hence no in-memory ledger).
+    DumpLog {
+        /// The object (shard) to dump.
+        key: u32,
+    },
     /// Fetch a one-shot operational snapshot (algorithm, partition
     /// view, metadata, WAL epoch) — the front door's `GET /status`.
     Status,
@@ -129,11 +145,15 @@ pub enum ClientReply {
         /// Every committed entry, version-ordered and gapless.
         entries: Vec<LogEntry>,
     },
-    /// Operational snapshot for `GET /status`.
+    /// Operational snapshot for `GET /status`. Protocol-state fields
+    /// describe object 0 (the default object); `objects` says how many
+    /// shards the node hosts in total.
     Status {
         /// Name of the vote-assignment algorithm the cluster runs.
         algorithm: String,
-        /// The durable `(VN, SC, DS)` triple.
+        /// Number of objects (shards) this node hosts.
+        objects: u32,
+        /// The durable `(VN, SC, DS)` triple of object 0.
         meta: CopyMeta,
         /// The node's current reachability set (partition view).
         reachable: SiteSet,
@@ -304,6 +324,45 @@ pub fn decode_message(body: &[u8]) -> Result<Message, WireError> {
     r.finish(msg)
 }
 
+// ----- peer batch frames -------------------------------------------------
+
+/// Body tag of a peer **batch** frame: one frame carrying many protocol
+/// messages — typically many different objects' vote/commit rounds that
+/// one event-loop iteration produced for the same peer. Distinct from
+/// every single-message tag (1–9), so a receiver dispatches on the
+/// first byte.
+pub const MSG_BATCH_TAG: u8 = 10;
+
+/// Append a peer-batch frame body: `[MSG_BATCH_TAG][count]` followed by
+/// `count` length-prefixed message bodies (`bodies` is their
+/// concatenation, each already behind its own `u32` length — the
+/// transport accumulates them via [`encode_frame_into`] +
+/// [`encode_message_into`] into a reusable buffer).
+pub fn encode_batch_into(out: &mut Vec<u8>, count: u32, bodies: &[u8]) {
+    put_u8(out, MSG_BATCH_TAG);
+    put_u32(out, count);
+    out.extend_from_slice(bodies);
+}
+
+/// Decode a peer frame body that is either a single protocol message or
+/// a batch, feeding each decoded [`Message`] to `sink` in order.
+/// Returns the number of messages delivered.
+pub fn decode_peer_frame(body: &[u8], mut sink: impl FnMut(Message)) -> Result<u32, WireError> {
+    if body.first() == Some(&MSG_BATCH_TAG) {
+        let mut r = Reader::new(&body[1..]);
+        let count = r.u32()?;
+        for _ in 0..count {
+            let len = r.u32()? as usize;
+            let msg_body = r.take(len)?;
+            sink(decode_message(msg_body)?);
+        }
+        r.finish(count)
+    } else {
+        sink(decode_message(body)?);
+        Ok(1)
+    }
+}
+
 // ----- client frames -----------------------------------------------------
 
 /// Encode a client request (correlation id + operation).
@@ -320,18 +379,30 @@ pub fn encode_request(id: u64, op: &ClientOp) -> Vec<u8> {
 pub fn encode_request_into(out: &mut Vec<u8>, id: u64, op: &ClientOp) {
     put_u64(out, id);
     match op {
-        ClientOp::Update => put_u8(out, 0),
-        ClientOp::Read => put_u8(out, 1),
+        ClientOp::Update { key } => {
+            put_u8(out, 0);
+            put_u32(out, *key);
+        }
+        ClientOp::Read { key } => {
+            put_u8(out, 1);
+            put_u32(out, *key);
+        }
         ClientOp::Crash => put_u8(out, 2),
         ClientOp::Recover => put_u8(out, 3),
         ClientOp::SetReachable(set) => {
             put_u8(out, 4);
             put_site_set(out, *set);
         }
-        ClientOp::Probe => put_u8(out, 5),
+        ClientOp::Probe { key } => {
+            put_u8(out, 5);
+            put_u32(out, *key);
+        }
         ClientOp::Audit => put_u8(out, 6),
         ClientOp::Events => put_u8(out, 7),
-        ClientOp::DumpLog => put_u8(out, 8),
+        ClientOp::DumpLog { key } => {
+            put_u8(out, 8);
+            put_u32(out, *key);
+        }
         ClientOp::Status => put_u8(out, 9),
         ClientOp::NetStats => put_u8(out, 10),
     }
@@ -342,15 +413,15 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, ClientOp), WireError> {
     let mut r = Reader::new(body);
     let id = r.u64()?;
     let op = match r.u8()? {
-        0 => ClientOp::Update,
-        1 => ClientOp::Read,
+        0 => ClientOp::Update { key: r.u32()? },
+        1 => ClientOp::Read { key: r.u32()? },
         2 => ClientOp::Crash,
         3 => ClientOp::Recover,
         4 => ClientOp::SetReachable(r.site_set()?),
-        5 => ClientOp::Probe,
+        5 => ClientOp::Probe { key: r.u32()? },
         6 => ClientOp::Audit,
         7 => ClientOp::Events,
-        8 => ClientOp::DumpLog,
+        8 => ClientOp::DumpLog { key: r.u32()? },
         9 => ClientOp::Status,
         10 => ClientOp::NetStats,
         tag => return Err(WireError::BadTag(tag)),
@@ -418,6 +489,7 @@ pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &ClientReply) {
         }
         ClientReply::Status {
             algorithm,
+            objects,
             meta,
             reachable,
             locked,
@@ -430,6 +502,7 @@ pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &ClientReply) {
             put_u8(out, 11);
             put_u32(out, algorithm.len() as u32);
             out.extend_from_slice(algorithm.as_bytes());
+            put_u32(out, *objects);
             put_meta(out, *meta);
             put_site_set(out, *reachable);
             put_u8(out, u8::from(*locked));
@@ -507,6 +580,7 @@ pub fn decode_reply(body: &[u8]) -> Result<(u64, ClientReply), WireError> {
             let algorithm = String::from_utf8_lossy(&name).into_owned();
             ClientReply::Status {
                 algorithm,
+                objects: r.u32()?,
                 meta: r.meta()?,
                 reachable: r.site_set()?,
                 locked: r.u8()? != 0,
@@ -591,10 +665,7 @@ mod tests {
     use dynvote_protocol::TxnId;
 
     fn txn(c: u8, seq: u64) -> TxnId {
-        TxnId {
-            coordinator: SiteId(c),
-            seq,
-        }
+        TxnId::new(SiteId(c), seq)
     }
 
     fn sample_meta() -> CopyMeta {
@@ -704,8 +775,11 @@ mod tests {
             );
         }
         let mut buf = preamble.clone();
-        encode_request_into(&mut buf, 7, &ClientOp::Update);
-        assert_eq!(&buf[preamble.len()..], encode_request(7, &ClientOp::Update));
+        encode_request_into(&mut buf, 7, &ClientOp::Update { key: 3 });
+        assert_eq!(
+            &buf[preamble.len()..],
+            encode_request(7, &ClientOp::Update { key: 3 })
+        );
         let mut buf = preamble.clone();
         let reply = ClientReply::Committed { version: 12 };
         encode_reply_into(&mut buf, 9, &reply);
@@ -748,15 +822,17 @@ mod tests {
     #[test]
     fn every_client_frame_round_trips() {
         let ops = vec![
-            ClientOp::Update,
-            ClientOp::Read,
+            ClientOp::Update { key: 0 },
+            ClientOp::Update { key: 17 },
+            ClientOp::Read { key: 0 },
+            ClientOp::Read { key: u32::MAX },
             ClientOp::Crash,
             ClientOp::Recover,
             ClientOp::SetReachable(SiteSet::parse("ACE").unwrap()),
-            ClientOp::Probe,
+            ClientOp::Probe { key: 2 },
             ClientOp::Audit,
             ClientOp::Events,
-            ClientOp::DumpLog,
+            ClientOp::DumpLog { key: 5 },
             ClientOp::Status,
             ClientOp::NetStats,
         ];
@@ -806,6 +882,7 @@ mod tests {
             },
             ClientReply::Status {
                 algorithm: "hybrid".to_string(),
+                objects: 16,
                 meta: sample_meta(),
                 reachable: SiteSet::parse("ABDE").unwrap(),
                 locked: false,
@@ -817,6 +894,7 @@ mod tests {
             },
             ClientReply::Status {
                 algorithm: String::new(),
+                objects: 1,
                 meta: sample_meta(),
                 reachable: SiteSet::all(5),
                 locked: true,
@@ -856,10 +934,52 @@ mod tests {
     }
 
     #[test]
+    fn peer_batch_frames_round_trip_many_objects() {
+        use dynvote_protocol::ObjectId;
+        // Build the batch exactly as the transport does: accumulate
+        // length-prefixed message bodies in a reusable buffer, then wrap
+        // them behind the batch tag.
+        let msgs: Vec<Message> = (0..5u32)
+            .map(|o| Message::VoteRequest {
+                txn: TxnId::keyed(SiteId(0), u64::from(o) + 1, ObjectId(o)),
+            })
+            .collect();
+        let mut bodies = Vec::new();
+        for msg in &msgs {
+            encode_frame_into(&mut bodies, |out| encode_message_into(out, msg));
+        }
+        let mut frame = Vec::new();
+        encode_batch_into(&mut frame, msgs.len() as u32, &bodies);
+        let mut decoded = Vec::new();
+        let n = decode_peer_frame(&frame, |m| decoded.push(m)).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(decoded, msgs);
+
+        // A single bare message still decodes through the same entry
+        // point (count 1), so mixed senders interoperate.
+        let single = encode_message(&msgs[0]);
+        let mut decoded = Vec::new();
+        assert_eq!(decode_peer_frame(&single, |m| decoded.push(m)), Ok(1));
+        assert_eq!(decoded, vec![msgs[0].clone()]);
+
+        // Hostile batches: truncated inner body, trailing bytes, bad
+        // inner message — all typed errors, never panics.
+        let mut torn = frame.clone();
+        torn.truncate(frame.len() - 3);
+        assert!(decode_peer_frame(&torn, |_| ()).is_err());
+        let mut trailing = frame.clone();
+        trailing.push(0xEE);
+        assert_eq!(
+            decode_peer_frame(&trailing, |_| ()),
+            Err(WireError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
     fn frames_round_trip_over_a_byte_stream() {
         let mut stream = Vec::new();
         let a = encode_message(&Message::Abort { txn: txn(1, 2) });
-        let b = encode_request(7, &ClientOp::Probe);
+        let b = encode_request(7, &ClientOp::Probe { key: 0 });
         write_frame(&mut stream, &a).unwrap();
         write_frame(&mut stream, &b).unwrap();
         let mut cursor = &stream[..];

@@ -16,12 +16,12 @@
 use dynvote_cluster::scenario::{
     demo_script, run_cluster, run_cluster_config, run_cluster_traced, Fixpoint, ScriptOp,
 };
-use dynvote_cluster::wire::ClientOp;
+use dynvote_cluster::wire::{ClientOp, ClientReply};
 use dynvote_cluster::{Cluster, ClusterConfig, LoadGen, LoadGenConfig, TransportKind};
-use dynvote_core::{AlgorithmKind, SiteId, SiteSet};
+use dynvote_core::{AlgorithmKind, CopyMeta, SiteId, SiteSet};
 use dynvote_protocol::{DurableState, EventKind, EventTallies};
 use dynvote_sim::{SimConfig, Simulation};
-use dynvote_storage::{FsyncPolicy, SiteStore};
+use dynvote_storage::{FsyncPolicy, NodeStore};
 use std::thread;
 use std::time::Duration;
 
@@ -73,22 +73,23 @@ fn run_sim(algorithm: AlgorithmKind, n: usize, script: &[ScriptOp]) -> Fixpoint 
 
 /// Serialize metadata through the wire codec so "byte-identical" is
 /// literal, not just `PartialEq`.
-fn meta_bytes(fp: &Fixpoint) -> Vec<u8> {
+fn meta_bytes_of(metas: &[CopyMeta]) -> Vec<u8> {
     use dynvote_protocol::{Message, TxnId};
     let mut out = Vec::new();
-    for (i, meta) in fp.metas.iter().enumerate() {
+    for (i, meta) in metas.iter().enumerate() {
         out.extend(dynvote_cluster::wire::encode_message(
             &Message::VoteGranted {
-                txn: TxnId {
-                    coordinator: SiteId(0),
-                    seq: i as u64,
-                },
+                txn: TxnId::new(SiteId(0), i as u64),
                 meta: *meta,
                 from: SiteId(i as u8),
             },
         ));
     }
     out
+}
+
+fn meta_bytes(fp: &Fixpoint) -> Vec<u8> {
+    meta_bytes_of(&fp.metas)
 }
 
 fn conformance(algorithm: AlgorithmKind) {
@@ -144,8 +145,9 @@ fn persistence_leg(algorithm: AlgorithmKind, script: &[ScriptOp], reference: &Fi
     disk.metas.clear();
     for i in 0..n {
         let site_dir = dir.join(format!("site-{i}"));
-        let (state, report) =
-            SiteStore::inspect(&site_dir, DurableState::initial(n)).expect("inspect site dir");
+        let (states, report) =
+            NodeStore::inspect(&site_dir, DurableState::initial(n)).expect("inspect site dir");
+        let state = &states[0];
         assert!(
             report.truncated.is_none(),
             "{algorithm:?}: site {i} torn after clean shutdown: {report:?}"
@@ -254,6 +256,222 @@ fn protocol_event_tallies_match_sim_vs_channel() {
     assert_eq!(sim_det.total(EventKind::Recovered), 1);
 }
 
+// ------------------------------------------------------- multi-object leg
+
+/// One step of a keyed scenario: an update aimed at a named object, or
+/// a node-level fault (which hits every shard hosted on that node at
+/// once — faults are per-site, never per-object).
+#[derive(Debug, Clone)]
+enum KeyedStep {
+    Update(u32, SiteId),
+    Crash(SiteId),
+    Recover(SiteId),
+}
+
+/// Three objects' update streams interleaved with one node-level
+/// crash/recover cycle, so per-object cardinalities diverge and the
+/// recovered node must catch up on every shard.
+fn keyed_script() -> Vec<KeyedStep> {
+    use KeyedStep::{Crash, Recover, Update};
+    vec![
+        Update(0, SiteId(0)),
+        Update(1, SiteId(1)),
+        Update(2, SiteId(2)),
+        Update(0, SiteId(3)),
+        Update(1, SiteId(4)),
+        Crash(SiteId(4)),
+        Update(0, SiteId(0)),
+        Update(2, SiteId(1)),
+        Recover(SiteId(4)),
+        Update(1, SiteId(0)),
+        Update(2, SiteId(4)),
+        Update(0, SiteId(2)),
+    ]
+}
+
+/// Project the keyed script down to one object: faults are global (a
+/// crashed node takes every shard with it), updates keep only this
+/// object's stream. If shards really are independent state machines,
+/// the projection run on a *single-object* simulator is the exact
+/// per-object reference for the multi-object cluster.
+fn project(script: &[KeyedStep], object: u32) -> Vec<ScriptOp> {
+    script
+        .iter()
+        .filter_map(|step| match step {
+            KeyedStep::Update(o, site) if *o == object => Some(ScriptOp::Update(*site)),
+            KeyedStep::Update(..) => None,
+            KeyedStep::Crash(site) => Some(ScriptOp::Crash(*site)),
+            KeyedStep::Recover(site) => Some(ScriptOp::Recover(*site)),
+        })
+        .collect()
+}
+
+/// The multi-object conformance leg: a sharded cluster interpreting the
+/// keyed script must leave every object with byte-identical per-site
+/// `(VN, SC, DS)` metadata to a single-object simulator run of that
+/// object's projection — on both the channel and the TCP transport.
+fn multi_object_conformance(algorithm: AlgorithmKind) {
+    const OBJECTS: u32 = 3;
+    let n = 5;
+    let script = keyed_script();
+    let refs: Vec<Fixpoint> = (0..OBJECTS)
+        .map(|o| {
+            let fp = run_sim(algorithm, n, &project(&script, o));
+            assert!(fp.consistent, "{algorithm:?}: object {o} reference run");
+            fp
+        })
+        .collect();
+
+    for transport in [TransportKind::Channel, TransportKind::Tcp] {
+        let config = ClusterConfig::new(n, algorithm)
+            .with_transport(transport)
+            .with_objects(OBJECTS as usize);
+        let cluster = Cluster::boot(&config).expect("boot sharded cluster");
+        for step in &script {
+            match step {
+                KeyedStep::Update(o, site) => {
+                    cluster.client(*site).update_key(*o).expect("keyed update");
+                }
+                KeyedStep::Crash(site) => cluster.crash(*site).expect("crash"),
+                KeyedStep::Recover(site) => cluster.recover(*site).expect("recover"),
+            }
+            assert!(
+                cluster.await_quiescence(Duration::from_secs(10)),
+                "{algorithm:?}/{transport:?}: no quiescence after {step:?}"
+            );
+        }
+        for (o, reference) in refs.iter().enumerate() {
+            let mut metas = Vec::with_capacity(n);
+            for i in 0..n {
+                match cluster
+                    .probe_object(SiteId(i as u8), o as u32)
+                    .expect("probe object")
+                {
+                    ClientReply::Probe { meta, .. } => metas.push(meta),
+                    other => panic!("probe returned {other:?}"),
+                }
+            }
+            assert_eq!(
+                metas, reference.metas,
+                "{algorithm:?}/{transport:?}: object {o} metadata diverges from its projection"
+            );
+            assert_eq!(
+                meta_bytes_of(&metas),
+                meta_bytes_of(&reference.metas),
+                "{algorithm:?}/{transport:?}: object {o} metadata bytes diverge"
+            );
+        }
+        let audit = cluster.audit().expect("audit");
+        assert!(
+            audit.consistent,
+            "{algorithm:?}/{transport:?}: {:?}",
+            audit.violations
+        );
+        assert_eq!(
+            audit.commits,
+            refs.iter().map(|r| r.committed).sum::<u64>(),
+            "{algorithm:?}/{transport:?}: total commits diverge from the projections"
+        );
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn multi_object_static_voting() {
+    multi_object_conformance(AlgorithmKind::Voting);
+}
+
+#[test]
+fn multi_object_dynamic_voting() {
+    multi_object_conformance(AlgorithmKind::DynamicVoting);
+}
+
+#[test]
+fn multi_object_dynamic_linear() {
+    multi_object_conformance(AlgorithmKind::DynamicLinear);
+}
+
+#[test]
+fn multi_object_hybrid() {
+    multi_object_conformance(AlgorithmKind::Hybrid);
+}
+
+#[test]
+fn multi_object_modified_hybrid() {
+    multi_object_conformance(AlgorithmKind::ModifiedHybrid);
+}
+
+#[test]
+fn multi_object_optimal_candidate() {
+    multi_object_conformance(AlgorithmKind::OptimalCandidate);
+}
+
+/// Cross-shard independence: a partition that leaves object A without a
+/// distinguished partition (its dynamic cardinality shrank to a group
+/// that is now mostly unreachable) must not block commits on object B —
+/// B's shard sees the same partition but its own voting state still
+/// yields a quorum. A is *rejected*, not hung, and heals with the links.
+#[test]
+fn partition_wedging_one_object_does_not_block_the_other() {
+    let n = 5;
+    let quiesce = |cluster: &Cluster| {
+        assert!(
+            cluster.await_quiescence(Duration::from_secs(10)),
+            "cluster failed to quiesce"
+        )
+    };
+    let s = |text: &str| SiteSet::parse(text).expect("valid site list");
+    let config = ClusterConfig::new(n, AlgorithmKind::DynamicVoting).with_objects(2);
+    let cluster = Cluster::boot(&config).expect("boot");
+
+    // Shrink object A's voting population: partition {A,B,C} | {D,E}
+    // and commit A twice in the majority, so A's DS becomes {A,B,C}.
+    cluster.set_partition(&[s("ABC"), s("DE")]).expect("cut");
+    quiesce(&cluster);
+    for version in 1..=2u64 {
+        let reply = cluster.client(SiteId(0)).update_key(0).expect("update A");
+        assert!(
+            matches!(reply, ClientReply::Committed { version: v } if v == version),
+            "A in the majority: {reply:?}"
+        );
+        quiesce(&cluster);
+    }
+
+    // Re-cut to {C,D,E} | {A,B}: object A has one current copy (C) of
+    // cardinality 3 reachable — no distinguished partition — while
+    // object B's five version-0 copies make {C,D,E} distinguished.
+    cluster.set_partition(&[s("CDE"), s("AB")]).expect("recut");
+    quiesce(&cluster);
+    let wedged = cluster.client(SiteId(2)).update_key(0).expect("update A");
+    assert!(
+        matches!(wedged, ClientReply::Rejected),
+        "object A must be wedged by the partition: {wedged:?}"
+    );
+    for version in 1..=3u64 {
+        let reply = cluster.client(SiteId(2)).update_key(1).expect("update B");
+        assert!(
+            matches!(reply, ClientReply::Committed { version: v } if v == version),
+            "object B must commit despite A's wedge: {reply:?}"
+        );
+        quiesce(&cluster);
+    }
+
+    // Healing the links frees A — no per-object residue from the wedge.
+    cluster.heal_links().expect("heal");
+    quiesce(&cluster);
+    let reply = cluster.client(SiteId(0)).update_key(0).expect("update A");
+    assert!(
+        matches!(reply, ClientReply::Committed { version: 3 }),
+        "object A must resume after healing: {reply:?}"
+    );
+    quiesce(&cluster);
+
+    let audit = cluster.audit().expect("audit");
+    assert!(audit.consistent, "{:?}", audit.violations);
+    assert_eq!(audit.commits, 6, "A committed 3, B committed 3");
+    cluster.shutdown();
+}
+
 /// End-to-end smoke: concurrent load with a crash/restart in the
 /// middle must stay serializable — every committed reply is accounted
 /// for by exactly one coordinator, every log is a gapless prefix of
@@ -276,6 +494,7 @@ fn loadgen_under_crash_restart_stays_serializable() {
         duration: Duration::from_millis(800),
         read_fraction: 0.1,
         seed: 42,
+        ..LoadGenConfig::default()
     };
     let report = LoadGen::run(&lg, |w| Box::new(cluster.client(SiteId(w as u8))))
         .expect("loadgen config is valid");

@@ -4,11 +4,12 @@
 
 use dynvote_cluster::{ClientReply, Cluster, ClusterConfig};
 use dynvote_core::{AlgorithmKind, SiteId};
-use dynvote_protocol::{Action, DurableState, Message, SiteActor};
-use dynvote_storage::{FsyncPolicy, SiteStore, StoreConfig};
+use dynvote_protocol::{Action, DurableState, Message, ObjectId, SiteActor};
+use dynvote_storage::{FsyncPolicy, NodeStore, ShardHandle, StoreConfig};
 use std::fs::OpenOptions;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -96,7 +97,8 @@ fn durable_cluster_resumes_from_disk_across_reboots() {
     // Offline inspection agrees with what the cluster acknowledged.
     for i in 0..n {
         let site_dir = dir.join(format!("site-{i}"));
-        let (state, report) = SiteStore::inspect(&site_dir, DurableState::initial(n)).unwrap();
+        let (states, report) = NodeStore::inspect(&site_dir, DurableState::initial(n)).unwrap();
+        let state = &states[0];
         assert_eq!(state.meta.version, 4, "site {i} on disk");
         assert_eq!(state.log.len(), 4);
         assert!(report.truncated.is_none());
@@ -129,16 +131,21 @@ fn orphaned_prepares_resolve_via_termination_protocol_at_boot() {
         let mut actors: Vec<SiteActor> = (0..n)
             .map(|i| {
                 let site_dir = dir.join(format!("site-{i}"));
-                let (store, state, _) =
-                    SiteStore::open(&site_dir, StoreConfig::default(), DurableState::initial(n))
-                        .unwrap();
+                let (store, mut states, _) = NodeStore::open(
+                    &site_dir,
+                    StoreConfig::default(),
+                    1,
+                    DurableState::initial(n),
+                )
+                .unwrap();
                 let mut actor = SiteActor::restore(
                     SiteId(i as u8),
                     n,
                     AlgorithmKind::Hybrid.instantiate(n),
-                    state,
+                    states.remove(0),
                 );
-                actor.set_persistence(Box::new(store));
+                let core = Arc::new(Mutex::new(store));
+                actor.set_persistence(Box::new(ShardHandle::new(core, ObjectId::ZERO)));
                 actor
             })
             .collect();
@@ -215,7 +222,8 @@ fn orphaned_prepares_resolve_via_termination_protocol_at_boot() {
     // the orphaned commit plus the post-recovery one, gaplessly.
     for i in 0..n {
         let site_dir = dir.join(format!("site-{i}"));
-        let (state, report) = SiteStore::inspect(&site_dir, DurableState::initial(n)).unwrap();
+        let (states, report) = NodeStore::inspect(&site_dir, DurableState::initial(n)).unwrap();
+        let state = &states[0];
         assert!(report.truncated.is_none());
         assert!(state.prepared.is_none(), "site {i} still in doubt on disk");
         assert_eq!(state.meta.version, next, "site {i} on disk");
@@ -289,7 +297,8 @@ fn torn_wal_tail_truncates_and_catchup_reconverges() {
 
     // Offline recovery sees the tear and yields a shorter, step-aligned
     // state: metadata version always matches the log length.
-    let (state, report) = SiteStore::inspect(&site0, DurableState::initial(n)).unwrap();
+    let (states, report) = NodeStore::inspect(&site0, DurableState::initial(n)).unwrap();
+    let state = &states[0];
     assert!(report.truncated.is_some(), "tear not detected: {report:?}");
     assert!(state.meta.version < 3);
     assert_eq!(state.meta.version, state.log.len() as u64);

@@ -107,6 +107,7 @@ fn open_loop_commits_against_the_front_door() {
         connections: 512,
         read_fraction: 0.2,
         seed: 11,
+        ..OpenLoopConfig::default()
     };
     let report = OpenLoop::run(&config, &targets).expect("open-loop run");
     assert!(
@@ -136,6 +137,7 @@ fn overload_yields_429_not_hangs() {
         connections: 256,
         read_fraction: 0.0,
         seed: 3,
+        ..OpenLoopConfig::default()
     };
     let report = OpenLoop::run(&config, &[addr]).expect("open-loop run");
     assert!(

@@ -15,7 +15,7 @@
 //! The module is pure byte manipulation — no I/O, no clocks — so it
 //! keeps the kernel crate dependency-clean.
 
-use crate::message::{LogEntry, TxnId};
+use crate::message::{LogEntry, ObjectId, TxnId};
 use dynvote_core::{CopyMeta, Distinguished, SiteId, SiteSet};
 
 /// A malformed encoded body.
@@ -56,10 +56,11 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Append a [`TxnId`] (coordinator byte + sequence).
+/// Append a [`TxnId`] (coordinator byte + sequence + object).
 pub fn put_txn(out: &mut Vec<u8>, txn: TxnId) {
     put_u8(out, txn.coordinator.0);
     put_u64(out, txn.seq);
+    put_u32(out, txn.object.0);
 }
 
 /// Append a [`SiteSet`] as its bit mask.
@@ -153,7 +154,12 @@ impl<'a> Reader<'a> {
     pub fn txn(&mut self) -> Result<TxnId, WireError> {
         let coordinator = SiteId(self.u8()?);
         let seq = self.u64()?;
-        Ok(TxnId { coordinator, seq })
+        let object = ObjectId(self.u32()?);
+        Ok(TxnId {
+            coordinator,
+            seq,
+            object,
+        })
     }
 
     /// Read a [`SiteSet`].
@@ -217,20 +223,14 @@ mod tests {
         put_u8(&mut buf, 0xAB);
         put_u32(&mut buf, 0xDEAD_BEEF);
         put_u64(&mut buf, u64::MAX - 1);
-        put_txn(
-            &mut buf,
-            TxnId {
-                coordinator: SiteId(3),
-                seq: 99,
-            },
-        );
+        put_txn(&mut buf, TxnId::keyed(SiteId(3), 99, ObjectId(17)));
         put_site_set(&mut buf, SiteSet::all(5));
         let mut r = Reader::new(&buf);
         assert_eq!(r.u8().unwrap(), 0xAB);
         assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
         assert_eq!(r.u64().unwrap(), u64::MAX - 1);
         let txn = r.txn().unwrap();
-        assert_eq!((txn.coordinator, txn.seq), (SiteId(3), 99));
+        assert_eq!(txn, TxnId::keyed(SiteId(3), 99, ObjectId(17)));
         assert_eq!(r.site_set().unwrap(), SiteSet::all(5));
         r.finish(()).unwrap();
     }

@@ -419,10 +419,7 @@ mod tests {
     use super::*;
 
     fn txn(seq: u64) -> TxnId {
-        TxnId {
-            coordinator: SiteId(0),
-            seq,
-        }
+        TxnId::new(SiteId(0), seq)
     }
 
     #[test]

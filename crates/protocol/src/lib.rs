@@ -36,13 +36,15 @@ pub mod codec;
 pub mod event;
 mod message;
 pub mod persist;
+mod shard;
 mod site;
 
 pub use event::{
     CountingSink, EventKind, EventSink, EventTallies, FanoutSink, ProtocolEvent, RenderSink,
 };
-pub use message::{LogEntry, Message, StatusOutcome, TxnId};
+pub use message::{LogEntry, Message, ObjectId, StatusOutcome, TxnId};
 pub use persist::Persistence;
+pub use shard::ShardedSite;
 pub use site::{
     Action, ActionSink, CommitRecord, DurableState, ResolveReason, SiteActor, TimerKind,
 };

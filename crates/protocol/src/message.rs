@@ -9,19 +9,76 @@
 use dynvote_core::{CopyMeta, SiteId, SiteSet};
 use std::fmt;
 
+/// Identifies one replicated object (key) among the many a deployment
+/// hosts. The paper's protocol governs a single file; a production
+/// data plane shards millions of keys into independent per-object
+/// state machines, and `ObjectId` is the dimension that keys every
+/// transaction, metadata triple, and commit chain. Object 0 is the
+/// default, so single-object callers never mention it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The default object — what keyless clients address.
+    pub const ZERO: ObjectId = ObjectId(0);
+
+    /// The object's index, for array-backed shard maps.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
 /// Globally unique transaction identifier: originating site plus a
-/// per-site sequence number.
+/// per-site, per-object sequence number, plus the object the
+/// transaction updates. The object rides in the id so every protocol
+/// message routes to its shard without widening the message vocabulary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnId {
     /// The coordinator that started the transaction.
     pub coordinator: SiteId,
     /// Per-coordinator sequence number.
     pub seq: u64,
+    /// The object the transaction operates on.
+    pub object: ObjectId,
+}
+
+impl TxnId {
+    /// A transaction on the default object 0 — the single-object
+    /// protocol of the paper.
+    #[must_use]
+    pub fn new(coordinator: SiteId, seq: u64) -> Self {
+        TxnId {
+            coordinator,
+            seq,
+            object: ObjectId::ZERO,
+        }
+    }
+
+    /// A transaction on a specific object.
+    #[must_use]
+    pub fn keyed(coordinator: SiteId, seq: u64, object: ObjectId) -> Self {
+        TxnId {
+            coordinator,
+            seq,
+            object,
+        }
+    }
 }
 
 impl fmt::Display for TxnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}#{}", self.coordinator, self.seq)
+        if self.object == ObjectId::ZERO {
+            write!(f, "{}#{}", self.coordinator, self.seq)
+        } else {
+            write!(f, "{}#{}@{}", self.coordinator, self.seq, self.object)
+        }
     }
 }
 
@@ -197,19 +254,15 @@ mod tests {
 
     #[test]
     fn txn_id_display() {
-        let txn = TxnId {
-            coordinator: SiteId(2),
-            seq: 7,
-        };
+        let txn = TxnId::new(SiteId(2), 7);
         assert_eq!(txn.to_string(), "C#7");
+        let keyed = TxnId::keyed(SiteId(2), 7, ObjectId(3));
+        assert_eq!(keyed.to_string(), "C#7@o3");
     }
 
     #[test]
     fn message_txn_extraction() {
-        let txn = TxnId {
-            coordinator: SiteId(0),
-            seq: 1,
-        };
+        let txn = TxnId::new(SiteId(0), 1);
         let messages = [
             Message::VoteRequest { txn },
             Message::Abort { txn },

@@ -295,10 +295,7 @@ mod tests {
 
         // One more prepare at B that aborts, exercising
         // prepared/prepare_cleared.
-        let t2 = crate::TxnId {
-            coordinator: SiteId(2),
-            seq: 99,
-        };
+        let t2 = crate::TxnId::new(SiteId(2), 99);
         b.handle_message(SiteId(2), Message::VoteRequest { txn: t2 }, &mut leftovers);
         b.handle_message(SiteId(2), Message::Abort { txn: t2 }, &mut leftovers);
 
@@ -318,10 +315,7 @@ mod tests {
         let n = 3;
         let (mut b, rec) = recorded_site(1, n);
         let mut out = Vec::new();
-        let t = crate::TxnId {
-            coordinator: SiteId(0),
-            seq: 1,
-        };
+        let t = crate::TxnId::new(SiteId(0), 1);
         b.handle_message(SiteId(0), Message::VoteRequest { txn: t }, &mut out);
         let meta = CopyMeta {
             version: 1,

@@ -1,0 +1,301 @@
+//! A sharded multi-object site: many independent [`SiteActor`] state
+//! machines behind one router.
+//!
+//! The paper's protocol governs a single replicated file; a production
+//! data plane hosts millions of keys. [`ShardedSite`] is the protocol
+//! layer's answer: one [`SiteActor`] per [`ObjectId`], each owning its
+//! own `(VN, SC, DS)` triple, commit chain, lock, and prepare record.
+//! Because every [`TxnId`] carries its object, routing is a vector
+//! index — messages, timers, and client requests all dispatch to their
+//! shard in O(1), and transactions on different objects never contend
+//! (shard-local locking).
+//!
+//! The router is still sans-IO: it owns no clock and no socket, and
+//! every entry point appends [`Action`](crate::Action)s to a
+//! caller-owned sink exactly like the single-object kernel. Harnesses
+//! that batch many shards' steps between two durability barriers get
+//! group commit for free: the [`Persistence`](crate::Persistence) hooks
+//! of all shards buffer into one store, and a single barrier seals the
+//! whole multi-object batch.
+
+use crate::event::EventSink;
+use crate::message::{Message, ObjectId, TxnId};
+use crate::persist::Persistence;
+use crate::site::{ActionSink, DurableState, SiteActor, TimerKind};
+use dynvote_core::{ReplicaControl, SiteId};
+use std::sync::Arc;
+
+/// One site's shard map: an independent protocol state machine per
+/// object, with O(1) routing by the object carried in every [`TxnId`].
+pub struct ShardedSite {
+    id: SiteId,
+    n: usize,
+    shards: Vec<SiteActor>,
+}
+
+impl std::fmt::Debug for ShardedSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSite")
+            .field("id", &self.id)
+            .field("objects", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedSite {
+    /// A fresh site hosting `objects` independent state machines, each
+    /// built with its own replica-control instance from `make_algo`.
+    #[must_use]
+    pub fn new<F>(id: SiteId, n: usize, objects: usize, mut make_algo: F) -> Self
+    where
+        F: FnMut() -> Box<dyn ReplicaControl>,
+    {
+        assert!(objects >= 1, "a site hosts at least one object");
+        let shards = (0..objects)
+            .map(|o| {
+                let mut actor = SiteActor::new(id, n, make_algo());
+                actor.set_object(ObjectId(o as u32));
+                actor
+            })
+            .collect();
+        ShardedSite { id, n, shards }
+    }
+
+    /// A site rebuilt from per-object recovered durable states — the
+    /// multi-object Section V-C restart path. `states[o]` becomes
+    /// object `o`'s state.
+    #[must_use]
+    pub fn restore<F>(id: SiteId, n: usize, states: Vec<DurableState>, mut make_algo: F) -> Self
+    where
+        F: FnMut() -> Box<dyn ReplicaControl>,
+    {
+        assert!(!states.is_empty(), "a site hosts at least one object");
+        let shards = states
+            .into_iter()
+            .enumerate()
+            .map(|(o, state)| {
+                let mut actor = SiteActor::restore(id, n, make_algo(), state);
+                actor.set_object(ObjectId(o as u32));
+                actor
+            })
+            .collect();
+        ShardedSite { id, n, shards }
+    }
+
+    /// The site's id.
+    #[must_use]
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Number of sites in the deployment.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of objects hosted.
+    #[must_use]
+    pub fn objects(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One object's state machine, if hosted here.
+    #[must_use]
+    pub fn shard(&self, object: ObjectId) -> Option<&SiteActor> {
+        self.shards.get(object.index())
+    }
+
+    /// One object's state machine, mutably.
+    pub fn shard_mut(&mut self, object: ObjectId) -> Option<&mut SiteActor> {
+        self.shards.get_mut(object.index())
+    }
+
+    /// Every shard, in object order.
+    pub fn iter(&self) -> impl Iterator<Item = &SiteActor> {
+        self.shards.iter()
+    }
+
+    /// Every shard, mutably, in object order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut SiteActor> {
+        self.shards.iter_mut()
+    }
+
+    /// Install an [`EventSink`] on every shard.
+    pub fn set_sink(&mut self, sink: Arc<dyn EventSink>) {
+        for shard in &mut self.shards {
+            shard.set_sink(Arc::clone(&sink));
+        }
+    }
+
+    /// Install a per-shard [`Persistence`] hook built by `make_hook`
+    /// (typically a keyed handle onto one shared store).
+    pub fn set_persistence<F>(&mut self, mut make_hook: F)
+    where
+        F: FnMut(ObjectId) -> Box<dyn Persistence + Send>,
+    {
+        for (o, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_persistence(make_hook(ObjectId(o as u32)));
+        }
+    }
+
+    /// Route a message to its object's shard. Returns `false` (and does
+    /// nothing) when the object is not hosted here — a hostile or
+    /// misrouted frame must not panic the node.
+    pub fn handle_message(&mut self, from: SiteId, msg: Message, out: &mut ActionSink) -> bool {
+        let object = msg.txn().object;
+        match self.shards.get_mut(object.index()) {
+            Some(shard) => {
+                shard.handle_message(from, msg, out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Route a timer to its object's shard.
+    pub fn timer_fired(&mut self, txn: TxnId, kind: TimerKind, out: &mut ActionSink) -> bool {
+        match self.shards.get_mut(txn.object.index()) {
+            Some(shard) => {
+                shard.timer_fired(txn, kind, out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Start an update on one object. Returns `false` when the object
+    /// is not hosted here.
+    pub fn start_update(&mut self, object: ObjectId, payload: u64, out: &mut ActionSink) -> bool {
+        match self.shards.get_mut(object.index()) {
+            Some(shard) => {
+                shard.start_update(payload, out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Start a read on one object. Returns `false` when the object is
+    /// not hosted here.
+    pub fn start_read(&mut self, object: ObjectId, out: &mut ActionSink) -> bool {
+        match self.shards.get_mut(object.index()) {
+            Some(shard) => {
+                shard.start_read(out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Crash every shard (volatile state lost; durable records kept).
+    pub fn crash(&mut self) {
+        for shard in &mut self.shards {
+            shard.crash();
+        }
+    }
+
+    /// Durability barrier across all shards (each forwards to its
+    /// hook; with a shared store the first call seals the whole
+    /// multi-object batch and the rest are no-ops).
+    pub fn sync_persistence(&mut self) {
+        for shard in &mut self.shards {
+            shard.sync_persistence();
+        }
+    }
+
+    /// True if any shard's lock is currently held.
+    #[must_use]
+    pub fn any_locked(&self) -> bool {
+        self.shards.iter().any(SiteActor::is_locked)
+    }
+
+    /// True if any shard holds a durable prepare record.
+    #[must_use]
+    pub fn any_in_doubt(&self) -> bool {
+        self.shards.iter().any(SiteActor::is_in_doubt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::Action;
+    use crate::Message;
+    use dynvote_core::AlgorithmKind;
+
+    fn sharded(id: u8, n: usize, objects: usize) -> ShardedSite {
+        ShardedSite::new(SiteId(id), n, objects, || {
+            AlgorithmKind::Hybrid.instantiate(n)
+        })
+    }
+
+    #[test]
+    fn shards_are_independent_lock_domains() {
+        let mut s = sharded(0, 3, 4);
+        let mut out = Vec::new();
+        assert!(s.start_update(ObjectId(1), 100, &mut out));
+        assert!(s.shard(ObjectId(1)).unwrap().is_locked());
+        // A different object's lock is untouched: an update there
+        // proceeds instead of resolving LockBusy.
+        out.clear();
+        assert!(s.start_update(ObjectId(3), 200, &mut out));
+        assert!(matches!(
+            &out[0],
+            Action::Broadcast {
+                msg: Message::VoteRequest { .. }
+            }
+        ));
+        assert!(s.shard(ObjectId(3)).unwrap().is_locked());
+        assert!(!s.shard(ObjectId(0)).unwrap().is_locked());
+    }
+
+    #[test]
+    fn fresh_txns_carry_their_shard_object() {
+        let mut s = sharded(0, 3, 3);
+        let mut out = Vec::new();
+        s.start_update(ObjectId(2), 7, &mut out);
+        let Action::Broadcast {
+            msg: Message::VoteRequest { txn },
+        } = &out[0]
+        else {
+            panic!("expected vote request, got {out:?}");
+        };
+        assert_eq!(txn.object, ObjectId(2));
+    }
+
+    #[test]
+    fn messages_route_by_object_and_unknown_objects_are_refused() {
+        let mut a = sharded(0, 3, 2);
+        let mut b = sharded(1, 3, 2);
+        let mut out = Vec::new();
+        a.start_update(ObjectId(1), 42, &mut out);
+        let req = out
+            .iter()
+            .find_map(|act| match act {
+                Action::Broadcast { msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("vote request");
+        let mut sub_out = Vec::new();
+        assert!(b.handle_message(SiteId(0), req, &mut sub_out));
+        assert!(b.shard(ObjectId(1)).unwrap().is_locked());
+        assert!(!b.shard(ObjectId(0)).unwrap().is_locked());
+        // An object this site does not host is refused, not a panic.
+        let bogus = Message::VoteRequest {
+            txn: TxnId::keyed(SiteId(0), 9, ObjectId(77)),
+        };
+        assert!(!b.handle_message(SiteId(0), bogus, &mut sub_out));
+    }
+
+    #[test]
+    fn crash_clears_every_shard_lock() {
+        let mut s = sharded(0, 3, 3);
+        let mut out = Vec::new();
+        s.start_update(ObjectId(0), 1, &mut out);
+        s.start_update(ObjectId(2), 2, &mut out);
+        assert!(s.any_locked());
+        s.crash();
+        assert!(!s.any_locked());
+    }
+}

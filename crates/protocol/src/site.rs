@@ -21,7 +21,7 @@
 //! Both records live in [`DurableState`] and survive [`SiteActor::crash`].
 
 use crate::event::{EventSink, NoopSink, ProtocolEvent};
-use crate::message::{LogEntry, Message, StatusOutcome, TxnId};
+use crate::message::{LogEntry, Message, ObjectId, StatusOutcome, TxnId};
 use crate::persist::Persistence;
 use dynvote_core::{CopyMeta, LinearOrder, PartitionView, ReplicaControl, SiteId, SiteSet};
 use std::collections::HashMap;
@@ -216,9 +216,16 @@ struct Volatile {
     prepared_rounds: u32,
 }
 
-/// One replica site.
+/// One replica site's state machine for **one object**. A multi-object
+/// node hosts many of these — one per [`ObjectId`] — behind a
+/// [`ShardedSite`](crate::ShardedSite); locks, commit chains, and
+/// prepare records are all shard-local, so transactions on different
+/// objects never contend.
 pub struct SiteActor {
     id: SiteId,
+    /// The object this state machine governs; stamped into every
+    /// transaction id it mints so replies and timers route back here.
+    object: ObjectId,
     n: usize,
     order: LinearOrder,
     algo: Box<dyn ReplicaControl>,
@@ -264,6 +271,7 @@ impl SiteActor {
         let order = LinearOrder::lexicographic(n);
         SiteActor {
             id,
+            object: ObjectId::ZERO,
             n,
             order,
             algo,
@@ -272,6 +280,20 @@ impl SiteActor {
             sink: Arc::new(NoopSink),
             persist: None,
         }
+    }
+
+    /// Bind this state machine to an object: every transaction id it
+    /// mints from now on carries `object`, so a sharded host can route
+    /// replies and timers back to this shard. Single-object harnesses
+    /// never call this and stay on object 0.
+    pub fn set_object(&mut self, object: ObjectId) {
+        self.object = object;
+    }
+
+    /// The object this state machine governs.
+    #[must_use]
+    pub fn object(&self) -> ObjectId {
+        self.object
     }
 
     /// Install an [`EventSink`]; every subsequent protocol decision is
@@ -372,6 +394,7 @@ impl SiteActor {
         TxnId {
             coordinator: self.id,
             seq: self.durable.next_seq,
+            object: self.object,
         }
     }
 
@@ -1183,10 +1206,7 @@ mod tests {
     }
 
     fn txn(c: u8, seq: u64) -> TxnId {
-        TxnId {
-            coordinator: SiteId(c),
-            seq,
-        }
+        TxnId::new(SiteId(c), seq)
     }
 
     /// Test shim: run `handle_message` into a fresh sink.

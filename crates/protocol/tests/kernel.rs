@@ -15,10 +15,7 @@ fn site(id: u8, n: usize) -> SiteActor {
 }
 
 fn txn(c: u8, seq: u64) -> TxnId {
-    TxnId {
-        coordinator: SiteId(c),
-        seq,
-    }
+    TxnId::new(SiteId(c), seq)
 }
 
 /// Run `handle_message` into a fresh sink (tests care about one call's

@@ -457,10 +457,7 @@ impl Simulation {
                 // sentinel payload/txn make the fake origin obvious.
                 let entry = LedgerEntry {
                     payload: u64::MAX,
-                    txn: TxnId {
-                        coordinator: site,
-                        seq: u64::MAX,
-                    },
+                    txn: TxnId::new(site, u64::MAX),
                 };
                 self.violations.push(ConsistencyViolation::DivergentCommit {
                     version: 1,

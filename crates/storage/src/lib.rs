@@ -13,6 +13,10 @@
 //!   force-writes: the prepare record is on disk before the vote is
 //!   sent, the commit record before `COMMIT` fans out (under
 //!   [`FsyncPolicy::Always`]).
+//! * [`NodeStore`] — the multi-object node store: one WAL shared by
+//!   every hosted object, group-commit barriers that seal many shards'
+//!   steps as one record, node-wide snapshots. [`ShardHandle`] is the
+//!   per-shard [`Persistence`](dynvote_protocol::Persistence) adapter.
 //! * [`wal`] — record/snapshot byte formats, built on the protocol
 //!   crate's codec primitives.
 //! * [`crc32`] — table-driven CRC-32 (IEEE), no external crates.
@@ -24,8 +28,10 @@
 #![warn(clippy::all)]
 
 pub mod crc32;
+mod multi;
 mod store;
 pub mod wal;
 
+pub use multi::{NodeStore, ShardHandle};
 pub use store::{FsyncPolicy, RecoveryReport, SiteStore, StorageError, StoreConfig, TornTail};
 pub use wal::TornReason;

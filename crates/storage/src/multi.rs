@@ -1,0 +1,530 @@
+//! The multi-object node store: one WAL, many objects, group commit.
+//!
+//! A sharded node hosts many independent per-object state machines
+//! (`dynvote_protocol::ShardedSite`), but giving each shard its own WAL
+//! would spend one fsync per shard per step — exactly the cost a
+//! sharded data plane exists to amortize. [`NodeStore`] instead keeps
+//! **one** segment file per node: every shard's [`Persistence`] hooks
+//! buffer keyed ops (`[object][op]`) into a shared pending batch, and a
+//! single force-write barrier seals them all as **one** record. That is
+//! group commit: a batch that interleaves ten objects' prepare and
+//! commit records reaches the platter with one `fdatasync`.
+//!
+//! The discipline that makes single-object recovery sound carries over
+//! unchanged, because the barrier still sits between "hooks fired" and
+//! "actions handed to the transport": nothing any shard announced can
+//! be lost, and a torn tail only ever loses whole multi-object batches
+//! whose effects were never visible outside the process.
+//!
+//! Snapshots are node-wide too: a rotation writes every object's state
+//! as one counted payload (`[count]([state])*`), so per-object replay
+//! starts from a mutually consistent cut.
+//!
+//! Files reuse the epoch-pair lifecycle of [`SiteStore`](crate::SiteStore)
+//! (`snap-<E>`/`wal-<E>`, boot rotation, torn-tail truncation,
+//! compaction) under the multi-object magics `DVWALM01`/`DVSNAPM1`.
+
+use crate::store::{
+    compact, create_segment, io_err, list_epochs, read_snapshot_bytes, snap_name, wal_name,
+    write_snapshot_bytes, FsyncPolicy, RecoveryReport, StorageError, StoreConfig, TornTail,
+};
+use crate::wal::{
+    decode_states, encode_keyed_op_into, encode_states_into, frame_header, RecordScanner,
+    TornReason, SNAP_MAGIC_MULTI, WAL_MAGIC_MULTI,
+};
+use dynvote_protocol::persist::{apply_op, PersistOp};
+use dynvote_protocol::{DurableState, ObjectId, Persistence};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The durable store for one sharded node: a single open WAL segment
+/// shared by every hosted object, plus node-wide snapshots.
+///
+/// # Panics
+///
+/// Like [`SiteStore`](crate::SiteStore), the [`Persistence`]-facing
+/// paths panic on I/O failure: a node that cannot force-write cannot
+/// keep the protocol's promises.
+pub struct NodeStore {
+    dir: PathBuf,
+    config: StoreConfig,
+    epoch: u64,
+    wal: File,
+    wal_path: PathBuf,
+    /// Bytes of the live segment (header + records), including the
+    /// still-buffered batch.
+    wal_len: u64,
+    /// Keyed op encodings accumulated since the last barrier — the
+    /// group-commit batch. Sealed as one framed record at the barrier.
+    pending: Vec<u8>,
+    unsynced: bool,
+    last_fsync: Instant,
+}
+
+impl std::fmt::Debug for NodeStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeStore")
+            .field("dir", &self.dir)
+            .field("epoch", &self.epoch)
+            .field("wal_len", &self.wal_len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NodeStore {
+    /// Open (and recover) the node store in `dir`, creating it if
+    /// needed. `objects` is the configured shard count and `template`
+    /// the fresh state for an object with no history.
+    ///
+    /// Returns the store, the recovered per-object states (always at
+    /// least `objects` long — longer if the directory holds more
+    /// objects than configured), and a [`RecoveryReport`]. As with the
+    /// single-object store, the open ends with a boot rotation so every
+    /// start begins from a clean `snapshot + empty WAL` pair.
+    pub fn open(
+        dir: &Path,
+        config: StoreConfig,
+        objects: usize,
+        template: DurableState,
+    ) -> Result<(Self, Vec<DurableState>, RecoveryReport), StorageError> {
+        assert!(objects >= 1, "a node hosts at least one object");
+        io_err(dir, fs::create_dir_all(dir))?;
+        let (states, report, max_epoch) = recover_multi(dir, &template, objects)?;
+        let epoch = max_epoch + 1;
+
+        let mut payload = Vec::with_capacity(1024 * states.len());
+        encode_states_into(&mut payload, &states);
+        write_snapshot_bytes(dir, epoch, SNAP_MAGIC_MULTI, &payload)?;
+        let (wal, wal_path) = create_segment(dir, epoch, WAL_MAGIC_MULTI)?;
+        compact(dir, epoch)?;
+
+        let store = NodeStore {
+            dir: dir.to_path_buf(),
+            config,
+            epoch,
+            wal,
+            wal_path,
+            wal_len: 16,
+            pending: Vec::with_capacity(4096),
+            unsynced: false,
+            last_fsync: Instant::now(),
+        };
+        Ok((store, states, report))
+    }
+
+    /// Read-only recovery: reconstruct the per-object states a crashed
+    /// node would boot with, without creating, truncating, rotating, or
+    /// deleting anything. Objects are discovered from disk (`template`
+    /// seeds any object a replayed op names that the snapshot did not).
+    /// This is what `dynvote recover` prints per-object stats from.
+    pub fn inspect(
+        dir: &Path,
+        template: DurableState,
+    ) -> Result<(Vec<DurableState>, RecoveryReport), StorageError> {
+        let (states, report, _) = recover_multi(dir, &template, 1)?;
+        Ok((states, report))
+    }
+
+    /// The directory this store lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The live segment's epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Bytes in the live segment (including not-yet-flushed ones).
+    #[must_use]
+    pub fn wal_len(&self) -> u64 {
+        self.wal_len
+    }
+
+    /// Buffer one object's op into the group-commit batch. Nothing
+    /// reaches the file until [`NodeStore::barrier`] seals the batch.
+    pub fn append(&mut self, object: ObjectId, op: &PersistOp) -> Result<(), StorageError> {
+        let before = self.pending.len();
+        encode_keyed_op_into(&mut self.pending, object, op);
+        self.wal_len += (self.pending.len() - before) as u64;
+        Ok(())
+    }
+
+    /// The group-commit barrier: seal the whole pending multi-object
+    /// batch as **one** framed record, then fsync per policy. Every
+    /// shard whose hooks fired since the previous barrier becomes
+    /// durable with this single force-write.
+    pub fn barrier(&mut self) -> Result<(), StorageError> {
+        if !self.pending.is_empty() {
+            let header = frame_header(&self.pending);
+            io_err(&self.wal_path, self.wal.write_all(&header))?;
+            io_err(&self.wal_path, self.wal.write_all(&self.pending))?;
+            self.pending.clear();
+            self.wal_len += 8;
+            self.unsynced = true;
+        }
+        let due = match self.config.fsync {
+            FsyncPolicy::Always => self.unsynced,
+            FsyncPolicy::Interval(ms) => {
+                self.unsynced && self.last_fsync.elapsed().as_millis() >= u128::from(ms)
+            }
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            io_err(&self.wal_path, self.wal.sync_data())?;
+            self.unsynced = false;
+            self.last_fsync = Instant::now();
+        }
+        Ok(())
+    }
+
+    /// True once the live segment has outgrown the rotation threshold.
+    /// The node polls this between batches and calls
+    /// [`NodeStore::rotate`] with every shard's state — rotation is
+    /// node-driven because the snapshot must cover all objects at once.
+    #[must_use]
+    pub fn wants_rotation(&self) -> bool {
+        self.wal_len >= self.config.rotate_bytes
+    }
+
+    /// Snapshot all objects' states at the next epoch, open a fresh
+    /// segment, and delete everything the snapshot covers. `states`
+    /// must reflect every op appended so far; the pending batch is
+    /// discarded as subsumed.
+    pub fn rotate(&mut self, states: &[DurableState]) -> Result<(), StorageError> {
+        self.pending.clear();
+        let epoch = self.epoch + 1;
+        let mut payload = Vec::with_capacity(1024 * states.len());
+        encode_states_into(&mut payload, states);
+        write_snapshot_bytes(&self.dir, epoch, SNAP_MAGIC_MULTI, &payload)?;
+        let (wal, wal_path) = create_segment(&self.dir, epoch, WAL_MAGIC_MULTI)?;
+        self.epoch = epoch;
+        self.wal = wal;
+        self.wal_path = wal_path;
+        self.wal_len = 16;
+        self.unsynced = false;
+        compact(&self.dir, epoch)?;
+        Ok(())
+    }
+}
+
+/// One shard's [`Persistence`] handle onto the shared [`NodeStore`]:
+/// every hook locks the store and buffers a keyed op. Install one per
+/// shard via `ShardedSite::set_persistence`; the node then amortizes
+/// durability by calling [`NodeStore::barrier`] once per drained batch
+/// (each handle's own `sync` is also a real barrier, so shard-at-a-time
+/// harnesses remain correct, just without the amortization).
+///
+/// `wants_checkpoint` is always `false`: rotation needs every object's
+/// state at once, so the node drives it through
+/// [`NodeStore::wants_rotation`]/[`NodeStore::rotate`] instead of any
+/// single shard.
+pub struct ShardHandle {
+    core: Arc<Mutex<NodeStore>>,
+    object: ObjectId,
+}
+
+impl ShardHandle {
+    /// A handle routing `object`'s hooks into `core`.
+    #[must_use]
+    pub fn new(core: Arc<Mutex<NodeStore>>, object: ObjectId) -> Self {
+        ShardHandle { core, object }
+    }
+}
+
+impl Persistence for ShardHandle {
+    fn seq_advanced(&mut self, next_seq: u64) {
+        self.core
+            .lock()
+            .unwrap()
+            .append(self.object, &PersistOp::Seq(next_seq))
+            .expect("WAL append");
+    }
+
+    fn prepared(&mut self, txn: dynvote_protocol::TxnId, coordinator: dynvote_core::SiteId) {
+        self.core
+            .lock()
+            .unwrap()
+            .append(self.object, &PersistOp::Prepared(txn, coordinator))
+            .expect("WAL append");
+    }
+
+    fn prepare_cleared(&mut self, txn: dynvote_protocol::TxnId) {
+        self.core
+            .lock()
+            .unwrap()
+            .append(self.object, &PersistOp::PrepareCleared(txn))
+            .expect("WAL append");
+    }
+
+    fn entries_appended(&mut self, entries: &[dynvote_protocol::LogEntry]) {
+        self.core
+            .lock()
+            .unwrap()
+            .append(self.object, &PersistOp::Entries(entries.to_vec()))
+            .expect("WAL append");
+    }
+
+    fn meta_updated(&mut self, meta: dynvote_core::CopyMeta) {
+        self.core
+            .lock()
+            .unwrap()
+            .append(self.object, &PersistOp::Meta(meta))
+            .expect("WAL append");
+    }
+
+    fn committed(
+        &mut self,
+        txn: dynvote_protocol::TxnId,
+        meta: dynvote_core::CopyMeta,
+        participants: dynvote_core::SiteSet,
+    ) {
+        self.core
+            .lock()
+            .unwrap()
+            .append(self.object, &PersistOp::Committed(txn, meta, participants))
+            .expect("WAL append");
+    }
+
+    fn sync(&mut self) {
+        self.core.lock().unwrap().barrier().expect("WAL barrier");
+    }
+
+    fn wal_epoch(&self) -> Option<u64> {
+        Some(self.core.lock().unwrap().epoch())
+    }
+}
+
+// ----- recovery ----------------------------------------------------------
+
+/// Multi-object mirror of the single-object recovery scan: newest valid
+/// multi snapshot, then keyed replay of WAL tails under the torn-tail
+/// rule. States grow on demand (an op naming an object beyond the
+/// current map seeds it from `template`) and never shrink below
+/// `min_objects`.
+fn recover_multi(
+    dir: &Path,
+    template: &DurableState,
+    min_objects: usize,
+) -> Result<(Vec<DurableState>, RecoveryReport, u64), StorageError> {
+    let (snaps, wals) = list_epochs(dir)?;
+    let max_epoch = snaps.iter().chain(wals.iter()).copied().max().unwrap_or(0);
+
+    let mut report = RecoveryReport::default();
+    let mut states: Vec<DurableState> = vec![template.clone(); min_objects];
+    let mut base_epoch = 0u64;
+    for &epoch in snaps.iter().rev() {
+        let path = dir.join(snap_name(epoch));
+        let decoded = read_snapshot_bytes(&path, epoch, SNAP_MAGIC_MULTI)
+            .and_then(|payload| decode_states(&payload).ok());
+        match decoded {
+            Some(snapped) => {
+                for (o, state) in snapped.into_iter().enumerate() {
+                    if o < states.len() {
+                        states[o] = state;
+                    } else {
+                        states.push(state);
+                    }
+                }
+                base_epoch = epoch;
+                report.snapshot_epoch = Some(epoch);
+                break;
+            }
+            None => report.corrupt_snapshots += 1,
+        }
+    }
+
+    'replay: for &epoch in wals.iter().filter(|&&e| e >= base_epoch) {
+        let path = dir.join(wal_name(epoch));
+        let bytes = io_err(&path, fs::read(&path))?;
+        let mut expected_header = Vec::with_capacity(16);
+        expected_header.extend_from_slice(WAL_MAGIC_MULTI);
+        expected_header.extend_from_slice(&epoch.to_le_bytes());
+        if bytes.len() < 16 || bytes[..16] != expected_header[..] {
+            report.truncated = Some(TornTail {
+                epoch,
+                offset: 0,
+                reason: TornReason::ShortHeader,
+            });
+            break 'replay;
+        }
+        report.segments_replayed += 1;
+        let mut scanner = RecordScanner::new(&bytes[16..]);
+        loop {
+            match scanner.next_keyed() {
+                Some(Ok(ops)) => {
+                    for (object, op) in &ops {
+                        while object.index() >= states.len() {
+                            states.push(template.clone());
+                        }
+                        apply_op(&mut states[object.index()], op);
+                    }
+                    report.records_replayed += 1;
+                }
+                Some(Err(reason)) => {
+                    report.truncated = Some(TornTail {
+                        epoch,
+                        offset: 16 + scanner.valid_end() as u64,
+                        reason,
+                    });
+                    break 'replay;
+                }
+                None => break,
+            }
+        }
+    }
+    Ok((states, report, max_epoch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynvote_core::{CopyMeta, Distinguished, SiteId, SiteSet};
+    use dynvote_protocol::{LogEntry, TxnId};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dynvote-multi-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn commit_ops(object: u32, version: u64) -> Vec<(ObjectId, PersistOp)> {
+        let txn = TxnId::keyed(SiteId(0), version, ObjectId(object));
+        let meta = CopyMeta {
+            version,
+            cardinality: 3,
+            distinguished: Distinguished::Irrelevant,
+        };
+        vec![
+            (
+                ObjectId(object),
+                PersistOp::Entries(vec![LogEntry {
+                    version,
+                    payload: u64::from(object) * 1000 + version,
+                }]),
+            ),
+            (ObjectId(object), PersistOp::Meta(meta)),
+            (
+                ObjectId(object),
+                PersistOp::Committed(txn, meta, SiteSet::all(3)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn group_commit_batch_recovers_per_object() {
+        let dir = tmpdir("group");
+        let template = DurableState::initial(3);
+        let (mut store, states, report) =
+            NodeStore::open(&dir, StoreConfig::default(), 4, template.clone()).unwrap();
+        assert_eq!(states.len(), 4);
+        assert_eq!(report.records_replayed, 0);
+
+        // One batch interleaving three objects' steps, sealed by a
+        // single barrier.
+        for ops in [commit_ops(0, 1), commit_ops(2, 1), commit_ops(3, 1)] {
+            for (object, op) in &ops {
+                store.append(*object, op).unwrap();
+            }
+        }
+        store.barrier().unwrap();
+        drop(store);
+
+        let (reopened, states, report) =
+            NodeStore::open(&dir, StoreConfig::default(), 4, template).unwrap();
+        assert_eq!(report.records_replayed, 1, "one batch = one record");
+        assert_eq!(states[0].meta.version, 1);
+        assert_eq!(states[1].meta.version, 0, "untouched object stays fresh");
+        assert_eq!(states[2].meta.version, 1);
+        assert_eq!(states[3].meta.version, 1);
+        assert_eq!(states[0].log[0].payload, 1);
+        assert_eq!(states[3].log[0].payload, 3001);
+        drop(reopened);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_snapshots_all_objects_and_compacts() {
+        let dir = tmpdir("rotate");
+        let template = DurableState::initial(3);
+        let (mut store, mut states, _) =
+            NodeStore::open(&dir, StoreConfig::default(), 2, template.clone()).unwrap();
+        for (object, op) in commit_ops(1, 1) {
+            store.append(object, &op).unwrap();
+            apply_op(&mut states[1], &op);
+        }
+        store.barrier().unwrap();
+        let old_epoch = store.epoch();
+        store.rotate(&states).unwrap();
+        assert_eq!(store.epoch(), old_epoch + 1);
+        assert!(!dir.join(wal_name(old_epoch)).exists(), "compacted");
+        drop(store);
+
+        let (_, recovered, report) =
+            NodeStore::open(&dir, StoreConfig::default(), 2, template).unwrap();
+        assert_eq!(report.records_replayed, 0, "snapshot subsumed the WAL");
+        assert_eq!(recovered[1].meta.version, 1);
+        assert_eq!(recovered[0].meta.version, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_multi_record_loses_whole_batch_only() {
+        let dir = tmpdir("torn");
+        let template = DurableState::initial(3);
+        let (mut store, _, _) =
+            NodeStore::open(&dir, StoreConfig::default(), 2, template.clone()).unwrap();
+        for (object, op) in commit_ops(0, 1) {
+            store.append(object, &op).unwrap();
+        }
+        store.barrier().unwrap();
+        for (object, op) in commit_ops(1, 1) {
+            store.append(object, &op).unwrap();
+        }
+        store.barrier().unwrap();
+        let wal_path = store.wal_path.clone();
+        drop(store);
+
+        // Tear the tail: chop the last record short.
+        let bytes = fs::read(&wal_path).unwrap();
+        fs::write(&wal_path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let (states, report) = NodeStore::inspect(&dir, template).unwrap();
+        assert!(report.truncated.is_some());
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(states[0].meta.version, 1, "first batch survives whole");
+        assert_eq!(states[1].meta.version, 0, "torn batch fully discarded");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_handles_share_one_store_and_one_barrier() {
+        let dir = tmpdir("handles");
+        let template = DurableState::initial(3);
+        let (store, _, _) =
+            NodeStore::open(&dir, StoreConfig::default(), 2, template.clone()).unwrap();
+        let core = Arc::new(Mutex::new(store));
+        let mut h0 = ShardHandle::new(Arc::clone(&core), ObjectId(0));
+        let mut h1 = ShardHandle::new(Arc::clone(&core), ObjectId(1));
+        h0.seq_advanced(1);
+        h1.seq_advanced(5);
+        h0.sync();
+        drop((h0, h1));
+        let _ = Arc::try_unwrap(core).map(|m| drop(m.into_inner().unwrap()));
+
+        let (states, report) = NodeStore::inspect(&dir, template).unwrap();
+        assert_eq!(report.records_replayed, 1, "both shards in one record");
+        assert_eq!(states[0].next_seq, 1);
+        assert_eq!(states[1].next_seq, 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -136,7 +136,7 @@ impl std::error::Error for StorageError {
     }
 }
 
-fn io_err<T>(path: &Path, r: std::io::Result<T>) -> Result<T, StorageError> {
+pub(crate) fn io_err<T>(path: &Path, r: std::io::Result<T>) -> Result<T, StorageError> {
     r.map_err(|source| StorageError::Io {
         path: path.to_path_buf(),
         source,
@@ -171,19 +171,19 @@ pub struct RecoveryReport {
     pub truncated: Option<TornTail>,
 }
 
-fn snap_name(epoch: u64) -> String {
+pub(crate) fn snap_name(epoch: u64) -> String {
     format!("snap-{epoch:016}")
 }
 
-fn wal_name(epoch: u64) -> String {
+pub(crate) fn wal_name(epoch: u64) -> String {
     format!("wal-{epoch:016}")
 }
 
-fn parse_epoch(name: &str, prefix: &str) -> Option<u64> {
+pub(crate) fn parse_epoch(name: &str, prefix: &str) -> Option<u64> {
     name.strip_prefix(prefix)?.parse().ok()
 }
 
-fn fsync_dir(dir: &Path) -> Result<(), StorageError> {
+pub(crate) fn fsync_dir(dir: &Path) -> Result<(), StorageError> {
     // Directory fsync makes renames/creates/removals durable; some
     // filesystems refuse to sync a directory handle — treat that as
     // best-effort, matching what production WALs do.
@@ -252,21 +252,7 @@ impl SiteStore {
         // Boot rotation: persist the recovered state at the new epoch
         // before touching anything older.
         write_snapshot(dir, epoch, &state)?;
-        let wal_path = dir.join(wal_name(epoch));
-        let mut wal = io_err(
-            &wal_path,
-            OpenOptions::new()
-                .create(true)
-                .truncate(true)
-                .write(true)
-                .open(&wal_path),
-        )?;
-        let mut header = Vec::with_capacity(16);
-        header.extend_from_slice(WAL_MAGIC);
-        header.extend_from_slice(&epoch.to_le_bytes());
-        io_err(&wal_path, wal.write_all(&header))?;
-        io_err(&wal_path, wal.sync_data())?;
-        fsync_dir(dir)?;
+        let (wal, wal_path) = create_segment(dir, epoch, WAL_MAGIC)?;
         compact(dir, epoch)?;
 
         let store = SiteStore {
@@ -365,21 +351,7 @@ impl SiteStore {
         self.pending.clear();
         let epoch = self.epoch + 1;
         write_snapshot(&self.dir, epoch, state)?;
-        let wal_path = self.dir.join(wal_name(epoch));
-        let mut wal = io_err(
-            &wal_path,
-            OpenOptions::new()
-                .create(true)
-                .truncate(true)
-                .write(true)
-                .open(&wal_path),
-        )?;
-        let mut header = Vec::with_capacity(16);
-        header.extend_from_slice(WAL_MAGIC);
-        header.extend_from_slice(&epoch.to_le_bytes());
-        io_err(&wal_path, wal.write_all(&header))?;
-        io_err(&wal_path, wal.sync_data())?;
-        fsync_dir(&self.dir)?;
+        let (wal, wal_path) = create_segment(&self.dir, epoch, WAL_MAGIC)?;
         self.epoch = epoch;
         self.wal = wal;
         self.wal_path = wal_path;
@@ -443,13 +415,9 @@ impl Persistence for SiteStore {
 
 // ----- recovery internals ------------------------------------------------
 
-/// Scan `dir`, pick the newest valid snapshot, replay WAL tails.
-/// Returns the state, the report, and the highest epoch seen on disk
-/// (0 for an empty directory).
-fn recover_dir(
-    dir: &Path,
-    initial: DurableState,
-) -> Result<(DurableState, RecoveryReport, u64), StorageError> {
+/// List the snapshot and WAL epochs present in `dir`, sorted ascending.
+/// A missing directory lists as empty.
+pub(crate) fn list_epochs(dir: &Path) -> Result<(Vec<u64>, Vec<u64>), StorageError> {
     let mut snaps: Vec<u64> = Vec::new();
     let mut wals: Vec<u64> = Vec::new();
     match fs::read_dir(dir) {
@@ -469,6 +437,41 @@ fn recover_dir(
     }
     snaps.sort_unstable();
     wals.sort_unstable();
+    Ok((snaps, wals))
+}
+
+/// Create `wal-<epoch>` with its `magic + epoch` header, fsynced.
+pub(crate) fn create_segment(
+    dir: &Path,
+    epoch: u64,
+    magic: &[u8; 8],
+) -> Result<(File, PathBuf), StorageError> {
+    let wal_path = dir.join(wal_name(epoch));
+    let mut wal = io_err(
+        &wal_path,
+        OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&wal_path),
+    )?;
+    let mut header = Vec::with_capacity(16);
+    header.extend_from_slice(magic);
+    header.extend_from_slice(&epoch.to_le_bytes());
+    io_err(&wal_path, wal.write_all(&header))?;
+    io_err(&wal_path, wal.sync_data())?;
+    fsync_dir(dir)?;
+    Ok((wal, wal_path))
+}
+
+/// Scan `dir`, pick the newest valid snapshot, replay WAL tails.
+/// Returns the state, the report, and the highest epoch seen on disk
+/// (0 for an empty directory).
+fn recover_dir(
+    dir: &Path,
+    initial: DurableState,
+) -> Result<(DurableState, RecoveryReport, u64), StorageError> {
+    let (snaps, wals) = list_epochs(dir)?;
     let max_epoch = snaps.iter().chain(wals.iter()).copied().max().unwrap_or(0);
 
     let mut report = RecoveryReport::default();
@@ -533,12 +536,17 @@ fn recover_dir(
     Ok((state, report, max_epoch))
 }
 
-/// Validate + decode one snapshot file; `None` if anything is off.
-fn read_snapshot(path: &Path, expected_epoch: u64) -> Option<DurableState> {
+/// Validate + read one snapshot file's payload (magic, epoch stamp,
+/// length, CRC); `None` if anything is off.
+pub(crate) fn read_snapshot_bytes(
+    path: &Path,
+    expected_epoch: u64,
+    magic: &[u8; 8],
+) -> Option<Vec<u8>> {
     let mut file = File::open(path).ok()?;
     let mut bytes = Vec::new();
     file.read_to_end(&mut bytes).ok()?;
-    if bytes.len() < 24 || &bytes[..8] != SNAP_MAGIC {
+    if bytes.len() < 24 || &bytes[..8] != magic {
         return None;
     }
     let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
@@ -550,23 +558,33 @@ fn read_snapshot(path: &Path, expected_epoch: u64) -> Option<DurableState> {
     if len > MAX_RECORD || bytes.len() != 24 + len {
         return None;
     }
-    let payload = &bytes[24..];
-    if crc32(payload) != crc {
+    let payload = bytes.split_off(24);
+    if crc32(&payload) != crc {
         return None;
     }
-    decode_state(payload).ok()
+    Some(payload)
 }
 
-/// Atomically write `snap-<epoch>`: tmp file, fsync, rename, fsync dir.
-fn write_snapshot(dir: &Path, epoch: u64, state: &DurableState) -> Result<(), StorageError> {
-    let mut payload = Vec::with_capacity(1024);
-    encode_state_into(&mut payload, state);
+/// Validate + decode one snapshot file; `None` if anything is off.
+fn read_snapshot(path: &Path, expected_epoch: u64) -> Option<DurableState> {
+    let payload = read_snapshot_bytes(path, expected_epoch, SNAP_MAGIC)?;
+    decode_state(&payload).ok()
+}
+
+/// Atomically write `snap-<epoch>` holding `payload`: tmp file, fsync,
+/// rename, fsync dir.
+pub(crate) fn write_snapshot_bytes(
+    dir: &Path,
+    epoch: u64,
+    magic: &[u8; 8],
+    payload: &[u8],
+) -> Result<(), StorageError> {
     let mut bytes = Vec::with_capacity(24 + payload.len());
-    bytes.extend_from_slice(SNAP_MAGIC);
+    bytes.extend_from_slice(magic);
     bytes.extend_from_slice(&epoch.to_le_bytes());
     bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
-    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
 
     let tmp = dir.join(format!("{}.tmp", snap_name(epoch)));
     let fin = dir.join(snap_name(epoch));
@@ -580,9 +598,16 @@ fn write_snapshot(dir: &Path, epoch: u64, state: &DurableState) -> Result<(), St
     Ok(())
 }
 
+/// Atomically write a single-object `snap-<epoch>`.
+fn write_snapshot(dir: &Path, epoch: u64, state: &DurableState) -> Result<(), StorageError> {
+    let mut payload = Vec::with_capacity(1024);
+    encode_state_into(&mut payload, state);
+    write_snapshot_bytes(dir, epoch, SNAP_MAGIC, &payload)
+}
+
 /// Delete every snapshot/segment/tmp file of an epoch below `keep` —
 /// the new snapshot subsumes them.
-fn compact(dir: &Path, keep: u64) -> Result<(), StorageError> {
+pub(crate) fn compact(dir: &Path, keep: u64) -> Result<(), StorageError> {
     for entry in io_err(dir, fs::read_dir(dir))? {
         let entry = io_err(dir, entry)?;
         let name = entry.file_name();

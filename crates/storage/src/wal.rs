@@ -38,13 +38,21 @@ use dynvote_protocol::codec::{
     put_entries, put_meta, put_site_set, put_txn, put_u32, put_u64, put_u8, Reader, WireError,
 };
 use dynvote_protocol::persist::PersistOp;
-use dynvote_protocol::{CommitRecord, DurableState};
+use dynvote_protocol::{CommitRecord, DurableState, ObjectId};
 use std::collections::HashMap;
 
-/// First bytes of every WAL segment file.
-pub const WAL_MAGIC: &[u8; 8] = b"DVWAL001";
-/// First bytes of every snapshot file.
-pub const SNAP_MAGIC: &[u8; 8] = b"DVSNAP01";
+/// First bytes of every single-object WAL segment file. (`002`: the
+/// encoded [`TxnId`](dynvote_protocol::TxnId) gained its object
+/// dimension, which changes every record that names a transaction.)
+pub const WAL_MAGIC: &[u8; 8] = b"DVWAL002";
+/// First bytes of every single-object snapshot file.
+pub const SNAP_MAGIC: &[u8; 8] = b"DVSNAP02";
+/// First bytes of a multi-object (node-wide) WAL segment, whose record
+/// bodies are concatenated `[object][op]` keyed ops.
+pub const WAL_MAGIC_MULTI: &[u8; 8] = b"DVWALM01";
+/// First bytes of a multi-object snapshot, whose payload is a counted
+/// run of per-object states.
+pub const SNAP_MAGIC_MULTI: &[u8; 8] = b"DVSNAPM1";
 /// Upper bound on one record body, guarding against corrupt length
 /// prefixes (same cap as the wire transport's frames).
 pub const MAX_RECORD: usize = 16 * 1024 * 1024;
@@ -82,6 +90,27 @@ pub fn encode_op_into(out: &mut Vec<u8>, op: &PersistOp) {
             put_site_set(out, *participants);
         }
     }
+}
+
+/// Append one keyed op — `[object: u32][op]` — the record vocabulary of
+/// the multi-object node WAL. One node-wide record interleaves many
+/// objects' ops; the object prefix routes each op back to its shard's
+/// state on replay.
+pub fn encode_keyed_op_into(out: &mut Vec<u8>, object: ObjectId, op: &PersistOp) {
+    put_u32(out, object.0);
+    encode_op_into(out, op);
+}
+
+/// Decode a multi-object record body: the concatenated keyed ops of one
+/// group-commit batch, in append order.
+pub fn decode_keyed_ops(body: &[u8]) -> Result<Vec<(ObjectId, PersistOp)>, WireError> {
+    let mut r = Reader::new(body);
+    let mut ops = Vec::new();
+    while r.remaining() > 0 {
+        let object = ObjectId(r.u32()?);
+        ops.push((object, decode_one(&mut r)?));
+    }
+    Ok(ops)
 }
 
 fn decode_one(r: &mut Reader) -> Result<PersistOp, WireError> {
@@ -193,12 +222,9 @@ impl<'a> RecordScanner<'a> {
         self.pos
     }
 
-    /// The next record batch: `None` at a clean end, `Some(Err(..))` at
-    /// the first violation (the scanner stays put — further calls keep
-    /// returning the same violation). A batch decodes in full or not at
-    /// all, so replay can never apply half a protocol step.
-    #[allow(clippy::should_implement_trait)] // Iterator would lose the by-ref stop-and-hold semantics
-    pub fn next(&mut self) -> Option<Result<Vec<PersistOp>, TornReason>> {
+    /// Validate the next frame's header/length/CRC (decoding is the
+    /// caller's job). Returns the body and the bytes to advance by.
+    fn frame(&self) -> Option<Result<(&'a [u8], usize), TornReason>> {
         let remaining = &self.buf[self.pos..];
         if remaining.is_empty() {
             return None;
@@ -222,12 +248,41 @@ impl<'a> RecordScanner<'a> {
         if crc32(body) != crc {
             return Some(Err(TornReason::BadCrc));
         }
-        match decode_ops(body) {
-            Ok(ops) => {
-                self.pos += body_end;
-                Some(Ok(ops))
-            }
-            Err(e) => Some(Err(TornReason::BadBody(e))),
+        Some(Ok((body, body_end)))
+    }
+
+    /// The next record batch: `None` at a clean end, `Some(Err(..))` at
+    /// the first violation (the scanner stays put — further calls keep
+    /// returning the same violation). A batch decodes in full or not at
+    /// all, so replay can never apply half a protocol step.
+    #[allow(clippy::should_implement_trait)] // Iterator would lose the by-ref stop-and-hold semantics
+    pub fn next(&mut self) -> Option<Result<Vec<PersistOp>, TornReason>> {
+        match self.frame()? {
+            Ok((body, advance)) => match decode_ops(body) {
+                Ok(ops) => {
+                    self.pos += advance;
+                    Some(Ok(ops))
+                }
+                Err(e) => Some(Err(TornReason::BadBody(e))),
+            },
+            Err(reason) => Some(Err(reason)),
+        }
+    }
+
+    /// The next multi-object record batch — the keyed-op mirror of
+    /// [`RecordScanner::next`], with identical torn-tail semantics. One
+    /// batch is one group-commit barrier's worth of ops across many
+    /// objects.
+    pub fn next_keyed(&mut self) -> Option<Result<Vec<(ObjectId, PersistOp)>, TornReason>> {
+        match self.frame()? {
+            Ok((body, advance)) => match decode_keyed_ops(body) {
+                Ok(ops) => {
+                    self.pos += advance;
+                    Some(Ok(ops))
+                }
+                Err(e) => Some(Err(TornReason::BadBody(e))),
+            },
+            Err(reason) => Some(Err(reason)),
         }
     }
 }
@@ -261,14 +316,14 @@ pub fn encode_state_into(out: &mut Vec<u8>, state: &DurableState) {
     put_u64(out, state.next_seq);
 }
 
-/// Decode a snapshot payload back into a [`DurableState`].
-pub fn decode_state(body: &[u8]) -> Result<DurableState, WireError> {
-    let mut r = Reader::new(body);
+/// Decode one [`DurableState`] at the reader's position, leaving the
+/// reader just past it — the building block for both snapshot flavors.
+fn read_state(r: &mut Reader) -> Result<DurableState, WireError> {
     let meta = r.meta()?;
     let log = r.entries()?;
     let commit_count = r.u32()? as usize;
-    // Guard: each commit record is at least 22 bytes.
-    if commit_count > r.remaining() / 22 {
+    // Guard: each commit record is at least 26 bytes.
+    if commit_count > r.remaining() / 26 {
         return Err(WireError::Truncated);
     }
     let mut commits = HashMap::with_capacity(commit_count);
@@ -284,13 +339,45 @@ pub fn decode_state(body: &[u8]) -> Result<DurableState, WireError> {
         tag => return Err(WireError::BadTag(tag)),
     };
     let next_seq = r.u64()?;
-    r.finish(DurableState {
+    Ok(DurableState {
         meta,
         log,
         commits,
         prepared,
         next_seq,
     })
+}
+
+/// Decode a snapshot payload back into a [`DurableState`].
+pub fn decode_state(body: &[u8]) -> Result<DurableState, WireError> {
+    let mut r = Reader::new(body);
+    let state = read_state(&mut r)?;
+    r.finish(state)
+}
+
+/// Append a multi-object snapshot payload: a counted run of per-object
+/// states in object order (`states[o]` is object `o`'s state — objects
+/// are dense, so the index is the id).
+pub fn encode_states_into(out: &mut Vec<u8>, states: &[DurableState]) {
+    put_u32(out, states.len() as u32);
+    for state in states {
+        encode_state_into(out, state);
+    }
+}
+
+/// Decode a multi-object snapshot payload back into per-object states.
+pub fn decode_states(body: &[u8]) -> Result<Vec<DurableState>, WireError> {
+    let mut r = Reader::new(body);
+    let count = r.u32()? as usize;
+    // Guard: even an empty state encodes to well over 26 bytes.
+    if count > r.remaining() / 26 + 1 {
+        return Err(WireError::Truncated);
+    }
+    let mut states = Vec::with_capacity(count);
+    for _ in 0..count {
+        states.push(read_state(&mut r)?);
+    }
+    r.finish(states)
 }
 
 #[cfg(test)]
@@ -300,10 +387,7 @@ mod tests {
     use dynvote_protocol::{LogEntry, TxnId};
 
     fn sample_ops() -> Vec<PersistOp> {
-        let txn = TxnId {
-            coordinator: SiteId(2),
-            seq: 9,
-        };
+        let txn = TxnId::new(SiteId(2), 9);
         let meta = CopyMeta {
             version: 4,
             cardinality: 3,
@@ -331,10 +415,7 @@ mod tests {
     fn sample_state() -> DurableState {
         let mut commits = HashMap::new();
         commits.insert(
-            TxnId {
-                coordinator: SiteId(0),
-                seq: 3,
-            },
+            TxnId::new(SiteId(0), 3),
             CommitRecord {
                 meta: CopyMeta {
                     version: 2,
@@ -361,13 +442,7 @@ mod tests {
                 },
             ],
             commits,
-            prepared: Some((
-                TxnId {
-                    coordinator: SiteId(1),
-                    seq: 5,
-                },
-                SiteId(1),
-            )),
+            prepared: Some((TxnId::new(SiteId(1), 5), SiteId(1))),
             next_seq: 7,
         }
     }
@@ -404,6 +479,39 @@ mod tests {
         assert_eq!(&buf[..8], &frame_header(&body));
         assert_eq!(&buf[8..], &body[..]);
         assert_eq!(decode_ops(&body).unwrap(), ops);
+    }
+
+    #[test]
+    fn keyed_ops_round_trip_as_one_multi_object_record() {
+        let keyed: Vec<(ObjectId, PersistOp)> = sample_ops()
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| (ObjectId((i % 3) as u32), op))
+            .collect();
+        let mut body = Vec::new();
+        for (object, op) in &keyed {
+            encode_keyed_op_into(&mut body, *object, op);
+        }
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&frame_header(&body));
+        buf.extend_from_slice(&body);
+        let mut scanner = RecordScanner::new(&buf);
+        assert_eq!(scanner.next_keyed().unwrap().unwrap(), keyed);
+        assert!(scanner.next_keyed().is_none());
+        assert_eq!(scanner.valid_end(), buf.len());
+        assert_eq!(decode_keyed_ops(&body).unwrap(), keyed);
+    }
+
+    #[test]
+    fn multi_object_snapshot_round_trips() {
+        let states = vec![sample_state(), DurableState::initial(3), sample_state()];
+        let mut buf = Vec::new();
+        encode_states_into(&mut buf, &states);
+        assert_eq!(decode_states(&buf).unwrap(), states);
+        // Hostile count is rejected without allocating.
+        let mut hostile = Vec::new();
+        put_u32(&mut hostile, u32::MAX);
+        assert_eq!(decode_states(&hostile), Err(WireError::Truncated));
     }
 
     #[test]

@@ -43,10 +43,7 @@ fn initial_state() -> DurableState {
 /// reference and the recovery path agree by construction — the property
 /// under test is byte-level round-trip fidelity, not op validity.
 fn decode_cmd(kind: u64, a: u64, b: u64) -> PersistOp {
-    let txn = TxnId {
-        coordinator: SiteId((a % N as u64) as u8),
-        seq: a >> 8,
-    };
+    let txn = TxnId::new(SiteId((a % N as u64) as u8), a >> 8);
     let meta = CopyMeta {
         version: a % 32,
         cardinality: (b % N as u64 + 1) as u32,

@@ -43,10 +43,7 @@ fn initial_state(n: usize) -> DurableState {
 }
 
 fn txn(c: u8, seq: u64) -> TxnId {
-    TxnId {
-        coordinator: SiteId(c),
-        seq,
-    }
+    TxnId::new(SiteId(c), seq)
 }
 
 fn meta_v(version: u64) -> CopyMeta {

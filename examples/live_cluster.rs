@@ -28,6 +28,7 @@ fn main() {
             duration: Duration::from_millis(600),
             read_fraction: 0.1,
             seed: 7,
+            ..LoadGenConfig::default()
         };
         let report = LoadGen::run(&lg, |w| {
             Box::new(cluster.client(SiteId(w as u8))) as Box<dyn WorkloadTarget>
@@ -89,7 +90,7 @@ fn main() {
 
 fn probe_meta(cluster: &Cluster, site: SiteId) -> dynvote::CopyMeta {
     let mut client = cluster.client(site);
-    match client.request(ClientOp::Probe).expect("probe") {
+    match client.request(ClientOp::Probe { key: 0 }).expect("probe") {
         ClientReply::Probe { meta, .. } => meta,
         other => panic!("unexpected probe reply {other:?}"),
     }
