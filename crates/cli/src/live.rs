@@ -12,8 +12,10 @@ use crate::opts::Opts;
 use dynvote_cluster::wire::{ClientOp, ClientReply};
 use dynvote_cluster::{
     Cluster, ClusterConfig, EventCountEntry, FrontDoorConfig, KeyDist, LoadGen, LoadGenConfig,
-    NetCounterEntry, NetStats, OpenLoop, OpenLoopConfig, TcpClient, TransportKind, WorkloadTarget,
+    NetCounterEntry, NetStats, OpenLoop, OpenLoopConfig, ShardCounterEntry, ShardStats, TcpClient,
+    TransportKind, WorkloadTarget, MAX_SHARD_THREADS,
 };
+use dynvote_core::par::resolve_jobs;
 use dynvote_core::{AlgorithmKind, ConfigError, SiteId};
 use dynvote_protocol::{DurableState, EventKind};
 use dynvote_storage::{FsyncPolicy, NodeStore};
@@ -48,11 +50,18 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
         "http-port",
         "max-inflight",
         "max-conns",
+        "shard-threads",
     ])
     .map_err(|e| format!("{e}; see `dynvote help`"))?;
     let algorithm = parse_algo(opts.get("algo").unwrap_or("hybrid"))?;
     let n: usize = opts.get_or("n", 5).map_err(|e| e.to_string())?;
     let keys: usize = opts.get_or("keys", 1).map_err(|e| e.to_string())?;
+    // 0 (the default) means auto: explicit request > DYNVOTE_JOBS >
+    // hardware thread count, the same resolution every other parallel
+    // surface in this repo uses. The node clamps to the object count at
+    // boot, so `--keys 1` still runs the single-threaded fast path.
+    let shard_threads: usize = opts.get_or("shard-threads", 0).map_err(|e| e.to_string())?;
+    let shard_threads = resolve_jobs(Some(shard_threads)).min(MAX_SHARD_THREADS);
     let port_base: u16 = opts.get_or("port-base", 7700).map_err(|e| e.to_string())?;
     let duration = secs(
         opts.get_or("duration", 0.0).map_err(|e| e.to_string())?,
@@ -64,6 +73,7 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
         .with_transport(TransportKind::Tcp)
         .with_objects(keys)
         .with_port_base(port_base)
+        .with_shard_threads(shard_threads)
         .with_trace(trace);
     // The HTTP front door is opt-in; its tuning knobs without
     // --http-port are a typed configuration error, not a silent ignore.
@@ -123,7 +133,8 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
     }
     let mode = if durable { "durable" } else { "amnesia" };
     println!(
-        "cluster ready: n={n} algo={algorithm} objects={keys} transport=tcp durability={mode}"
+        "cluster ready: n={n} algo={algorithm} objects={keys} transport=tcp durability={mode} \
+         shard-threads={shard_threads}"
     );
     use std::io::Write as _;
     std::io::stdout().flush().ok();
@@ -476,6 +487,26 @@ pub fn loadgen_cmd(opts: &Opts) -> Result<(), String> {
                 }
             }
             other => return Err(format!("unexpected net-stats reply {other:?}")),
+        }
+        // And the shard pool's execution counters: per-worker dispatch
+        // totals, queue-depth high-water marks, and the merge-barrier
+        // wait tallies (zero counts omitted).
+        match client
+            .request(&ClientOp::ShardStats)
+            .map_err(|e| format!("shard-stats request {addr}: {e}"))?
+        {
+            ClientReply::ShardStats { workers, counts } => {
+                for (name, &count) in ShardStats::names_for(workers as usize).iter().zip(&counts) {
+                    if count > 0 {
+                        report.shard.push(ShardCounterEntry {
+                            site,
+                            counter: name.clone(),
+                            count,
+                        });
+                    }
+                }
+            }
+            other => return Err(format!("unexpected shard-stats reply {other:?}")),
         }
     }
 

@@ -26,6 +26,11 @@ use std::time::{Duration, Instant};
 /// fail loudly instead of allocating forever.
 pub const MAX_OBJECTS: usize = 65_536;
 
+/// Ceiling on shard worker threads per node — a sanity bound on
+/// configuration (each worker is an OS thread per node; 256 workers on
+/// an 8-site cluster is already 2048 threads).
+pub const MAX_SHARD_THREADS: usize = 256;
+
 /// Which transport carries inter-site messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportKind {
@@ -110,6 +115,14 @@ pub struct ClusterConfig {
     pub objects: usize,
     /// The replica-control algorithm every site runs.
     pub algorithm: AlgorithmKind,
+    /// Shard-affine workers per node (`1..=MAX_SHARD_THREADS`). `1` —
+    /// the default — runs every kernel inline on the node's scheduler
+    /// thread, exactly the pre-pool runtime. Larger values partition
+    /// the objects `object % shard_threads` across worker threads;
+    /// per-object results stay byte-identical for any value (boot
+    /// clamps to the object count, since extra workers would own
+    /// nothing).
+    pub shard_threads: usize,
     /// Inter-site transport.
     pub transport: TransportKind,
     /// TCP only: bind node `i` to `127.0.0.1:(port_base + i)` instead
@@ -136,6 +149,7 @@ impl ClusterConfig {
             n,
             objects: 1,
             algorithm,
+            shard_threads: 1,
             transport: TransportKind::Channel,
             port_base: None,
             trace: false,
@@ -156,6 +170,14 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_objects(mut self, objects: usize) -> Self {
         self.objects = objects;
+        self
+    }
+
+    /// Run every node's kernels across `shard_threads` shard-affine
+    /// workers.
+    #[must_use]
+    pub fn with_shard_threads(mut self, shard_threads: usize) -> Self {
+        self.shard_threads = shard_threads;
         self
     }
 
@@ -208,6 +230,14 @@ impl ClusterConfig {
                 value: self.objects as u64,
                 lo: 1,
                 hi: MAX_OBJECTS as u64,
+            });
+        }
+        if self.shard_threads == 0 || self.shard_threads > MAX_SHARD_THREADS {
+            return Err(ConfigError::OutOfRange {
+                field: "shard_threads",
+                value: self.shard_threads as u64,
+                lo: 1,
+                hi: MAX_SHARD_THREADS as u64,
             });
         }
         if self.node.vote_deadline.is_zero() {
@@ -474,6 +504,9 @@ impl Cluster {
                 rx,
                 Arc::clone(&ledger),
             );
+            // Size the pool before durability so the persistence hooks
+            // are installed against the right per-worker stages.
+            node.set_shard_threads(config.shard_threads);
             if let DurabilityMode::Durable { data_dir, fsync } = &config.durability {
                 node.enable_durability(NodeDurability {
                     dir: data_dir.join(format!("site-{i}")),
@@ -503,6 +536,7 @@ impl Cluster {
                         http.max_inflight,
                         Arc::clone(&events),
                         Arc::clone(&stats),
+                        node.shard_stats(),
                     ))
                 });
                 let reactor = Reactor::new(

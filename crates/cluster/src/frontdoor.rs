@@ -22,6 +22,7 @@
 //! by the reactor thread without a trip through the node.
 
 use crate::loadgen::Histogram;
+use crate::node::ShardStats;
 use crate::reactor::ConnTx;
 use crate::transport::NetStats;
 use crate::wire::{ClientOp, ClientReply};
@@ -70,6 +71,7 @@ pub(crate) struct FrontDoor {
     latency: Mutex<Histogram>,
     events: Arc<CountingSink>,
     stats: Arc<NetStats>,
+    shard: Arc<ShardStats>,
 }
 
 impl FrontDoor {
@@ -80,6 +82,7 @@ impl FrontDoor {
         max_inflight: u64,
         events: Arc<CountingSink>,
         stats: Arc<NetStats>,
+        shard: Arc<ShardStats>,
     ) -> Self {
         FrontDoor {
             site,
@@ -90,6 +93,7 @@ impl FrontDoor {
             latency: Mutex::new(Histogram::new()),
             events,
             stats,
+            shard,
         }
     }
 
@@ -144,6 +148,34 @@ impl FrontDoor {
                 "dynvote_net_total{{site=\"{site}\",counter=\"{name}\"}} {count}\n"
             ));
         }
+        // Shard-pool counters: per-worker dispatch/queue-depth plus the
+        // merge-barrier tallies, from the same snapshot the binary
+        // `ShardStats` op serves. Layout: [dispatched(0..W),
+        // queue_peak(0..W), merge_barriers, merge_wait_ns].
+        let shard = self.shard.snapshot();
+        let workers = self.shard.workers();
+        out.push_str("# TYPE dynvote_shard_worker_dispatched_total counter\n");
+        for (w, count) in shard.iter().take(workers).enumerate() {
+            out.push_str(&format!(
+                "dynvote_shard_worker_dispatched_total{{site=\"{site}\",worker=\"{w}\"}} {count}\n"
+            ));
+        }
+        out.push_str("# TYPE dynvote_shard_worker_queue_peak gauge\n");
+        for (w, count) in shard.iter().skip(workers).take(workers).enumerate() {
+            out.push_str(&format!(
+                "dynvote_shard_worker_queue_peak{{site=\"{site}\",worker=\"{w}\"}} {count}\n"
+            ));
+        }
+        out.push_str("# TYPE dynvote_shard_merge_barriers_total counter\n");
+        out.push_str(&format!(
+            "dynvote_shard_merge_barriers_total{{site=\"{site}\"}} {}\n",
+            shard[2 * workers]
+        ));
+        out.push_str("# TYPE dynvote_shard_merge_wait_seconds_total counter\n");
+        out.push_str(&format!(
+            "dynvote_shard_merge_wait_seconds_total{{site=\"{site}\"}} {:.9}\n",
+            shard[2 * workers + 1] as f64 / 1e9
+        ));
         out.push_str("# TYPE dynvote_http_inflight gauge\n");
         out.push_str(&format!(
             "dynvote_http_inflight{{site=\"{site}\"}} {}\n",

@@ -57,15 +57,15 @@ pub mod wire;
 
 pub use cluster::{
     BootError, Cluster, ClusterConfig, DurabilityMode, LocalClient, RequestError, TcpClient,
-    TransportKind, MAX_OBJECTS,
+    TransportKind, MAX_OBJECTS, MAX_SHARD_THREADS,
 };
 pub use frontdoor::FrontDoorConfig;
 pub use loadgen::{
     EventCountEntry, Histogram, KeyDist, LoadGen, LoadGenConfig, LoadReport, NetCounterEntry,
-    WorkloadTarget,
+    ShardCounterEntry, WorkloadTarget,
 };
 pub use node::{
-    AuditOutcome, ClusterLedger, Node, NodeConfig, NodeDurability, NodeEvent, ReplySink,
+    AuditOutcome, ClusterLedger, Node, NodeConfig, NodeDurability, NodeEvent, ReplySink, ShardStats,
 };
 pub use openloop::{OpenLoop, OpenLoopConfig, OpenLoopReport};
 pub use reactor::ReactorTransport;

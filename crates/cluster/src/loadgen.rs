@@ -294,6 +294,20 @@ pub struct NetCounterEntry {
     pub count: u64,
 }
 
+/// One per-site shard-pool counter in a [`LoadReport`]: per-worker
+/// dispatch totals and queue-depth high-water marks plus the merge
+/// barrier tallies (see [`crate::ShardStats`]), gathered after the run
+/// via `ClientOp::ShardStats`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardCounterEntry {
+    /// Site index.
+    pub site: usize,
+    /// Counter name (see [`crate::ShardStats::names`]).
+    pub counter: String,
+    /// Value observed at that site.
+    pub count: u64,
+}
+
 /// Machine-readable summary of one load-generation run.
 #[derive(Debug, Clone, Serialize)]
 pub struct LoadReport {
@@ -342,6 +356,10 @@ pub struct LoadReport {
     /// `ClientOp::NetStats` (zero-count entries omitted; empty under
     /// the channel transport or when the caller does not collect them).
     pub net: Vec<NetCounterEntry>,
+    /// Per-site shard-pool counters gathered after the run via
+    /// `ClientOp::ShardStats` (zero-count entries omitted; empty when
+    /// the caller does not collect them).
+    pub shard: Vec<ShardCounterEntry>,
 }
 
 impl LoadReport {
@@ -442,6 +460,7 @@ impl LoadGen {
             histogram: tally.latency,
             events: Vec::new(),
             net: Vec::new(),
+            shard: Vec::new(),
         })
     }
 }

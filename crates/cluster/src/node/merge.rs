@@ -1,0 +1,144 @@
+//! The merge barrier: the point where N workers' independent batches
+//! become one node-wide step.
+//!
+//! Order matters and is fixed:
+//!
+//! 1. **Drain** — wait until every worker has processed everything
+//!    dispatched to it ([`ShardPool::wait_idle`]), then lock every
+//!    group. From here the kernels are quiescent.
+//! 2. **Collect** — move every worker's staged actions into the reusable
+//!    merge buffer (worker order, so the result is deterministic for a
+//!    fixed dispatch history), park started client requests on their
+//!    transactions, and fold restart tags in.
+//! 3. **WAL barrier** — ingest every worker's staging buffer into the
+//!    shared [`dynvote_storage::NodeStore`] (again worker order) and
+//!    seal the lot as **one** checksummed group-commit record behind
+//!    one fsync. Only after this may anything be announced: the
+//!    force-write discipline survives parallel execution because
+//!    nothing leaves the node before this point.
+//! 4. **Ledger** — record commits in the cluster ledger before the
+//!    fan-out can trigger a dependent commit on another node.
+//! 5. **Dispatch** — sends and broadcasts go to the transport's batch
+//!    encoder, `SetTimer` arms the wall-clock wheel, `Resolved`
+//!    completes parked clients.
+
+use super::worker::ShardPool;
+use super::{Node, PendingClient};
+use crate::wire::ClientReply;
+use dynvote_core::SiteId;
+use dynvote_protocol::{Action, ResolveReason, SiteActor, TxnId};
+use std::collections::HashMap;
+
+impl Node {
+    /// Run one merge barrier over `pool`. Idempotent: with nothing
+    /// staged it costs one no-op barrier check.
+    pub(super) fn merge(&mut self, pool: &mut ShardPool) {
+        pool.wait_idle();
+        let mut groups = pool.lock_groups();
+
+        // Collect, in worker order: staged actions into the reusable
+        // merge buffer, started requests onto their transactions,
+        // restart transactions into the exclusion set.
+        let mut batch = std::mem::take(&mut self.merge_buf);
+        for group in groups.iter_mut() {
+            batch.append(&mut group.scratch);
+            for txn in group.restarts.drain(..) {
+                self.restart_txns.insert(txn);
+            }
+            for (id, reply, txn) in group.starts.drain(..) {
+                match txn {
+                    Some(txn) => {
+                        self.pending.insert(txn, PendingClient { id, reply });
+                    }
+                    // The kernel refused to start anything — busy.
+                    None => reply.send(id, ClientReply::Busy),
+                }
+            }
+        }
+
+        // Group-commit barrier: every WAL op any worker staged this
+        // batch is sealed as one record and fsynced (per the fsync
+        // policy) before any send or client reply below announces it.
+        // One fsync covers every object and every worker the batch
+        // touched. With one worker the stage list is empty — the
+        // shards' direct handles already appended into the store's
+        // pending record — and only the seal runs.
+        if let Some(core) = &self.store {
+            let mut core = core.lock().expect("store poisoned");
+            for stage in &self.stages {
+                core.ingest(&mut stage.lock().expect("stage poisoned"));
+            }
+            core.barrier().expect("WAL barrier");
+        }
+
+        // Ledger bookkeeping before the fan-out: a commit must be
+        // globally recorded before the Commit broadcast below can
+        // trigger a dependent commit (version + 1) on another thread,
+        // or the ledger would flag a spurious gap.
+        let mut committed: HashMap<TxnId, u64> = HashMap::new();
+        for action in &batch {
+            if let Action::CommitRecorded {
+                version,
+                payload,
+                txn,
+            } = action
+            {
+                self.ledger.record(self.id, txn.object, *version, *payload);
+                committed.insert(*txn, *version);
+                if !self.restart_txns.contains(txn) {
+                    self.commits += 1;
+                }
+            }
+        }
+
+        for action in batch.drain(..) {
+            match action {
+                Action::Send { to, msg } => self.send(to, msg),
+                Action::Broadcast { msg } => {
+                    for i in 0..self.n {
+                        let to = SiteId(i as u8);
+                        if to != self.id {
+                            self.send(to, msg.clone());
+                        }
+                    }
+                }
+                Action::SetTimer { txn, kind } => {
+                    // The backoff schedule needs the shard's current
+                    // termination-round count; the group locks are
+                    // still held, so read it through the owner's
+                    // partition.
+                    let rounds = groups[txn.object.index() % groups.len()]
+                        .part
+                        .shard(txn.object)
+                        .map_or(0, SiteActor::prepared_rounds);
+                    self.arm_timer(txn, kind, rounds);
+                }
+                Action::Resolved { txn, reason } => {
+                    self.restart_txns.remove(&txn);
+                    if let Some(client) = self.pending.remove(&txn) {
+                        let reply = match reason {
+                            ResolveReason::Committed => ClientReply::Committed {
+                                version: committed.get(&txn).copied().unwrap_or_else(|| {
+                                    groups[txn.object.index() % groups.len()]
+                                        .part
+                                        .shard(txn.object)
+                                        .map_or(0, |s| s.meta().version)
+                                }),
+                            },
+                            ResolveReason::ReadServed => ClientReply::ReadServed,
+                            ResolveReason::NotDistinguished => ClientReply::Rejected,
+                            ResolveReason::LockBusy => ClientReply::Busy,
+                            ResolveReason::Timeout => ClientReply::TimedOut,
+                        };
+                        client.reply.send(client.id, reply);
+                    }
+                }
+                // Group mode is a multi-file transaction-manager hook;
+                // the live cluster runs single-file updates only.
+                Action::DecisionReady { .. } => {}
+                Action::CommitRecorded { .. } => {} // handled above
+            }
+        }
+        self.merge_buf = batch;
+    }
+}

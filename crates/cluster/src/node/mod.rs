@@ -1,0 +1,673 @@
+//! The per-site node runtime: a scheduler thread plus N shard-affine
+//! workers driving a [`ShardedSite`] — many independent per-object
+//! protocol kernels behind one static ownership map.
+//!
+//! A node owns the protocol kernels for its site and translates their
+//! [`Action`]s into the outside world: sends go to the `Transport`,
+//! `SetTimer` becomes an entry in a wall-clock timer heap, and
+//! `Resolved` completes the client request that started the
+//! transaction. Everything arrives through one `mpsc` inbox
+//! ([`NodeEvent`]) — peer frames, client requests, and shutdown.
+//!
+//! The runtime is split into three pieces, one file each:
+//!
+//! * **scheduler** ([`Node::run`], `node/scheduler.rs`) — the inbox
+//!   thread. It classifies each event by `ObjectId` and hands it to the
+//!   worker owning that shard (static partition `object % N`), fires
+//!   wall-clock timers, and paces the merge barrier.
+//! * **workers** (`node/worker.rs`) — N threads (none when
+//!   `--shard-threads 1`, the default: the scheduler then runs kernels
+//!   inline), each exclusively owning a [`ShardPartition`] of the
+//!   site's objects. Kernels stay single-threaded and lock-free: the
+//!   partition *is* the synchronization.
+//! * **merge** (`node/merge.rs`) — the barrier that waits for every
+//!   worker's queue to drain, seals every worker's staged WAL ops as
+//!   **one** [`NodeStore`] group-commit record behind one fsync, and
+//!   only then dispatches the staged sends and client replies through
+//!   the transport's batch encoder. The force-write discipline is
+//!   intact — nothing announced is ever lost — but the fsync is
+//!   amortized across every object and every worker the batch touched.
+//!
+//! Transactions on different objects never contend: each shard has its
+//! own lock, commit chain, and prepare record, and per-object event
+//! order is preserved because one worker owns the object for the
+//! node's lifetime. That is why per-object results are byte-identical
+//! for any `--shard-threads` — pinned by the conformance suite.
+//!
+//! Fault injection mirrors the simulator's model exactly:
+//!
+//! * **crash** wipes the kernels' volatile state (durable
+//!   prepare/commit records survive), cancels pending wall-clock timers
+//!   (they guard volatile transactions) and fails parked clients with
+//!   [`ClientReply::Down`]. The threads stay up so control traffic
+//!   keeps working.
+//! * **recover** runs the Section V-C restart protocol
+//!   (`Make_Current`); its transactions are tagged so a resulting
+//!   commit is booked as restart traffic, not workload.
+//! * **partitions** are emulated at the node boundary by a
+//!   [`SiteSet`] of reachable sites, filtering both inbound and
+//!   outbound messages — transport-agnostic, and equivalent to the
+//!   simulator's link topology once in-flight traffic has drained.
+
+mod merge;
+mod scheduler;
+mod worker;
+
+pub use worker::ShardStats;
+
+use crate::frontdoor::HttpTx;
+use crate::reactor::ConnTx;
+use crate::transport::{NetStats, Transport};
+use crate::wire::{ClientOp, ClientReply};
+use dynvote_core::{AlgorithmKind, BackoffPolicy, SiteId, SiteSet, TimerWheel};
+use dynvote_protocol::{
+    Action, CountingSink, DurableState, EventSink, FanoutSink, LogEntry, Message, ObjectId,
+    RenderSink, ShardedSite, TimerKind, TxnId,
+};
+use dynvote_storage::{
+    NodeStore, RecoveryReport, ShardHandle, StagedHandle, StorageError, StoreConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a client reply should go.
+#[derive(Debug, Clone)]
+pub enum ReplySink {
+    /// In-process client: replies land on an `mpsc` channel as
+    /// `(correlation id, reply)` pairs.
+    Channel(Sender<(u64, ClientReply)>),
+    /// Remote binary client: the reply is framed and staged on its
+    /// reactor-owned connection; the reactor writes it out.
+    Conn(ConnTx),
+    /// HTTP front-door client: the reply is rendered to an HTTP
+    /// response, staged on the connection, and the admission slot is
+    /// released (see [`crate::frontdoor`]).
+    Http(HttpTx),
+    /// Discard the reply (fire-and-forget control operations).
+    Null,
+}
+
+impl ReplySink {
+    /// Deliver a reply, best-effort — a vanished client is not an
+    /// error.
+    pub fn send(&self, id: u64, reply: ClientReply) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send((id, reply));
+            }
+            ReplySink::Conn(tx) => tx.send_reply(id, &reply),
+            ReplySink::Http(tx) => tx.deliver(&reply),
+            ReplySink::Null => {}
+        }
+    }
+}
+
+/// Everything that can arrive on a node's inbox.
+#[derive(Debug)]
+pub enum NodeEvent {
+    /// A protocol message from another site.
+    Peer {
+        /// The sending site.
+        from: SiteId,
+        /// The message.
+        msg: Message,
+    },
+    /// A client request with a correlation id and a reply path.
+    Client {
+        /// Client-chosen correlation id, echoed in the reply.
+        id: u64,
+        /// The requested operation.
+        op: ClientOp,
+        /// Where the reply goes.
+        reply: ReplySink,
+    },
+    /// Stop the node thread (parked clients are failed with `Down`).
+    Shutdown,
+}
+
+/// Wall-clock protocol deadlines for one node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Coordinator: how long to wait for votes before deciding with
+    /// whatever arrived. Only ever waited out when sites are down or
+    /// partitioned away — with all peers reachable the coordinator
+    /// decides on the last reply.
+    pub vote_deadline: Duration,
+    /// Coordinator: how long to wait for a catch-up reply before
+    /// aborting.
+    pub catchup_deadline: Duration,
+    /// Prepared-subordinate retry schedule, in **milliseconds** (shared
+    /// with the simulator via [`BackoffPolicy`]).
+    pub backoff: BackoffPolicy,
+    /// Seed for the jitter RNG (combined with the site id, so nodes
+    /// jitter independently).
+    pub seed: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            vote_deadline: Duration::from_millis(25),
+            catchup_deadline: Duration::from_millis(50),
+            backoff: BackoffPolicy::new(5.0, 80.0).with_jitter(0.1),
+            seed: 0x00D1_5C0D,
+        }
+    }
+}
+
+/// The cluster-wide omniscient commit ledger: every coordinator records
+/// its commits here, and divergence (two different payloads claiming
+/// the same version number of the same object) or version gaps are
+/// flagged immediately. One independent chain per object — commits on
+/// different shards never order against each other. This is the
+/// live-cluster analogue of the simulator's ledger — a checking device,
+/// not part of the protocol.
+#[derive(Debug)]
+pub struct ClusterLedger {
+    inner: Mutex<LedgerInner>,
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    /// Per-object payload chains; `chains[o][v - 1]` holds the payload
+    /// committed at version `v` of object `o`.
+    chains: Vec<Vec<u64>>,
+    violations: Vec<String>,
+}
+
+impl ClusterLedger {
+    /// A fresh, empty ledger tracking `objects` independent chains.
+    #[must_use]
+    pub fn new(objects: usize) -> Self {
+        ClusterLedger {
+            inner: Mutex::new(LedgerInner {
+                chains: vec![Vec::new(); objects.max(1)],
+                violations: Vec::new(),
+            }),
+        }
+    }
+
+    fn record(&self, site: SiteId, object: ObjectId, version: u64, payload: u64) {
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        let o = object.index();
+        if o >= inner.chains.len() {
+            inner
+                .violations
+                .push(format!("site {site} committed on unknown object {object}"));
+            return;
+        }
+        let next = inner.chains[o].len() as u64 + 1;
+        match version.cmp(&next) {
+            Ordering::Equal => inner.chains[o].push(payload),
+            Ordering::Less => {
+                let existing = inner.chains[o][(version - 1) as usize];
+                inner.violations.push(format!(
+                    "site {site} re-committed {object} version {version} \
+                     (payload {payload:#x}, chain has {existing:#x})"
+                ));
+            }
+            Ordering::Greater => {
+                inner.violations.push(format!(
+                    "site {site} committed {object} version {version} but \
+                     the chain only reaches {}",
+                    next - 1
+                ));
+            }
+        }
+    }
+
+    /// Number of versions committed cluster-wide, summed over every
+    /// object's chain (including `Make_Current` restart commits).
+    #[must_use]
+    pub fn chain_len(&self) -> u64 {
+        let inner = self.inner.lock().expect("ledger poisoned");
+        inner.chains.iter().map(|c| c.len() as u64).sum()
+    }
+
+    /// Length of one object's chain (0 for an unknown object).
+    #[must_use]
+    pub fn chain_len_of(&self, object: ObjectId) -> u64 {
+        let inner = self.inner.lock().expect("ledger poisoned");
+        inner
+            .chains
+            .get(object.index())
+            .map_or(0, |c| c.len() as u64)
+    }
+
+    /// All violations flagged so far (empty on a correct run).
+    #[must_use]
+    pub fn violations(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .expect("ledger poisoned")
+            .violations
+            .clone()
+    }
+
+    /// Seed one object's chain from a recovered site's durable log, so
+    /// a durable cluster rebooted from disk audits against the history
+    /// its disks already hold rather than flagging the first
+    /// post-reboot commit as a gap. Entries extend the chain exactly
+    /// where they continue it; anything already covered is left for
+    /// [`Self::check_log`] and [`Self::record`] to cross-check. Priming
+    /// with every site's logs in any order converges on the longest
+    /// recovered prefix per object.
+    pub fn prime(&self, object: ObjectId, log: &[LogEntry]) {
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        let o = object.index();
+        if o >= inner.chains.len() {
+            return;
+        }
+        for entry in log {
+            if entry.version == inner.chains[o].len() as u64 + 1 {
+                inner.chains[o].push(entry.payload);
+            }
+        }
+    }
+
+    /// True if `log` is a gapless prefix of `object`'s global chain and
+    /// `meta_version` matches its length — the paper's invariant for
+    /// every copy.
+    #[must_use]
+    pub fn check_log(&self, object: ObjectId, log: &[LogEntry], meta_version: u64) -> bool {
+        let inner = self.inner.lock().expect("ledger poisoned");
+        let Some(chain) = inner.chains.get(object.index()) else {
+            return false;
+        };
+        meta_version == log.len() as u64
+            && log
+                .iter()
+                .enumerate()
+                .all(|(i, e)| e.version == (i + 1) as u64 && chain.get(i) == Some(&e.payload))
+    }
+}
+
+/// The verdict of a cluster-wide audit (see [`crate::Cluster::audit`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditOutcome {
+    /// Workload updates committed, summed over all coordinators
+    /// (`Make_Current` restart commits excluded).
+    pub commits: u64,
+    /// Length of the global version chain (restart commits included).
+    pub chain_len: u64,
+    /// True if every site's durable log is a gapless prefix of the
+    /// chain and no ledger violation was flagged.
+    pub consistent: bool,
+    /// Human-readable ledger violations (empty on a correct run).
+    pub violations: Vec<String>,
+}
+
+/// Where (and how) one node keeps its durable state on disk.
+#[derive(Debug, Clone)]
+pub struct NodeDurability {
+    /// This site's data directory (each site owns its own).
+    pub dir: PathBuf,
+    /// WAL fsync discipline and rotation threshold.
+    pub store: StoreConfig,
+}
+
+pub(crate) struct PendingClient {
+    pub(crate) id: u64,
+    pub(crate) reply: ReplySink,
+}
+
+/// A live protocol site: the sharded kernels plus their wall-clock
+/// surroundings. Consume with [`Node::run`] on a dedicated thread.
+pub struct Node {
+    pub(crate) id: SiteId,
+    pub(crate) n: usize,
+    pub(crate) objects: usize,
+    pub(crate) algorithm: AlgorithmKind,
+    /// The assembled shard map. `Some` until [`Node::run`] splits it
+    /// into the worker pool's partitions (and transiently during a disk
+    /// reboot, between restore and re-install).
+    pub(crate) site: Option<ShardedSite>,
+    /// `Some` when this node owns a data directory: every boot and
+    /// every [`ClientOp::Recover`] reloads the kernels' durable state
+    /// from disk instead of trusting process memory.
+    pub(crate) durability: Option<NodeDurability>,
+    /// The shared multi-object store behind every shard's persistence
+    /// hook, kept so the merge barrier can issue the group-commit
+    /// record and drive WAL rotation. `None` for amnesiac nodes.
+    pub(crate) store: Option<Arc<Mutex<NodeStore>>>,
+    /// The installed event sink, kept so a disk reboot can re-install
+    /// it on the freshly restored kernel.
+    pub(crate) sink: Option<Arc<dyn EventSink>>,
+    pub(crate) transport: Box<dyn Transport>,
+    pub(crate) rx: Receiver<NodeEvent>,
+    pub(crate) config: NodeConfig,
+    pub(crate) ledger: Arc<ClusterLedger>,
+    pub(crate) down: bool,
+    pub(crate) reachable: SiteSet,
+    /// Wall-clock protocol deadlines, in the shared [`TimerWheel`] (the
+    /// simulator arms the same wheel under a virtual clock). Its epoch
+    /// is bumped on every crash so timers armed before the crash are
+    /// recognizably stale (volatile state they guard is gone).
+    pub(crate) timers: TimerWheel<Instant, (TxnId, TimerKind)>,
+    /// The cluster-shared counting sink, kept to answer
+    /// [`ClientOp::Events`] with this site's tally row.
+    pub(crate) events: Option<Arc<CountingSink>>,
+    /// This node's reactor counters, kept to answer
+    /// [`ClientOp::NetStats`]. `None` under the channel transport.
+    pub(crate) net: Option<Arc<NetStats>>,
+    /// How many shard-affine workers [`Node::run`] launches (1 = run
+    /// kernels inline on the scheduler thread).
+    pub(crate) shard_threads: usize,
+    /// The pool's observability counters, answering
+    /// [`ClientOp::ShardStats`] and shared with the front door.
+    pub(crate) shard_stats: Arc<ShardStats>,
+    /// Per-worker WAL staging buffers (durable pools of more than one
+    /// worker): each worker's persistence hooks encode keyed ops into
+    /// its own stage, and the merge barrier drains them into the store
+    /// in worker order — one record, one fsync, no store contention
+    /// while kernels run.
+    pub(crate) stages: Vec<Arc<Mutex<Vec<u8>>>>,
+    pub(crate) pending: HashMap<TxnId, PendingClient>,
+    pub(crate) restart_txns: HashSet<TxnId>,
+    pub(crate) payload_seq: u64,
+    pub(crate) commits: u64,
+    pub(crate) rng: StdRng,
+    /// Reusable merge buffer: every barrier collects the workers'
+    /// staged actions here and dispatches them, so the steady-state
+    /// loop allocates no per-batch `Vec<Action>`.
+    pub(crate) merge_buf: Vec<Action>,
+}
+
+impl Node {
+    /// Build the runtime for site `id` of an `n`-site cluster hosting
+    /// `objects` independent replicated objects under `algorithm`,
+    /// reading events from `rx` and sending through `transport`.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: SiteId,
+        n: usize,
+        objects: usize,
+        algorithm: AlgorithmKind,
+        config: NodeConfig,
+        transport: Box<dyn Transport>,
+        rx: Receiver<NodeEvent>,
+        ledger: Arc<ClusterLedger>,
+    ) -> Self {
+        let site = ShardedSite::new(id, n, objects, || algorithm.instantiate(n));
+        let rng = StdRng::seed_from_u64(config.seed ^ (0x9E37 + u64::from(id.0)));
+        Node {
+            id,
+            n,
+            objects,
+            algorithm,
+            site: Some(site),
+            durability: None,
+            store: None,
+            sink: None,
+            transport,
+            rx,
+            config,
+            ledger,
+            down: false,
+            reachable: SiteSet::all(n),
+            timers: TimerWheel::new(),
+            events: None,
+            net: None,
+            shard_threads: 1,
+            shard_stats: Arc::new(ShardStats::new(1)),
+            stages: Vec::new(),
+            pending: HashMap::new(),
+            restart_txns: HashSet::new(),
+            payload_seq: 0,
+            commits: 0,
+            rng,
+            merge_buf: Vec::new(),
+        }
+    }
+
+    /// Size the shard worker pool: `threads` workers (clamped to
+    /// `1..=objects`), each exclusively owning the objects with
+    /// `object % threads == worker`. One worker — the default — runs
+    /// kernels inline on the scheduler thread, spawning no pool threads
+    /// at all. Call before [`Node::run`]; if durability is already
+    /// enabled the persistence hooks are re-installed so each shard
+    /// stages WAL ops into its owner's buffer.
+    pub fn set_shard_threads(&mut self, threads: usize) {
+        let workers = threads.clamp(1, self.objects.max(1));
+        self.shard_threads = workers;
+        self.shard_stats = Arc::new(ShardStats::new(workers));
+        self.stages = if workers > 1 {
+            (0..workers)
+                .map(|_| Arc::new(Mutex::new(Vec::new())))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if self.store.is_some() {
+            self.install_persistence();
+        }
+    }
+
+    /// The worker pool's observability counters (shared with the front
+    /// door for `/metrics`).
+    #[must_use]
+    pub fn shard_stats(&self) -> Arc<ShardStats> {
+        Arc::clone(&self.shard_stats)
+    }
+
+    /// Give this node a data directory: recover every hosted object's
+    /// durable state from it (snapshot + keyed WAL replay) and install
+    /// per-shard handles onto the shared [`NodeStore`] as each kernel's
+    /// [`dynvote_protocol::Persistence`] hook, so every durable-write
+    /// point (prepare records, commit records, log appends, metadata
+    /// installs) reaches the WAL before the action that announced it
+    /// leaves the node.
+    ///
+    /// Call before [`Node::run`]. Returns what recovery found.
+    pub fn enable_durability(
+        &mut self,
+        durability: NodeDurability,
+    ) -> Result<RecoveryReport, StorageError> {
+        self.durability = Some(durability);
+        self.reload_site_from_disk()
+    }
+
+    /// (Re)build the sharded kernel from the data directory: recover
+    /// every object's durable state (snapshot + keyed WAL replay),
+    /// swap the fresh site in, and hook persistence and the event sink
+    /// back up. The in-process stand-in for a machine reboot.
+    pub(crate) fn reload_site_from_disk(&mut self) -> Result<RecoveryReport, StorageError> {
+        let durability = self.durability.clone().expect("durability configured");
+        let (store, states, report) = NodeStore::open(
+            &durability.dir,
+            durability.store,
+            self.objects,
+            DurableState::initial(self.n),
+        )?;
+        let mut site = ShardedSite::restore(self.id, self.n, states, || {
+            self.algorithm.instantiate(self.n)
+        });
+        if let Some(sink) = &self.sink {
+            site.set_sink(Arc::clone(sink));
+        }
+        self.site = Some(site);
+        self.store = Some(Arc::new(Mutex::new(store)));
+        self.install_persistence();
+        Ok(report)
+    }
+
+    /// Hook every shard's persistence up to the store: direct
+    /// [`ShardHandle`]s with one worker (ops land straight in the
+    /// store's pending record), per-worker [`StagedHandle`]s otherwise
+    /// (ops land in the owning worker's stage, drained at the merge
+    /// barrier). Both preserve the single checksummed record per
+    /// barrier.
+    fn install_persistence(&mut self) {
+        let Some(core) = self.store.clone() else {
+            return;
+        };
+        let stages = self.stages.clone();
+        let Some(site) = self.site.as_mut() else {
+            return;
+        };
+        if stages.is_empty() {
+            site.set_persistence(|object| Box::new(ShardHandle::new(Arc::clone(&core), object)));
+        } else {
+            site.set_persistence(|object| {
+                let stage = Arc::clone(&stages[object.index() % stages.len()]);
+                Box::new(StagedHandle::new(stage, Arc::clone(&core), object))
+            });
+        }
+    }
+
+    /// True when this node reloads state from a data directory.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// One object's durable committed log (what recovery
+    /// reconstructed, for a freshly booted durable node). Used to prime
+    /// the cluster ledger's per-object chains before the first
+    /// post-reboot commit. Empty for unhosted objects.
+    #[must_use]
+    pub fn recovered_log(&self, object: ObjectId) -> &[LogEntry] {
+        self.site
+            .as_ref()
+            .and_then(|site| site.shard(object))
+            .map_or(&[], |shard| &shard.durable().log)
+    }
+
+    /// Install the cluster-shared event sink: every protocol event the
+    /// kernel emits is counted per site (and, with `trace`, rendered to
+    /// stderr as it happens). Must be called before [`Node::run`].
+    pub fn set_event_sink(&mut self, counting: Arc<CountingSink>, trace: bool) {
+        let sink: Arc<dyn EventSink> = if trace {
+            Arc::new(FanoutSink::new(vec![
+                counting.clone() as Arc<dyn EventSink>,
+                Arc::new(RenderSink),
+            ]))
+        } else {
+            counting.clone()
+        };
+        if let Some(site) = self.site.as_mut() {
+            site.set_sink(Arc::clone(&sink));
+        }
+        self.sink = Some(sink);
+        self.events = Some(counting);
+    }
+
+    /// Share the node's reactor counters so [`ClientOp::NetStats`] can
+    /// report them. Called by cluster boot under the TCP transport.
+    pub fn set_net_stats(&mut self, stats: Arc<NetStats>) {
+        self.net = Some(stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accepts_the_chain_and_flags_divergence() {
+        let ledger = ClusterLedger::new(1);
+        let o = ObjectId::ZERO;
+        ledger.record(SiteId(0), o, 1, 0x10);
+        ledger.record(SiteId(1), o, 2, 0x20);
+        assert_eq!(ledger.chain_len(), 2);
+        assert!(ledger.violations().is_empty());
+
+        ledger.record(SiteId(2), o, 2, 0x99); // divergent re-commit
+        ledger.record(SiteId(3), o, 9, 0x30); // gap
+        let violations = ledger.violations();
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].contains("version 2"));
+        assert!(violations[1].contains("version 9"));
+    }
+
+    #[test]
+    fn ledger_checks_logs_as_gapless_prefixes() {
+        let ledger = ClusterLedger::new(1);
+        let o = ObjectId::ZERO;
+        ledger.record(SiteId(0), o, 1, 0x10);
+        ledger.record(SiteId(0), o, 2, 0x20);
+        let full = [
+            LogEntry {
+                version: 1,
+                payload: 0x10,
+            },
+            LogEntry {
+                version: 2,
+                payload: 0x20,
+            },
+        ];
+        assert!(ledger.check_log(o, &full, 2));
+        assert!(ledger.check_log(o, &full[..1], 1)); // stale prefix is fine
+        assert!(!ledger.check_log(o, &full, 1)); // meta out of step
+        let diverged = [LogEntry {
+            version: 1,
+            payload: 0x99,
+        }];
+        assert!(!ledger.check_log(o, &diverged, 1));
+    }
+
+    #[test]
+    fn ledger_chains_are_independent_per_object() {
+        let ledger = ClusterLedger::new(3);
+        // Version 1 of three different objects: three independent
+        // chains, no gaps, no divergence.
+        ledger.record(SiteId(0), ObjectId(0), 1, 0xA0);
+        ledger.record(SiteId(1), ObjectId(1), 1, 0xB0);
+        ledger.record(SiteId(2), ObjectId(2), 1, 0xC0);
+        assert!(ledger.violations().is_empty());
+        assert_eq!(ledger.chain_len(), 3);
+        assert_eq!(ledger.chain_len_of(ObjectId(1)), 1);
+
+        // Same payload at the same version of two objects is fine —
+        // but a second version-1 commit on object 1 diverges.
+        ledger.record(SiteId(0), ObjectId(1), 1, 0xB1);
+        assert_eq!(ledger.violations().len(), 1);
+
+        // A commit on an object the ledger does not track is flagged.
+        ledger.record(SiteId(0), ObjectId(9), 1, 0xD0);
+        assert_eq!(ledger.violations().len(), 2);
+
+        // check_log keys by object: object 0's log does not validate
+        // against object 1's chain.
+        let log = [LogEntry {
+            version: 1,
+            payload: 0xA0,
+        }];
+        assert!(ledger.check_log(ObjectId(0), &log, 1));
+        assert!(!ledger.check_log(ObjectId(1), &log, 1));
+    }
+
+    #[test]
+    fn ledger_primes_per_object() {
+        let ledger = ClusterLedger::new(2);
+        let log0 = [
+            LogEntry {
+                version: 1,
+                payload: 0x10,
+            },
+            LogEntry {
+                version: 2,
+                payload: 0x20,
+            },
+        ];
+        let log1 = [LogEntry {
+            version: 1,
+            payload: 0x99,
+        }];
+        ledger.prime(ObjectId(0), &log0);
+        ledger.prime(ObjectId(1), &log1);
+        assert_eq!(ledger.chain_len_of(ObjectId(0)), 2);
+        assert_eq!(ledger.chain_len_of(ObjectId(1)), 1);
+        // Post-prime commits continue each chain where its log left off.
+        ledger.record(SiteId(0), ObjectId(0), 3, 0x30);
+        ledger.record(SiteId(1), ObjectId(1), 2, 0xAA);
+        assert!(ledger.violations().is_empty());
+    }
+}

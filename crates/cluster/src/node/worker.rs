@@ -1,0 +1,483 @@
+//! The shard-affine worker pool: N workers, each exclusively owning the
+//! objects with `object % N == worker`, plus the counters that make the
+//! pool observable.
+//!
+//! Ownership is the synchronization: an object's `SiteActor` lives
+//! inside exactly one worker's [`WorkerGroup`], so every kernel stays
+//! single-threaded and lock-free exactly as in the one-thread runtime.
+//! The scheduler classifies each inbox event by `ObjectId`
+//! ([`WorkItem::object`]) and enqueues it on the owning worker; workers
+//! drain their queues and run the kernels into their own scratch
+//! `ActionSink`s; the merge barrier (`node/merge.rs`) waits for every
+//! queue to drain, locks every group, and combines the staged results
+//! behind one WAL record and one transport flush.
+//!
+//! With one worker the pool spawns no threads at all: [`ShardPool::dispatch`]
+//! runs the kernel inline under an uncontended mutex, so the default
+//! configuration keeps the original single-threaded runtime's costs.
+
+use crate::node::ReplySink;
+use dynvote_core::SiteId;
+use dynvote_protocol::{Action, Message, ObjectId, ShardPartition, ShardedSite, TimerKind, TxnId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Worker-pool counters in the style of [`crate::NetStats`]: relaxed
+/// atomics bumped on the hot path, snapshotted wholesale for loadgen
+/// reports and the front door's `/metrics`.
+#[derive(Debug)]
+pub struct ShardStats {
+    /// Work items handed to each worker since launch.
+    dispatched: Vec<AtomicU64>,
+    /// High-water mark of each worker's queue depth (always 0 with one
+    /// worker: dispatch runs inline, nothing ever queues).
+    queue_peak: Vec<AtomicU64>,
+    /// Merge barriers executed.
+    merge_barriers: AtomicU64,
+    /// Total nanoseconds the scheduler spent in `wait_idle` blocking on
+    /// workers at merge barriers.
+    merge_wait_ns: AtomicU64,
+}
+
+impl ShardStats {
+    /// Fresh counters for a pool of `workers`.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        ShardStats {
+            dispatched: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            queue_peak: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            merge_barriers: AtomicU64::new(0),
+            merge_wait_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The pool size these counters describe.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.dispatched.len()
+    }
+
+    fn note_dispatch(&self, worker: usize) {
+        self.dispatched[worker].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_queue_depth(&self, worker: usize, depth: u64) {
+        self.queue_peak[worker].fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn note_merge(&self, wait_ns: u64) {
+        self.merge_barriers.fetch_add(1, Ordering::Relaxed);
+        self.merge_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+    }
+
+    /// One row of counters, in [`Self::names`] order:
+    /// `[dispatched(0..W), queue_peak(0..W), merge_barriers,
+    /// merge_wait_ns]`.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut counts = Vec::with_capacity(2 * self.workers() + 2);
+        counts.extend(self.dispatched.iter().map(|c| c.load(Ordering::Relaxed)));
+        counts.extend(self.queue_peak.iter().map(|c| c.load(Ordering::Relaxed)));
+        counts.push(self.merge_barriers.load(Ordering::Relaxed));
+        counts.push(self.merge_wait_ns.load(Ordering::Relaxed));
+        counts
+    }
+
+    /// Counter names matching [`Self::snapshot`] positions, for JSON
+    /// reports.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        Self::names_for(self.workers())
+    }
+
+    /// [`Self::names`] for a pool of `workers` threads, without an
+    /// instance — wire clients only learn the worker count from the
+    /// `ShardStats` reply and must reconstruct the layout themselves.
+    #[must_use]
+    pub fn names_for(workers: usize) -> Vec<String> {
+        let mut names = Vec::with_capacity(2 * workers + 2);
+        for w in 0..workers {
+            names.push(format!("shard_worker{w}_dispatched"));
+        }
+        for w in 0..workers {
+            names.push(format!("shard_worker{w}_queue_peak"));
+        }
+        names.push("shard_merge_barriers".to_string());
+        names.push("shard_merge_wait_ns".to_string());
+        names
+    }
+}
+
+/// One unit of shard work, classified by the scheduler thread and run
+/// by the worker owning [`WorkItem::object`].
+#[derive(Debug)]
+pub(crate) enum WorkItem {
+    /// A protocol message from another site (keyed by its transaction's
+    /// object).
+    Peer {
+        /// The sending site.
+        from: SiteId,
+        /// The message.
+        msg: Message,
+    },
+    /// Start a client update; the started transaction is recorded in
+    /// [`WorkerGroup::starts`] so the merge can park the client on it.
+    Update {
+        /// The object to update.
+        object: ObjectId,
+        /// The cluster-unique payload the scheduler assigned.
+        payload: u64,
+        /// Client correlation id.
+        id: u64,
+        /// Where the eventual reply goes.
+        reply: ReplySink,
+    },
+    /// Start a client read-only request.
+    Read {
+        /// The object to read.
+        object: ObjectId,
+        /// Client correlation id.
+        id: u64,
+        /// Where the eventual reply goes.
+        reply: ReplySink,
+    },
+    /// A due wall-clock protocol timer.
+    Timer {
+        /// The transaction the timer guards.
+        txn: TxnId,
+        /// Which deadline fired.
+        kind: TimerKind,
+    },
+    /// Run the Section V-C restart protocol (`Make_Current`) on one
+    /// object; a started restart transaction lands in
+    /// [`WorkerGroup::restarts`] so its commit is booked as restart
+    /// traffic, not workload.
+    Recover {
+        /// The object to recover.
+        object: ObjectId,
+        /// The restart transaction's payload.
+        payload: u64,
+    },
+}
+
+impl WorkItem {
+    /// The object this item addresses — what decides the owning worker.
+    fn object(&self) -> ObjectId {
+        match self {
+            WorkItem::Peer { msg, .. } => msg.txn().object,
+            WorkItem::Timer { txn, .. } => txn.object,
+            WorkItem::Update { object, .. }
+            | WorkItem::Read { object, .. }
+            | WorkItem::Recover { object, .. } => *object,
+        }
+    }
+}
+
+/// Everything one worker owns: its shard partition plus the in-progress
+/// batch's staged results. Locked by the worker while draining its
+/// queue and by the merge barrier (after [`ShardPool::wait_idle`]) to
+/// collect — never both at once, so the mutex is uncontended.
+#[derive(Debug)]
+pub(crate) struct WorkerGroup {
+    /// The shards this worker exclusively owns.
+    pub(crate) part: ShardPartition,
+    /// This worker's staged actions for the in-progress batch.
+    pub(crate) scratch: Vec<Action>,
+    /// Client requests started this batch: `(correlation id, reply
+    /// sink, txn)` — `txn` is `None` when the kernel refused to start
+    /// anything (answered `Busy` at merge time).
+    pub(crate) starts: Vec<(u64, ReplySink, Option<TxnId>)>,
+    /// `Make_Current` transactions started by `Recover` items this
+    /// batch.
+    pub(crate) restarts: Vec<TxnId>,
+}
+
+/// Run one item against the group's partition, staging actions into its
+/// scratch. The only code that touches kernels — on the owning worker
+/// thread, or inline on the scheduler with one worker.
+pub(crate) fn process_item(group: &mut WorkerGroup, item: WorkItem) {
+    match item {
+        WorkItem::Peer { from, msg } => {
+            // Unhosted or foreign-partition objects are dropped, not
+            // panicked on: a misrouted frame must not kill the worker.
+            group.part.handle_message(from, msg, &mut group.scratch);
+        }
+        WorkItem::Update {
+            object,
+            payload,
+            id,
+            reply,
+        } => {
+            let start = group.scratch.len();
+            group.part.start_update(object, payload, &mut group.scratch);
+            let txn = txn_started(&group.scratch[start..]);
+            group.starts.push((id, reply, txn));
+        }
+        WorkItem::Read { object, id, reply } => {
+            let start = group.scratch.len();
+            group.part.start_read(object, &mut group.scratch);
+            let txn = txn_started(&group.scratch[start..]);
+            group.starts.push((id, reply, txn));
+        }
+        WorkItem::Timer { txn, kind } => {
+            group.part.timer_fired(txn, kind, &mut group.scratch);
+        }
+        WorkItem::Recover { object, payload } => {
+            let start = group.scratch.len();
+            group.part.recover(object, payload, &mut group.scratch);
+            // Tag the Make_Current transaction (if one started) so the
+            // merge books its commit as restart traffic.
+            for action in &group.scratch[start..] {
+                if let Action::Broadcast {
+                    msg: Message::VoteRequest { txn },
+                } = action
+                {
+                    group.restarts.push(*txn);
+                }
+            }
+        }
+    }
+}
+
+/// The transaction a client request started, found by scanning the
+/// actions the kernel just staged — the kernel does not return the
+/// `TxnId` directly. `None` means the kernel refused.
+fn txn_started(staged: &[Action]) -> Option<TxnId> {
+    staged.iter().find_map(|action| match action {
+        Action::Broadcast {
+            msg: Message::VoteRequest { txn },
+        }
+        | Action::Resolved { txn, .. }
+        | Action::SetTimer { txn, .. } => Some(*txn),
+        _ => None,
+    })
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    items: VecDeque<WorkItem>,
+    closed: bool,
+}
+
+/// The scheduler <-> worker rendezvous for one worker.
+#[derive(Debug)]
+struct WorkerShared {
+    queue: Mutex<Queue>,
+    work_cv: Condvar,
+    /// Items fully processed; [`ShardPool::wait_idle`] compares this
+    /// against the pool's per-worker submission counter.
+    completed: Mutex<u64>,
+    done_cv: Condvar,
+    group: Mutex<WorkerGroup>,
+}
+
+/// A worker thread's body: sleep until items arrive, drain the whole
+/// burst in one queue-lock acquisition, run the kernels under the group
+/// lock only, then publish the completion count for the merge barrier.
+fn worker_loop(shared: &WorkerShared) {
+    loop {
+        let mut queue = shared.queue.lock().expect("shard queue poisoned");
+        while queue.items.is_empty() && !queue.closed {
+            queue = shared.work_cv.wait(queue).expect("shard queue poisoned");
+        }
+        if queue.items.is_empty() {
+            return; // closed and fully drained
+        }
+        let batch: Vec<WorkItem> = queue.items.drain(..).collect();
+        drop(queue);
+        let done = batch.len() as u64;
+        {
+            let mut group = shared.group.lock().expect("shard group poisoned");
+            for item in batch {
+                process_item(&mut group, item);
+            }
+        }
+        *shared.completed.lock().expect("shard counter poisoned") += done;
+        shared.done_cv.notify_all();
+    }
+}
+
+/// The node's worker pool: the per-worker rendezvous structures, the
+/// spawned threads (none with one worker), and the submission counters
+/// the merge barrier compares against. Owned by the scheduler for the
+/// lifetime of [`super::Node::run`].
+pub(crate) struct ShardPool {
+    workers: usize,
+    shareds: Vec<Arc<WorkerShared>>,
+    /// Items enqueued per worker since launch. Scheduler-private — the
+    /// scheduler is the only dispatcher — so no atomics needed.
+    submitted: Vec<u64>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Arc<ShardStats>,
+}
+
+impl ShardPool {
+    /// Partition `sharded` across `workers` groups and, for pools of
+    /// more than one worker, spawn the worker threads
+    /// (`dynvote-shard-<site>-<worker>`).
+    pub(crate) fn launch(
+        site: SiteId,
+        sharded: ShardedSite,
+        workers: usize,
+        stats: Arc<ShardStats>,
+    ) -> Self {
+        let shareds: Vec<Arc<WorkerShared>> = sharded
+            .into_partitions(workers)
+            .into_iter()
+            .map(|part| {
+                Arc::new(WorkerShared {
+                    queue: Mutex::new(Queue::default()),
+                    work_cv: Condvar::new(),
+                    completed: Mutex::new(0),
+                    done_cv: Condvar::new(),
+                    group: Mutex::new(WorkerGroup {
+                        part,
+                        scratch: Vec::new(),
+                        starts: Vec::new(),
+                        restarts: Vec::new(),
+                    }),
+                })
+            })
+            .collect();
+        let handles = if workers > 1 {
+            shareds
+                .iter()
+                .enumerate()
+                .map(|(w, shared)| {
+                    let shared = Arc::clone(shared);
+                    thread::Builder::new()
+                        .name(format!("dynvote-shard-{}-{w}", site.0))
+                        .spawn(move || worker_loop(&shared))
+                        .expect("spawn shard worker")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ShardPool {
+            workers,
+            shareds,
+            submitted: vec![0; workers],
+            handles,
+            stats,
+        }
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker owning `object` under the static partition.
+    pub(crate) fn owner_of(&self, object: ObjectId) -> usize {
+        object.index() % self.workers
+    }
+
+    /// Hand one item to its owning worker: inline (no threads, no
+    /// queueing) with one worker, queued behind the worker's condvar
+    /// otherwise.
+    pub(crate) fn dispatch(&mut self, item: WorkItem) {
+        let w = self.owner_of(item.object());
+        self.stats.note_dispatch(w);
+        if self.handles.is_empty() {
+            let mut group = self.shareds[w].group.lock().expect("shard group poisoned");
+            process_item(&mut group, item);
+            return;
+        }
+        let depth = {
+            let mut queue = self.shareds[w].queue.lock().expect("shard queue poisoned");
+            queue.items.push_back(item);
+            queue.items.len() as u64
+        };
+        self.submitted[w] += 1;
+        self.stats.note_queue_depth(w, depth);
+        self.shareds[w].work_cv.notify_one();
+    }
+
+    /// The merge barrier's first half: block until every worker has
+    /// processed everything dispatched to it, recording how long the
+    /// scheduler waited.
+    pub(crate) fn wait_idle(&self) {
+        if self.handles.is_empty() {
+            self.stats.note_merge(0);
+            return;
+        }
+        let start = Instant::now();
+        for (w, shared) in self.shareds.iter().enumerate() {
+            let mut completed = shared.completed.lock().expect("shard counter poisoned");
+            while *completed < self.submitted[w] {
+                completed = shared
+                    .done_cv
+                    .wait(completed)
+                    .expect("shard counter poisoned");
+            }
+        }
+        self.stats.note_merge(start.elapsed().as_nanos() as u64);
+    }
+
+    /// Lock every worker's group, in worker order. Callers must have
+    /// drained the pool first ([`Self::wait_idle`]); the scheduler is
+    /// the only dispatcher, so nothing new arrives while the guards are
+    /// held.
+    pub(crate) fn lock_groups(&self) -> Vec<MutexGuard<'_, WorkerGroup>> {
+        self.shareds
+            .iter()
+            .map(|s| s.group.lock().expect("shard group poisoned"))
+            .collect()
+    }
+
+    /// Replace every worker's partition with a freshly restored site's
+    /// — a disk reboot under `ClientOp::Recover`.
+    pub(crate) fn install(&self, sharded: ShardedSite) {
+        let parts = sharded.into_partitions(self.workers);
+        for (shared, part) in self.shareds.iter().zip(parts) {
+            shared.group.lock().expect("shard group poisoned").part = part;
+        }
+    }
+
+    /// Close every queue and join every worker thread. The scheduler
+    /// merges first, so queues are already empty; `closed` makes the
+    /// drain-then-exit handshake race-free regardless.
+    pub(crate) fn shutdown(self) {
+        for shared in &self.shareds {
+            shared.queue.lock().expect("shard queue poisoned").closed = true;
+            shared.work_cv.notify_all();
+        }
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_snapshot_layout_matches_names() {
+        let stats = ShardStats::new(2);
+        stats.note_dispatch(1);
+        stats.note_queue_depth(0, 5);
+        stats.note_merge(120);
+        let names = stats.names();
+        let counts = stats.snapshot();
+        assert_eq!(names.len(), counts.len());
+        assert_eq!(names[0], "shard_worker0_dispatched");
+        assert_eq!(names[2], "shard_worker0_queue_peak");
+        assert_eq!(names[4], "shard_merge_barriers");
+        assert_eq!(names[5], "shard_merge_wait_ns");
+        assert_eq!(counts, vec![0, 1, 5, 0, 1, 120]);
+    }
+
+    #[test]
+    fn queue_peak_is_a_high_water_mark() {
+        let stats = ShardStats::new(1);
+        stats.note_queue_depth(0, 7);
+        stats.note_queue_depth(0, 3);
+        assert_eq!(stats.snapshot()[1], 7);
+        stats.note_queue_depth(0, 9);
+        assert_eq!(stats.snapshot()[1], 9);
+    }
+}

@@ -86,6 +86,10 @@ pub enum ClientOp {
     /// decode errors, backpressure drops, …) in
     /// [`crate::NetStats::NAMES`] order.
     NetStats,
+    /// Fetch the node's shard worker-pool counters (per-worker dispatch
+    /// totals and queue-depth peaks, merge-barrier count and wait
+    /// time) in [`crate::ShardStats::names`] order.
+    ShardStats,
 }
 
 /// A node's reply to a [`ClientOp`].
@@ -174,6 +178,15 @@ pub enum ClientReply {
     /// order.
     NetStats {
         /// One counter per [`crate::NetStats::NAMES`] entry.
+        counts: Vec<u64>,
+    },
+    /// Shard worker-pool counters in [`crate::ShardStats::names`]
+    /// order: `[dispatched(0..W), queue_peak(0..W), merge_barriers,
+    /// merge_wait_ns]`.
+    ShardStats {
+        /// Pool size `W` (1 = kernels ran inline on the scheduler).
+        workers: u32,
+        /// One counter per [`crate::ShardStats::names`] entry.
         counts: Vec<u64>,
     },
 }
@@ -405,6 +418,7 @@ pub fn encode_request_into(out: &mut Vec<u8>, id: u64, op: &ClientOp) {
         }
         ClientOp::Status => put_u8(out, 9),
         ClientOp::NetStats => put_u8(out, 10),
+        ClientOp::ShardStats => put_u8(out, 11),
     }
 }
 
@@ -424,6 +438,7 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, ClientOp), WireError> {
         8 => ClientOp::DumpLog { key: r.u32()? },
         9 => ClientOp::Status,
         10 => ClientOp::NetStats,
+        11 => ClientOp::ShardStats,
         tag => return Err(WireError::BadTag(tag)),
     };
     r.finish((id, op))
@@ -525,6 +540,14 @@ pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &ClientReply) {
                 put_u64(out, c);
             }
         }
+        ClientReply::ShardStats { workers, counts } => {
+            put_u8(out, 13);
+            put_u32(out, *workers);
+            put_u32(out, counts.len() as u32);
+            for &c in counts {
+                put_u64(out, c);
+            }
+        }
     }
 }
 
@@ -605,6 +628,18 @@ pub fn decode_reply(body: &[u8]) -> Result<(u64, ClientReply), WireError> {
                 counts.push(r.u64()?);
             }
             ClientReply::NetStats { counts }
+        }
+        13 => {
+            let workers = r.u32()?;
+            let count = r.u32()? as usize;
+            if count > r.remaining() / 8 {
+                return Err(WireError::Truncated);
+            }
+            let mut counts = Vec::with_capacity(count);
+            for _ in 0..count {
+                counts.push(r.u64()?);
+            }
+            ClientReply::ShardStats { workers, counts }
         }
         tag => return Err(WireError::BadTag(tag)),
     };
@@ -835,6 +870,7 @@ mod tests {
             ClientOp::DumpLog { key: 5 },
             ClientOp::Status,
             ClientOp::NetStats,
+            ClientOp::ShardStats,
         ];
         for (i, op) in ops.into_iter().enumerate() {
             let bytes = encode_request(i as u64, &op);
@@ -908,6 +944,14 @@ mod tests {
                 counts: vec![1, 0, 99, u64::MAX],
             },
             ClientReply::NetStats { counts: Vec::new() },
+            ClientReply::ShardStats {
+                workers: 4,
+                counts: vec![10, 20, 30, 40, 3, 2, 1, 0, 7, 123_456],
+            },
+            ClientReply::ShardStats {
+                workers: 1,
+                counts: Vec::new(),
+            },
         ];
         for (i, reply) in replies.into_iter().enumerate() {
             let bytes = encode_reply(i as u64, &reply);

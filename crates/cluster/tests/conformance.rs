@@ -306,6 +306,70 @@ fn project(script: &[KeyedStep], object: u32) -> Vec<ScriptOp> {
         .collect()
 }
 
+/// Per-object simulator references for the keyed script: the fixpoint
+/// each object's projection reaches on a single-object simulator.
+fn keyed_references(algorithm: AlgorithmKind, n: usize, objects: u32) -> Vec<Fixpoint> {
+    let script = keyed_script();
+    (0..objects)
+        .map(|o| {
+            let fp = run_sim(algorithm, n, &project(&script, o));
+            assert!(fp.consistent, "{algorithm:?}: object {o} reference run");
+            fp
+        })
+        .collect()
+}
+
+/// Interpret the keyed script on a cluster booted from `config` and
+/// assert every object reaches byte-identical per-site `(VN, SC, DS)`
+/// metadata to its single-object simulator reference.
+fn run_keyed_and_check(config: &ClusterConfig, label: &str, refs: &[Fixpoint]) {
+    let n = 5;
+    let script = keyed_script();
+    let cluster = Cluster::boot(config).expect("boot sharded cluster");
+    for step in &script {
+        match step {
+            KeyedStep::Update(o, site) => {
+                cluster.client(*site).update_key(*o).expect("keyed update");
+            }
+            KeyedStep::Crash(site) => cluster.crash(*site).expect("crash"),
+            KeyedStep::Recover(site) => cluster.recover(*site).expect("recover"),
+        }
+        assert!(
+            cluster.await_quiescence(Duration::from_secs(10)),
+            "{label}: no quiescence after {step:?}"
+        );
+    }
+    for (o, reference) in refs.iter().enumerate() {
+        let mut metas = Vec::with_capacity(n);
+        for i in 0..n {
+            match cluster
+                .probe_object(SiteId(i as u8), o as u32)
+                .expect("probe object")
+            {
+                ClientReply::Probe { meta, .. } => metas.push(meta),
+                other => panic!("probe returned {other:?}"),
+            }
+        }
+        assert_eq!(
+            metas, reference.metas,
+            "{label}: object {o} metadata diverges from its projection"
+        );
+        assert_eq!(
+            meta_bytes_of(&metas),
+            meta_bytes_of(&reference.metas),
+            "{label}: object {o} metadata bytes diverge"
+        );
+    }
+    let audit = cluster.audit().expect("audit");
+    assert!(audit.consistent, "{label}: {:?}", audit.violations);
+    assert_eq!(
+        audit.commits,
+        refs.iter().map(|r| r.committed).sum::<u64>(),
+        "{label}: total commits diverge from the projections"
+    );
+    cluster.shutdown();
+}
+
 /// The multi-object conformance leg: a sharded cluster interpreting the
 /// keyed script must leave every object with byte-identical per-site
 /// `(VN, SC, DS)` metadata to a single-object simulator run of that
@@ -313,66 +377,33 @@ fn project(script: &[KeyedStep], object: u32) -> Vec<ScriptOp> {
 fn multi_object_conformance(algorithm: AlgorithmKind) {
     const OBJECTS: u32 = 3;
     let n = 5;
-    let script = keyed_script();
-    let refs: Vec<Fixpoint> = (0..OBJECTS)
-        .map(|o| {
-            let fp = run_sim(algorithm, n, &project(&script, o));
-            assert!(fp.consistent, "{algorithm:?}: object {o} reference run");
-            fp
-        })
-        .collect();
-
+    let refs = keyed_references(algorithm, n, OBJECTS);
     for transport in [TransportKind::Channel, TransportKind::Tcp] {
         let config = ClusterConfig::new(n, algorithm)
             .with_transport(transport)
             .with_objects(OBJECTS as usize);
-        let cluster = Cluster::boot(&config).expect("boot sharded cluster");
-        for step in &script {
-            match step {
-                KeyedStep::Update(o, site) => {
-                    cluster.client(*site).update_key(*o).expect("keyed update");
-                }
-                KeyedStep::Crash(site) => cluster.crash(*site).expect("crash"),
-                KeyedStep::Recover(site) => cluster.recover(*site).expect("recover"),
-            }
-            assert!(
-                cluster.await_quiescence(Duration::from_secs(10)),
-                "{algorithm:?}/{transport:?}: no quiescence after {step:?}"
-            );
-        }
-        for (o, reference) in refs.iter().enumerate() {
-            let mut metas = Vec::with_capacity(n);
-            for i in 0..n {
-                match cluster
-                    .probe_object(SiteId(i as u8), o as u32)
-                    .expect("probe object")
-                {
-                    ClientReply::Probe { meta, .. } => metas.push(meta),
-                    other => panic!("probe returned {other:?}"),
-                }
-            }
-            assert_eq!(
-                metas, reference.metas,
-                "{algorithm:?}/{transport:?}: object {o} metadata diverges from its projection"
-            );
-            assert_eq!(
-                meta_bytes_of(&metas),
-                meta_bytes_of(&reference.metas),
-                "{algorithm:?}/{transport:?}: object {o} metadata bytes diverge"
-            );
-        }
-        let audit = cluster.audit().expect("audit");
-        assert!(
-            audit.consistent,
-            "{algorithm:?}/{transport:?}: {:?}",
-            audit.violations
+        run_keyed_and_check(&config, &format!("{algorithm:?}/{transport:?}"), &refs);
+    }
+}
+
+/// The cross-worker determinism leg: the keyed script on a parallel
+/// shard pool must reach the *same* byte-identical per-object fixpoints
+/// for every worker count. Worker count 4 exceeds the 3 hosted objects
+/// and exercises the boot-time clamp. Parallel execution is a pure
+/// optimization or it is a bug.
+fn sharded_determinism(algorithm: AlgorithmKind) {
+    const OBJECTS: u32 = 3;
+    let n = 5;
+    let refs = keyed_references(algorithm, n, OBJECTS);
+    for shard_threads in [1usize, 2, 4] {
+        let config = ClusterConfig::new(n, algorithm)
+            .with_objects(OBJECTS as usize)
+            .with_shard_threads(shard_threads);
+        run_keyed_and_check(
+            &config,
+            &format!("{algorithm:?}/shard-threads={shard_threads}"),
+            &refs,
         );
-        assert_eq!(
-            audit.commits,
-            refs.iter().map(|r| r.committed).sum::<u64>(),
-            "{algorithm:?}/{transport:?}: total commits diverge from the projections"
-        );
-        cluster.shutdown();
     }
 }
 
@@ -404,6 +435,36 @@ fn multi_object_modified_hybrid() {
 #[test]
 fn multi_object_optimal_candidate() {
     multi_object_conformance(AlgorithmKind::OptimalCandidate);
+}
+
+#[test]
+fn sharded_static_voting() {
+    sharded_determinism(AlgorithmKind::Voting);
+}
+
+#[test]
+fn sharded_dynamic_voting() {
+    sharded_determinism(AlgorithmKind::DynamicVoting);
+}
+
+#[test]
+fn sharded_dynamic_linear() {
+    sharded_determinism(AlgorithmKind::DynamicLinear);
+}
+
+#[test]
+fn sharded_hybrid() {
+    sharded_determinism(AlgorithmKind::Hybrid);
+}
+
+#[test]
+fn sharded_modified_hybrid() {
+    sharded_determinism(AlgorithmKind::ModifiedHybrid);
+}
+
+#[test]
+fn sharded_optimal_candidate() {
+    sharded_determinism(AlgorithmKind::OptimalCandidate);
 }
 
 /// Cross-shard independence: a partition that leaves object A without a

@@ -1,0 +1,94 @@
+//! Liveness of the parallel shard pool: a hot shard must not starve
+//! cold shards. Worker queues are per-shard and the scheduler merges
+//! after every bounded inbox batch, so a flood aimed at one object can
+//! never park another object's traffic — or its timers — behind it.
+
+use dynvote_cluster::wire::{ClientOp, ClientReply};
+use dynvote_cluster::{Cluster, ClusterConfig};
+use dynvote_core::{AlgorithmKind, SiteId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Flood object 0 (the head of a zipf draw) from several closed-loop
+/// threads while serially committing on a cold object owned by the
+/// *other* worker. Every cold commit must land promptly: its votes,
+/// commit fan-out, and protocol timers all ride the same scheduler
+/// loop as the hot traffic, so a stall here means the pool let the hot
+/// queue block the merge barrier.
+#[test]
+fn hot_shard_does_not_starve_cold_shard_timers() {
+    const OBJECTS: usize = 4;
+    const HOT: u32 = 0; // worker 0 under 2 workers (0 % 2)
+    const COLD: u32 = 3; // worker 1 under 2 workers (3 % 2)
+    let config = ClusterConfig::new(3, AlgorithmKind::Hybrid)
+        .with_objects(OBJECTS)
+        .with_shard_threads(2);
+    let cluster = Cluster::boot(&config).expect("boot");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let floods: Vec<_> = (0..3u8)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let mut client = cluster.client(SiteId(t % 3));
+            thread::spawn(move || {
+                let mut offered = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Committed, Busy, TimedOut — all fine; the point
+                    // is pressure, not success.
+                    let _ = client.update_key(HOT);
+                    offered += 1;
+                }
+                offered
+            })
+        })
+        .collect();
+
+    // Cold-shard commits under the flood. The generous 5s bound is
+    // two orders of magnitude above an unloaded commit; crossing it
+    // means the cold shard waited on the hot queue.
+    let mut client = cluster.client(SiteId(0));
+    let mut committed = 0u64;
+    for _ in 0..10 {
+        let t0 = Instant::now();
+        let reply = client.update_key(COLD).expect("cold update");
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "cold-shard update starved for {elapsed:?}: {reply:?}"
+        );
+        if matches!(reply, ClientReply::Committed { .. }) {
+            committed += 1;
+        }
+    }
+    assert!(
+        committed >= 8,
+        "cold shard should commit freely under a hot flood; got {committed}/10"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let offered: u64 = floods.into_iter().map(|t| t.join().expect("flood")).sum();
+    assert!(offered > 0, "the flood never offered load");
+
+    // The skew is visible in the pool counters: worker 0 owns the hot
+    // object and must have dispatched more than worker 1.
+    match client.request(ClientOp::ShardStats).expect("shard stats") {
+        ClientReply::ShardStats { workers, counts } => {
+            assert_eq!(workers, 2, "clamped pool should run two workers");
+            assert_eq!(counts.len(), 2 * 2 + 2, "snapshot layout");
+            assert!(
+                counts[0] > counts[1],
+                "hot worker should dominate dispatches: {counts:?}"
+            );
+            let barriers = counts[4];
+            assert!(barriers > 0, "merges must have run: {counts:?}");
+        }
+        other => panic!("unexpected shard-stats reply {other:?}"),
+    }
+
+    assert!(cluster.await_quiescence(Duration::from_secs(10)));
+    let audit = cluster.audit().expect("audit");
+    assert!(audit.consistent, "{:?}", audit.violations);
+    cluster.shutdown();
+}

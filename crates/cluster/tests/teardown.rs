@@ -62,6 +62,32 @@ fn shutdown_joins_every_thread() {
     let after = dynvote_threads();
     assert!(after.is_empty(), "threads leaked past shutdown: {after:?}");
 
+    // Parallel shard pool: each node additionally owns shard-affine
+    // worker threads ("dynvote-shard-<site>-<w>"). They must exist
+    // while the cluster runs and be joined by shutdown like everything
+    // else.
+    let config = ClusterConfig::new(3, AlgorithmKind::Hybrid)
+        .with_objects(8)
+        .with_shard_threads(4);
+    let cluster = Cluster::boot(&config).expect("boot sharded");
+    let mut client = cluster.client(SiteId(0));
+    for key in 0..8u32 {
+        let reply = client.update_key(key).expect("keyed update");
+        assert!(matches!(reply, ClientReply::Committed { .. }), "{reply:?}");
+    }
+    let running = dynvote_threads();
+    assert!(
+        running.iter().any(|name| name.starts_with("dynvote-shard")),
+        "no shard worker threads while the pool runs: {running:?}"
+    );
+    assert!(cluster.await_quiescence(Duration::from_secs(5)));
+    cluster.shutdown();
+    let after = dynvote_threads();
+    assert!(
+        after.is_empty(),
+        "shard worker threads leaked past shutdown: {after:?}"
+    );
+
     // Teardown must also be clean when sites are crashed or
     // partitioned at shutdown time (reactors mid-reconnect-backoff).
     let config = ClusterConfig::new(5, AlgorithmKind::Hybrid)

@@ -215,6 +215,211 @@ impl ShardedSite {
     pub fn any_in_doubt(&self) -> bool {
         self.shards.iter().any(SiteActor::is_in_doubt)
     }
+
+    /// Split the site into `workers` shard-affine partitions: partition
+    /// `w` owns every object with `object % workers == w`. The static
+    /// modulo map means a harness can route any [`TxnId`] to its owning
+    /// partition without consulting shared state, and because each
+    /// [`SiteActor`] moves into exactly one partition, the partitions
+    /// can be driven from different threads with no locking on kernel
+    /// state. Partitioning is a pure re-grouping — no shard is touched,
+    /// so a site can be partitioned and (conceptually) reassembled at
+    /// any quiescent point.
+    ///
+    /// # Panics
+    ///
+    /// If `workers` is zero.
+    #[must_use]
+    pub fn into_partitions(self, workers: usize) -> Vec<ShardPartition> {
+        assert!(workers >= 1, "at least one partition");
+        let ShardedSite { id, n, shards } = self;
+        let objects = shards.len();
+        let mut parts: Vec<ShardPartition> = (0..workers)
+            .map(|worker| ShardPartition {
+                id,
+                n,
+                worker,
+                workers,
+                objects,
+                shards: Vec::with_capacity(objects / workers + 1),
+            })
+            .collect();
+        for (o, shard) in shards.into_iter().enumerate() {
+            parts[o % workers].shards.push(shard);
+        }
+        parts
+    }
+}
+
+/// One worker's shard-affine slice of a [`ShardedSite`]: the shards
+/// with `object % workers == worker`, produced by
+/// [`ShardedSite::into_partitions`]. Routing stays O(1) — the local
+/// index of object `o` is `o / workers` — and every entry point keeps
+/// the sans-IO sink discipline of the full router. An object the
+/// partition does not own is refused (`false` / `None`), never a
+/// panic: the owner map is the caller's contract, and a misrouted
+/// message must not kill a worker thread.
+pub struct ShardPartition {
+    id: SiteId,
+    n: usize,
+    worker: usize,
+    workers: usize,
+    objects: usize,
+    shards: Vec<SiteActor>,
+}
+
+impl std::fmt::Debug for ShardPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPartition")
+            .field("id", &self.id)
+            .field("worker", &self.worker)
+            .field("workers", &self.workers)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardPartition {
+    /// The site's id.
+    #[must_use]
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Number of sites in the deployment.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// This partition's index in the owner map.
+    #[must_use]
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Total number of partitions the site was split into.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// True if this partition owns `object` under the modulo map.
+    #[must_use]
+    pub fn owns(&self, object: ObjectId) -> bool {
+        object.index() < self.objects && object.index() % self.workers == self.worker
+    }
+
+    /// One owned object's state machine, or `None` for an object this
+    /// partition does not own.
+    #[must_use]
+    pub fn shard(&self, object: ObjectId) -> Option<&SiteActor> {
+        if self.owns(object) {
+            self.shards.get(object.index() / self.workers)
+        } else {
+            None
+        }
+    }
+
+    /// One owned object's state machine, mutably.
+    pub fn shard_mut(&mut self, object: ObjectId) -> Option<&mut SiteActor> {
+        if self.owns(object) {
+            self.shards.get_mut(object.index() / self.workers)
+        } else {
+            None
+        }
+    }
+
+    /// Every owned shard with its global object id, in object order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &SiteActor)> {
+        let (worker, workers) = (self.worker, self.workers);
+        self.shards
+            .iter()
+            .enumerate()
+            .map(move |(l, shard)| (ObjectId((l * workers + worker) as u32), shard))
+    }
+
+    /// Route a message to its object's shard. Returns `false` when this
+    /// partition does not own the object.
+    pub fn handle_message(&mut self, from: SiteId, msg: Message, out: &mut ActionSink) -> bool {
+        let object = msg.txn().object;
+        match self.shard_mut(object) {
+            Some(shard) => {
+                shard.handle_message(from, msg, out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Route a timer to its object's shard.
+    pub fn timer_fired(&mut self, txn: TxnId, kind: TimerKind, out: &mut ActionSink) -> bool {
+        match self.shard_mut(txn.object) {
+            Some(shard) => {
+                shard.timer_fired(txn, kind, out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Start an update on one owned object.
+    pub fn start_update(&mut self, object: ObjectId, payload: u64, out: &mut ActionSink) -> bool {
+        match self.shard_mut(object) {
+            Some(shard) => {
+                shard.start_update(payload, out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Start a read on one owned object.
+    pub fn start_read(&mut self, object: ObjectId, out: &mut ActionSink) -> bool {
+        match self.shard_mut(object) {
+            Some(shard) => {
+                shard.start_read(out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run the `Make_Current` restart protocol on one owned object.
+    pub fn recover(
+        &mut self,
+        object: ObjectId,
+        restart_payload: u64,
+        out: &mut ActionSink,
+    ) -> bool {
+        match self.shard_mut(object) {
+            Some(shard) => {
+                shard.recover(restart_payload, out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Crash every owned shard (volatile state lost, durable records
+    /// kept).
+    pub fn crash(&mut self) {
+        for shard in &mut self.shards {
+            shard.crash();
+        }
+    }
+
+    /// True if any owned shard's lock is currently held.
+    #[must_use]
+    pub fn any_locked(&self) -> bool {
+        self.shards.iter().any(SiteActor::is_locked)
+    }
+
+    /// True if any owned shard holds a durable prepare record.
+    #[must_use]
+    pub fn any_in_doubt(&self) -> bool {
+        self.shards.iter().any(SiteActor::is_in_doubt)
+    }
 }
 
 #[cfg(test)]
@@ -297,5 +502,61 @@ mod tests {
         assert!(s.any_locked());
         s.crash();
         assert!(!s.any_locked());
+    }
+
+    #[test]
+    fn partitions_cover_every_object_exactly_once() {
+        for workers in [1, 2, 3, 4, 7] {
+            let parts = sharded(0, 3, 7).into_partitions(workers);
+            assert_eq!(parts.len(), workers);
+            let mut seen = vec![0u32; 7];
+            for (w, part) in parts.iter().enumerate() {
+                assert_eq!(part.worker(), w);
+                assert_eq!(part.workers(), workers);
+                for (object, shard) in part.iter() {
+                    assert!(part.owns(object), "workers={workers} object={object}");
+                    assert_eq!(object.index() % workers, w);
+                    assert_eq!(shard.meta().version, 0);
+                    seen[object.index()] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "workers={workers}: coverage {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_routing_matches_ownership() {
+        let mut parts = sharded(0, 3, 5).into_partitions(2);
+        let mut out = Vec::new();
+        // Object 3 belongs to worker 1 under `object % 2`.
+        assert!(!parts[0].start_update(ObjectId(3), 9, &mut out));
+        assert!(out.is_empty(), "refused route must stage nothing");
+        assert!(parts[1].start_update(ObjectId(3), 9, &mut out));
+        assert!(parts[1].shard(ObjectId(3)).unwrap().is_locked());
+        assert!(parts[0].shard(ObjectId(3)).is_none());
+        // Misrouted peer frames are refused, not panicked on.
+        let bogus = Message::VoteRequest {
+            txn: TxnId::keyed(SiteId(1), 1, ObjectId(4)),
+        };
+        assert!(!parts[1].handle_message(SiteId(1), bogus.clone(), &mut out));
+        assert!(parts[0].handle_message(SiteId(1), bogus, &mut out));
+        // Out-of-range objects are owned by nobody.
+        assert!(!parts[0].owns(ObjectId(6)));
+        assert!(!parts[1].owns(ObjectId(6)));
+    }
+
+    #[test]
+    fn partition_crash_is_local_to_owned_shards() {
+        let mut parts = sharded(0, 3, 4).into_partitions(2);
+        let mut out = Vec::new();
+        parts[0].start_update(ObjectId(0), 1, &mut out);
+        parts[1].start_update(ObjectId(1), 2, &mut out);
+        assert!(parts[0].any_locked() && parts[1].any_locked());
+        parts[0].crash();
+        assert!(!parts[0].any_locked());
+        assert!(parts[1].any_locked(), "other partition untouched");
     }
 }

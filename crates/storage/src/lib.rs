@@ -32,6 +32,6 @@ mod multi;
 mod store;
 pub mod wal;
 
-pub use multi::{NodeStore, ShardHandle};
+pub use multi::{NodeStore, ShardHandle, StagedHandle};
 pub use store::{FsyncPolicy, RecoveryReport, SiteStore, StorageError, StoreConfig, TornTail};
 pub use wal::TornReason;

@@ -183,6 +183,22 @@ impl NodeStore {
         Ok(())
     }
 
+    /// Move one worker's staged keyed-op bytes into the pending
+    /// group-commit batch, preserving the single-record-per-barrier
+    /// discipline: however many workers staged concurrently, the next
+    /// [`NodeStore::barrier`] still seals everything as **one** framed,
+    /// checksummed record with one fsync.
+    ///
+    /// `staged` is drained (its capacity is kept for reuse). Per-object
+    /// op order is preserved as long as each object's ops all land in
+    /// the same stage — exactly what a shard-affine worker partition
+    /// guarantees — because recovery replays keyed ops per object and
+    /// never orders across objects.
+    pub fn ingest(&mut self, staged: &mut Vec<u8>) {
+        self.wal_len += staged.len() as u64;
+        self.pending.append(staged);
+    }
+
     /// True once the live segment has outgrown the rotation threshold.
     /// The node polls this between batches and calls
     /// [`NodeStore::rotate`] with every shard's state — rotation is
@@ -293,6 +309,83 @@ impl Persistence for ShardHandle {
 
     fn sync(&mut self) {
         self.core.lock().unwrap().barrier().expect("WAL barrier");
+    }
+
+    fn wal_epoch(&self) -> Option<u64> {
+        Some(self.core.lock().unwrap().epoch())
+    }
+}
+
+/// One shard's [`Persistence`] handle onto a **worker-local stage**: a
+/// byte buffer shared only by the shards of one worker partition, so
+/// the durable hot path of a parallel node never contends on the
+/// [`NodeStore`] lock. Hooks encode keyed ops into the stage; at the
+/// node's merge barrier every worker's stage is [`NodeStore::ingest`]ed
+/// (in worker order) and a single [`NodeStore::barrier`] seals the lot
+/// as one checksummed record — the exact bytes [`ShardHandle`] would
+/// have produced, minus the shared-lock traffic.
+///
+/// `sync` on the handle itself remains a real barrier (it ingests its
+/// own stage, then seals), so a shard driven stand-alone stays correct,
+/// just without the cross-worker amortization. Lock order is
+/// store-then-stage everywhere, matching the node's merge path.
+pub struct StagedHandle {
+    stage: Arc<Mutex<Vec<u8>>>,
+    core: Arc<Mutex<NodeStore>>,
+    object: ObjectId,
+}
+
+impl StagedHandle {
+    /// A handle staging `object`'s hooks into `stage`, sealing through
+    /// `core`.
+    #[must_use]
+    pub fn new(stage: Arc<Mutex<Vec<u8>>>, core: Arc<Mutex<NodeStore>>, object: ObjectId) -> Self {
+        StagedHandle {
+            stage,
+            core,
+            object,
+        }
+    }
+
+    fn stage_op(&self, op: &PersistOp) {
+        encode_keyed_op_into(&mut self.stage.lock().unwrap(), self.object, op);
+    }
+}
+
+impl Persistence for StagedHandle {
+    fn seq_advanced(&mut self, next_seq: u64) {
+        self.stage_op(&PersistOp::Seq(next_seq));
+    }
+
+    fn prepared(&mut self, txn: dynvote_protocol::TxnId, coordinator: dynvote_core::SiteId) {
+        self.stage_op(&PersistOp::Prepared(txn, coordinator));
+    }
+
+    fn prepare_cleared(&mut self, txn: dynvote_protocol::TxnId) {
+        self.stage_op(&PersistOp::PrepareCleared(txn));
+    }
+
+    fn entries_appended(&mut self, entries: &[dynvote_protocol::LogEntry]) {
+        self.stage_op(&PersistOp::Entries(entries.to_vec()));
+    }
+
+    fn meta_updated(&mut self, meta: dynvote_core::CopyMeta) {
+        self.stage_op(&PersistOp::Meta(meta));
+    }
+
+    fn committed(
+        &mut self,
+        txn: dynvote_protocol::TxnId,
+        meta: dynvote_core::CopyMeta,
+        participants: dynvote_core::SiteSet,
+    ) {
+        self.stage_op(&PersistOp::Committed(txn, meta, participants));
+    }
+
+    fn sync(&mut self) {
+        let mut core = self.core.lock().unwrap();
+        core.ingest(&mut self.stage.lock().unwrap());
+        core.barrier().expect("WAL barrier");
     }
 
     fn wal_epoch(&self) -> Option<u64> {
@@ -503,6 +596,95 @@ mod tests {
         assert_eq!(report.records_replayed, 1);
         assert_eq!(states[0].meta.version, 1, "first batch survives whole");
         assert_eq!(states[1].meta.version, 0, "torn batch fully discarded");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn staged_workers_merge_into_one_record_with_shard_handle_bytes() {
+        // Two directories, same ops: one through the shared-lock
+        // ShardHandle path, one through two per-worker stages merged by
+        // ingest. Recovery must see one record in both, with identical
+        // per-object states.
+        let template = DurableState::initial(3);
+        let dir_direct = tmpdir("staged-direct");
+        let (store, _, _) =
+            NodeStore::open(&dir_direct, StoreConfig::default(), 4, template.clone()).unwrap();
+        let core = Arc::new(Mutex::new(store));
+        for object in 0..4u32 {
+            let mut h = ShardHandle::new(Arc::clone(&core), ObjectId(object));
+            for (o, op) in commit_ops(object, 1) {
+                assert_eq!(o, ObjectId(object));
+                match op {
+                    PersistOp::Entries(e) => h.entries_appended(&e),
+                    PersistOp::Meta(m) => h.meta_updated(m),
+                    PersistOp::Committed(t, m, p) => h.committed(t, m, p),
+                    other => panic!("unexpected op {other:?}"),
+                }
+            }
+        }
+        core.lock().unwrap().barrier().unwrap();
+        drop(Arc::try_unwrap(core).map(|m| m.into_inner().unwrap()));
+
+        let dir_staged = tmpdir("staged-pool");
+        let (store, _, _) =
+            NodeStore::open(&dir_staged, StoreConfig::default(), 4, template.clone()).unwrap();
+        let core = Arc::new(Mutex::new(store));
+        // Two workers under `object % 2`, each with its own stage.
+        let stages: Vec<Arc<Mutex<Vec<u8>>>> =
+            (0..2).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        for object in 0..4u32 {
+            let stage = Arc::clone(&stages[object as usize % 2]);
+            let mut h = StagedHandle::new(stage, Arc::clone(&core), ObjectId(object));
+            for (_, op) in commit_ops(object, 1) {
+                match op {
+                    PersistOp::Entries(e) => h.entries_appended(&e),
+                    PersistOp::Meta(m) => h.meta_updated(m),
+                    PersistOp::Committed(t, m, p) => h.committed(t, m, p),
+                    other => panic!("unexpected op {other:?}"),
+                }
+            }
+        }
+        {
+            let mut core = core.lock().unwrap();
+            for stage in &stages {
+                let mut stage = stage.lock().unwrap();
+                core.ingest(&mut stage);
+                assert!(stage.is_empty(), "ingest drains the stage");
+            }
+            core.barrier().unwrap();
+        }
+        drop(Arc::try_unwrap(core).map(|m| m.into_inner().unwrap()));
+
+        let (direct, direct_report) = NodeStore::inspect(&dir_direct, template.clone()).unwrap();
+        let (staged, staged_report) = NodeStore::inspect(&dir_staged, template).unwrap();
+        assert_eq!(direct_report.records_replayed, 1);
+        assert_eq!(staged_report.records_replayed, 1, "still one record");
+        for o in 0..4 {
+            assert_eq!(direct[o].meta, staged[o].meta, "object {o} meta diverges");
+            assert_eq!(direct[o].log, staged[o].log, "object {o} log diverges");
+            assert_eq!(direct[o].commits, staged[o].commits);
+        }
+        let _ = fs::remove_dir_all(&dir_direct);
+        let _ = fs::remove_dir_all(&dir_staged);
+    }
+
+    #[test]
+    fn staged_handle_standalone_sync_is_a_real_barrier() {
+        let dir = tmpdir("staged-sync");
+        let template = DurableState::initial(3);
+        let (store, _, _) =
+            NodeStore::open(&dir, StoreConfig::default(), 1, template.clone()).unwrap();
+        let core = Arc::new(Mutex::new(store));
+        let stage = Arc::new(Mutex::new(Vec::new()));
+        let mut h = StagedHandle::new(stage, Arc::clone(&core), ObjectId(0));
+        h.seq_advanced(3);
+        assert_eq!(h.wal_epoch(), Some(core.lock().unwrap().epoch()));
+        h.sync();
+        drop(h);
+        drop(Arc::try_unwrap(core).map(|m| m.into_inner().unwrap()));
+        let (states, report) = NodeStore::inspect(&dir, template).unwrap();
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(states[0].next_seq, 3);
         let _ = fs::remove_dir_all(&dir);
     }
 
