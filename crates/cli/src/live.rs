@@ -13,7 +13,7 @@ use dynvote_cluster::wire::{ClientOp, ClientReply};
 use dynvote_cluster::{
     Cluster, ClusterConfig, EventCountEntry, FrontDoorConfig, KeyDist, LoadGen, LoadGenConfig,
     NetCounterEntry, NetStats, OpenLoop, OpenLoopConfig, ShardCounterEntry, ShardStats, TcpClient,
-    TransportKind, WorkloadTarget, MAX_SHARD_THREADS,
+    TransportKind, WorkloadTarget, DEFAULT_MAX_BATCH, MAX_SHARD_THREADS,
 };
 use dynvote_core::par::resolve_jobs;
 use dynvote_core::{AlgorithmKind, ConfigError, SiteId};
@@ -51,6 +51,7 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
         "max-inflight",
         "max-conns",
         "shard-threads",
+        "max-batch",
     ])
     .map_err(|e| format!("{e}; see `dynvote help`"))?;
     let algorithm = parse_algo(opts.get("algo").unwrap_or("hybrid"))?;
@@ -62,6 +63,9 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
     // boot, so `--keys 1` still runs the single-threaded fast path.
     let shard_threads: usize = opts.get_or("shard-threads", 0).map_err(|e| e.to_string())?;
     let shard_threads = resolve_jobs(Some(shard_threads)).min(MAX_SHARD_THREADS);
+    let max_batch: usize = opts
+        .get_or("max-batch", DEFAULT_MAX_BATCH)
+        .map_err(|e| e.to_string())?;
     let port_base: u16 = opts.get_or("port-base", 7700).map_err(|e| e.to_string())?;
     let duration = secs(
         opts.get_or("duration", 0.0).map_err(|e| e.to_string())?,
@@ -74,6 +78,7 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
         .with_objects(keys)
         .with_port_base(port_base)
         .with_shard_threads(shard_threads)
+        .with_max_batch(max_batch)
         .with_trace(trace);
     // The HTTP front door is opt-in; its tuning knobs without
     // --http-port are a typed configuration error, not a silent ignore.
@@ -134,7 +139,7 @@ pub fn serve_cmd(opts: &Opts) -> Result<(), String> {
     let mode = if durable { "durable" } else { "amnesia" };
     println!(
         "cluster ready: n={n} algo={algorithm} objects={keys} transport=tcp durability={mode} \
-         shard-threads={shard_threads}"
+         shard-threads={shard_threads} max-batch={max_batch}"
     );
     use std::io::Write as _;
     std::io::stdout().flush().ok();

@@ -128,7 +128,7 @@ USAGE:
     dynvote serve [--n k] [--algo <name>] [--port-base p] [--duration secs]
                   [--keys k] [--trace true] [--data-dir path] [--fsync policy]
                   [--http-port p] [--max-inflight k] [--max-conns k]
-                  [--shard-threads w]
+                  [--shard-threads w] [--max-batch k]
         Boot a live n-node cluster on loopback TCP, node i listening on
         127.0.0.1:(port-base + i). With --duration 0 (default) it runs
         until killed; otherwise it audits consistency at the deadline
@@ -151,6 +151,14 @@ USAGE:
         value is clamped to the object count, so --keys 1 always runs
         the in-line single-threaded path. A merge barrier still seals
         every batch as one group-commit record + one fsync.
+
+        --max-batch k caps commit pipelining (default 32): ops against a
+        locked object queue per object instead of refusing Busy, and
+        when the lock frees, up to k queued updates are sealed by one
+        vote/commit round as k consecutive log entries. k=1 disables
+        multi-op rounds; an idle object still commits a lone op
+        immediately, so batching adds no idle latency. A full queue
+        refuses with the typed Overloaded reply (HTTP 429).
 
         Each node runs one epoll reactor thread that multiplexes its
         peer links and clients. --http-port additionally opens an

@@ -31,6 +31,11 @@ pub const MAX_OBJECTS: usize = 65_536;
 /// an 8-site cluster is already 2048 threads).
 pub const MAX_SHARD_THREADS: usize = 256;
 
+/// Ceiling on [`ClusterConfig::max_batch`] — a sanity bound on
+/// configuration (one round sealing 4096 entries already ships a
+/// multi-frame commit; beyond that is a config error, not a workload).
+pub const MAX_BATCH: usize = 4096;
+
 /// Which transport carries inter-site messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportKind {
@@ -123,6 +128,14 @@ pub struct ClusterConfig {
     /// clamps to the object count, since extra workers would own
     /// nothing).
     pub shard_threads: usize,
+    /// Most queued client updates one quorum round may seal as
+    /// consecutive log entries (`1..=MAX_BATCH`; commit pipelining).
+    /// `1` runs one op per round, exactly the pre-pipelining runtime;
+    /// larger values let a shard worker drain an object's pending-op
+    /// FIFO into a single vote/commit round when its lock frees.
+    /// Batching is adaptive: an idle object still commits a lone op
+    /// immediately.
+    pub max_batch: usize,
     /// Inter-site transport.
     pub transport: TransportKind,
     /// TCP only: bind node `i` to `127.0.0.1:(port_base + i)` instead
@@ -150,6 +163,7 @@ impl ClusterConfig {
             objects: 1,
             algorithm,
             shard_threads: 1,
+            max_batch: crate::node::DEFAULT_MAX_BATCH,
             transport: TransportKind::Channel,
             port_base: None,
             trace: false,
@@ -178,6 +192,14 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_shard_threads(mut self, shard_threads: usize) -> Self {
         self.shard_threads = shard_threads;
+        self
+    }
+
+    /// Cap how many queued updates one quorum round seals (commit
+    /// pipelining); `1` disables multi-op rounds.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
         self
     }
 
@@ -238,6 +260,14 @@ impl ClusterConfig {
                 value: self.shard_threads as u64,
                 lo: 1,
                 hi: MAX_SHARD_THREADS as u64,
+            });
+        }
+        if self.max_batch == 0 || self.max_batch > MAX_BATCH {
+            return Err(ConfigError::OutOfRange {
+                field: "max_batch",
+                value: self.max_batch as u64,
+                lo: 1,
+                hi: MAX_BATCH as u64,
             });
         }
         if self.node.vote_deadline.is_zero() {
@@ -507,6 +537,7 @@ impl Cluster {
             // Size the pool before durability so the persistence hooks
             // are installed against the right per-worker stages.
             node.set_shard_threads(config.shard_threads);
+            node.set_max_batch(config.max_batch);
             if let DurabilityMode::Durable { data_dir, fsync } = &config.durability {
                 node.enable_durability(NodeDurability {
                     dir: data_dir.join(format!("site-{i}")),

@@ -176,6 +176,34 @@ impl FrontDoor {
             "dynvote_shard_merge_wait_seconds_total{{site=\"{site}\"}} {:.9}\n",
             shard[2 * workers + 1] as f64 / 1e9
         ));
+        // Commit-pipelining counters, appended after the pre-pipelining
+        // layout: per-worker queue-depth peaks, then the 8-bucket
+        // batch-size histogram (rounds sealed per ops-per-round).
+        out.push_str("# TYPE dynvote_pipeline_queue_peak gauge\n");
+        for (w, count) in shard.iter().skip(2 * workers + 2).take(workers).enumerate() {
+            out.push_str(&format!(
+                "dynvote_pipeline_queue_peak{{site=\"{site}\",worker=\"{w}\"}} {count}\n"
+            ));
+        }
+        out.push_str("# TYPE dynvote_pipeline_batch_total histogram\n");
+        let mut rounds = 0u64;
+        for (bound, count) in ShardStats::BATCH_BUCKETS
+            .iter()
+            .zip(shard.iter().skip(3 * workers + 2))
+        {
+            rounds += count;
+            let le = if *bound == u64::MAX {
+                "+Inf".to_owned()
+            } else {
+                bound.to_string()
+            };
+            out.push_str(&format!(
+                "dynvote_pipeline_batch_total_bucket{{site=\"{site}\",le=\"{le}\"}} {rounds}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "dynvote_pipeline_batch_total_count{{site=\"{site}\"}} {rounds}\n"
+        ));
         out.push_str("# TYPE dynvote_http_inflight gauge\n");
         out.push_str(&format!(
             "dynvote_http_inflight{{site=\"{site}\"}} {}\n",
@@ -352,13 +380,20 @@ impl HttpTx {
             return;
         }
         let (status, reason, body) = render_reply(reply);
+        // A queue-bound refusal is back-pressure, not conflict: tell
+        // the client when to come back, like the admission 429 does.
+        let extra: &[(&str, &str)] = if matches!(reply, ClientReply::Overloaded) {
+            &[("retry-after", "1")]
+        } else {
+            &[]
+        };
         let mut bytes = Vec::with_capacity(128 + body.len());
         http::write_response(
             &mut bytes,
             status,
             reason,
             "application/json",
-            &[],
+            extra,
             body.as_bytes(),
             inner.keep_alive,
         );
@@ -402,6 +437,14 @@ fn render_reply(reply: &ClientReply) -> (u16, &'static str, String) {
             503,
             "Service Unavailable",
             "{\"outcome\":\"down\"}".to_owned(),
+        ),
+        // The per-object pipeline queue is full: the op was never
+        // admitted to a round. Same status as the admission gate so
+        // open-loop clients count both as back-pressure.
+        ClientReply::Overloaded => (
+            429,
+            "Too Many Requests",
+            "{\"outcome\":\"overloaded\"}".to_owned(),
         ),
         ClientReply::Status {
             algorithm,
@@ -528,6 +571,9 @@ mod tests {
         assert_eq!(render_reply(&ClientReply::Busy).0, 409);
         assert_eq!(render_reply(&ClientReply::TimedOut).0, 504);
         assert_eq!(render_reply(&ClientReply::Down).0, 503);
+        let (status, _, body) = render_reply(&ClientReply::Overloaded);
+        assert_eq!(status, 429);
+        assert!(body.contains("overloaded"));
         assert_eq!(render_reply(&ClientReply::Ok).0, 500);
         let body = render_reply(&ClientReply::Committed { version: 3 }).2;
         assert!(body.contains("\"version\":3"));

@@ -57,7 +57,7 @@ pub mod wire;
 
 pub use cluster::{
     BootError, Cluster, ClusterConfig, DurabilityMode, LocalClient, RequestError, TcpClient,
-    TransportKind, MAX_OBJECTS, MAX_SHARD_THREADS,
+    TransportKind, MAX_BATCH, MAX_OBJECTS, MAX_SHARD_THREADS,
 };
 pub use frontdoor::FrontDoorConfig;
 pub use loadgen::{
@@ -65,7 +65,8 @@ pub use loadgen::{
     ShardCounterEntry, WorkloadTarget,
 };
 pub use node::{
-    AuditOutcome, ClusterLedger, Node, NodeConfig, NodeDurability, NodeEvent, ReplySink, ShardStats,
+    AuditOutcome, ClusterLedger, Node, NodeConfig, NodeDurability, NodeEvent, ReplySink,
+    ShardStats, DEFAULT_MAX_BATCH,
 };
 pub use openloop::{OpenLoop, OpenLoopConfig, OpenLoopReport};
 pub use reactor::ReactorTransport;

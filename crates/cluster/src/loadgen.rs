@@ -14,7 +14,7 @@ use crate::wire::{ClientOp, ClientReply};
 use dynvote_core::ConfigError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Error as SerdeError, Number, Serialize, Value};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -174,11 +174,71 @@ impl LoadGenConfig {
 
 /// A log-bucketed latency histogram: bucket `i` counts samples in
 /// `[2^i, 2^(i+1))` nanoseconds.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
     total: u64,
     max_ns: u64,
+}
+
+/// JSON form: the 64 buckets are run-length encoded as flat
+/// `[value, run, value, run, ...]` pairs — most buckets of a latency
+/// histogram are zero, so a report shrinks from 64 lines of zeros to a
+/// handful of pairs. [`Deserialize`] below also accepts the plain
+/// 64-element `"buckets"` array older reports carry.
+impl Serialize for Histogram {
+    fn serialize(&self) -> Value {
+        let mut rle = Vec::new();
+        let mut i = 0;
+        while i < self.buckets.len() {
+            let value = self.buckets[i];
+            let mut run = 1usize;
+            while i + run < self.buckets.len() && self.buckets[i + run] == value {
+                run += 1;
+            }
+            rle.push(Value::Number(Number::U64(value)));
+            rle.push(Value::Number(Number::U64(run as u64)));
+            i += run;
+        }
+        Value::Object(vec![
+            ("buckets_rle".to_owned(), Value::Array(rle)),
+            ("total".to_owned(), self.total.serialize()),
+            ("max_ns".to_owned(), self.max_ns.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Histogram {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        let buckets = if let Some(rle) = value.get("buckets_rle") {
+            let pairs: Vec<u64> = Deserialize::deserialize(rle)?;
+            if pairs.len() % 2 != 0 {
+                return Err(SerdeError::custom("buckets_rle must be value/run pairs"));
+            }
+            let mut buckets = Vec::with_capacity(64);
+            for pair in pairs.chunks(2) {
+                for _ in 0..pair[1] {
+                    buckets.push(pair[0]);
+                }
+            }
+            buckets
+        } else if let Some(plain) = value.get("buckets") {
+            // The pre-RLE baseline format: a plain 64-element array.
+            Deserialize::deserialize(plain)?
+        } else {
+            return Err(SerdeError::custom(
+                "histogram needs `buckets_rle` or `buckets`",
+            ));
+        };
+        if buckets.len() != 64 {
+            return Err(SerdeError::custom("histogram must have 64 buckets"));
+        }
+        Ok(Histogram {
+            buckets,
+            total: Deserialize::deserialize(&value["total"])?,
+            max_ns: Deserialize::deserialize(&value["max_ns"])?,
+        })
+    }
 }
 
 impl Default for Histogram {
@@ -257,7 +317,7 @@ impl Histogram {
 }
 
 /// Latency percentiles of committed updates, in milliseconds.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct LatencyStats {
     /// Median.
     pub p50_ms: f64,
@@ -270,7 +330,7 @@ pub struct LatencyStats {
 }
 
 /// One per-site, per-kind protocol-event counter in a [`LoadReport`].
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EventCountEntry {
     /// Site index.
     pub site: usize,
@@ -284,7 +344,7 @@ pub struct EventCountEntry {
 /// [`crate::NetStats`] tallies (dial failures, decode errors,
 /// backpressure drops, …) gathered after the run via
 /// `ClientOp::NetStats`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetCounterEntry {
     /// Site index.
     pub site: usize,
@@ -298,7 +358,7 @@ pub struct NetCounterEntry {
 /// dispatch totals and queue-depth high-water marks plus the merge
 /// barrier tallies (see [`crate::ShardStats`]), gathered after the run
 /// via `ClientOp::ShardStats`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShardCounterEntry {
     /// Site index.
     pub site: usize,
@@ -309,7 +369,7 @@ pub struct ShardCounterEntry {
 }
 
 /// Machine-readable summary of one load-generation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LoadReport {
     /// Replica-control algorithm under test (caller-supplied context).
     pub algorithm: String,
@@ -333,6 +393,8 @@ pub struct LoadReport {
     pub timed_out: u64,
     /// Refused: target site was crashed.
     pub down: u64,
+    /// Refused at admission: the object's pipeline queue was full.
+    pub overloaded: u64,
     /// Requests that could not be delivered at all.
     pub transport_errors: u64,
     /// Number of distinct keys the workload targeted.
@@ -367,6 +429,100 @@ impl LoadReport {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serializes")
     }
+
+    /// Parse a report back from JSON. Accepts both the current format
+    /// and older baselines: a plain-array histogram, always-present
+    /// empty `events`/`net`/`shard` arrays, and no `overloaded` field.
+    pub fn from_json(text: &str) -> Result<Self, SerdeError> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| SerdeError::custom(e.to_string()))?;
+        Deserialize::deserialize(&value)
+    }
+}
+
+/// Hand-written so the optional sections stay out of the output: an
+/// empty `events`/`net`/`shard` array (the common case — most callers
+/// don't collect them) is omitted rather than serialized as `[]`.
+impl Serialize for LoadReport {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![
+            ("algorithm".to_owned(), self.algorithm.serialize()),
+            ("transport".to_owned(), self.transport.serialize()),
+            ("sites".to_owned(), self.sites.serialize()),
+            ("workers".to_owned(), self.workers.serialize()),
+            ("duration_secs".to_owned(), self.duration_secs.serialize()),
+            ("committed".to_owned(), self.committed.serialize()),
+            ("reads_served".to_owned(), self.reads_served.serialize()),
+            ("rejected".to_owned(), self.rejected.serialize()),
+            ("busy".to_owned(), self.busy.serialize()),
+            ("timed_out".to_owned(), self.timed_out.serialize()),
+            ("down".to_owned(), self.down.serialize()),
+            ("overloaded".to_owned(), self.overloaded.serialize()),
+            (
+                "transport_errors".to_owned(),
+                self.transport_errors.serialize(),
+            ),
+            ("keys".to_owned(), self.keys.serialize()),
+            ("key_dist".to_owned(), self.key_dist.serialize()),
+            (
+                "per_shard_commits".to_owned(),
+                self.per_shard_commits.serialize(),
+            ),
+            (
+                "throughput_per_sec".to_owned(),
+                self.throughput_per_sec.serialize(),
+            ),
+            ("update_latency".to_owned(), self.update_latency.serialize()),
+            ("histogram".to_owned(), self.histogram.serialize()),
+        ];
+        if !self.events.is_empty() {
+            fields.push(("events".to_owned(), self.events.serialize()));
+        }
+        if !self.net.is_empty() {
+            fields.push(("net".to_owned(), self.net.serialize()));
+        }
+        if !self.shard.is_empty() {
+            fields.push(("shard".to_owned(), self.shard.serialize()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for LoadReport {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        // Sections a report may omit: absent means empty (new format)
+        // or zero (`overloaded`, absent from pre-pipelining baselines).
+        fn section<T: Deserialize + Default>(value: &Value, name: &str) -> Result<T, SerdeError> {
+            match value.get(name) {
+                Some(v) => Deserialize::deserialize(v),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(LoadReport {
+            algorithm: Deserialize::deserialize(&value["algorithm"])?,
+            transport: Deserialize::deserialize(&value["transport"])?,
+            sites: Deserialize::deserialize(&value["sites"])?,
+            workers: Deserialize::deserialize(&value["workers"])?,
+            duration_secs: Deserialize::deserialize(&value["duration_secs"])?,
+            committed: Deserialize::deserialize(&value["committed"])?,
+            reads_served: Deserialize::deserialize(&value["reads_served"])?,
+            rejected: Deserialize::deserialize(&value["rejected"])?,
+            busy: Deserialize::deserialize(&value["busy"])?,
+            timed_out: Deserialize::deserialize(&value["timed_out"])?,
+            down: Deserialize::deserialize(&value["down"])?,
+            overloaded: section(value, "overloaded")?,
+            transport_errors: Deserialize::deserialize(&value["transport_errors"])?,
+            keys: Deserialize::deserialize(&value["keys"])?,
+            key_dist: Deserialize::deserialize(&value["key_dist"])?,
+            per_shard_commits: Deserialize::deserialize(&value["per_shard_commits"])?,
+            throughput_per_sec: Deserialize::deserialize(&value["throughput_per_sec"])?,
+            update_latency: Deserialize::deserialize(&value["update_latency"])?,
+            histogram: Deserialize::deserialize(&value["histogram"])?,
+            events: section(value, "events")?,
+            net: section(value, "net")?,
+            shard: section(value, "shard")?,
+        })
+    }
 }
 
 #[derive(Default)]
@@ -377,6 +533,7 @@ struct Tally {
     busy: u64,
     timed_out: u64,
     down: u64,
+    overloaded: u64,
     transport_errors: u64,
     per_shard_commits: Vec<u64>,
     latency: Histogram,
@@ -427,6 +584,7 @@ impl LoadGen {
             tally.busy += t.busy;
             tally.timed_out += t.timed_out;
             tally.down += t.down;
+            tally.overloaded += t.overloaded;
             tally.transport_errors += t.transport_errors;
             for (mine, theirs) in tally.per_shard_commits.iter_mut().zip(&t.per_shard_commits) {
                 *mine += theirs;
@@ -446,6 +604,7 @@ impl LoadGen {
             busy: tally.busy,
             timed_out: tally.timed_out,
             down: tally.down,
+            overloaded: tally.overloaded,
             transport_errors: tally.transport_errors,
             keys: config.keys,
             key_dist: config.key_dist.to_string(),
@@ -499,6 +658,11 @@ fn worker_loop(cfg: LoadGenConfig, index: usize, mut target: Box<dyn WorkloadTar
                 // The target site is crashed; don't spin on it.
                 thread::sleep(Duration::from_millis(2));
             }
+            Some(ClientReply::Overloaded) => {
+                tally.overloaded += 1;
+                // The object's queue is full; back off before retrying.
+                thread::sleep(Duration::from_millis(1));
+            }
             Some(_) => tally.transport_errors += 1,
             None => {
                 tally.transport_errors += 1;
@@ -541,6 +705,103 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total(), 2);
         assert_eq!(a.max_ms(), 2000.0);
+    }
+
+    #[test]
+    fn histogram_json_is_rle_and_round_trips() {
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        h.record(1_100_000);
+        h.record(64_000_000);
+        let json = serde_json::to_string(&h).unwrap();
+        assert!(json.contains("buckets_rle"), "{json}");
+        // 64 buckets with two runs of samples compress to a handful of
+        // value/run pairs, far fewer than 64 numbers.
+        let value: Value = serde_json::from_str(&json).unwrap();
+        let rle = value["buckets_rle"].as_array().unwrap();
+        assert!(rle.len() < 16, "rle has {} entries", rle.len());
+        let back = Histogram::deserialize(&value).unwrap();
+        assert_eq!(back.buckets, h.buckets);
+        assert_eq!(back.total, 3);
+        assert_eq!(back.max_ns, 64_000_000);
+    }
+
+    #[test]
+    fn histogram_decodes_the_old_plain_bucket_format() {
+        let mut buckets = vec![0u64; 64];
+        buckets[20] = 5;
+        let old = format!(
+            "{{\"buckets\":[{}],\"total\":5,\"max_ns\":1500000}}",
+            buckets
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let value: Value = serde_json::from_str(&old).unwrap();
+        let h = Histogram::deserialize(&value).unwrap();
+        assert_eq!(h.buckets, buckets);
+        assert_eq!(h.total(), 5);
+        // Truncated bucket arrays are rejected, not zero-padded.
+        let bad: Value =
+            serde_json::from_str("{\"buckets\":[1,2,3],\"total\":6,\"max_ns\":1}").unwrap();
+        assert!(Histogram::deserialize(&bad).is_err());
+    }
+
+    #[test]
+    fn report_json_omits_empty_sections_and_round_trips() {
+        let report = LoadGen::run(
+            &LoadGenConfig {
+                concurrency: 1,
+                duration: Duration::from_millis(1),
+                ..LoadGenConfig::default()
+            },
+            |_| {
+                struct Null;
+                impl WorkloadTarget for Null {
+                    fn submit(&mut self, _: &ClientOp) -> Option<ClientReply> {
+                        Some(ClientReply::Committed { version: 1 })
+                    }
+                }
+                Box::new(Null)
+            },
+        )
+        .unwrap();
+        let json = report.to_json();
+        // No collected sections → no keys for them at all.
+        assert!(!json.contains("\"events\""), "{json}");
+        assert!(!json.contains("\"net\""), "{json}");
+        assert!(!json.contains("\"shard\""), "{json}");
+        assert!(json.contains("\"overloaded\""), "{json}");
+        let back = LoadReport::from_json(&json).unwrap();
+        assert_eq!(back.committed, report.committed);
+        assert!(back.events.is_empty() && back.net.is_empty() && back.shard.is_empty());
+        // A pre-pipelining baseline (no `overloaded`, explicit empty
+        // arrays, plain-bucket histogram) still decodes.
+        let old = json
+            .replace("\"overloaded\": 0,\n", "")
+            .replace("buckets_rle", "ignored");
+        let old = {
+            let hist_at = old.find("\"histogram\"").unwrap();
+            let (head, _) = old.split_at(hist_at);
+            format!(
+                "{head}\"histogram\":{{\"buckets\":[{}],\"total\":{},\"max_ns\":{}}},\
+                 \"events\":[],\"net\":[],\"shard\":[]}}",
+                report
+                    .histogram
+                    .buckets()
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(","),
+                report.histogram.total(),
+                report.histogram.max_ns
+            )
+        };
+        let shim = LoadReport::from_json(&old).unwrap();
+        assert_eq!(shim.overloaded, 0);
+        assert_eq!(shim.committed, report.committed);
+        assert_eq!(shim.histogram.buckets(), report.histogram.buckets());
     }
 
     #[test]

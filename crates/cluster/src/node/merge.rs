@@ -45,14 +45,28 @@ impl Node {
             for txn in group.restarts.drain(..) {
                 self.restart_txns.insert(txn);
             }
-            for (id, reply, txn) in group.starts.drain(..) {
+            for (txn, clients) in group.starts.drain(..) {
                 match txn {
-                    Some(txn) => {
-                        self.pending.insert(txn, PendingClient { id, reply });
-                    }
+                    // Park every op the round carries, in payload order
+                    // — the commit fan-out below acks each at its own
+                    // version.
+                    Some(txn) => self.pending.entry(txn).or_default().extend(
+                        clients
+                            .into_iter()
+                            .map(|(id, reply)| PendingClient { id, reply }),
+                    ),
                     // The kernel refused to start anything — busy.
-                    None => reply.send(id, ClientReply::Busy),
+                    None => {
+                        for (id, reply) in clients {
+                            reply.send(id, ClientReply::Busy);
+                        }
+                    }
                 }
+            }
+            // Ops refused at the per-object queue bound: the typed
+            // overload reply, distinct from a protocol-level refusal.
+            for (id, reply) in group.overflows.drain(..) {
+                reply.send(id, ClientReply::Overloaded);
             }
         }
 
@@ -75,7 +89,10 @@ impl Node {
         // globally recorded before the Commit broadcast below can
         // trigger a dependent commit (version + 1) on another thread,
         // or the ledger would flag a spurious gap.
-        let mut committed: HashMap<TxnId, u64> = HashMap::new();
+        // A batched round commits k entries — one CommitRecorded per
+        // entry, in version (= payload) order — so a transaction maps
+        // to the ordered version list its client ops landed at.
+        let mut committed: HashMap<TxnId, Vec<u64>> = HashMap::new();
         for action in &batch {
             if let Action::CommitRecorded {
                 version,
@@ -84,7 +101,7 @@ impl Node {
             } = action
             {
                 self.ledger.record(self.id, txn.object, *version, *payload);
-                committed.insert(*txn, *version);
+                committed.entry(*txn).or_default().push(*version);
                 if !self.restart_txns.contains(txn) {
                     self.commits += 1;
                 }
@@ -115,22 +132,33 @@ impl Node {
                 }
                 Action::Resolved { txn, reason } => {
                     self.restart_txns.remove(&txn);
-                    if let Some(client) = self.pending.remove(&txn) {
-                        let reply = match reason {
-                            ResolveReason::Committed => ClientReply::Committed {
-                                version: committed.get(&txn).copied().unwrap_or_else(|| {
-                                    groups[txn.object.index() % groups.len()]
-                                        .part
-                                        .shard(txn.object)
-                                        .map_or(0, |s| s.meta().version)
-                                }),
-                            },
-                            ResolveReason::ReadServed => ClientReply::ReadServed,
-                            ResolveReason::NotDistinguished => ClientReply::Rejected,
-                            ResolveReason::LockBusy => ClientReply::Busy,
-                            ResolveReason::Timeout => ClientReply::TimedOut,
+                    if let Some(clients) = self.pending.remove(&txn) {
+                        // One Resolved covers every op of the round:
+                        // fan the completion out, acking each parked
+                        // client exactly once. On commit, client i
+                        // (payload order) landed at the round's i-th
+                        // recorded version.
+                        let versions = committed.get(&txn);
+                        let fallback = || {
+                            groups[txn.object.index() % groups.len()]
+                                .part
+                                .shard(txn.object)
+                                .map_or(0, |s| s.meta().version)
                         };
-                        client.reply.send(client.id, reply);
+                        for (i, client) in clients.into_iter().enumerate() {
+                            let reply = match reason {
+                                ResolveReason::Committed => ClientReply::Committed {
+                                    version: versions
+                                        .and_then(|v| v.get(i).copied())
+                                        .unwrap_or_else(fallback),
+                                },
+                                ResolveReason::ReadServed => ClientReply::ReadServed,
+                                ResolveReason::NotDistinguished => ClientReply::Rejected,
+                                ResolveReason::LockBusy => ClientReply::Busy,
+                                ResolveReason::Timeout => ClientReply::TimedOut,
+                            };
+                            client.reply.send(client.id, reply);
+                        }
                     }
                 }
                 // Group mode is a multi-file transaction-manager hook;

@@ -76,6 +76,12 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Default bound on how many queued client updates one quorum round
+/// seals (see [`crate::ClusterConfig::max_batch`]). Adaptive batching
+/// means this is a cap, not a target: an idle object still commits a
+/// lone op immediately.
+pub const DEFAULT_MAX_BATCH: usize = 32;
+
 /// Where a client reply should go.
 #[derive(Debug, Clone)]
 pub enum ReplySink {
@@ -359,6 +365,10 @@ pub struct Node {
     /// How many shard-affine workers [`Node::run`] launches (1 = run
     /// kernels inline on the scheduler thread).
     pub(crate) shard_threads: usize,
+    /// Most queued client updates one quorum round may seal as
+    /// consecutive log entries (commit pipelining); `1` disables
+    /// multi-op rounds entirely.
+    pub(crate) max_batch: usize,
     /// The pool's observability counters, answering
     /// [`ClientOp::ShardStats`] and shared with the front door.
     pub(crate) shard_stats: Arc<ShardStats>,
@@ -368,7 +378,11 @@ pub struct Node {
     /// in worker order — one record, one fsync, no store contention
     /// while kernels run.
     pub(crate) stages: Vec<Arc<Mutex<Vec<u8>>>>,
-    pub(crate) pending: HashMap<TxnId, PendingClient>,
+    /// Clients parked on in-flight transactions. A pipelined round
+    /// carries many client ops, so one transaction parks a payload-
+    /// ordered list; every entry is resolved (exactly once) when the
+    /// transaction resolves.
+    pub(crate) pending: HashMap<TxnId, Vec<PendingClient>>,
     pub(crate) restart_txns: HashSet<TxnId>,
     pub(crate) payload_seq: u64,
     pub(crate) commits: u64,
@@ -416,6 +430,7 @@ impl Node {
             events: None,
             net: None,
             shard_threads: 1,
+            max_batch: DEFAULT_MAX_BATCH,
             shard_stats: Arc::new(ShardStats::new(1)),
             stages: Vec::new(),
             pending: HashMap::new(),
@@ -455,6 +470,12 @@ impl Node {
     #[must_use]
     pub fn shard_stats(&self) -> Arc<ShardStats> {
         Arc::clone(&self.shard_stats)
+    }
+
+    /// Cap how many queued client updates one quorum round may seal
+    /// (clamped to at least 1). Call before [`Node::run`].
+    pub fn set_max_batch(&mut self, max_batch: usize) {
+        self.max_batch = max_batch.max(1);
     }
 
     /// Give this node a data directory: recover every hosted object's

@@ -45,6 +45,7 @@ impl Node {
             site,
             self.shard_threads,
             std::sync::Arc::clone(&self.shard_stats),
+            self.max_batch,
         );
         self.resume_in_doubt(&mut pool);
         'outer: loop {
@@ -80,9 +81,18 @@ impl Node {
         }
         self.merge(&mut pool);
         self.transport.flush();
+        // Ops still parked in per-object FIFOs never started a round;
+        // fail them alongside the in-flight ones.
+        for mut group in pool.lock_groups() {
+            for (id, reply) in group.fail_queued() {
+                reply.send(id, ClientReply::Down);
+            }
+        }
         pool.shutdown();
-        for (_, client) in self.pending.drain() {
-            client.reply.send(client.id, ClientReply::Down);
+        for (_, clients) in self.pending.drain() {
+            for client in clients {
+                client.reply.send(client.id, ClientReply::Down);
+            }
         }
     }
 
@@ -203,9 +213,16 @@ impl Node {
                     self.timers.bump_epoch();
                     for mut group in pool.lock_groups() {
                         group.part.crash();
+                        // Queued-but-unstarted ops die with the site
+                        // too: each resolves exactly once, as Down.
+                        for (qid, reply) in group.fail_queued() {
+                            reply.send(qid, ClientReply::Down);
+                        }
                     }
-                    for (_, client) in self.pending.drain() {
-                        client.reply.send(client.id, ClientReply::Down);
+                    for (_, clients) in self.pending.drain() {
+                        for client in clients {
+                            client.reply.send(client.id, ClientReply::Down);
+                        }
                     }
                 }
                 reply.send(id, ClientReply::Ok);

@@ -19,7 +19,7 @@
 use crate::node::ReplySink;
 use dynvote_core::SiteId;
 use dynvote_protocol::{Action, Message, ObjectId, ShardPartition, ShardedSite, TimerKind, TxnId};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
@@ -40,9 +40,21 @@ pub struct ShardStats {
     /// Total nanoseconds the scheduler spent in `wait_idle` blocking on
     /// workers at merge barriers.
     merge_wait_ns: AtomicU64,
+    /// High-water mark of any single object's pending-op queue inside
+    /// each worker (the commit-pipelining FIFO, not the work-item
+    /// queue above).
+    pipeline_queue_peak: Vec<AtomicU64>,
+    /// Histogram of quorum-round batch sizes: how many client updates
+    /// each `start_update_batch` round sealed, bucketed by
+    /// [`Self::BATCH_BUCKETS`].
+    batch_sizes: Vec<AtomicU64>,
 }
 
 impl ShardStats {
+    /// Upper bounds of the batch-size histogram buckets (the last
+    /// bucket is open-ended: every batch larger than 64 ops).
+    pub const BATCH_BUCKETS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, u64::MAX];
+
     /// Fresh counters for a pool of `workers`.
     #[must_use]
     pub fn new(workers: usize) -> Self {
@@ -51,6 +63,11 @@ impl ShardStats {
             queue_peak: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             merge_barriers: AtomicU64::new(0),
             merge_wait_ns: AtomicU64::new(0),
+            pipeline_queue_peak: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            batch_sizes: Self::BATCH_BUCKETS
+                .iter()
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 
@@ -73,16 +90,36 @@ impl ShardStats {
         self.merge_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
     }
 
+    fn note_pipeline_depth(&self, worker: usize, depth: u64) {
+        self.pipeline_queue_peak[worker].fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn note_batch(&self, ops: u64) {
+        let bucket = Self::BATCH_BUCKETS
+            .iter()
+            .position(|&hi| ops <= hi)
+            .unwrap_or(Self::BATCH_BUCKETS.len() - 1);
+        self.batch_sizes[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One row of counters, in [`Self::names`] order:
     /// `[dispatched(0..W), queue_peak(0..W), merge_barriers,
-    /// merge_wait_ns]`.
+    /// merge_wait_ns, pipeline_queue_peak(0..W), batch_sizes(8)]` —
+    /// the pipelining counters are appended after the pre-pipelining
+    /// layout so old readers' indices stay valid.
     #[must_use]
     pub fn snapshot(&self) -> Vec<u64> {
-        let mut counts = Vec::with_capacity(2 * self.workers() + 2);
+        let mut counts = Vec::with_capacity(3 * self.workers() + 2 + self.batch_sizes.len());
         counts.extend(self.dispatched.iter().map(|c| c.load(Ordering::Relaxed)));
         counts.extend(self.queue_peak.iter().map(|c| c.load(Ordering::Relaxed)));
         counts.push(self.merge_barriers.load(Ordering::Relaxed));
         counts.push(self.merge_wait_ns.load(Ordering::Relaxed));
+        counts.extend(
+            self.pipeline_queue_peak
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed)),
+        );
+        counts.extend(self.batch_sizes.iter().map(|c| c.load(Ordering::Relaxed)));
         counts
     }
 
@@ -98,7 +135,7 @@ impl ShardStats {
     /// `ShardStats` reply and must reconstruct the layout themselves.
     #[must_use]
     pub fn names_for(workers: usize) -> Vec<String> {
-        let mut names = Vec::with_capacity(2 * workers + 2);
+        let mut names = Vec::with_capacity(3 * workers + 2 + Self::BATCH_BUCKETS.len());
         for w in 0..workers {
             names.push(format!("shard_worker{w}_dispatched"));
         }
@@ -107,6 +144,16 @@ impl ShardStats {
         }
         names.push("shard_merge_barriers".to_string());
         names.push("shard_merge_wait_ns".to_string());
+        for w in 0..workers {
+            names.push(format!("pipeline_queue_peak_w{w}"));
+        }
+        for &hi in &Self::BATCH_BUCKETS {
+            if hi == u64::MAX {
+                names.push("pipeline_batch_gt64".to_string());
+            } else {
+                names.push(format!("pipeline_batch_le{hi}"));
+            }
+        }
         names
     }
 }
@@ -176,6 +223,30 @@ impl WorkItem {
     }
 }
 
+/// One client op parked in an object's commit-pipelining FIFO, waiting
+/// for the object's lock to free.
+#[derive(Debug)]
+enum QueuedOp {
+    /// An update carrying its scheduler-assigned payload.
+    Update {
+        payload: u64,
+        id: u64,
+        reply: ReplySink,
+    },
+    /// A read-only request (never batched with updates — it runs its
+    /// own round — but it keeps its FIFO position).
+    Read { id: u64, reply: ReplySink },
+}
+
+/// Bound on one object's pending-op queue. An op arriving beyond it is
+/// refused with the typed `Overloaded` reply instead of queueing
+/// without bound — the front door surfaces that as `429 Retry-After`.
+pub(crate) const PER_OBJECT_QUEUE_LIMIT: usize = 1024;
+
+/// The client ops riding one started round, in payload order: the op id
+/// plus where its reply goes.
+pub(crate) type RoundClients = Vec<(u64, ReplySink)>;
+
 /// Everything one worker owns: its shard partition plus the in-progress
 /// batch's staged results. Locked by the worker while draining its
 /// queue and by the merge barrier (after [`ShardPool::wait_idle`]) to
@@ -186,19 +257,70 @@ pub(crate) struct WorkerGroup {
     pub(crate) part: ShardPartition,
     /// This worker's staged actions for the in-progress batch.
     pub(crate) scratch: Vec<Action>,
-    /// Client requests started this batch: `(correlation id, reply
-    /// sink, txn)` — `txn` is `None` when the kernel refused to start
+    /// Rounds started this batch: the transaction plus every client op
+    /// it carries, in payload order — one entry per read round, one per
+    /// update batch. `txn` is `None` when the kernel refused to start
     /// anything (answered `Busy` at merge time).
-    pub(crate) starts: Vec<(u64, ReplySink, Option<TxnId>)>,
+    pub(crate) starts: Vec<(Option<TxnId>, RoundClients)>,
+    /// Ops refused at the per-object queue bound this batch (answered
+    /// `Overloaded` at merge time).
+    pub(crate) overflows: RoundClients,
     /// `Make_Current` transactions started by `Recover` items this
     /// batch.
     pub(crate) restarts: Vec<TxnId>,
+    /// Per-object pending-op FIFOs: ops that arrived while the object's
+    /// lock was held, drained up to `max_batch` at a time into one
+    /// quorum round whenever the lock frees.
+    queues: HashMap<ObjectId, VecDeque<QueuedOp>>,
+    /// Most queued updates one quorum round may seal.
+    max_batch: usize,
+    /// This group's index in the pool, for the stats row.
+    worker: usize,
+    stats: Arc<ShardStats>,
+}
+
+impl WorkerGroup {
+    /// Park one op on its object's FIFO, refusing at the bound.
+    fn enqueue(&mut self, object: ObjectId, op: QueuedOp) {
+        let queue = self.queues.entry(object).or_default();
+        if queue.len() >= PER_OBJECT_QUEUE_LIMIT {
+            let (id, reply) = match op {
+                QueuedOp::Update { id, reply, .. } | QueuedOp::Read { id, reply } => (id, reply),
+            };
+            self.overflows.push((id, reply));
+            return;
+        }
+        queue.push_back(op);
+        self.stats
+            .note_pipeline_depth(self.worker, queue.len() as u64);
+    }
+
+    /// Fail every queued op, returning the `(id, reply)` pairs for the
+    /// caller to answer (crash and shutdown paths).
+    pub(crate) fn fail_queued(&mut self) -> RoundClients {
+        let mut failed = Vec::new();
+        for (_, queue) in self.queues.iter_mut() {
+            for op in queue.drain(..) {
+                match op {
+                    QueuedOp::Update { id, reply, .. } | QueuedOp::Read { id, reply } => {
+                        failed.push((id, reply));
+                    }
+                }
+            }
+        }
+        failed
+    }
 }
 
 /// Run one item against the group's partition, staging actions into its
 /// scratch. The only code that touches kernels — on the owning worker
-/// thread, or inline on the scheduler with one worker.
+/// thread, or inline on the scheduler with one worker. Client updates
+/// and reads are parked on their object's FIFO first; after every item
+/// the object's queue is pumped, so an op on an idle object starts its
+/// round immediately (no batching latency tax) while ops that arrived
+/// under a held lock drain in one multi-op round the moment it frees.
 pub(crate) fn process_item(group: &mut WorkerGroup, item: WorkItem) {
+    let object = item.object();
     match item {
         WorkItem::Peer { from, msg } => {
             // Unhosted or foreign-partition objects are dropped, not
@@ -211,16 +333,10 @@ pub(crate) fn process_item(group: &mut WorkerGroup, item: WorkItem) {
             id,
             reply,
         } => {
-            let start = group.scratch.len();
-            group.part.start_update(object, payload, &mut group.scratch);
-            let txn = txn_started(&group.scratch[start..]);
-            group.starts.push((id, reply, txn));
+            group.enqueue(object, QueuedOp::Update { payload, id, reply });
         }
         WorkItem::Read { object, id, reply } => {
-            let start = group.scratch.len();
-            group.part.start_read(object, &mut group.scratch);
-            let txn = txn_started(&group.scratch[start..]);
-            group.starts.push((id, reply, txn));
+            group.enqueue(object, QueuedOp::Read { id, reply });
         }
         WorkItem::Timer { txn, kind } => {
             group.part.timer_fired(txn, kind, &mut group.scratch);
@@ -239,6 +355,66 @@ pub(crate) fn process_item(group: &mut WorkerGroup, item: WorkItem) {
                 }
             }
         }
+    }
+    pump(group, object);
+}
+
+/// Drain `object`'s pending-op FIFO into quorum rounds while its lock
+/// is free: a head-of-queue read runs alone (reads cannot share an
+/// update's log append); a head-of-queue update takes every
+/// consecutively queued update behind it — up to `max_batch` — into
+/// ONE vote/commit round via `start_update_batch`. The loop keeps
+/// going because a round can resolve synchronously (single-site
+/// views, immediate refusals); normally the freshly taken lock ends
+/// it after one round.
+fn pump(group: &mut WorkerGroup, object: ObjectId) {
+    loop {
+        if !group
+            .queues
+            .get(&object)
+            .is_some_and(|queue| !queue.is_empty())
+        {
+            return;
+        }
+        let unlocked = group
+            .part
+            .shard(object)
+            .is_some_and(|shard| !shard.is_locked());
+        if !unlocked {
+            return;
+        }
+        let queue = group.queues.get_mut(&object).expect("checked non-empty");
+        if matches!(queue.front(), Some(QueuedOp::Read { .. })) {
+            let Some(QueuedOp::Read { id, reply }) = queue.pop_front() else {
+                unreachable!("front checked as read");
+            };
+            let start = group.scratch.len();
+            group.part.start_read(object, &mut group.scratch);
+            let txn = txn_started(&group.scratch[start..]);
+            group.starts.push((txn, vec![(id, reply)]));
+            continue;
+        }
+        // A run of consecutive updates, in FIFO (= payload-assignment)
+        // order, capped by the adaptive batch bound.
+        let mut payloads = Vec::new();
+        let mut clients = Vec::new();
+        while payloads.len() < group.max_batch {
+            match queue.front() {
+                Some(QueuedOp::Update { .. }) => {
+                    let Some(QueuedOp::Update { payload, id, reply }) = queue.pop_front() else {
+                        unreachable!("front checked as update");
+                    };
+                    payloads.push(payload);
+                    clients.push((id, reply));
+                }
+                _ => break,
+            }
+        }
+        let txn = group
+            .part
+            .start_update_batch(object, &payloads, &mut group.scratch);
+        group.stats.note_batch(payloads.len() as u64);
+        group.starts.push((txn, clients));
     }
 }
 
@@ -323,11 +499,13 @@ impl ShardPool {
         sharded: ShardedSite,
         workers: usize,
         stats: Arc<ShardStats>,
+        max_batch: usize,
     ) -> Self {
         let shareds: Vec<Arc<WorkerShared>> = sharded
             .into_partitions(workers)
             .into_iter()
-            .map(|part| {
+            .enumerate()
+            .map(|(w, part)| {
                 Arc::new(WorkerShared {
                     queue: Mutex::new(Queue::default()),
                     work_cv: Condvar::new(),
@@ -337,7 +515,12 @@ impl ShardPool {
                         part,
                         scratch: Vec::new(),
                         starts: Vec::new(),
+                        overflows: Vec::new(),
                         restarts: Vec::new(),
+                        queues: HashMap::new(),
+                        max_batch: max_batch.max(1),
+                        worker: w,
+                        stats: Arc::clone(&stats),
                     }),
                 })
             })
@@ -461,14 +644,26 @@ mod tests {
         stats.note_dispatch(1);
         stats.note_queue_depth(0, 5);
         stats.note_merge(120);
+        stats.note_pipeline_depth(1, 4);
+        stats.note_batch(3);
         let names = stats.names();
         let counts = stats.snapshot();
         assert_eq!(names.len(), counts.len());
+        // The pre-pipelining prefix keeps its exact positions so old
+        // readers' indices stay valid...
         assert_eq!(names[0], "shard_worker0_dispatched");
         assert_eq!(names[2], "shard_worker0_queue_peak");
         assert_eq!(names[4], "shard_merge_barriers");
         assert_eq!(names[5], "shard_merge_wait_ns");
-        assert_eq!(counts, vec![0, 1, 5, 0, 1, 120]);
+        assert_eq!(&counts[..6], &[0, 1, 5, 0, 1, 120]);
+        // ...and the pipelining counters are appended after it.
+        assert_eq!(names[6], "pipeline_queue_peak_w0");
+        assert_eq!(names[7], "pipeline_queue_peak_w1");
+        assert_eq!(names[8], "pipeline_batch_le1");
+        assert_eq!(names[10], "pipeline_batch_le4");
+        assert_eq!(names[15], "pipeline_batch_gt64");
+        assert_eq!(&counts[6..8], &[0, 4]);
+        assert_eq!(&counts[8..], &[0, 0, 1, 0, 0, 0, 0, 0]); // 3 ops → le4
     }
 
     #[test]
@@ -479,5 +674,17 @@ mod tests {
         assert_eq!(stats.snapshot()[1], 7);
         stats.note_queue_depth(0, 9);
         assert_eq!(stats.snapshot()[1], 9);
+    }
+
+    #[test]
+    fn batch_sizes_land_in_their_buckets() {
+        let stats = ShardStats::new(1);
+        for ops in [1, 1, 2, 5, 64, 65, 1000] {
+            stats.note_batch(ops);
+        }
+        let counts = stats.snapshot();
+        // Layout for W=1: [disp, qp, mb, mwns, pqp, buckets(8)].
+        let buckets = &counts[5..];
+        assert_eq!(buckets, &[2, 1, 0, 1, 0, 0, 1, 2]);
     }
 }

@@ -106,6 +106,10 @@ pub enum ClientReply {
     Rejected,
     /// Refused: the local copy was locked by another transaction.
     Busy,
+    /// Refused at admission: the object's pending-op queue is full.
+    /// Distinct from [`ClientReply::Busy`] — the op never reached the
+    /// protocol; retry after backing off.
+    Overloaded,
     /// Aborted: vote collection or catch-up timed out.
     TimedOut,
     /// Refused: the site is crashed (or crashed while coordinating the
@@ -548,6 +552,9 @@ pub fn encode_reply_into(out: &mut Vec<u8>, id: u64, reply: &ClientReply) {
                 put_u64(out, c);
             }
         }
+        // Tag 14: appended after every pre-pipelining reply tag so old
+        // decoders only ever see it when talking to a new server.
+        ClientReply::Overloaded => put_u8(out, 14),
     }
 }
 
@@ -641,6 +648,7 @@ pub fn decode_reply(body: &[u8]) -> Result<(u64, ClientReply), WireError> {
             }
             ClientReply::ShardStats { workers, counts }
         }
+        14 => ClientReply::Overloaded,
         tag => return Err(WireError::BadTag(tag)),
     };
     r.finish((id, reply))
@@ -952,6 +960,7 @@ mod tests {
                 workers: 1,
                 counts: Vec::new(),
             },
+            ClientReply::Overloaded,
         ];
         for (i, reply) in replies.into_iter().enumerate() {
             let bytes = encode_reply(i as u64, &reply);

@@ -76,7 +76,9 @@ fn hot_shard_does_not_starve_cold_shard_timers() {
     match client.request(ClientOp::ShardStats).expect("shard stats") {
         ClientReply::ShardStats { workers, counts } => {
             assert_eq!(workers, 2, "clamped pool should run two workers");
-            assert_eq!(counts.len(), 2 * 2 + 2, "snapshot layout");
+            // Prefix (2W+2) + per-worker pipeline queue peaks (W) +
+            // the 8-bucket batch-size histogram.
+            assert_eq!(counts.len(), 2 * 2 + 2 + 2 + 8, "snapshot layout");
             assert!(
                 counts[0] > counts[1],
                 "hot worker should dominate dispatches: {counts:?}"

@@ -113,6 +113,15 @@ pub enum ProtocolEvent {
         /// Whether a durable prepare record left it in doubt.
         in_doubt: bool,
     },
+    /// Commit pipelining: a coordinator sealed a multi-op batch into
+    /// one quorum round. Never emitted for a one-op round, so the
+    /// single-op event stream is unchanged.
+    BatchSealed {
+        /// The transaction carrying the batch.
+        txn: TxnId,
+        /// Operations sealed by the round (always ≥ 2).
+        ops: u32,
+    },
 }
 
 impl ProtocolEvent {
@@ -133,6 +142,7 @@ impl ProtocolEvent {
             ProtocolEvent::CommitForced { .. } => EventKind::CommitForced,
             ProtocolEvent::Crashed => EventKind::Crashed,
             ProtocolEvent::Recovered { .. } => EventKind::Recovered,
+            ProtocolEvent::BatchSealed { .. } => EventKind::BatchSealed,
         }
     }
 }
@@ -179,6 +189,9 @@ impl std::fmt::Display for ProtocolEvent {
                     if *in_doubt { "in doubt" } else { "clean" }
                 )
             }
+            ProtocolEvent::BatchSealed { txn, ops } => {
+                write!(f, "BATCH {txn} sealed {ops} ops")
+            }
         }
     }
 }
@@ -213,13 +226,17 @@ pub enum EventKind {
     Crashed,
     /// A site recovered.
     Recovered,
+    /// A multi-op batch was sealed into one quorum round.
+    BatchSealed,
 }
 
 impl EventKind {
     /// Number of kinds (the width of a tally row).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
-    /// Every kind, in tally-column order.
+    /// Every kind, in tally-column order. `BatchSealed` is appended at
+    /// the end so pre-pipelining tally rows (wire replies, committed
+    /// reports) keep their column indices.
     pub const ALL: [EventKind; EventKind::COUNT] = [
         EventKind::VoteGranted,
         EventKind::VoteDenied,
@@ -234,6 +251,7 @@ impl EventKind {
         EventKind::CommitForced,
         EventKind::Crashed,
         EventKind::Recovered,
+        EventKind::BatchSealed,
     ];
 
     /// A stable snake_case name (JSON report keys).
@@ -253,6 +271,7 @@ impl EventKind {
             EventKind::CommitForced => "commit_forced",
             EventKind::Crashed => "crashed",
             EventKind::Recovered => "recovered",
+            EventKind::BatchSealed => "batch_sealed",
         }
     }
 }
@@ -469,6 +488,10 @@ mod tests {
             },
             ProtocolEvent::Crashed,
             ProtocolEvent::Recovered { in_doubt: true },
+            ProtocolEvent::BatchSealed {
+                txn: txn(1),
+                ops: 8,
+            },
         ];
         assert_eq!(events.len(), EventKind::COUNT);
         for (event, kind) in events.iter().zip(EventKind::ALL) {

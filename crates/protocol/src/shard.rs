@@ -188,6 +188,21 @@ impl ShardedSite {
         }
     }
 
+    /// Commit pipelining: seal a payload batch on one object with a
+    /// single quorum round ([`SiteActor::start_update_batch`]). Returns
+    /// `None` when the object is not hosted here or the batch was
+    /// refused/empty.
+    pub fn start_update_batch(
+        &mut self,
+        object: ObjectId,
+        payloads: &[u64],
+        out: &mut ActionSink,
+    ) -> Option<crate::TxnId> {
+        self.shards
+            .get_mut(object.index())
+            .and_then(|shard| shard.start_update_batch(payloads, out))
+    }
+
     /// Crash every shard (volatile state lost; durable records kept).
     pub fn crash(&mut self) {
         for shard in &mut self.shards {
@@ -383,6 +398,20 @@ impl ShardPartition {
             }
             None => false,
         }
+    }
+
+    /// Commit pipelining: seal a payload batch on one owned object with
+    /// a single quorum round ([`SiteActor::start_update_batch`]).
+    /// Returns `None` when the object is not owned by this partition or
+    /// the batch was refused/empty.
+    pub fn start_update_batch(
+        &mut self,
+        object: ObjectId,
+        payloads: &[u64],
+        out: &mut ActionSink,
+    ) -> Option<crate::TxnId> {
+        self.shard_mut(object)
+            .and_then(|shard| shard.start_update_batch(payloads, out))
     }
 
     /// Run the `Make_Current` restart protocol on one owned object.

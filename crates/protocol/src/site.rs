@@ -193,6 +193,11 @@ enum CoordPhase {
 struct CoordTxn {
     txn: TxnId,
     payload: u64,
+    /// Commit pipelining: payloads beyond the first, sealed by the same
+    /// round as consecutive log entries. Empty for a plain
+    /// [`SiteActor::start_update`] — every single-op code path is
+    /// untouched when this is empty.
+    extra: Vec<u64>,
     /// Read-only request: needs a distinguished partition and a current
     /// local copy, but commits no new version (paper footnote 5).
     read_only: bool,
@@ -404,6 +409,35 @@ impl SiteActor {
         self.start_transaction(payload, false, false, out);
     }
 
+    /// Commit pipelining: seal `payloads` with ONE vote/catch-up/commit
+    /// round, as consecutive log entries in slice order (the version
+    /// number advances by `payloads.len()`). A one-element batch is
+    /// byte-identical to [`SiteActor::start_update`] — same actions,
+    /// same events, same durable mutations. Returns the transaction id,
+    /// or `None` if the batch was refused (local lock held — one
+    /// [`Action::Resolved`] with [`ResolveReason::LockBusy`] covers the
+    /// whole batch) or `payloads` is empty (no effect at all).
+    pub fn start_update_batch(&mut self, payloads: &[u64], out: &mut ActionSink) -> Option<TxnId> {
+        let (&first, rest) = payloads.split_first()?;
+        if self.volatile.lock.is_some() {
+            return self.start_transaction(first, false, false, out);
+        }
+        let txn = self.start_transaction(first, false, false, out)?;
+        if !rest.is_empty() {
+            let coord = self
+                .volatile
+                .coordinating
+                .as_mut()
+                .expect("transaction just started");
+            coord.extra.extend_from_slice(rest);
+            self.emit(ProtocolEvent::BatchSealed {
+                txn,
+                ops: payloads.len() as u32,
+            });
+        }
+        Some(txn)
+    }
+
     /// Start this file's leg of a multi-file transaction (paper
     /// footnote 2). The protocol runs through voting and catch-up, then
     /// pauses with [`Action::DecisionReady`]; the cross-file transaction
@@ -453,6 +487,7 @@ impl SiteActor {
         self.volatile.coordinating = Some(CoordTxn {
             txn,
             payload,
+            extra: Vec::new(),
             read_only,
             group,
             phase: CoordPhase::Voting {
@@ -1070,6 +1105,7 @@ impl SiteActor {
         let coord = CoordTxn {
             txn,
             payload,
+            extra: Vec::new(),
             read_only: false,
             group: true,
             phase: CoordPhase::Voting {
@@ -1120,27 +1156,37 @@ impl SiteActor {
         }
         let view =
             PartitionView::new(self.n, &self.order, &members).expect("members form a valid view");
-        let meta = self.algo.commit_meta(&view);
-        let new_version = meta.version;
+        let mut meta = self.algo.commit_meta(&view);
+        let first_version = meta.version;
         debug_assert_eq!(
-            new_version,
+            first_version,
             self.durable.log.last().map_or(0, |e| e.version) + 1,
             "coordinator must be current before committing"
         );
+        // Commit pipelining: the round seals every batched payload as a
+        // consecutive log entry; SC/DS come from the same view either
+        // way, only the version number advances further.
+        meta.version = first_version + coord.extra.len() as u64;
         let participants = view.members();
-        // Force-write commit record + log entry + metadata, atomically
+        // Force-write commit record + log entries + metadata, atomically
         // ("an update operation at a site is atomic", Section V-B).
+        let first_new = self.durable.log.len();
         self.durable.log.push(LogEntry {
-            version: new_version,
+            version: first_version,
             payload: coord.payload,
         });
+        for (i, &payload) in coord.extra.iter().enumerate() {
+            self.durable.log.push(LogEntry {
+                version: first_version + 1 + i as u64,
+                payload,
+            });
+        }
         self.durable.meta = meta;
         self.durable
             .commits
             .insert(txn, CommitRecord { meta, participants });
         if let Some(p) = self.persist.as_mut() {
-            let last = self.durable.log.len() - 1;
-            p.entries_appended(&self.durable.log[last..]);
+            p.entries_appended(&self.durable.log[first_new..]);
             p.meta_updated(meta);
             p.committed(txn, meta, participants);
         }
@@ -1148,17 +1194,19 @@ impl SiteActor {
 
         self.emit(ProtocolEvent::CommitForced {
             txn,
-            version: new_version,
+            version: meta.version,
         });
         self.emit(ProtocolEvent::Committed {
             txn,
-            version: new_version,
+            version: meta.version,
         });
-        out.push(Action::CommitRecorded {
-            version: new_version,
-            payload: coord.payload,
-            txn,
-        });
+        for entry in &self.durable.log[first_new..] {
+            out.push(Action::CommitRecorded {
+                version: entry.version,
+                payload: entry.payload,
+                txn,
+            });
+        }
         out.push(Action::Resolved {
             txn,
             reason: ResolveReason::Committed,
@@ -1534,6 +1582,157 @@ mod tests {
         assert!(redo.is_empty());
         assert_eq!(a.meta().version, 1);
         assert_eq!(a.log().len(), 1);
+    }
+
+    #[test]
+    fn batched_update_seals_consecutive_entries_in_one_round() {
+        let mut a = site(0, 3);
+        let mut out = Vec::new();
+        let t = a
+            .start_update_batch(&[100, 101, 102], &mut out)
+            .expect("lock free");
+        // One round regardless of batch size: one broadcast, one timer.
+        assert!(matches!(
+            &out[0],
+            Action::Broadcast {
+                msg: Message::VoteRequest { .. }
+            }
+        ));
+        assert_eq!(out.len(), 2);
+        for sub in [1u8, 2] {
+            deliver(
+                &mut a,
+                SiteId(sub),
+                Message::VoteGranted {
+                    txn: t,
+                    meta: CopyMeta::initial(3, &LinearOrder::lexicographic(3)),
+                    from: SiteId(sub),
+                },
+            );
+        }
+        // The round sealed three consecutive versions.
+        assert_eq!(a.meta().version, 3);
+        assert_eq!(
+            a.log()
+                .iter()
+                .map(|e| (e.version, e.payload))
+                .collect::<Vec<_>>(),
+            vec![(1, 100), (2, 101), (3, 102)]
+        );
+        assert!(!a.is_locked());
+    }
+
+    #[test]
+    fn batch_commit_fans_out_one_record_per_entry_and_one_resolve() {
+        let mut a = site(0, 3);
+        let mut out = Vec::new();
+        let t = a.start_update_batch(&[7, 8], &mut out).unwrap();
+        out.clear();
+        let meta = a.meta();
+        deliver(
+            &mut a,
+            SiteId(1),
+            Message::VoteGranted {
+                txn: t,
+                meta,
+                from: SiteId(1),
+            },
+        );
+        let mut actions = Vec::new();
+        a.handle_message(
+            SiteId(2),
+            Message::VoteGranted {
+                txn: t,
+                meta: CopyMeta::initial(3, &LinearOrder::lexicographic(3)),
+                from: SiteId(2),
+            },
+            &mut actions,
+        );
+        let recorded: Vec<(u64, u64)> = actions
+            .iter()
+            .filter_map(|act| match act {
+                Action::CommitRecorded {
+                    version, payload, ..
+                } => Some((*version, *payload)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recorded, vec![(1, 7), (2, 8)]);
+        let resolves = actions
+            .iter()
+            .filter(|act| matches!(act, Action::Resolved { .. }))
+            .count();
+        assert_eq!(resolves, 1, "one resolve covers the whole batch");
+        // Every subordinate Commit carries the full two-entry suffix.
+        for act in &actions {
+            if let Action::Send {
+                msg: Message::Commit { entries, meta, .. },
+                ..
+            } = act
+            {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(meta.version, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn one_element_batch_is_byte_identical_to_start_update() {
+        let mut plain = site(0, 3);
+        let mut batched = site(0, 3);
+        let plain_actions = update(&mut plain, 100);
+        let mut batched_actions = Vec::new();
+        let t = batched.start_update_batch(&[100], &mut batched_actions);
+        assert!(t.is_some());
+        assert_eq!(plain_actions, batched_actions);
+        // Drive both to commit; the full action streams must match.
+        let pt = match &plain_actions[0] {
+            Action::Broadcast {
+                msg: Message::VoteRequest { txn },
+            } => *txn,
+            other => panic!("unexpected first action {other:?}"),
+        };
+        for sub in [1u8, 2] {
+            let plain_vote = Message::VoteGranted {
+                txn: pt,
+                meta: plain.meta(),
+                from: SiteId(sub),
+            };
+            let batched_vote = Message::VoteGranted {
+                txn: t.unwrap(),
+                meta: batched.meta(),
+                from: SiteId(sub),
+            };
+            let a = deliver(&mut plain, SiteId(sub), plain_vote);
+            let b = deliver(&mut batched, SiteId(sub), batched_vote);
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.meta(), batched.meta());
+        assert_eq!(plain.log(), batched.log());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut a = site(0, 3);
+        let mut out = Vec::new();
+        assert!(a.start_update_batch(&[], &mut out).is_none());
+        assert!(out.is_empty());
+        assert!(!a.is_locked());
+    }
+
+    #[test]
+    fn batch_refused_while_locked_resolves_once() {
+        let mut a = site(0, 3);
+        update(&mut a, 100);
+        let mut out = Vec::new();
+        assert!(a.start_update_batch(&[1, 2, 3], &mut out).is_none());
+        assert!(matches!(
+            out[..],
+            [Action::Resolved {
+                reason: ResolveReason::LockBusy,
+                ..
+            }]
+        ));
     }
 
     #[test]
